@@ -1,0 +1,90 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* threshold sweep (§2.3): message volume vs view quality;
+* No_more_master on/off (§2.3: paper saw ~2× fewer messages);
+* snapshot leader-election criterion (conclusion's open question);
+* network sensitivity (§4.5: volume-bound networks erode the increments
+  mechanism's advantage).
+"""
+
+from conftest import show
+
+from repro.experiments.ablations import (
+    ablation_latency,
+    ablation_leader,
+    ablation_no_more_master,
+    ablation_partial_snapshot,
+    ablation_threshold,
+    ablation_view_accuracy,
+)
+
+
+def test_bench_ablation_threshold(benchmark):
+    t = benchmark.pedantic(lambda: ablation_threshold(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    msgs = [row[1] for row in t.rows]
+    # message count decreases monotonically as the threshold grows
+    assert msgs == sorted(msgs, reverse=True)
+    # the biggest threshold degrades the view: memory no better than mid one
+    assert t.rows[-1][2] >= t.rows[1][2] * 0.99
+    benchmark.extra_info["sweep"] = {str(r[0]): r[1] for r in t.rows}
+
+
+def test_bench_ablation_no_more_master(benchmark):
+    t = benchmark.pedantic(lambda: ablation_no_more_master(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    for row in t.rows:
+        assert row[3] > 1.1, f"{row[0]}: No_more_master must cut messages"
+    benchmark.extra_info["ratios"] = {str(r[0]): r[3] for r in t.rows}
+
+
+def test_bench_ablation_leader(benchmark):
+    t = benchmark.pedantic(lambda: ablation_leader(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    times = {str(r[0]): r[1] for r in t.rows}
+    assert len(times) == 3 and all(v > 0 for v in times.values())
+    benchmark.extra_info["times_ms"] = times
+
+
+def test_bench_ablation_partial_snapshot(benchmark):
+    """The perspectives extension: partial snapshots cut messages below even
+    the full snapshot and erase most of its synchronization penalty."""
+    t = benchmark.pedantic(lambda: ablation_partial_snapshot(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    by = {str(r[0]): r for r in t.rows}
+    full = by["full snapshot"]
+    part8 = by["partial, group=8"]
+    inc = by["increments (ref)"]
+    assert part8[2] < full[2], "partial must use fewer messages than full"
+    assert part8[1] < full[1], "partial must be faster than full snapshot"
+    assert part8[1] < inc[1] * 1.35, "partial time must approach increments"
+    benchmark.extra_info["msgs"] = {k: v[2] for k, v in by.items()}
+
+
+def test_bench_ablation_view_accuracy(benchmark):
+    """Quantified view correctness: snapshot exact, increments near-exact,
+    naive an order of magnitude worse — the paper's qualitative ranking."""
+    t = benchmark.pedantic(lambda: ablation_view_accuracy(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    err = {str(r[0]): r[1] for r in t.rows}
+    assert err["oracle"] == 0.0
+    assert err["snapshot"] <= 1e-9
+    assert err["increments"] < 0.2
+    assert err["naive"] > err["increments"]
+    benchmark.extra_info["errors"] = err
+
+
+def test_bench_ablation_latency(benchmark):
+    t = benchmark.pedantic(lambda: ablation_latency(nprocs=32),
+                           rounds=1, iterations=1)
+    show(t)
+    ratio = {str(r[0]): r[3] for r in t.rows}
+    # paper §4.5: on a message-volume-bound network the increments
+    # mechanism's advantage erodes (ratio falls toward / below 1)
+    assert ratio["low bandwidth"] < ratio["fast (SP switch)"]
+    benchmark.extra_info["snap_over_incr"] = ratio

@@ -1,0 +1,30 @@
+"""Figure 1: the naive mechanism's coherence problem, as a live scenario.
+
+Runs the paper's three-process timeline under the naive and the increments
+mechanisms and checks the defining facts: the naive P1 selects P2 a second
+time on stale information, while the increments reservation broadcast
+steers P1 elsewhere.
+"""
+
+from conftest import show
+
+from repro.experiments.figures import figure1
+
+
+def test_bench_figure1(benchmark):
+    def scenario():
+        return figure1("naive"), figure1("increments")
+
+    naive, inc = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    show(naive.render())
+    show(inc.render())
+    assert naive.double_selection, "naive must double-select P2 (Figure 1)"
+    assert naive.view_of_p2[0] == naive.view_of_p2[1], (
+        "both masters saw the same stale load for P2"
+    )
+    assert not inc.double_selection
+    assert inc.view_of_p2[1] > naive.view_of_p2[1], (
+        "increments' Master_To_All raised P1's estimate of P2"
+    )
+    benchmark.extra_info["naive_selected"] = naive.selected
+    benchmark.extra_info["increments_selected"] = inc.selected

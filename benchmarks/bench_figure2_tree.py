@@ -1,0 +1,33 @@
+"""Figure 2: distribution of a multifrontal assembly tree over 4 processors.
+
+Regenerates the paper's tree picture: leaf subtrees on single processes,
+type-1 sequential nodes, type-2 nodes with dynamically chosen slaves, and a
+type-3 (2D, static) root.
+"""
+
+from conftest import show
+
+from repro.experiments.figures import figure2
+
+
+def test_bench_figure2(benchmark):
+    fig = benchmark.pedantic(lambda: figure2(nprocs=4), rounds=1, iterations=1)
+    show(fig.render())
+    hist = fig.type_histogram
+    assert hist.get("subtree", 0) > 0, "leaf subtrees must exist"
+    assert hist.get("type2", 0) > 0, "parallel (type 2) nodes must exist"
+    assert hist.get("type3", 0) == 1, "exactly one 2D root (type 3)"
+    benchmark.extra_info["type_histogram"] = hist
+
+
+def test_bench_figure2_more_procs(benchmark):
+    """Same tree over more processes: the parallel layer must widen."""
+
+    def build():
+        return figure2(nprocs=4), figure2(nprocs=16)
+
+    f4, f16 = benchmark.pedantic(build, rounds=1, iterations=1)
+    t2_4 = f4.type_histogram.get("type2", 0)
+    t2_16 = f16.type_histogram.get("type2", 0)
+    assert t2_16 >= t2_4
+    benchmark.extra_info["type2_at_4_vs_16"] = (t2_4, t2_16)

@@ -1,0 +1,39 @@
+"""Tables 1 & 2: build the test-problem suites and their assembly trees.
+
+Benchmarks the symbolic-analysis pipeline (ordering → elimination tree →
+column counts → amalgamation) over the whole suite — the substrate cost
+behind every other experiment — and prints the suite tables.
+"""
+
+from conftest import show
+
+from repro.experiments.tables import table1_2
+from repro.matrices import collection
+from repro.symbolic import analyze_problem, clear_cache
+
+
+def test_bench_build_suites(benchmark):
+    def build():
+        collection.get.cache_clear()
+        return [p.nnz for p in collection.suite("all")]
+
+    nnzs = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(n > 0 for n in nnzs)
+    t1, t2 = table1_2()
+    show(t1)
+    show(t2)
+    benchmark.extra_info["total_nnz"] = sum(nnzs)
+
+
+def test_bench_symbolic_analysis_suite(benchmark):
+    problems = collection.suite("all")
+
+    def analyze_all():
+        clear_cache()
+        return [len(analyze_problem(p)) for p in problems]
+
+    fronts = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    assert all(f > 1 for f in fronts)
+    benchmark.extra_info["fronts_per_problem"] = dict(
+        zip([p.name for p in problems], fronts)
+    )

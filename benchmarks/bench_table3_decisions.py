@@ -1,0 +1,43 @@
+"""Table 3: number of dynamic decisions for 32, 64 and 128 processors.
+
+Static experiment (type-2 node count of the mapping).  The paper's shape:
+the number of decisions grows with the processor count, except GUPTA3 whose
+bushy tree keeps it flat (paper: 8 decisions at both 32 and 64 procs).
+"""
+
+from conftest import show
+
+from repro.experiments.tables import table3
+from repro.mapping import compute_mapping
+from repro.matrices import collection
+from repro.symbolic import analyze_problem
+
+
+def test_bench_table3(benchmark, runner):
+    result = benchmark.pedantic(lambda: table3(runner), rounds=1, iterations=1)
+    show(result)
+    # paper shape: decisions grow with the processor count
+    for p in collection.suite("large"):
+        d64 = result.cell(p.name, "64 procs")
+        d128 = result.cell(p.name, "128 procs")
+        assert d128 >= d64
+    # GUPTA3 stays pathological and flat (paper: 8 / 8)
+    assert result.cell("GUPTA3", "32 procs") <= 20
+    benchmark.extra_info["decisions"] = {
+        str(r[0]): r[1:] for r in result.rows
+    }
+
+
+def test_bench_mapping_grid(benchmark):
+    """Cost of the static mapping itself over the full grid."""
+    trees = [analyze_problem(p) for p in collection.suite("all")]
+
+    def map_all():
+        out = 0
+        for tree in trees:
+            for nprocs in (32, 64, 128):
+                out += compute_mapping(tree, nprocs).n_decisions
+        return out
+
+    total = benchmark.pedantic(map_all, rounds=1, iterations=1)
+    assert total > 0

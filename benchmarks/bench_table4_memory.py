@@ -1,0 +1,37 @@
+"""Table 4: peak of active memory under the memory-based strategy.
+
+Runs the paper's grid — first test suite × {32, 64} processors × the three
+mechanisms — and checks the paper's shape: the naive mechanism's peaks are
+(almost) never better than the reservation-aware mechanisms', and the
+increments mechanism stays close to the snapshot-based one.
+"""
+
+from conftest import show
+
+from repro.experiments.report import side_by_side
+from repro.experiments.tables import table4
+from repro.matrices import collection
+
+
+def test_bench_table4(benchmark, runner):
+    a, b = benchmark.pedantic(lambda: table4(runner), rounds=1, iterations=1)
+    show(side_by_side([a, b]))
+    worse_or_equal = 0
+    strictly_worse = 0
+    total = 0
+    for tab in (a, b):
+        for p in collection.suite("small"):
+            nai = tab.cell(p.name, "naive")
+            inc = tab.cell(p.name, "Increments based")
+            snp = tab.cell(p.name, "Snapshot based")
+            total += 1
+            if nai >= min(inc, snp) * 0.999:
+                worse_or_equal += 1
+            if nai > min(inc, snp) * 1.02:
+                strictly_worse += 1
+            # "the increments mechanism is never far from the snapshots"
+            assert inc <= snp * 1.6 + 1.0
+    # paper shape: naive is generally the worst
+    assert worse_or_equal >= total - 1
+    assert strictly_worse >= total // 3
+    benchmark.extra_info["naive_worse_or_equal"] = f"{worse_or_equal}/{total}"

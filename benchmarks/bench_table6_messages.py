@@ -1,0 +1,29 @@
+"""Table 6: number of state-information messages of the Table-5 runs.
+
+Paper shape: the demand-driven snapshot algorithm exchanges far fewer
+messages than the increments mechanism, which broadcasts on every
+significant load variation (the paper measures 6–30× on its full-size
+matrices; at our matrix scale the ratio is smaller but decisively > 2×).
+"""
+
+from conftest import show
+
+from repro.experiments.report import side_by_side
+from repro.experiments.tables import table6
+from repro.matrices import collection
+
+
+def test_bench_table6(benchmark, runner):
+    a, b = benchmark.pedantic(lambda: table6(runner), rounds=1, iterations=1)
+    show(side_by_side([a, b]))
+    ratios = []
+    for tab in (a, b):
+        for p in collection.suite("large"):
+            inc = tab.cell(p.name, "Increments based")
+            snp = tab.cell(p.name, "Snapshot based")
+            assert snp < inc, f"{p.name}: snapshot must use fewer messages"
+            ratios.append(inc / snp)
+    assert min(ratios) > 1.5
+    benchmark.extra_info["increments_over_snapshot_ratio"] = {
+        "min": round(min(ratios), 2), "max": round(max(ratios), 2),
+    }

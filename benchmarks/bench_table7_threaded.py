@@ -1,0 +1,35 @@
+"""Table 7: the threaded load-exchange mechanisms (paper §4.5).
+
+Paper shape: a communication thread polling the state channel every 50 µs
+greatly reduces the snapshot algorithm's execution time (processes answer
+during computation instead of at task boundaries), yet the threaded
+snapshot remains slower than the increments mechanism.
+"""
+
+from conftest import show
+
+from repro.experiments.report import side_by_side
+from repro.experiments.tables import table5, table7
+from repro.matrices import collection
+
+
+def test_bench_table7(benchmark, runner):
+    a, b = benchmark.pedantic(lambda: table7(runner), rounds=1, iterations=1)
+    show(side_by_side([a, b]))
+    # compare against the non-threaded runs (cached if table5 ran first)
+    a5, b5 = table5(runner)
+    for threaded, plain in ((a, a5), (b, b5)):
+        for p in collection.suite("large"):
+            snp_threaded = threaded.cell(p.name, "Snapshot based")
+            snp_plain = plain.cell(p.name, "Snapshot based")
+            inc_threaded = threaded.cell(p.name, "Increments based")
+            # threading reduces the snapshot time...
+            assert snp_threaded < snp_plain, p.name
+            # ...but the snapshot scheme stays slower than increments
+            assert snp_threaded > inc_threaded, p.name
+    benchmark.extra_info["snapshot_time_reduction"] = {
+        p.name: round(
+            b5.cell(p.name, "Snapshot based") / b.cell(p.name, "Snapshot based"), 2
+        )
+        for p in collection.suite("large")
+    }

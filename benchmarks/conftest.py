@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_tableN`` module regenerates one table/figure of the paper.
+Benchmarks run the *actual* experiment (simulated factorizations at the
+paper's processor counts) once per session — `pedantic(rounds=1)` — and
+print the regenerated table, so `pytest benchmarks/ --benchmark-only -s`
+reproduces the paper's evaluation section end to end.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared runner: Table 6 reuses Table 5's runs, like the paper."""
+    return ExperimentRunner(scale=ExperimentScale(fast=False))
+
+
+def show(table_or_text) -> None:
+    """Print a table (or raw text) so `-s` displays the regenerated data."""
+    text = table_or_text if isinstance(table_or_text, str) else table_or_text.render()
+    print("\n" + text)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Bring your own matrix: the full pipeline on a user-supplied problem.
+
+Demonstrates the library as a downstream user would adopt it: build (or
+load) any SciPy sparse matrix, run the symbolic analysis, inspect the
+assembly tree and static mapping, then simulate factorizations under
+different mechanisms/networks — e.g. to decide which load-exchange scheme
+suits *your* cluster.
+
+Usage::
+
+    python examples/custom_matrix_solver.py [grid_nx] [grid_ny] [grid_nz]
+"""
+
+import sys
+
+import scipy.sparse as sp
+
+from repro.matrices import generators as gen
+from repro.mapping import compute_mapping
+from repro.simcore import NetworkConfig
+from repro.solver import SolverConfig, run_factorization
+from repro.symbolic import analyze_matrix
+
+
+def build_matrix(nx: int, ny: int, nz: int) -> sp.csr_matrix:
+    """A 3D anisotropic operator — swap in your own matrix here."""
+    return gen.anisotropic_grid((nx, ny, nz), stretch=2)
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    ny = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    nz = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+
+    A = build_matrix(nx, ny, nz)
+    print(f"matrix: {A.shape[0]} unknowns, {A.nnz} nonzeros")
+
+    # 1. symbolic analysis: ordering + elimination tree + amalgamation
+    tree = analyze_matrix(A, sym=False, name=f"grid{nx}x{ny}x{nz}")
+    print(tree.summary())
+
+    # 2. static mapping for the target process count
+    nprocs = 16
+    mapping = compute_mapping(tree, nprocs)
+    print(mapping.summary())
+
+    # 3. which mechanism for which network? Simulate the matrix on both.
+    print(f"\n{'network':16s} {'mechanism':11s} {'time (ms)':>10s} "
+          f"{'state msgs':>10s} {'peak mem':>10s}")
+    for net_name, net in (("fast cluster", NetworkConfig.fast()),
+                          ("low bandwidth", NetworkConfig.low_bandwidth())):
+        for mech in ("increments", "snapshot"):
+            cfg = SolverConfig(network=net)
+            r = run_factorization(tree, nprocs, mechanism=mech,
+                                  strategy="workload", config=cfg)
+            print(f"{net_name:16s} {mech:11s} "
+                  f"{r.factorization_time*1e3:10.2f} "
+                  f"{r.state_messages:10d} {r.peak_active_memory:10,.0f}")
+
+    print("\nReading: on a fast network the maintained view (increments) "
+          "wins on time;\non a message-volume-bound network the demand-driven "
+          "snapshot catches up (paper §4.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Memory-balancing study: how view coherence shapes the memory peak.
+
+Reproduces the heart of the paper's §4.4 on one problem: run the
+memory-based dynamic scheduler under each of the three load-exchange
+mechanisms and compare the *peak of active memory* on the most loaded
+process (Table 4's metric), plus the per-process distribution — the naive
+mechanism's stale views concentrate slave blocks on processes that already
+look attractive to several masters at once (the Figure-1 flaw).
+
+Usage::
+
+    python examples/memory_balancing_study.py [matrix] [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import run_factorization
+from repro.matrices import collection
+
+
+def sparkline(values, width=32) -> str:
+    """Tiny text histogram of per-process peaks."""
+    blocks = " .:-=+*#%@"
+    hi = max(values) or 1.0
+    cells = np.interp(values, [0, hi], [0, len(blocks) - 1]).astype(int)
+    return "".join(blocks[c] for c in cells[:width])
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "AUDIKW_1"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    problem = collection.get(name)
+
+    print(f"Memory-based dynamic scheduling of {name} on {nprocs} "
+          f"simulated processes (paper §4.4 / Table 4)\n")
+    print(f"{'mechanism':12s} {'peak (max proc)':>16s} {'mean peak':>10s} "
+          f"{'imbalance':>9s}  per-process peaks")
+    results = {}
+    for mech in ("increments", "snapshot", "naive"):
+        r = run_factorization(problem, nprocs, mechanism=mech, strategy="memory")
+        results[mech] = r
+        peaks = r.peak_active
+        imb = peaks.max() / max(peaks.mean(), 1.0)
+        print(f"{mech:12s} {peaks.max():16,.0f} {peaks.mean():10,.0f} "
+              f"{imb:9.2f}  [{sparkline(peaks)}]")
+
+    nai, inc = results["naive"], results["increments"]
+    print()
+    if nai.peak_active_memory > inc.peak_active_memory:
+        pct = 100 * (nai.peak_active_memory / inc.peak_active_memory - 1)
+        print(f"The naive mechanism's memory peak is {pct:.0f}% higher than "
+              f"the increments mechanism's: successive slave selections were "
+              f"taken on views that missed earlier reservations (Figure 1).")
+    else:
+        print("On this configuration the schedule noise hid the naive "
+              "mechanism's flaw (the paper observes such exceptions too, "
+              "e.g. GUPTA3).")
+    snp = results["snapshot"]
+    print(f"The demand-driven snapshot made {snp.snapshot_count} snapshots "
+          f"and used {snp.state_messages} state messages, vs "
+          f"{inc.state_messages} for the increments mechanism.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Snapshot protocol walk-through: concurrent snapshots, leader election.
+
+Drives the paper's §3 algorithm directly (no solver) on five simulated
+processes: three of them initiate snapshots almost simultaneously, and the
+demo prints every state message as it is treated, showing
+
+* the leader election by rank (P1 wins, P2 and P4 abort and answer it),
+* delayed answers (``delayed_message``) released by ``end_snp``,
+* request ids discarding answers to aborted rounds,
+* the sequentialization: each later decision sees the earlier reservations.
+
+Usage::
+
+    python examples/snapshot_protocol_demo.py
+"""
+
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    SnapshotMechanism,
+)
+from repro.mechanisms.messages import EndSnp, MasterToSlave, Snp, StartSnp
+from repro.simcore import Network, NetworkConfig, SimProcess, Simulator
+
+
+class DemoProcess(SimProcess):
+    def __init__(self, sim, net, rank):
+        super().__init__(sim, net, rank)
+        self.mechanism = SnapshotMechanism(MechanismConfig())
+        self.mechanism.bind(self)
+
+    def handle_state(self, env):
+        p = env.payload
+        if isinstance(p, StartSnp):
+            desc = f"start_snp(req={p.req})"
+        elif isinstance(p, Snp):
+            desc = f"snp(req={p.req}, w={p.load.workload:.0f})"
+        elif isinstance(p, EndSnp):
+            desc = "end_snp"
+        elif isinstance(p, MasterToSlave):
+            desc = f"master_to_slave(+{p.delta.workload:.0f})"
+        else:
+            desc = type(p).__name__
+        print(f"  t={self.sim.now*1e6:8.2f}µs  P{env.src} -> P{self.rank}: {desc}")
+        self.mechanism.handle_message(env)
+
+    def handle_data(self, env):
+        pass
+
+
+def main() -> None:
+    sim = Simulator(seed=0)
+    net = Network(sim, 5, NetworkConfig())
+    procs = [DemoProcess(sim, net, r) for r in range(5)]
+    for p in procs:
+        p.mechanism.initialize_view([Load(100.0 * (r + 1), 0.0) for r in range(5)])
+
+    def initiate(rank: int, slave: int, amount: float):
+        def cb(view):
+            loads = ", ".join(f"P{r}={view.get(r).workload:.0f}" for r in range(5))
+            print(f"* t={sim.now*1e6:8.2f}µs  P{rank} DECIDES with view [{loads}]"
+                  f" -> reserves {amount:.0f} on P{slave}")
+            procs[rank].mechanism.record_decision({slave: Load(amount, 0.0)})
+            procs[rank].mechanism.decision_complete()
+
+        def go():
+            print(f"* t={sim.now*1e6:8.2f}µs  P{rank} initiates a snapshot")
+            procs[rank].mechanism.request_view(cb)
+
+        return go
+
+    # Three nearly simultaneous initiators: P2 first, then P1 (smaller rank,
+    # steals the leadership), then P4.
+    sim.schedule(0.0, initiate(2, 0, 500.0))
+    sim.schedule(2e-6, initiate(1, 3, 300.0))
+    sim.schedule(4e-6, initiate(4, 0, 200.0))
+    sim.run()
+
+    print("\nFinal self-estimates (reservations included):")
+    for p in procs:
+        print(f"  P{p.rank}: workload={p.mechanism.my_load.workload:.0f}")
+    print("\nNote the completion order P1 < P2 < P4 (leader election by rank)"
+          "\nand that P2's and P4's decisions observed the earlier reservations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Generality study: the same mechanisms on a different application.
+
+The paper evaluates its load-exchange mechanisms inside one application
+(MUMPS, where a few hundred dynamic decisions steer large slave tasks).
+This example runs the *same mechanism objects* inside a dynamic task farm —
+irregular spawning tasks, work offloaded to the least-loaded workers — where
+dynamic decisions are frequent and tiny.
+
+The trade-off inverts: the demand-driven snapshot scheme, merely 1.6–2×
+slower than the increments scheme on MUMPS's sparse decisions, collapses
+when every overloaded worker must freeze the whole farm to take a tiny
+offloading decision — while the partial-snapshot extension (small groups,
+weak synchronization) recovers much of the loss.
+
+Usage::
+
+    python examples/taskfarm_generality.py [nprocs] [seed]
+"""
+
+import sys
+
+from repro.apps import TaskFarmParams, run_taskfarm
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    params = TaskFarmParams()
+
+    print(f"Dynamic task farm on {nprocs} workers (seed {seed}): initial "
+          f"batch of {params.initial_tasks_per_proc} tasks per worker "
+          f"(double on rank 0), spawn probability "
+          f"{params.spawn_probability}, offload beyond "
+          f"{params.offload_threshold} queued tasks.\n")
+    print(f"{'mechanism':18s} {'makespan':>10s} {'offloads':>8s} "
+          f"{'migrated':>8s} {'imbalance':>9s} {'state msgs':>10s}")
+    rows = {}
+    for mech in ("oracle", "increments", "naive", "periodic",
+                 "partial_snapshot", "snapshot"):
+        r = run_taskfarm(nprocs, mechanism=mech, seed=seed)
+        rows[mech] = r
+        print(f"{mech:18s} {r.makespan*1e3:9.2f}ms {r.offload_decisions:8d} "
+              f"{r.tasks_migrated:8d} {r.imbalance:9.2f} "
+              f"{r.state_messages:10d}")
+
+    inc, snp = rows["increments"], rows["snapshot"]
+    part = rows["partial_snapshot"]
+    print(f"\nWith ~{inc.offload_decisions} tiny decisions, the full "
+          f"snapshot scheme is {snp.makespan/inc.makespan:.1f}x slower than "
+          f"the increments scheme (vs ~1.6-2x on the MUMPS workload); the "
+          f"partial variant recovers to {part.makespan/inc.makespan:.1f}x "
+          f"with {part.state_messages} messages.")
+
+
+if __name__ == "__main__":
+    main()

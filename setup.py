@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on offline machines that lack the ``wheel`` package required by PEP 660
+editable installs.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

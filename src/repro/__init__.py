@@ -1,0 +1,68 @@
+"""repro — reproduction of Guermouche & L'Excellent (2005).
+
+"A study of various load information exchange mechanisms for a distributed
+application using dynamic scheduling" (INRIA RR-5478).
+
+The package implements, on top of a deterministic discrete-event simulation
+of an asynchronous message-passing system:
+
+* the three load-information exchange mechanisms of the paper
+  (:mod:`repro.mechanisms`),
+* the full substrate they were evaluated on — a parallel multifrontal sparse
+  solver in the style of MUMPS: symbolic analysis (:mod:`repro.symbolic`),
+  static mapping (:mod:`repro.mapping`), dynamic memory/workload schedulers
+  (:mod:`repro.scheduling`) and a simulated factorization
+  (:mod:`repro.solver`),
+* the experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_factorization
+    from repro.matrices import collection
+
+    problem = collection.get("BMWCRA_1")
+    result = run_factorization(problem, nprocs=32, mechanism="increments",
+                               strategy="memory")
+    print(result.peak_active_memory, result.factorization_time)
+"""
+
+__version__ = "1.0.0"
+
+from .mechanisms import (  # noqa: F401
+    IncrementsMechanism,
+    Load,
+    LoadView,
+    Mechanism,
+    MechanismConfig,
+    NaiveMechanism,
+    SnapshotMechanism,
+)
+from .simcore import Channel, Network, NetworkConfig, SimProcess, Simulator  # noqa: F401
+
+__all__ = [
+    "__version__",
+    "Simulator",
+    "Network",
+    "NetworkConfig",
+    "SimProcess",
+    "Channel",
+    "Mechanism",
+    "MechanismConfig",
+    "NaiveMechanism",
+    "IncrementsMechanism",
+    "SnapshotMechanism",
+    "Load",
+    "LoadView",
+    "run_factorization",
+]
+
+
+def run_factorization(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.solver.driver.run_factorization`.
+
+    Imported lazily so that ``import repro`` stays cheap.
+    """
+    from .solver.driver import run_factorization as _run
+
+    return _run(*args, **kwargs)

@@ -1,0 +1,24 @@
+"""Additional applications built on the same mechanisms.
+
+The load-exchange mechanisms are application-agnostic (paper §1 states the
+problem for any asynchronous message-passing system with dynamic
+decisions); this package hosts applications other than the multifrontal
+solver that exercise them — currently a dynamic task farm with
+view-driven work offloading.
+"""
+
+from .taskfarm import (
+    FarmTask,
+    TaskFarmParams,
+    TaskFarmProcess,
+    TaskFarmResult,
+    run_taskfarm,
+)
+
+__all__ = [
+    "FarmTask",
+    "TaskFarmParams",
+    "TaskFarmProcess",
+    "TaskFarmResult",
+    "run_taskfarm",
+]

@@ -1,0 +1,294 @@
+"""A second application substrate: dynamic task farm with work offloading.
+
+The paper's introduction frames the problem generally — "a distributed
+asynchronous system where processes can only communicate by message passing
+and need a coherent view of the load of others to take dynamic decisions" —
+and evaluates on one such application (MUMPS).  This module provides a
+*second*, much simpler application with the same structure, demonstrating
+that the mechanisms are application-agnostic:
+
+* every process starts with a batch of tasks; finished tasks spawn children
+  with some probability (an irregular, unpredictable workload);
+* a process whose queue grows beyond ``offload_threshold`` tasks takes a
+  **dynamic decision**: it consults its load-exchange mechanism's view and
+  offloads tasks to the least-loaded processes (reservations and all, like
+  a type-2 slave selection);
+* the run ends when every task has been processed.
+
+The same :class:`~repro.mechanisms.base.Mechanism` objects plug in
+unchanged; the interesting outputs are the makespan, the load imbalance and
+the message counts per mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mechanisms.base import Mechanism, MechanismShared
+from ..mechanisms.registry import create_mechanism
+from ..mechanisms.base import MechanismConfig
+from ..mechanisms.view import Load
+from ..simcore.engine import Simulator
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Channel, Envelope, Network, NetworkConfig, Payload
+from ..simcore.process import SimProcess, Work
+
+
+@dataclass
+class FarmTask(Payload):
+    """A unit of work (also the payload of an offload message)."""
+
+    TYPE = "farm_task"
+    duration: float = 0.0
+    generation: int = 0
+    hops: int = 0  # times migrated (bounded to avoid thrashing)
+
+    def nbytes(self) -> int:
+        return 256  # a closure + arguments, say
+
+
+@dataclass(frozen=True)
+class TaskFarmParams:
+    """Workload and offloading knobs."""
+
+    initial_tasks_per_proc: int = 8
+    mean_task_seconds: float = 2e-3
+    spawn_probability: float = 0.45
+    spawn_children: int = 2
+    max_generation: int = 3
+    offload_threshold: int = 6
+    offload_batch: int = 4
+    max_hops: int = 2  # a task migrates at most this many times
+    threshold_work: float = 2e-3  # mechanism threshold (seconds of work)
+    snapshot_group_size: int = 4  # partial-snapshot group (small: frequent
+    # decisions want weak synchronization)
+
+
+@dataclass
+class TaskFarmResult:
+    mechanism: str
+    nprocs: int
+    makespan: float
+    tasks_executed: int
+    offload_decisions: int
+    state_messages: int
+    tasks_migrated: int
+    busy_time: np.ndarray
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean busy time: 1.0 is a perfectly balanced farm."""
+        mean = float(self.busy_time.mean())
+        return float(self.busy_time.max()) / mean if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"taskfarm {self.mechanism} P={self.nprocs}: "
+            f"makespan={self.makespan*1e3:.2f}ms tasks={self.tasks_executed} "
+            f"offloads={self.offload_decisions} migrated={self.tasks_migrated} "
+            f"imbalance={self.imbalance:.2f} state_msgs={self.state_messages}"
+        )
+
+
+class TaskFarmProcess(SimProcess):
+    """One worker of the farm (every worker can take dynamic decisions)."""
+
+    def __init__(self, sim, network, rank, *, mechanism: Mechanism,
+                 params: TaskFarmParams, shared, counters, rng):
+        super().__init__(sim, network, rank)
+        self.mechanism = mechanism
+        self.params = params
+        self.counters = counters
+        self.rng = rng
+        self.queue: List[FarmTask] = []
+        self._offloading = False
+        mechanism.bind(self, shared)
+
+    # ------------------------------------------------------------- helpers
+
+    def queued_work(self) -> float:
+        return sum(t.duration for t in self.queue)
+
+    def add_task(self, task: FarmTask, *, from_master: bool = False) -> None:
+        """Enqueue a task; ``from_master`` marks a migrated (reserved) one.
+
+        The global outstanding counter tracks task *existence* (created to
+        completed); migration moves a task without changing the count.
+        """
+        self.queue.append(task)
+        if not from_master:
+            self.counters["outstanding"] += 1
+        self.mechanism.on_local_change(
+            Load(task.duration, 0.0), slave_task=from_master
+        )
+        self.notify_work()
+
+    # --------------------------------------------------- SimProcess hooks
+
+    def handle_state(self, env: Envelope) -> None:
+        if not self.mechanism.handle_message(env):
+            raise ProtocolError(f"unhandled state message {env.payload!r}")
+
+    def handle_data(self, env: Envelope) -> None:
+        if isinstance(env.payload, FarmTask):
+            self.counters["migrated"] += 1
+            self.add_task(env.payload, from_master=True)
+        else:
+            raise ProtocolError(f"unhandled data message {env.payload!r}")
+
+    def can_start_task(self) -> bool:
+        return not self.mechanism.blocks_tasks()
+
+    def can_receive_data(self) -> bool:
+        return not self.mechanism.blocks_tasks()
+
+    def next_task(self) -> Optional[Work]:
+        if not self.queue:
+            return None
+        if (
+            len(self.queue) > self.params.offload_threshold
+            and not self._offloading
+            # offloading is pointless (and would livelock a demand-driven
+            # mechanism into empty decisions) when nothing may migrate
+            and any(t.hops < self.params.max_hops for t in self.queue)
+        ):
+            self._start_offload()
+            if self.mechanism.blocks_tasks():
+                return None  # demand-driven mechanism gathering
+        if not self.queue:
+            return None
+        task = self.queue.pop(0)
+        return Work(
+            duration=task.duration,
+            label=f"farm:g{task.generation}",
+            on_complete=lambda: self._task_done(task),
+        )
+
+    # ------------------------------------------------------------ dynamics
+
+    def _task_done(self, task: FarmTask) -> None:
+        self.counters["executed"] += 1
+        self.mechanism.on_local_change(Load(-task.duration, 0.0))
+        if (
+            task.generation < self.params.max_generation
+            and self.rng.random() < self.params.spawn_probability
+        ):
+            for _ in range(self.params.spawn_children):
+                self.add_task(self._make_task(task.generation + 1))
+        self.counters["outstanding"] -= 1
+        if self.counters["outstanding"] == 0:
+            self.counters["done_at"] = self.sim.now
+
+    def _make_task(self, generation: int) -> FarmTask:
+        d = float(self.rng.exponential(self.params.mean_task_seconds))
+        return FarmTask(duration=max(d, 1e-5), generation=generation)
+
+    def _start_offload(self) -> None:
+        self._offloading = True
+        self.counters["decisions"] += 1
+        self.mechanism.request_view(self._offload_callback)
+
+    def _offload_callback(self, view) -> None:
+        movable = [t for t in self.queue if t.hops < self.params.max_hops]
+        batch = movable[-self.params.offload_batch:]
+        if not batch:
+            # Nothing movable: conclude the decision with an empty
+            # assignment (snapshots still need their finalization).
+            self.mechanism.record_decision({})
+            self.mechanism.decision_complete()
+            self._offloading = False
+            self.notify_work()
+            return
+        candidates = self.mechanism.decision_candidates()
+        if candidates is None:
+            candidates = [r for r in range(self.network.nprocs)
+                          if r != self.rank]
+        else:
+            candidates = [r for r in candidates if r != self.rank]
+        # least-loaded first; round-robin the batch over the best half
+        order = sorted(candidates, key=lambda r: view.get(r).workload)
+        targets = order[: max(1, len(order) // 2)]
+        shares: Dict[int, Load] = {}
+        assignment: List[tuple] = []
+        for i, task in enumerate(batch):
+            dst = targets[i % len(targets)]
+            share = shares.get(dst, Load.ZERO) + Load(task.duration, 0.0)
+            shares[dst] = share
+            task.hops += 1
+            assignment.append((dst, task))
+        self.mechanism.record_decision(shares)
+        for dst, task in assignment:
+            self.queue.remove(task)
+            self.mechanism.on_local_change(Load(-task.duration, 0.0))
+            self.network.send(self.rank, dst, Channel.DATA, task)
+        self.mechanism.decision_complete()
+        self._offloading = False
+        self.notify_work()
+
+
+def run_taskfarm(
+    nprocs: int,
+    mechanism: str = "increments",
+    params: Optional[TaskFarmParams] = None,
+    *,
+    network: Optional[NetworkConfig] = None,
+    seed: int = 0,
+) -> TaskFarmResult:
+    """Run the farm to completion under the given mechanism."""
+    params = params or TaskFarmParams()
+    sim = Simulator(seed=seed)
+    net = Network(sim, nprocs, network or NetworkConfig())
+    shared = MechanismShared()
+    counters = {"outstanding": 0, "executed": 0, "decisions": 0,
+                "migrated": 0, "done_at": 0.0}
+    mech_cfg = MechanismConfig(
+        threshold=Load(params.threshold_work, 1e12),
+        snapshot_group_size=params.snapshot_group_size,
+    )
+    procs = []
+    for rank in range(nprocs):
+        rng = np.random.default_rng(seed * 7919 + rank)
+        procs.append(TaskFarmProcess(
+            sim, net, rank,
+            mechanism=create_mechanism(mechanism, mech_cfg),
+            params=params, shared=shared, counters=counters, rng=rng,
+        ))
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * nprocs)
+    # seed the initial workload (skewed: rank 0 gets a double batch, so
+    # offloading has something to fix)
+    for p in procs:
+        n = params.initial_tasks_per_proc * (2 if p.rank == 0 else 1)
+        for _ in range(n):
+            p.add_task(p._make_task(0))
+    sim.on_drain_check(lambda: counters["outstanding"] == 0)
+    for p in procs:
+        sim.add_state_dumper(p.debug_state)
+
+    # Timer-driven mechanisms (periodic) keep self-scheduled events alive;
+    # a light watcher stops them once the farm has drained so the simulation
+    # can terminate.
+    def watcher():
+        if counters["outstanding"] == 0:
+            for p in procs:
+                p.mechanism.shutdown()
+        else:
+            sim.schedule(1e-3, watcher)
+
+    sim.schedule(1e-3, watcher)
+    sim.run()
+    if counters["outstanding"] != 0:
+        raise ProtocolError(f"farm incomplete: {counters['outstanding']} left")
+    return TaskFarmResult(
+        mechanism=mechanism,
+        nprocs=nprocs,
+        makespan=counters["done_at"],
+        tasks_executed=counters["executed"],
+        offload_decisions=counters["decisions"],
+        state_messages=net.stats.state_message_count(),
+        tasks_migrated=counters["migrated"],
+        busy_time=np.array([p.stats_busy_time for p in procs]),
+    )

@@ -1,0 +1,43 @@
+"""Experiment harness: regenerate every table, figure and ablation."""
+
+from . import ablations, figures, tables
+from .ablations import (
+    ablation_granularity,
+    ablation_latency,
+    ablation_leader,
+    ablation_no_more_master,
+    ablation_oracle,
+    ablation_partial_snapshot,
+    ablation_threshold,
+    ablation_view_accuracy,
+)
+from .figures import figure1, figure2
+from .report import TableResult, side_by_side
+from .runner import ExperimentRunner, ExperimentScale
+from .tables import table1_2, table3, table4, table5, table6, table7
+
+__all__ = [
+    "tables",
+    "figures",
+    "ablations",
+    "TableResult",
+    "side_by_side",
+    "ExperimentRunner",
+    "ExperimentScale",
+    "table1_2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "figure1",
+    "figure2",
+    "ablation_threshold",
+    "ablation_no_more_master",
+    "ablation_leader",
+    "ablation_latency",
+    "ablation_partial_snapshot",
+    "ablation_oracle",
+    "ablation_view_accuracy",
+    "ablation_granularity",
+]

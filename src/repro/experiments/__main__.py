@@ -1,0 +1,108 @@
+"""Command-line experiment driver.
+
+Examples::
+
+    python -m repro.experiments all                 # every table + figure
+    python -m repro.experiments table4 table6       # selected tables
+    python -m repro.experiments all --fast          # shrunk processor grid
+    python -m repro.experiments figure1 figure2
+    python -m repro.experiments ablations
+    python -m repro.experiments all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from . import ablations as ab
+from . import figures, tables
+from .report import side_by_side
+from .runner import ExperimentRunner, ExperimentScale
+
+TARGETS = [
+    "table1_2", "table3", "table4", "table5", "table6", "table7",
+    "figure1", "figure2", "ablations",
+]
+
+
+def _emit(out: List[str], text: str) -> None:
+    print(text)
+    print()
+    out.append(text)
+    out.append("")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    ap.add_argument("targets", nargs="*", default=["all"],
+                    help=f"what to run: all | {' | '.join(TARGETS)}")
+    ap.add_argument("--fast", action="store_true",
+                    help="shrink processor counts (quick sanity run)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print each simulated run as it finishes")
+    ap.add_argument("--out", default=None, help="also write output to a file")
+    ap.add_argument("--json", default=None, metavar="FILE",
+                    help="dump every simulated run's metrics as JSON")
+    args = ap.parse_args(argv)
+
+    targets = args.targets or ["all"]
+    if "all" in targets:
+        targets = TARGETS
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        ap.error(f"unknown targets {unknown}; choose from {TARGETS}")
+
+    runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
+                              verbose=args.verbose)
+    out: List[str] = []
+    t0 = time.time()
+
+    for target in targets:
+        if target == "table1_2":
+            t1, t2 = tables.table1_2(runner)
+            _emit(out, t1.render())
+            _emit(out, t2.render())
+        elif target == "table3":
+            _emit(out, tables.table3(runner).render())
+        elif target in ("table4", "table5", "table6", "table7"):
+            a, b = getattr(tables, target)(runner)
+            _emit(out, side_by_side([a, b]))
+            if a.extras or b.extras:
+                _emit(out, f"  extras(a)={a.extras}\n  extras(b)={b.extras}")
+        elif target == "figure1":
+            _emit(out, figures.figure1("naive").render())
+            _emit(out, figures.figure1("increments").render())
+        elif target == "figure2":
+            _emit(out, figures.figure2().render())
+        elif target == "ablations":
+            nprocs = 16 if args.fast else 32
+            for fn in ab.ALL_ABLATIONS.values():
+                _emit(out, fn(nprocs=nprocs).render())
+
+    wall = time.time() - t0
+    footer = (f"[{runner.runs_executed} simulated runs, "
+              f"{runner.total_wall_time:.1f}s simulating, {wall:.1f}s total]")
+    _emit(out, footer)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(out))
+        print(f"written to {args.out}")
+    if args.json:
+        import json
+
+        runs = [r.to_dict() for r in runner._cache.values()]
+        with open(args.json, "w") as fh:
+            json.dump({"runs": runs}, fh, indent=1)
+        print(f"{len(runs)} run records written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+"""Regeneration of the paper's two figures.
+
+* **Figure 1** (§2.1): a three-process timeline showing the naive
+  mechanism's coherence problem — P2 starts a costly task at t1, P0 selects
+  P2 as a slave at t2, and P1, deciding at t3 < t4 (end of P2's task),
+  selects P2 *again* because no information about P0's decision can reach
+  it.  We run the actual :class:`NaiveMechanism` in the simulator, record
+  the timeline, and verify the stale-view property; the same scenario under
+  the increments mechanism shows the repaired view.
+
+* **Figure 2** (§4.1): a multifrontal assembly tree distributed over four
+  processors, rendered as text with per-node types (subtree / type 1 / 2 /
+  3) and master assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mapping import NodeType, compute_mapping
+from ..matrices import collection, generators as gen
+from ..mechanisms import (
+    IncrementsMechanism,
+    Load,
+    MechanismConfig,
+    NaiveMechanism,
+)
+from ..simcore import (
+    Channel,
+    Network,
+    NetworkConfig,
+    SimProcess,
+    Simulator,
+    TraceRecorder,
+    Work,
+)
+from ..simcore.network import Payload
+from ..symbolic import analyze_matrix
+
+
+class _ScenarioProcess(SimProcess):
+    """Minimal host process used by the Figure-1 scenario."""
+
+    def __init__(self, sim, net, rank, mechanism, trace):
+        super().__init__(sim, net, rank)
+        self.mechanism = mechanism
+        self.trace = trace
+        self.task_queue: List[Work] = []
+        mechanism.bind(self)
+
+    def handle_state(self, env):
+        self.mechanism.handle_message(env)
+
+    def handle_data(self, env):
+        self.trace.record(self.sim.now, "recv", f"work arrives at P{self.rank}",
+                          who=self.rank)
+
+    def next_task(self):
+        return self.task_queue.pop(0) if self.task_queue else None
+
+
+@dataclass
+class Figure1Result:
+    """Outcome of the Figure-1 scenario."""
+
+    timeline: str
+    #: view each master had of P2's load at its decision instant
+    view_of_p2: Dict[int, float]
+    #: which slave each master picked (least-loaded candidate)
+    selected: Dict[int, int]
+    mechanism: str
+
+    @property
+    def double_selection(self) -> bool:
+        return self.selected.get(0) == self.selected.get(1)
+
+    def render(self) -> str:
+        lines = [
+            f"Figure 1 scenario under the {self.mechanism} mechanism",
+            "-" * 56,
+            self.timeline,
+            "",
+            f"P0's view of load(P2) at t2: {self.view_of_p2[0]:.0f}",
+            f"P1's view of load(P2) at t3: {self.view_of_p2[1]:.0f}",
+            f"P0 selected P{self.selected[0]}; P1 selected P{self.selected[1]}"
+            + ("  <-- DOUBLE SELECTION on stale information"
+               if self.double_selection else ""),
+        ]
+        return "\n".join(lines)
+
+
+def figure1(mechanism: str = "naive") -> Figure1Result:
+    """Run the paper's Figure-1 scenario under a given mechanism."""
+    sim = Simulator(seed=0)
+    trace = TraceRecorder()
+    net = Network(sim, 3, NetworkConfig())
+    if mechanism == "naive":
+        mechs = [NaiveMechanism(MechanismConfig(threshold=Load(1.0, 1.0)))
+                 for _ in range(3)]
+    elif mechanism == "increments":
+        mechs = [IncrementsMechanism(MechanismConfig(threshold=Load(1.0, 1.0)))
+                 for _ in range(3)]
+    else:
+        raise ValueError("figure 1 contrasts 'naive' and 'increments'")
+    procs = [_ScenarioProcess(sim, net, r, m, trace) for r, m in enumerate(mechs)]
+    # P0 and P1 start loaded; P2 is the attractive slave for everyone.
+    initial = [Load(2000.0, 0.0), Load(2000.0, 0.0), Load(0.0, 0.0)]
+    for p in procs:
+        p.mechanism.initialize_view(initial)
+    trace.record(0.0, "mark", "t0: common initial time on P0, P1, P2")
+
+    view_of_p2: Dict[int, float] = {}
+    selected: Dict[int, int] = {}
+    costly = Work(
+        10.0,
+        "costly",
+        on_complete=lambda: trace.record(
+            sim.now, "task", "t4: end of the task started at t1", who=2
+        ),
+    )
+
+    def start_costly_task():
+        trace.record(sim.now, "task", "t1: P2 starts a costly task", who=2)
+        procs[2].mechanism.on_local_change(Load(1000.0, 0.0))
+        # The task occupies P2 until t4: incoming work and any broadcast it
+        # would make about it must wait (a process cannot compute and treat
+        # messages simultaneously, paper §1).
+        procs[2].task_queue = [costly]
+        procs[2].notify_work()
+
+    def select(master_rank: int, label: str):
+        def do():
+            m = procs[master_rank].mechanism
+            views = []
+            m.request_view(views.append)
+            view = views[0]
+            view_of_p2[master_rank] = view.get(2).workload
+            # pick the least-loaded other process (what a scheduler does)
+            cands = [r for r in range(3) if r != master_rank]
+            slave = min(cands, key=lambda r: view.get(r).workload)
+            selected[master_rank] = slave
+            trace.record(sim.now, "decision",
+                         f"{label}: slave selection on P{master_rank} "
+                         f"-> picks P{slave}", who=master_rank)
+            m.record_decision({slave: Load(1500.0, 0.0)})
+            m.decision_complete()
+            net.send(master_rank, slave, Channel.DATA, Payload())
+        return do
+
+    sim.schedule(0.5, start_costly_task)
+    sim.schedule(2.0, select(0, "t2"))
+    sim.schedule(4.0, select(1, "t3"))
+    sim.run()
+    timeline = trace.render_timeline([0, 1, 2],
+                                     kinds=["mark", "task", "decision", "recv"])
+    return Figure1Result(
+        timeline=timeline,
+        view_of_p2=view_of_p2,
+        selected=selected,
+        mechanism=mechanism,
+    )
+
+
+# --------------------------------------------------------------- figure 2
+
+
+_TYPE_LABEL = {
+    NodeType.SUBTREE: "subtree",
+    NodeType.TYPE1: "Type 1",
+    NodeType.TYPE2: "Type 2",
+    NodeType.TYPE3: "Type 3",
+}
+
+
+def render_mapped_tree(tree, mapping, max_nodes: int = 60) -> str:
+    """ASCII rendering of an assembly tree with types and masters.
+
+    Subtrees (below layer L0) are collapsed into one line each, like the
+    triangles of the paper's Figure 2.
+    """
+    lines: List[str] = []
+    emitted = [0]
+
+    def emit(fid: int, depth: int) -> None:
+        if emitted[0] >= max_nodes:
+            return
+        f = tree[fid]
+        t = mapping.type_of(fid)
+        pad = "  " * depth
+        if t is NodeType.SUBTREE and fid in [r for r in mapping.layer0.roots]:
+            nsub = len(tree.subtree_nodes(fid))
+            lines.append(
+                f"{pad}[SUBTREE of {nsub} fronts]  P{mapping.master_of(fid)}"
+            )
+            emitted[0] += 1
+            return
+        lines.append(
+            f"{pad}front {fid} ({_TYPE_LABEL[t]}, nfront={f.nfront}, "
+            f"npiv={f.npiv})  master=P{mapping.master_of(fid)}"
+        )
+        emitted[0] += 1
+        for c in sorted(f.children, key=lambda c: -tree[c].nfront):
+            emit(c, depth + 1)
+
+    for root in mapping.tree.roots:
+        emit(root, 0)
+    if emitted[0] >= max_nodes:
+        lines.append(f"... (truncated at {max_nodes} nodes)")
+    return "\n".join(lines)
+
+
+@dataclass
+class Figure2Result:
+    text: str
+    type_histogram: Dict[str, int]
+    nprocs: int
+
+    def render(self) -> str:
+        head = (f"Figure 2: assembly tree distributed over {self.nprocs} "
+                f"processors  {self.type_histogram}")
+        return head + "\n" + "-" * len(head) + "\n" + self.text
+
+
+def figure2(nprocs: int = 4, problem: Optional[str] = None) -> Figure2Result:
+    """Distribute a multifrontal assembly tree over ``nprocs`` processors."""
+    if problem is None:
+        # A grid whose tree exhibits all four node kinds at nprocs=4
+        # (type-3 root, type-2 parallel fronts, type-1, leaf subtrees),
+        # like the paper's Figure 2.
+        tree = analyze_matrix(gen.grid_laplacian((12, 12, 10)), name="grid12x12x10")
+    else:
+        from ..symbolic import analyze_problem
+
+        tree = analyze_problem(collection.get(problem))
+    mapping = compute_mapping(tree, nprocs)
+    from ..mapping.types import type_histogram
+
+    return Figure2Result(
+        text=render_mapped_tree(tree, mapping),
+        type_histogram=type_histogram(mapping.node_type),
+        nprocs=nprocs,
+    )

@@ -1,0 +1,82 @@
+"""Paper-style plain-text table rendering.
+
+Every experiment produces a :class:`TableResult` — a titled grid of rows —
+rendered with aligned columns like the tables in the paper.  Keeping the
+data structured (not just printed) lets tests assert on values and lets
+EXPERIMENTS.md record paper-vs-measured pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class TableResult:
+    """A rendered experiment table plus its raw values."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    notes: List[str] = field(default_factory=list)
+    #: free-form map of extra measurements (e.g. snapshot durations)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def cell(self, row_label: str, column: str) -> Any:
+        """Value addressed by first-column label and header name."""
+        try:
+            ci = self.headers.index(column)
+        except ValueError:
+            raise KeyError(f"no column {column!r} in {self.headers}") from None
+        for row in self.rows:
+            if str(row[0]) == row_label:
+                return row[ci]
+        raise KeyError(f"no row {row_label!r}")
+
+    def render(self) -> str:
+        cols = len(self.headers)
+        cells = [self.headers] + [
+            [_fmt(v) for v in row] + [""] * (cols - len(row)) for row in self.rows
+        ]
+        widths = [max(len(r[c]) for r in cells) for c in range(cols)]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(cells[0])))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells[1:]:
+            lines.append(
+                "  ".join(
+                    r[i].ljust(widths[i]) if i == 0 else r[i].rjust(widths[i])
+                    for i in range(cols)
+                )
+            )
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def side_by_side(tables: Sequence[TableResult], gap: int = 4) -> str:
+    """Render (a)/(b) subtables next to each other, paper-style."""
+    blocks = [t.render().splitlines() for t in tables]
+    height = max(len(b) for b in blocks)
+    widths = [max(len(l) for l in b) for b in blocks]
+    out = []
+    for i in range(height):
+        parts = []
+        for b, w in zip(blocks, widths):
+            parts.append((b[i] if i < len(b) else "").ljust(w))
+        out.append((" " * gap).join(parts).rstrip())
+    return "\n".join(out)

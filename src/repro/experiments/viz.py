@@ -1,0 +1,143 @@
+"""Plain-text visualizations of simulated runs.
+
+No plotting dependency — everything renders to the terminal:
+
+* :func:`memory_chart` — active memory over time (per process or
+  max-over-processes), the picture behind Table 4's single peak number;
+* :func:`gantt` — per-process activity bars from a run's trace, the
+  picture behind Table 5's makespans (idle gaps around snapshots are
+  clearly visible for the demand-driven mechanism).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simcore.trace import TraceRecorder
+
+Series = List[Tuple[float, float]]
+
+
+def _resample(series: Series, t0: float, t1: float, width: int) -> np.ndarray:
+    """Step-function resampling of (time, value) samples onto a time grid."""
+    out = np.zeros(width)
+    if not series:
+        return out
+    times = np.array([t for t, _ in series])
+    vals = np.array([v for _, v in series])
+    grid = np.linspace(t0, t1, width)
+    idx = np.searchsorted(times, grid, side="right") - 1
+    mask = idx >= 0
+    out[mask] = vals[idx[mask]]
+    return out
+
+
+def memory_chart(
+    series_per_rank: Sequence[Series],
+    *,
+    ranks: Optional[Sequence[int]] = None,
+    width: int = 72,
+    height: int = 12,
+    title: str = "active memory over time",
+) -> str:
+    """ASCII chart of active memory; plots max over ``ranks`` plus the mean.
+
+    ``series_per_rank`` is ``FactorizationResult.memory_series`` (requires
+    ``SolverConfig(record_series=True)``).
+    """
+    if not series_per_rank:
+        return f"{title}: no samples (run with record_series=True)"
+    nranks = len(series_per_rank)
+    use = list(ranks) if ranks is not None else list(range(nranks))
+    t1 = max((s[-1][0] for s in series_per_rank if s), default=1.0)
+    t0 = 0.0
+    grid = np.zeros((len(use), width))
+    for i, r in enumerate(use):
+        grid[i] = _resample(series_per_rank[r], t0, t1, width)
+    mx = grid.max(axis=0)
+    mean = grid.mean(axis=0)
+    top = float(mx.max()) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        cut_hi = top * level / height
+        cut_lo = top * (level - 1) / height
+        line = []
+        for c in range(width):
+            if cut_lo < mean[c] <= cut_hi:
+                line.append(".")  # the mean curve, drawn over the area
+            elif mx[c] > cut_lo:
+                line.append("#")  # filled area under the max curve
+            else:
+                line.append(" ")
+        rows.append(f"{cut_hi:10.3g} |" + "".join(line))
+    rows.append(" " * 11 + "+" + "-" * width)
+    rows.append(" " * 12 + f"0{'':{width - 14}}t={t1:.4g}s")
+    legend = "# = max over processes, . = mean"
+    return "\n".join([title, "=" * len(title)] + rows + [legend])
+
+
+def gantt(
+    trace: TraceRecorder,
+    nprocs: int,
+    *,
+    width: int = 100,
+    t_end: Optional[float] = None,
+) -> str:
+    """Per-process activity bars from ``task-start`` / ``task-end`` entries.
+
+    Run the factorization with a :class:`TraceRecorder` passed to
+    :func:`repro.solver.driver.run_factorization`.  Characters: ``█``-style
+    ``=`` for local/sequential tasks, ``m`` master parts, ``s`` slave parts,
+    ``r`` root parts; blanks are idle or blocked time.
+    """
+    starts: dict = {}
+    intervals: List[Tuple[int, float, float, str]] = []
+    for e in trace.entries:
+        if e.kind == "task-start":
+            starts[(e.who, e.detail)] = e.time
+        elif e.kind == "task-end":
+            t0 = starts.pop((e.who, e.detail), None)
+            if t0 is not None:
+                intervals.append((e.who, t0, e.time, e.detail))
+    if not intervals:
+        return "gantt: no task intervals recorded (pass trace= to the driver)"
+    horizon = t_end if t_end is not None else max(t1 for _, _, t1, _ in intervals)
+    horizon = horizon or 1.0
+    glyph = {"local": "=", "master2": "m", "slave2": "s",
+             "root_master": "r", "root_part": "r"}
+    lines = [f"gantt: {len(intervals)} tasks over {horizon:.4g}s"]
+    for rank in range(nprocs):
+        row = [" "] * width
+        for who, t0, t1, detail in intervals:
+            if who != rank:
+                continue
+            g = glyph.get(detail.split(":", 1)[0], "=")
+            c0 = int(t0 / horizon * (width - 1))
+            c1 = max(c0, int(t1 / horizon * (width - 1)))
+            for c in range(c0, min(c1 + 1, width)):
+                row[c] = g
+        lines.append(f"P{rank:<3d}|" + "".join(row) + "|")
+    lines.append("     " + "=local  m=type2 master  s=type2 slave  r=root")
+    return "\n".join(lines)
+
+
+def utilization(trace: TraceRecorder, nprocs: int,
+                t_end: Optional[float] = None) -> List[float]:
+    """Fraction of time each process spent inside tasks (from the trace)."""
+    busy = [0.0] * nprocs
+    starts: dict = {}
+    horizon = 0.0
+    for e in trace.entries:
+        if e.kind == "task-start":
+            starts[(e.who, e.detail)] = e.time
+        elif e.kind == "task-end":
+            t0 = starts.pop((e.who, e.detail), None)
+            if t0 is not None and 0 <= e.who < nprocs:
+                busy[e.who] += e.time - t0
+                horizon = max(horizon, e.time)
+    horizon = t_end if t_end is not None else horizon
+    if horizon <= 0:
+        return [0.0] * nprocs
+    return [b / horizon for b in busy]

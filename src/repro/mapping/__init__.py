@@ -1,0 +1,23 @@
+"""Static mapping: layer L0 subtrees, node types, master placement (§4.1)."""
+
+from .masters import map_masters, masters_per_rank
+from .static import MappingParams, StaticMapping, compute_mapping
+from .subtrees import Layer0, assign_subtrees, build_layer0, find_layer0
+from .types import NodeType, TypeParams, classify_nodes, count_decisions, type_histogram
+
+__all__ = [
+    "MappingParams",
+    "StaticMapping",
+    "compute_mapping",
+    "Layer0",
+    "find_layer0",
+    "assign_subtrees",
+    "build_layer0",
+    "NodeType",
+    "TypeParams",
+    "classify_nodes",
+    "count_decisions",
+    "type_histogram",
+    "map_masters",
+    "masters_per_rank",
+]

@@ -1,0 +1,71 @@
+"""Static master mapping.
+
+Paper §4.1: "The mapping of the masters of parallel tasks is static and only
+aims at balancing the memory of the corresponding factors."  We apply the
+same greedy rule to every front above L0: process fronts by decreasing
+factor size and give each to the rank currently holding the least factor
+memory.  (Subtree fronts inherit their subtree owner; the type-3 root's
+master anchors its static 2D distribution.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..symbolic.tree import AssemblyTree
+from .subtrees import Layer0
+from .types import NodeType
+
+
+def map_masters(
+    tree: AssemblyTree,
+    layer0: Layer0,
+    types: Dict[int, NodeType],
+    nprocs: int,
+) -> Dict[int, int]:
+    """Master rank for every front (factor-memory balancing above L0)."""
+    master: Dict[int, int] = dict(layer0.owner)
+    factor_mem = np.zeros(nprocs)
+    # subtree factors count toward their owner's factor memory
+    for fid, owner in layer0.owner.items():
+        factor_mem[owner] += tree[fid].factor_entries
+    above = sorted(
+        layer0.above,
+        key=lambda fid: -_master_factor_entries(tree, types, fid),
+    )
+    for fid in above:
+        p = int(np.argmin(factor_mem))
+        master[fid] = p
+        factor_mem[p] += _master_factor_entries(tree, types, fid)
+    return master
+
+
+def _master_factor_entries(
+    tree: AssemblyTree, types: Dict[int, NodeType], fid: int
+) -> float:
+    """Factor entries the *master* of a front will hold.
+
+    Type-1 masters hold the whole factor; type-2 masters hold only their
+    pivot block rows (slaves hold the rest); the type-3 root is distributed
+    evenly (we charge the master its 2D share only).
+    """
+    f = tree[fid]
+    t = types[fid]
+    if t is NodeType.TYPE2:
+        return float(f.master_entries)
+    if t is NodeType.TYPE3:
+        return float(f.front_entries)  # weight it heavily: it is the biggest
+    return float(f.factor_entries)
+
+
+def masters_per_rank(
+    master: Dict[int, int], types: Dict[int, NodeType], nprocs: int
+) -> np.ndarray:
+    """Number of type-2 masterships per rank (drives ``No_more_master``)."""
+    counts = np.zeros(nprocs, dtype=np.int64)
+    for fid, rank in master.items():
+        if types[fid] is NodeType.TYPE2:
+            counts[rank] += 1
+    return counts

@@ -1,0 +1,103 @@
+"""Static mapping driver: assembly tree → complete static mapping.
+
+Bundles the Geist–Ng layer L0, the type-1/2/3 classification and the
+factor-balancing master mapping into one :class:`StaticMapping` object — the
+immutable input of the simulated factorization.  Every process computes the
+same mapping before execution (it is deterministic), which is why the
+initial load view needs no messages (paper §4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..symbolic.tree import AssemblyTree
+from .masters import map_masters, masters_per_rank
+from .subtrees import Layer0, build_layer0
+from .types import NodeType, TypeParams, classify_nodes, count_decisions, type_histogram
+
+
+@dataclass(frozen=True)
+class MappingParams:
+    """All static-mapping knobs."""
+
+    layer0_relax: float = 0.9
+    max_subtrees_factor: int = 8
+    types: TypeParams = field(default_factory=TypeParams)
+
+
+@dataclass
+class StaticMapping:
+    """The full static mapping of one (tree, nprocs) pair."""
+
+    tree: AssemblyTree
+    nprocs: int
+    layer0: Layer0
+    node_type: Dict[int, NodeType]
+    master: Dict[int, int]
+    type2_master_counts: np.ndarray
+
+    # ------------------------------------------------------------- queries
+
+    def type_of(self, fid: int) -> NodeType:
+        return self.node_type[fid]
+
+    def master_of(self, fid: int) -> int:
+        return self.master[fid]
+
+    @property
+    def n_decisions(self) -> int:
+        """Number of dynamic decisions (Table 3 metric)."""
+        return count_decisions(self.node_type)
+
+    def initial_workload(self) -> np.ndarray:
+        """Per-rank initial workload = assigned subtree flops (§4.2.2)."""
+        return self.layer0.load.copy()
+
+    def static_masters(self) -> List[int]:
+        """Ranks that master at least one type-2 node.
+
+        Known statically by everyone: ranks *not* in this list never take a
+        dynamic decision, so nobody needs to send them load information
+        (paper §2.3) — the static half of the No_more_master optimization.
+        """
+        return [r for r in range(self.nprocs) if self.type2_master_counts[r] > 0]
+
+    def summary(self) -> str:
+        hist = type_histogram(self.node_type)
+        return (
+            f"StaticMapping(nprocs={self.nprocs}, fronts={len(self.tree)}, "
+            f"subtrees={len(self.layer0.roots)}, types={hist}, "
+            f"decisions={self.n_decisions})"
+        )
+
+
+def compute_mapping(
+    tree: AssemblyTree,
+    nprocs: int,
+    params: Optional[MappingParams] = None,
+) -> StaticMapping:
+    """Compute the complete static mapping for ``nprocs`` processes."""
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    params = params or MappingParams()
+    layer0 = build_layer0(
+        tree,
+        nprocs,
+        relax=params.layer0_relax,
+        max_subtrees_factor=params.max_subtrees_factor,
+    )
+    types = classify_nodes(tree, layer0, nprocs, params.types)
+    master = map_masters(tree, layer0, types, nprocs)
+    counts = masters_per_rank(master, types, nprocs)
+    return StaticMapping(
+        tree=tree,
+        nprocs=nprocs,
+        layer0=layer0,
+        node_type=types,
+        master=master,
+        type2_master_counts=counts,
+    )

@@ -1,0 +1,100 @@
+"""Layer-L0 selection and subtree-to-process assignment (Geist–Ng).
+
+The bottom of the assembly tree is processed without any communication:
+entire subtrees are assigned to single processes ("leave subtrees" in the
+paper's Figure 2).  The classic Geist–Ng construction finds the *layer L0*:
+starting from the tree roots, repeatedly expand the costliest subtree into
+its children until the remaining subtrees are numerous and small enough to
+be distributed evenly over the processes.  Subtree roots are then assigned
+by LPT (largest processing time first) bin packing on their total flops,
+which also defines each process's *initial workload* for the workload-based
+scheduler (paper §4.2.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..symbolic.tree import AssemblyTree
+
+
+@dataclass
+class Layer0:
+    """Result of the Geist–Ng construction."""
+
+    #: Front ids whose whole subtrees run on a single process.
+    roots: List[int]
+    #: Owning rank for every front inside an L0 subtree (root included).
+    owner: Dict[int, int]
+    #: Sum of subtree flops assigned to each rank.
+    load: np.ndarray
+    #: Fronts strictly above L0 (to be typed 1/2/3).
+    above: List[int]
+
+
+def find_layer0(
+    tree: AssemblyTree,
+    nprocs: int,
+    *,
+    relax: float = 0.9,
+    max_subtrees_factor: int = 8,
+) -> List[int]:
+    """Select the L0 subtree roots.
+
+    Expands the costliest frontier subtree while its cost exceeds
+    ``relax × total / nprocs`` (imbalance bound) or while there are fewer
+    frontier subtrees than processes, stopping at leaves and at
+    ``max_subtrees_factor × nprocs`` subtrees (diminishing returns).
+    """
+    w = tree.subtree_flops()
+    total = float(w.sum())
+    if total <= 0 or nprocs <= 1:
+        return list(tree.roots)
+    # max-heap of (-cost, fid); "atomic" leaves are kept aside.
+    frontier = [(-float(w[r]), r) for r in tree.roots]
+    heapq.heapify(frontier)
+    atomic: List[int] = []
+    limit = relax * total / nprocs
+    max_subtrees = max_subtrees_factor * nprocs
+    while frontier:
+        ntrees = len(frontier) + len(atomic)
+        cost, fid = frontier[0]
+        cost = -cost
+        if ntrees >= max_subtrees:
+            break
+        if cost <= limit and ntrees >= nprocs:
+            break
+        heapq.heappop(frontier)
+        children = tree[fid].children
+        if not children:
+            atomic.append(fid)
+            continue
+        for c in children:
+            heapq.heappush(frontier, (-float(w[c]), c))
+    return sorted(atomic + [fid for _, fid in frontier])
+
+
+def assign_subtrees(
+    tree: AssemblyTree, roots: List[int], nprocs: int
+) -> Layer0:
+    """LPT-assign the L0 subtrees to processes; compute initial loads."""
+    w = tree.subtree_flops()
+    order = sorted(roots, key=lambda r: -w[r])
+    load = np.zeros(nprocs)
+    owner: Dict[int, int] = {}
+    for r in order:
+        p = int(np.argmin(load))
+        load[p] += w[r]
+        for fid in tree.subtree_nodes(r):
+            owner[fid] = p
+    above = [f.id for f in tree if f.id not in owner]
+    return Layer0(roots=sorted(roots), owner=owner, load=load, above=above)
+
+
+def build_layer0(tree: AssemblyTree, nprocs: int, **kw) -> Layer0:
+    """Convenience: find + assign in one call."""
+    return assign_subtrees(tree, find_layer0(tree, nprocs, **kw), nprocs)

@@ -1,0 +1,94 @@
+"""Node-type classification — the paper's §4.1 / Figure 2 taxonomy.
+
+* **Type 1**: sequential task on one process (activated when the children's
+  contribution blocks have arrived).
+* **Type 2**: parallel task with 1D row distribution — the master is chosen
+  statically, the slaves *dynamically by the master* based on the load view:
+  these are exactly the "dynamic decisions" counted in Table 3.
+* **Type 3**: the root node, factorized with a static 2D block-cyclic
+  distribution (ScaLAPACK in MUMPS); no dynamic decision.
+
+The classification is static and depends on the position in the tree and on
+the front sizes (paper: "The choice of the type of parallelism is done
+statically and depends on the position in the tree, and on the size of the
+frontal matrices").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from ..symbolic.tree import AssemblyTree
+from .subtrees import Layer0
+
+
+class NodeType(Enum):
+    SUBTREE = "subtree"  # inside an L0 subtree (sequential, no messages)
+    TYPE1 = "type1"
+    TYPE2 = "type2"
+    TYPE3 = "type3"
+
+
+@dataclass(frozen=True)
+class TypeParams:
+    """Thresholds of the static classification.
+
+    ``min_border_type2``: minimum Schur rows for a parallel (type-2) front —
+    below this the message/management overhead is not worth it; also acts as
+    the granularity unit of the dynamic decisions.
+    ``root_2d``: treat the costliest root as type 3 when large enough.
+    """
+
+    min_border_type2: int = 48
+    min_nfront_type2: int = 64
+    root_2d: bool = True
+    min_nfront_root: int = 128
+    min_procs_root: int = 4
+
+
+def classify_nodes(
+    tree: AssemblyTree,
+    layer0: Layer0,
+    nprocs: int,
+    params: TypeParams = TypeParams(),
+) -> Dict[int, NodeType]:
+    """Assign a :class:`NodeType` to every front."""
+    types: Dict[int, NodeType] = {}
+    for fid in layer0.owner:
+        types[fid] = NodeType.SUBTREE
+    # candidate type-3 root: the costliest tree root, if big enough
+    root3 = -1
+    if params.root_2d and nprocs >= params.min_procs_root:
+        candidates = [
+            r for r in tree.roots
+            if r not in layer0.owner and tree[r].nfront >= params.min_nfront_root
+        ]
+        if candidates:
+            root3 = max(candidates, key=lambda r: tree[r].nfront)
+    for fid in layer0.above:
+        f = tree[fid]
+        if fid == root3:
+            types[fid] = NodeType.TYPE3
+        elif (
+            nprocs > 1
+            and f.border >= params.min_border_type2
+            and f.nfront >= params.min_nfront_type2
+        ):
+            types[fid] = NodeType.TYPE2
+        else:
+            types[fid] = NodeType.TYPE1
+    return types
+
+
+def count_decisions(types: Dict[int, NodeType]) -> int:
+    """Number of dynamic decisions = number of type-2 nodes (Table 3)."""
+    return sum(1 for t in types.values() if t is NodeType.TYPE2)
+
+
+def type_histogram(types: Dict[int, NodeType]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for t in types.values():
+        out[t.value] = out.get(t.value, 0) + 1
+    return out

@@ -1,0 +1,15 @@
+"""Sparse-matrix suite: synthetic stand-ins for the paper's test problems."""
+
+from . import collection, generators
+from .collection import ALL_NAMES, Problem, SUITE_LARGE, SUITE_SMALL, get, suite
+
+__all__ = [
+    "collection",
+    "generators",
+    "Problem",
+    "get",
+    "suite",
+    "ALL_NAMES",
+    "SUITE_SMALL",
+    "SUITE_LARGE",
+]

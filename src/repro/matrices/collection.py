@@ -1,0 +1,183 @@
+"""Registry of stand-ins for the paper's test problems (Tables 1 and 2).
+
+Each entry maps one matrix of the paper to a synthetic generator chosen to
+match its *qualitative* structure (see DESIGN.md, "Substitutions").  Sizes
+are scaled down ~50–100× so the full experiment grid runs on a laptop; the
+relative ordering of problem difficulty within each suite is preserved.
+
+``SUITE_SMALL`` is the paper's Table 1 set (memory experiments, 32/64
+processors); ``SUITE_LARGE`` is the Table 2 set (timing experiments, 64/128
+processors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from . import generators as gen
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A test problem: matrix + metadata mirroring the paper's tables."""
+
+    name: str
+    matrix: sp.csr_matrix = field(compare=False, repr=False)
+    sym: bool
+    description: str
+    paper_order: int
+    paper_nnz: int
+    suite: str  # "small" (Table 1) or "large" (Table 2)
+
+    @property
+    def order(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.matrix.nnz)
+
+    @property
+    def type_label(self) -> str:
+        return "SYM" if self.sym else "UNS"
+
+
+def _rng(name: str) -> np.random.Generator:
+    # crc32, not hash(): Python string hashing is salted per process and
+    # would make the "same" problem differ between runs.
+    import zlib
+
+    return np.random.default_rng(zlib.crc32(name.encode()))
+
+
+# ---------------------------------------------------------------- builders
+# Each builder returns (matrix, sym). Sizes chosen so symbolic analysis and
+# the simulated factorization of the full grid complete in minutes.
+
+def _bmwcra_1():
+    # Automotive crankshaft: 3D elasticity, 3 dofs/node, dense-ish rows.
+    base = gen.grid_laplacian((10, 10, 10))
+    return gen.vector_field(base, 3), True
+
+
+def _gupta3():
+    # Linear programming A·Aᵀ: tiny order, huge nnz, a few near-dense rows
+    # that force a shallow bushy tree with one huge root front.
+    return gen.lp_normal_equations(
+        700, 2500, 0.004, _rng("GUPTA3"),
+        heavy_fraction=0.008, heavy_density=0.08,
+    ), True
+
+
+def _msdoor():
+    # Medium-size door: 2D shell, large order, moderate nnz.
+    base = gen.grid_stencil_9pt((52, 52))
+    return gen.vector_field(base, 2), True
+
+
+def _ship_003():
+    # Ship structure: thin 3D shell, 3 dofs/node.
+    base = gen.grid_laplacian((24, 24, 3))
+    return gen.vector_field(base, 3), True
+
+
+def _pre2():
+    # AT&T harmonic balance: large irregular circuit, unsymmetric.
+    return gen.circuit_like(6000, avg_degree=4.0, locality=50,
+                            rng=_rng("PRE2")), False
+
+
+def _twotone():
+    # Smaller harmonic balance problem.
+    return gen.circuit_like(2800, avg_degree=4.5, locality=40,
+                            rng=_rng("TWOTONE")), False
+
+
+def _ultrasound3():
+    # 3D ultrasound wave propagation: 27-point stencil.
+    return gen.grid_stencil_27pt((14, 14, 14)), False
+
+
+def _xenon2():
+    # Complex zeolite crystals: 3D grid, 3 dofs/node.
+    base = gen.grid_laplacian((10, 10, 9))
+    return gen.vector_field(base, 3), False
+
+
+def _audikw_1():
+    # The largest PARASOL structural problem: 3D elasticity.
+    base = gen.grid_laplacian((12, 12, 12))
+    return gen.vector_field(base, 3), True
+
+
+def _conv3d64():
+    # CEA-CESTA convection problem: plain 3D grid, large order.
+    return gen.grid_laplacian((18, 18, 18)), False
+
+
+def _ultrasound80():
+    # Larger ultrasound propagation problem.
+    return gen.anisotropic_grid((18, 18, 16), stretch=2), False
+
+
+_BUILDERS: Dict[str, tuple] = {
+    # name: (builder, description, paper_order, paper_nnz, suite)
+    "BMWCRA_1": (_bmwcra_1, "Automotive crankshaft model (PARASOL)", 148770, 5396386, "small"),
+    "GUPTA3": (_gupta3, "Linear programming matrix A*A' (Tim Davis)", 16783, 4670105, "small"),
+    "MSDOOR": (_msdoor, "Medium size door (PARASOL)", 415863, 10328399, "small"),
+    "SHIP_003": (_ship_003, "Ship structure (PARASOL)", 121728, 4103881, "small"),
+    "PRE2": (_pre2, "AT&T harmonic balance method (Tim Davis)", 659033, 5959282, "small"),
+    "TWOTONE": (_twotone, "AT&T harmonic balance method (Tim Davis)", 120750, 1224224, "small"),
+    "ULTRASOUND3": (_ultrasound3, "3D ultrasound wave propagation", 185193, 11390625, "small"),
+    "XENON2": (_xenon2, "Complex zeolite, sodalite crystals (Tim Davis)", 157464, 3866688, "small"),
+    "AUDIKW_1": (_audikw_1, "Automotive crankshaft model (PARASOL)", 943695, 39297771, "large"),
+    "CONV3D64": (_conv3d64, "CEA-CESTA, generated using AQUILON", 836550, 12548250, "large"),
+    "ULTRASOUND80": (_ultrasound80, "3D ultrasound propagation (M. Sosonkina)", 531441, 330761161, "large"),
+}
+
+#: Table 1 problem names, in the paper's order.
+SUITE_SMALL: List[str] = [
+    "BMWCRA_1", "GUPTA3", "MSDOOR", "SHIP_003",
+    "PRE2", "TWOTONE", "ULTRASOUND3", "XENON2",
+]
+#: Table 2 problem names, in the paper's order.
+SUITE_LARGE: List[str] = ["AUDIKW_1", "CONV3D64", "ULTRASOUND80"]
+
+ALL_NAMES: List[str] = SUITE_SMALL + SUITE_LARGE
+
+
+@lru_cache(maxsize=None)
+def get(name: str) -> Problem:
+    """Build (and cache) the stand-in problem for a paper matrix name."""
+    try:
+        builder, desc, porder, pnnz, suite = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown problem {name!r}; available: {ALL_NAMES}") from None
+    matrix, sym = builder()
+    return Problem(
+        name=name,
+        matrix=matrix.tocsr(),
+        sym=sym,
+        description=desc,
+        paper_order=porder,
+        paper_nnz=pnnz,
+        suite=suite,
+    )
+
+
+def suite(which: str = "all") -> List[Problem]:
+    """Load a whole suite: 'small' (Table 1), 'large' (Table 2) or 'all'."""
+    if which == "small":
+        names = SUITE_SMALL
+    elif which == "large":
+        names = SUITE_LARGE
+    elif which == "all":
+        names = ALL_NAMES
+    else:
+        raise ValueError(f"unknown suite {which!r}")
+    return [get(n) for n in names]

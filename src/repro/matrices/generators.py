@@ -1,0 +1,195 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on matrices from the PARASOL and Tim Davis collections
+(Tables 1 and 2), which cannot be downloaded offline.  Each generator below
+produces a laptop-scale matrix whose *graph structure* — and therefore whose
+assembly-tree shape after ordering — mimics one family of the paper's test
+problems:
+
+* regular 2D/3D finite-difference/finite-element meshes (structural and wave
+  propagation problems: BMWCRA_1, SHIP_003, AUDIKW_1, CONV3D64, ULTRASOUND*),
+* normal equations ``A·Aᵀ`` of a random sparse LP matrix (GUPTA3: tiny order,
+  very dense rows, shallow bushy elimination tree with a huge root front),
+* irregular circuit-like graphs with heavy-tailed degrees (PRE2, TWOTONE).
+
+All generators return CSR matrices with a symmetric *pattern* flag; values
+are irrelevant (the reproduction only needs symbolic structure and cost
+models) but are filled with positives to keep the matrices honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _identity_kron_stencil(shape: Tuple[int, ...], offsets) -> sp.csr_matrix:
+    """Build a |grid| × |grid| adjacency from neighbour offsets on a grid."""
+    dims = len(shape)
+    n = int(np.prod(shape))
+    idx = np.arange(n).reshape(shape)
+    rows = []
+    cols = []
+    for off in offsets:
+        src = [slice(None)] * dims
+        dst = [slice(None)] * dims
+        ok = True
+        for d, o in enumerate(off):
+            if o > 0:
+                src[d] = slice(0, shape[d] - o)
+                dst[d] = slice(o, shape[d])
+            elif o < 0:
+                src[d] = slice(-o, shape[d])
+                dst[d] = slice(0, shape[d] + o)
+            if shape[d] <= abs(o):
+                ok = False
+        if not ok:
+            continue
+        a = idx[tuple(src)].ravel()
+        b = idx[tuple(dst)].ravel()
+        rows.append(a)
+        cols.append(b)
+    r = np.concatenate(rows)
+    c = np.concatenate(cols)
+    data = np.ones(len(r))
+    A = sp.coo_matrix((data, (r, c)), shape=(n, n))
+    A = A + A.T + sp.eye(n) * (len(offsets) + 1.0)
+    return A.tocsr()
+
+
+def grid_laplacian(shape: Tuple[int, ...]) -> sp.csr_matrix:
+    """(2k+1)-point Laplacian on a k-D grid (5-point in 2D, 7-point in 3D)."""
+    dims = len(shape)
+    offsets = []
+    for d in range(dims):
+        off = [0] * dims
+        off[d] = 1
+        offsets.append(tuple(off))
+    return _identity_kron_stencil(shape, offsets)
+
+
+def grid_stencil_27pt(shape: Tuple[int, int, int]) -> sp.csr_matrix:
+    """27-point stencil on a 3D grid (wave-propagation style, denser rows)."""
+    offsets = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) > (0, 0, 0):
+                    offsets.append((dx, dy, dz))
+    return _identity_kron_stencil(shape, offsets)
+
+
+def grid_stencil_9pt(shape: Tuple[int, int]) -> sp.csr_matrix:
+    """9-point stencil on a 2D grid (shell/plate problems)."""
+    offsets = [(1, 0), (0, 1), (1, 1), (1, -1)]
+    return _identity_kron_stencil(shape, offsets)
+
+
+def vector_field(base: sp.csr_matrix, ndof: int) -> sp.csr_matrix:
+    """Expand a scalar mesh matrix to ``ndof`` unknowns per node.
+
+    Models elasticity-style problems (3 displacement dofs per node) whose
+    rows are ``ndof`` times denser than the scalar mesh — the BMWCRA_1 /
+    AUDIKW_1 family.
+    """
+    block = np.ones((ndof, ndof))
+    return sp.kron(base, block, format="csr")
+
+
+def lp_normal_equations(
+    nrows: int,
+    ncols: int,
+    row_density: float,
+    rng: Optional[np.random.Generator] = None,
+    heavy_fraction: float = 0.02,
+    heavy_density: float = 0.3,
+) -> sp.csr_matrix:
+    """``B = A·Aᵀ`` of a random sparse LP constraint matrix (GUPTA3-like).
+
+    A small fraction of *heavy* columns (dense constraints) makes ``B`` have
+    a few nearly dense rows, which after ordering yields a shallow, bushy
+    elimination tree with an enormous root front — the structure that makes
+    GUPTA3 pathological in the paper (8 dynamic decisions regardless of P).
+    """
+    rng = rng or np.random.default_rng(0)
+    nnz_per_row = max(1, int(row_density * ncols))
+    rows = np.repeat(np.arange(nrows), nnz_per_row)
+    cols = rng.integers(0, ncols, size=len(rows))
+    # heavy rows (dense constraints)
+    nheavy = max(1, int(round(heavy_fraction * nrows)))
+    heavy_rows = rng.choice(nrows, size=nheavy, replace=False)
+    hr = np.repeat(heavy_rows, int(heavy_density * ncols))
+    hc = rng.integers(0, ncols, size=len(hr))
+    r = np.concatenate([rows, hr])
+    c = np.concatenate([cols, hc])
+    A = sp.coo_matrix((np.ones(len(r)), (r, c)), shape=(nrows, ncols)).tocsr()
+    A.sum_duplicates()
+    B = (A @ A.T).tocsr()
+    B = B + sp.eye(nrows) * (B.diagonal().max() + 1.0)
+    return B.tocsr()
+
+
+def circuit_like(
+    n: int,
+    avg_degree: float = 4.0,
+    locality: int = 40,
+    hub_every: int = 500,
+    hub_degree: int = 60,
+    rng: Optional[np.random.Generator] = None,
+) -> sp.csr_matrix:
+    """Irregular circuit-simulation matrix (PRE2 / TWOTONE family).
+
+    Circuit matrices are *locally* connected (devices wire to nearby nets)
+    with a few moderate hubs (supply rails, clock nets).  We model this with
+    a ring backbone, random edges limited to a ``locality`` window — which
+    keeps fill moderate, like the real matrices — and ``n / hub_every`` hubs
+    of degree ``hub_degree``.  The pattern is made structurally unsymmetric
+    by dropping a random subset of transposed entries, like the
+    harmonic-balance matrices of the paper.
+    """
+    rng = rng or np.random.default_rng(0)
+    m = int(n * avg_degree / 2)
+    r = rng.integers(0, n, size=m)
+    c = (r + rng.integers(1, locality + 1, size=m) *
+         rng.choice([-1, 1], size=m)) % n
+    nhubs = max(1, n // hub_every)
+    hubs = rng.choice(n, size=nhubs, replace=False)
+    hr = np.repeat(hubs, min(hub_degree, n // 2))
+    hc = rng.integers(0, n, size=len(hr))
+    ring = np.arange(n)
+    r = np.concatenate([r, hr, ring])
+    c = np.concatenate([c, hc, (ring + 1) % n])
+    A = sp.coo_matrix((np.ones(len(r)), (r, c)), shape=(n, n)).tocsr()
+    # structurally unsymmetric: drop ~40% of the transpose entries
+    At = A.T.tocoo()
+    mask = rng.random(At.nnz) > 0.4
+    Asym_part = sp.coo_matrix(
+        (At.data[mask], (At.row[mask], At.col[mask])), shape=(n, n)
+    )
+    M = (A + Asym_part.tocsr() + sp.eye(n) * (avg_degree + 1.0)).tocsr()
+    M.sum_duplicates()
+    return M
+
+
+def anisotropic_grid(
+    shape: Tuple[int, int, int], stretch: int = 2
+) -> sp.csr_matrix:
+    """3D grid with a stretched stencil along one axis (layered media).
+
+    Models the longer-range coupling of wave-propagation discretizations
+    (ULTRASOUND family) without the cost of a full 27-point stencil.
+    """
+    offsets = [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    for s in range(2, stretch + 1):
+        offsets.append((0, 0, s))
+    return _identity_kron_stencil(shape, offsets)
+
+
+def pattern_stats(A: sp.spmatrix) -> dict:
+    """Order / nnz / symmetry summary, as printed in Tables 1 and 2."""
+    A = A.tocsr()
+    n = A.shape[0]
+    sym = (abs(A - A.T)).nnz == 0
+    return {"order": n, "nnz": int(A.nnz), "sym": bool(sym)}

@@ -1,0 +1,64 @@
+"""Load-information exchange mechanisms (the paper's primary contribution).
+
+Three mechanisms provide each process with a view of the loads of the others:
+
+* :class:`NaiveMechanism` — broadcast absolute loads on significant variation
+  (paper §2.1, Algorithm 2);
+* :class:`IncrementsMechanism` — broadcast load deltas plus ``Master_To_All``
+  reservation broadcasts at each dynamic decision (paper §2.2, Algorithm 3,
+  with the §2.3 ``No_more_master`` optimization);
+* :class:`SnapshotMechanism` — demand-driven distributed snapshot with leader
+  election and sequentialization of concurrent snapshots (paper §3).
+"""
+
+from .base import Mechanism, MechanismConfig, MechanismShared, SnapshotStats
+from .increments import IncrementsMechanism
+from .messages import (
+    EndSnp,
+    MasterToAll,
+    MasterToSlave,
+    NoMoreMaster,
+    Snp,
+    StartSnp,
+    UpdateAbsolute,
+    UpdateIncrement,
+)
+from .naive import NaiveMechanism
+from .oracle import OracleMechanism
+from .partial_snapshot import PartialSnapshotMechanism
+from .periodic import PeriodicMechanism
+from .registry import (
+    MECHANISM_NAMES,
+    create_mechanism,
+    mechanism_class,
+    register_mechanism,
+)
+from .snapshot import SnapshotMechanism
+from .view import Load, LoadView
+
+__all__ = [
+    "Mechanism",
+    "MechanismConfig",
+    "MechanismShared",
+    "SnapshotStats",
+    "NaiveMechanism",
+    "IncrementsMechanism",
+    "SnapshotMechanism",
+    "PartialSnapshotMechanism",
+    "OracleMechanism",
+    "PeriodicMechanism",
+    "Load",
+    "LoadView",
+    "UpdateAbsolute",
+    "UpdateIncrement",
+    "MasterToAll",
+    "NoMoreMaster",
+    "StartSnp",
+    "Snp",
+    "EndSnp",
+    "MasterToSlave",
+    "MECHANISM_NAMES",
+    "create_mechanism",
+    "mechanism_class",
+    "register_mechanism",
+]

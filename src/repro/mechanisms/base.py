@@ -1,0 +1,270 @@
+"""Common interface of the load-information exchange mechanisms.
+
+A :class:`Mechanism` instance lives inside each simulated process and is the
+only component that reads or writes state-information messages.  The solver
+process interacts with it through five upcalls:
+
+* :meth:`Mechanism.on_local_change` — my true load just varied by ``delta``;
+* :meth:`Mechanism.request_view` — I need a view of everyone's load to take a
+  dynamic scheduling decision (slave selection); the view is produced
+  synchronously by maintained-view mechanisms and asynchronously (after a
+  distributed snapshot) by the demand-driven one;
+* :meth:`Mechanism.record_decision` — here is the decision I took (per-slave
+  load shares), publish it as your protocol requires;
+* :meth:`Mechanism.decision_complete` — the work messages are sent, finish
+  your protocol (snapshot finalization);
+* :meth:`Mechanism.declare_no_more_master` — I will never select slaves again
+  (§2.3 message-count optimization).
+
+and one downcall contract: the process asks :meth:`Mechanism.blocks_tasks`
+before starting any task, which is how snapshots freeze computation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Channel, Envelope, Payload
+from .view import Load, LoadView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Simulator
+    from ..simcore.network import Network
+    from ..simcore.process import SimProcess
+
+ViewCallback = Callable[[LoadView], None]
+
+
+@dataclass
+class MechanismConfig:
+    """Tuning knobs shared by all mechanisms.
+
+    ``threshold`` is the per-metric significant-variation threshold of
+    Algorithms 2 and 3; the paper recommends choosing it "of the same order
+    as the granularity of the tasks appearing in the slave selections"
+    (§2.3).  The solver driver computes it from the assembly tree.
+    """
+
+    threshold: Load = field(default_factory=lambda: Load(1.0, 1.0))
+    no_more_master: bool = True
+    threaded: bool = False
+    #: Snapshot leader-election criterion: "rank" (the paper's choice),
+    #: "reverse_rank", or "scrambled" (a deterministic pseudo-random
+    #: priority).  The paper's conclusion flags this as an open design
+    #: question; the ablation bench sweeps it.
+    leader_criterion: str = "rank"
+    #: Group size of the partial-snapshot extension (0 = mechanism default).
+    snapshot_group_size: int = 0
+    #: Broadcast period of the time-driven mechanism (0 = mechanism default).
+    periodic_period: float = 0.0
+
+
+class SnapshotStats:
+    """Global snapshot instrumentation shared by all processes of a run.
+
+    Regenerates the §4.5 narrative numbers: total wall-clock time during
+    which at least one snapshot was active, the number of snapshots, and the
+    maximum number of simultaneously initiated snapshots.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._active: set = set()
+        self._union_started_at = 0.0
+        self.union_time = 0.0
+        self.total_snapshots = 0
+        self.max_concurrent = 0
+        self.per_snapshot_durations: list = []
+        self._initiated_at: Dict[int, float] = {}
+
+    def initiation_started(self, rank: int) -> None:
+        if not self._active:
+            self._union_started_at = self._sim.now
+        self._active.add(rank)
+        self._initiated_at[rank] = self._sim.now
+        self.total_snapshots += 1
+        self.max_concurrent = max(self.max_concurrent, len(self._active))
+
+    def initiation_finished(self, rank: int) -> None:
+        if rank not in self._active:  # pragma: no cover - defensive
+            return
+        self._active.discard(rank)
+        self.per_snapshot_durations.append(self._sim.now - self._initiated_at.pop(rank))
+        if not self._active:
+            self.union_time += self._sim.now - self._union_started_at
+
+    @property
+    def concurrent_now(self) -> int:
+        return len(self._active)
+
+
+@dataclass
+class MechanismShared:
+    """Per-run state shared by the mechanism instances of all processes."""
+
+    snapshot_stats: Optional[SnapshotStats] = None
+    #: Global truth view used by the oracle baseline (created on bind).
+    oracle_view: Optional["LoadView"] = None
+
+
+class Mechanism(ABC):
+    """Base class; see module docstring for the protocol."""
+
+    #: Registry name ("naive", "increments", "snapshot").
+    name: str = "?"
+    #: True for mechanisms that keep an always-available view.
+    maintains_view: bool = True
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
+        self.config = config or MechanismConfig()
+        self.proc: Optional["SimProcess"] = None
+        self.sim: Optional["Simulator"] = None
+        self.network: Optional["Network"] = None
+        self.rank: int = -1
+        self.nprocs: int = 0
+        self.view: LoadView = LoadView(0)
+        self._my_load = Load.ZERO
+        #: Ranks that declared No_more_master: stop sending them load info.
+        self._dont_send_to: set = set()
+        self._announced_no_more_master = False
+        self.shared = MechanismShared()
+        # statistics
+        self.decisions = 0
+        self.updates_sent = 0
+
+    # -------------------------------------------------------------- binding
+
+    def bind(self, proc: "SimProcess", shared: Optional[MechanismShared] = None) -> None:
+        """Attach to the owning simulated process (called once by the driver)."""
+        self.proc = proc
+        self.sim = proc.sim
+        self.network = proc.network
+        self.rank = proc.rank
+        self.nprocs = proc.network.nprocs
+        self.view = LoadView(self.nprocs)
+        if shared is not None:
+            self.shared = shared
+
+    def initialize_view(self, loads) -> None:
+        """Seed the view with the statically known initial loads.
+
+        The static mapping (subtree costs, factor placement) is computed by
+        every process identically before the factorization starts, so the
+        initial loads are known globally without any message (paper §4.2.2:
+        "each processor has as initial load the cost of all its subtrees").
+        """
+        for r, load in enumerate(loads):
+            self.view.set(r, load)
+        self._my_load = self.view.get(self.rank)
+        self._after_initialize()
+
+    def _after_initialize(self) -> None:
+        """Hook for subclasses needing extra initialization state."""
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def my_load(self) -> Load:
+        """This mechanism's broadcast-consistent estimate of the local load.
+
+        Includes reservations received via ``Master_To_All`` /
+        ``master_to_slave`` that correspond to work not yet physically
+        arrived.
+        """
+        return self._my_load
+
+    def _set_my_load(self, load: Load) -> None:
+        self._my_load = load
+        self.view.set(self.rank, load)
+
+    # ------------------------------------------------------------- solver API
+
+    @abstractmethod
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        """The true local load varied by ``delta``.
+
+        ``slave_task=True`` marks variations caused by work received from a
+        master (Algorithm 3 skips *positive* such variations because the
+        master already published them in its reservation message).
+        """
+
+    @abstractmethod
+    def request_view(self, callback: ViewCallback) -> None:
+        """Obtain a load view for a dynamic decision; ``callback`` receives it."""
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        """Publish a just-taken slave selection (rank → assigned share)."""
+        self.decisions += 1
+
+    def decision_complete(self) -> None:
+        """The decision's work messages are sent; finish the protocol."""
+
+    def decision_candidates(self):
+        """Ranks eligible as slaves for the pending decision, or None for
+        "all other ranks" (restricted by the partial-snapshot extension)."""
+        return None
+
+    def current_view(self) -> LoadView:
+        """The view the solver should consult for *task selection*.
+
+        Maintained mechanisms return their live view; the oracle returns
+        the global truth; demand-driven mechanisms return whatever they
+        last learned (stale between snapshots — the task-selection
+        strategies know to distrust it via ``maintains_view``).
+        """
+        return self.view
+
+    def shutdown(self) -> None:
+        """Cancel any self-scheduled activity (called when the run ends)."""
+
+    def declare_no_more_master(self) -> None:
+        """Broadcast ``No_more_master`` (§2.3) if the optimization is on."""
+        if not self.config.no_more_master or self._announced_no_more_master:
+            return
+        self._announced_no_more_master = True
+        from .messages import NoMoreMaster
+
+        self._broadcast_state(NoMoreMaster(), respect_silence=False)
+
+    # --------------------------------------------------------- message side
+
+    def handle_message(self, env: Envelope) -> bool:
+        """Treat a STATE-channel message; returns True if it was consumed."""
+        from .messages import NoMoreMaster
+
+        if isinstance(env.payload, NoMoreMaster):
+            self._dont_send_to.add(env.src)
+            return True
+        return False
+
+    def blocks_tasks(self) -> bool:
+        """Whether the process must refrain from starting tasks right now."""
+        return False
+
+    # ---------------------------------------------------------------- helpers
+
+    def _send_state(self, dst: int, payload: Payload) -> None:
+        assert self.network is not None
+        self.network.send(self.rank, dst, Channel.STATE, payload)
+
+    def _broadcast_state(self, payload: Payload, *, respect_silence: bool = True) -> int:
+        assert self.network is not None
+        exclude = self._dont_send_to if respect_silence else ()
+        return self.network.broadcast(
+            self.rank, Channel.STATE, payload, exclude=exclude
+        )
+
+    def _require_bound(self) -> None:
+        if self.proc is None:
+            raise ProtocolError(f"{type(self).__name__} used before bind()")
+
+    # ------------------------------------------------------------ diagnostics
+
+    def debug_state(self) -> str:
+        return (
+            f"{self.name}@P{self.rank}: my_load=(w={self._my_load.workload:.3g},"
+            f"m={self._my_load.memory:.3g}) decisions={self.decisions}"
+        )

@@ -1,0 +1,102 @@
+"""Increments-based load-exchange mechanism — Algorithm 3 of the paper (§2.2).
+
+Two message types maintain the distributed view:
+
+* ``Update`` — the accumulated load delta ``∆load`` of the sender since its
+  previous ``Update``, broadcast once the accumulation exceeds the threshold;
+* ``Master_To_All`` — broadcast by a master at *every* slave selection,
+  carrying the share of load assigned to each selected slave.  It acts as a
+  reservation: every process (including the selected slaves themselves)
+  immediately accounts the assigned work, which repairs the coherence flaw of
+  the naive mechanism (Figure 1).
+
+Consequently a slave skips broadcasting *positive* variations caused by work
+received from a master (Algorithm 3, step (1)): the master already published
+them.  Negative variations (work completed, memory freed) are accumulated and
+broadcast normally.
+
+The paper's pseudo-code tests ``∆load > threshold``; taken literally, load
+*decreases* would never be re-broadcast and remote estimates would only ever
+grow.  The intended reading (confirmed by the symmetric role of positive and
+negative increments in §2.2's prose) is a comparison in absolute value, which
+is what we implement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..simcore.network import Envelope
+from .base import Mechanism, ViewCallback
+from .messages import MasterToAll, UpdateIncrement
+from .view import Load
+
+
+class IncrementsMechanism(Mechanism):
+    """Broadcast load deltas + reservation broadcasts (Algorithm 3)."""
+
+    name = "increments"
+    maintains_view = True
+
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        #: ∆load of Algorithm 3: deltas accumulated since the last Update.
+        self._accum = Load.ZERO
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        self._require_bound()
+        if slave_task and delta.workload >= 0 and delta.memory >= 0:
+            # Algorithm 3 step (1): the master already broadcast this share in
+            # its Master_To_All; re-publishing would double-count it.  The
+            # local estimate was already incremented at Master_To_All
+            # reception (line 21), so nothing to do at physical arrival.
+            return
+        self._set_my_load(self._my_load + delta)
+        self._accum = self._accum + delta
+        if self._accum.abs_exceeds(self.config.threshold):
+            self._broadcast_state(UpdateIncrement(delta=self._accum))
+            self.updates_sent += 1
+            self._accum = Load.ZERO
+
+    def request_view(self, callback: ViewCallback) -> None:
+        self._require_bound()
+        callback(self.view.copy())
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        """Broadcast Master_To_All and apply it locally (lines 13–23)."""
+        super().record_decision(assignments)
+        self._require_bound()
+        # Master_To_All bypasses the No_more_master silence: the selected
+        # slaves must learn their reservations even if they never select
+        # slaves themselves (only Update traffic is suppressed, §2.3).
+        self._broadcast_state(
+            MasterToAll(assignments=dict(assignments)), respect_silence=False
+        )
+        # Local application (the broadcast does not loop back to the sender).
+        self._apply_master_to_all(assignments)
+
+    # --------------------------------------------------------- message side
+
+    def handle_message(self, env: Envelope) -> bool:
+        if super().handle_message(env):
+            return True
+        payload = env.payload
+        if isinstance(payload, UpdateIncrement):
+            self.view.add(env.src, payload.delta)
+            return True
+        if isinstance(payload, MasterToAll):
+            self._apply_master_to_all(payload.assignments)
+            return True
+        return False
+
+    def _apply_master_to_all(self, assignments: Dict[int, Load]) -> None:
+        for rank, share in assignments.items():
+            if rank == self.rank:
+                # I am one of the selected slaves: account the reserved work
+                # in my own load (Algorithm 3 line 21) so my future Updates
+                # and answers are coherent with the master's broadcast.
+                self._set_my_load(self._my_load + share)
+            else:
+                self.view.add(rank, share)

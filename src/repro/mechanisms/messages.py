@@ -1,0 +1,113 @@
+"""State-information message payloads (all travel on the STATE channel).
+
+Wire sizes follow the paper's observation (§4.5) that a snapshot ``snp``
+answer is *larger* than an increments ``Update`` because it carries every
+metric at once, whereas maintained-view messages are small and frequent.
+Sizes below are bytes including a nominal header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..simcore.network import Payload
+from .view import Load
+
+
+@dataclass
+class UpdateAbsolute(Payload):
+    """Naive mechanism (Algorithm 2): absolute load of the sender."""
+
+    TYPE = "update_abs"
+    load: Load = Load.ZERO
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class UpdateIncrement(Payload):
+    """Increments mechanism (Algorithm 3): accumulated load delta ∆load."""
+
+    TYPE = "update"
+    delta: Load = Load.ZERO
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class MasterToAll(Payload):
+    """Reservation broadcast at each slave selection (Algorithm 3).
+
+    Maps slave rank → the load share (workload, memory) assigned to it.
+    """
+
+    TYPE = "master_to_all"
+    assignments: Dict[int, Load] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        return 32 + 24 * len(self.assignments)
+
+
+@dataclass
+class NoMoreMaster(Payload):
+    """§2.3 optimization: the sender will never select slaves again."""
+
+    TYPE = "no_more_master"
+
+    def nbytes(self) -> int:
+        return 24
+
+
+@dataclass
+class StartSnp(Payload):
+    """Snapshot initiation request with the initiator's request id (§3)."""
+
+    TYPE = "start_snp"
+    req: int = 0
+
+    def nbytes(self) -> int:
+        return 32
+
+
+@dataclass
+class Snp(Payload):
+    """Snapshot answer: the full state of the sender for request ``req``.
+
+    Carries *all* metrics in a single message (paper §4.5), hence larger.
+    """
+
+    TYPE = "snp"
+    req: int = 0
+    load: Load = Load.ZERO
+
+    def nbytes(self) -> int:
+        return 128
+
+
+@dataclass
+class EndSnp(Payload):
+    """Snapshot completion notification from an initiator (§3)."""
+
+    TYPE = "end_snp"
+
+    def nbytes(self) -> int:
+        return 24
+
+
+@dataclass
+class MasterToSlave(Payload):
+    """Snapshot scheme: reservation sent to each *selected* slave only.
+
+    On reception the slave updates its own state with the contained share so
+    that a subsequent snapshot from another initiator observes the first
+    decision (§3, Algorithm 4).
+    """
+
+    TYPE = "master_to_slave"
+    delta: Load = Load.ZERO
+
+    def nbytes(self) -> int:
+        return 48

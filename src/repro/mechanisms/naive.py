@@ -1,0 +1,78 @@
+"""Naive load-exchange mechanism — Algorithm 2 of the paper (§2.1).
+
+Each process is responsible for knowing its own load; whenever the load has
+drifted from the *last broadcast value* by more than a threshold, the process
+broadcasts the **absolute** value to everyone.  Receivers overwrite their view
+entry for the sender.
+
+The mechanism is deliberately oblivious to dynamic decisions: when a master
+selects slaves, nothing informs the other (or even the same) master until the
+chosen slaves have physically received the work, updated their own loads and
+re-broadcast — the coherence flaw of Figure 1, which the memory experiments
+(Table 4) expose as larger memory peaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..simcore.network import Envelope
+from .base import Mechanism, ViewCallback
+from .messages import UpdateAbsolute
+from .view import Load
+
+
+class NaiveMechanism(Mechanism):
+    """Broadcast absolute loads on significant variation (Algorithm 2)."""
+
+    name = "naive"
+    maintains_view = True
+
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        self._last_sent = Load.ZERO
+
+    def _after_initialize(self) -> None:
+        # last_load_sent starts at the statically known initial value, so no
+        # broadcast fires until a *significant* variation from it occurs.
+        self._last_sent = self._my_load
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        """Update my load; broadcast the absolute value past the threshold.
+
+        The naive mechanism has no reservation concept, so slave-task
+        variations are treated like any other (they only become visible when
+        the work physically arrives — that is precisely its flaw).
+        """
+        self._require_bound()
+        self._set_my_load(self._my_load + delta)
+        drift = self._my_load - self._last_sent
+        if drift.abs_exceeds(self.config.threshold):
+            self._broadcast_state(UpdateAbsolute(load=self._my_load))
+            self.updates_sent += 1
+            self._last_sent = self._my_load
+
+    def request_view(self, callback: ViewCallback) -> None:
+        """The view is always available: Algorithm 1 guarantees all pending
+        state messages were treated before a decision is taken."""
+        self._require_bound()
+        callback(self.view.copy())
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        # Faithfully naive: the decision is NOT published (Algorithm 2 has no
+        # Master_To_All); even the deciding master's own view keeps the stale
+        # estimates for the chosen slaves.
+        super().record_decision(assignments)
+
+    # --------------------------------------------------------- message side
+
+    def handle_message(self, env: Envelope) -> bool:
+        if super().handle_message(env):
+            return True
+        payload = env.payload
+        if isinstance(payload, UpdateAbsolute):
+            self.view.set(env.src, payload.load)
+            return True
+        return False

@@ -1,0 +1,78 @@
+"""Oracle mechanism: perfect, instantaneous, free load information.
+
+Not in the paper — an idealized *upper bound* baseline: every process reads
+the true current load of every other process at zero message cost and zero
+latency.  Comparing the real mechanisms against it separates two effects
+that the paper's tables conflate:
+
+* how much scheduling quality is lost to *stale/incoherent views*
+  (oracle vs naive/increments), and
+* how much time is lost to the *cost of obtaining* the view
+  (oracle vs snapshot).
+
+Implementation: all oracle instances of a run share one global
+:class:`~repro.mechanisms.view.LoadView` through the run's
+:class:`~repro.mechanisms.base.MechanismShared`; local changes and decision
+reservations update it synchronously.  No state message is ever sent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import Mechanism, MechanismConfig, MechanismShared, ViewCallback
+from .registry import register_mechanism
+from .view import Load, LoadView
+
+
+class OracleMechanism(Mechanism):
+    """Zero-cost globally shared view (idealized baseline)."""
+
+    name = "oracle"
+    maintains_view = True
+
+    def bind(self, proc, shared: Optional[MechanismShared] = None) -> None:
+        super().bind(proc, shared)
+        if getattr(self.shared, "oracle_view", None) is None:
+            self.shared.oracle_view = LoadView(self.nprocs)
+        self._global: LoadView = self.shared.oracle_view
+
+    def _after_initialize(self) -> None:
+        # Whoever initializes last wins; all processes receive identical
+        # initial loads from the driver, so this is idempotent.
+        for r in range(self.nprocs):
+            self._global.set(r, self.view.get(r))
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        self._require_bound()
+        if slave_task and delta.workload >= 0 and delta.memory >= 0:
+            # reservations were applied globally at decision time
+            return
+        self._set_my_load(self._my_load + delta)
+        self._global.add(self.rank, delta)
+
+    def request_view(self, callback: ViewCallback) -> None:
+        self._require_bound()
+        callback(self._global.copy())
+
+    def current_view(self) -> LoadView:
+        return self._global
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        super().record_decision(assignments)
+        for rank, share in assignments.items():
+            self._global.add(rank, share)
+            if rank == self.rank:
+                raise ValueError("a master cannot select itself as slave")
+
+    def declare_no_more_master(self) -> None:
+        # No message traffic exists to optimize away.
+        self._announced_no_more_master = True
+
+    def handle_message(self, env) -> bool:  # pragma: no cover - never called
+        return super().handle_message(env)
+
+
+register_mechanism(OracleMechanism)

@@ -1,0 +1,105 @@
+"""Time-driven maintained view: periodic absolute-load broadcasts.
+
+The paper's conclusion summarizes the maintained-view family as
+"broadcasting periodically messages that update the load/state view of the
+other processes, with some threshold constraints".  Algorithms 2 and 3 are
+*event*-driven (threshold on variation); this mechanism implements the pure
+*time*-driven alternative — broadcast my absolute load every ``period``
+seconds while it keeps changing — as an ablation axis:
+
+* period → 0 approaches a perfect (but message-flooded) view;
+* period → ∞ approaches static initial information;
+* unlike Algorithm 2, message volume is bounded by time, not by activity,
+  so bursts of load changes cost a single message per period...
+* ...but like Algorithm 2, it has no reservation concept, so it shares the
+  naive mechanism's Figure-1 incoherence (decisions are invisible until
+  their effects materialize on the slaves).
+
+The broadcast is driven by the simulator clock (one timer per process); in
+the real application it would live on the communication thread of §4.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..simcore.network import Envelope
+from .base import Mechanism, MechanismConfig, ViewCallback
+from .messages import UpdateAbsolute
+from .registry import register_mechanism
+from .view import Load
+
+
+class PeriodicMechanism(Mechanism):
+    """Broadcast the absolute local load every ``period`` seconds."""
+
+    name = "periodic"
+    maintains_view = True
+
+    #: Default broadcast period (seconds, simulated).
+    DEFAULT_PERIOD = 1e-3
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
+        super().__init__(config)
+        self._timer = None
+        self._last_sent = Load.ZERO
+        self._dirty = False
+
+    @property
+    def period(self) -> float:
+        p = getattr(self.config, "periodic_period", 0.0)
+        return p if p and p > 0 else self.DEFAULT_PERIOD
+
+    def _after_initialize(self) -> None:
+        self._last_sent = self._my_load
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        assert self.sim is not None
+        self._timer = self.sim.schedule(
+            self.period, self._tick, label=f"periodic:P{self.rank}"
+        )
+
+    def _tick(self) -> None:
+        self._timer = None
+        if self._dirty:
+            self._broadcast_state(UpdateAbsolute(load=self._my_load))
+            self.updates_sent += 1
+            self._last_sent = self._my_load
+            self._dirty = False
+        self._arm_timer()
+
+    def shutdown(self) -> None:
+        """Cancel the timer (called when the process halts)."""
+        if self._timer is not None and self.sim is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        self._require_bound()
+        self._set_my_load(self._my_load + delta)
+        self._dirty = True
+
+    def request_view(self, callback: ViewCallback) -> None:
+        self._require_bound()
+        callback(self.view.copy())
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        # Pure time-driven variant: like the naive mechanism, no
+        # reservations — the Figure-1 flaw is intentional here.
+        super().record_decision(assignments)
+
+    # --------------------------------------------------------- message side
+
+    def handle_message(self, env: Envelope) -> bool:
+        if super().handle_message(env):
+            return True
+        if isinstance(env.payload, UpdateAbsolute):
+            self.view.set(env.src, env.payload.load)
+            return True
+        return False
+
+
+register_mechanism(PeriodicMechanism)

@@ -1,0 +1,50 @@
+"""Registry / factory for load-exchange mechanisms.
+
+Experiments select mechanisms by name (``"naive"``, ``"increments"``,
+``"snapshot"``), matching the columns of the paper's tables.  The threaded
+variants (Table 7) are the same protocol objects run inside a process with a
+communication thread (``MechanismConfig.threaded`` + ``SimProcess(threaded=True)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from .base import Mechanism, MechanismConfig
+from .increments import IncrementsMechanism
+from .naive import NaiveMechanism
+from .snapshot import SnapshotMechanism
+
+_REGISTRY: Dict[str, Type[Mechanism]] = {
+    NaiveMechanism.name: NaiveMechanism,
+    IncrementsMechanism.name: IncrementsMechanism,
+    SnapshotMechanism.name: SnapshotMechanism,
+}
+
+#: Names in the order the paper's tables list them.
+MECHANISM_NAMES = ("increments", "snapshot", "naive")
+
+
+def mechanism_class(name: str) -> Type[Mechanism]:
+    """Look up a mechanism class by its registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mechanism {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_mechanism(name: str, config: Optional[MechanismConfig] = None) -> Mechanism:
+    """Instantiate a fresh mechanism (one per simulated process)."""
+    return mechanism_class(name)(config)
+
+
+def register_mechanism(cls: Type[Mechanism]) -> Type[Mechanism]:
+    """Register a custom mechanism class (extension point; decorator-friendly)."""
+    if not issubclass(cls, Mechanism):
+        raise TypeError(f"{cls!r} is not a Mechanism subclass")
+    if not getattr(cls, "name", None) or cls.name == "?":
+        raise ValueError("mechanism classes must define a unique 'name'")
+    _REGISTRY[cls.name] = cls
+    return cls

@@ -1,0 +1,389 @@
+"""Demand-driven snapshot mechanism — §3 of the paper ("Exact Algorithm").
+
+Each dynamic decision is preceded by a distributed snapshot à la
+Chandy-Lamport [4], coupled with a distributed leader election (by process
+rank) that **sequentializes concurrent snapshots**: the decision taken by the
+leader is observed (through ``master_to_slave`` reservations and the
+re-gathered states) by every later snapshot.
+
+Message types (all on the STATE channel):
+
+* ``start_snp(req)`` — broadcast by an initiator; carries a request id so
+  answers from aborted rounds can be discarded;
+* ``snp(req, state)`` — a process's full state, sent to the initiator it
+  currently believes is the leader;
+* ``end_snp`` — broadcast by an initiator once its decision is published;
+* ``master_to_slave(delta)`` — reservation sent to each selected slave so a
+  subsequent snapshot observes the decision.
+
+Protocol walk-through (matching the paper's pseudo-code):
+
+* An initiator broadcasts ``start_snp`` and waits for N−1 matching ``snp``
+  answers.  While waiting it treats messages but starts no task.
+* A process receiving ``start_snp`` answers the *smallest-rank* initiator it
+  knows about and **delays** its answer to any other initiator until an
+  ``end_snp`` makes that initiator the new leader.
+* An initiator that learns of a smaller-rank initiator aborts its round,
+  answers the leader, and re-broadcasts ``start_snp`` with a fresh request id
+  once it becomes the leader itself (its stale answers are discarded thanks
+  to the request id).
+* After its decision, an initiator broadcasts ``end_snp``; if other
+  snapshots are still active it remains blocked until they all complete
+  (the sequentialization cost measured in Table 5).
+
+Deviations from the paper's pseudo-code, chosen for liveness/coherence and
+flagged here explicitly:
+
+* The pseudo-code's gather loop and blocking receives are expressed as an
+  event-driven state machine (the simulator's processes are callbacks, not
+  threads); the message exchanges are identical.
+* Between gather completion and ``end_snp`` the initiator is in a DECIDING
+  phase during which any incoming ``start_snp`` is delayed even if it comes
+  from a smaller rank — the paper would answer it with a state that misses
+  the decision in progress.  In this simulator the window is zero-length
+  (the decision is taken synchronously), so the guard is defensive only.
+* In the **threaded variant** (paper §4.5) the handler pauses the local
+  computation thread while any snapshot is active and resumes it afterwards,
+  exactly like the paper's lock-based implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Envelope
+from .base import Mechanism, ViewCallback
+from .messages import EndSnp, MasterToSlave, Snp, StartSnp
+from .view import Load, LoadView
+
+
+class _Phase(enum.Enum):
+    IDLE = "idle"
+    GATHERING = "gathering"
+    DECIDING = "deciding"
+
+
+class SnapshotMechanism(Mechanism):
+    """Distributed snapshot + leader election (paper §3)."""
+
+    name = "snapshot"
+    maintains_view = False
+
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        self._phase = _Phase.IDLE
+        self._initiating = False  # a view request is pending (initiate→finalize)
+        self._during_snp = False  # currently gathering as (believed) leader
+        self._snapshot = False  # an active snapshot led by someone else
+        self._leader: Optional[int] = None
+        self._nb_snp = 0  # number of OTHER processes with an active snapshot
+        self._req: List[int] = []
+        self._snp_active: List[bool] = []
+        self._delayed: List[bool] = []
+        self._nb_msgs = 0
+        self._collected: Dict[int, Load] = {}
+        self._pending_callback: Optional[ViewCallback] = None
+        #: Member ranks of my current snapshot; None = all processes.
+        self._group: Optional[List[int]] = None
+        self._paused_proc = False
+        self._stats_open = False
+        # instrumentation
+        self.rounds_started = 0
+        self.answers_sent = 0
+        self.stale_answers_ignored = 0
+
+    def bind(self, proc, shared=None) -> None:
+        super().bind(proc, shared)
+        n = self.nprocs
+        self._req = [0] * n
+        self._snp_active = [False] * n
+        self._delayed = [False] * n
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        """Track the local state; never broadcast (demand-driven scheme).
+
+        Positive slave-task variations were accounted at ``master_to_slave``
+        reception (reservation), like in the increments mechanism.
+        """
+        self._require_bound()
+        if slave_task and delta.workload >= 0 and delta.memory >= 0:
+            return
+        self._set_my_load(self._my_load + delta)
+
+    def request_view(self, callback: ViewCallback) -> None:
+        """Initiate a snapshot; ``callback`` fires once N−1 states arrived."""
+        self._require_bound()
+        if self._pending_callback is not None:
+            raise ProtocolError(f"P{self.rank}: overlapping snapshot requests")
+        if self._snapshot or self._during_snp:
+            raise ProtocolError(
+                f"P{self.rank}: request_view while a snapshot is active "
+                "(the solver must not take decisions while blocked)"
+            )
+        self._pending_callback = callback
+        self._initiating = True
+        self._group = self._choose_group()
+        if self.shared.snapshot_stats is not None:
+            self.shared.snapshot_stats.initiation_started(self.rank)
+            self._stats_open = True
+        self._start_gather()
+
+    def _choose_group(self) -> Optional[List[int]]:
+        """Members of this snapshot (None = everyone; see the partial
+        subclass for the paper's perspectives extension)."""
+        return None
+
+    def decision_candidates(self) -> Optional[List[int]]:
+        """Ranks the solver may select as slaves for the pending decision
+        (None = all other ranks)."""
+        return None
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        """Send a ``master_to_slave`` reservation to each selected slave."""
+        super().record_decision(assignments)
+        if self._phase is not _Phase.DECIDING:
+            raise ProtocolError(
+                f"P{self.rank}: record_decision outside a completed snapshot"
+            )
+        for rank, share in assignments.items():
+            if rank == self.rank:
+                raise ProtocolError("a master cannot select itself as slave")
+            self._send_state(rank, MasterToSlave(delta=share))
+            self.view.add(rank, share)
+
+    def decision_complete(self) -> None:
+        """Finalize the snapshot (paper: broadcast ``end_snp``, then wait)."""
+        if self._phase is not _Phase.DECIDING:
+            raise ProtocolError(f"P{self.rank}: decision_complete without decision")
+        self._broadcast_to_group(EndSnp())
+        self._group = None
+        self._during_snp = False
+        self._initiating = False
+        self._phase = _Phase.IDLE
+        self._leader = None
+        if self._nb_snp != 0:
+            # Other snapshots are active: stay blocked, answer the new leader.
+            self._snapshot = True
+            self._leader = self._elect_active()
+            if self._leader is not None and self._delayed[self._leader]:
+                self._answer(self._leader)
+                self._delayed[self._leader] = False
+        else:
+            self._snapshot = False
+        self._sync_block_state()
+
+    def blocks_tasks(self) -> bool:
+        return self._initiating or self._snapshot
+
+    # ------------------------------------------------------------ internals
+
+    def _priority(self, rank: int) -> tuple:
+        """Election priority of a rank (lower wins); deterministic and
+        identical on every process, as the protocol requires."""
+        crit = self.config.leader_criterion
+        if crit == "rank":
+            return (rank,)
+        if crit == "reverse_rank":
+            return (-rank,)
+        if crit == "scrambled":
+            # deterministic pseudo-random permutation of the ranks
+            import zlib
+
+            return (zlib.crc32(rank.to_bytes(4, "little")), rank)
+        raise ProtocolError(f"unknown leader criterion {crit!r}")
+
+    def _elect(self, a: int, b: Optional[int]) -> int:
+        """Leader election (paper §3: smallest rank, by default)."""
+        if b is None:
+            return a
+        return a if self._priority(a) <= self._priority(b) else b
+
+    def _elect_active(self) -> Optional[int]:
+        cands = [j for j in range(self.nprocs) if self._snp_active[j]]
+        return min(cands, key=self._priority) if cands else None
+
+    def _answer(self, dst: int) -> None:
+        self.answers_sent += 1
+        self._send_state(dst, Snp(req=self._req[dst], load=self._my_load))
+
+    def _start_gather(self) -> None:
+        self.rounds_started += 1
+        self._during_snp = True
+        self._snapshot = False
+        self._snp_active[self.rank] = True
+        self._leader = self.rank
+        self._phase = _Phase.GATHERING
+        self._req[self.rank] += 1
+        self._nb_msgs = 0
+        self._collected = {}
+        self._broadcast_to_group(StartSnp(req=self._req[self.rank]))
+        self._check_gather_done()
+
+    def _broadcast_to_group(self, payload) -> None:
+        """Send to every snapshot member (all ranks when group is None)."""
+        if self._group is None:
+            self._broadcast_state(payload, respect_silence=False)
+        else:
+            for dst in self._group:
+                if dst != self.rank:
+                    self._send_state(dst, payload)
+
+    def _gather_target(self) -> int:
+        return (len(self._group) if self._group is not None else self.nprocs) - 1
+
+    def _check_gather_done(self) -> None:
+        if self._phase is not _Phase.GATHERING:
+            return
+        if self._nb_msgs != self._gather_target():
+            return
+        # Gather complete: I am the unique leader; commit to the decision.
+        self._phase = _Phase.DECIDING
+        self._snp_active[self.rank] = False  # paper, initiate loop line 18
+        view = LoadView(self.nprocs)
+        for r, load in self._collected.items():
+            view.set(r, load)
+        view.set(self.rank, self._my_load)
+        callback = self._pending_callback
+        self._pending_callback = None
+        if callback is None:  # pragma: no cover - defensive
+            raise ProtocolError(f"P{self.rank}: gather completed with no requester")
+        callback(view)
+        if self._phase is _Phase.DECIDING:
+            raise ProtocolError(
+                f"P{self.rank}: the decision callback must call "
+                "decision_complete() before returning"
+            )
+
+    # --------------------------------------------------------- message side
+
+    def handle_message(self, env: Envelope) -> bool:
+        if super().handle_message(env):
+            return True
+        payload = env.payload
+        if isinstance(payload, StartSnp):
+            self._on_start_snp(env.src, payload.req)
+            return True
+        if isinstance(payload, Snp):
+            self._on_snp(env.src, payload.req, payload.load)
+            return True
+        if isinstance(payload, EndSnp):
+            self._on_end_snp(env.src)
+            return True
+        if isinstance(payload, MasterToSlave):
+            self._set_my_load(self._my_load + payload.delta)
+            return True
+        return False
+
+    def _on_start_snp(self, src: int, req: int) -> None:
+        self._req[src] = req
+        if not self._snp_active[src]:
+            self._nb_snp += 1
+            self._snp_active[src] = True
+        if self._phase is _Phase.DECIDING:
+            # Committed to my own decision (zero-length window in this
+            # simulator, defensive): delay everyone until my end_snp.
+            self._delayed[src] = True
+            return
+        new_leader = self._elect(src, self._leader)
+        if self._during_snp:
+            if new_leader == self.rank:
+                # I remain the leader: src waits for my end_snp.
+                self._delayed[src] = True
+                self._sync_block_state()
+                return
+            # I lost the election: abort my round, answer the leader; my
+            # initiate loop will re-broadcast once I become the leader.
+            self._leader = new_leader
+            self._during_snp = False
+            self._phase = _Phase.IDLE
+            self._snapshot = True
+            self._answer(self._leader)
+            self._sync_block_state()
+            return
+        if not self._snapshot:
+            self._snapshot = True
+            self._leader = src  # paper line 13: first snapshot I hear about
+            self._answer(src)
+        else:
+            self._leader = new_leader
+            if self._leader != src or self._delayed[src]:
+                self._delayed[src] = True
+            else:
+                self._answer(src)
+        self._sync_block_state()
+
+    def _on_snp(self, src: int, req: int, load: Load) -> None:
+        if self._phase is _Phase.GATHERING and req == self._req[self.rank]:
+            if src not in self._collected:
+                self._nb_msgs += 1
+            self._collected[src] = load
+            self._check_gather_done()
+        else:
+            self.stale_answers_ignored += 1
+
+    def _on_end_snp(self, src: int) -> None:
+        if self._snp_active[src]:
+            self._snp_active[src] = False
+            self._nb_snp -= 1
+        self._leader = None
+        if self._nb_snp == 0:
+            if self._initiating and not self._during_snp:
+                # My aborted round restarts now that the system is clear.
+                self._start_gather()
+            else:
+                self._snapshot = False
+                self._sync_block_state()
+            return
+        # Other snapshots remain: elect the next leader (possibly me).
+        leader = self._elect_active()
+        self._leader = leader
+        if leader == self.rank:
+            if not (self._initiating and not self._during_snp):  # pragma: no cover
+                raise ProtocolError(
+                    f"P{self.rank}: elected leader without a pending initiation"
+                )
+            self._start_gather()
+            return
+        if leader is not None and self._delayed[leader]:
+            self._answer(leader)
+            self._delayed[leader] = False
+        self._sync_block_state()
+
+    # ------------------------------------------------- blocking / threading
+
+    def _sync_block_state(self) -> None:
+        """Align the process's compute state with the snapshot state.
+
+        Threaded variant: pause the running task while any snapshot is
+        active (the paper's comm thread holds the MPI lock); resume when all
+        snapshots completed.  Non-threaded processes are never computing when
+        a handler runs, so only the wake-up path applies.
+        """
+        assert self.proc is not None
+        if self.blocks_tasks():
+            if not self._paused_proc and self.proc.computing:
+                if self.proc.pause_task():
+                    self._paused_proc = True
+        else:
+            if self._stats_open and self.shared.snapshot_stats is not None:
+                self.shared.snapshot_stats.initiation_finished(self.rank)
+                self._stats_open = False
+            if self._paused_proc:
+                self._paused_proc = False
+                self.proc.resume_task()
+            self.proc.notify_work()
+
+    # ------------------------------------------------------------ diagnostics
+
+    def debug_state(self) -> str:
+        return (
+            super().debug_state()
+            + f" phase={self._phase.value} initiating={self._initiating} "
+            f"snapshot={self._snapshot} nb_snp={self._nb_snp} "
+            f"leader={self._leader} nb_msgs={self._nb_msgs} "
+            f"active={[i for i in range(self.nprocs) if self._snp_active[i]]}"
+        )

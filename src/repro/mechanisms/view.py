@@ -1,0 +1,119 @@
+"""Load quantities and distributed load views.
+
+The paper exchanges two metrics between processes (§4): the **workload**
+(floating-point operations still to be done) and the **memory** (active
+memory currently in use, counted in real entries).  :class:`Load` bundles the
+two; :class:`LoadView` is one process's estimate of the loads of all N
+processes — the object every mechanism maintains or builds on demand, and the
+sole input of the dynamic schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Load:
+    """An immutable (workload, memory) pair; supports arithmetic."""
+
+    workload: float = 0.0
+    memory: float = 0.0
+
+    ZERO: "Load" = None  # type: ignore[assignment]  # set below
+
+    def __add__(self, other: "Load") -> "Load":
+        return Load(self.workload + other.workload, self.memory + other.memory)
+
+    def __sub__(self, other: "Load") -> "Load":
+        return Load(self.workload - other.workload, self.memory - other.memory)
+
+    def __neg__(self) -> "Load":
+        return Load(-self.workload, -self.memory)
+
+    def __mul__(self, k: float) -> "Load":
+        return Load(self.workload * k, self.memory * k)
+
+    __rmul__ = __mul__
+
+    def abs_exceeds(self, threshold: "Load") -> bool:
+        """True if either metric exceeds its threshold in absolute value."""
+        return (
+            abs(self.workload) > threshold.workload
+            or abs(self.memory) > threshold.memory
+        )
+
+    def is_zero(self, tol: float = 0.0) -> bool:
+        return abs(self.workload) <= tol and abs(self.memory) <= tol
+
+    @staticmethod
+    def sum(items: Iterable["Load"]) -> "Load":
+        w = m = 0.0
+        for it in items:
+            w += it.workload
+            m += it.memory
+        return Load(w, m)
+
+
+Load.ZERO = Load(0.0, 0.0)
+
+
+class LoadView:
+    """Per-process estimates of every rank's :class:`Load`.
+
+    Backed by two float arrays for cheap vectorized queries by the
+    schedulers (argsort by workload/memory is their hot path).
+    """
+
+    __slots__ = ("nprocs", "workload", "memory")
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self.workload = np.zeros(nprocs, dtype=np.float64)
+        self.memory = np.zeros(nprocs, dtype=np.float64)
+
+    def get(self, rank: int) -> Load:
+        return Load(float(self.workload[rank]), float(self.memory[rank]))
+
+    def set(self, rank: int, load: Load) -> None:
+        self.workload[rank] = load.workload
+        self.memory[rank] = load.memory
+
+    def add(self, rank: int, delta: Load) -> None:
+        self.workload[rank] += delta.workload
+        self.memory[rank] += delta.memory
+
+    def copy(self) -> "LoadView":
+        out = LoadView(self.nprocs)
+        out.workload[:] = self.workload
+        out.memory[:] = self.memory
+        return out
+
+    def __iter__(self) -> Iterator[Load]:
+        for r in range(self.nprocs):
+            yield self.get(r)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LoadView):
+            return NotImplemented
+        return (
+            self.nprocs == other.nprocs
+            and np.array_equal(self.workload, other.workload)
+            and np.array_equal(self.memory, other.memory)
+        )
+
+    def allclose(self, other: "LoadView", rtol: float = 1e-9, atol: float = 1e-6) -> bool:
+        return bool(
+            np.allclose(self.workload, other.workload, rtol=rtol, atol=atol)
+            and np.allclose(self.memory, other.memory, rtol=rtol, atol=atol)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"P{r}:(w={self.workload[r]:.3g},m={self.memory[r]:.3g})"
+            for r in range(self.nprocs)
+        )
+        return f"LoadView[{rows}]"

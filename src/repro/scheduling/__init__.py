@@ -1,0 +1,42 @@
+"""Dynamic scheduling strategies (paper §4.2) and row-blocking kernels."""
+
+from typing import Optional
+
+from .base import (
+    ScheduleParams,
+    SlaveAssignment,
+    SlaveSelectionStrategy,
+    shares_from_rows,
+)
+from .blocking import BlockingConstraints, partition_rows, water_level
+from .memory import MemoryStrategy
+from .workload import WorkloadStrategy
+
+STRATEGY_NAMES = ("memory", "workload")
+
+
+def create_strategy(
+    name: str, params: Optional[ScheduleParams] = None
+) -> SlaveSelectionStrategy:
+    """Instantiate a strategy by name ("memory" or "workload")."""
+    params = params or ScheduleParams()
+    if name == "memory":
+        return MemoryStrategy(params)
+    if name == "workload":
+        return WorkloadStrategy(params)
+    raise KeyError(f"unknown strategy {name!r}; available: {STRATEGY_NAMES}")
+
+
+__all__ = [
+    "ScheduleParams",
+    "SlaveAssignment",
+    "SlaveSelectionStrategy",
+    "shares_from_rows",
+    "BlockingConstraints",
+    "partition_rows",
+    "water_level",
+    "MemoryStrategy",
+    "WorkloadStrategy",
+    "STRATEGY_NAMES",
+    "create_strategy",
+]

@@ -1,0 +1,114 @@
+"""Slave-selection strategy interface (the paper's dynamic schedulers).
+
+A strategy turns ``(front, load view, candidates)`` into a
+:class:`SlaveAssignment` — which slave gets how many Schur rows of a type-2
+front, and what (workload, memory) share that represents.  The two concrete
+strategies mirror §4.2 of the paper:
+
+* :class:`~repro.scheduling.workload.WorkloadStrategy` — equalize pending
+  flops (§4.2.2), the strategy used for the timing experiments (Tables 5–7);
+* :class:`~repro.scheduling.memory.MemoryStrategy` — equalize active memory
+  (§4.2.1), used for the memory experiments (Table 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..mechanisms.view import Load, LoadView
+from ..symbolic.tree import Front
+from .blocking import BlockingConstraints
+
+
+@dataclass(frozen=True)
+class ScheduleParams:
+    """Granularity knobs shared by the strategies.
+
+    ``buffer_entries`` bounds the size of one slave's share (the paper's
+    "size of some internal communication buffers" constraint); ``kmin_rows``
+    is the performance floor on a share.
+    """
+
+    kmin_rows: int = 32
+    buffer_entries: int = 200_000
+    #: Memory-aware task selection (§4.2.1): defer memory-hungry ready tasks
+    #: when the local memory exceeds ``task_defer_factor ×`` the view average.
+    task_defer_factor: float = 1.3
+
+    def constraints_for(self, front: Front, ncands: int = 0) -> BlockingConstraints:
+        kmax = max(self.kmin_rows, self.buffer_entries // max(front.nfront, 1))
+        if ncands > 0:
+            # Feasibility: the candidates must be able to absorb all rows
+            # even if the buffer constraint alone would forbid it.
+            kmax = max(kmax, -(-front.border // ncands))
+        return BlockingConstraints(kmin=self.kmin_rows, kmax=kmax)
+
+
+@dataclass
+class SlaveAssignment:
+    """Result of one dynamic decision."""
+
+    front_id: int
+    rows: Dict[int, int]  # rank -> Schur rows
+    shares: Dict[int, Load]  # rank -> (workload, memory) reservation
+
+    @property
+    def nslaves(self) -> int:
+        return len(self.rows)
+
+    def total_rows(self) -> int:
+        return sum(self.rows.values())
+
+
+def shares_from_rows(front: Front, rows: Dict[int, int]) -> Dict[int, Load]:
+    """Convert a row partition into per-slave (workload, memory) shares.
+
+    Workload = rows × flops-per-slave-row; memory = rows × nfront entries
+    (each slave stores its block of front rows).
+    """
+    fpr = front.flops_per_slave_row
+    return {
+        rank: Load(workload=r * fpr, memory=float(r * front.nfront))
+        for rank, r in rows.items()
+        if r > 0
+    }
+
+
+class SlaveSelectionStrategy(ABC):
+    """Base class of the dynamic slave-selection strategies."""
+
+    name: str = "?"
+    #: The load metric the strategy balances ("workload" or "memory").
+    metric: str = "workload"
+
+    def __init__(self, params: ScheduleParams = ScheduleParams()) -> None:
+        self.params = params
+
+    @abstractmethod
+    def select_slaves(
+        self, front: Front, view: LoadView, candidates: Sequence[int]
+    ) -> SlaveAssignment:
+        """Choose slaves and row shares for a type-2 front."""
+
+    # ---- task selection (which ready task to run next) -------------------
+
+    def order_ready_tasks(
+        self,
+        ready: List,
+        my_rank: int,
+        view: LoadView,
+        my_memory: float,
+        view_maintained: bool = True,
+    ) -> List:
+        """Order the local ready-task list; first element runs next.
+
+        Default: depth-first (deepest fronts first), the classical
+        postorder-like policy that bounds the number of simultaneously open
+        fronts.  ``ready`` items must expose ``.depth`` and
+        ``.activation_entries``.  ``view_maintained`` is False for
+        demand-driven mechanisms, whose view is stale between snapshots —
+        memory-aware ordering then has no reliable information to act on.
+        """
+        return sorted(ready, key=lambda t: (-t.depth, t.order_key))

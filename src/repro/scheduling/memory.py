@@ -1,0 +1,70 @@
+"""Memory-based dynamic scheduling strategy (paper §4.2.1, and [7]).
+
+Two memory-aware components:
+
+* **slave selection** — the water-fill equalizes *active memory*: slaves
+  currently holding less memory receive more Schur rows (each row costs
+  ``nfront`` entries), aiming at the best memory balance after the decision;
+* **task selection** — "we do not select a ready task if memory balance will
+  suffer too much from this choice": when the local active memory is already
+  above ``task_defer_factor ×`` the view's average, prefer the ready task
+  with the smallest activation footprint; otherwise stay depth-first.
+
+This strategy is the most sensitive to the accuracy of the exchanged view —
+the very reason the paper uses it to compare mechanisms on memory (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..mechanisms.view import LoadView
+from ..symbolic.tree import Front
+from .base import ScheduleParams, SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
+from .blocking import partition_rows
+
+
+class MemoryStrategy(SlaveSelectionStrategy):
+    """Equalize active memory across the selected slaves."""
+
+    name = "memory"
+    metric = "memory"
+
+    def select_slaves(
+        self, front: Front, view: LoadView, candidates: Sequence[int]
+    ) -> SlaveAssignment:
+        if not candidates:
+            raise ValueError(f"front {front.id}: no slave candidates")
+        cands = list(candidates)
+        levels = view.memory[cands]
+        cost_per_row = float(max(front.nfront, 1))  # entries per Schur row
+        constraints = self.params.constraints_for(front, len(cands))
+        rows_list = partition_rows(levels, cost_per_row, front.border, constraints)
+        rows = {cands[i]: r for i, r in enumerate(rows_list) if r > 0}
+        return SlaveAssignment(
+            front_id=front.id, rows=rows, shares=shares_from_rows(front, rows)
+        )
+
+    def order_ready_tasks(
+        self,
+        ready: List,
+        my_rank: int,
+        view: LoadView,
+        my_memory: float,
+        view_maintained: bool = True,
+    ) -> List:
+        # Average over the *other* processes.  A demand-driven mechanism's
+        # view is stale between snapshots (the paper's scheme only refreshes
+        # it at decisions), so the memory-aware deferral has no reliable
+        # information to act on and the ordering falls back to depth-first.
+        if view_maintained and view.nprocs > 1:
+            others = np.delete(view.memory, my_rank)
+            avg = float(others.mean())
+        else:
+            avg = 0.0
+        if avg > 0 and my_memory > self.params.task_defer_factor * avg:
+            # Memory pressure: run the cheapest-footprint ready task first.
+            return sorted(ready, key=lambda t: (t.activation_entries, t.order_key))
+        return sorted(ready, key=lambda t: (-t.depth, t.order_key))

@@ -1,0 +1,41 @@
+"""Workload-based dynamic scheduling strategy (paper §4.2.2).
+
+Slaves are selected "such that the selected slaves give the best workload
+balance": the water-fill assigns more Schur rows to less-loaded processes so
+that everyone ends at (approximately) the same pending-flops level, subject
+to the granularity constraints.  Task selection is depth-first, which keeps
+the active-memory footprint close to a postorder traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..mechanisms.view import LoadView
+from ..symbolic.tree import Front
+from .base import ScheduleParams, SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
+from .blocking import partition_rows
+
+
+class WorkloadStrategy(SlaveSelectionStrategy):
+    """Equalize pending flops across the selected slaves."""
+
+    name = "workload"
+    metric = "workload"
+
+    def select_slaves(
+        self, front: Front, view: LoadView, candidates: Sequence[int]
+    ) -> SlaveAssignment:
+        if not candidates:
+            raise ValueError(f"front {front.id}: no slave candidates")
+        cands = list(candidates)
+        levels = view.workload[cands]
+        cost_per_row = max(front.flops_per_slave_row, 1.0)
+        constraints = self.params.constraints_for(front, len(cands))
+        rows_list = partition_rows(levels, cost_per_row, front.border, constraints)
+        rows = {cands[i]: r for i, r in enumerate(rows_list) if r > 0}
+        return SlaveAssignment(
+            front_id=front.id, rows=rows, shares=shares_from_rows(front, rows)
+        )

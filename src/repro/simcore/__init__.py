@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel for the distributed asynchronous system.
+
+This package is the hardware/MPI substitute of the reproduction (see
+DESIGN.md): a deterministic simulator of N message-passing processes that
+cannot compute and treat messages simultaneously, with FIFO channels,
+latency/bandwidth message costs and a dedicated priority channel for
+state-information messages.
+"""
+
+from .engine import Simulator
+from .errors import (
+    ChannelError,
+    ProtocolError,
+    SimulationDeadlock,
+    SimulationError,
+    SimulationLimitExceeded,
+)
+from .events import Event, EventQueue, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+from .network import (
+    Channel,
+    Envelope,
+    MessageStats,
+    Network,
+    NetworkConfig,
+    Payload,
+)
+from .process import SimProcess, Work
+from .rng import RngHub
+from .trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "Channel",
+    "Envelope",
+    "MessageStats",
+    "Network",
+    "NetworkConfig",
+    "Payload",
+    "SimProcess",
+    "Work",
+    "RngHub",
+    "TraceEntry",
+    "TraceRecorder",
+    "SimulationError",
+    "SimulationDeadlock",
+    "SimulationLimitExceeded",
+    "ChannelError",
+    "ProtocolError",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the discrete-event simulation kernel.
+
+All simulator-raised exceptions derive from :class:`SimulationError` so that
+callers can distinguish simulation failures (protocol bugs, deadlocks,
+mis-configuration) from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SimulationDeadlock(SimulationError):
+    """Raised when the event queue drains while work remains outstanding.
+
+    A deadlock in this simulator almost always indicates a protocol bug in a
+    load-exchange mechanism (e.g. a snapshot initiator waiting for an answer
+    that will never be sent).  The message carries a dump of the per-process
+    states to ease debugging.
+    """
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when a configured safety limit (max events, max time) is hit."""
+
+
+class ChannelError(SimulationError):
+    """Raised on invalid channel usage (unknown channel, self-delivery...)."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when a mechanism or solver protocol invariant is violated."""

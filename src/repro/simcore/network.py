@@ -1,0 +1,244 @@
+"""Message-passing network model.
+
+The paper's platform is an IBM SP where processes communicate with MPI over a
+"very high bandwidth / low latency" network, and *state-information* messages
+travel on a dedicated channel that the application polls with priority
+(paper §1, Algorithm 1).  This module models exactly that:
+
+* two logical channels per ordered process pair — :data:`Channel.STATE` and
+  :data:`Channel.DATA` — each independently FIFO;
+* message cost = ``latency + size / bandwidth`` from send to delivery;
+* the sender is charged a per-message ``send_overhead`` of its own time
+  (an MPI point-to-point broadcast loop costs the sender one send per
+  destination — there is no hardware multicast);
+* the receiver is charged ``recv_overhead + size * recv_per_byte`` when it
+  *treats* the message (charged by the process model, not here).
+
+Message accounting (``Table 6`` of the paper) is done here: every send is
+counted by payload type and by channel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from .errors import ChannelError
+from .events import PRIORITY_HIGH
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+    from .process import SimProcess
+
+
+class Channel(IntEnum):
+    """Logical channels; STATE has treatment priority on the receiver."""
+
+    STATE = 0
+    DATA = 1
+
+
+@dataclass
+class Payload:
+    """Base class for everything that travels in a message.
+
+    Subclasses set :attr:`TYPE` (used for accounting) and may override
+    :meth:`nbytes` to model their wire size.  The default size models a small
+    control message.
+    """
+
+    TYPE = "payload"
+
+    def nbytes(self) -> int:
+        return 64
+
+    @property
+    def type_name(self) -> str:
+        return type(self).TYPE
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload in flight (or delivered): full routing metadata."""
+
+    src: int
+    dst: int
+    channel: Channel
+    payload: Payload
+    size: int
+    send_time: float
+    deliver_time: float
+    seq: int
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Timing parameters of the interconnect.
+
+    Defaults model the paper's "very high bandwidth / low latency" SP switch;
+    ``high_latency()`` models the WAN-ish setting the paper speculates about
+    in §4.5 (where the increments mechanism's message volume should hurt).
+    """
+
+    latency: float = 5e-6  # seconds, one-way
+    bandwidth: float = 500e6  # bytes/second
+    send_overhead: float = 1e-6  # sender CPU time per message
+    recv_overhead: float = 1e-6  # receiver CPU time per message treated
+    recv_per_byte: float = 1e-9  # receiver CPU time per byte treated
+
+    @staticmethod
+    def fast() -> "NetworkConfig":
+        return NetworkConfig()
+
+    @staticmethod
+    def high_latency() -> "NetworkConfig":
+        return NetworkConfig(latency=2e-3, bandwidth=10e6, send_overhead=5e-6)
+
+    @staticmethod
+    def low_bandwidth() -> "NetworkConfig":
+        """Message-volume-bound network: moderate latency but a high
+        per-message CPU cost and little bandwidth — the regime in which the
+        paper expects the increments mechanism's traffic to hurt (§4.5)."""
+        return NetworkConfig(
+            latency=1e-4,
+            bandwidth=5e6,
+            send_overhead=4e-5,
+            recv_overhead=4e-5,
+        )
+
+    def transfer_time(self, size: int) -> float:
+        return self.latency + size / self.bandwidth
+
+    def recv_cost(self, size: int) -> float:
+        return self.recv_overhead + size * self.recv_per_byte
+
+
+@dataclass
+class MessageStats:
+    """Counters regenerating Table 6 (and sanity metrics beyond it)."""
+
+    sent_total: int = 0
+    sent_bytes: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    by_channel: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+
+    def count(self, env: Envelope) -> None:
+        self.sent_total += 1
+        self.sent_bytes += env.size
+        self.by_type[env.payload.type_name] += 1
+        self.by_channel[env.channel.name] += 1
+        self.bytes_by_type[env.payload.type_name] += env.size
+
+    def state_message_count(self) -> int:
+        """Number of messages on the state channel — the paper's Table 6 metric."""
+        return self.by_channel.get(Channel.STATE.name, 0)
+
+
+class Network:
+    """Point-to-point FIFO network connecting the registered processes."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        nprocs: int,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.sim = sim
+        self.nprocs = nprocs
+        self.config = config or NetworkConfig()
+        self.stats = MessageStats()
+        self._procs: List[Optional["SimProcess"]] = [None] * nprocs
+        # FIFO enforcement: last scheduled delivery time per (src, dst, channel).
+        self._link_clock: Dict[Tuple[int, int, Channel], float] = {}
+        self._seq = 0
+
+    # --------------------------------------------------------------- wiring
+
+    def register(self, proc: "SimProcess") -> None:
+        rank = proc.rank
+        if not (0 <= rank < self.nprocs):
+            raise ChannelError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+        if self._procs[rank] is not None:
+            raise ChannelError(f"rank {rank} registered twice")
+        self._procs[rank] = proc
+
+    def proc(self, rank: int) -> "SimProcess":
+        p = self._procs[rank]
+        if p is None:
+            raise ChannelError(f"no process registered at rank {rank}")
+        return p
+
+    @property
+    def ranks(self) -> range:
+        return range(self.nprocs)
+
+    # --------------------------------------------------------------- sending
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> Envelope:
+        """Asynchronously send ``payload`` from ``src`` to ``dst``.
+
+        The sender is charged ``send_overhead`` of local time (unless
+        ``charge_sender`` is False, used by engine-internal injections).
+        Delivery respects per-link FIFO ordering.
+        """
+        if src == dst:
+            raise ChannelError(f"self-send from rank {src}")
+        if not (0 <= dst < self.nprocs):
+            raise ChannelError(f"destination rank {dst} out of range")
+        nbytes = payload.nbytes() if size is None else int(size)
+        now = self.sim.now
+        if charge_sender:
+            self.proc(src).charge(self.config.send_overhead)
+        arrive = now + self.config.transfer_time(nbytes)
+        key = (src, dst, channel)
+        arrive = max(arrive, self._link_clock.get(key, 0.0))
+        self._link_clock[key] = arrive
+        self._seq += 1
+        env = Envelope(src, dst, channel, payload, nbytes, now, arrive, self._seq)
+        self.stats.count(env)
+        receiver = self.proc(dst)
+        self.sim.schedule_at(
+            arrive,
+            lambda: receiver.deliver(env),
+            priority=PRIORITY_HIGH,
+            label=f"deliver:{payload.type_name}:{src}->{dst}",
+        )
+        return env
+
+    def broadcast(
+        self,
+        src: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        exclude: Iterable[int] = (),
+    ) -> int:
+        """Send ``payload`` from ``src`` to every other rank; returns #sends.
+
+        Models an MPI point-to-point broadcast loop: the sender pays one send
+        overhead per destination and each link gets its own copy.
+        """
+        skip = set(exclude)
+        skip.add(src)
+        nsent = 0
+        for dst in range(self.nprocs):
+            if dst in skip:
+                continue
+            self.send(src, dst, channel, payload, size=size)
+            nsent += 1
+        return nsent

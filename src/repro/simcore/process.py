@@ -1,0 +1,441 @@
+"""Simulated process model — the paper's Algorithm 1.
+
+A process of the considered application loops over::
+
+    while global termination not detected:
+        if a STATE-information message is ready:   receive and treat it
+        elif another (DATA) message is ready:      receive and treat it
+        else:                                      process a new local ready task
+
+with the crucial property (paper §1) that *a process cannot treat a message
+and compute simultaneously*: once a task starts, messages queue up until it
+completes.  This is what makes demand-driven snapshots expensive — a long task
+on any process stalls everyone waiting for its state.
+
+The **threaded variant** (paper §4.5) adds a communication thread that polls
+the STATE channel every ``poll_period`` (the paper uses 50 µs): STATE messages
+are then treated *during* computation (their small handling cost extends the
+task, modelling the shared CPU), and a mechanism may *pause* the computing
+thread for the duration of a snapshot (the paper grabs the MPI lock) and
+resume it afterwards.
+
+Subclasses (the solver process, protocol test fixtures) override
+:meth:`handle_state`, :meth:`handle_data`, :meth:`next_task`,
+:meth:`can_start_task` and :meth:`can_receive_data`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from collections import deque
+
+from .errors import ProtocolError
+from .events import Event, PRIORITY_LOW, PRIORITY_NORMAL
+from .network import Channel, Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+    from .network import Network
+
+
+@dataclass
+class Work:
+    """A unit of computation: ``duration`` seconds of uninterruptible work.
+
+    ``on_start`` runs when the task begins (allocate memory, update loads);
+    ``on_complete`` when it ends (free memory, send results, update loads).
+    Both may send messages / charge CPU time; those costs are accounted as
+    part of the activity.
+    """
+
+    duration: float
+    label: str = ""
+    on_start: Optional[Callable[[], None]] = None
+    on_complete: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class _RunningTask:
+    work: Work
+    completion_event: Optional[Event]
+    completion_time: float
+    paused: bool = False
+    remaining: float = 0.0
+    pause_count: int = 0
+    total_paused: float = 0.0
+    paused_at: float = 0.0
+
+
+class SimProcess:
+    """One process of the distributed asynchronous system."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        rank: int,
+        *,
+        threaded: bool = False,
+        poll_period: float = 50e-6,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.rank = rank
+        self.threaded = bool(threaded)
+        self.poll_period = float(poll_period)
+        self.mailbox_state: Deque[Envelope] = deque()
+        self.mailbox_data: Deque[Envelope] = deque()
+        self.halted = False
+        self._busy_until = 0.0
+        self._in_activity = False
+        self._pending_charge = 0.0
+        self._current: Optional[_RunningTask] = None
+        self._dispatch_event: Optional[Event] = None
+        self._poll_event: Optional[Event] = None
+        # --- statistics -------------------------------------------------
+        self.stats_msgs_treated = 0
+        self.stats_tasks_run = 0
+        self.stats_busy_time = 0.0
+        self.stats_idle_since = 0.0
+        network.register(self)
+
+    # ------------------------------------------------------------ overrides
+
+    def handle_state(self, env: Envelope) -> None:
+        """Treat a STATE-channel message (override)."""
+        raise NotImplementedError
+
+    def handle_data(self, env: Envelope) -> None:
+        """Treat a DATA-channel message (override)."""
+        raise NotImplementedError
+
+    def next_task(self) -> Optional[Work]:
+        """Return the next local ready task, or None (override)."""
+        return None
+
+    def can_start_task(self) -> bool:
+        """Whether a new task may start now (mechanisms veto during snapshots)."""
+        return True
+
+    def can_receive_data(self) -> bool:
+        """Whether DATA messages may be treated now.
+
+        While blocked inside a snapshot, the paper's processes loop on
+        state-information receptions only, so the solver returns False there.
+        """
+        return True
+
+    def on_idle(self) -> None:
+        """Hook called when the process goes idle (no messages, no tasks)."""
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def computing(self) -> bool:
+        """True while a task is running (and not paused)."""
+        return self._current is not None and not self._current.paused
+
+    @property
+    def task_paused(self) -> bool:
+        return self._current is not None and self._current.paused
+
+    @property
+    def cpu_free_at(self) -> float:
+        return self._busy_until
+
+    def pending_messages(self, channel: Optional[Channel] = None) -> int:
+        if channel is Channel.STATE:
+            return len(self.mailbox_state)
+        if channel is Channel.DATA:
+            return len(self.mailbox_data)
+        return len(self.mailbox_state) + len(self.mailbox_data)
+
+    # ----------------------------------------------------------- CPU charge
+
+    def charge(self, dt: float) -> None:
+        """Charge ``dt`` seconds of CPU to this process.
+
+        Inside an activity (message handling, task start/completion hooks)
+        the charge extends that activity; otherwise it occupies the CPU
+        immediately.
+        """
+        if dt < 0:
+            raise ValueError("negative charge")
+        if self._in_activity:
+            self._pending_charge += dt
+        elif self._current is not None and not self._current.paused:
+            # Charged during computation (threaded poll): extend the task.
+            self._extend_running_task(dt)
+        else:
+            self._busy_until = max(self._busy_until, self.sim.now) + dt
+            self.stats_busy_time += dt
+            self._schedule_dispatch(self._busy_until)
+
+    def _take_pending(self) -> float:
+        dt = self._pending_charge
+        self._pending_charge = 0.0
+        return dt
+
+    # ------------------------------------------------------------- delivery
+
+    def deliver(self, env: Envelope) -> None:
+        """Called by the network when a message reaches this process."""
+        if self.halted:
+            return
+        if env.channel is Channel.STATE:
+            self.mailbox_state.append(env)
+            if self.threaded and self.computing:
+                self._schedule_poll()
+                return
+        else:
+            self.mailbox_data.append(env)
+        self._wake()
+
+    def notify_work(self) -> None:
+        """Public wake-up: local work became available or a block lifted."""
+        self._wake()
+
+    def _wake(self) -> None:
+        if self.halted:
+            return
+        if self._current is not None and not self._current.paused:
+            return  # computing: dispatch resumes at task completion
+        when = max(self.sim.now, self._busy_until)
+        self._schedule_dispatch(when)
+
+    def _schedule_dispatch(self, when: float) -> None:
+        if self.halted:
+            return
+        if self._dispatch_event is not None and not self._dispatch_event.cancelled:
+            # keep the earliest scheduled dispatch
+            if self._dispatch_event.time <= when:
+                return
+            self.sim.cancel(self._dispatch_event)
+        self._dispatch_event = self.sim.schedule_at(
+            when, self._dispatch, label=f"dispatch:P{self.rank}"
+        )
+
+    # ------------------------------------------------------------- dispatch
+
+    def _cpu_free(self) -> bool:
+        if self.sim.now < self._busy_until:
+            return False
+        if self._current is not None and not self._current.paused:
+            return False
+        return True
+
+    def _dispatch(self) -> None:
+        self._dispatch_event = None
+        if self.halted:
+            return
+        if self._current is not None and not self._current.paused:
+            return  # computing: the completion path re-dispatches
+        if self.sim.now < self._busy_until:
+            # Woken early (e.g. an unblock during a handler whose cost was
+            # charged after the wake): retry when the CPU frees.
+            self._schedule_dispatch(self._busy_until)
+            return
+        if self.mailbox_state:
+            self._treat(self.mailbox_state.popleft())
+            return
+        if self.mailbox_data and self.can_receive_data() and not self.task_paused:
+            self._treat(self.mailbox_data.popleft())
+            return
+        if self.can_start_task() and self._current is None:
+            work = self.next_task()
+            if work is not None:
+                self._begin_task(work)
+                return
+        self.on_idle()
+
+    def _treat(self, env: Envelope) -> None:
+        """Treat one message: run its handler, charge its CPU cost."""
+        self.stats_msgs_treated += 1
+        self._in_activity = True
+        try:
+            if env.channel is Channel.STATE:
+                self.handle_state(env)
+            else:
+                self.handle_data(env)
+        finally:
+            self._in_activity = False
+        cost = self.network.config.recv_cost(env.size) + self._take_pending()
+        self.stats_busy_time += cost
+        self._busy_until = max(self._busy_until, self.sim.now) + cost
+        self._schedule_dispatch(self._busy_until)
+
+    # ---------------------------------------------------------------- tasks
+
+    def _begin_task(self, work: Work) -> None:
+        self._in_activity = True
+        try:
+            if work.on_start is not None:
+                work.on_start()
+        finally:
+            self._in_activity = False
+        setup = self._take_pending()
+        start = self.sim.now + setup
+        completion = start + work.duration
+        self.stats_tasks_run += 1
+        self.stats_busy_time += setup + work.duration
+        self._busy_until = completion
+        task = _RunningTask(work, None, completion)
+        task.completion_event = self.sim.schedule_at(
+            completion,
+            self._task_complete,
+            priority=PRIORITY_LOW,
+            label=f"task-done:P{self.rank}:{work.label}",
+        )
+        self._current = task
+
+    def _task_complete(self) -> None:
+        task = self._current
+        if task is None:  # pragma: no cover - defensive
+            return
+        self._current = None
+        self._in_activity = True
+        try:
+            if task.work.on_complete is not None:
+                task.work.on_complete()
+        finally:
+            self._in_activity = False
+        cost = self._take_pending()
+        self.stats_busy_time += cost
+        self._busy_until = max(self._busy_until, self.sim.now) + cost
+        self._schedule_dispatch(self._busy_until)
+
+    def _extend_running_task(self, dt: float) -> None:
+        task = self._current
+        assert task is not None and not task.paused
+        assert task.completion_event is not None
+        self.sim.cancel(task.completion_event)
+        task.completion_time += dt
+        self.stats_busy_time += dt
+        self._busy_until = task.completion_time
+        task.completion_event = self.sim.schedule_at(
+            task.completion_time,
+            self._task_complete,
+            priority=PRIORITY_LOW,
+            label=f"task-done:P{self.rank}:{task.work.label}",
+        )
+
+    # --------------------------------------------------------- pause/resume
+
+    def pause_task(self) -> bool:
+        """Pause the running task (threaded snapshot blocking).
+
+        Returns True if a task was actually paused.  The CPU becomes free for
+        message treatment while paused.  Re-entrant: nested pauses require
+        matching resumes.
+        """
+        task = self._current
+        if task is None:
+            return False
+        task.pause_count += 1
+        if task.paused:
+            return True
+        if task.completion_event is not None:
+            self.sim.cancel(task.completion_event)
+            task.completion_event = None
+        task.remaining = max(0.0, task.completion_time - self.sim.now)
+        task.paused = True
+        task.paused_at = self.sim.now
+        self.stats_busy_time -= task.remaining  # will be re-added on resume
+        self._busy_until = self.sim.now
+        self._wake()
+        return True
+
+    def resume_task(self) -> None:
+        """Resume a paused task once all pauses are released."""
+        task = self._current
+        if task is None:
+            return
+        if not task.paused:
+            raise ProtocolError(f"P{self.rank}: resume_task without pause")
+        task.pause_count -= 1
+        if task.pause_count > 0:
+            return
+        task.paused = False
+        task.total_paused += self.sim.now - task.paused_at
+        start = max(self.sim.now, self._busy_until)
+        task.completion_time = start + task.remaining
+        self.stats_busy_time += task.remaining
+        self._busy_until = task.completion_time
+        task.completion_event = self.sim.schedule_at(
+            task.completion_time,
+            self._task_complete,
+            priority=PRIORITY_LOW,
+            label=f"task-done:P{self.rank}:{task.work.label}",
+        )
+
+    # ------------------------------------------------------- threaded polls
+
+    def _schedule_poll(self) -> None:
+        if self._poll_event is not None and not self._poll_event.cancelled:
+            return
+        # The comm thread wakes at multiples of poll_period; model the
+        # expected delay by rounding up to the next period boundary.
+        period = self.poll_period
+        k = math.floor(self.sim.now / period) + 1
+        self._poll_event = self.sim.schedule_at(
+            k * period, self._thread_poll, label=f"poll:P{self.rank}"
+        )
+
+    def _thread_poll(self) -> None:
+        self._poll_event = None
+        if self.halted:
+            return
+        if not (self.threaded and self.computing):
+            # Task ended (or was paused) before the poll fired: the main
+            # dispatch path owns the mailbox again.
+            self._wake()
+            return
+        # Treat all queued STATE messages "in the background".
+        while self.mailbox_state and self.computing:
+            env = self.mailbox_state.popleft()
+            self.stats_msgs_treated += 1
+            self._in_activity = True
+            try:
+                self.handle_state(env)
+            finally:
+                self._in_activity = False
+            cost = self.network.config.recv_cost(env.size) + self._take_pending()
+            if self.computing:
+                self._extend_running_task(cost)
+            else:
+                # Handler paused the task; charge cost as free-CPU time.
+                self.stats_busy_time += cost
+                self._busy_until = max(self._busy_until, self.sim.now) + cost
+        if self.mailbox_state and self.computing:  # pragma: no cover
+            self._schedule_poll()
+        if not self.computing:
+            self._wake()
+
+    # ------------------------------------------------------------- lifetime
+
+    def halt(self) -> None:
+        """Stop this process: cancel pending activity, ignore deliveries."""
+        self.halted = True
+        if self._dispatch_event is not None:
+            self.sim.cancel(self._dispatch_event)
+            self._dispatch_event = None
+        if self._poll_event is not None:
+            self.sim.cancel(self._poll_event)
+            self._poll_event = None
+        if self._current is not None and self._current.completion_event is not None:
+            self.sim.cancel(self._current.completion_event)
+            self._current = None
+
+    # ----------------------------------------------------------- diagnostics
+
+    def debug_state(self) -> str:
+        cur = self._current
+        return (
+            f"P{self.rank}: state_mbox={len(self.mailbox_state)} "
+            f"data_mbox={len(self.mailbox_data)} busy_until={self._busy_until:.6f} "
+            f"task={(cur.work.label + (' [paused]' if cur.paused else '')) if cur else '-'} "
+            f"can_start={self.can_start_task()}"
+        )

@@ -1,0 +1,96 @@
+"""Execution trace recording.
+
+Traces serve two purposes in this reproduction:
+
+* debugging the asynchronous protocols (every message send/delivery and every
+  process state change can be recorded and replayed as a timeline), and
+* regenerating Figure 1 of the paper, which is precisely a timeline of three
+  processes exhibiting the naive mechanism's coherence problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One timestamped trace record.
+
+    ``kind`` is a short category tag (``send``, ``recv``, ``task``,
+    ``decision``, ``load``, ``event``...), ``who`` the acting process rank (or
+    -1 for engine-level records) and ``detail`` a human-readable description.
+    """
+
+    time: float
+    kind: str
+    who: int
+    detail: str
+
+
+class TraceRecorder:
+    """Append-only trace with optional filtering and timeline rendering."""
+
+    def __init__(self, *, keep_kinds: Optional[Iterable[str]] = None) -> None:
+        self.entries: List[TraceEntry] = []
+        self._keep = frozenset(keep_kinds) if keep_kinds is not None else None
+
+    def record(self, time: float, kind: str, detail: str, who: int = -1) -> None:
+        if self._keep is not None and kind not in self._keep:
+            return
+        self.entries.append(TraceEntry(time, kind, who, detail))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def filter(
+        self,
+        *,
+        kind: Optional[str] = None,
+        who: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Entries matching all provided criteria, in time order."""
+        out = []
+        for e in self.entries:
+            if kind is not None and e.kind != kind:
+                continue
+            if who is not None and e.who != who:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            out.append(e)
+        return out
+
+    def render_timeline(
+        self,
+        ranks: Sequence[int],
+        *,
+        width: int = 100,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> str:
+        """Render a per-process vertical timeline (Figure-1 style), as text.
+
+        Each process gets a column; entries are listed in time order with the
+        acting process's column marked.  Engine-level entries (who == -1) span
+        the full width.
+        """
+        keep = frozenset(kinds) if kinds is not None else None
+        col = {r: i for i, r in enumerate(ranks)}
+        header = "time        " + "  ".join(f"P{r:<4d}" for r in ranks)
+        lines = [header, "-" * min(width, len(header) + 24)]
+        for e in self.entries:
+            if keep is not None and e.kind not in keep:
+                continue
+            stamp = f"{e.time:10.6f}  "
+            if e.who in col:
+                cells = ["      "] * len(ranks)
+                cells[col[e.who]] = "  *   "
+                lines.append(stamp + "".join(cells) + f" [{e.kind}] {e.detail}")
+            else:
+                lines.append(stamp + f"[{e.kind}] {e.detail}")
+        return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Simulated parallel multifrontal factorization (the paper's application)."""
+
+from .driver import (
+    FactorizationResult,
+    SolverConfig,
+    default_threshold,
+    run_factorization,
+)
+from .memory import MemoryTracker
+from .messages import CBBlockMsg, RootPartMsg, SlaveTaskMsg
+from .process import RunState, SolverProcess
+from .tasks import ReadyTask, TaskKind
+from .validate import ValidationReport, validate_result
+
+__all__ = [
+    "FactorizationResult",
+    "SolverConfig",
+    "default_threshold",
+    "run_factorization",
+    "MemoryTracker",
+    "CBBlockMsg",
+    "RootPartMsg",
+    "SlaveTaskMsg",
+    "RunState",
+    "SolverProcess",
+    "ReadyTask",
+    "TaskKind",
+    "ValidationReport",
+    "validate_result",
+]

@@ -1,0 +1,306 @@
+"""Factorization run driver: set up, simulate, collect results.
+
+``run_factorization`` is the package's main entry point: it glues the
+symbolic analysis, the static mapping, the chosen load-exchange mechanism
+and dynamic strategy into one deterministic simulated run and returns a
+:class:`FactorizationResult` carrying every metric the paper's tables use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..mapping.static import MappingParams, StaticMapping, compute_mapping
+from ..mapping.types import NodeType
+from ..matrices.collection import Problem
+from ..mechanisms.base import Mechanism, MechanismConfig, MechanismShared, SnapshotStats
+from ..mechanisms.registry import create_mechanism
+from ..mechanisms.view import Load
+from ..scheduling import ScheduleParams, create_strategy
+from ..simcore.engine import Simulator
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Network, NetworkConfig
+from ..simcore.trace import TraceRecorder
+from ..symbolic.driver import AnalysisParams, analyze_problem
+from ..symbolic.tree import AssemblyTree
+from .process import RunState, SolverProcess
+from .truth import DecisionLog, TruthTracker
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """All knobs of a simulated factorization run."""
+
+    proc_speed: float = 1e9  # flops/second per process
+    task_overhead: float = 1e-5  # fixed seconds per task (management)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    threaded: bool = False
+    poll_period: float = 50e-6  # the paper's 50 µs comm-thread period
+    #: Threshold = threshold_frac × median per-slave share (paper §2.3:
+    #: "of the same order as the granularity of the tasks").
+    threshold_frac: float = 0.15
+    no_more_master: bool = True
+    leader_criterion: str = "rank"  # snapshot leader election (ablation)
+    snapshot_group_size: int = 0  # partial-snapshot group (0 = default)
+    periodic_period: float = 0.0  # time-driven mechanism period (0 = default)
+    seed: int = 0
+    schedule: ScheduleParams = field(default_factory=ScheduleParams)
+    mapping: Optional[MappingParams] = None
+    analysis: Optional[AnalysisParams] = None
+    record_series: bool = False
+    max_events: int = 50_000_000
+
+
+@dataclass
+class FactorizationResult:
+    """Everything the paper's tables report about one run."""
+
+    problem: str
+    nprocs: int
+    mechanism: str
+    strategy: str
+    threaded: bool
+    factorization_time: float
+    peak_active: np.ndarray  # per-rank peak active memory (entries)
+    peak_total: np.ndarray  # per-rank peak active+factor memory
+    state_messages: int
+    data_messages: int
+    messages_by_type: Dict[str, int]
+    bytes_by_type: Dict[str, int]
+    decisions: int
+    snapshot_count: int
+    snapshot_union_time: float
+    snapshot_max_concurrent: int
+    events_executed: int
+    busy_time: np.ndarray
+    total_factor_entries: float
+    tree_fronts: int
+    #: (time, active_entries) samples per rank when record_series is on.
+    memory_series: Optional[List] = None
+    #: Per-decision records incl. view errors (see repro.solver.truth).
+    decision_log: Optional[DecisionLog] = None
+
+    @property
+    def mean_view_error_workload(self) -> float:
+        """Mean relative L1 error of decision views vs true committed loads."""
+        return self.decision_log.mean_error_workload if self.decision_log else 0.0
+
+    @property
+    def mean_view_error_memory(self) -> float:
+        return self.decision_log.mean_error_memory if self.decision_log else 0.0
+
+    @property
+    def peak_active_memory(self) -> float:
+        """Max-over-processes peak of active memory — Table 4's metric."""
+        return float(self.peak_active.max())
+
+    @property
+    def total_state_messages(self) -> int:
+        """Table 6's metric."""
+        return self.state_messages
+
+    def summary(self) -> str:
+        return (
+            f"{self.problem} P={self.nprocs} {self.mechanism}/{self.strategy}"
+            f"{' +thread' if self.threaded else ''}: "
+            f"time={self.factorization_time:.4f}s "
+            f"peak_mem={self.peak_active_memory:.3g} entries "
+            f"state_msgs={self.state_messages} decisions={self.decisions}"
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable export of every metric (for tooling/CI)."""
+        return {
+            "problem": self.problem,
+            "nprocs": self.nprocs,
+            "mechanism": self.mechanism,
+            "strategy": self.strategy,
+            "threaded": self.threaded,
+            "factorization_time": self.factorization_time,
+            "peak_active": self.peak_active.tolist(),
+            "peak_active_memory": self.peak_active_memory,
+            "peak_total": self.peak_total.tolist(),
+            "state_messages": self.state_messages,
+            "data_messages": self.data_messages,
+            "messages_by_type": dict(self.messages_by_type),
+            "bytes_by_type": dict(self.bytes_by_type),
+            "decisions": self.decisions,
+            "snapshot_count": self.snapshot_count,
+            "snapshot_union_time": self.snapshot_union_time,
+            "snapshot_max_concurrent": self.snapshot_max_concurrent,
+            "events_executed": self.events_executed,
+            "busy_time": self.busy_time.tolist(),
+            "total_factor_entries": self.total_factor_entries,
+            "tree_fronts": self.tree_fronts,
+            "mean_view_error_workload": self.mean_view_error_workload,
+            "mean_view_error_memory": self.mean_view_error_memory,
+        }
+
+
+def default_threshold(
+    tree: AssemblyTree, mapping: StaticMapping, frac: float = 0.5,
+    kmin_rows: int = 4,
+) -> Load:
+    """Threshold of the same order as the slave-share granularity (§2.3)."""
+    shares_w: List[float] = []
+    shares_m: List[float] = []
+    for fid, t in mapping.node_type.items():
+        if t is not NodeType.TYPE2:
+            continue
+        f = tree[fid]
+        est_slaves = max(1, min(mapping.nprocs - 1, f.border // max(kmin_rows, 1)))
+        shares_w.append(f.flops_slaves / est_slaves)
+        shares_m.append(f.border * f.nfront / est_slaves)
+    if not shares_w:
+        # No parallel tasks: threshold on the typical front cost.
+        w = tree.total_flops / max(len(tree), 1)
+        m = max((f.front_entries for f in tree), default=1)
+        return Load(frac * w, frac * m)
+    return Load(frac * float(np.median(shares_w)), frac * float(np.median(shares_m)))
+
+
+def run_factorization(
+    problem: Union[Problem, AssemblyTree],
+    nprocs: int,
+    mechanism: str = "increments",
+    strategy: str = "workload",
+    config: Optional[SolverConfig] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> FactorizationResult:
+    """Simulate one parallel factorization; fully deterministic per config."""
+    config = config or SolverConfig()
+    if isinstance(problem, AssemblyTree):
+        tree = problem
+        pname = tree.name or "custom"
+    else:
+        tree = analyze_problem(problem, config.analysis)
+        pname = problem.name
+    mapping = compute_mapping(tree, nprocs, config.mapping)
+    threshold = default_threshold(
+        tree, mapping, config.threshold_frac, config.schedule.kmin_rows
+    )
+    mech_config = MechanismConfig(
+        threshold=threshold,
+        no_more_master=config.no_more_master,
+        threaded=config.threaded,
+        leader_criterion=config.leader_criterion,
+        snapshot_group_size=config.snapshot_group_size,
+        periodic_period=config.periodic_period,
+    )
+
+    sim = Simulator(seed=config.seed, max_events=config.max_events, trace=trace)
+    net = Network(sim, nprocs, config.network)
+    shared = MechanismShared(snapshot_stats=SnapshotStats(sim))
+    run_state = RunState()
+    truth = TruthTracker(nprocs)
+    decision_log = DecisionLog()
+
+    procs: List[SolverProcess] = []
+    for rank in range(nprocs):
+        mech = create_mechanism(mechanism, mech_config)
+        procs.append(
+            SolverProcess(
+                sim,
+                net,
+                rank,
+                mapping=mapping,
+                mechanism=mech,
+                strategy=create_strategy(strategy, config.schedule),
+                run_state=run_state,
+                shared=shared,
+                proc_speed=config.proc_speed,
+                task_overhead=config.task_overhead,
+                threaded=config.threaded,
+                poll_period=config.poll_period,
+                record_series=config.record_series,
+                truth=truth,
+                decision_log=decision_log,
+            )
+        )
+
+    # The makespan is the completion time of the last task part; the
+    # simulation then *drains* (pending release/update messages are treated)
+    # so that end-of-run invariants — no active memory anywhere — hold.
+    completion_time: List[float] = []
+
+    def on_done() -> None:
+        completion_time.append(sim.now)
+        # Stop self-scheduled mechanism activity (e.g. periodic broadcast
+        # timers) so the post-completion drain terminates.
+        for p in procs:
+            p.mechanism.shutdown()
+
+    run_state.on_done = on_done
+
+    # Statically known initial state (paper §4.2.2): the subtree workloads.
+    initial = [Load(float(w), 0.0) for w in mapping.initial_workload()]
+    truth.initialize(initial)
+    static_masters = set(mapping.static_masters())
+    silent_ranks = [r for r in range(nprocs) if r not in static_masters]
+    for p in procs:
+        p.mechanism.initialize_view(initial)
+        if p.mechanism.maintains_view and config.no_more_master:
+            # §2.3: ranks that are statically known never to select slaves
+            # need no load information — everyone skips them from day one.
+            p.mechanism._dont_send_to.update(
+                r for r in silent_ranks if r != p.rank
+            )
+    for p in procs:
+        p.setup()
+
+    sim.on_drain_check(lambda: run_state.remaining == 0)
+    for p in procs:
+        sim.add_state_dumper(p.debug_state)
+
+    reason = sim.run()
+    if run_state.remaining != 0:  # pragma: no cover - deadlock guard
+        raise ProtocolError(
+            f"factorization incomplete: {run_state.remaining} parts left "
+            f"(stop reason: {reason})"
+        )
+
+    # ----------------------------------------------------- sanity invariants
+    total_factors = sum(p.tracker.factors for p in procs)
+    expected_factors = float(tree.total_factor_entries)
+    if not np.isclose(total_factors, expected_factors, rtol=1e-6):
+        raise ProtocolError(
+            f"factor-entry conservation violated: {total_factors} != "
+            f"{expected_factors}"
+        )
+    for p in procs:
+        if p.tracker.active > 0.5:
+            raise ProtocolError(
+                f"P{p.rank} ends with {p.tracker.active} active entries"
+            )
+
+    snap = shared.snapshot_stats
+    return FactorizationResult(
+        problem=pname,
+        nprocs=nprocs,
+        mechanism=mechanism,
+        strategy=strategy,
+        threaded=config.threaded,
+        factorization_time=completion_time[0],
+        peak_active=np.array([p.tracker.peak_active for p in procs]),
+        peak_total=np.array([p.tracker.peak_total for p in procs]),
+        state_messages=net.stats.state_message_count(),
+        data_messages=net.stats.by_channel.get("DATA", 0),
+        messages_by_type=dict(net.stats.by_type),
+        bytes_by_type=dict(net.stats.bytes_by_type),
+        decisions=sum(p.stats_decisions for p in procs),
+        snapshot_count=snap.total_snapshots,
+        snapshot_union_time=snap.union_time,
+        snapshot_max_concurrent=snap.max_concurrent,
+        events_executed=sim.events_executed,
+        busy_time=np.array([p.stats_busy_time for p in procs]),
+        total_factor_entries=total_factors,
+        tree_fronts=len(tree),
+        memory_series=(
+            [list(p.tracker.series) for p in procs]
+            if config.record_series else None
+        ),
+        decision_log=decision_log,
+    )

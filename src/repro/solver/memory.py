@@ -1,0 +1,64 @@
+"""Per-process memory accounting.
+
+Tracks, in matrix entries (the unit of the paper's Table 4):
+
+* ``active`` — frontal matrices currently allocated plus contribution
+  blocks waiting on the CB stack: the paper's "active memory";
+* ``factors`` — factor entries produced so far (kept until the end);
+* peaks of both and of their sum.
+
+The tracker is the *ground truth* used by the experiment tables; the
+mechanisms exchange (possibly stale) estimates of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class MemoryTracker:
+    """Active/factor memory accounting for one process."""
+
+    rank: int = -1
+    active: float = 0.0
+    factors: float = 0.0
+    peak_active: float = 0.0
+    peak_total: float = 0.0
+    #: Optional (time, active) samples for plotting/debugging.
+    record_series: bool = False
+    series: List[Tuple[float, float]] = field(default_factory=list)
+
+    def alloc_active(self, entries: float, now: float = 0.0) -> None:
+        if entries < 0:
+            raise ValueError("negative allocation")
+        self.active += entries
+        self._update_peaks(now)
+
+    def free_active(self, entries: float, now: float = 0.0) -> None:
+        if entries < 0:
+            raise ValueError("negative free")
+        self.active -= entries
+        if self.active < -1e-6:
+            raise ValueError(
+                f"P{self.rank}: active memory went negative ({self.active})"
+            )
+        self.active = max(self.active, 0.0)
+        if self.record_series:
+            self.series.append((now, self.active))
+
+    def add_factors(self, entries: float, now: float = 0.0) -> None:
+        if entries < 0:
+            raise ValueError("negative factor entries")
+        self.factors += entries
+        self._update_peaks(now)
+
+    def _update_peaks(self, now: float) -> None:
+        if self.active > self.peak_active:
+            self.peak_active = self.active
+        total = self.active + self.factors
+        if total > self.peak_total:
+            self.peak_total = total
+        if self.record_series:
+            self.series.append((now, self.active))

@@ -1,0 +1,88 @@
+"""Application (DATA-channel) message payloads of the simulated solver.
+
+These are the "task, data, ..." messages of the paper's Algorithm 1 — they
+are treated *after* state-information messages and carry the actual numeric
+payloads, so their sizes model real data volumes (8 bytes per entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcore.network import Payload
+
+BYTES_PER_ENTRY = 8
+
+
+@dataclass
+class SlaveTaskMsg(Payload):
+    """Master → selected slave: your block of rows of a type-2 front."""
+
+    TYPE = "slave_task"
+    front_id: int = -1
+    rows: int = 0
+    nfront: int = 0
+    flops: float = 0.0
+
+    @property
+    def entries(self) -> int:
+        return self.rows * self.nfront
+
+    def nbytes(self) -> int:
+        return 96 + self.entries * BYTES_PER_ENTRY
+
+
+@dataclass
+class CBBlockMsg(Payload):
+    """Contribution-block rows sent to the parent front's master."""
+
+    TYPE = "cb_block"
+    parent_front: int = -1
+    child_front: int = -1
+    entries: int = 0
+
+    def nbytes(self) -> int:
+        return 96 + self.entries * BYTES_PER_ENTRY
+
+
+@dataclass
+class CBNoticeMsg(Payload):
+    """Producer → parent master: "my CB piece for your front is ready".
+
+    Used when the parent is a type-2 front: the piece itself stays
+    *distributed* on the producer (as in MUMPS) until the parent's dynamic
+    decision; only this small control message travels, so the parent can
+    track readiness.
+    """
+
+    TYPE = "cb_notice"
+    parent_front: int = -1
+    child_front: int = -1
+    entries: int = 0
+
+    def nbytes(self) -> int:
+        return 64
+
+
+@dataclass
+class ReleaseCBMsg(Payload):
+    """Parent master → producer: the front is assembled, free your piece."""
+
+    TYPE = "release_cb"
+    parent_front: int = -1
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class RootPartMsg(Payload):
+    """Root (type-3) master → participant: your 2D block of the root front."""
+
+    TYPE = "root_part"
+    front_id: int = -1
+    entries: int = 0
+    flops: float = 0.0
+
+    def nbytes(self) -> int:
+        return 96 + self.entries * BYTES_PER_ENTRY

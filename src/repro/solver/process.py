@@ -1,0 +1,561 @@
+"""The solver process: Algorithm 1 of the paper, specialized to MUMPS tasks.
+
+Each :class:`SolverProcess` owns:
+
+* the fronts it masters (readiness tracked by contribution-block arrival),
+* a local ready-task list ordered by the dynamic task-selection strategy,
+* a load-exchange :class:`~repro.mechanisms.base.Mechanism` instance that it
+  informs of every local load variation and consults (``request_view``)
+  before every slave selection,
+* a :class:`~repro.solver.memory.MemoryTracker` recording the *true* active
+  memory — the ground truth of Table 4, which the mechanisms only estimate.
+
+Memory/workload accounting protocol (see DESIGN.md "fidelity notes"):
+
+====================  =====================================================
+event                 effect
+====================  =====================================================
+front becomes ready   master's pending workload += its share of the flops
+CB block arrives      master active += entries (CB stack)
+task starts           active += front part − consumed children CBs
+task completes        active −= front part; factors += factor part;
+                      CB sent to the parent front's master; workload −=
+slave rows arrive     active += rows×nfront; workload/memory reported with
+                      ``slave_task=True`` so reservation-aware mechanisms
+                      do not double-count (Algorithm 3 step (1))
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..mapping.static import StaticMapping
+from ..mapping.types import NodeType
+from ..mechanisms.base import Mechanism, MechanismShared
+from ..mechanisms.view import Load
+from ..scheduling.base import SlaveSelectionStrategy
+from ..simcore.engine import Simulator
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Channel, Envelope, Network
+from ..simcore.process import SimProcess, Work
+from ..symbolic import costs
+from .memory import MemoryTracker
+from .truth import DecisionLog, DecisionRecord, TruthTracker
+from .messages import (
+    CBBlockMsg,
+    CBNoticeMsg,
+    ReleaseCBMsg,
+    RootPartMsg,
+    SlaveTaskMsg,
+)
+from .tasks import ReadyTask, TaskKind
+
+
+class RunState:
+    """Global completion tracking of one factorization run.
+
+    Counts outstanding task *parts*; when the count reaches zero the
+    factorization is complete and ``on_done`` fires (the driver halts the
+    simulation there — the paper measures exactly this makespan).
+    """
+
+    def __init__(self, on_done: Optional[Callable[[], None]] = None) -> None:
+        self.remaining = 0
+        self.total = 0
+        self.on_done = on_done
+        self.done = False
+
+    def add_parts(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("negative part count")
+        self.remaining += k
+        self.total += k
+
+    def part_done(self) -> None:
+        self.remaining -= 1
+        if self.remaining < 0:
+            raise ProtocolError("more task parts completed than registered")
+        if self.remaining == 0 and not self.done:
+            self.done = True
+            if self.on_done is not None:
+                self.on_done()
+
+
+class SolverProcess(SimProcess):
+    """One MPI process of the simulated multifrontal factorization."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        rank: int,
+        *,
+        mapping: StaticMapping,
+        mechanism: Mechanism,
+        strategy: SlaveSelectionStrategy,
+        run_state: RunState,
+        shared: Optional[MechanismShared] = None,
+        proc_speed: float = 1e9,
+        task_overhead: float = 1e-5,
+        threaded: bool = False,
+        poll_period: float = 50e-6,
+        record_series: bool = False,
+        truth: Optional[TruthTracker] = None,
+        decision_log: Optional[DecisionLog] = None,
+    ) -> None:
+        super().__init__(sim, network, rank, threaded=threaded, poll_period=poll_period)
+        self.mapping = mapping
+        self.tree = mapping.tree
+        self.mechanism = mechanism
+        self.strategy = strategy
+        self.run_state = run_state
+        self.proc_speed = float(proc_speed)
+        self.task_overhead = float(task_overhead)
+        self.tracker = MemoryTracker(rank=rank, record_series=record_series)
+        self.ready: List[ReadyTask] = []
+        self._expected_cb: Dict[int, float] = {}
+        self._got_cb: Dict[int, float] = {}
+        #: CB entries physically held here, keyed by the consuming front.
+        self._held_cb: Dict[int, float] = {}
+        #: For mastered type-2 fronts: ranks holding distributed CB pieces.
+        self._cb_producers: Dict[int, set] = {}
+        self._seq = 0
+        self._deciding: Optional[ReadyTask] = None
+        self._decisions_done = 0
+        self.stats_decisions = 0
+        self.truth = truth
+        self.decision_log = decision_log
+        mechanism.bind(self, shared)
+
+    # ------------------------------------------------------------- setup
+
+    def setup(self) -> None:
+        """Register mastered fronts and enqueue the initially ready ones.
+
+        Called once by the driver after every process is constructed (CB
+        routing needs all processes registered on the network first).
+        """
+        for f in self.tree:
+            if self.mapping.master_of(f.id) != self.rank:
+                continue
+            expected = float(
+                sum(self.tree[c].cb_entries for c in f.children)
+            )
+            self._expected_cb[f.id] = expected
+            self._got_cb[f.id] = 0.0
+            self.run_state.add_parts(1)  # the master-side part of each front
+            if expected == 0.0:
+                self._front_ready(f.id)
+
+    # ----------------------------------------------------- load reporting
+
+    def _report(self, workload: float, memory: float, *, slave: bool = False) -> None:
+        if workload or memory:
+            delta = Load(workload, memory)
+            self.mechanism.on_local_change(delta, slave_task=slave)
+            if self.truth is not None:
+                self.truth.local_change(self.rank, delta, slave_task=slave)
+
+    def _mem_alloc(self, entries: float, *, report: bool = True) -> None:
+        self.tracker.alloc_active(entries, self.sim.now)
+        if report:
+            self._report(0.0, +entries)
+
+    def _mem_free(self, entries: float, *, report: bool = True) -> None:
+        self.tracker.free_active(entries, self.sim.now)
+        if report:
+            self._report(0.0, -entries)
+
+    # -------------------------------------------------------- front events
+
+    def _front_ready(self, fid: int) -> None:
+        """All children CBs arrived: enqueue the master-side ready task."""
+        f = self.tree[fid]
+        ntype = self.mapping.type_of(fid)
+        self._seq += 1
+        if ntype in (NodeType.SUBTREE, NodeType.TYPE1):
+            task = ReadyTask(
+                kind=TaskKind.LOCAL,
+                front_id=fid,
+                flops=f.flops,
+                depth=f.depth,
+                activation_entries=float(f.front_entries),
+                order_key=self._seq,
+            )
+            if ntype is NodeType.TYPE1:
+                # Subtree costs were in the initial workload; type-1 tasks
+                # above L0 are accounted when they become activatable.
+                self._report(+f.flops, 0.0)
+        elif ntype is NodeType.TYPE2:
+            task = ReadyTask(
+                kind=TaskKind.MASTER2,
+                front_id=fid,
+                flops=f.flops_master,
+                depth=f.depth,
+                activation_entries=float(f.master_entries),
+                order_key=self._seq,
+            )
+            self._report(+f.flops_master, 0.0)
+        elif ntype is NodeType.TYPE3:
+            part_flops = costs.root_flops(f.nfront, f.sym) / self.network.nprocs
+            task = ReadyTask(
+                kind=TaskKind.ROOT_MASTER,
+                front_id=fid,
+                flops=part_flops,
+                depth=f.depth,
+                activation_entries=float(f.front_entries) / self.network.nprocs,
+                order_key=self._seq,
+            )
+            self._report(+part_flops, 0.0)
+        else:  # pragma: no cover - exhaustive enum
+            raise ProtocolError(f"unknown node type {ntype}")
+        self.ready.append(task)
+        self.notify_work()
+
+    def _deliver_cb(self, fid: int, entries: float) -> None:
+        """Account a contribution block arriving for mastered front ``fid``."""
+        got = self._got_cb[fid] + entries
+        self._got_cb[fid] = got
+        expected = self._expected_cb[fid]
+        if got > expected + 0.5:
+            raise ProtocolError(
+                f"P{self.rank}: front {fid} received {got} CB entries, "
+                f"expected {expected}"
+            )
+        if got >= expected - 0.5:
+            self._front_ready(fid)
+
+    def _emit_cb(self, fid: int, entries: float) -> None:
+        """Route a produced contribution block toward the consuming front.
+
+        * Parent of type 1 / 3 (sequential or root assembly on its master):
+          the data travels now — a full :class:`CBBlockMsg` to the master,
+          which stacks it until assembly (MUMPS type-1 behaviour).
+        * Parent of type 2: the piece *stays here*, distributed, as in
+          MUMPS; only a small :class:`CBNoticeMsg` informs the parent's
+          master, which will release the piece once its dynamic decision is
+          taken and the slave blocks are shipped.
+        """
+        f = self.tree[fid]
+        if f.parent == -1 or entries <= 0:
+            return
+        parent = f.parent
+        dest = self.mapping.master_of(parent)
+        if self.mapping.type_of(parent) in (NodeType.TYPE2, NodeType.TYPE3):
+            # Distributed consumers (type-2 slaves / the 2D root grid): the
+            # piece stays on the producer until the parent activates.
+            self._held_cb[parent] = self._held_cb.get(parent, 0.0) + entries
+            self._mem_alloc(entries)
+            if dest == self.rank:
+                self._cb_producers.setdefault(parent, set()).add(self.rank)
+                self._deliver_cb(parent, entries)
+            else:
+                self.network.send(
+                    self.rank,
+                    dest,
+                    Channel.DATA,
+                    CBNoticeMsg(parent_front=parent, child_front=fid,
+                                entries=int(entries)),
+                )
+        elif dest == self.rank:
+            # Kept on the local CB stack until the parent assembles it.
+            self._held_cb[parent] = self._held_cb.get(parent, 0.0) + entries
+            self._mem_alloc(entries)
+            self._deliver_cb(parent, entries)
+        else:
+            self.network.send(
+                self.rank,
+                dest,
+                Channel.DATA,
+                CBBlockMsg(parent_front=parent, child_front=fid,
+                           entries=int(entries)),
+            )
+
+    # ---------------------------------------------------- message handling
+
+    def handle_state(self, env: Envelope) -> None:
+        if not self.mechanism.handle_message(env):
+            raise ProtocolError(
+                f"P{self.rank}: unhandled state message {env.payload!r}"
+            )
+
+    def handle_data(self, env: Envelope) -> None:
+        p = env.payload
+        if isinstance(p, CBBlockMsg):
+            self._held_cb[p.parent_front] = (
+                self._held_cb.get(p.parent_front, 0.0) + float(p.entries)
+            )
+            self._mem_alloc(float(p.entries))
+            self._deliver_cb(p.parent_front, float(p.entries))
+        elif isinstance(p, CBNoticeMsg):
+            self._cb_producers.setdefault(p.parent_front, set()).add(env.src)
+            self._deliver_cb(p.parent_front, float(p.entries))
+        elif isinstance(p, ReleaseCBMsg):
+            held = self._held_cb.pop(p.parent_front, 0.0)
+            if held > 0:
+                self._mem_free(held)
+        elif isinstance(p, SlaveTaskMsg):
+            entries = float(p.entries)
+            self.tracker.alloc_active(entries, self.sim.now)
+            # Reservation-aware mechanisms already counted this share at
+            # Master_To_All / master_to_slave reception (slave_task=True).
+            self._report(+p.flops, +entries, slave=True)
+            self._seq += 1
+            f = self.tree[p.front_id]
+            self.ready.append(
+                ReadyTask(
+                    kind=TaskKind.SLAVE2,
+                    front_id=p.front_id,
+                    flops=p.flops,
+                    depth=f.depth,
+                    activation_entries=0.0,
+                    order_key=self._seq,
+                    rows=p.rows,
+                )
+            )
+            self.notify_work()
+        elif isinstance(p, RootPartMsg):
+            entries = float(p.entries)
+            self.tracker.alloc_active(entries, self.sim.now)
+            self._report(+p.flops, +entries)
+            self._seq += 1
+            f = self.tree[p.front_id]
+            self.ready.append(
+                ReadyTask(
+                    kind=TaskKind.ROOT_PART,
+                    front_id=p.front_id,
+                    flops=p.flops,
+                    depth=f.depth,
+                    activation_entries=0.0,
+                    order_key=self._seq,
+                )
+            )
+            self.notify_work()
+        else:
+            raise ProtocolError(f"P{self.rank}: unhandled data message {p!r}")
+
+    # ------------------------------------------------------ task selection
+
+    def can_start_task(self) -> bool:
+        return not self.mechanism.blocks_tasks()
+
+    def can_receive_data(self) -> bool:
+        # While blocked inside a snapshot, only state-information messages
+        # are treated (paper §3 / §4.5 threaded variant).
+        return not self.mechanism.blocks_tasks()
+
+    def next_task(self) -> Optional[Work]:
+        candidates = [t for t in self.ready if not t.deciding]
+        if not candidates:
+            return None
+        ordered = self.strategy.order_ready_tasks(
+            candidates,
+            self.rank,
+            self.mechanism.current_view(),
+            self.tracker.active,
+            view_maintained=self.mechanism.maintains_view,
+        )
+        head = ordered[0]
+        if head.needs_decision:
+            self._start_decision(head)
+            if head.assignment is None:
+                return None  # demand-driven snapshot in flight
+        self.ready.remove(head)
+        return self._make_work(head)
+
+    # ----------------------------------------------------- dynamic decision
+
+    def _start_decision(self, task: ReadyTask) -> None:
+        if self._deciding is not None:  # pragma: no cover - defensive
+            raise ProtocolError(f"P{self.rank}: overlapping decisions")
+        task.deciding = True
+        self._deciding = task
+        self.stats_decisions += 1
+        self.mechanism.request_view(self._decision_callback)
+
+    def _decision_callback(self, view) -> None:
+        task = self._deciding
+        self._deciding = None
+        if task is None:  # pragma: no cover - defensive
+            raise ProtocolError(f"P{self.rank}: decision callback without task")
+        front = self.tree[task.front_id]
+        candidates = self.mechanism.decision_candidates()
+        if candidates is None:
+            candidates = [r for r in range(self.network.nprocs) if r != self.rank]
+        else:
+            candidates = [r for r in candidates if r != self.rank]
+        if self.truth is not None and self.decision_log is not None:
+            err_w, err_m = self.truth.errors_against(view, exclude=self.rank)
+            self.decision_log.add(DecisionRecord(
+                time=self.sim.now,
+                master=self.rank,
+                front_id=front.id,
+                nslaves=0,  # patched below once the assignment is known
+                view_error_workload=err_w,
+                view_error_memory=err_m,
+            ))
+        assignment = self.strategy.select_slaves(front, view, candidates)
+        if self.truth is not None:
+            self.truth.reserve(assignment.shares)
+            if self.decision_log is not None and self.decision_log.records:
+                import dataclasses
+
+                last = self.decision_log.records[-1]
+                self.decision_log.records[-1] = dataclasses.replace(
+                    last, nslaves=assignment.nslaves
+                )
+        self.mechanism.record_decision(assignment.shares)
+        fpr = front.flops_per_slave_row
+        for rank, rows in assignment.rows.items():
+            self.network.send(
+                self.rank,
+                rank,
+                Channel.DATA,
+                SlaveTaskMsg(
+                    front_id=front.id,
+                    rows=rows,
+                    nfront=front.nfront,
+                    flops=rows * fpr,
+                ),
+            )
+        self.run_state.add_parts(len(assignment.rows))
+        # The front's rows (with the children CBs assembled in) are shipped:
+        # the distributed CB pieces of the children can now be freed.
+        self._release_producers(front.id)
+        self._decisions_done += 1
+        if (
+            self.mechanism.maintains_view
+            and self._decisions_done == self.mapping.type2_master_counts[self.rank]
+        ):
+            # Last dynamic decision of this process: tell the others to stop
+            # sending us load information (§2.3).
+            self.mechanism.declare_no_more_master()
+        self.mechanism.decision_complete()
+        task.assignment = assignment
+        task.deciding = False
+        self.notify_work()
+
+    # ------------------------------------------------------- task execution
+
+    def _release_producers(self, fid: int) -> None:
+        """Free the distributed CB pieces once the consumer is activated."""
+        for producer in self._cb_producers.pop(fid, ()):
+            if producer == self.rank:
+                self._consume_children_cbs(fid)
+            else:
+                self.network.send(
+                    self.rank, producer, Channel.DATA,
+                    ReleaseCBMsg(parent_front=fid),
+                )
+
+    def _make_work(self, task: ReadyTask) -> Work:
+        duration = task.flops / self.proc_speed + self.task_overhead
+        label = f"{task.kind.value}:{task.front_id}"
+
+        def on_start():
+            if self.sim.trace is not None:
+                self.sim.trace.record(self.sim.now, "task-start", label,
+                                      who=self.rank)
+            self._on_task_start(task)
+
+        def on_complete():
+            self._on_task_complete(task)
+            if self.sim.trace is not None:
+                self.sim.trace.record(self.sim.now, "task-end", label,
+                                      who=self.rank)
+
+        return Work(duration=duration, label=label,
+                    on_start=on_start, on_complete=on_complete)
+
+    def _consume_children_cbs(self, fid: int) -> None:
+        """Assembly frees the CB entries physically stacked on this process."""
+        held = self._held_cb.pop(fid, 0.0)
+        if held > 0:
+            self._mem_free(held)
+
+    def _on_task_start(self, task: ReadyTask) -> None:
+        f = self.tree[task.front_id]
+        if task.kind is TaskKind.LOCAL:
+            self._consume_children_cbs(f.id)
+            self._mem_alloc(float(f.front_entries))
+        elif task.kind is TaskKind.MASTER2:
+            self._consume_children_cbs(f.id)
+            self._mem_alloc(float(f.master_entries))
+        elif task.kind is TaskKind.ROOT_MASTER:
+            self._consume_children_cbs(f.id)
+            self._release_producers(f.id)
+            nprocs = self.network.nprocs
+            master_part, other_part = self._root_part_sizes(f)
+            part_flops = costs.root_flops(f.nfront, f.sym) / nprocs
+            self._mem_alloc(master_part)
+            # static 2D distribution: every process gets one part, no
+            # dynamic decision (paper §4.1)
+            for rank in range(nprocs):
+                if rank == self.rank:
+                    continue
+                self.network.send(
+                    self.rank,
+                    rank,
+                    Channel.DATA,
+                    RootPartMsg(front_id=f.id, entries=int(other_part),
+                                flops=part_flops),
+                )
+            self.run_state.add_parts(nprocs - 1)
+        # SLAVE2 / ROOT_PART: memory was allocated at message arrival.
+
+    def _on_task_complete(self, task: ReadyTask) -> None:
+        f = self.tree[task.front_id]
+        if task.kind is TaskKind.LOCAL:
+            self._mem_free(float(f.front_entries))
+            self.tracker.add_factors(float(f.factor_entries), self.sim.now)
+            self._report(-f.flops, 0.0)
+            self._emit_cb(f.id, float(f.cb_entries))
+        elif task.kind is TaskKind.MASTER2:
+            self._mem_free(float(f.master_entries))
+            self.tracker.add_factors(float(f.master_entries), self.sim.now)
+            self._report(-f.flops_master, 0.0)
+            # the master rows are fully factored: no CB from the master part
+        elif task.kind is TaskKind.SLAVE2:
+            entries = float(task.rows * f.nfront)
+            self.tracker.free_active(entries, self.sim.now)
+            self._report(-task.flops, -entries, slave=True)
+            self.tracker.add_factors(float(task.rows * f.npiv), self.sim.now)
+            self._emit_cb(f.id, float(task.rows * f.border))
+        elif task.kind is TaskKind.ROOT_MASTER:
+            master_part, _other = self._root_part_sizes(f)
+            self._mem_free(master_part)
+            self.tracker.add_factors(master_part, self.sim.now)
+            self._report(-task.flops, 0.0)
+        elif task.kind is TaskKind.ROOT_PART:
+            _master, other = self._root_part_sizes(f)
+            self._mem_free(other)
+            self.tracker.add_factors(other, self.sim.now)
+            self._report(-task.flops, 0.0)
+        self.run_state.part_done()
+
+    def _root_part_sizes(self, f) -> tuple:
+        """Exact integer split of the root front over all processes.
+
+        Non-masters get ``front_entries // nprocs``; the master takes the
+        remainder so that the parts sum exactly to the front (conservation
+        of factor entries, asserted by the driver).
+        """
+        nprocs = self.network.nprocs
+        other = float(f.front_entries // nprocs)
+        master = float(f.front_entries - (nprocs - 1) * other)
+        return master, other
+
+    # ------------------------------------------------------------ dumps
+
+    def debug_state(self) -> str:  # pragma: no cover - diagnostics
+        base = super().debug_state()
+        waiting = {
+            fid: (self._got_cb[fid], self._expected_cb[fid])
+            for fid in self._expected_cb
+            if self._got_cb[fid] < self._expected_cb[fid] - 0.5
+        }
+        return (
+            f"{base} ready={len(self.ready)} deciding={self._deciding is not None} "
+            f"waiting_cb={len(waiting)} mech[{self.mechanism.debug_state()}]"
+        )

@@ -1,0 +1,47 @@
+"""Ready-task descriptors of the simulated factorization.
+
+A :class:`ReadyTask` sits in a process's local ready list until the dynamic
+task-selection strategy picks it (paper Algorithm 1, line 7).  The fields
+``depth``, ``activation_entries`` and ``order_key`` are what the strategies'
+``order_ready_tasks`` sorts on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..scheduling.base import SlaveAssignment
+
+
+class TaskKind(enum.Enum):
+    LOCAL = "local"  # type-1 or subtree front: full factorization here
+    MASTER2 = "master2"  # type-2 master part (requires a dynamic decision)
+    SLAVE2 = "slave2"  # type-2 slave part (rows received from a master)
+    ROOT_MASTER = "root_master"  # type-3 root: master's part + distribution
+    ROOT_PART = "root_part"  # type-3 root: non-master 2D share
+
+
+@dataclass
+class ReadyTask:
+    """One runnable unit in a process's ready list."""
+
+    kind: TaskKind
+    front_id: int
+    flops: float
+    depth: int
+    #: Entries newly allocated when the task starts (ordering heuristic).
+    activation_entries: float
+    #: Deterministic tie-breaker (creation sequence).
+    order_key: int
+    #: SLAVE2 only: number of Schur rows held.
+    rows: int = 0
+    #: MASTER2 only: set once the slave selection completed.
+    assignment: Optional[SlaveAssignment] = None
+    #: MASTER2 only: a snapshot decision is in flight.
+    deciding: bool = False
+
+    @property
+    def needs_decision(self) -> bool:
+        return self.kind is TaskKind.MASTER2 and self.assignment is None

@@ -1,0 +1,114 @@
+"""Ground-truth load tracking and per-decision view-error records.
+
+The paper compares mechanisms through their *end effects* (memory peaks,
+times).  The simulator can additionally measure the cause directly: at the
+instant of every dynamic decision, compare the view the master used with
+the true committed load of every process.
+
+**Committed load** of a process = work/memory physically present *plus*
+reservations assigned to it that have not yet arrived.  This is the
+quantity an ideal scheduler wants (it is exactly what the oracle mechanism
+maintains): work already en route must count, or every mechanism would be
+"wrong" merely for anticipating.
+
+:class:`TruthTracker` maintains committed loads engine-side (no messages —
+pure instrumentation), and :class:`DecisionRecord` captures each decision's
+view error.  The errors quantify the paper's qualitative ranking of view
+correctness: snapshot ≈ oracle (0) < increments < naive/periodic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..mechanisms.view import Load, LoadView
+
+
+class TruthTracker:
+    """Engine-side committed-load registry (one per run)."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.view = LoadView(nprocs)
+
+    def initialize(self, loads) -> None:
+        for r, load in enumerate(loads):
+            self.view.set(r, load)
+
+    def local_change(self, rank: int, delta: Load, *, slave_task: bool) -> None:
+        """Mirror of the solver's load reports, with reservation semantics:
+        positive slave-task deltas were committed at decision time."""
+        if slave_task and delta.workload >= 0 and delta.memory >= 0:
+            return
+        self.view.add(rank, delta)
+
+    def reserve(self, assignments: Dict[int, Load]) -> None:
+        for rank, share in assignments.items():
+            self.view.add(rank, share)
+
+    def errors_against(self, view: LoadView, exclude: int = -1):
+        """L1 relative errors (workload, memory) of ``view`` vs the truth.
+
+        ``exclude`` skips the deciding master's own rank (its self-estimate
+        is trivially fresh under every mechanism).
+        """
+        mask = np.ones(self.view.nprocs, dtype=bool)
+        if 0 <= exclude < self.view.nprocs:
+            mask[exclude] = False
+        tw = self.view.workload[mask]
+        tm = self.view.memory[mask]
+        vw = view.workload[mask]
+        vm = view.memory[mask]
+        # Normalize by the larger of the two magnitudes so the error stays
+        # bounded (a stale view of a nearly drained system would otherwise
+        # divide a large numerator by ~zero).
+        den_w = max(float(np.abs(tw).sum()), float(np.abs(vw).sum()), 1.0)
+        den_m = max(float(np.abs(tm).sum()), float(np.abs(vm).sum()), 1.0)
+        err_w = float(np.abs(vw - tw).sum()) / den_w
+        err_m = float(np.abs(vm - tm).sum()) / den_m
+        return err_w, err_m
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One dynamic decision, with the view error at the decision instant."""
+
+    time: float
+    master: int
+    front_id: int
+    nslaves: int
+    view_error_workload: float
+    view_error_memory: float
+
+
+@dataclass
+class DecisionLog:
+    """All decisions of a run, with aggregate error statistics."""
+
+    records: List[DecisionRecord] = field(default_factory=list)
+
+    def add(self, rec: DecisionRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def mean_error_workload(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.view_error_workload for r in self.records]))
+
+    @property
+    def mean_error_memory(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.view_error_memory for r in self.records]))
+
+    @property
+    def max_error_workload(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(max(r.view_error_workload for r in self.records))

@@ -1,0 +1,153 @@
+"""Post-run validation: every invariant a correct simulated run satisfies.
+
+The driver enforces the hard invariants (factor conservation, zero residual
+active memory) on every run; this module packages those and several softer
+consistency checks into a reusable :func:`validate_result` that returns a
+:class:`ValidationReport` — used by the test suite and available to users
+who extend the system (new mechanisms, new strategies) and want a quick
+correctness screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..mapping.static import StaticMapping, compute_mapping
+from ..symbolic.tree import AssemblyTree
+from .driver import FactorizationResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_result`."""
+
+    ok: bool
+    failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise AssertionError("validation failed:\n" + "\n".join(self.failures))
+
+    def render(self) -> str:
+        lines = [f"validation: {'OK' if self.ok else 'FAILED'}"]
+        lines += [f"  FAIL: {f}" for f in self.failures]
+        lines += [f"  warn: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_result(
+    result: FactorizationResult,
+    tree: AssemblyTree,
+    mapping: Optional[StaticMapping] = None,
+    *,
+    proc_speed: float = 1e9,
+) -> ValidationReport:
+    """Check a finished run against the tree it claims to have factorized."""
+    fails: List[str] = []
+    warns: List[str] = []
+    if mapping is None:
+        mapping = compute_mapping(tree, result.nprocs)
+
+    # 1. factor-entry conservation (also enforced by the driver)
+    expected = float(tree.total_factor_entries)
+    if abs(result.total_factor_entries - expected) > 1e-6 * max(expected, 1.0):
+        fails.append(
+            f"factor entries {result.total_factor_entries} != tree's {expected}"
+        )
+
+    # 2. decision count equals the static type-2 node count
+    if result.decisions != mapping.n_decisions:
+        fails.append(
+            f"decisions {result.decisions} != mapping's {mapping.n_decisions}"
+        )
+
+    # 3. makespan lower bounds: work bound and critical-path bound
+    work_bound = tree.total_flops / (result.nprocs * proc_speed)
+    if result.factorization_time < work_bound * (1 - 1e-9):
+        fails.append(
+            f"time {result.factorization_time} below the work bound {work_bound}"
+        )
+    # the time critical path uses master parts for parallel fronts
+    cp = _time_critical_path(tree, mapping) / proc_speed
+    if result.factorization_time < cp * (1 - 1e-9):
+        fails.append(
+            f"time {result.factorization_time} below the critical path {cp}"
+        )
+
+    # 4. memory lower bound: someone must have held the largest atomic block
+    largest_atomic = _largest_atomic_allocation(tree, mapping, result.nprocs)
+    if result.peak_active_memory + 0.5 < largest_atomic:
+        fails.append(
+            f"peak memory {result.peak_active_memory} below the largest "
+            f"atomic allocation {largest_atomic}"
+        )
+
+    # 5. mechanism-specific message identities
+    msgs = result.messages_by_type
+    if result.mechanism in ("snapshot", "partial_snapshot"):
+        if result.snapshot_count != result.decisions:
+            fails.append(
+                f"{result.snapshot_count} snapshots for {result.decisions} decisions"
+            )
+        for t in ("update", "update_abs", "master_to_all"):
+            if msgs.get(t):
+                fails.append(f"maintained-view message {t} under {result.mechanism}")
+    if result.mechanism == "oracle" and result.state_messages:
+        fails.append("oracle run sent state messages")
+    if result.mechanism in ("naive", "increments") and result.snapshot_count:
+        fails.append("maintained-view run reports snapshots")
+    if result.mechanism == "naive" and msgs.get("master_to_all"):
+        fails.append("naive run broadcast reservations")
+
+    # 6. utilization sanity (drain-phase treatment can nudge past 1 slightly)
+    if result.factorization_time > 0:
+        util = result.busy_time / result.factorization_time
+        if util.max() > 1.05:
+            fails.append(f"process utilization {util.max():.3f} > 1")
+        if util.mean() < 0.05:
+            warns.append(f"very low mean utilization {util.mean():.3f}")
+
+    return ValidationReport(ok=not fails, failures=fails, warnings=warns)
+
+
+def _time_critical_path(tree: AssemblyTree, mapping: StaticMapping) -> float:
+    """Critical path in flops, counting only the master part of parallel
+    fronts (their slave rows run concurrently with the chain)."""
+    from ..mapping.types import NodeType
+
+    chain = {}
+    best = 0.0
+    for fid in tree.postorder():
+        f = tree[fid]
+        t = mapping.node_type[fid]
+        if t is NodeType.TYPE2:
+            own = f.flops_master
+        elif t is NodeType.TYPE3:
+            from ..symbolic import costs
+
+            own = costs.root_flops(f.nfront, f.sym) / mapping.nprocs
+        else:
+            own = f.flops
+        chain[fid] = own + max((chain[c] for c in f.children), default=0.0)
+        best = max(best, chain[fid])
+    return best
+
+
+def _largest_atomic_allocation(
+    tree: AssemblyTree, mapping: StaticMapping, nprocs: int
+) -> float:
+    """The biggest single block some process must hold at once."""
+    from ..mapping.types import NodeType
+
+    best = 0.0
+    for f in tree:
+        t = mapping.node_type[f.id]
+        if t is NodeType.TYPE2:
+            best = max(best, float(f.master_entries))
+        elif t is NodeType.TYPE3:
+            best = max(best, f.front_entries / nprocs)
+        else:
+            best = max(best, float(f.front_entries))
+    return best

@@ -1,0 +1,48 @@
+"""Symbolic analysis: matrix → ordering → elimination tree → assembly tree.
+
+The substrate of the paper's application (§4.1): MUMPS's analysis phase,
+producing the task-dependency tree whose dynamic scheduling motivates the
+load-exchange mechanisms.
+"""
+
+from . import costs
+from .driver import AnalysisParams, analyze_matrix, analyze_problem, clear_cache
+from .etree import (
+    column_counts,
+    elimination_tree,
+    factor_nnz,
+    postorder,
+    tree_depth,
+    validate_etree,
+)
+from .graph import Adjacency, adjacency_from_matrix, permute_symmetric, symmetrize_pattern
+from .ordering import compute_ordering, natural, nested_dissection, reverse_cuthill_mckee
+from .supernodes import Supernode, fundamental_supernodes, relaxed_amalgamation
+from .tree import AssemblyTree, Front
+
+__all__ = [
+    "costs",
+    "AnalysisParams",
+    "analyze_matrix",
+    "analyze_problem",
+    "clear_cache",
+    "column_counts",
+    "elimination_tree",
+    "factor_nnz",
+    "postorder",
+    "tree_depth",
+    "validate_etree",
+    "Adjacency",
+    "adjacency_from_matrix",
+    "permute_symmetric",
+    "symmetrize_pattern",
+    "compute_ordering",
+    "natural",
+    "nested_dissection",
+    "reverse_cuthill_mckee",
+    "Supernode",
+    "fundamental_supernodes",
+    "relaxed_amalgamation",
+    "AssemblyTree",
+    "Front",
+]

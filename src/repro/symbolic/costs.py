@@ -1,0 +1,116 @@
+"""Flop and memory cost models for partial frontal factorizations.
+
+A front of order ``nfront`` with ``npiv`` pivots performs a *partial* dense
+factorization: the first ``npiv`` rows/columns are eliminated, producing a
+Schur complement (contribution block) of order ``nfront − npiv``.
+
+With the paper's 1D row distribution of type-2 fronts (§4.1), the master
+eliminates the pivot block rows while the slaves update their row shares of
+the Schur complement, so:
+
+* master flops ≈ panel factorization of the npiv×nfront block,
+* slave flops are proportional to the number of rows held.
+
+Formulas use exact power sums, LU convention (unsymmetric); symmetric
+problems take half.  Memory is counted in matrix *entries* (the paper's
+Table 4 unit is millions of real entries).
+"""
+
+from __future__ import annotations
+
+
+def _sum_sq(m: int) -> float:
+    """Σ_{k=1..m} k² = m(m+1)(2m+1)/6 (0 for m ≤ 0)."""
+    if m <= 0:
+        return 0.0
+    return m * (m + 1) * (2 * m + 1) / 6.0
+
+
+def factor_flops(npiv: int, nfront: int, sym: bool = False) -> float:
+    """Total flops of the partial LU/LDLᵀ factorization of a front.
+
+    Eliminating pivot k updates the trailing (nfront−k)² block with a rank-1
+    product (2 flops/entry) plus the pivot column scaling.
+    """
+    if npiv <= 0 or nfront <= 0:
+        return 0.0
+    npiv = min(npiv, nfront)
+    trailing = 2.0 * (_sum_sq(nfront - 1) - _sum_sq(nfront - npiv - 1))
+    scaling = npiv * nfront
+    total = trailing + scaling
+    return total / 2.0 if sym else total
+
+
+def master_flops(npiv: int, nfront: int, sym: bool = False) -> float:
+    """Flops performed by the master of a type-2 front (its npiv rows).
+
+    Panel factorization: pivot k updates the (npiv−k)×(nfront−k) rows of the
+    master block remaining below it.
+    """
+    if npiv <= 0 or nfront <= 0:
+        return 0.0
+    npiv = min(npiv, nfront)
+    total = npiv * nfront  # scaling
+    # Σ_k 2 (npiv-k)(nfront-k), k=1..npiv
+    for_k = 0.0
+    a, b = npiv, nfront
+    m = npiv
+    # Σ (a-k)(b-k) = Σ k² - (a+b)Σ k + ab·m  over k=1..m
+    for_k = _sum_sq(m) - (a + b) * m * (m + 1) / 2.0 + a * b * m
+    total += 2.0 * for_k
+    return total / 2.0 if sym else total
+
+
+def slave_flops_per_row(npiv: int, nfront: int, sym: bool = False) -> float:
+    """Flops to update ONE slave row of a type-2 front by all npiv pivots.
+
+    Row r (in the Schur part) receives, for each pivot k, a scaled pivot row
+    of length (nfront − k), at 2 flops/entry.
+    """
+    if npiv <= 0 or nfront <= 0:
+        return 0.0
+    npiv = min(npiv, nfront)
+    # Σ_{k=1..npiv} 2(nfront - k)
+    total = 2.0 * (npiv * nfront - npiv * (npiv + 1) / 2.0)
+    return total / 2.0 if sym else total
+
+
+def slave_flops_total(npiv: int, nfront: int, sym: bool = False) -> float:
+    """Flops of all slave rows combined ((nfront−npiv) rows)."""
+    return slave_flops_per_row(npiv, nfront, sym) * max(0, nfront - npiv)
+
+
+def front_entries(npiv: int, nfront: int) -> int:
+    """Dense storage of the whole frontal matrix."""
+    return nfront * nfront
+
+
+def master_entries(npiv: int, nfront: int) -> int:
+    """Master's share of the front: its npiv block rows."""
+    return min(npiv, nfront) * nfront
+
+
+def slave_entries_per_row(npiv: int, nfront: int) -> int:
+    """One slave row of the front."""
+    return nfront
+
+
+def cb_entries(npiv: int, nfront: int) -> int:
+    """Contribution block (Schur complement) size."""
+    b = max(0, nfront - npiv)
+    return b * b
+
+
+def cb_entries_per_slave_row(npiv: int, nfront: int) -> int:
+    """CB share produced by one slave row."""
+    return max(0, nfront - npiv)
+
+
+def factor_entries(npiv: int, nfront: int) -> int:
+    """Factor storage of the front: everything except the CB."""
+    return front_entries(npiv, nfront) - cb_entries(npiv, nfront)
+
+
+def root_flops(nfront: int, sym: bool = False) -> float:
+    """Full dense factorization of the root front (ScaLAPACK 2D, type 3)."""
+    return factor_flops(nfront, nfront, sym)

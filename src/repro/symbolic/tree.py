@@ -1,0 +1,242 @@
+"""The assembly tree: the task-dependency graph of the multifrontal method.
+
+Each node (:class:`Front`) is a partial dense factorization; the tree must
+be processed leaves-to-root (paper §4.1, Figure 2).  The tree carries the
+cost annotations (flops, memory entries) that drive both the static mapping
+and the dynamic schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from . import costs
+from .supernodes import Supernode
+
+
+@dataclass
+class Front:
+    """One node of the assembly tree (a frontal matrix)."""
+
+    id: int
+    npiv: int
+    nfront: int
+    parent: int = -1
+    children: List[int] = field(default_factory=list)
+    depth: int = 0
+    sym: bool = False
+
+    # ----- costs (all derived; cached lazily via properties) -------------
+
+    @property
+    def border(self) -> int:
+        """Rows of the Schur complement (what type-2 slaves share)."""
+        return max(0, self.nfront - self.npiv)
+
+    @property
+    def flops(self) -> float:
+        """Total flops of this front's partial factorization."""
+        return costs.factor_flops(self.npiv, self.nfront, self.sym)
+
+    @property
+    def flops_master(self) -> float:
+        return costs.master_flops(self.npiv, self.nfront, self.sym)
+
+    @property
+    def flops_per_slave_row(self) -> float:
+        return costs.slave_flops_per_row(self.npiv, self.nfront, self.sym)
+
+    @property
+    def flops_slaves(self) -> float:
+        return costs.slave_flops_total(self.npiv, self.nfront, self.sym)
+
+    @property
+    def front_entries(self) -> int:
+        return costs.front_entries(self.npiv, self.nfront)
+
+    @property
+    def master_entries(self) -> int:
+        return costs.master_entries(self.npiv, self.nfront)
+
+    @property
+    def cb_entries(self) -> int:
+        return costs.cb_entries(self.npiv, self.nfront)
+
+    @property
+    def factor_entries(self) -> int:
+        return costs.factor_entries(self.npiv, self.nfront)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent == -1
+
+
+class AssemblyTree:
+    """A forest of fronts with cost queries used by mapping and scheduling."""
+
+    def __init__(self, fronts: List[Front], sym: bool = False, name: str = "") -> None:
+        self.fronts = fronts
+        self.sym = sym
+        self.name = name
+        self.roots = [f.id for f in fronts if f.parent == -1]
+        self._compute_depths()
+        self._subtree_flops: Optional[np.ndarray] = None
+        self._post: Optional[List[int]] = None
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def from_supernodes(
+        cls, snodes: List[Supernode], sym: bool = False, name: str = ""
+    ) -> "AssemblyTree":
+        fronts = [
+            Front(
+                id=sn.id,
+                npiv=sn.npiv,
+                nfront=max(sn.nfront, sn.npiv),
+                parent=sn.parent,
+                children=list(sn.children),
+                sym=sym,
+            )
+            for sn in snodes
+        ]
+        return cls(fronts, sym=sym, name=name)
+
+    # -------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.fronts)
+
+    def __getitem__(self, fid: int) -> Front:
+        return self.fronts[fid]
+
+    def __iter__(self) -> Iterator[Front]:
+        return iter(self.fronts)
+
+    def _compute_depths(self) -> None:
+        for fid in self.topological_order():
+            f = self.fronts[fid]
+            f.depth = 0 if f.parent == -1 else self.fronts[f.parent].depth + 1
+
+    def topological_order(self) -> List[int]:
+        """Roots-first order (parents before children)."""
+        out: List[int] = []
+        stack = list(self.roots)
+        while stack:
+            fid = stack.pop()
+            out.append(fid)
+            stack.extend(self.fronts[fid].children)
+        if len(out) != len(self.fronts):
+            raise ValueError("assembly tree is not a forest")
+        return out
+
+    def postorder(self) -> List[int]:
+        """Children-before-parents order (the sequential execution order)."""
+        if self._post is None:
+            self._post = list(reversed(self.topological_order()))
+        return self._post
+
+    def subtree_flops(self) -> np.ndarray:
+        """Total flops of the subtree rooted at each front (memoized)."""
+        if self._subtree_flops is None:
+            w = np.zeros(len(self.fronts))
+            for fid in self.postorder():
+                f = self.fronts[fid]
+                w[fid] = f.flops + sum(w[c] for c in f.children)
+            self._subtree_flops = w
+        return self._subtree_flops
+
+    def subtree_nodes(self, fid: int) -> List[int]:
+        """All front ids in the subtree rooted at ``fid`` (incl. itself)."""
+        out = []
+        stack = [fid]
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            stack.extend(self.fronts[v].children)
+        return out
+
+    # ------------------------------------------------------------ statistics
+
+    @property
+    def total_flops(self) -> float:
+        return float(sum(f.flops for f in self.fronts))
+
+    @property
+    def total_factor_entries(self) -> int:
+        return int(sum(f.factor_entries for f in self.fronts))
+
+    @property
+    def nvars(self) -> int:
+        return int(sum(f.npiv for f in self.fronts))
+
+    @property
+    def height(self) -> int:
+        return max((f.depth for f in self.fronts), default=-1) + 1
+
+    @property
+    def largest_front(self) -> int:
+        return max((f.nfront for f in self.fronts), default=0)
+
+    def critical_path_flops(self) -> float:
+        """Flops along the costliest root-to-leaf chain.
+
+        A parallelism-independent lower bound on any execution's weighted
+        span: a front cannot start before all its descendants on the chain
+        completed.  (Type-2/3 fronts execute partly in parallel, so the
+        *time* bound uses the master part; this method is the plain flop
+        chain used by analyses and tests.)
+        """
+        best = 0.0
+        chain = np.zeros(len(self.fronts))
+        for fid in self.postorder():
+            f = self.fronts[fid]
+            chain[fid] = f.flops + max(
+                (chain[c] for c in f.children), default=0.0
+            )
+            best = max(best, float(chain[fid]))
+        return best
+
+    def average_parallelism(self) -> float:
+        """total flops / critical-path flops — the tree's parallelism."""
+        cp = self.critical_path_flops()
+        return self.total_flops / cp if cp > 0 else 1.0
+
+    def sequential_peak_memory(self) -> int:
+        """Active-memory peak of a sequential postorder traversal (entries).
+
+        Classic multifrontal stack model: at each front, allocate the frontal
+        matrix on top of the CB stack of its children, pop the children CBs,
+        push this front's CB.  A lower bound for any parallel execution on
+        one process and a sanity reference for Table 4.
+        """
+        peak = 0
+        stack_now = 0
+        cb_of: Dict[int, int] = {}
+        for fid in self.postorder():
+            f = self.fronts[fid]
+            # children CBs are currently on the stack; the front is allocated
+            # alongside them before assembly frees them.
+            peak = max(peak, stack_now + f.front_entries)
+            for c in f.children:
+                stack_now -= cb_of.pop(c)
+            cb_of[fid] = f.cb_entries
+            stack_now += f.cb_entries
+            peak = max(peak, stack_now)
+        return peak
+
+    def summary(self) -> str:
+        return (
+            f"AssemblyTree({self.name or 'unnamed'}: {len(self.fronts)} fronts, "
+            f"n={self.nvars}, height={self.height}, "
+            f"largest front={self.largest_front}, "
+            f"flops={self.total_flops:.3g}, "
+            f"factors={self.total_factor_entries:.3g} entries)"
+        )

@@ -1,0 +1,78 @@
+"""Shared test fixtures: a minimal host process driving a mechanism.
+
+The real host is :class:`repro.solver.process.SolverProcess`; this stub
+implements just enough of the Algorithm-1 contract (route STATE messages to
+the mechanism, honour ``blocks_tasks``, run queued tasks) to unit-test the
+mechanisms and the process model in isolation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.mechanisms.base import Mechanism, MechanismShared
+from repro.simcore import Network, NetworkConfig, SimProcess, Simulator, Work
+from repro.simcore.network import Envelope
+
+
+class HostProcess(SimProcess):
+    """Test host: queued tasks + mechanism-driven state handling."""
+
+    def __init__(self, sim, network, rank, mechanism: Optional[Mechanism] = None,
+                 shared: Optional[MechanismShared] = None, **kw):
+        super().__init__(sim, network, rank, **kw)
+        self.mechanism = mechanism
+        if mechanism is not None:
+            mechanism.bind(self, shared)
+        self.task_queue: Deque[Work] = deque()
+        self.data_received: List[Envelope] = []
+        self.idle_count = 0
+
+    def queue_task(self, duration: float, label: str = "t",
+                   on_start: Optional[Callable[[], None]] = None,
+                   on_complete: Optional[Callable[[], None]] = None) -> None:
+        self.task_queue.append(Work(duration, label, on_start, on_complete))
+        self.notify_work()
+
+    # --- SimProcess overrides ------------------------------------------
+
+    def handle_state(self, env: Envelope) -> None:
+        if self.mechanism is None or not self.mechanism.handle_message(env):
+            raise AssertionError(f"unhandled state message {env.payload!r}")
+
+    def handle_data(self, env: Envelope) -> None:
+        self.data_received.append(env)
+
+    def next_task(self) -> Optional[Work]:
+        if self.task_queue:
+            return self.task_queue.popleft()
+        return None
+
+    def can_start_task(self) -> bool:
+        if self.mechanism is not None and self.mechanism.blocks_tasks():
+            return False
+        return True
+
+    def can_receive_data(self) -> bool:
+        if self.mechanism is not None and self.mechanism.blocks_tasks():
+            return False
+        return True
+
+    def on_idle(self) -> None:
+        self.idle_count += 1
+
+
+def make_world(nprocs: int, mech_factory=None, *, seed: int = 0,
+               config: Optional[NetworkConfig] = None, threaded: bool = False,
+               shared: Optional[MechanismShared] = None):
+    """Build (sim, network, [procs]) with optional per-proc mechanisms."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, nprocs, config or NetworkConfig())
+    procs = []
+    for r in range(nprocs):
+        mech = mech_factory() if mech_factory is not None else None
+        procs.append(
+            HostProcess(sim, net, r, mechanism=mech, shared=shared, threaded=threaded)
+        )
+    return sim, net, procs

@@ -1,0 +1,98 @@
+"""Tests for the task-farm application (mechanism generality)."""
+
+import pytest
+
+from repro.apps import TaskFarmParams, run_taskfarm
+
+FAST = TaskFarmParams(
+    initial_tasks_per_proc=4,
+    mean_task_seconds=1e-3,
+    spawn_probability=0.3,
+    max_generation=2,
+    offload_threshold=4,
+    offload_batch=2,
+)
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("mechanism", [
+        "naive", "increments", "snapshot", "oracle",
+    ])
+    def test_all_mechanisms_complete(self, mechanism):
+        r = run_taskfarm(6, mechanism=mechanism, params=FAST, seed=1)
+        assert r.makespan > 0
+        assert r.tasks_executed >= 6 * 4  # at least the initial batch
+
+    def test_partial_snapshot_completes(self):
+        r = run_taskfarm(8, mechanism="partial_snapshot", params=FAST, seed=1)
+        assert r.makespan > 0
+
+    def test_periodic_completes_and_drains(self):
+        r = run_taskfarm(6, mechanism="periodic", params=FAST, seed=1)
+        assert r.makespan > 0
+
+    def test_single_process(self):
+        params = TaskFarmParams(initial_tasks_per_proc=3,
+                                offload_threshold=10**9)
+        r = run_taskfarm(1, mechanism="increments", params=params)
+        assert r.tasks_migrated == 0
+        assert r.offload_decisions == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_taskfarm(6, "increments", params=FAST, seed=5)
+        b = run_taskfarm(6, "increments", params=FAST, seed=5)
+        assert a.makespan == b.makespan
+        assert a.tasks_executed == b.tasks_executed
+        assert a.state_messages == b.state_messages
+
+    def test_different_seed_different_workload(self):
+        a = run_taskfarm(6, "increments", params=FAST, seed=1)
+        b = run_taskfarm(6, "increments", params=FAST, seed=2)
+        assert (a.tasks_executed != b.tasks_executed
+                or a.makespan != b.makespan)
+
+
+class TestOffloadingBehaviour:
+    def test_offloading_happens_under_skew(self):
+        r = run_taskfarm(8, "increments", params=FAST, seed=1)
+        # rank 0 starts with a double batch: someone must offload
+        assert r.offload_decisions > 0
+        assert r.tasks_migrated > 0
+
+    def test_hop_limit_bounds_migrations(self):
+        r = run_taskfarm(8, "increments", params=FAST, seed=1)
+        # every task migrates at most max_hops times
+        assert r.tasks_migrated <= r.tasks_executed * FAST.max_hops
+
+    def test_offloading_improves_balance(self):
+        # Deterministic skew: no spawning, rank 0 holds a double batch.
+        # Large batches average out the exponential task-size noise so the
+        # 2x skew on rank 0 dominates the makespan.
+        base = dict(initial_tasks_per_proc=40, mean_task_seconds=1e-3,
+                    spawn_probability=0.0, offload_batch=6, max_hops=1)
+        no_offload = TaskFarmParams(offload_threshold=10**9, **base)
+        with_offload = TaskFarmParams(offload_threshold=44, **base)
+        skewed = run_taskfarm(4, "increments", params=no_offload, seed=4)
+        balanced = run_taskfarm(4, "increments", params=with_offload, seed=4)
+        assert balanced.tasks_migrated > 0
+        assert balanced.makespan < skewed.makespan
+        assert balanced.imbalance < skewed.imbalance
+
+    def test_imbalance_metric(self):
+        r = run_taskfarm(8, "increments", params=FAST, seed=1)
+        assert r.imbalance >= 1.0
+
+
+class TestMechanismContrast:
+    """The farm's frequent tiny decisions invert the MUMPS trade-off."""
+
+    def test_snapshot_much_slower_with_frequent_decisions(self):
+        inc = run_taskfarm(8, "increments", params=FAST, seed=2)
+        snp = run_taskfarm(8, "snapshot", params=FAST, seed=2)
+        assert snp.makespan > inc.makespan
+
+    def test_oracle_no_messages(self):
+        r = run_taskfarm(8, "oracle", params=FAST, seed=2)
+        assert r.state_messages == 0

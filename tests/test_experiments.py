@@ -1,0 +1,172 @@
+"""Tests of the experiment harness (fast scale): tables, figures, report."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentScale,
+    TableResult,
+    figure1,
+    figure2,
+    side_by_side,
+    table1_2,
+    table3,
+    table4,
+)
+from repro.experiments.report import _fmt
+from repro.matrices import collection
+
+
+@pytest.fixture(scope="module")
+def fast_runner():
+    return ExperimentRunner(scale=ExperimentScale(fast=True))
+
+
+class TestReport:
+    def test_render_alignment(self):
+        t = TableResult("T", ["A", "B"], [["x", 1], ["yy", 22]])
+        lines = t.render().splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert len({len(l) for l in lines[2:4]}) >= 1
+
+    def test_cell_lookup(self):
+        t = TableResult("T", ["M", "v"], [["a", 1], ["b", 2]])
+        assert t.cell("a", "v") == 1
+        with pytest.raises(KeyError):
+            t.cell("zz", "v")
+        with pytest.raises(KeyError):
+            t.cell("a", "nope")
+
+    def test_notes_rendered(self):
+        t = TableResult("T", ["A"], [["x"]], notes=["hello"])
+        assert "note: hello" in t.render()
+
+    def test_side_by_side(self):
+        a = TableResult("A", ["x"], [["1"]])
+        b = TableResult("B", ["y"], [["2"], ["3"]])
+        text = side_by_side([a, b])
+        assert "A" in text.splitlines()[0] and "B" in text.splitlines()[0]
+
+    def test_float_formatting(self):
+        assert _fmt(0.0) == "0"
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(123456.0) == "1.23e+05"
+        assert _fmt("s") == "s"
+
+
+class TestRunnerCaching:
+    def test_same_key_returns_cached_object(self, fast_runner):
+        a = fast_runner.run("TWOTONE", 8, "increments", "workload")
+        b = fast_runner.run("TWOTONE", 8, "increments", "workload")
+        assert a is b
+        assert fast_runner.runs_executed >= 1
+
+    def test_different_mechanism_not_cached(self, fast_runner):
+        a = fast_runner.run("TWOTONE", 8, "increments", "workload")
+        b = fast_runner.run("TWOTONE", 8, "snapshot", "workload")
+        assert a is not b
+
+    def test_scale_properties(self):
+        assert ExperimentScale(fast=True).small_procs == (8, 16)
+        assert ExperimentScale(fast=False).large_procs == (64, 128)
+
+
+class TestTables:
+    def test_table1_2_lists_all_problems(self):
+        t1, t2 = table1_2()
+        assert len(t1.rows) == 8 and len(t2.rows) == 3
+        assert t1.cell("GUPTA3", "Order(paper)") == 16783
+
+    def test_table3_structure(self, fast_runner):
+        t = table3(fast_runner)
+        assert len(t.rows) == 11
+        # large problems have '-' in the smallest column
+        assert t.cell("AUDIKW_1", "8 procs") == "-"
+        assert isinstance(t.cell("AUDIKW_1", "16 procs"), int)
+
+    def test_table4_fast(self, fast_runner):
+        a, b = table4(fast_runner)
+        assert len(a.rows) == 8 and len(b.rows) == 8
+        for row in a.rows:
+            # all three mechanisms produce positive peaks
+            assert all(v > 0 for v in row[1:])
+
+    def test_table4_naive_not_best_overall(self, fast_runner):
+        a, b = table4(fast_runner)
+        wins = 0
+        total = 0
+        for tab in (a, b):
+            for p in collection.suite("small"):
+                nai = tab.cell(p.name, "naive")
+                inc = tab.cell(p.name, "Increments based")
+                total += 1
+                if nai >= inc * 0.999:
+                    wins += 1
+        assert wins >= total * 0.7
+
+
+class TestFigures:
+    def test_figure1_naive_double_selects(self):
+        fig = figure1("naive")
+        assert fig.double_selection
+        assert fig.view_of_p2[0] == fig.view_of_p2[1]
+        assert "DOUBLE SELECTION" in fig.render()
+
+    def test_figure1_increments_avoids_double(self):
+        fig = figure1("increments")
+        assert not fig.double_selection
+        assert fig.view_of_p2[1] > 1000
+
+    def test_figure1_rejects_snapshot(self):
+        with pytest.raises(ValueError):
+            figure1("snapshot")
+
+    def test_figure2_contains_all_kinds(self):
+        fig = figure2(nprocs=4)
+        assert fig.type_histogram.get("subtree", 0) > 0
+        assert fig.type_histogram.get("type2", 0) > 0
+        assert "SUBTREE" in fig.text
+        assert "master=P" in fig.text
+
+    def test_figure2_named_problem(self):
+        fig = figure2(nprocs=4, problem="TWOTONE")
+        assert fig.nprocs == 4
+
+
+class TestCLI:
+    def test_main_fast_table3(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        out = tmp_path / "out.txt"
+        rc = main(["table3", "--fast", "--out", str(out)])
+        assert rc == 0
+        assert "Table 3" in out.read_text()
+
+    def test_main_rejects_unknown_target(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_main_figures(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["figure1"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "DOUBLE SELECTION" in captured.out
+
+    def test_main_json_export(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.__main__ import main
+
+        j = tmp_path / "runs.json"
+        rc = main(["table4", "--fast", "--json", str(j)])
+        assert rc == 0
+        data = json.loads(j.read_text())
+        assert len(data["runs"]) > 0
+        rec = data["runs"][0]
+        assert {"problem", "nprocs", "mechanism",
+                "factorization_time"} <= set(rec)

@@ -1,0 +1,163 @@
+"""Tests for the static mapping: layer L0, node types, master placement."""
+
+import numpy as np
+import pytest
+
+from repro.mapping import (
+    MappingParams,
+    NodeType,
+    TypeParams,
+    build_layer0,
+    compute_mapping,
+    count_decisions,
+    find_layer0,
+)
+from repro.matrices import collection, generators as gen
+from repro.symbolic import analyze_matrix, analyze_problem
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((14, 14, 6)), name="grid")
+
+
+class TestLayer0:
+    def test_roots_are_subtree_roots(self, tree):
+        roots = find_layer0(tree, 8)
+        # No selected root is a descendant of another
+        selected = set(roots)
+        for r in roots:
+            for fid in tree.subtree_nodes(r):
+                if fid != r:
+                    assert fid not in selected
+
+    def test_covers_all_leaves(self, tree):
+        l0 = build_layer0(tree, 8)
+        leaves = {f.id for f in tree if f.is_leaf}
+        covered = set(l0.owner)
+        assert leaves <= covered
+
+    def test_partition_above_vs_owned(self, tree):
+        l0 = build_layer0(tree, 8)
+        assert set(l0.above) | set(l0.owner) == {f.id for f in tree}
+        assert not (set(l0.above) & set(l0.owner))
+
+    def test_more_procs_means_deeper_layer(self, tree):
+        n4 = len(find_layer0(tree, 4))
+        n32 = len(find_layer0(tree, 32))
+        assert n32 >= n4
+
+    def test_single_proc_keeps_whole_tree(self, tree):
+        l0 = build_layer0(tree, 1)
+        assert set(l0.roots) == set(tree.roots)
+        assert not l0.above
+
+    def test_lpt_balance_reasonable(self, tree):
+        l0 = build_layer0(tree, 8)
+        assert l0.load.max() > 0
+        # LPT guarantee: max ≤ (4/3) OPT ≤ (4/3)(total/8 + biggest subtree)
+        w = tree.subtree_flops()
+        biggest = max(w[r] for r in l0.roots)
+        bound = 4 / 3 * (w.sum() / 8) + biggest
+        assert l0.load.max() <= bound
+
+    def test_initial_load_sums_to_subtree_flops(self, tree):
+        l0 = build_layer0(tree, 8)
+        w = tree.subtree_flops()
+        assert l0.load.sum() == pytest.approx(sum(w[r] for r in l0.roots))
+
+
+class TestNodeTypes:
+    def test_every_front_typed(self, tree):
+        m = compute_mapping(tree, 8)
+        assert set(m.node_type) == {f.id for f in tree}
+
+    def test_subtree_fronts_typed_subtree(self, tree):
+        m = compute_mapping(tree, 8)
+        for fid in m.layer0.owner:
+            assert m.node_type[fid] is NodeType.SUBTREE
+
+    def test_at_most_one_type3(self, tree):
+        m = compute_mapping(tree, 8)
+        n3 = sum(1 for t in m.node_type.values() if t is NodeType.TYPE3)
+        assert n3 <= 1
+
+    def test_root_is_type3_on_enough_procs(self, tree):
+        m = compute_mapping(tree, 8)
+        root = max(tree.roots, key=lambda r: tree[r].nfront)
+        if tree[root].nfront >= 128:
+            assert m.node_type[root] is NodeType.TYPE3
+
+    def test_no_type3_on_few_procs(self, tree):
+        m = compute_mapping(tree, 2)
+        assert all(t is not NodeType.TYPE3 for t in m.node_type.values())
+
+    def test_type2_requires_large_border(self, tree):
+        m = compute_mapping(tree, 8)
+        for fid, t in m.node_type.items():
+            if t is NodeType.TYPE2:
+                assert tree[fid].border >= m.tree[fid].border  # tautology guard
+                assert tree[fid].border >= TypeParams().min_border_type2
+
+    def test_decisions_grow_with_procs(self, tree):
+        d = [compute_mapping(tree, p).n_decisions for p in (4, 16, 64)]
+        assert d[0] <= d[1] <= d[2]
+
+    def test_decision_count_matches_histogram(self, tree):
+        m = compute_mapping(tree, 16)
+        assert m.n_decisions == count_decisions(m.node_type)
+
+
+class TestMasters:
+    def test_every_front_has_master(self, tree):
+        m = compute_mapping(tree, 8)
+        assert set(m.master) == {f.id for f in tree}
+        for rank in m.master.values():
+            assert 0 <= rank < 8
+
+    def test_subtree_masters_are_owners(self, tree):
+        m = compute_mapping(tree, 8)
+        for fid, owner in m.layer0.owner.items():
+            assert m.master[fid] == owner
+
+    def test_factor_memory_balanced(self, tree):
+        """The greedy mapping should beat a single-rank assignment by far."""
+        m = compute_mapping(tree, 8)
+        mem = np.zeros(8)
+        for fid, rank in m.master.items():
+            f = tree[fid]
+            if m.node_type[fid] is NodeType.TYPE2:
+                mem[rank] += f.master_entries
+            else:
+                mem[rank] += f.factor_entries
+        assert mem.max() < 0.8 * mem.sum()
+
+    def test_type2_master_counts(self, tree):
+        m = compute_mapping(tree, 8)
+        assert m.type2_master_counts.sum() == m.n_decisions
+
+    def test_static_masters_subset_of_ranks(self, tree):
+        m = compute_mapping(tree, 8)
+        for r in m.static_masters():
+            assert m.type2_master_counts[r] > 0
+
+
+class TestMappingDriver:
+    def test_invalid_nprocs(self, tree):
+        with pytest.raises(ValueError):
+            compute_mapping(tree, 0)
+
+    def test_summary_counts(self, tree):
+        m = compute_mapping(tree, 8)
+        s = m.summary()
+        assert "decisions" in s and "subtrees" in s
+
+    def test_gupta3_has_few_decisions(self):
+        tree = analyze_problem(collection.get("GUPTA3"))
+        d64 = compute_mapping(tree, 64).n_decisions
+        assert d64 <= 20, "GUPTA3's bushy tree must yield few dynamic decisions"
+
+    def test_deterministic(self, tree):
+        a = compute_mapping(tree, 8)
+        b = compute_mapping(tree, 8)
+        assert a.master == b.master and a.node_type == b.node_type

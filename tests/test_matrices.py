@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic matrix generators and the problem registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import collection, generators as gen
+
+
+class TestGridGenerators:
+    def test_laplacian_2d_shape_and_symmetry(self):
+        A = gen.grid_laplacian((5, 7))
+        assert A.shape == (35, 35)
+        assert (abs(A - A.T)).nnz == 0
+
+    def test_laplacian_2d_is_5_point(self):
+        A = gen.grid_laplacian((10, 10))
+        inner_row = A[45].toarray().ravel()
+        assert np.count_nonzero(inner_row) == 5
+
+    def test_laplacian_3d_is_7_point(self):
+        A = gen.grid_laplacian((5, 5, 5))
+        center = 2 * 25 + 2 * 5 + 2
+        assert np.count_nonzero(A[center].toarray()) == 7
+
+    def test_27pt_stencil(self):
+        A = gen.grid_stencil_27pt((5, 5, 5))
+        center = 2 * 25 + 2 * 5 + 2
+        assert np.count_nonzero(A[center].toarray()) == 27
+
+    def test_9pt_stencil(self):
+        A = gen.grid_stencil_9pt((6, 6))
+        center = 2 * 6 + 2
+        assert np.count_nonzero(A[center].toarray()) == 9
+
+    def test_vector_field_expands_dofs(self):
+        base = gen.grid_laplacian((4, 4))
+        A = gen.vector_field(base, 3)
+        assert A.shape == (48, 48)
+        assert A.nnz == base.nnz * 9
+
+    def test_anisotropic_grid_connected(self):
+        from scipy.sparse.csgraph import connected_components
+
+        A = gen.anisotropic_grid((5, 5, 4), stretch=2)
+        ncomp, _ = connected_components(A, directed=False)
+        assert ncomp == 1
+
+
+class TestIrregularGenerators:
+    def test_lp_normal_equations_symmetric(self):
+        A = gen.lp_normal_equations(200, 800, 0.01)
+        assert A.shape == (200, 200)
+        assert (abs(A - A.T)).nnz == 0
+
+    def test_lp_has_heavy_rows(self):
+        A = gen.lp_normal_equations(300, 1000, 0.005, heavy_fraction=0.01,
+                                    heavy_density=0.2)
+        row_nnz = np.diff(A.tocsr().indptr)
+        assert row_nnz.max() > 5 * np.median(row_nnz)
+
+    def test_circuit_like_unsymmetric_pattern(self):
+        A = gen.circuit_like(500)
+        pattern = A.copy()
+        pattern.data[:] = 1
+        assert (abs(pattern - pattern.T)).nnz > 0
+
+    def test_circuit_like_connected(self):
+        from scipy.sparse.csgraph import connected_components
+
+        A = gen.circuit_like(500)
+        ncomp, _ = connected_components(A, directed=False)
+        assert ncomp == 1
+
+    def test_circuit_deterministic_with_rng(self):
+        a = gen.circuit_like(300, rng=np.random.default_rng(7))
+        b = gen.circuit_like(300, rng=np.random.default_rng(7))
+        assert (abs(a - b)).nnz == 0
+
+    def test_pattern_stats(self):
+        st = gen.pattern_stats(gen.grid_laplacian((4, 4)))
+        assert st == {"order": 16, "nnz": 64, "sym": True}
+
+
+class TestCollection:
+    def test_all_problems_build(self):
+        for name in collection.ALL_NAMES:
+            p = collection.get(name)
+            assert p.order > 0 and p.nnz > 0
+            assert p.matrix.shape == (p.order, p.order)
+
+    def test_sym_flags_match_matrix(self):
+        for name in ["BMWCRA_1", "GUPTA3", "MSDOOR", "SHIP_003", "AUDIKW_1"]:
+            p = collection.get(name)
+            assert p.sym
+            assert (abs(p.matrix - p.matrix.T)).nnz == 0
+
+    def test_unsym_problems_are_unsymmetric(self):
+        for name in ["PRE2", "TWOTONE"]:
+            p = collection.get(name)
+            assert not p.sym
+
+    def test_suites_partition(self):
+        small = collection.suite("small")
+        large = collection.suite("large")
+        assert len(small) == 8 and len(large) == 3
+        assert {p.suite for p in small} == {"small"}
+        assert {p.suite for p in large} == {"large"}
+
+    def test_get_is_cached(self):
+        assert collection.get("TWOTONE") is collection.get("TWOTONE")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            collection.get("NOT_A_MATRIX")
+
+    def test_paper_metadata_present(self):
+        p = collection.get("GUPTA3")
+        assert p.paper_order == 16783
+        assert p.type_label == "SYM"

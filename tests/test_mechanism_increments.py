@@ -1,0 +1,148 @@
+"""Unit tests for the increments mechanism (Algorithm 3)."""
+
+import pytest
+
+from repro.mechanisms import IncrementsMechanism, Load, MechanismConfig
+
+from helpers import make_world
+
+
+def inc_world(nprocs, threshold=Load(10.0, 10.0), **kw):
+    factory = lambda: IncrementsMechanism(MechanismConfig(threshold=threshold))
+    return make_world(nprocs, factory, **kw)
+
+
+class TestDeltaAccumulation:
+    def test_small_deltas_accumulate_until_threshold(self):
+        sim, net, procs = inc_world(2)
+        m = procs[0].mechanism
+        for _ in range(3):
+            m.on_local_change(Load(4.0, 0.0))  # 4, 8, 12 -> fires at 12
+        sim.run()
+        assert net.stats.by_type["update"] == 1
+        assert procs[1].mechanism.view.get(0).workload == 12.0
+
+    def test_accumulator_resets_after_send(self):
+        sim, net, procs = inc_world(2)
+        m = procs[0].mechanism
+        m.on_local_change(Load(12.0, 0.0))
+        m.on_local_change(Load(5.0, 0.0))
+        sim.run()
+        assert net.stats.by_type["update"] == 1
+        assert procs[1].mechanism.view.get(0).workload == 12.0
+        assert m.my_load.workload == 17.0
+
+    def test_negative_deltas_rebroadcast(self):
+        """|∆load| comparison: decreases propagate too (see module docstring)."""
+        sim, net, procs = inc_world(2)
+        m = procs[0].mechanism
+        m.on_local_change(Load(12.0, 0.0))
+        m.on_local_change(Load(-15.0, 0.0))
+        sim.run()
+        assert net.stats.by_type["update"] == 2
+        assert procs[1].mechanism.view.get(0).workload == pytest.approx(-3.0)
+
+    def test_mixed_signs_cancel_without_message(self):
+        sim, net, procs = inc_world(2)
+        m = procs[0].mechanism
+        m.on_local_change(Load(6.0, 0.0))
+        m.on_local_change(Load(-6.0, 0.0))
+        sim.run()
+        assert net.stats.by_type.get("update", 0) == 0
+
+    def test_remote_views_apply_deltas_cumulatively(self):
+        sim, net, procs = inc_world(2)
+        for p in procs:
+            p.mechanism.initialize_view([Load(100.0, 0.0), Load(0.0, 0.0)])
+        procs[0].mechanism.on_local_change(Load(20.0, 0.0))
+        sim.run()
+        procs[0].mechanism.on_local_change(Load(-15.0, 0.0))
+        sim.run()
+        assert procs[1].mechanism.view.get(0).workload == pytest.approx(105.0)
+
+
+class TestSlaveTaskRule:
+    def test_positive_slave_delta_skipped(self):
+        """Algorithm 3 step (1): arrival of reserved work is not re-counted."""
+        sim, net, procs = inc_world(2)
+        m = procs[1].mechanism
+        m.on_local_change(Load(100.0, 10.0), slave_task=True)
+        sim.run()
+        assert net.stats.sent_total == 0
+        assert m.my_load.workload == 0.0  # counted at Master_To_All reception
+
+    def test_negative_slave_delta_processed(self):
+        sim, net, procs = inc_world(2)
+        m = procs[1].mechanism
+        m.on_local_change(Load(-50.0, -5.0), slave_task=True)
+        sim.run()
+        assert net.stats.by_type["update"] == 1
+        assert m.my_load.workload == -50.0
+
+
+class TestMasterToAll:
+    def test_reservation_broadcast_updates_everyone(self):
+        sim, net, procs = inc_world(4)
+        shares = {1: Load(50.0, 5.0), 2: Load(30.0, 3.0)}
+        procs[0].mechanism.record_decision(shares)
+        sim.run()
+        assert net.stats.by_type["master_to_all"] == 3
+        # Third parties update their view of the slaves.
+        assert procs[3].mechanism.view.get(1).workload == 50.0
+        assert procs[3].mechanism.view.get(2).workload == 30.0
+        # The master's own view too (local application).
+        assert procs[0].mechanism.view.get(1).workload == 50.0
+
+    def test_selected_slave_updates_its_own_load(self):
+        """Algorithm 3 line 21: Pj == myself branch."""
+        sim, net, procs = inc_world(3)
+        procs[0].mechanism.record_decision({1: Load(50.0, 5.0)})
+        sim.run()
+        m1 = procs[1].mechanism
+        assert m1.my_load.workload == 50.0
+        assert m1.view.get(1).workload == 50.0
+        # When the actual work arrives, the slave skips the positive delta:
+        m1.on_local_change(Load(50.0, 5.0), slave_task=True)
+        assert m1.my_load.workload == 50.0  # not double-counted
+
+    def test_successive_decisions_are_visible(self):
+        """The fix for Figure 1: a second master sees the first reservation."""
+        sim, net, procs = inc_world(3)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        procs[0].mechanism.record_decision({2: Load(500.0, 0.0)})
+        sim.run()
+        views = []
+        procs[1].mechanism.request_view(views.append)
+        assert views[0].get(2).workload == 500.0
+
+    def test_decision_complete_is_noop(self):
+        sim, net, procs = inc_world(2)
+        procs[0].mechanism.record_decision({1: Load(1.0, 0.0)})
+        procs[0].mechanism.decision_complete()
+        sim.run()
+        assert not procs[0].mechanism.blocks_tasks()
+
+
+class TestNonBlocking:
+    def test_never_blocks_tasks(self):
+        sim, net, procs = inc_world(2)
+        m = procs[0].mechanism
+        assert not m.blocks_tasks()
+        m.record_decision({1: Load(1.0, 0.0)})
+        assert not m.blocks_tasks()
+
+
+class TestNoMoreMasterInteraction:
+    def test_updates_filtered_but_master_to_all_not(self):
+        sim, net, procs = inc_world(3)
+        procs[2].mechanism.declare_no_more_master()
+        sim.run()
+        procs[0].mechanism.on_local_change(Load(100.0, 0.0))
+        procs[0].mechanism.record_decision({1: Load(5.0, 0.0)})
+        sim.run()
+        # Update went to P1 only; Master_To_All reached both (slaves must
+        # learn their reservations even if they are never masters).
+        assert net.stats.by_type["update"] == 1
+        assert net.stats.by_type["master_to_all"] == 2
+        assert procs[2].mechanism.view.get(1).workload == 5.0

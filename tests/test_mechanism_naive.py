@@ -1,0 +1,176 @@
+"""Unit tests for the naive mechanism (Algorithm 2)."""
+
+import pytest
+
+from repro.mechanisms import Load, MechanismConfig, NaiveMechanism
+
+from helpers import make_world
+
+
+def naive_world(nprocs, threshold=Load(10.0, 10.0), **kw):
+    factory = lambda: NaiveMechanism(MechanismConfig(threshold=threshold))
+    return make_world(nprocs, factory, **kw)
+
+
+class TestThresholdBroadcast:
+    def test_small_variation_not_broadcast(self):
+        sim, net, procs = naive_world(3)
+        procs[0].mechanism.on_local_change(Load(5.0, 0.0))
+        sim.run()
+        assert net.stats.by_type.get("update_abs", 0) == 0
+        # but the local estimate moved
+        assert procs[0].mechanism.my_load.workload == 5.0
+
+    def test_variation_past_threshold_broadcast_absolute(self):
+        sim, net, procs = naive_world(3)
+        procs[0].mechanism.on_local_change(Load(25.0, 0.0))
+        sim.run()
+        assert net.stats.by_type["update_abs"] == 2
+        for p in procs[1:]:
+            assert p.mechanism.view.get(0).workload == 25.0
+
+    def test_accumulated_drift_triggers_once_past_threshold(self):
+        sim, net, procs = naive_world(2)
+        m = procs[0].mechanism
+        m.on_local_change(Load(6.0, 0.0))
+        m.on_local_change(Load(6.0, 0.0))  # drift 12 > 10 -> broadcast
+        sim.run()
+        assert net.stats.by_type["update_abs"] == 1
+        assert procs[1].mechanism.view.get(0).workload == 12.0
+
+    def test_last_sent_resets_after_broadcast(self):
+        sim, net, procs = naive_world(2)
+        m = procs[0].mechanism
+        m.on_local_change(Load(12.0, 0.0))  # broadcast (12)
+        m.on_local_change(Load(5.0, 0.0))  # drift 5 from 12: silent
+        sim.run()
+        assert net.stats.by_type["update_abs"] == 1
+
+    def test_memory_metric_triggers_independently(self):
+        sim, net, procs = naive_world(2, threshold=Load(100.0, 10.0))
+        procs[0].mechanism.on_local_change(Load(1.0, 50.0))
+        sim.run()
+        assert net.stats.by_type["update_abs"] == 1
+        assert procs[1].mechanism.view.get(0).memory == 50.0
+
+    def test_negative_variation_broadcast(self):
+        sim, net, procs = naive_world(2)
+        procs[0].mechanism.on_local_change(Load(-30.0, 0.0))
+        sim.run()
+        assert procs[1].mechanism.view.get(0).workload == -30.0
+
+
+class TestInitialization:
+    def test_initial_loads_seed_views_without_messages(self):
+        sim, net, procs = naive_world(3)
+        loads = [Load(10.0, 1.0), Load(20.0, 2.0), Load(30.0, 3.0)]
+        for p in procs:
+            p.mechanism.initialize_view(loads)
+        sim.run()
+        assert net.stats.sent_total == 0
+        assert procs[2].mechanism.view.get(0).workload == 10.0
+        assert procs[0].mechanism.my_load.workload == 10.0
+
+    def test_no_broadcast_for_drift_below_threshold_from_initial(self):
+        sim, net, procs = naive_world(2)
+        for p in procs:
+            p.mechanism.initialize_view([Load(100.0, 0.0), Load(0.0, 0.0)])
+        procs[0].mechanism.on_local_change(Load(5.0, 0.0))
+        sim.run()
+        assert net.stats.by_type.get("update_abs", 0) == 0
+
+
+class TestDecisionObliviousness:
+    def test_record_decision_sends_nothing(self):
+        """Faithful flaw: naive publishes nothing at slave selection."""
+        sim, net, procs = naive_world(3)
+        procs[0].mechanism.record_decision({1: Load(50.0, 5.0)})
+        sim.run()
+        assert net.stats.sent_total == 0
+        # Even P0's own view of P1 is unchanged.
+        assert procs[0].mechanism.view.get(1).workload == 0.0
+
+    def test_request_view_is_synchronous(self):
+        sim, net, procs = naive_world(2)
+        got = []
+        procs[0].mechanism.request_view(got.append)
+        assert len(got) == 1
+
+    def test_view_is_a_copy(self):
+        sim, net, procs = naive_world(2)
+        got = []
+        procs[0].mechanism.request_view(got.append)
+        got[0].set(1, Load(99.0, 99.0))
+        assert procs[0].mechanism.view.get(1).workload == 0.0
+
+
+class TestNoMoreMaster:
+    def test_silenced_rank_receives_no_updates(self):
+        sim, net, procs = naive_world(3)
+        procs[2].mechanism.declare_no_more_master()
+        sim.run()
+        assert net.stats.by_type["no_more_master"] == 2
+        procs[0].mechanism.on_local_change(Load(100.0, 0.0))
+        sim.run()
+        # P0 broadcasts only to P1 (P2 silenced itself).
+        assert net.stats.by_type["update_abs"] == 1
+        assert procs[1].mechanism.view.get(0).workload == 100.0
+        assert procs[2].mechanism.view.get(0).workload == 0.0
+
+    def test_declare_is_idempotent(self):
+        sim, net, procs = naive_world(3)
+        procs[0].mechanism.declare_no_more_master()
+        procs[0].mechanism.declare_no_more_master()
+        sim.run()
+        assert net.stats.by_type["no_more_master"] == 2
+
+    def test_optimization_can_be_disabled(self):
+        cfg = MechanismConfig(threshold=Load(10, 10), no_more_master=False)
+        sim, net, procs = make_world(2, lambda: NaiveMechanism(cfg))
+        procs[0].mechanism.declare_no_more_master()
+        sim.run()
+        assert net.stats.sent_total == 0
+
+
+class TestFigure1Scenario:
+    """The paper's Figure 1: P2 is chosen twice on stale information.
+
+    P2 starts a costly task at t1; P0 then selects P2 as a slave (t2) and P1
+    selects P2 shortly after (t3).  Because P2 is computing, it cannot treat
+    the incoming work nor broadcast its new load before t4 (task end), so at
+    t3 P1's view of P2 is identical to P0's — the double selection the naive
+    mechanism cannot avoid.
+    """
+
+    def test_second_master_sees_stale_view_of_p2(self):
+        sim, net, procs = naive_world(3, threshold=Load(1.0, 1.0))
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        p0, p1, p2 = procs
+
+        # t1: P2 begins a costly task.
+        def start_costly():
+            p2.mechanism.on_local_change(Load(1000.0, 0.0))
+            p2.queue_task(10.0, "costly",
+                          on_complete=lambda: p2.mechanism.on_local_change(
+                              Load(-1000.0, 0.0)))
+
+        sim.schedule(0.0, start_costly)
+
+        views = {}
+
+        def select_at(master, t):
+            def do():
+                master.mechanism.request_view(
+                    lambda v: views.setdefault(master.rank, v))
+                master.mechanism.record_decision({2: Load(500.0, 0.0)})
+            sim.schedule(t, do)
+
+        select_at(p0, 1.0)  # t2
+        select_at(p1, 2.0)  # t3 < t4 = 10.0
+        sim.run()
+        # P0's broadcast of its 1000-load change reached nobody yet at t=1?
+        # It did (latency is microseconds) — but P0's *decision* at t2 is
+        # invisible to P1 at t3: both masters saw the same load for P2.
+        assert views[0].get(2).workload == views[1].get(2).workload == 1000.0
+        # Under increments, P1 would have seen 1500.0 (see increments tests).

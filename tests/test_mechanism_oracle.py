@@ -1,0 +1,99 @@
+"""Tests for the oracle baseline mechanism (perfect zero-cost information)."""
+
+import pytest
+
+from repro import run_factorization
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    MechanismShared,
+    OracleMechanism,
+    create_mechanism,
+)
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+
+def oracle_world(nprocs):
+    shared = MechanismShared()
+    factory = lambda: OracleMechanism(MechanismConfig())
+    return (*make_world(nprocs, factory, shared=shared), shared)
+
+
+class TestOracleSemantics:
+    def test_registered(self):
+        assert isinstance(create_mechanism("oracle"), OracleMechanism)
+
+    def test_no_messages_ever(self):
+        sim, net, procs, shared = oracle_world(4)
+        procs[0].mechanism.on_local_change(Load(100.0, 10.0))
+        procs[1].mechanism.record_decision({2: Load(50.0, 5.0)})
+        procs[1].mechanism.decision_complete()
+        procs[3].mechanism.declare_no_more_master()
+        sim.run()
+        assert net.stats.sent_total == 0
+
+    def test_changes_visible_instantly_everywhere(self):
+        sim, net, procs, shared = oracle_world(4)
+        procs[0].mechanism.on_local_change(Load(100.0, 10.0))
+        got = []
+        procs[3].mechanism.request_view(got.append)
+        assert got[0].get(0).workload == 100.0
+        assert got[0].get(0).memory == 10.0
+
+    def test_reservations_applied_globally(self):
+        sim, net, procs, shared = oracle_world(4)
+        procs[0].mechanism.record_decision({1: Load(50.0, 5.0)})
+        got = []
+        procs[2].mechanism.request_view(got.append)
+        assert got[0].get(1).workload == 50.0
+
+    def test_slave_arrival_not_double_counted(self):
+        sim, net, procs, shared = oracle_world(3)
+        procs[0].mechanism.record_decision({1: Load(50.0, 5.0)})
+        procs[1].mechanism.on_local_change(Load(50.0, 5.0), slave_task=True)
+        got = []
+        procs[2].mechanism.request_view(got.append)
+        assert got[0].get(1).workload == 50.0
+
+    def test_never_blocks(self):
+        sim, net, procs, shared = oracle_world(2)
+        assert not procs[0].mechanism.blocks_tasks()
+
+    def test_current_view_is_global(self):
+        sim, net, procs, shared = oracle_world(3)
+        procs[1].mechanism.on_local_change(Load(7.0, 3.0))
+        assert procs[0].mechanism.current_view().get(1).workload == 7.0
+
+    def test_initial_loads_seeded(self):
+        sim, net, procs, shared = oracle_world(3)
+        loads = [Load(1.0, 0.0), Load(2.0, 0.0), Load(3.0, 0.0)]
+        for p in procs:
+            p.mechanism.initialize_view(loads)
+        got = []
+        procs[0].mechanism.request_view(got.append)
+        assert [got[0].get(r).workload for r in range(3)] == [1.0, 2.0, 3.0]
+
+
+class TestOracleInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="ogrid")
+
+    def test_factorization_completes_with_zero_state_messages(self, tree):
+        r = run_factorization(tree, 8, mechanism="oracle")
+        assert r.factorization_time > 0
+        assert r.state_messages == 0
+        assert r.total_factor_entries == pytest.approx(tree.total_factor_entries)
+
+    def test_oracle_not_slower_than_snapshot(self, tree):
+        ora = run_factorization(tree, 8, mechanism="oracle", strategy="workload")
+        snp = run_factorization(tree, 8, mechanism="snapshot", strategy="workload")
+        assert ora.factorization_time <= snp.factorization_time
+
+    def test_both_strategies_work(self, tree):
+        for strategy in ("workload", "memory"):
+            r = run_factorization(tree, 8, mechanism="oracle", strategy=strategy)
+            assert r.factorization_time > 0

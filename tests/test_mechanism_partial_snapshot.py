@@ -1,0 +1,157 @@
+"""Tests for the partial-snapshot extension (paper's perspectives §5)."""
+
+import pytest
+
+from repro import run_factorization
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    MechanismShared,
+    PartialSnapshotMechanism,
+    create_mechanism,
+)
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+
+def pworld(nprocs, group_size=3, **kw):
+    cfg = MechanismConfig(snapshot_group_size=group_size)
+    factory = lambda: PartialSnapshotMechanism(cfg)
+    return make_world(nprocs, factory, **kw)
+
+
+def decide(proc, assignments, views):
+    def callback(view):
+        views.append((proc.rank, view))
+        if assignments:
+            proc.mechanism.record_decision(assignments)
+        proc.mechanism.decision_complete()
+
+    proc.mechanism.request_view(callback)
+
+
+class TestGroupSelection:
+    def test_registered_in_registry(self):
+        m = create_mechanism("partial_snapshot")
+        assert isinstance(m, PartialSnapshotMechanism)
+
+    def test_group_contains_self_plus_k(self):
+        sim, net, procs, = pworld(8)
+        m = procs[2].mechanism
+        group = m._choose_group()
+        assert 2 in group
+        assert len(group) == 4  # self + group_size
+
+    def test_group_rotates_between_decisions(self):
+        sim, net, procs = pworld(8)
+        m = procs[0].mechanism
+        g1 = set(m._choose_group())
+        g2 = set(m._choose_group())
+        assert g1 != g2
+
+    def test_degenerate_full_group(self):
+        sim, net, procs = pworld(3, group_size=10)
+        m = procs[0].mechanism
+        assert m._choose_group() is None  # falls back to the full protocol
+        assert set(m.decision_candidates()) == {1, 2}
+
+
+class TestPartialProtocol:
+    def test_only_group_members_involved(self):
+        sim, net, procs = pworld(8, group_size=3)
+        views = []
+        sim.schedule(0.0, lambda: decide(procs[0], {}, views))
+        sim.run()
+        assert len(views) == 1
+        # 3 start + 3 snp + 3 end = 9 messages, not ~21
+        assert net.stats.state_message_count() == 9
+
+    def test_non_members_never_blocked(self):
+        sim, net, procs = pworld(8, group_size=3)
+        views = []
+        blocked_snapshot = []
+
+        def probe():
+            # group of P0 = {1,2,3}; P7 must be unaffected
+            blocked_snapshot.append(procs[7].mechanism.blocks_tasks())
+
+        sim.schedule(0.0, lambda: decide(procs[0], {}, views))
+        sim.schedule(1e-5, probe)
+        sim.run()
+        assert blocked_snapshot == [False]
+        assert views
+
+    def test_candidates_match_group(self):
+        sim, net, procs = pworld(8, group_size=3)
+        views = []
+        sim.schedule(0.0, lambda: decide(procs[0], {}, views))
+        sim.run()
+        cands = procs[0].mechanism.decision_candidates()
+        assert len(cands) == 3 and 0 not in cands
+
+    def test_concurrent_initiators_both_complete(self):
+        # P0's first group is {1,2,3}; P4's is {0,1,2} (window starts at the
+        # first other rank) — they overlap on {1,2}, so the shared members
+        # serialize the two snapshots; both must still complete.
+        sim, net, procs = pworld(8, group_size=3)
+        views = []
+        sim.schedule(0.0, lambda: decide(procs[0], {1: Load(5, 0)}, views))
+        sim.schedule(0.0, lambda: decide(procs[4], {5: Load(7, 0)}, views))
+        sim.run()
+        assert len(views) == 2
+        # both sets of reservations applied
+        assert procs[1].mechanism.my_load.workload == 5
+        assert procs[5].mechanism.my_load.workload == 7
+
+    def test_overlapping_groups_sequentialized(self):
+        # Small world: groups of size 3 out of 4 always overlap.
+        sim, net, procs = pworld(4, group_size=3)
+        views = []
+        sim.schedule(0.0, lambda: decide(procs[0], {1: Load(10, 0)}, views))
+        sim.schedule(0.0, lambda: decide(procs[1], {2: Load(20, 0)}, views))
+        sim.run()
+        assert [r for r, _ in views] == [0, 1]
+        # P1's later snapshot observed P0's reservation on P1 itself
+        assert views[1][1].get(1).workload >= 10
+
+    def test_all_mechanics_unblocked_at_end(self):
+        sim, net, procs = pworld(6, group_size=3)
+        views = []
+        for r in (0, 2, 4):
+            sim.schedule(0.0, lambda r=r: decide(procs[r], {}, views))
+        sim.run()
+        assert len(views) == 3
+        for p in procs:
+            assert not p.mechanism.blocks_tasks(), p.mechanism.debug_state()
+
+
+class TestPartialInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="pgrid")
+
+    def test_factorization_completes(self, tree):
+        cfg = SolverConfig(snapshot_group_size=4)
+        r = run_factorization(tree, 8, mechanism="partial_snapshot", config=cfg)
+        assert r.factorization_time > 0
+        assert r.total_factor_entries == pytest.approx(tree.total_factor_entries)
+
+    def test_fewer_messages_than_full_snapshot(self, tree):
+        full = run_factorization(tree, 8, mechanism="snapshot")
+        part = run_factorization(
+            tree, 8, mechanism="partial_snapshot",
+            config=SolverConfig(snapshot_group_size=3),
+        )
+        assert part.state_messages < full.state_messages
+
+    def test_faster_than_full_snapshot(self, tree):
+        full = run_factorization(tree, 8, mechanism="snapshot",
+                                 strategy="workload")
+        part = run_factorization(
+            tree, 8, mechanism="partial_snapshot", strategy="workload",
+            config=SolverConfig(snapshot_group_size=4),
+        )
+        assert part.factorization_time <= full.factorization_time * 1.05

@@ -1,0 +1,100 @@
+"""Tests for the time-driven (periodic broadcast) mechanism."""
+
+import pytest
+
+from repro import run_factorization
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    PeriodicMechanism,
+    create_mechanism,
+)
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+
+def periodic_world(nprocs, period=1e-3):
+    cfg = MechanismConfig(periodic_period=period)
+    return make_world(nprocs, lambda: PeriodicMechanism(cfg))
+
+
+class TestPeriodicBroadcast:
+    def test_registered(self):
+        assert isinstance(create_mechanism("periodic"), PeriodicMechanism)
+
+    def test_no_broadcast_when_clean(self):
+        sim, net, procs = periodic_world(3)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        sim.run(until=0.01)
+        assert net.stats.by_type.get("update_abs", 0) == 0
+
+    def test_dirty_load_broadcast_on_next_tick(self):
+        sim, net, procs = periodic_world(3, period=1e-3)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        sim.schedule(1e-4, lambda: procs[0].mechanism.on_local_change(Load(5.0, 0.0)))
+        sim.run(until=2.5e-3)
+        assert net.stats.by_type["update_abs"] == 2  # one tick, two receivers
+        assert procs[1].mechanism.view.get(0).workload == 5.0
+
+    def test_burst_costs_one_message_per_period(self):
+        sim, net, procs = periodic_world(2, period=1e-3)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 2)
+
+        def burst():
+            for _ in range(100):
+                procs[0].mechanism.on_local_change(Load(1.0, 0.0))
+
+        sim.schedule(1e-4, burst)
+        sim.run(until=2.5e-3)
+        # 100 variations, a single absolute broadcast
+        assert net.stats.by_type["update_abs"] == 1
+        assert procs[1].mechanism.view.get(0).workload == 100.0
+
+    def test_shutdown_stops_timer(self):
+        sim, net, procs = periodic_world(2)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 2)
+        for p in procs:
+            p.mechanism.shutdown()
+        assert sim.run(until=1.0) in ("drained", "horizon")
+        assert net.stats.sent_total == 0
+
+    def test_no_reservation_broadcast(self):
+        sim, net, procs = periodic_world(3)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        procs[0].mechanism.record_decision({1: Load(10.0, 0.0)})
+        procs[0].mechanism.decision_complete()
+        sim.run(until=5e-3)
+        assert net.stats.by_type.get("master_to_all", 0) == 0
+
+
+class TestPeriodicInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="pergrid")
+
+    def test_factorization_completes_and_drains(self, tree):
+        cfg = SolverConfig(periodic_period=5e-4)
+        r = run_factorization(tree, 8, mechanism="periodic", config=cfg)
+        assert r.factorization_time > 0
+        assert r.total_factor_entries == pytest.approx(tree.total_factor_entries)
+
+    def test_shorter_period_more_messages(self, tree):
+        fast = run_factorization(tree, 8, mechanism="periodic",
+                                 config=SolverConfig(periodic_period=1e-4))
+        slow = run_factorization(tree, 8, mechanism="periodic",
+                                 config=SolverConfig(periodic_period=2e-3))
+        assert fast.state_messages > slow.state_messages
+
+    def test_validates(self, tree):
+        from repro.solver import validate_result
+
+        r = run_factorization(tree, 8, mechanism="periodic")
+        assert validate_result(r, tree).ok

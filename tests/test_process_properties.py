@@ -1,0 +1,136 @@
+"""Property-based tests of the process model's accounting.
+
+Hypothesis drives random mixes of tasks and messages through a process and
+checks the conservation laws of the execution model: busy time equals the
+sum of task durations plus message-treatment costs; tasks never overlap;
+every queued message is eventually treated exactly once.
+"""
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore import Channel, NetworkConfig, Work
+from repro.simcore.network import Payload
+
+from helpers import make_world
+
+
+class Note(Payload):
+    TYPE = "note"
+
+    def nbytes(self):
+        return 64
+
+
+task_durations = st.lists(st.floats(1e-6, 1e-2), min_size=0, max_size=10)
+message_times = st.lists(st.floats(0, 5e-2), min_size=0, max_size=15)
+
+
+class TestAccountingProperties:
+    @given(durations=task_durations, msg_times=message_times)
+    @settings(max_examples=60, deadline=None)
+    def test_busy_time_conserved(self, durations, msg_times):
+        cfg = NetworkConfig(latency=1e-6, recv_overhead=1e-5,
+                            send_overhead=0.0, recv_per_byte=0.0)
+        sim, net, procs = make_world(2, config=cfg)
+        target = procs[1]
+        treated = []
+        target.handle_data = lambda env: treated.append(sim.now)
+        for d in durations:
+            target.queue_task(d)
+        for t in msg_times:
+            sim.schedule(t, lambda: net.send(0, 1, Channel.DATA, Note(),
+                                             charge_sender=False))
+        sim.run()
+        assert target.stats_tasks_run == len(durations)
+        assert len(treated) == len(msg_times)
+        expected_busy = sum(durations) + len(msg_times) * 1e-5
+        assert target.stats_busy_time == pytest.approx(expected_busy, rel=1e-9)
+
+    @given(durations=task_durations)
+    @settings(max_examples=40, deadline=None)
+    def test_tasks_never_overlap(self, durations):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        intervals: List[tuple] = []
+        for d in durations:
+            start_holder = []
+            p.queue_task(
+                d,
+                on_start=lambda s=start_holder: s.append(sim.now),
+                on_complete=lambda s=start_holder, d=d: intervals.append(
+                    (s[0], sim.now)
+                ),
+            )
+        sim.run()
+        intervals.sort()
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 <= b0 + 1e-12
+
+    @given(
+        durations=task_durations,
+        msg_times=message_times,
+        threaded=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_messages_treated_exactly_once(self, durations, msg_times,
+                                               threaded):
+        cfg = NetworkConfig(latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg, threaded=threaded)
+        target = procs[1]
+        treated = []
+        target.handle_state = lambda env: treated.append(env.seq)
+        for d in durations:
+            target.queue_task(d)
+        for t in msg_times:
+            sim.schedule(t, lambda: net.send(0, 1, Channel.STATE, Note(),
+                                             charge_sender=False))
+        sim.run()
+        assert len(treated) == len(msg_times)
+        assert len(set(treated)) == len(treated)
+
+    @given(durations=st.lists(st.floats(1e-4, 1e-2), min_size=1, max_size=6),
+           pause_at=st.floats(1e-5, 5e-3))
+    @settings(max_examples=40, deadline=None)
+    def test_pause_resume_preserves_total_work(self, durations, pause_at):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        done = []
+        for d in durations:
+            p.queue_task(d, on_complete=lambda: done.append(sim.now))
+
+        def maybe_pause():
+            if p.pause_task():
+                sim.schedule(7e-3, p.resume_task)
+
+        sim.schedule(pause_at, maybe_pause)
+        sim.run()
+        assert len(done) == len(durations)
+        # completion of everything >= total work (pause only adds delay)
+        assert done[-1] >= sum(durations) - 1e-12
+
+
+class TestFIFOProperty:
+    @given(sizes=st.lists(st.integers(1, 100_000), min_size=2, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_per_link_delivery_order_preserved(self, sizes):
+        class Sized(Payload):
+            TYPE = "sized"
+
+            def __init__(self, n, tag):
+                self.n = n
+                self.tag = tag
+
+            def nbytes(self):
+                return self.n
+
+        cfg = NetworkConfig(latency=1e-5, bandwidth=1e6, send_overhead=0.0)
+        sim, net, procs = make_world(2, config=cfg)
+        got = []
+        procs[1].handle_data = lambda env: got.append(env.payload.tag)
+        for i, n in enumerate(sizes):
+            net.send(0, 1, Channel.DATA, Sized(n, i), charge_sender=False)
+        sim.run()
+        assert got == list(range(len(sizes)))

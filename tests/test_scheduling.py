@@ -1,0 +1,179 @@
+"""Tests for the row-blocking kernel and the two dynamic strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mechanisms.view import Load, LoadView
+from repro.scheduling import (
+    BlockingConstraints,
+    MemoryStrategy,
+    ScheduleParams,
+    WorkloadStrategy,
+    create_strategy,
+    partition_rows,
+    water_level,
+)
+from repro.symbolic.tree import Front
+
+
+def make_view(workloads, memories=None):
+    v = LoadView(len(workloads))
+    v.workload[:] = workloads
+    v.memory[:] = memories if memories is not None else 0.0
+    return v
+
+
+class TestWaterLevel:
+    def test_equal_levels_split_evenly(self):
+        levels = np.zeros(4)
+        T = water_level(levels, 1.0, 100, kmax=10**9)
+        assert T == pytest.approx(25.0, rel=1e-6)
+
+    def test_levels_reached(self):
+        levels = np.array([0.0, 10.0, 50.0])
+        T = water_level(levels, 1.0, 30, kmax=10**9)
+        filled = np.maximum(T - levels, 0).sum()
+        assert filled == pytest.approx(30.0, rel=1e-6)
+
+    def test_kmax_respected(self):
+        levels = np.array([0.0, 100.0])
+        T = water_level(levels, 1.0, 60, kmax=40)
+        fills = np.minimum(np.maximum(T - levels, 0), 40)
+        assert fills.sum() == pytest.approx(60, rel=1e-6)
+
+
+class TestPartitionRows:
+    def test_sums_to_nrows(self):
+        shares = partition_rows([0.0, 5.0, 20.0], 1.0, 17,
+                                BlockingConstraints(kmin=2))
+        assert sum(shares) == 17
+
+    def test_least_loaded_gets_most(self):
+        shares = partition_rows([0.0, 100.0, 200.0], 1.0, 90,
+                                BlockingConstraints(kmin=1))
+        assert shares[0] >= shares[1] >= shares[2]
+
+    def test_kmin_enforced(self):
+        shares = partition_rows([0.0, 1.0, 2.0, 3.0], 1.0, 40,
+                                BlockingConstraints(kmin=8))
+        for s in shares:
+            assert s == 0 or s >= 8
+
+    def test_kmax_enforced(self):
+        shares = partition_rows([0.0, 0.0, 0.0, 0.0], 1.0, 40,
+                                BlockingConstraints(kmin=1, kmax=12))
+        assert max(shares) <= 12
+        assert sum(shares) == 40
+
+    def test_tiny_assignment_goes_to_least_loaded(self):
+        shares = partition_rows([50.0, 3.0, 70.0], 1.0, 2,
+                                BlockingConstraints(kmin=8))
+        assert shares == [0, 2, 0]
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            partition_rows([0.0, 0.0], 1.0, 100, BlockingConstraints(kmin=1, kmax=10))
+
+    def test_empty_candidates_raises(self):
+        with pytest.raises(ValueError):
+            partition_rows([], 1.0, 10)
+
+    def test_zero_rows(self):
+        assert partition_rows([1.0, 2.0], 1.0, 0) == [0, 0]
+
+    @given(
+        st.lists(st.floats(0, 1e6), min_size=1, max_size=20),
+        st.integers(1, 500),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_sum_and_bounds(self, levels, nrows, kmin):
+        kmax = max(kmin, 64)
+        if nrows > len(levels) * kmax:
+            return
+        shares = partition_rows(levels, 3.0, nrows,
+                                BlockingConstraints(kmin=kmin, kmax=kmax))
+        assert sum(shares) == nrows
+        assert all(s >= 0 for s in shares)
+        assert all(s <= kmax for s in shares)
+
+
+FRONT = Front(id=7, npiv=40, nfront=200)  # border=160
+
+
+class TestWorkloadStrategy:
+    def test_balances_workload(self):
+        view = make_view([0.0, 1e6, 1e7, 1e7])
+        strat = WorkloadStrategy(ScheduleParams(kmin_rows=4))
+        asg = strat.select_slaves(FRONT, view, [1, 2, 3])
+        # rank 1 (least loaded candidate) receives the most rows
+        assert asg.rows.get(1, 0) >= asg.rows.get(2, 0)
+        assert asg.total_rows() == FRONT.border
+
+    def test_shares_scale_with_rows(self):
+        view = make_view([0.0, 0.0, 0.0])
+        strat = WorkloadStrategy()
+        asg = strat.select_slaves(FRONT, view, [1, 2])
+        for rank, rows in asg.rows.items():
+            share = asg.shares[rank]
+            assert share.workload == pytest.approx(rows * FRONT.flops_per_slave_row)
+            assert share.memory == pytest.approx(rows * FRONT.nfront)
+
+    def test_buffer_constraint_spreads_slaves(self):
+        view = make_view([0.0] * 9)
+        strat = WorkloadStrategy(ScheduleParams(kmin_rows=2, buffer_entries=FRONT.nfront * 20))
+        asg = strat.select_slaves(FRONT, view, list(range(1, 9)))
+        assert max(asg.rows.values()) <= 20
+        assert asg.nslaves >= FRONT.border // 20
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            WorkloadStrategy().select_slaves(FRONT, make_view([0.0]), [])
+
+    def test_post_assignment_balance(self):
+        """After the decision, candidate workloads should be near-equal."""
+        view = make_view([0.0, 2e5, 4e5, 8e5])
+        strat = WorkloadStrategy(ScheduleParams(kmin_rows=1))
+        asg = strat.select_slaves(FRONT, view, [0, 1, 2, 3])
+        after = view.workload.copy()
+        for rank, share in asg.shares.items():
+            after[rank] += share.workload
+        recipients = [r for r in range(4) if asg.rows.get(r, 0) > 0]
+        spread = after[recipients].max() - after[recipients].min()
+        assert spread <= 2 * FRONT.flops_per_slave_row + 1e-6
+
+
+class TestMemoryStrategy:
+    def test_balances_memory_not_workload(self):
+        view = make_view([0.0, 0.0, 0.0], memories=[1e6, 0.0, 1e6])
+        strat = MemoryStrategy(ScheduleParams(kmin_rows=1))
+        asg = strat.select_slaves(FRONT, view, [0, 1, 2])
+        assert asg.rows.get(1, 0) > asg.rows.get(0, 0)
+        assert asg.rows.get(1, 0) > asg.rows.get(2, 0)
+
+    def test_task_ordering_under_pressure(self):
+        class T:
+            def __init__(self, depth, entries, key):
+                self.depth = depth
+                self.activation_entries = entries
+                self.order_key = key
+
+        strat = MemoryStrategy(ScheduleParams(task_defer_factor=1.2))
+        view = make_view([0, 0], memories=[100.0, 100.0])
+        big = T(depth=5, entries=1000, key=0)
+        small = T(depth=1, entries=10, key=1)
+        # low local memory: depth-first (big/deep first)
+        assert strat.order_ready_tasks([big, small], 0, view, my_memory=50.0)[0] is big
+        # high local memory: smallest footprint first
+        assert strat.order_ready_tasks([big, small], 0, view, my_memory=500.0)[0] is small
+
+
+class TestRegistry:
+    def test_create_by_name(self):
+        assert isinstance(create_strategy("memory"), MemoryStrategy)
+        assert isinstance(create_strategy("workload"), WorkloadStrategy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            create_strategy("greedy")

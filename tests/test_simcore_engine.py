@@ -1,0 +1,121 @@
+"""Unit tests for the Simulator engine: clock, limits, deadlock detection."""
+
+import pytest
+
+from repro.simcore import (
+    SimulationDeadlock,
+    SimulationLimitExceeded,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_clock_advances_monotonically(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        reason = sim.run()
+        assert reason == "drained"
+        assert seen == [1.0, 2.0]
+        assert sim.now == 2.0
+
+    def test_schedule_from_within_event(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(0.5, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("second", 1.5)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        hit = []
+        ev = sim.schedule(1.0, lambda: hit.append(1))
+        sim.cancel(ev)
+        sim.run()
+        assert hit == []
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop("done"))[0])
+        sim.schedule(2.0, lambda: seen.append(2))
+        reason = sim.run()
+        assert reason == "done"
+        assert seen == [1]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        reason = sim.run(until=5.0)
+        assert reason == "horizon"
+        assert seen == [1]
+        assert sim.now == 5.0
+        # resuming picks up the remaining event
+        sim.run()
+        assert seen == [1, 10]
+
+
+class TestLimits:
+    def test_event_limit(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationLimitExceeded):
+            sim.run()
+
+    def test_time_limit(self):
+        sim = Simulator(max_time=5.0)
+        sim.schedule(10.0, lambda: None)
+        with pytest.raises(SimulationLimitExceeded):
+            sim.run()
+
+
+class TestDeadlockDetection:
+    def test_drain_with_failing_check_raises(self):
+        sim = Simulator()
+        sim.on_drain_check(lambda: False)
+        sim.add_state_dumper(lambda: "proc P0 stuck")
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationDeadlock, match="proc P0 stuck"):
+            sim.run()
+
+    def test_drain_with_passing_check_is_normal(self):
+        sim = Simulator()
+        sim.on_drain_check(lambda: True)
+        sim.schedule(1.0, lambda: None)
+        assert sim.run() == "drained"
+
+
+class TestDeterminism:
+    def test_rng_streams_reproducible(self):
+        a = Simulator(seed=42).rng.stream("x").random(5)
+        b = Simulator(seed=42).rng.stream("x").random(5)
+        assert (a == b).all()
+
+    def test_rng_streams_independent_by_name(self):
+        sim = Simulator(seed=42)
+        a = sim.rng.stream("x").random(5)
+        b = sim.rng.stream("y").random(5)
+        assert not (a == b).all()

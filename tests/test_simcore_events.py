@@ -1,0 +1,85 @@
+"""Unit tests for the event queue: ordering, ties, cancellation."""
+
+import pytest
+
+from repro.simcore.events import (
+    EventQueue,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+)
+
+
+def drain(q):
+    out = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            return out
+        out.append(ev)
+
+
+class TestEventQueueOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in [3.0, 1.0, 2.0]:
+            q.push(t, lambda: None, label=f"t{t}")
+        assert [e.time for e in drain(q)] == [1.0, 2.0, 3.0]
+
+    def test_same_time_ordered_by_priority(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, priority=PRIORITY_LOW, label="low")
+        q.push(1.0, lambda: None, priority=PRIORITY_HIGH, label="high")
+        q.push(1.0, lambda: None, priority=PRIORITY_NORMAL, label="normal")
+        assert [e.label for e in drain(q)] == ["high", "normal", "low"]
+
+    def test_same_time_same_priority_fifo(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(1.0, lambda: None, label=str(i))
+        assert [e.label for e in drain(q)] == ["0", "1", "2", "3", "4"]
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), lambda: None)
+
+
+class TestEventQueueCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None, label="a")
+        q.push(2.0, lambda: None, label="b")
+        q.cancel(ev)
+        assert [e.label for e in drain(q)] == ["b"]
+
+    def test_cancel_updates_len(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        assert len(q) == 1
+        q.cancel(ev)
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        q.cancel(ev)
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert q.pop() is None

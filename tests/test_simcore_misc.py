@@ -1,0 +1,149 @@
+"""Tests for the remaining simcore pieces: trace, rng, Load/LoadView."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mechanisms.view import Load, LoadView
+from repro.simcore.rng import RngHub
+from repro.simcore.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_and_filters(self):
+        t = TraceRecorder()
+        t.record(1.0, "send", "a", who=0)
+        t.record(2.0, "recv", "b", who=1)
+        t.record(3.0, "send", "c", who=0)
+        assert len(t) == 3
+        assert [e.detail for e in t.filter(kind="send")] == ["a", "c"]
+        assert [e.detail for e in t.filter(who=1)] == ["b"]
+        assert [e.detail for e in t.filter(predicate=lambda e: e.time > 1.5)] == ["b", "c"]
+
+    def test_keep_kinds_filter_on_record(self):
+        t = TraceRecorder(keep_kinds={"send"})
+        t.record(1.0, "send", "a")
+        t.record(1.0, "recv", "b")
+        assert len(t) == 1
+
+    def test_timeline_marks_acting_process(self):
+        t = TraceRecorder()
+        t.record(1.0, "task", "start", who=1)
+        text = t.render_timeline([0, 1, 2])
+        line = [l for l in text.splitlines() if "start" in l][0]
+        assert "*" in line
+
+    def test_timeline_engine_entries_span(self):
+        t = TraceRecorder()
+        t.record(0.0, "mark", "global event")
+        text = t.render_timeline([0, 1])
+        assert "global event" in text
+
+    def test_timeline_kind_filter(self):
+        t = TraceRecorder()
+        t.record(1.0, "a", "x", who=0)
+        t.record(2.0, "b", "y", who=0)
+        text = t.render_timeline([0], kinds=["a"])
+        assert "x" in text and "y" not in text
+
+
+class TestRngHub:
+    def test_named_streams_stable_across_hubs(self):
+        a = RngHub(7).stream("jitter").random(4)
+        b = RngHub(7).stream("jitter").random(4)
+        assert (a == b).all()
+
+    def test_stream_cached(self):
+        hub = RngHub(1)
+        assert hub.stream("x") is hub.stream("x")
+
+    def test_fork_independent(self):
+        hub = RngHub(1)
+        a = hub.fork("child").stream("x").random(4)
+        b = hub.stream("x").random(4)
+        assert not (a == b).all()
+
+    def test_reset_restarts_streams(self):
+        hub = RngHub(3)
+        a = hub.stream("s").random(3)
+        hub.reset()
+        b = hub.stream("s").random(3)
+        assert (a == b).all()
+
+
+class TestLoad:
+    def test_arithmetic(self):
+        a = Load(3.0, 1.0)
+        b = Load(1.0, 2.0)
+        assert a + b == Load(4.0, 3.0)
+        assert a - b == Load(2.0, -1.0)
+        assert -a == Load(-3.0, -1.0)
+        assert 2 * a == Load(6.0, 2.0)
+
+    def test_abs_exceeds_either_metric(self):
+        thr = Load(10.0, 5.0)
+        assert not Load(9.0, 4.0).abs_exceeds(thr)
+        assert Load(11.0, 0.0).abs_exceeds(thr)
+        assert Load(0.0, -6.0).abs_exceeds(thr)
+
+    def test_is_zero(self):
+        assert Load.ZERO.is_zero()
+        assert Load(1e-12, 0).is_zero(tol=1e-9)
+        assert not Load(1.0, 0.0).is_zero()
+
+    def test_sum(self):
+        assert Load.sum([Load(1, 2), Load(3, 4)]) == Load(4, 6)
+        assert Load.sum([]) == Load.ZERO
+
+    @given(st.floats(-1e9, 1e9), st.floats(-1e9, 1e9),
+           st.floats(-1e9, 1e9), st.floats(-1e9, 1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_add_sub_roundtrip(self, w1, m1, w2, m2):
+        a, b = Load(w1, m1), Load(w2, m2)
+        c = (a + b) - b
+        assert c.workload == pytest.approx(a.workload, abs=1e-3)
+        assert c.memory == pytest.approx(a.memory, abs=1e-3)
+
+
+class TestLoadView:
+    def test_set_get_add(self):
+        v = LoadView(3)
+        v.set(1, Load(5.0, 2.0))
+        v.add(1, Load(1.0, 1.0))
+        assert v.get(1) == Load(6.0, 3.0)
+
+    def test_copy_is_independent(self):
+        v = LoadView(2)
+        c = v.copy()
+        c.set(0, Load(9.0, 9.0))
+        assert v.get(0) == Load.ZERO
+
+    def test_equality_and_allclose(self):
+        a, b = LoadView(2), LoadView(2)
+        assert a == b
+        b.add(0, Load(1e-9, 0))
+        assert a != b
+        assert a.allclose(b)
+
+    def test_iter(self):
+        v = LoadView(2)
+        v.set(1, Load(1.0, 2.0))
+        assert list(v) == [Load.ZERO, Load(1.0, 2.0)]
+
+
+class TestResultExport:
+    def test_to_dict_json_serializable(self):
+        from repro.matrices import generators as gen
+        from repro.solver import run_factorization
+        from repro.symbolic import analyze_matrix
+
+        tree = analyze_matrix(gen.grid_laplacian((10, 10, 3)), name="jgrid")
+        r = run_factorization(tree, 4, mechanism="increments")
+        d = r.to_dict()
+        text = json.dumps(d)
+        back = json.loads(text)
+        assert back["nprocs"] == 4
+        assert back["peak_active_memory"] == r.peak_active_memory
+        assert len(back["peak_active"]) == 4

@@ -1,0 +1,105 @@
+"""Unit tests for the network model: FIFO links, costs, accounting."""
+
+import pytest
+
+from repro.simcore import Channel, ChannelError, Network, NetworkConfig, Simulator
+from repro.simcore.network import Payload
+
+from helpers import HostProcess, make_world
+
+
+class BigPayload(Payload):
+    TYPE = "big"
+
+    def nbytes(self):
+        return 1_000_000
+
+
+class TestDeliveryTiming:
+    def test_latency_and_bandwidth(self):
+        cfg = NetworkConfig(latency=1e-3, bandwidth=1e6, send_overhead=0.0)
+        sim, net, procs = make_world(2, config=cfg)
+        net.send(0, 1, Channel.DATA, BigPayload())
+        sim.run()
+        env = procs[1].data_received[0]
+        assert env.deliver_time == pytest.approx(1e-3 + 1.0)
+
+    def test_fifo_per_link(self):
+        # A small message sent right after a big one on the same link must
+        # not overtake it.
+        cfg = NetworkConfig(latency=0.0, bandwidth=1e6, send_overhead=0.0)
+        sim, net, procs = make_world(2, config=cfg)
+        net.send(0, 1, Channel.DATA, BigPayload())  # 1s transfer
+        net.send(0, 1, Channel.DATA, Payload())  # tiny
+        sim.run()
+        times = [e.deliver_time for e in procs[1].data_received]
+        assert times == sorted(times)
+        assert times[1] >= 1.0
+
+    def test_channels_are_independent(self):
+        # STATE messages are not delayed behind a big DATA transfer.
+        cfg = NetworkConfig(latency=0.0, bandwidth=1e6, send_overhead=0.0)
+        sim, net, procs = make_world(2, config=cfg)
+
+        class StateNote(Payload):
+            TYPE = "note"
+
+        received = []
+        procs[1].handle_state = lambda env: received.append(sim.now)
+        net.send(0, 1, Channel.DATA, BigPayload())
+        net.send(0, 1, Channel.STATE, StateNote())
+        sim.run()
+        assert received and received[0] < 1.0
+
+    def test_sender_charged_overhead(self):
+        cfg = NetworkConfig(send_overhead=5e-6)
+        sim, net, procs = make_world(3, config=cfg)
+        net.broadcast(0, Channel.DATA, Payload())
+        assert procs[0].cpu_free_at == pytest.approx(2 * 5e-6)
+
+
+class TestRoutingErrors:
+    def test_self_send_rejected(self):
+        sim, net, procs = make_world(2)
+        with pytest.raises(ChannelError):
+            net.send(0, 0, Channel.DATA, Payload())
+
+    def test_bad_destination_rejected(self):
+        sim, net, procs = make_world(2)
+        with pytest.raises(ChannelError):
+            net.send(0, 5, Channel.DATA, Payload())
+
+    def test_double_registration_rejected(self):
+        sim = Simulator()
+        net = Network(sim, 1)
+        HostProcess(sim, net, 0)
+        with pytest.raises(ChannelError):
+            HostProcess(sim, net, 0)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            Network(Simulator(), 0)
+
+
+class TestAccounting:
+    def test_message_counts_by_type_and_channel(self):
+        sim, net, procs = make_world(4)
+        procs[2].handle_state = lambda env: None
+        net.broadcast(0, Channel.DATA, Payload())
+        net.send(1, 2, Channel.STATE, BigPayload())
+        sim.run()
+        assert net.stats.sent_total == 4
+        assert net.stats.by_type["payload"] == 3
+        assert net.stats.by_type["big"] == 1
+        assert net.stats.by_channel["DATA"] == 3
+        assert net.stats.state_message_count() == 1
+        assert net.stats.sent_bytes == 3 * 64 + 1_000_000
+
+    def test_broadcast_exclude(self):
+        sim, net, procs = make_world(4)
+        n = net.broadcast(0, Channel.DATA, Payload(), exclude=[2])
+        assert n == 2
+        sim.run()
+        assert len(procs[1].data_received) == 1
+        assert len(procs[2].data_received) == 0
+        assert len(procs[3].data_received) == 1

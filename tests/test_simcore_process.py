@@ -1,0 +1,220 @@
+"""Unit tests for the process model: Algorithm 1 semantics.
+
+These pin the paper's execution model: state messages have priority over data
+messages, which have priority over starting tasks; a process cannot treat a
+message and compute simultaneously; the threaded variant treats state
+messages during computation and supports pause/resume.
+"""
+
+import pytest
+
+from repro.simcore import Channel, NetworkConfig, ProtocolError
+from repro.simcore.network import Payload
+
+from helpers import make_world
+
+
+class Note(Payload):
+    TYPE = "note"
+
+
+class TestPriorities:
+    def test_state_before_data_before_task(self):
+        # Zero latency so both messages are deliverable at t=0, before the
+        # process's first dispatch runs.
+        sim, net, procs = make_world(
+            2, config=NetworkConfig(latency=0.0, bandwidth=float("inf"))
+        )
+        order = []
+        p1 = procs[1]
+        p1.handle_state = lambda env: order.append("state")
+        p1.handle_data = lambda env: order.append("data")
+        # Make everything available at the same instant, before P1 dispatches.
+        net.send(0, 1, Channel.DATA, Note(), charge_sender=False)
+        net.send(0, 1, Channel.STATE, Note(), charge_sender=False)
+        p1.queue_task(1e-3, on_complete=lambda: order.append("task"))
+        sim.run()
+        assert order == ["state", "data", "task"]
+
+    def test_messages_wait_for_running_task(self):
+        cfg = NetworkConfig(latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg)
+        p1 = procs[1]
+        treated_at = []
+        p1.handle_data = lambda env: treated_at.append(sim.now)
+        p1.queue_task(1.0)  # long task starts at t=0
+        sim.schedule(0.5, lambda: net.send(0, 1, Channel.DATA, Note(),
+                                           charge_sender=False))
+        sim.run()
+        # The message arrived at ~0.5 but is only treated once the task ends.
+        assert treated_at[0] >= 1.0
+
+    def test_one_message_at_a_time(self):
+        cfg = NetworkConfig(recv_overhead=1e-3, latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg)
+        p1 = procs[1]
+        treated_at = []
+        p1.handle_data = lambda env: treated_at.append(sim.now)
+        for _ in range(3):
+            net.send(0, 1, Channel.DATA, Note(), charge_sender=False)
+        sim.run()
+        assert len(treated_at) == 3
+        # Each treatment is separated by the per-message cost.
+        assert treated_at[1] - treated_at[0] >= 1e-3
+        assert treated_at[2] - treated_at[1] >= 1e-3
+
+
+class TestTaskExecution:
+    def test_task_hooks_and_duration(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        marks = []
+        p.queue_task(2.0, on_start=lambda: marks.append(("start", sim.now)),
+                     on_complete=lambda: marks.append(("end", sim.now)))
+        sim.run()
+        assert marks == [("start", 0.0), ("end", 2.0)]
+        assert p.stats_tasks_run == 1
+
+    def test_tasks_run_sequentially(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        ends = []
+        p.queue_task(1.0, on_complete=lambda: ends.append(sim.now))
+        p.queue_task(2.0, on_complete=lambda: ends.append(sim.now))
+        sim.run()
+        assert ends == [1.0, 3.0]
+
+    def test_charge_during_completion_extends_busy(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        starts = []
+        p.queue_task(1.0, on_complete=lambda: p.charge(0.5))
+        p.queue_task(1.0, on_start=lambda: starts.append(sim.now))
+        sim.run()
+        assert starts == [pytest.approx(1.5)]
+
+    def test_blocked_process_starts_no_task(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        blocked = [True]
+        p.can_start_task = lambda: not blocked[0]
+        ran = []
+        p.queue_task(1.0, on_complete=lambda: ran.append(1))
+        sim.run()
+        assert ran == []
+
+        def unblock():
+            blocked[0] = False
+            p.notify_work()
+
+        sim.schedule(1.0, unblock)
+        sim.run()
+        assert ran == [1]
+
+
+class TestPauseResume:
+    def test_pause_extends_completion(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        ends = []
+        p.queue_task(2.0, on_complete=lambda: ends.append(sim.now))
+        sim.schedule(1.0, p.pause_task)
+        sim.schedule(4.0, p.resume_task)
+        sim.run()
+        # 1s ran, paused 3s, 1s remaining -> completes at t=5.
+        assert ends == [pytest.approx(5.0)]
+
+    def test_nested_pause_requires_matching_resumes(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        ends = []
+        p.queue_task(2.0, on_complete=lambda: ends.append(sim.now))
+
+        def pause_twice():
+            p.pause_task()
+            p.pause_task()
+
+        sim.schedule(1.0, pause_twice)
+        sim.schedule(2.0, p.resume_task)
+        sim.schedule(3.0, p.resume_task)
+        sim.run()
+        assert ends == [pytest.approx(4.0)]
+
+    def test_resume_without_pause_raises(self):
+        sim, net, procs = make_world(1)
+        p = procs[0]
+        p.queue_task(2.0)
+        sim.schedule(1.0, lambda: pytest.raises(ProtocolError, p.resume_task))
+        sim.run()
+
+    def test_pause_with_no_task_returns_false(self):
+        sim, net, procs = make_world(1)
+        assert procs[0].pause_task() is False
+
+
+class TestThreadedVariant:
+    def test_state_treated_during_compute(self):
+        cfg = NetworkConfig(latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg, threaded=True)
+        p1 = procs[1]
+        treated_at = []
+        p1.handle_state = lambda env: treated_at.append(sim.now)
+        p1.queue_task(1.0)
+        sim.schedule(0.3, lambda: net.send(0, 1, Channel.STATE, Note(),
+                                           charge_sender=False))
+        sim.run()
+        # Treated at the next 50 µs poll boundary after arrival, mid-task.
+        assert treated_at and treated_at[0] < 0.31
+
+    def test_nonthreaded_state_waits(self):
+        cfg = NetworkConfig(latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg, threaded=False)
+        p1 = procs[1]
+        treated_at = []
+        p1.handle_state = lambda env: treated_at.append(sim.now)
+        p1.queue_task(1.0)
+        sim.schedule(0.3, lambda: net.send(0, 1, Channel.STATE, Note(),
+                                           charge_sender=False))
+        sim.run()
+        assert treated_at[0] >= 1.0
+
+    def test_threaded_handler_cost_extends_task(self):
+        cfg = NetworkConfig(latency=1e-6, recv_overhead=1e-2)
+        sim, net, procs = make_world(2, config=cfg, threaded=True)
+        p1 = procs[1]
+        ends = []
+        p1.handle_state = lambda env: None
+        p1.queue_task(1.0, on_complete=lambda: ends.append(sim.now))
+        sim.schedule(0.3, lambda: net.send(0, 1, Channel.STATE, Note(),
+                                           charge_sender=False))
+        sim.run()
+        assert ends[0] == pytest.approx(1.01, abs=1e-3)
+
+    def test_threaded_pause_from_handler(self):
+        cfg = NetworkConfig(latency=1e-6)
+        sim, net, procs = make_world(2, config=cfg, threaded=True)
+        p1 = procs[1]
+        ends = []
+
+        def on_state(env):
+            p1.pause_task()
+            sim.schedule(1.0, p1.resume_task)
+
+        p1.handle_state = on_state
+        p1.queue_task(1.0, on_complete=lambda: ends.append(sim.now))
+        sim.schedule(0.5, lambda: net.send(0, 1, Channel.STATE, Note(),
+                                           charge_sender=False))
+        sim.run()
+        assert ends[0] == pytest.approx(2.0, abs=1e-3)
+
+
+class TestHalt:
+    def test_halted_process_ignores_messages_and_tasks(self):
+        sim, net, procs = make_world(2)
+        p1 = procs[1]
+        p1.queue_task(1.0)
+        p1.halt()
+        net.send(0, 1, Channel.DATA, Note(), charge_sender=False)
+        sim.run()
+        assert p1.stats_tasks_run == 0
+        assert p1.stats_msgs_treated == 0

@@ -1,0 +1,164 @@
+"""Property-based "chaos" tests of the snapshot protocol.
+
+Hypothesis generates random scenarios — process counts, decision requests
+at random times from random ranks, random link latencies — and the tests
+check the protocol's two contracts under every interleaving:
+
+* **liveness**: every requested decision eventually completes and every
+  process ends unblocked;
+* **sequential coherence** (the paper's motivation for sequentializing
+  concurrent snapshots): when a decision's view is delivered, it accounts
+  for the reservations of *every* decision that completed before it, and
+  the final self-estimates equal the exact sum of reservations received.
+"""
+
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    PartialSnapshotMechanism,
+    SnapshotMechanism,
+)
+from repro.simcore import NetworkConfig
+
+from helpers import make_world
+
+
+class ChaosDriver:
+    """Queues decision intents per rank and replays them when unblocked."""
+
+    def __init__(self, sim, procs, slave_of, amount_of):
+        self.sim = sim
+        self.procs = procs
+        self.pending: Dict[int, List[int]] = {}
+        self.slave_of = slave_of
+        self.amount_of = amount_of
+        #: (initiator, view, completion_index) in completion order
+        self.completed: List[tuple] = []
+        #: reservations applied, in completion order: list of (slave, amount)
+        self.log: List[tuple] = []
+
+    def want(self, rank: int, decision_id: int):
+        self.pending.setdefault(rank, []).append(decision_id)
+        self._try(rank)
+
+    def _try(self, rank: int):
+        proc = self.procs[rank]
+        mech = proc.mechanism
+        if not self.pending.get(rank):
+            return
+        if mech.blocks_tasks() or mech._pending_callback is not None:
+            # blocked: poll again shortly (emulates Algorithm 1's task loop)
+            self.sim.schedule(5e-6, lambda: self._try(rank))
+            return
+        did = self.pending[rank].pop(0)
+        slave = self.slave_of(rank, did)
+        amount = self.amount_of(did)
+
+        def cb(view):
+            self.completed.append((rank, view, len(self.log)))
+            mech.record_decision({slave: Load(float(amount), 0.0)})
+            self.log.append((slave, float(amount)))
+            mech.decision_complete()
+            self.sim.schedule(1e-6, lambda: self._try(rank))
+
+        mech.request_view(cb)
+
+
+def run_chaos(nprocs, decisions, latency, mech_cls=SnapshotMechanism,
+              group_size=0):
+    cfg = MechanismConfig(snapshot_group_size=group_size)
+    sim, net, procs = make_world(
+        nprocs, lambda: mech_cls(cfg),
+        config=NetworkConfig(latency=latency),
+    )
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * nprocs)
+    driver = ChaosDriver(
+        sim, procs,
+        slave_of=lambda rank, did: (rank + 1 + did % (nprocs - 1)) % nprocs,
+        amount_of=lambda did: 10.0 * (did + 1),
+    )
+    for i, (rank, delay) in enumerate(decisions):
+        sim.schedule(delay, lambda r=rank % nprocs, i=i: driver.want(r, i))
+    sim.run()
+    return sim, net, procs, driver
+
+
+decision_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.floats(0, 1e-3)),
+    min_size=1, max_size=8,
+)
+
+
+class TestFullSnapshotChaos:
+    @given(
+        nprocs=st.integers(3, 7),
+        decisions=decision_lists,
+        latency=st.sampled_from([1e-6, 5e-5, 2e-3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_liveness_and_coherence(self, nprocs, decisions, latency):
+        sim, net, procs, driver = run_chaos(nprocs, decisions, latency)
+        # liveness: every decision completed, everyone unblocked
+        assert len(driver.completed) == len(decisions)
+        for p in procs:
+            assert not p.mechanism.blocks_tasks(), p.mechanism.debug_state()
+        # sequential coherence: decision k's view contains exactly the
+        # reservations of the k decisions completed before it (for every
+        # rank other than the initiator, whose own load the view also has).
+        for initiator, view, k in driver.completed:
+            expected = [0.0] * nprocs
+            for slave, amount in driver.log[:k]:
+                expected[slave] += amount
+            for r in range(nprocs):
+                assert view.get(r).workload == pytest.approx(expected[r]), (
+                    f"decision #{k} by P{initiator}: view of P{r} is "
+                    f"{view.get(r).workload}, expected {expected[r]}"
+                )
+        # conservation: final self-estimates equal the reservation sums
+        final = [0.0] * nprocs
+        for slave, amount in driver.log:
+            final[slave] += amount
+        for p in procs:
+            assert p.mechanism.my_load.workload == pytest.approx(final[p.rank])
+
+    @given(decisions=decision_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_message_counts(self, decisions):
+        a = run_chaos(5, decisions, 5e-5)[1].stats.sent_total
+        b = run_chaos(5, decisions, 5e-5)[1].stats.sent_total
+        assert a == b
+
+
+class TestPartialSnapshotChaos:
+    @given(
+        nprocs=st.integers(4, 8),
+        decisions=decision_lists,
+        group_size=st.integers(2, 4),
+        latency=st.sampled_from([1e-6, 1e-4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_liveness_and_final_accounting(self, nprocs, decisions,
+                                           group_size, latency):
+        """Partial snapshots: liveness + exact final accounting.
+
+        (The per-decision view check is weaker here by design: only
+        overlapping groups are mutually ordered.)
+        """
+        sim, net, procs, driver = run_chaos(
+            nprocs, decisions, latency,
+            mech_cls=PartialSnapshotMechanism, group_size=group_size,
+        )
+        assert len(driver.completed) == len(decisions)
+        for p in procs:
+            assert not p.mechanism.blocks_tasks(), p.mechanism.debug_state()
+        final = [0.0] * nprocs
+        for slave, amount in driver.log:
+            final[slave] += amount
+        for p in procs:
+            assert p.mechanism.my_load.workload == pytest.approx(final[p.rank])

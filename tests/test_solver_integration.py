@@ -1,0 +1,171 @@
+"""Integration tests of the full simulated factorization.
+
+These are the reproduction's strongest guarantees: every (mechanism,
+strategy, nprocs, threading) combination must complete the whole task graph
+with conserved factor entries, zero residual active memory (checked inside
+the driver), the statically predicted number of dynamic decisions, and
+deterministic results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_factorization
+from repro.mapping import compute_mapping
+from repro.matrices import collection, generators as gen
+from repro.mechanisms import MECHANISM_NAMES
+from repro.simcore.network import NetworkConfig
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix, analyze_problem
+
+
+@pytest.fixture(scope="module")
+def small_tree():
+    return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="small-grid")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return collection.get("TWOTONE")
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("mechanism", ["naive", "increments", "snapshot"])
+    @pytest.mark.parametrize("strategy", ["workload", "memory"])
+    def test_all_combinations_complete(self, small_tree, mechanism, strategy):
+        r = run_factorization(small_tree, 8, mechanism=mechanism, strategy=strategy)
+        assert r.factorization_time > 0
+        assert r.total_factor_entries == pytest.approx(
+            small_tree.total_factor_entries
+        )
+
+    @pytest.mark.parametrize("mechanism", ["increments", "snapshot"])
+    def test_threaded_variants_complete(self, small_tree, mechanism):
+        cfg = SolverConfig(threaded=True)
+        r = run_factorization(small_tree, 8, mechanism=mechanism, config=cfg)
+        assert r.threaded
+        assert r.factorization_time > 0
+
+    def test_single_process_run(self, small_tree):
+        r = run_factorization(small_tree, 1, mechanism="increments")
+        assert r.factorization_time > 0
+        assert r.state_messages == 0
+        assert r.decisions == 0
+
+    def test_two_processes(self, small_tree):
+        r = run_factorization(small_tree, 2, mechanism="increments")
+        assert r.factorization_time > 0
+
+    def test_real_problem(self, problem):
+        r = run_factorization(problem, 16, mechanism="increments")
+        assert r.factorization_time > 0
+
+
+class TestInvariants:
+    def test_decision_count_matches_static_mapping(self, small_tree):
+        mapping = compute_mapping(small_tree, 8)
+        for mech in MECHANISM_NAMES:
+            r = run_factorization(small_tree, 8, mechanism=mech)
+            assert r.decisions == mapping.n_decisions
+
+    def test_snapshot_count_equals_decisions(self, small_tree):
+        r = run_factorization(small_tree, 8, mechanism="snapshot")
+        assert r.snapshot_count == r.decisions
+
+    def test_no_snapshots_for_maintained_mechanisms(self, small_tree):
+        for mech in ("naive", "increments"):
+            r = run_factorization(small_tree, 8, mechanism=mech)
+            assert r.snapshot_count == 0
+            assert r.snapshot_union_time == 0.0
+
+    def test_peak_memory_at_least_largest_local_allocation(self, small_tree):
+        r = run_factorization(small_tree, 8, mechanism="increments",
+                              strategy="memory")
+        assert r.peak_active_memory > 0
+        # factorization cannot beat the per-front lower bound by definition
+        assert r.peak_active.sum() > 0
+
+    def test_makespan_at_least_critical_path_lower_bound(self, small_tree):
+        """time ≥ total flops / (P × speed) — trivially necessary."""
+        cfg = SolverConfig()
+        r = run_factorization(small_tree, 8, mechanism="increments", config=cfg)
+        assert (
+            r.factorization_time
+            >= small_tree.total_flops / (8 * cfg.proc_speed)
+        )
+
+    def test_busy_time_bounded_by_makespan(self, small_tree):
+        r = run_factorization(small_tree, 8, mechanism="increments")
+        # drain-phase message treatment can exceed the makespan only barely
+        assert (r.busy_time <= r.factorization_time * 1.05 + 1e-3).all()
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, small_tree):
+        a = run_factorization(small_tree, 8, mechanism="increments")
+        b = run_factorization(small_tree, 8, mechanism="increments")
+        assert a.factorization_time == b.factorization_time
+        assert (a.peak_active == b.peak_active).all()
+        assert a.state_messages == b.state_messages
+
+    def test_snapshot_runs_deterministic(self, small_tree):
+        a = run_factorization(small_tree, 8, mechanism="snapshot")
+        b = run_factorization(small_tree, 8, mechanism="snapshot")
+        assert a.factorization_time == b.factorization_time
+        assert a.state_messages == b.state_messages
+
+
+class TestPaperShapes:
+    """The headline qualitative results, pinned as regressions."""
+
+    def test_snapshot_uses_far_fewer_state_messages(self, problem):
+        inc = run_factorization(problem, 16, mechanism="increments")
+        snp = run_factorization(problem, 16, mechanism="snapshot")
+        assert snp.state_messages < inc.state_messages / 2
+
+    def test_snapshot_slower_on_workload_strategy(self):
+        p = collection.get("CONV3D64")
+        inc = run_factorization(p, 32, mechanism="increments", strategy="workload")
+        snp = run_factorization(p, 32, mechanism="snapshot", strategy="workload")
+        assert snp.factorization_time > inc.factorization_time
+
+    def test_naive_memory_no_better_than_increments(self):
+        p = collection.get("AUDIKW_1")
+        nai = run_factorization(p, 32, mechanism="naive", strategy="memory")
+        inc = run_factorization(p, 32, mechanism="increments", strategy="memory")
+        assert nai.peak_active_memory >= inc.peak_active_memory * 0.999
+
+    def test_threading_reduces_snapshot_time(self):
+        p = collection.get("CONV3D64")
+        plain = run_factorization(p, 32, mechanism="snapshot", strategy="workload")
+        threaded = run_factorization(
+            p, 32, mechanism="snapshot", strategy="workload",
+            config=SolverConfig(threaded=True),
+        )
+        assert threaded.factorization_time < plain.factorization_time
+        assert threaded.snapshot_union_time < plain.snapshot_union_time
+
+    def test_no_more_master_reduces_messages(self, small_tree):
+        on = run_factorization(small_tree, 8, mechanism="increments")
+        off = run_factorization(
+            small_tree, 8, mechanism="increments",
+            config=SolverConfig(no_more_master=False),
+        )
+        assert on.state_messages < off.state_messages
+
+    def test_high_latency_hurts_increments_relatively(self, small_tree):
+        """§4.5: on high-latency links the increments volume becomes costly."""
+        fast = SolverConfig(network=NetworkConfig.fast())
+        slow = SolverConfig(network=NetworkConfig.high_latency())
+        inc_fast = run_factorization(small_tree, 8, "increments", config=fast)
+        inc_slow = run_factorization(small_tree, 8, "increments", config=slow)
+        assert inc_slow.factorization_time > inc_fast.factorization_time
+
+
+class TestThresholdEffect:
+    def test_smaller_threshold_more_messages(self, small_tree):
+        lo = run_factorization(small_tree, 8, "increments",
+                               config=SolverConfig(threshold_frac=0.02))
+        hi = run_factorization(small_tree, 8, "increments",
+                               config=SolverConfig(threshold_frac=2.0))
+        assert lo.state_messages > hi.state_messages

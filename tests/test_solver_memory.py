@@ -1,0 +1,62 @@
+"""Unit tests for the per-process memory tracker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.memory import MemoryTracker
+
+
+class TestMemoryTracker:
+    def test_alloc_free_roundtrip(self):
+        t = MemoryTracker(rank=0)
+        t.alloc_active(100)
+        t.alloc_active(50)
+        assert t.active == 150
+        t.free_active(150)
+        assert t.active == 0
+        assert t.peak_active == 150
+
+    def test_peak_tracks_maximum(self):
+        t = MemoryTracker(rank=0)
+        t.alloc_active(10)
+        t.free_active(5)
+        t.alloc_active(100)
+        assert t.peak_active == 105
+
+    def test_factors_counted_in_total_peak(self):
+        t = MemoryTracker(rank=0)
+        t.add_factors(40)
+        t.alloc_active(10)
+        assert t.peak_total == 50
+        assert t.peak_active == 10
+
+    def test_negative_free_rejected(self):
+        t = MemoryTracker(rank=0)
+        with pytest.raises(ValueError):
+            t.free_active(-1)
+
+    def test_overfree_rejected(self):
+        t = MemoryTracker(rank=0)
+        t.alloc_active(10)
+        with pytest.raises(ValueError):
+            t.free_active(20)
+
+    def test_series_recording(self):
+        t = MemoryTracker(rank=0, record_series=True)
+        t.alloc_active(10, now=1.0)
+        t.free_active(10, now=2.0)
+        assert len(t.series) == 2
+        assert t.series[0] == (1.0, 10.0)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_peak_is_max_prefix_sum(self, allocs):
+        t = MemoryTracker(rank=0)
+        running = 0.0
+        peak = 0.0
+        for a in allocs:
+            t.alloc_active(a)
+            running += a
+            peak = max(peak, running)
+        assert t.active == pytest.approx(running)
+        assert t.peak_active == pytest.approx(peak)

@@ -1,0 +1,106 @@
+"""Tests for the ground-truth tracker and per-decision view errors."""
+
+import pytest
+
+from repro import run_factorization
+from repro.matrices import generators as gen
+from repro.mechanisms.view import Load, LoadView
+from repro.solver.truth import DecisionLog, DecisionRecord, TruthTracker
+from repro.symbolic import analyze_matrix
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((14, 14, 5)), name="truthgrid")
+
+
+class TestTruthTracker:
+    def test_local_changes_accumulate(self):
+        t = TruthTracker(3)
+        t.local_change(0, Load(10.0, 2.0), slave_task=False)
+        t.local_change(0, Load(-4.0, 0.0), slave_task=False)
+        assert t.view.get(0) == Load(6.0, 2.0)
+
+    def test_positive_slave_change_skipped(self):
+        t = TruthTracker(2)
+        t.reserve({1: Load(10.0, 1.0)})
+        t.local_change(1, Load(10.0, 1.0), slave_task=True)  # arrival
+        assert t.view.get(1) == Load(10.0, 1.0)  # not double-counted
+
+    def test_negative_slave_change_applied(self):
+        t = TruthTracker(2)
+        t.reserve({1: Load(10.0, 1.0)})
+        t.local_change(1, Load(-10.0, -1.0), slave_task=True)  # completion
+        assert t.view.get(1) == Load(0.0, 0.0)
+
+    def test_errors_zero_for_exact_view(self):
+        t = TruthTracker(3)
+        t.initialize([Load(5.0, 1.0), Load(3.0, 2.0), Load(0.0, 0.0)])
+        view = t.view.copy()
+        assert t.errors_against(view) == (0.0, 0.0)
+
+    def test_errors_exclude_master(self):
+        t = TruthTracker(2)
+        t.initialize([Load(100.0, 0.0), Load(10.0, 0.0)])
+        view = LoadView(2)  # knows nothing
+        view.set(1, Load(10.0, 0.0))
+        err_w, _ = t.errors_against(view, exclude=0)
+        assert err_w == 0.0  # rank 0's error is excluded
+
+    def test_errors_bounded_for_stale_views(self):
+        t = TruthTracker(2)
+        t.initialize([Load(0.0, 0.0), Load(0.0, 0.0)])
+        stale = LoadView(2)
+        stale.set(1, Load(1e9, 1e9))
+        err_w, err_m = t.errors_against(stale, exclude=0)
+        assert err_w <= 1.0 and err_m <= 1.0
+
+
+class TestDecisionLog:
+    def test_aggregates(self):
+        log = DecisionLog()
+        log.add(DecisionRecord(0.1, 0, 5, 3, 0.2, 0.4))
+        log.add(DecisionRecord(0.2, 1, 6, 2, 0.4, 0.0))
+        assert len(log) == 2
+        assert log.mean_error_workload == pytest.approx(0.3)
+        assert log.mean_error_memory == pytest.approx(0.2)
+        assert log.max_error_workload == pytest.approx(0.4)
+
+    def test_empty_log(self):
+        log = DecisionLog()
+        assert log.mean_error_workload == 0.0
+
+
+class TestViewErrorHierarchy:
+    """The quantified version of the paper's view-correctness ranking."""
+
+    @pytest.fixture(scope="class")
+    def errors(self, tree):
+        out = {}
+        for mech in ("oracle", "snapshot", "increments", "naive"):
+            r = run_factorization(tree, 8, mechanism=mech, strategy="memory")
+            out[mech] = r.mean_view_error_workload
+        return out
+
+    def test_oracle_and_snapshot_exact(self, errors):
+        assert errors["oracle"] == 0.0
+        assert errors["snapshot"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_increments_small_but_nonzero_allowed(self, errors):
+        assert errors["increments"] < 0.2
+
+    def test_naive_worse_than_increments(self, errors):
+        assert errors["naive"] > errors["increments"]
+
+    def test_decision_log_attached_to_results(self, tree):
+        r = run_factorization(tree, 8, mechanism="increments")
+        assert r.decision_log is not None
+        assert len(r.decision_log) == r.decisions
+        for rec in r.decision_log.records:
+            assert rec.nslaves > 0
+            assert rec.time >= 0.0
+
+    def test_to_dict_includes_errors(self, tree):
+        r = run_factorization(tree, 8, mechanism="naive")
+        d = r.to_dict()
+        assert "mean_view_error_workload" in d

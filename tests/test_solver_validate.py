@@ -1,0 +1,102 @@
+"""Tests for the post-run validator and the tree's critical-path analysis."""
+
+import dataclasses
+
+import pytest
+
+from repro import run_factorization
+from repro.mapping import compute_mapping
+from repro.matrices import generators as gen
+from repro.solver.validate import validate_result
+from repro.symbolic import analyze_matrix
+from repro.symbolic.tree import AssemblyTree, Front
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((12, 12, 5)), name="valgrid")
+
+
+class TestCriticalPath:
+    def test_chain_tree_path_is_total(self):
+        fronts = [Front(id=0, npiv=4, nfront=8, parent=1),
+                  Front(id=1, npiv=8, nfront=8, parent=-1, children=[0])]
+        t = AssemblyTree(fronts)
+        assert t.critical_path_flops() == pytest.approx(t.total_flops)
+        assert t.average_parallelism() == pytest.approx(1.0)
+
+    def test_star_tree_has_parallelism(self):
+        leaves = [Front(id=i, npiv=8, nfront=16, parent=3) for i in range(3)]
+        root = Front(id=3, npiv=16, nfront=16, parent=-1, children=[0, 1, 2])
+        t = AssemblyTree(leaves + [root])
+        assert t.average_parallelism() > 1.5
+
+    def test_real_tree_bounds(self, tree):
+        cp = tree.critical_path_flops()
+        assert 0 < cp <= tree.total_flops
+        assert tree.average_parallelism() >= 1.0
+
+
+class TestValidateHappyPaths:
+    @pytest.mark.parametrize("mechanism", [
+        "naive", "increments", "snapshot", "partial_snapshot", "oracle",
+    ])
+    def test_every_mechanism_validates(self, tree, mechanism):
+        r = run_factorization(tree, 8, mechanism=mechanism)
+        report = validate_result(r, tree)
+        assert report.ok, report.render()
+
+    @pytest.mark.parametrize("strategy", ["workload", "memory"])
+    def test_both_strategies_validate(self, tree, strategy):
+        r = run_factorization(tree, 8, mechanism="increments", strategy=strategy)
+        assert validate_result(r, tree).ok
+
+    def test_threaded_validates(self, tree):
+        from repro.solver import SolverConfig
+
+        r = run_factorization(tree, 8, mechanism="snapshot",
+                              config=SolverConfig(threaded=True))
+        assert validate_result(r, tree).ok
+
+    def test_render_mentions_ok(self, tree):
+        r = run_factorization(tree, 4, mechanism="increments")
+        assert "OK" in validate_result(r, tree).render()
+
+
+class TestValidateCatchesCorruption:
+    def test_wrong_factor_total_detected(self, tree):
+        r = run_factorization(tree, 4, mechanism="increments")
+        bad = dataclasses.replace(r, total_factor_entries=r.total_factor_entries * 2)
+        report = validate_result(bad, tree)
+        assert not report.ok
+        assert any("factor entries" in f for f in report.failures)
+
+    def test_impossible_time_detected(self, tree):
+        r = run_factorization(tree, 4, mechanism="increments")
+        bad = dataclasses.replace(r, factorization_time=1e-12)
+        report = validate_result(bad, tree)
+        assert not report.ok
+
+    def test_wrong_decision_count_detected(self, tree):
+        r = run_factorization(tree, 8, mechanism="increments")
+        bad = dataclasses.replace(r, decisions=r.decisions + 5)
+        assert not validate_result(bad, tree).ok
+
+    def test_snapshot_without_snapshots_detected(self, tree):
+        r = run_factorization(tree, 8, mechanism="snapshot")
+        bad = dataclasses.replace(r, snapshot_count=0)
+        if r.decisions > 0:
+            assert not validate_result(bad, tree).ok
+
+    def test_raise_on_failure(self, tree):
+        r = run_factorization(tree, 4, mechanism="increments")
+        bad = dataclasses.replace(r, factorization_time=1e-12)
+        with pytest.raises(AssertionError):
+            validate_result(bad, tree).raise_on_failure()
+
+    def test_low_memory_detected(self, tree):
+        import numpy as np
+
+        r = run_factorization(tree, 4, mechanism="increments")
+        bad = dataclasses.replace(r, peak_active=np.array([1.0] * 4))
+        assert not validate_result(bad, tree).ok

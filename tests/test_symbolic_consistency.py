@@ -1,0 +1,77 @@
+"""Cross-layer consistency: assembly-tree costs vs the true factor pattern.
+
+The fronts' entry counts must be consistent with the symbolic factor they
+condense: a front of ``npiv`` pivots and order ``nfront`` stores the dense
+factor block ``nfront² − border²`` whose L-part corresponds to the column
+counts of its pivot columns.  Amalgamation may only *add* fill (never lose
+entries), which gives a two-sided sanity envelope tying `repro.symbolic`'s
+two representations together.
+"""
+
+import pytest
+
+from repro.matrices import generators as gen
+from repro.symbolic.driver import AnalysisParams, analyze_matrix
+from repro.symbolic.etree import column_counts, elimination_tree, factor_nnz, postorder
+from repro.symbolic.graph import permute_symmetric, symmetrize_pattern
+from repro.symbolic.ordering import nested_dissection
+
+
+def tree_and_nnzL(A, params):
+    tree = analyze_matrix(A, name="cons", params=params)
+    B = symmetrize_pattern(A)
+    perm = nested_dissection(B, leaf_size=params.nd_leaf_size)
+    Bp = permute_symmetric(B, perm)
+    par = elimination_tree(Bp)
+    perm2 = perm[postorder(par)]
+    Bp2 = permute_symmetric(B, perm2)
+    par2 = elimination_tree(Bp2)
+    nnzL = factor_nnz(column_counts(Bp2, par2))
+    return tree, nnzL
+
+
+@pytest.mark.parametrize("shape", [(16, 16), (8, 8, 6)])
+def test_front_factor_entries_bound_below_by_factor_pattern(shape):
+    """Σ front factors ≥ the unsymmetric factor size 2·nnz(L) − n.
+
+    Fronts store full (L and U) dense blocks; the symbolic pattern counts
+    L only, and amalgamation adds fill — so the front total must dominate.
+    """
+    A = gen.grid_laplacian(shape)
+    params = AnalysisParams()
+    tree, nnzL = tree_and_nnzL(A, params)
+    n = A.shape[0]
+    lower_bound = 2 * nnzL - n
+    total = tree.total_factor_entries
+    assert total >= lower_bound * 0.999
+
+
+@pytest.mark.parametrize("shape", [(16, 16), (8, 8, 6)])
+def test_amalgamation_fill_is_bounded(shape):
+    """The relaxed amalgamation must not blow the factor up arbitrarily."""
+    A = gen.grid_laplacian(shape)
+    params = AnalysisParams()
+    tree, nnzL = tree_and_nnzL(A, params)
+    n = A.shape[0]
+    exact = 2 * nnzL - n
+    assert tree.total_factor_entries <= 3.0 * exact, (
+        "amalgamation fill exceeded 3x the exact factor size"
+    )
+
+
+def test_finer_amalgamation_less_fill():
+    A = gen.grid_laplacian((10, 10, 5))
+    coarse = analyze_matrix(A, name="c", params=AnalysisParams(amalg_max_npiv=64))
+    fine = analyze_matrix(A, name="f", params=AnalysisParams(amalg_max_npiv=8))
+    assert fine.total_factor_entries <= coarse.total_factor_entries * 1.001
+
+
+def test_flops_dominated_by_large_fronts():
+    """Sanity of the paper's premise: most flops sit near the top of the
+    tree, where the dynamic (type-2) decisions are taken."""
+    A = gen.grid_laplacian((10, 10, 8))
+    tree = analyze_matrix(A, name="flopgrid")
+    by_size = sorted(tree, key=lambda f: -f.nfront)
+    top_fifth = by_size[: max(1, len(by_size) // 5)]
+    share = sum(f.flops for f in top_fifth) / tree.total_flops
+    assert share > 0.5

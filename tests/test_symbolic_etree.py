@@ -1,0 +1,172 @@
+"""Unit + property tests for the elimination-tree machinery."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import generators as gen
+from repro.symbolic.etree import (
+    column_counts,
+    elimination_tree,
+    factor_nnz,
+    postorder,
+    tree_depth,
+    validate_etree,
+)
+from repro.symbolic.graph import (
+    adjacency_from_matrix,
+    permute_symmetric,
+    symmetrize_pattern,
+)
+
+
+def random_sym_pattern(n, density, seed):
+    rng = np.random.default_rng(seed)
+    m = max(n, int(density * n * n / 2))
+    r = rng.integers(0, n, size=m)
+    c = rng.integers(0, n, size=m)
+    A = sp.coo_matrix((np.ones(m), (r, c)), shape=(n, n))
+    return symmetrize_pattern(A + sp.eye(n))
+
+
+class TestEliminationTree:
+    def test_tridiagonal_is_a_path(self):
+        A = gen.grid_laplacian((8,))
+        parent = elimination_tree(symmetrize_pattern(A))
+        assert list(parent) == [1, 2, 3, 4, 5, 6, 7, -1]
+
+    def test_dense_matrix_is_a_path(self):
+        A = sp.csr_matrix(np.ones((5, 5)))
+        parent = elimination_tree(A)
+        assert list(parent) == [1, 2, 3, 4, -1]
+
+    def test_diagonal_matrix_is_a_forest_of_singletons(self):
+        A = sp.eye(6, format="csr")
+        parent = elimination_tree(A)
+        assert list(parent) == [-1] * 6
+
+    def test_parent_always_greater(self):
+        A = random_sym_pattern(40, 0.1, 3)
+        parent = elimination_tree(A)
+        for j, p in enumerate(parent):
+            assert p == -1 or p > j
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_etree_definition_holds(self, seed):
+        """parent[j] is the smallest row below j with a factor entry."""
+        A = random_sym_pattern(20, 0.15, seed)
+        parent = elimination_tree(A)
+        assert validate_etree(A, parent)
+
+
+class TestPostorder:
+    def test_children_before_parents(self):
+        A = random_sym_pattern(50, 0.08, 1)
+        parent = elimination_tree(A)
+        post = postorder(parent)
+        pos = {v: i for i, v in enumerate(post)}
+        for j, p in enumerate(parent):
+            if p != -1:
+                assert pos[j] < pos[p]
+
+    def test_postorder_is_a_permutation(self):
+        A = random_sym_pattern(33, 0.1, 2)
+        parent = elimination_tree(A)
+        assert sorted(postorder(parent)) == list(range(33))
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0], dtype=np.int64))
+
+
+class TestColumnCounts:
+    def test_dense_counts(self):
+        A = sp.csr_matrix(np.ones((6, 6)))
+        parent = elimination_tree(A)
+        cc = column_counts(A, parent)
+        assert list(cc) == [6, 5, 4, 3, 2, 1]
+
+    def test_diagonal_counts(self):
+        A = sp.eye(4, format="csr")
+        cc = column_counts(A, elimination_tree(A))
+        assert list(cc) == [1, 1, 1, 1]
+
+    def test_counts_bounded(self):
+        A = random_sym_pattern(60, 0.07, 5)
+        parent = elimination_tree(A)
+        cc = column_counts(A, parent)
+        n = A.shape[0]
+        for j in range(n):
+            assert 1 <= cc[j] <= n - j
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_match_explicit_symbolic_factorization(self, seed):
+        """Cross-check against a brute-force symbolic Cholesky."""
+        n = 15
+        A = random_sym_pattern(n, 0.2, seed)
+        parent = elimination_tree(A)
+        cc = column_counts(A, parent)
+        # brute force: dense boolean elimination
+        M = (A.toarray() != 0)
+        for k in range(n):
+            below = np.where(M[k+1:, k])[0] + k + 1
+            for i in below:
+                M[i, below] = True
+        expected = [int(M[j:, j].sum()) for j in range(n)]
+        assert list(cc) == expected
+
+    def test_factor_nnz(self):
+        A = sp.csr_matrix(np.ones((4, 4)))
+        cc = column_counts(A, elimination_tree(A))
+        assert factor_nnz(cc) == 10
+
+
+class TestTreeDepth:
+    def test_path_depth(self):
+        A = gen.grid_laplacian((6,))
+        parent = elimination_tree(symmetrize_pattern(A))
+        assert tree_depth(parent) == 6
+
+    def test_forest_depth(self):
+        parent = np.array([-1, -1, -1], dtype=np.int64)
+        assert tree_depth(parent) == 1
+
+
+class TestPermutation:
+    def test_permute_symmetric_roundtrip(self):
+        A = random_sym_pattern(20, 0.2, 9)
+        perm = np.random.default_rng(0).permutation(20)
+        B = permute_symmetric(A, perm)
+        # permuting back with the inverse recovers A's pattern
+        inv = np.empty(20, dtype=np.int64)
+        inv[perm] = np.arange(20)
+        C = permute_symmetric(B, inv)
+        assert (abs((A != 0).astype(int) - (C != 0).astype(int))).nnz == 0
+
+    def test_bad_perm_rejected(self):
+        A = random_sym_pattern(5, 0.5, 0)
+        with pytest.raises(ValueError):
+            permute_symmetric(A, np.array([0, 1, 2, 3, 3]))
+
+    def test_fill_is_permutation_dependent_but_n_is_not(self):
+        A = random_sym_pattern(30, 0.1, 4)
+        perm = np.random.default_rng(1).permutation(30)
+        B = permute_symmetric(A, perm)
+        assert B.shape == A.shape
+
+
+class TestAdjacency:
+    def test_no_diagonal(self):
+        A = random_sym_pattern(10, 0.3, 0)
+        adj = adjacency_from_matrix(A)
+        for v in range(10):
+            assert v not in adj.neighbors(v)
+
+    def test_degrees_match(self):
+        A = gen.grid_laplacian((4, 4))
+        adj = adjacency_from_matrix(A)
+        corner_deg = adj.degree(0)
+        assert corner_deg == 2

@@ -1,0 +1,143 @@
+"""Tests for the fill-reducing orderings."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import generators as gen
+from repro.symbolic.etree import column_counts, elimination_tree, factor_nnz
+from repro.symbolic.graph import permute_symmetric, symmetrize_pattern
+from repro.symbolic.ordering import (
+    compute_ordering,
+    minimum_degree,
+    natural,
+    nested_dissection,
+    reverse_cuthill_mckee,
+)
+
+
+def fill_of(B, perm):
+    Bp = permute_symmetric(B, perm)
+    parent = elimination_tree(Bp)
+    return factor_nnz(column_counts(Bp, parent))
+
+
+class TestPermutationValidity:
+    @pytest.mark.parametrize("method", ["nd", "rcm", "natural"])
+    def test_is_permutation(self, method):
+        A = gen.grid_laplacian((9, 9))
+        perm = compute_ordering(A, method)
+        assert sorted(perm) == list(range(81))
+
+    def test_nd_on_disconnected_graph(self):
+        A = sp.block_diag(
+            [gen.grid_laplacian((7, 7)), gen.grid_laplacian((6, 8))]
+        ).tocsr()
+        perm = nested_dissection(A, leaf_size=8)
+        assert sorted(perm) == list(range(49 + 48))
+
+    def test_nd_on_tiny_graph(self):
+        A = gen.grid_laplacian((3,))
+        perm = nested_dissection(A, leaf_size=8)
+        assert sorted(perm) == [0, 1, 2]
+
+    def test_nd_on_dense_graph(self):
+        A = sp.csr_matrix(np.ones((30, 30)))
+        perm = nested_dissection(A, leaf_size=4)
+        assert sorted(perm) == list(range(30))
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_nd_always_a_permutation_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 120))
+        m = int(rng.integers(n, 4 * n))
+        r = rng.integers(0, n, size=m)
+        c = rng.integers(0, n, size=m)
+        A = sp.coo_matrix((np.ones(m), (r, c)), shape=(n, n)) + sp.eye(n)
+        perm = nested_dissection(A.tocsr(), leaf_size=8)
+        assert sorted(perm) == list(range(n))
+
+
+class TestOrderingQuality:
+    def test_nd_beats_natural_on_3d_grid(self):
+        A = gen.grid_laplacian((9, 9, 9))
+        B = symmetrize_pattern(A)
+        assert fill_of(B, nested_dissection(B)) < fill_of(B, natural(B))
+
+    def test_nd_beats_natural_on_2d_grid(self):
+        A = gen.grid_laplacian((24, 24))
+        B = symmetrize_pattern(A)
+        assert fill_of(B, nested_dissection(B, leaf_size=16)) < fill_of(B, natural(B))
+
+    def test_rcm_reduces_bandwidth(self):
+        A = gen.grid_laplacian((15, 15))
+        B = symmetrize_pattern(A)
+        perm = reverse_cuthill_mckee(B)
+        Bp = permute_symmetric(B, perm).tocoo()
+        bw = int(np.abs(Bp.row - Bp.col).max())
+        # RCM bandwidth of a 15x15 5-point grid is ~grid side
+        assert bw <= 2 * 15
+
+    def test_nd_deterministic(self):
+        A = gen.grid_laplacian((10, 10, 5))
+        p1 = nested_dissection(A)
+        p2 = nested_dissection(A)
+        assert (p1 == p2).all()
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            compute_ordering(gen.grid_laplacian((4, 4)), "metis")
+
+
+class TestMinimumDegree:
+    @pytest.mark.parametrize("shape", [(8, 8), (5, 5, 5)])
+    def test_is_permutation(self, shape):
+        A = gen.grid_laplacian(shape)
+        perm = minimum_degree(A)
+        assert sorted(perm) == list(range(A.shape[0]))
+
+    def test_beats_natural_on_grids(self):
+        A = gen.grid_laplacian((16, 16))
+        B = symmetrize_pattern(A)
+        assert fill_of(B, minimum_degree(B)) < fill_of(B, natural(B))
+
+    def test_eliminates_low_degree_first(self):
+        # On a star graph, MD must eliminate all the leaves before the hub.
+        import scipy.sparse as sp
+
+        n = 10
+        rows = [0] * (n - 1) + list(range(1, n))
+        cols = list(range(1, n)) + [0] * (n - 1)
+        A = sp.coo_matrix(([1.0] * len(rows), (rows, cols)), shape=(n, n))
+        A = (A + sp.eye(n)).tocsr()
+        perm = minimum_degree(A)
+        # The hub's degree only becomes minimal once the leaves are gone:
+        # it cannot be eliminated before the second-to-last position.
+        assert list(perm).index(0) >= n - 2
+
+    def test_dense_matrix_handled_by_tail(self):
+        import numpy as np
+        import scipy.sparse as sp
+
+        A = sp.csr_matrix(np.ones((20, 20)))
+        perm = minimum_degree(A)
+        assert sorted(perm) == list(range(20))
+
+    def test_dispatchable_by_name(self):
+        A = gen.grid_laplacian((6, 6))
+        perm = compute_ordering(A, "md")
+        assert sorted(perm) == list(range(36))
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_property_always_permutation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        m = int(rng.integers(n, 3 * n))
+        r = rng.integers(0, n, size=m)
+        c = rng.integers(0, n, size=m)
+        A = sp.coo_matrix((np.ones(m), (r, c)), shape=(n, n)) + sp.eye(n)
+        perm = minimum_degree(A.tocsr())
+        assert sorted(perm) == list(range(n))

@@ -1,0 +1,178 @@
+"""Tests for supernode amalgamation, assembly trees and cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import collection, generators as gen
+from repro.symbolic import costs
+from repro.symbolic.driver import AnalysisParams, analyze_matrix, analyze_problem
+from repro.symbolic.etree import column_counts, elimination_tree, postorder
+from repro.symbolic.graph import permute_symmetric, symmetrize_pattern
+from repro.symbolic.ordering import nested_dissection
+from repro.symbolic.supernodes import fundamental_supernodes, relaxed_amalgamation
+from repro.symbolic.tree import AssemblyTree, Front
+
+
+def make_supernodes(A, **amalg):
+    B = symmetrize_pattern(A)
+    perm = nested_dissection(B, leaf_size=8)
+    Bp = permute_symmetric(B, perm)
+    parent = elimination_tree(Bp)
+    post = postorder(parent)
+    Bp2 = permute_symmetric(B, perm[post])
+    parent2 = elimination_tree(Bp2)
+    cc = column_counts(Bp2, parent2)
+    sn = fundamental_supernodes(parent2, cc)
+    if amalg:
+        sn = relaxed_amalgamation(sn, **amalg)
+    return sn
+
+
+class TestSupernodes:
+    def test_columns_partition_variables(self):
+        A = gen.grid_laplacian((8, 8))
+        sn = make_supernodes(A)
+        cols = sorted(c for s in sn for c in s.columns)
+        assert cols == list(range(64))
+
+    def test_amalgamation_preserves_partition(self):
+        A = gen.grid_laplacian((8, 8))
+        sn = make_supernodes(A, small_child=2, fill_tolerance=0.05, max_npiv=16)
+        cols = sorted(c for s in sn for c in s.columns)
+        assert cols == list(range(64))
+
+    def test_amalgamation_does_not_mutate_input(self):
+        A = gen.grid_laplacian((8, 8))
+        sn = make_supernodes(A)
+        before = [(s.npiv, s.nfront, tuple(s.columns)) for s in sn]
+        relaxed_amalgamation(sn, small_child=4, fill_tolerance=0.1, max_npiv=32)
+        after = [(s.npiv, s.nfront, tuple(s.columns)) for s in sn]
+        assert before == after
+
+    def test_amalgamation_reduces_count_monotonically_in_max_npiv(self):
+        A = gen.grid_laplacian((10, 10))
+        sn = make_supernodes(A)
+        n8 = len(relaxed_amalgamation(sn, small_child=2, fill_tolerance=0.02, max_npiv=8))
+        n32 = len(relaxed_amalgamation(sn, small_child=2, fill_tolerance=0.02, max_npiv=32))
+        assert n32 <= n8 <= len(sn)
+
+    def test_parent_links_form_forest(self):
+        A = gen.grid_laplacian((9, 9))
+        sn = make_supernodes(A, small_child=2, fill_tolerance=0.05, max_npiv=16)
+        tree = AssemblyTree.from_supernodes(sn)
+        order = tree.topological_order()  # raises if not a forest
+        assert len(order) == len(sn)
+
+    def test_nfront_at_least_npiv(self):
+        A = gen.grid_stencil_27pt((6, 6, 6))
+        sn = make_supernodes(A, small_child=2, fill_tolerance=0.05, max_npiv=24)
+        for s in sn:
+            assert s.nfront >= s.npiv
+
+
+class TestAssemblyTree:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12)), name="grid12")
+
+    def test_postorder_children_first(self, tree):
+        pos = {fid: i for i, fid in enumerate(tree.postorder())}
+        for f in tree:
+            if f.parent != -1:
+                assert pos[f.id] < pos[f.parent]
+
+    def test_subtree_flops_consistent(self, tree):
+        w = tree.subtree_flops()
+        for f in tree:
+            expected = f.flops + sum(w[c] for c in f.children)
+            assert w[f.id] == pytest.approx(expected)
+
+    def test_root_subtree_flops_equals_total(self, tree):
+        w = tree.subtree_flops()
+        assert sum(w[r] for r in tree.roots) == pytest.approx(tree.total_flops)
+
+    def test_nvars_preserved(self, tree):
+        assert tree.nvars == 144
+
+    def test_depths_consistent(self, tree):
+        for f in tree:
+            if f.parent != -1:
+                assert f.depth == tree[f.parent].depth + 1
+            else:
+                assert f.depth == 0
+
+    def test_subtree_nodes(self, tree):
+        root = tree.roots[0]
+        sub = tree.subtree_nodes(root)
+        assert root in sub
+
+    def test_sequential_peak_at_least_largest_front(self, tree):
+        assert tree.sequential_peak_memory() >= max(f.front_entries for f in tree)
+
+    def test_summary_mentions_name(self, tree):
+        assert "grid12" in tree.summary()
+
+
+class TestCostModels:
+    def test_full_factorization_matches_cube_law(self):
+        # npiv == nfront == n: classical dense LU ~ 2/3 n^3
+        n = 100
+        f = costs.factor_flops(n, n, sym=False)
+        assert f == pytest.approx(2 / 3 * n**3, rel=0.05)
+
+    def test_symmetric_is_half(self):
+        assert costs.factor_flops(50, 80, True) == pytest.approx(
+            costs.factor_flops(50, 80, False) / 2
+        )
+
+    def test_master_plus_slaves_close_to_total(self):
+        """The 1D-row split must account for (nearly) all the front's flops."""
+        npiv, nfront = 40, 200
+        total = costs.factor_flops(npiv, nfront)
+        split = costs.master_flops(npiv, nfront) + costs.slave_flops_total(npiv, nfront)
+        assert split == pytest.approx(total, rel=0.15)
+
+    @given(st.integers(1, 300), st.integers(0, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_costs_nonnegative_and_monotone(self, npiv, extra):
+        nfront = npiv + extra
+        assert costs.factor_flops(npiv, nfront) >= 0
+        assert costs.master_flops(npiv, nfront) >= 0
+        assert costs.slave_flops_total(npiv, nfront) >= 0
+        assert costs.master_flops(npiv, nfront) <= costs.factor_flops(npiv, nfront) + 1e-9
+
+    def test_entries_identity(self):
+        # factor + CB = full front
+        assert (costs.factor_entries(30, 100) + costs.cb_entries(30, 100)
+                == costs.front_entries(30, 100))
+
+    def test_degenerate_zero_pivots(self):
+        assert costs.factor_flops(0, 10) == 0.0
+        assert costs.cb_entries(10, 10) == 0
+
+    def test_front_properties(self):
+        f = Front(id=0, npiv=10, nfront=50)
+        assert f.border == 40
+        assert f.cb_entries == 1600
+        assert f.master_entries == 500
+        assert f.flops > 0
+
+
+class TestDriver:
+    def test_analyze_problem_cached(self):
+        p = collection.get("TWOTONE")
+        t1 = analyze_problem(p)
+        t2 = analyze_problem(p)
+        assert t1 is t2
+
+    def test_params_affect_front_count(self):
+        A = gen.grid_laplacian((10, 10, 4))
+        coarse = analyze_matrix(A, params=AnalysisParams(amalg_max_npiv=64))
+        fine = analyze_matrix(A, params=AnalysisParams(amalg_max_npiv=8))
+        assert len(fine) > len(coarse)
+
+    def test_nvars_equals_matrix_order(self):
+        A = gen.circuit_like(400)
+        tree = analyze_matrix(A, sym=False)
+        assert tree.nvars == 400

@@ -1,0 +1,88 @@
+"""Tests for the plain-text visualizations (gantt, memory chart)."""
+
+import pytest
+
+from repro.experiments.viz import gantt, memory_chart, utilization
+from repro.matrices import generators as gen
+from repro.simcore import TraceRecorder
+from repro.solver import SolverConfig, run_factorization
+from repro.symbolic import analyze_matrix
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tree = analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="vgrid")
+    trace = TraceRecorder(keep_kinds={"task-start", "task-end"})
+    cfg = SolverConfig(record_series=True)
+    result = run_factorization(tree, 4, mechanism="increments",
+                               strategy="workload", config=cfg, trace=trace)
+    return trace, result
+
+
+class TestGantt:
+    def test_one_row_per_process(self, traced_run):
+        trace, result = traced_run
+        text = gantt(trace, 4, t_end=result.factorization_time)
+        lines = text.splitlines()
+        assert sum(1 for l in lines if l.startswith("P")) == 4
+
+    def test_contains_task_glyphs(self, traced_run):
+        trace, result = traced_run
+        text = gantt(trace, 4)
+        assert "=" in text  # local tasks always exist
+
+    def test_empty_trace_handled(self):
+        text = gantt(TraceRecorder(), 2)
+        assert "no task intervals" in text
+
+    def test_width_respected(self, traced_run):
+        trace, result = traced_run
+        for line in gantt(trace, 4, width=40).splitlines():
+            if line.startswith("P"):
+                assert len(line) <= 40 + 8
+
+
+class TestUtilization:
+    def test_values_in_unit_interval(self, traced_run):
+        trace, result = traced_run
+        util = utilization(trace, 4, t_end=result.factorization_time)
+        assert len(util) == 4
+        assert all(0.0 <= u <= 1.0 + 1e-9 for u in util)
+
+    def test_everyone_did_some_work(self, traced_run):
+        trace, result = traced_run
+        util = utilization(trace, 4)
+        assert min(util) > 0.0
+
+    def test_empty_trace(self):
+        assert utilization(TraceRecorder(), 3) == [0.0, 0.0, 0.0]
+
+
+class TestMemoryChart:
+    def test_chart_renders(self, traced_run):
+        _, result = traced_run
+        text = memory_chart(result.memory_series, title="mem")
+        assert "mem" in text
+        assert "#" in text
+
+    def test_mean_curve_present(self, traced_run):
+        _, result = traced_run
+        text = memory_chart(result.memory_series)
+        assert "." in text
+
+    def test_no_series_message(self):
+        text = memory_chart([])
+        assert "record_series" in text
+
+    def test_rank_subset(self, traced_run):
+        _, result = traced_run
+        text = memory_chart(result.memory_series, ranks=[0])
+        assert "#" in text
+
+    def test_peak_scale_matches_result(self, traced_run):
+        _, result = traced_run
+        text = memory_chart(result.memory_series, height=10)
+        # the top axis label is the global peak (within formatting rounding)
+        top_label = text.splitlines()[2].split("|")[0].strip()
+        assert float(top_label) == pytest.approx(result.peak_active_memory,
+                                                 rel=0.01)
