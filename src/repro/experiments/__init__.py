@@ -1,6 +1,6 @@
 """Experiment harness: regenerate every table, figure and ablation."""
 
-from . import ablations, figures, tables
+from . import ablations, figures, robustness, tables
 from .ablations import (
     ablation_granularity,
     ablation_latency,
@@ -13,6 +13,7 @@ from .ablations import (
 )
 from .figures import figure1, figure2
 from .report import TableResult, side_by_side
+from .robustness import resilience_contrast, robustness_sweep
 from .runner import ExperimentRunner, ExperimentScale
 from .tables import table1_2, table3, table4, table5, table6, table7
 
@@ -20,6 +21,9 @@ __all__ = [
     "tables",
     "figures",
     "ablations",
+    "robustness",
+    "robustness_sweep",
+    "resilience_contrast",
     "TableResult",
     "side_by_side",
     "ExperimentRunner",

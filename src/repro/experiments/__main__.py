@@ -8,6 +8,8 @@ Examples::
     python -m repro.experiments figure1 figure2
     python -m repro.experiments ablations
     python -m repro.experiments all --out results.txt
+    python -m repro.experiments robustness --loss-rate 0.05 --loss-rate 0.2
+    python -m repro.experiments robustness --no-resilience --fast
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import time
 from typing import List
 
 from . import ablations as ab
-from . import figures, tables
+from . import figures, robustness as rb, tables
 from .report import side_by_side
 from .runner import ExperimentRunner, ExperimentScale
 
@@ -26,6 +28,10 @@ TARGETS = [
     "table1_2", "table3", "table4", "table5", "table6", "table7",
     "figure1", "figure2", "ablations",
 ]
+#: Valid targets that ``all`` does NOT expand to: the robustness sweep
+#: injects faults, and ``all`` must stay byte-identical to the fault-free
+#: baseline.
+EXTRA_TARGETS = ["robustness"]
 
 
 def _emit(out: List[str], text: str) -> None:
@@ -49,14 +55,42 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=None, help="also write output to a file")
     ap.add_argument("--json", default=None, metavar="FILE",
                     help="dump every simulated run's metrics as JSON")
+    faults = ap.add_argument_group(
+        "faults", "knobs for the `robustness` target (repro.faults)"
+    )
+    faults.add_argument("--loss-rate", action="append", type=float,
+                        metavar="P", dest="loss_rates",
+                        help="STATE-loss probability to sweep (repeatable; "
+                             "default: 0 0.02 0.05 0.10)")
+    faults.add_argument("--dup-rate", type=float, default=0.0, metavar="P",
+                        help="probability a message is duplicated")
+    faults.add_argument("--delay-rate", type=float, default=0.0, metavar="P",
+                        help="probability a message gets extra delay")
+    faults.add_argument("--fault-delay", type=float, default=2e-4,
+                        metavar="SECONDS",
+                        help="extra latency for delayed/duplicated copies")
+    faults.add_argument("--fault-channel", default="STATE",
+                        choices=["STATE", "DATA", "ANY"],
+                        help="which channel the faults hit")
+    faults.add_argument("--no-resilience", action="store_true",
+                        help="sweep with the recovery layer disabled")
+    faults.add_argument("--fault-seed", type=int, default=0, metavar="SALT",
+                        help="fault RNG stream salt (replication axis)")
     args = ap.parse_args(argv)
 
     targets = args.targets or ["all"]
     if "all" in targets:
         targets = TARGETS
-    unknown = [t for t in targets if t not in TARGETS]
+    valid = TARGETS + EXTRA_TARGETS
+    unknown = [t for t in targets if t not in valid]
     if unknown:
-        ap.error(f"unknown targets {unknown}; choose from {TARGETS}")
+        ap.error(f"unknown targets {unknown}; choose from {valid}")
+    for name, probs in (("--loss-rate", args.loss_rates or []),
+                        ("--dup-rate", [args.dup_rate]),
+                        ("--delay-rate", [args.delay_rate])):
+        bad = [p for p in probs if not 0.0 <= p <= 1.0]
+        if bad:
+            ap.error(f"{name} must be a probability in [0, 1], got {bad}")
 
     runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
                               verbose=args.verbose)
@@ -84,6 +118,22 @@ def main(argv=None) -> int:
             nprocs = 16 if args.fast else 32
             for fn in ab.ALL_ABLATIONS.values():
                 _emit(out, fn(nprocs=nprocs).render())
+        elif target == "robustness":
+            nprocs = 8 if args.fast else 16
+            rates = tuple(args.loss_rates or (0.0, 0.02, 0.05, 0.10))
+            _emit(out, rb.robustness_sweep(
+                nprocs=nprocs,
+                loss_rates=rates,
+                resilience=not args.no_resilience,
+                dup_rate=args.dup_rate,
+                delay_rate=args.delay_rate,
+                delay=args.fault_delay,
+                fault_channel=args.fault_channel,
+                seed_salt=args.fault_seed,
+            ).render())
+            _emit(out, rb.resilience_contrast(
+                nprocs=max(nprocs, 16), seed_salt=args.fault_seed
+            ).render())
 
     wall = time.time() - t0
     footer = (f"[{runner.runs_executed} simulated runs, "

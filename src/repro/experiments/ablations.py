@@ -13,9 +13,7 @@
 """
 
 from __future__ import annotations
-
-from dataclasses import replace
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..matrices import collection
 from ..simcore.network import NetworkConfig

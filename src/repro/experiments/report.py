@@ -9,7 +9,7 @@ EXPERIMENTS.md record paper-vs-measured pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 
 @dataclass

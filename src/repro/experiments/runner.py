@@ -8,7 +8,7 @@ are cached by their full configuration key within an :class:`ExperimentRunner`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from ..matrices import collection
@@ -77,13 +77,20 @@ class ExperimentRunner:
         config: Optional[SolverConfig] = None,
         config_tag: str = "",
     ) -> FactorizationResult:
-        key = RunKey(problem_name, nprocs, mechanism, strategy, threaded, config_tag)
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
         cfg = config or self.base_config
         if threaded != cfg.threaded:
             cfg = replace(cfg, threaded=threaded)
+        key = RunKey(
+            problem_name,
+            nprocs,
+            mechanism,
+            strategy,
+            threaded,
+            self._effective_tag(cfg, config_tag),
+        )
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
         t0 = time.time()
         result = run_factorization(
             collection.get(problem_name), nprocs, mechanism, strategy, cfg
@@ -94,6 +101,23 @@ class ExperimentRunner:
             print(f"  [{wall:5.1f}s] {result.summary()}")
         self._cache[key] = result
         return result
+
+    @staticmethod
+    def _effective_tag(cfg: SolverConfig, config_tag: str) -> str:
+        """Fold fault/resilience knobs into the cache key.
+
+        The caller-provided ``config_tag`` historically carried *every*
+        non-default knob by convention; fault plans made that fragile — two
+        configs differing only in their plan (or in ``resilience``) would
+        silently share one cache slot.  The plan's deterministic content
+        hash (:meth:`repro.faults.FaultPlan.tag`) closes the hole.
+        """
+        parts = [config_tag] if config_tag else []
+        if cfg.fault_plan is not None and not cfg.fault_plan.is_empty():
+            parts.append(cfg.fault_plan.tag())
+        if cfg.resilience:
+            parts.append("resilience")
+        return "+".join(parts)
 
     @property
     def runs_executed(self) -> int:

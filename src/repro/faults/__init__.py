@@ -1,0 +1,30 @@
+"""Fault-injection & resilience subsystem.
+
+The paper's model assumes perfectly reliable FIFO channels and immortal
+processes.  This package removes that assumption *without touching the
+fault-free path*: a seeded, deterministic :class:`FaultInjector` interprets
+an immutable :class:`FaultPlan` (message drop / duplicate / extra delay per
+link, scripted one-shot faults, fail-stop crashes, slowdown windows) against
+one simulation.  Runs with no plan installed never enter this code.
+
+The matching protocol hardening — sequence numbers, gap detection and
+resynchronization for the maintained-view mechanisms, retransmission and
+failure suspicion for the snapshot protocol — lives in
+:mod:`repro.mechanisms` behind ``MechanismConfig.resilience``.
+
+See ``docs/fault_model.md`` for the fault taxonomy and the determinism
+guarantees.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import CrashFault, FaultPlan, LinkFault, ScriptedFault, SlowdownFault
+
+__all__ = [
+    "FaultPlan",
+    "LinkFault",
+    "ScriptedFault",
+    "CrashFault",
+    "SlowdownFault",
+    "FaultInjector",
+    "FaultStats",
+]

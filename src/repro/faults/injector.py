@@ -1,0 +1,180 @@
+"""Seeded, deterministic fault injection for one simulation.
+
+The injector sits between :class:`~repro.simcore.network.Network` and the
+event queue: ``Network.send`` builds the envelope and computes the fault-free
+arrival time exactly as always, then asks :meth:`FaultInjector.deliveries`
+for the list of actual delivery times — ``[]`` for a dropped message, one
+entry for a (possibly delayed) delivery, two for a duplicated one.  With no
+injector installed the network never calls into this module, so fault-free
+runs are byte-identical to a build without the subsystem.
+
+Process faults (fail-stop crashes, slowdown windows) are pure schedule
+entries installed by :meth:`FaultInjector.install_process_faults`.
+
+Every probabilistic draw comes from the simulator's named RNG stream
+``faults/<salt>``: the same seed and plan replay the same faults, and the
+streams of all other consumers are untouched.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from ..simcore.network import Envelope
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Simulator
+    from ..simcore.process import SimProcess
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did, for reports and assertions."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    crashes: int = 0
+    slowdowns: int = 0
+    dropped_by_type: Counter = field(default_factory=Counter)
+
+    def total_faults(self) -> int:
+        return self.dropped + self.duplicated + self.delayed
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one :class:`Simulator`."""
+
+    def __init__(self, sim: "Simulator", plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = sim.rng.stream(f"faults/{plan.seed_salt}")
+        #: messages seen so far per scripted rule (index-aligned with plan.scripted)
+        self._script_counts: List[int] = [0] * len(plan.scripted)
+        self._crashed: set = set()
+
+    # ----------------------------------------------------------- messages
+
+    def deliveries(self, env: Envelope) -> Sequence[float]:
+        """Actual delivery times for ``env`` (base: ``env.deliver_time``)."""
+        base = env.deliver_time
+        # Scripted one-shot faults take precedence and consume no RNG draw.
+        # Every matching rule's counter advances on every matching message
+        # ("the nth matching message" counts absolutely); the first rule
+        # whose count hits its nth owns this message.
+        fired = None
+        for i, rule in enumerate(self.plan.scripted):
+            if not rule.matches(env.src, env.dst, env.channel):
+                continue
+            self._script_counts[i] += 1
+            if fired is None and self._script_counts[i] == rule.nth:
+                fired = rule
+        if fired is not None:
+            if fired.action == "drop":
+                self._note_drop(env, "scripted")
+                return ()
+            if fired.action == "duplicate":
+                self._note(env, "duplicate", "scripted")
+                self.stats.duplicated += 1
+                return (base, base + max(fired.delay, 0.0))
+            if fired.action == "delay":
+                self._note(env, "delay", "scripted")
+                self.stats.delayed += 1
+                return (base + fired.delay,)
+            raise ValueError(f"unknown scripted fault action {fired.action!r}")
+        for rule in self.plan.link_faults:
+            if not rule.matches(env.src, env.dst, env.channel):
+                continue
+            # First matching probabilistic rule owns this message.
+            if rule.drop_prob > 0.0 and self._rng.random() < rule.drop_prob:
+                self._note_drop(env, "random")
+                return ()
+            times = [base]
+            if rule.dup_prob > 0.0 and self._rng.random() < rule.dup_prob:
+                self._note(env, "duplicate", "random")
+                self.stats.duplicated += 1
+                times.append(base + self._extra_delay(rule))
+            if rule.delay_prob > 0.0 and self._rng.random() < rule.delay_prob:
+                self._note(env, "delay", "random")
+                self.stats.delayed += 1
+                times[0] = base + self._extra_delay(rule)
+            return tuple(times)
+        return (base,)
+
+    def _extra_delay(self, rule) -> float:
+        extra = rule.delay
+        if rule.delay_jitter > 0.0:
+            extra += rule.delay_jitter * float(self._rng.random())
+        return max(extra, 1e-12)  # strictly positive: a copy never ties its original
+
+    def _note_drop(self, env: Envelope, why: str) -> None:
+        self.stats.dropped += 1
+        self.stats.dropped_by_type[env.payload.type_name] += 1
+        self._note(env, "drop", why)
+
+    def _note(self, env: Envelope, action: str, why: str) -> None:
+        if self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now,
+                "fault",
+                f"{action}({why}):{env.payload.type_name}:"
+                f"{env.src}->{env.dst}@{env.channel.name}",
+                who=env.src,
+            )
+
+    # ----------------------------------------------------------- processes
+
+    def install_process_faults(self, procs: Sequence["SimProcess"]) -> None:
+        """Schedule the plan's crashes and slowdown windows."""
+        by_rank: Dict[int, "SimProcess"] = {p.rank: p for p in procs}
+        for cf in self.plan.crashes:
+            proc = by_rank.get(cf.rank)
+            if proc is None:
+                raise ValueError(f"crash plan names unknown rank {cf.rank}")
+            self.sim.schedule_at(
+                cf.time,
+                lambda p=proc: self._fire_crash(p),
+                label=f"fault:crash:P{cf.rank}",
+            )
+        for sl in self.plan.slowdowns:
+            proc = by_rank.get(sl.rank)
+            if proc is None:
+                raise ValueError(f"slowdown plan names unknown rank {sl.rank}")
+            self.sim.schedule_at(
+                sl.start,
+                lambda p=proc, f=sl.factor: self._set_speed(p, f),
+                label=f"fault:slow:P{sl.rank}",
+            )
+            self.sim.schedule_at(
+                sl.start + sl.duration,
+                lambda p=proc: self._set_speed(p, 1.0),
+                label=f"fault:slow-end:P{sl.rank}",
+            )
+
+    def _fire_crash(self, proc: "SimProcess") -> None:
+        if proc.rank in self._crashed:
+            return
+        self._crashed.add(proc.rank)
+        self.stats.crashes += 1
+        if self.sim.trace is not None:
+            self.sim.trace.record(self.sim.now, "fault", f"crash:P{proc.rank}",
+                                  who=proc.rank)
+        proc.crash()
+
+    def _set_speed(self, proc: "SimProcess", factor: float) -> None:
+        if factor != 1.0:
+            self.stats.slowdowns += 1
+        if self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now, "fault", f"speed:P{proc.rank}x{factor}",
+                who=proc.rank,
+            )
+        proc.speed_factor = factor
+
+    @property
+    def crashed_ranks(self) -> frozenset:
+        return frozenset(self._crashed)

@@ -1,0 +1,206 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong* during
+a run: probabilistic per-link message faults (drop / duplicate / extra
+delay), scripted one-shot message faults (the *n*-th matching message on a
+link), fail-stop process crashes at a given simulated time, and process
+slowdown windows.
+
+Plans are pure data — they do nothing by themselves.  A
+:class:`~repro.faults.injector.FaultInjector` interprets a plan against one
+simulation, drawing every probabilistic choice from a dedicated named RNG
+stream so that
+
+* the same seed and the same plan produce an identical run, and
+* installing a plan never perturbs the RNG draws of any other consumer
+  (matrix generation, tie-breaking, ...).
+
+``FaultPlan.tag()`` returns a short deterministic hash of the plan, used by
+the experiment runner's cache key so robustness sweeps never collide with
+fault-free cached runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..simcore.network import Channel
+
+
+def _match_channel(want: Optional[Channel], got: Channel) -> bool:
+    return want is None or want is got
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Probabilistic faults on the messages matching a (src, dst, channel).
+
+    ``src``/``dst`` of ``-1`` match any rank; ``channel`` of ``None`` matches
+    both channels.  For each matching message the injector draws, in order:
+    drop, duplicate, delay.  A dropped message is neither duplicated nor
+    delayed.  ``delay`` is the fixed extra latency added when the delay draw
+    fires; ``delay_jitter`` adds a uniform [0, jitter) on top.
+    """
+
+    src: int = -1
+    dst: int = -1
+    channel: Optional[Channel] = None
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay: float = 0.0
+    delay_jitter: float = 0.0
+
+    def matches(self, src: int, dst: int, channel: Channel) -> bool:
+        return (
+            (self.src < 0 or self.src == src)
+            and (self.dst < 0 or self.dst == dst)
+            and _match_channel(self.channel, channel)
+        )
+
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """Deterministic one-shot fault: the ``nth`` matching message (1-based).
+
+    ``action`` is one of ``"drop"``, ``"duplicate"``, ``"delay"``; for
+    ``delay`` (and the duplicate's second copy) ``delay`` seconds are added.
+    Scripted faults are checked before the probabilistic rules and consume
+    no RNG draw, so a Figure-1-style scenario can lose exactly one chosen
+    message, reproducibly.
+    """
+
+    nth: int
+    action: str = "drop"
+    src: int = -1
+    dst: int = -1
+    channel: Optional[Channel] = None
+    delay: float = 0.0
+
+    def matches(self, src: int, dst: int, channel: Channel) -> bool:
+        return (
+            (self.src < 0 or self.src == src)
+            and (self.dst < 0 or self.dst == dst)
+            and _match_channel(self.channel, channel)
+        )
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop crash of ``rank`` at simulated ``time``."""
+
+    rank: int
+    time: float
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Tasks starting on ``rank`` during [start, start+duration) run
+    ``factor``× longer (factor > 1 means slower)."""
+
+    rank: int
+    start: float
+    duration: float
+    factor: float = 2.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable fault scenario for one run."""
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    scripted: Tuple[ScriptedFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+    slowdowns: Tuple[SlowdownFault, ...] = ()
+    #: Folded into the injector's RNG stream name: two otherwise identical
+    #: plans with different salts produce different (but each deterministic)
+    #: fault sequences — the robustness sweeps' replication axis.
+    seed_salt: int = 0
+
+    def is_empty(self) -> bool:
+        return not (self.link_faults or self.scripted or self.crashes or self.slowdowns)
+
+    def describe(self) -> str:
+        """Canonical, order-stable text form (the input of :meth:`tag`)."""
+        parts = [f"salt={self.seed_salt}"]
+        for lf in self.link_faults:
+            ch = lf.channel.name if lf.channel is not None else "*"
+            parts.append(
+                f"link({lf.src}->{lf.dst}@{ch}:drop={lf.drop_prob!r},"
+                f"dup={lf.dup_prob!r},delayp={lf.delay_prob!r},"
+                f"delay={lf.delay!r},jitter={lf.delay_jitter!r})"
+            )
+        for sf in self.scripted:
+            ch = sf.channel.name if sf.channel is not None else "*"
+            parts.append(
+                f"script({sf.action}#{sf.nth}:{sf.src}->{sf.dst}@{ch},"
+                f"delay={sf.delay!r})"
+            )
+        for cf in self.crashes:
+            parts.append(f"crash(P{cf.rank}@{cf.time!r})")
+        for sl in self.slowdowns:
+            parts.append(
+                f"slow(P{sl.rank}@{sl.start!r}+{sl.duration!r}x{sl.factor!r})"
+            )
+        return ";".join(parts)
+
+    def tag(self) -> str:
+        """Short deterministic fingerprint (stable across processes/runs)."""
+        if self.is_empty():
+            return "nofaults"
+        digest = hashlib.sha1(self.describe().encode("utf-8")).hexdigest()
+        return f"faults-{digest[:12]}"
+
+    # ------------------------------------------------------------- builders
+
+    @staticmethod
+    def uniform_loss(
+        rate: float,
+        channel: Optional[Channel] = Channel.STATE,
+        *,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.0,
+        seed_salt: int = 0,
+    ) -> "FaultPlan":
+        """Every message on ``channel`` (None = both) is dropped with
+        probability ``rate`` — the loss-sweep workhorse."""
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"loss rate {rate} outside [0, 1]")
+        return FaultPlan(
+            link_faults=(
+                LinkFault(
+                    channel=channel,
+                    drop_prob=rate,
+                    dup_prob=dup_rate,
+                    delay_prob=delay_rate,
+                    delay=delay,
+                ),
+            ),
+            seed_salt=seed_salt,
+        )
+
+    @staticmethod
+    def chaos(
+        drop: float = 0.05,
+        dup: float = 0.02,
+        delay_prob: float = 0.05,
+        delay: float = 1e-3,
+        channel: Optional[Channel] = Channel.STATE,
+        seed_salt: int = 0,
+    ) -> "FaultPlan":
+        """Mixed drop/duplicate/delay plan for chaos testing."""
+        return FaultPlan(
+            link_faults=(
+                LinkFault(
+                    channel=channel,
+                    drop_prob=drop,
+                    dup_prob=dup,
+                    delay_prob=delay_prob,
+                    delay=delay,
+                ),
+            ),
+            seed_salt=seed_salt,
+        )

@@ -14,7 +14,7 @@ scheduler (paper §4.2.2).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import Dict
 
 from ..symbolic.tree import AssemblyTree
 from .subtrees import Layer0

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 import scipy.sparse as sp

@@ -18,8 +18,12 @@ from .messages import (
     MasterToAll,
     MasterToSlave,
     NoMoreMaster,
+    ReservationAck,
+    ResyncRequest,
+    Sequenced,
     Snp,
     StartSnp,
+    StateSync,
     UpdateAbsolute,
     UpdateIncrement,
 )
@@ -57,6 +61,10 @@ __all__ = [
     "Snp",
     "EndSnp",
     "MasterToSlave",
+    "Sequenced",
+    "ResyncRequest",
+    "StateSync",
+    "ReservationAck",
     "MECHANISM_NAMES",
     "create_mechanism",
     "mechanism_class",

@@ -22,9 +22,11 @@ before starting any task, which is how snapshots freeze computation.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from ..simcore.errors import ProtocolError
 from ..simcore.network import Channel, Envelope, Payload
@@ -60,6 +62,23 @@ class MechanismConfig:
     snapshot_group_size: int = 0
     #: Broadcast period of the time-driven mechanism (0 = mechanism default).
     periodic_period: float = 0.0
+    #: Resilience layer (off = paper-faithful reliable-network protocols).
+    #: When on, state messages carry per-link sequence numbers; receivers
+    #: discard duplicates, detect gaps and request resynchronization, and
+    #: the snapshot protocol retransmits and suspects crashed participants.
+    resilience: bool = False
+    #: Snapshot retransmission / blocked-liveness timer period (seconds).
+    retry_timeout: float = 1e-3
+    #: Grace delay between detecting a sequence gap and NACKing it (lets
+    #: reordered-but-not-lost messages arrive first).
+    nack_delay: float = 2e-4
+    #: Consecutive unanswered retries after which a silent peer is suspected
+    #: to have fail-stopped (snapshot failure detection).
+    dead_after: int = 25
+    #: Maintained-view mechanisms broadcast an absolute state sync every
+    #: this-many updates under resilience, bounding view staleness caused by
+    #: lost reservation (third-party) broadcasts.
+    refresh_every: int = 8
 
 
 class SnapshotStats:
@@ -110,6 +129,24 @@ class MechanismShared:
     oracle_view: Optional["LoadView"] = None
 
 
+class _RxState:
+    """Per-sender reception state of the resilience layer."""
+
+    __slots__ = ("seen", "max_seq", "floor", "nack_event", "nack_tries")
+
+    def __init__(self) -> None:
+        self.seen: Set[int] = set()
+        self.max_seq = 0
+        #: Sequence numbers ≤ floor are subsumed by a received StateSync:
+        #: late arrivals below it are stale and missing ones are resolved.
+        self.floor = 0
+        self.nack_event = None
+        self.nack_tries = 0
+
+    def missing(self) -> bool:
+        return len(self.seen) < self.max_seq - self.floor
+
+
 class Mechanism(ABC):
     """Base class; see module docstring for the protocol."""
 
@@ -117,6 +154,10 @@ class Mechanism(ABC):
     name: str = "?"
     #: True for mechanisms that keep an always-available view.
     maintains_view: bool = True
+    #: Whether the resilience layer NACKs sequence gaps with a resync
+    #: request.  Demand-driven mechanisms (snapshot) turn this off: their
+    #: request/answer traffic has its own timeout-based retransmission.
+    gap_nack: bool = True
 
     def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         self.config = config or MechanismConfig()
@@ -131,9 +172,16 @@ class Mechanism(ABC):
         self._dont_send_to: set = set()
         self._announced_no_more_master = False
         self.shared = MechanismShared()
+        # resilience layer (inert unless config.resilience)
+        self._tx_seq: Dict[int, int] = {}
+        self._rx: Dict[int, _RxState] = {}
+        self._updates_since_refresh = 0
         # statistics
         self.decisions = 0
         self.updates_sent = 0
+        #: Resilience-layer event counters (duplicates dropped, stale
+        #: discards, NACKs sent, syncs sent/received, retransmissions...).
+        self.resilience_stats: Counter = Counter()
 
     # -------------------------------------------------------------- binding
 
@@ -219,6 +267,10 @@ class Mechanism(ABC):
 
     def shutdown(self) -> None:
         """Cancel any self-scheduled activity (called when the run ends)."""
+        for st in self._rx.values():
+            if st.nack_event is not None:
+                self.sim.cancel(st.nack_event)
+                st.nack_event = None
 
     def declare_no_more_master(self) -> None:
         """Broadcast ``No_more_master`` (§2.3) if the optimization is on."""
@@ -232,26 +284,158 @@ class Mechanism(ABC):
     # --------------------------------------------------------- message side
 
     def handle_message(self, env: Envelope) -> bool:
-        """Treat a STATE-channel message; returns True if it was consumed."""
-        from .messages import NoMoreMaster
+        """Treat a STATE-channel message; returns True if it was consumed.
 
-        if isinstance(env.payload, NoMoreMaster):
+        This is the single entry point (the process model calls it).  It
+        unwraps the resilience layer (sequence check: duplicates and stale
+        messages are consumed silently), handles the layer's own messages,
+        then dispatches to the mechanism's :meth:`_handle_protocol`.
+        """
+        from .messages import NoMoreMaster, ResyncRequest, Sequenced, StateSync
+
+        payload = env.payload
+        if isinstance(payload, Sequenced):
+            if not self._accept_sequenced(env.src, payload.seq):
+                return True
+            env = dataclasses.replace(env, payload=payload.inner)
+            payload = env.payload
+        if isinstance(payload, NoMoreMaster):
             self._dont_send_to.add(env.src)
             return True
+        if isinstance(payload, ResyncRequest):
+            self._on_resync_request(env.src)
+            return True
+        if isinstance(payload, StateSync):
+            self._on_state_sync(env.src, payload)
+            return True
+        return self._handle_protocol(env)
+
+    def _handle_protocol(self, env: Envelope) -> bool:
+        """Mechanism-specific message dispatch (override; no super() chain
+        needed — common and resilience messages are consumed upstream)."""
         return False
 
     def blocks_tasks(self) -> bool:
         """Whether the process must refrain from starting tasks right now."""
         return False
 
+    # ----------------------------------------------------- resilience layer
+
+    def _rx_state(self, src: int) -> _RxState:
+        st = self._rx.get(src)
+        if st is None:
+            st = self._rx[src] = _RxState()
+        return st
+
+    def _accept_sequenced(self, src: int, seq: int) -> bool:
+        """Sequence check: False for duplicates / messages a sync subsumed."""
+        st = self._rx_state(src)
+        if seq in st.seen:
+            self.resilience_stats["duplicates_dropped"] += 1
+            return False
+        if seq <= st.floor:
+            self.resilience_stats["stale_dropped"] += 1
+            return False
+        st.seen.add(seq)
+        if seq > st.max_seq:
+            st.max_seq = seq
+        if self.gap_nack and st.missing() and st.nack_event is None:
+            st.nack_tries = 0
+            st.nack_event = self.sim.schedule(
+                self.config.nack_delay,
+                lambda: self._check_gap(src),
+                label=f"nack-check:P{self.rank}<-P{src}",
+            )
+        return True
+
+    def _check_gap(self, src: int) -> None:
+        """NACK timer: if the gap persists, request a resync (with retries;
+        a peer silent for ``dead_after`` tries is presumed fail-stopped)."""
+        st = self._rx_state(src)
+        st.nack_event = None
+        if not st.missing():
+            return
+        st.nack_tries += 1
+        if st.nack_tries > self.config.dead_after:
+            # Give up: accept the view entry as permanently stale rather
+            # than NACK a crashed peer forever (liveness over freshness).
+            st.floor = st.max_seq
+            self.resilience_stats["gaps_abandoned"] += 1
+            return
+        self.resilience_stats["nacks_sent"] += 1
+        from .messages import ResyncRequest
+
+        self._send_state(src, ResyncRequest())
+        st.nack_event = self.sim.schedule(
+            self.config.retry_timeout,
+            lambda: self._check_gap(src),
+            label=f"nack-check:P{self.rank}<-P{src}",
+        )
+
+    def _on_resync_request(self, src: int) -> None:
+        self.resilience_stats["resync_requests_received"] += 1
+        self._send_sync(src)
+
+    def _send_sync(self, dst: int) -> None:
+        from .messages import StateSync
+
+        self.resilience_stats["syncs_sent"] += 1
+        upto = self._tx_seq.get(dst, 0)
+        self._send_state(dst, StateSync(load=self._my_load, upto=upto))
+
+    def _on_state_sync(self, src: int, payload) -> None:
+        self.resilience_stats["syncs_received"] += 1
+        st = self._rx_state(src)
+        if payload.upto > st.floor:
+            st.floor = payload.upto
+            st.seen = {s for s in st.seen if s > st.floor}
+        if st.nack_event is not None and not st.missing():
+            self.sim.cancel(st.nack_event)
+            st.nack_event = None
+        self._apply_state_sync(src, payload.load)
+
+    def _apply_state_sync(self, src: int, load: Load) -> None:
+        """Fold a peer's absolute state into the view (override as needed)."""
+        self.view.set(src, load)
+
+    def _maybe_refresh(self) -> None:
+        """Under resilience, periodically re-anchor peers with absolute
+        syncs so lost broadcasts cause bounded (not cumulative) staleness."""
+        if not self.config.resilience or self.config.refresh_every <= 0:
+            return
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh < self.config.refresh_every:
+            return
+        self._updates_since_refresh = 0
+        for dst in range(self.nprocs):
+            if dst != self.rank and dst not in self._dont_send_to:
+                self._send_sync(dst)
+
     # ---------------------------------------------------------------- helpers
 
     def _send_state(self, dst: int, payload: Payload) -> None:
         assert self.network is not None
+        if self.config.resilience:
+            from .messages import Sequenced
+
+            seq = self._tx_seq.get(dst, 0) + 1
+            self._tx_seq[dst] = seq
+            payload = Sequenced(seq=seq, inner=payload)
         self.network.send(self.rank, dst, Channel.STATE, payload)
 
     def _broadcast_state(self, payload: Payload, *, respect_silence: bool = True) -> int:
         assert self.network is not None
+        if self.config.resilience:
+            # Per-destination sequence numbers force a point-to-point loop
+            # (same message count and sender cost as Network.broadcast).
+            exclude = self._dont_send_to if respect_silence else ()
+            nsent = 0
+            for dst in range(self.nprocs):
+                if dst == self.rank or dst in exclude:
+                    continue
+                self._send_state(dst, payload)
+                nsent += 1
+            return nsent
         exclude = self._dont_send_to if respect_silence else ()
         return self.network.broadcast(
             self.rank, Channel.STATE, payload, exclude=exclude

@@ -59,6 +59,7 @@ class IncrementsMechanism(Mechanism):
             self._broadcast_state(UpdateIncrement(delta=self._accum))
             self.updates_sent += 1
             self._accum = Load.ZERO
+            self._maybe_refresh()
 
     def request_view(self, callback: ViewCallback) -> None:
         self._require_bound()
@@ -79,9 +80,7 @@ class IncrementsMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def handle_message(self, env: Envelope) -> bool:
-        if super().handle_message(env):
-            return True
+    def _handle_protocol(self, env: Envelope) -> bool:
         payload = env.payload
         if isinstance(payload, UpdateIncrement):
             self.view.add(env.src, payload.delta)

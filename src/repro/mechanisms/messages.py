@@ -98,6 +98,76 @@ class EndSnp(Payload):
 
 
 @dataclass
+class Sequenced(Payload):
+    """Resilience wrapper: a per-(sender, receiver) sequence number.
+
+    When ``MechanismConfig.resilience`` is on, every state message travels
+    inside one of these.  The receiver uses the sequence number to discard
+    network duplicates and to detect gaps (lost messages) in the sender's
+    stream.  Costs 8 bytes of wire overhead; accounting keeps the inner
+    payload's type name so Table-6 style counts stay meaningful.
+    """
+
+    TYPE = "seq"
+    seq: int = 0
+    inner: Payload = field(default_factory=Payload)
+
+    def nbytes(self) -> int:
+        return self.inner.nbytes() + 8
+
+    @property
+    def type_name(self) -> str:
+        return self.inner.type_name
+
+
+@dataclass
+class ResyncRequest(Payload):
+    """Resilience NACK: "I detected losses in your stream — send your state".
+
+    Sent point-to-point to the rank whose sequence stream shows a persistent
+    gap; the standard reply is a :class:`StateSync`.
+    """
+
+    TYPE = "resync_req"
+
+    def nbytes(self) -> int:
+        return 32
+
+
+@dataclass
+class StateSync(Payload):
+    """Resilience resynchronization: the sender's absolute load.
+
+    ``upto`` is the last sequence number the sender had issued toward the
+    receiver when the sync was emitted: the absolute load subsumes every
+    earlier message, so the receiver drops still-missing (and late-arriving)
+    sequence numbers ≤ ``upto``.
+    """
+
+    TYPE = "state_sync"
+    load: Load = Load.ZERO
+    upto: int = 0
+
+    def nbytes(self) -> int:
+        return 56
+
+
+@dataclass
+class ReservationAck(Payload):
+    """Resilience acknowledgement of a ``master_to_slave`` reservation.
+
+    The snapshot master retransmits un-acked reservations; ``token`` pairs
+    the ack with the reservation it covers.
+    """
+
+    TYPE = "mts_ack"
+    token: int = 0
+
+    def nbytes(self) -> int:
+        return 32
+
+
+@dataclass
 class MasterToSlave(Payload):
     """Snapshot scheme: reservation sent to each *selected* slave only.
 
@@ -108,6 +178,8 @@ class MasterToSlave(Payload):
 
     TYPE = "master_to_slave"
     delta: Load = Load.ZERO
+    #: Resilience retransmission token (0 on paper-faithful runs).
+    token: int = 0
 
     def nbytes(self) -> int:
         return 48

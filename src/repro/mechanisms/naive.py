@@ -53,6 +53,7 @@ class NaiveMechanism(Mechanism):
             self._broadcast_state(UpdateAbsolute(load=self._my_load))
             self.updates_sent += 1
             self._last_sent = self._my_load
+            self._maybe_refresh()
 
     def request_view(self, callback: ViewCallback) -> None:
         """The view is always available: Algorithm 1 guarantees all pending
@@ -68,9 +69,7 @@ class NaiveMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def handle_message(self, env: Envelope) -> bool:
-        if super().handle_message(env):
-            return True
+    def _handle_protocol(self, env: Envelope) -> bool:
         payload = env.payload
         if isinstance(payload, UpdateAbsolute):
             self.view.set(env.src, payload.load)

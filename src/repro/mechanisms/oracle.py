@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .base import Mechanism, MechanismConfig, MechanismShared, ViewCallback
+from .base import Mechanism, MechanismShared, ViewCallback
 from .registry import register_mechanism
 from .view import Load, LoadView
 
@@ -70,9 +70,6 @@ class OracleMechanism(Mechanism):
     def declare_no_more_master(self) -> None:
         # No message traffic exists to optimize away.
         self._announced_no_more_master = True
-
-    def handle_message(self, env) -> bool:  # pragma: no cover - never called
-        return super().handle_message(env)
 
 
 register_mechanism(OracleMechanism)

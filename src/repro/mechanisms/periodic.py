@@ -71,6 +71,7 @@ class PeriodicMechanism(Mechanism):
 
     def shutdown(self) -> None:
         """Cancel the timer (called when the process halts)."""
+        super().shutdown()
         if self._timer is not None and self.sim is not None:
             self.sim.cancel(self._timer)
             self._timer = None
@@ -93,9 +94,7 @@ class PeriodicMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def handle_message(self, env: Envelope) -> bool:
-        if super().handle_message(env):
-            return True
+    def _handle_protocol(self, env: Envelope) -> bool:
         if isinstance(env.payload, UpdateAbsolute):
             self.view.set(env.src, env.payload.load)
             return True

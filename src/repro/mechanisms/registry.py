@@ -8,7 +8,7 @@ communication thread (``MechanismConfig.threaded`` + ``SimProcess(threaded=True)
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type
+from typing import Dict, Optional, Type
 
 from .base import Mechanism, MechanismConfig
 from .increments import IncrementsMechanism

@@ -55,7 +55,7 @@ from typing import Dict, List, Optional
 from ..simcore.errors import ProtocolError
 from ..simcore.network import Envelope
 from .base import Mechanism, ViewCallback
-from .messages import EndSnp, MasterToSlave, Snp, StartSnp
+from .messages import EndSnp, MasterToSlave, ReservationAck, Snp, StartSnp
 from .view import Load, LoadView
 
 
@@ -66,10 +66,36 @@ class _Phase(enum.Enum):
 
 
 class SnapshotMechanism(Mechanism):
-    """Distributed snapshot + leader election (paper §3)."""
+    """Distributed snapshot + leader election (paper §3).
+
+    With ``config.resilience`` on, the protocol additionally survives lossy
+    and duplicating channels and fail-stopped participants:
+
+    * a gathering initiator retransmits ``start_snp`` (same request id) to
+      the members whose answer is missing every ``retry_timeout``; after
+      ``dead_after`` silent retries those members are *suspected crashed*
+      and excluded from the gather (and from ``decision_candidates``);
+    * a process blocked on a leader re-sends its ``snp`` answer on the same
+      period; a leader silent for ``dead_after`` retries is suspected
+      crashed and treated as if its ``end_snp`` had arrived (the remaining
+      active initiators re-elect a leader as usual);
+    * an idle former initiator answers a stale ``snp`` with ``end_snp`` so
+      a peer whose ``end_snp`` was lost eventually unblocks;
+    * ``master_to_slave`` reservations carry a token and are retransmitted
+      until the selected slave acknowledges them (duplicates are discarded
+      by token), keeping reservation accounting exact under loss;
+    * any message from a suspected-crashed rank resurrects it.
+
+    Duplicate ``start_snp`` / ``snp`` / ``end_snp`` handling is idempotent
+    (request ids, the collected-answers dict, the active flags), so
+    retransmissions and network duplicates are always safe.
+    """
 
     name = "snapshot"
     maintains_view = False
+    #: Demand-driven traffic has its own retransmission; the maintained-view
+    #: gap-NACK machinery would only add noise.
+    gap_nack = False
 
     def __init__(self, config=None) -> None:
         super().__init__(config)
@@ -89,6 +115,19 @@ class SnapshotMechanism(Mechanism):
         self._group: Optional[List[int]] = None
         self._paused_proc = False
         self._stats_open = False
+        # --- resilience state (inert when config.resilience is off) -------
+        self._presumed_dead: set = set()
+        self._retry_event = None
+        self._retry_tries = 0
+        self._blocked_event = None
+        self._blocked_tries = 0
+        self._mts_token = 0
+        #: un-acked reservations: token -> (slave rank, payload)
+        self._mts_pending: Dict[int, tuple] = {}
+        self._mts_event = None
+        self._mts_tries = 0
+        #: reservation tokens already applied, per master (duplicate guard)
+        self._mts_applied: set = set()
         # instrumentation
         self.rounds_started = 0
         self.answers_sent = 0
@@ -152,8 +191,19 @@ class SnapshotMechanism(Mechanism):
         for rank, share in assignments.items():
             if rank == self.rank:
                 raise ProtocolError("a master cannot select itself as slave")
-            self._send_state(rank, MasterToSlave(delta=share))
+            if self.config.resilience:
+                # Token + retransmit-until-ack keeps reservation accounting
+                # exact under loss; duplicates are discarded by token.
+                self._mts_token += 1
+                payload = MasterToSlave(delta=share, token=self._mts_token)
+                self._mts_pending[self._mts_token] = (rank, payload)
+            else:
+                payload = MasterToSlave(delta=share)
+            self._send_state(rank, payload)
             self.view.add(rank, share)
+        if self._mts_pending and self._mts_event is None:
+            self._mts_tries = 0
+            self._arm_mts()
 
     def decision_complete(self) -> None:
         """Finalize the snapshot (paper: broadcast ``end_snp``, then wait)."""
@@ -203,7 +253,11 @@ class SnapshotMechanism(Mechanism):
         return a if self._priority(a) <= self._priority(b) else b
 
     def _elect_active(self) -> Optional[int]:
-        cands = [j for j in range(self.nprocs) if self._snp_active[j]]
+        cands = [
+            j
+            for j in range(self.nprocs)
+            if self._snp_active[j] and j not in self._presumed_dead
+        ]
         return min(cands, key=self._priority) if cands else None
 
     def _answer(self, dst: int) -> None:
@@ -221,6 +275,8 @@ class SnapshotMechanism(Mechanism):
         self._nb_msgs = 0
         self._collected = {}
         self._broadcast_to_group(StartSnp(req=self._req[self.rank]))
+        if self.config.resilience:
+            self._arm_retry()
         self._check_gather_done()
 
     def _broadcast_to_group(self, payload) -> None:
@@ -233,14 +289,20 @@ class SnapshotMechanism(Mechanism):
                     self._send_state(dst, payload)
 
     def _gather_target(self) -> int:
-        return (len(self._group) if self._group is not None else self.nprocs) - 1
+        members = self._group if self._group is not None else range(self.nprocs)
+        return sum(
+            1
+            for r in members
+            if r != self.rank and r not in self._presumed_dead
+        )
 
     def _check_gather_done(self) -> None:
         if self._phase is not _Phase.GATHERING:
             return
-        if self._nb_msgs != self._gather_target():
+        if self._nb_msgs < self._gather_target():
             return
         # Gather complete: I am the unique leader; commit to the decision.
+        self._stop_retry()
         self._phase = _Phase.DECIDING
         self._snp_active[self.rank] = False  # paper, initiate loop line 18
         view = LoadView(self.nprocs)
@@ -260,9 +322,11 @@ class SnapshotMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def handle_message(self, env: Envelope) -> bool:
-        if super().handle_message(env):
-            return True
+    def _handle_protocol(self, env: Envelope) -> bool:
+        if self._presumed_dead and env.src in self._presumed_dead:
+            # Any sign of life from a suspected-crashed rank resurrects it.
+            self._presumed_dead.discard(env.src)
+            self.resilience_stats["resurrections"] += 1
         payload = env.payload
         if isinstance(payload, StartSnp):
             self._on_start_snp(env.src, payload.req)
@@ -274,7 +338,21 @@ class SnapshotMechanism(Mechanism):
             self._on_end_snp(env.src)
             return True
         if isinstance(payload, MasterToSlave):
+            if payload.token:
+                self._send_state(env.src, ReservationAck(token=payload.token))
+                key = (env.src, payload.token)
+                if key in self._mts_applied:
+                    # Retransmitted reservation already accounted: ack only.
+                    self.resilience_stats["reservations_deduped"] += 1
+                    return True
+                self._mts_applied.add(key)
             self._set_my_load(self._my_load + payload.delta)
+            return True
+        if isinstance(payload, ReservationAck):
+            self._mts_pending.pop(payload.token, None)
+            if not self._mts_pending and self._mts_event is not None:
+                self._cancel_timer(self._mts_event)
+                self._mts_event = None
             return True
         return False
 
@@ -297,6 +375,7 @@ class SnapshotMechanism(Mechanism):
                 return
             # I lost the election: abort my round, answer the leader; my
             # initiate loop will re-broadcast once I become the leader.
+            self._stop_retry()
             self._leader = new_leader
             self._during_snp = False
             self._phase = _Phase.IDLE
@@ -324,6 +403,15 @@ class SnapshotMechanism(Mechanism):
             self._check_gather_done()
         else:
             self.stale_answers_ignored += 1
+            if (
+                self.config.resilience
+                and self._phase is _Phase.IDLE
+                and not self._snp_active[self.rank]
+            ):
+                # The sender still believes I lead an active snapshot, so my
+                # end_snp must have been lost: repeat it to unblock the sender.
+                self.resilience_stats["end_snp_replies"] += 1
+                self._send_state(src, EndSnp())
 
     def _on_end_snp(self, src: int) -> None:
         if self._snp_active[src]:
@@ -335,14 +423,28 @@ class SnapshotMechanism(Mechanism):
                 # My aborted round restarts now that the system is clear.
                 self._start_gather()
             else:
+                if self._during_snp:
+                    # Resilient duplicate/suspicion path: I am mid-gather and
+                    # remain the (only) leader.
+                    self._leader = self.rank
                 self._snapshot = False
                 self._sync_block_state()
             return
         # Other snapshots remain: elect the next leader (possibly me).
         leader = self._elect_active()
+        if leader is None:
+            # Every remaining active snapshot belongs to a suspected-dead
+            # rank: retire them too (recursion bottoms out at nb_snp == 0).
+            nxt = next(j for j in range(self.nprocs) if self._snp_active[j])
+            self._on_end_snp(nxt)
+            return
         self._leader = leader
         if leader == self.rank:
-            if not (self._initiating and not self._during_snp):  # pragma: no cover
+            if self._during_snp:
+                # Already gathering (duplicate end_snp or a suspected-dead
+                # participant was retired mid-gather): keep leading.
+                return
+            if not self._initiating:  # pragma: no cover - defensive
                 raise ProtocolError(
                     f"P{self.rank}: elected leader without a pending initiation"
                 )
@@ -364,6 +466,16 @@ class SnapshotMechanism(Mechanism):
         a handler runs, so only the wake-up path applies.
         """
         assert self.proc is not None
+        if self.config.resilience:
+            blocked_on_other = (
+                self._snapshot
+                and not self._during_snp
+                and self._leader is not None
+                and self._leader != self.rank
+            )
+            if blocked_on_other and self._blocked_event is None:
+                self._blocked_tries = 0
+                self._arm_blocked()
         if self.blocks_tasks():
             if not self._paused_proc and self.proc.computing:
                 if self.proc.pause_task():
@@ -376,6 +488,142 @@ class SnapshotMechanism(Mechanism):
                 self._paused_proc = False
                 self.proc.resume_task()
             self.proc.notify_work()
+
+    # ------------------------------------------------- resilience (timers)
+
+    def _cancel_timer(self, ev) -> None:
+        if ev is not None and self.sim is not None:
+            self.sim.cancel(ev)
+
+    def _arm_retry(self) -> None:
+        self._cancel_timer(self._retry_event)
+        self._retry_tries = 0
+        self._retry_event = self.sim.schedule(
+            self.config.retry_timeout,
+            self._retry_gather,
+            label=f"snp-retry:P{self.rank}",
+        )
+
+    def _stop_retry(self) -> None:
+        if self._retry_event is not None:
+            self._cancel_timer(self._retry_event)
+            self._retry_event = None
+
+    def _retry_gather(self) -> None:
+        """Gather watchdog: retransmit ``start_snp`` to silent members, and
+        suspect them crashed after ``dead_after`` silent retries."""
+        self._retry_event = None
+        if self._phase is not _Phase.GATHERING:
+            return
+        members = (
+            self._group if self._group is not None else range(self.nprocs)
+        )
+        missing = [
+            r
+            for r in members
+            if r != self.rank
+            and r not in self._collected
+            and r not in self._presumed_dead
+        ]
+        if not missing:
+            self._check_gather_done()
+            return
+        self._retry_tries += 1
+        if self._retry_tries > self.config.dead_after:
+            for r in missing:
+                self._suspect_dead(r)
+            self._check_gather_done()
+            return
+        req = self._req[self.rank]
+        for r in missing:
+            self.resilience_stats["start_snp_retransmissions"] += 1
+            self._send_state(r, StartSnp(req=req))
+        self._retry_event = self.sim.schedule(
+            self.config.retry_timeout,
+            self._retry_gather,
+            label=f"snp-retry:P{self.rank}",
+        )
+
+    def _arm_blocked(self) -> None:
+        self._blocked_event = self.sim.schedule(
+            self.config.retry_timeout,
+            self._blocked_tick,
+            label=f"snp-blocked:P{self.rank}",
+        )
+
+    def _blocked_tick(self) -> None:
+        """Blocked-participant watchdog: re-answer the believed leader (its
+        collected-answers dict makes that idempotent) and suspect it crashed
+        after ``dead_after`` silent retries."""
+        self._blocked_event = None
+        if not self._snapshot or self._during_snp:
+            return
+        leader = self._leader
+        if leader is None or leader == self.rank:
+            return
+        self._blocked_tries += 1
+        if self._blocked_tries > self.config.dead_after:
+            self._suspect_dead(leader)
+            return
+        if self._delayed[leader]:
+            # A lost end_snp can leave the promoted leader un-answered even
+            # though we deliberately delayed it; answer now for liveness.
+            self._delayed[leader] = False
+        self.resilience_stats["answer_retransmissions"] += 1
+        self._answer(leader)
+        self._arm_blocked()
+
+    def _arm_mts(self) -> None:
+        self._mts_event = self.sim.schedule(
+            self.config.retry_timeout,
+            self._mts_tick,
+            label=f"snp-mts:P{self.rank}",
+        )
+
+    def _mts_tick(self) -> None:
+        """Reservation watchdog: retransmit un-acked ``master_to_slave``."""
+        self._mts_event = None
+        if not self._mts_pending:
+            return
+        self._mts_tries += 1
+        if self._mts_tries > self.config.dead_after:
+            self.resilience_stats["reservations_abandoned"] += len(
+                self._mts_pending
+            )
+            self._mts_pending.clear()
+            return
+        for _token, (rank, payload) in list(self._mts_pending.items()):
+            if rank in self._presumed_dead:
+                continue
+            self.resilience_stats["mts_retransmissions"] += 1
+            self._send_state(rank, payload)
+        self._arm_mts()
+
+    def _suspect_dead(self, rank: int) -> None:
+        """Suspect ``rank`` fail-stopped: exclude it from gathers and leader
+        elections, and treat its active snapshot (if any) as ended.  Any
+        later message from it resurrects it."""
+        if rank in self._presumed_dead:
+            return
+        self._presumed_dead.add(rank)
+        self.resilience_stats["suspected_dead"] += 1
+        if self.sim is not None and self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now,
+                "fault",
+                f"suspect-dead:P{rank}",
+                who=self.rank,
+            )
+        if self._snp_active[rank]:
+            self._on_end_snp(rank)
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        for ev in (self._retry_event, self._blocked_event, self._mts_event):
+            self._cancel_timer(ev)
+        self._retry_event = None
+        self._blocked_event = None
+        self._mts_event = None
 
     # ------------------------------------------------------------ diagnostics
 

@@ -14,7 +14,7 @@ strategies mirror §4.2 of the paper:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..mechanisms.view import Load, LoadView

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..mechanisms.view import LoadView
 from ..symbolic.tree import Front
-from .base import ScheduleParams, SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
+from .base import SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
 from .blocking import partition_rows
 
 

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from ..mechanisms.view import LoadView
 from ..symbolic.tree import Front
-from .base import ScheduleParams, SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
+from .base import SlaveAssignment, SlaveSelectionStrategy, shares_from_rows
 from .blocking import partition_rows
 
 

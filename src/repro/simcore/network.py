@@ -29,6 +29,7 @@ from .errors import ChannelError
 from .events import PRIORITY_HIGH
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
     from .engine import Simulator
     from .process import SimProcess
 
@@ -156,8 +157,21 @@ class Network:
         # FIFO enforcement: last scheduled delivery time per (src, dst, channel).
         self._link_clock: Dict[Tuple[int, int, Channel], float] = {}
         self._seq = 0
+        #: Optional fault injector (repro.faults); None keeps the delivery
+        #: path exactly as reliable/FIFO as the paper assumes.
+        self._injector: Optional["FaultInjector"] = None
 
     # --------------------------------------------------------------- wiring
+
+    def install_injector(self, injector: "FaultInjector") -> None:
+        """Route every subsequent delivery through a fault injector."""
+        if self._injector is not None:
+            raise ChannelError("a fault injector is already installed")
+        self._injector = injector
+
+    @property
+    def injector(self) -> Optional["FaultInjector"]:
+        return self._injector
 
     def register(self, proc: "SimProcess") -> None:
         rank = proc.rank
@@ -211,6 +225,17 @@ class Network:
         env = Envelope(src, dst, channel, payload, nbytes, now, arrive, self._seq)
         self.stats.count(env)
         receiver = self.proc(dst)
+        if self._injector is not None:
+            # The injector decides when (and whether, and how many times)
+            # this envelope reaches the receiver.
+            for when in self._injector.deliveries(env):
+                self.sim.schedule_at(
+                    when,
+                    lambda e=env: receiver.deliver(e),
+                    priority=PRIORITY_HIGH,
+                    label=f"deliver:{payload.type_name}:{src}->{dst}",
+                )
+            return env
         self.sim.schedule_at(
             arrive,
             lambda: receiver.deliver(env),

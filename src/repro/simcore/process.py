@@ -27,13 +27,13 @@ Subclasses (the solver process, protocol test fixtures) override
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from collections import deque
 
 from .errors import ProtocolError
-from .events import Event, PRIORITY_LOW, PRIORITY_NORMAL
+from .events import Event, PRIORITY_LOW
 from .network import Channel, Envelope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,6 +89,10 @@ class SimProcess:
         self.mailbox_state: Deque[Envelope] = deque()
         self.mailbox_data: Deque[Envelope] = deque()
         self.halted = False
+        self.crashed = False
+        #: >1 stretches the duration of tasks *starting* while it is set
+        #: (fault-injection slowdown windows); exactly 1.0 on healthy runs.
+        self.speed_factor = 1.0
         self._busy_until = 0.0
         self._in_activity = False
         self._pending_charge = 0.0
@@ -277,10 +281,13 @@ class SimProcess:
         finally:
             self._in_activity = False
         setup = self._take_pending()
+        duration = work.duration
+        if self.speed_factor != 1.0:
+            duration = work.duration * self.speed_factor
         start = self.sim.now + setup
-        completion = start + work.duration
+        completion = start + duration
         self.stats_tasks_run += 1
-        self.stats_busy_time += setup + work.duration
+        self.stats_busy_time += setup + duration
         self._busy_until = completion
         task = _RunningTask(work, None, completion)
         task.completion_event = self.sim.schedule_at(
@@ -428,6 +435,24 @@ class SimProcess:
         if self._current is not None and self._current.completion_event is not None:
             self.sim.cancel(self._current.completion_event)
             self._current = None
+
+    def crash(self) -> None:
+        """Fail-stop crash (fault injection): the process stops permanently.
+
+        Queued messages are discarded and later deliveries are ignored; the
+        running task (if any) never completes.  Distinct from :meth:`halt`
+        only in intent — ``crashed`` lets protocols and tests distinguish an
+        injected failure from a normal shutdown.
+        """
+        self.crashed = True
+        self.mailbox_state.clear()
+        self.mailbox_data.clear()
+        self.halt()
+        # A crashed process must not keep protocol timers alive (periodic
+        # broadcasts, resilience retransmissions) — it is silent forever.
+        mech = getattr(self, "mechanism", None)
+        if mech is not None:
+            mech.shutdown()
 
     # ----------------------------------------------------------- diagnostics
 

@@ -1,17 +1,24 @@
 """Execution trace recording.
 
-Traces serve two purposes in this reproduction:
+Traces serve three purposes in this reproduction:
 
 * debugging the asynchronous protocols (every message send/delivery and every
-  process state change can be recorded and replayed as a timeline), and
+  process state change can be recorded and replayed as a timeline),
 * regenerating Figure 1 of the paper, which is precisely a timeline of three
-  processes exhibiting the naive mechanism's coherence problem.
+  processes exhibiting the naive mechanism's coherence problem, and
+* exporting runs for external viewers: :meth:`TraceRecorder.to_json` round-
+  trips through :meth:`TraceRecorder.from_json`, and
+  :meth:`TraceRecorder.to_chrome_trace` emits the Chrome trace-event format
+  that ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ load
+  directly — fault injections (``kind == "fault"``) appear as instant
+  events, so a lossy run can be inspected visually.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,70 @@ class TraceRecorder:
                 continue
             out.append(e)
         return out
+
+    # ------------------------------------------------------------- export
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize every entry (and the keep-filter) as a JSON document."""
+        doc = {
+            "keep_kinds": sorted(self._keep) if self._keep is not None else None,
+            "entries": [
+                {"time": e.time, "kind": e.kind, "who": e.who, "detail": e.detail}
+                for e in self.entries
+            ],
+        }
+        return json.dumps(doc, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceRecorder":
+        """Rebuild a recorder (entries and filter) from :meth:`to_json`."""
+        doc = json.loads(text)
+        rec = cls(keep_kinds=doc.get("keep_kinds"))
+        rec.entries = [
+            TraceEntry(e["time"], e["kind"], e["who"], e["detail"])
+            for e in doc["entries"]
+        ]
+        return rec
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome trace-event document (``chrome://tracing`` / Perfetto).
+
+        ``task-start``/``task-end`` pairs become duration ("B"/"E") events on
+        the acting rank's track; every other entry becomes an instant event.
+        Timestamps are microseconds, so one simulated second reads as one
+        traced second.
+        """
+        events: List[Dict[str, Any]] = []
+        ranks = sorted({e.who for e in self.entries if e.who >= 0})
+        for r in ranks:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": r,
+                "args": {"name": f"P{r}"},
+            })
+        for e in self.entries:
+            ts = e.time * 1e6
+            tid = e.who if e.who >= 0 else max(ranks, default=0) + 1
+            if e.kind == "task-start":
+                events.append({
+                    "name": e.detail, "cat": "task", "ph": "B",
+                    "ts": ts, "pid": 0, "tid": tid,
+                })
+            elif e.kind == "task-end":
+                events.append({
+                    "name": e.detail, "cat": "task", "ph": "E",
+                    "ts": ts, "pid": 0, "tid": tid,
+                })
+            else:
+                events.append({
+                    "name": e.detail, "cat": e.kind, "ph": "i",
+                    "ts": ts, "pid": 0, "tid": tid, "s": "t",
+                })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` to ``path`` (open in Perfetto)."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
 
     def render_timeline(
         self,

@@ -13,10 +13,11 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..faults import FaultInjector, FaultPlan
 from ..mapping.static import MappingParams, StaticMapping, compute_mapping
 from ..mapping.types import NodeType
 from ..matrices.collection import Problem
-from ..mechanisms.base import Mechanism, MechanismConfig, MechanismShared, SnapshotStats
+from ..mechanisms.base import MechanismConfig, MechanismShared, SnapshotStats
 from ..mechanisms.registry import create_mechanism
 from ..mechanisms.view import Load
 from ..scheduling import ScheduleParams, create_strategy
@@ -52,6 +53,10 @@ class SolverConfig:
     analysis: Optional[AnalysisParams] = None
     record_series: bool = False
     max_events: int = 50_000_000
+    #: Fault-injection plan (None or an empty plan = pristine network).
+    fault_plan: Optional[FaultPlan] = None
+    #: Mechanism hardening (sequence numbers, retransmissions, suspicion).
+    resilience: bool = False
 
 
 @dataclass
@@ -82,6 +87,10 @@ class FactorizationResult:
     memory_series: Optional[List] = None
     #: Per-decision records incl. view errors (see repro.solver.truth).
     decision_log: Optional[DecisionLog] = None
+    #: What the fault injector did (None when no faults were injected).
+    fault_stats: Optional[Dict[str, int]] = None
+    #: Summed recovery-protocol counters (None when resilience was off).
+    resilience_stats: Optional[Dict[str, int]] = None
 
     @property
     def mean_view_error_workload(self) -> float:
@@ -113,7 +122,7 @@ class FactorizationResult:
 
     def to_dict(self) -> Dict:
         """JSON-serializable export of every metric (for tooling/CI)."""
-        return {
+        out = {
             "problem": self.problem,
             "nprocs": self.nprocs,
             "mechanism": self.mechanism,
@@ -138,6 +147,13 @@ class FactorizationResult:
             "mean_view_error_workload": self.mean_view_error_workload,
             "mean_view_error_memory": self.mean_view_error_memory,
         }
+        # Only present on faulty/resilient runs, so fault-free exports stay
+        # byte-identical to builds without the subsystem.
+        if self.fault_stats is not None:
+            out["fault_stats"] = dict(self.fault_stats)
+        if self.resilience_stats is not None:
+            out["resilience_stats"] = dict(self.resilience_stats)
+        return out
 
 
 def default_threshold(
@@ -189,10 +205,15 @@ def run_factorization(
         leader_criterion=config.leader_criterion,
         snapshot_group_size=config.snapshot_group_size,
         periodic_period=config.periodic_period,
+        resilience=config.resilience,
     )
 
     sim = Simulator(seed=config.seed, max_events=config.max_events, trace=trace)
     net = Network(sim, nprocs, config.network)
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None and not config.fault_plan.is_empty():
+        injector = FaultInjector(sim, config.fault_plan)
+        net.install_injector(injector)
     shared = MechanismShared(snapshot_stats=SnapshotStats(sim))
     run_state = RunState()
     truth = TruthTracker(nprocs)
@@ -250,6 +271,8 @@ def run_factorization(
             )
     for p in procs:
         p.setup()
+    if injector is not None:
+        injector.install_process_faults(procs)
 
     sim.on_drain_check(lambda: run_state.remaining == 0)
     for p in procs:
@@ -275,6 +298,26 @@ def run_factorization(
             raise ProtocolError(
                 f"P{p.rank} ends with {p.tracker.active} active entries"
             )
+
+    fault_stats: Optional[Dict[str, int]] = None
+    if injector is not None:
+        s = injector.stats
+        fault_stats = {
+            "dropped": s.dropped,
+            "duplicated": s.duplicated,
+            "delayed": s.delayed,
+            "crashes": s.crashes,
+            "slowdowns": s.slowdowns,
+        }
+        for mtype, n in sorted(s.dropped_by_type.items()):
+            fault_stats[f"dropped:{mtype}"] = n
+    resilience_counters: Optional[Dict[str, int]] = None
+    if config.resilience:
+        total: Dict[str, int] = {}
+        for p in procs:
+            for key, n in p.mechanism.resilience_stats.items():
+                total[key] = total.get(key, 0) + n
+        resilience_counters = dict(sorted(total.items()))
 
     snap = shared.snapshot_stats
     return FactorizationResult(
@@ -303,4 +346,6 @@ def run_factorization(
             if config.record_series else None
         ),
         decision_log=decision_log,
+        fault_stats=fault_stats,
+        resilience_stats=resilience_counters,
     )

@@ -14,7 +14,7 @@ mechanisms exchange (possibly stale) estimates of it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 
 @dataclass

@@ -9,7 +9,7 @@ task-selection strategy picks it (paper Algorithm 1, line 7).  The fields
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..scheduling.base import SlaveAssignment

@@ -11,11 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 import scipy.sparse as sp
 
 from ..matrices.collection import Problem
-from .etree import column_counts, elimination_tree, factor_nnz, postorder
+from .etree import column_counts, elimination_tree, postorder
 from .graph import permute_symmetric, symmetrize_pattern
 from .ordering import compute_ordering
 from .supernodes import fundamental_supernodes, relaxed_amalgamation

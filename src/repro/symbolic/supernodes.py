@@ -23,8 +23,6 @@ from typing import List
 
 import numpy as np
 
-from .etree import children_lists
-
 
 @dataclass
 class Supernode:

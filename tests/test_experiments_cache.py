@@ -1,0 +1,107 @@
+"""Cache-key behavior of :class:`repro.experiments.runner.ExperimentRunner`.
+
+The runner dedups simulated runs by configuration; the fault-injection
+subsystem added two knobs (``fault_plan``, ``resilience``) that must be part
+of the key, or a robustness sweep could poison the fault-free tables with a
+lossy cached run (and vice versa).
+"""
+
+from dataclasses import replace
+
+from repro.experiments.runner import ExperimentRunner
+from repro.faults import FaultPlan
+from repro.solver.driver import SolverConfig
+
+
+def _run(runner, *, config=None, config_tag=""):
+    return runner.run(
+        "TWOTONE", 4, "naive", "memory", config=config, config_tag=config_tag
+    )
+
+
+class TestEffectiveTag:
+    def test_plain_config_keeps_caller_tag(self):
+        cfg = SolverConfig()
+        assert ExperimentRunner._effective_tag(cfg, "") == ""
+        assert ExperimentRunner._effective_tag(cfg, "thr=2") == "thr=2"
+
+    def test_empty_plan_is_invisible(self):
+        cfg = SolverConfig(fault_plan=FaultPlan())
+        assert ExperimentRunner._effective_tag(cfg, "") == ""
+
+    def test_plan_and_resilience_are_folded_in(self):
+        plan = FaultPlan.uniform_loss(0.05)
+        cfg = SolverConfig(fault_plan=plan, resilience=True)
+        tag = ExperimentRunner._effective_tag(cfg, "thr=2")
+        assert tag == f"thr=2+{plan.tag()}+resilience"
+
+    def test_different_plans_get_different_tags(self):
+        a = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.05))
+        b = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.10))
+        assert (ExperimentRunner._effective_tag(a, "")
+                != ExperimentRunner._effective_tag(b, ""))
+
+
+class TestRunCache:
+    def test_identical_runs_hit_the_cache(self):
+        runner = ExperimentRunner()
+        a = _run(runner)
+        b = _run(runner)
+        assert a is b
+        assert runner.runs_executed == 1
+
+    def test_fault_plan_is_a_cache_miss(self):
+        runner = ExperimentRunner()
+        plain = _run(runner)
+        lossy = _run(
+            runner,
+            config=SolverConfig(
+                fault_plan=FaultPlan.uniform_loss(0.05), resilience=True
+            ),
+        )
+        assert plain is not lossy
+        assert runner.runs_executed == 2
+        # and the lossy config caches under its own slot
+        again = _run(
+            runner,
+            config=SolverConfig(
+                fault_plan=FaultPlan.uniform_loss(0.05), resilience=True
+            ),
+        )
+        assert again is lossy
+        assert runner.runs_executed == 2
+
+    def test_resilience_alone_is_a_cache_miss(self):
+        runner = ExperimentRunner()
+        plain = _run(runner)
+        hardened = _run(runner, config=SolverConfig(resilience=True))
+        assert plain is not hardened
+        assert runner.runs_executed == 2
+
+    def test_loss_rates_do_not_collide(self):
+        runner = ExperimentRunner()
+        base = SolverConfig(resilience=True)
+        r1 = _run(runner, config=replace(
+            base, fault_plan=FaultPlan.uniform_loss(0.02)
+        ))
+        r2 = _run(runner, config=replace(
+            base, fault_plan=FaultPlan.uniform_loss(0.05)
+        ))
+        assert r1 is not r2
+        assert runner.runs_executed == 2
+
+    def test_config_tag_still_discriminates(self):
+        runner = ExperimentRunner()
+        a = _run(runner, config_tag="variant-a")
+        b = _run(runner, config_tag="variant-b")
+        assert a is not b
+        assert runner.runs_executed == 2
+
+    def test_empty_plan_shares_the_fault_free_slot(self):
+        """A present-but-empty plan must not fragment the cache: it runs
+        the exact same simulation as no plan at all."""
+        runner = ExperimentRunner()
+        plain = _run(runner)
+        empty = _run(runner, config=SolverConfig(fault_plan=FaultPlan()))
+        assert plain is empty
+        assert runner.runs_executed == 1

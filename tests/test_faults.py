@@ -1,0 +1,313 @@
+"""Unit tests of the fault-injection subsystem (``repro.faults``).
+
+Covers the plan algebra (matching, canonical description, cache tags), the
+injector's message faults (deterministic seeded drops / duplicates / delays,
+scripted one-shot faults), its process faults (fail-stop crashes, slowdown
+windows), and the two invariants everything else relies on:
+
+* faults are a pure function of (seed, plan) — replays are identical;
+* a world with **no** injector and a world with an injector holding an
+  empty-ish plan deliver every message at exactly the same times.
+"""
+
+import pytest
+
+from repro.faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    ScriptedFault,
+    SlowdownFault,
+)
+from repro.simcore import NetworkConfig
+from repro.simcore.errors import ChannelError
+from repro.simcore.network import Channel, Payload
+
+from helpers import make_world
+
+
+class Ping(Payload):
+    TYPE = "ping"
+
+    def __init__(self, n=0):
+        self.n = n
+
+    def nbytes(self):
+        return 8
+
+
+def world(nprocs=3, **kw):
+    return make_world(nprocs, None, config=NetworkConfig(**kw))
+
+
+# ---------------------------------------------------------------- the plan
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty()
+        assert plan.tag() == "nofaults"
+
+    def test_builders_are_not_empty(self):
+        assert not FaultPlan.uniform_loss(0.1).is_empty()
+        assert not FaultPlan.chaos().is_empty()
+        assert not FaultPlan(crashes=(CrashFault(0, 1.0),)).is_empty()
+        assert not FaultPlan(slowdowns=(SlowdownFault(0, 0.0, 1.0),)).is_empty()
+
+    def test_uniform_loss_validates_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan.uniform_loss(1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.uniform_loss(-0.1)
+
+    def test_tag_is_deterministic_and_discriminating(self):
+        a = FaultPlan.uniform_loss(0.05)
+        assert a.tag() == FaultPlan.uniform_loss(0.05).tag()
+        assert a.tag() != FaultPlan.uniform_loss(0.06).tag()
+        assert a.tag() != FaultPlan.uniform_loss(0.05, seed_salt=1).tag()
+        assert a.tag() != FaultPlan.uniform_loss(0.05, channel=None).tag()
+        assert a.tag().startswith("faults-")
+
+    def test_describe_mentions_every_rule(self):
+        plan = FaultPlan(
+            link_faults=(LinkFault(src=1, dst=2, drop_prob=0.5),),
+            scripted=(ScriptedFault(nth=3, action="drop"),),
+            crashes=(CrashFault(rank=4, time=0.25),),
+            slowdowns=(SlowdownFault(rank=5, start=0.1, duration=0.2, factor=3.0),),
+            seed_salt=7,
+        )
+        text = plan.describe()
+        for frag in ("salt=7", "link(1->2", "script(drop#3", "crash(P4",
+                     "slow(P5"):
+            assert frag in text, text
+
+    def test_link_fault_matching(self):
+        any_link = LinkFault(drop_prob=1.0)
+        assert any_link.matches(0, 1, Channel.STATE)
+        assert any_link.matches(5, 2, Channel.DATA)
+        narrow = LinkFault(src=1, dst=2, channel=Channel.STATE, drop_prob=1.0)
+        assert narrow.matches(1, 2, Channel.STATE)
+        assert not narrow.matches(2, 1, Channel.STATE)
+        assert not narrow.matches(1, 2, Channel.DATA)
+
+
+# ---------------------------------------------------------- message faults
+
+
+class TestMessageFaults:
+    def _send_n(self, net, n, src=0, dst=1, channel=Channel.DATA):
+        for i in range(n):
+            net.send(src, dst, channel, Ping(i))
+
+    def test_no_injector_is_reliable(self):
+        sim, net, procs = world()
+        self._send_n(net, 10)
+        sim.run()
+        assert [e.payload.n for e in procs[1].data_received] == list(range(10))
+
+    def test_certain_drop_loses_everything(self):
+        sim, net, procs = world()
+        inj = FaultInjector(sim, FaultPlan.uniform_loss(1.0, channel=None))
+        net.install_injector(inj)
+        self._send_n(net, 10)
+        sim.run()
+        assert procs[1].data_received == []
+        assert inj.stats.dropped == 10
+        assert inj.stats.dropped_by_type["ping"] == 10
+
+    def test_channel_filter(self):
+        """STATE-only loss must not touch the DATA channel."""
+        sim, net, procs = world()
+        net.install_injector(
+            FaultInjector(sim, FaultPlan.uniform_loss(1.0, channel=Channel.STATE))
+        )
+        self._send_n(net, 5, channel=Channel.DATA)
+        sim.run()
+        assert len(procs[1].data_received) == 5
+
+    def test_drops_are_deterministic_per_seed_and_salt(self):
+        def received(seed, salt):
+            sim, net, procs = make_world(
+                3, None, seed=seed, config=NetworkConfig()
+            )
+            inj = FaultInjector(
+                sim, FaultPlan.uniform_loss(0.5, channel=None, seed_salt=salt)
+            )
+            net.install_injector(inj)
+            self._send_n(net, 40)
+            sim.run()
+            return [e.payload.n for e in procs[1].data_received]
+
+        assert received(0, 0) == received(0, 0)
+        assert received(0, 0) != received(0, 1)  # salt: replication axis
+        assert received(0, 0) != received(7, 0)  # seed: a different run
+
+    def test_duplicates_arrive_twice_and_later(self):
+        sim, net, procs = world()
+        inj = FaultInjector(
+            sim,
+            FaultPlan(link_faults=(
+                LinkFault(channel=None, dup_prob=1.0, delay=1e-3),
+            )),
+        )
+        net.install_injector(inj)
+        net.send(0, 1, Channel.DATA, Ping(0))
+        sim.run()
+        assert [e.payload.n for e in procs[1].data_received] == [0, 0]
+        assert inj.stats.duplicated == 1
+
+    def test_delay_fault_postpones_delivery(self):
+        latency = 1e-4
+        sim, net, procs = world(latency=latency)
+        net.install_injector(FaultInjector(
+            sim,
+            FaultPlan(link_faults=(
+                LinkFault(channel=None, delay_prob=1.0, delay=5e-3),
+            )),
+        ))
+        net.send(0, 1, Channel.DATA, Ping(0))
+        sim.run()
+        # fault-free delivery would land at ~latency; the fault adds 5e-3
+        assert sim.now == pytest.approx(latency + 5e-3, abs=1e-4)
+
+    def test_scripted_drop_hits_exactly_the_nth(self):
+        sim, net, procs = world()
+        net.install_injector(FaultInjector(
+            sim, FaultPlan(scripted=(ScriptedFault(nth=3, action="drop"),))
+        ))
+        self._send_n(net, 5)
+        sim.run()
+        assert [e.payload.n for e in procs[1].data_received] == [0, 1, 3, 4]
+
+    def test_scripted_rules_are_link_selective(self):
+        sim, net, procs = world()
+        net.install_injector(FaultInjector(
+            sim,
+            FaultPlan(scripted=(
+                ScriptedFault(nth=1, action="drop", src=0, dst=2),
+            )),
+        ))
+        net.send(0, 1, Channel.DATA, Ping(0))  # not matched: 0 -> 1
+        net.send(0, 2, Channel.DATA, Ping(1))  # dropped: first 0 -> 2
+        net.send(0, 2, Channel.DATA, Ping(2))  # second 0 -> 2: passes
+        sim.run()
+        assert [e.payload.n for e in procs[1].data_received] == [0]
+        assert [e.payload.n for e in procs[2].data_received] == [2]
+
+    def test_scripted_unknown_action_raises(self):
+        sim, net, procs = world()
+        net.install_injector(FaultInjector(
+            sim, FaultPlan(scripted=(ScriptedFault(nth=1, action="mangle"),))
+        ))
+        with pytest.raises(ValueError):
+            net.send(0, 1, Channel.DATA, Ping(0))
+
+    def test_double_install_rejected(self):
+        sim, net, procs = world()
+        net.install_injector(FaultInjector(sim, FaultPlan.uniform_loss(0.1)))
+        with pytest.raises(ChannelError):
+            net.install_injector(FaultInjector(sim, FaultPlan()))
+
+    def test_empty_plan_injector_changes_nothing(self):
+        """Delivery times with an empty-plan injector are byte-identical to
+        no injector at all (the fault-free guarantee, network level)."""
+
+        def arrivals(install):
+            sim, net, procs = world(latency=3e-4)
+            if install:
+                net.install_injector(FaultInjector(sim, FaultPlan()))
+            times = []
+            procs[1].handle_data = lambda env: times.append(sim.now)
+            self._send_n(net, 8)
+            sim.run()
+            return times
+
+        assert arrivals(False) == arrivals(True)
+
+
+# ---------------------------------------------------------- process faults
+
+
+class TestProcessFaults:
+    def test_crash_silences_the_victim(self):
+        sim, net, procs = world()
+        inj = FaultInjector(
+            sim, FaultPlan(crashes=(CrashFault(rank=1, time=1e-3),))
+        )
+        net.install_injector(inj)
+        inj.install_process_faults(procs)
+        net.send(0, 1, Channel.DATA, Ping(0))        # before the crash
+        sim.schedule_at(2e-3, lambda: net.send(0, 1, Channel.DATA, Ping(1)))
+        sim.run()
+        assert procs[1].crashed
+        assert inj.stats.crashes == 1
+        assert inj.crashed_ranks == frozenset({1})
+        # only the pre-crash message was treated
+        assert [e.payload.n for e in procs[1].data_received] == [0]
+
+    def test_crash_is_idempotent(self):
+        sim, net, procs = world()
+        inj = FaultInjector(sim, FaultPlan(
+            crashes=(CrashFault(1, 1e-3), CrashFault(1, 2e-3))
+        ))
+        inj.install_process_faults(procs)
+        sim.run()
+        assert inj.stats.crashes == 1
+
+    def test_crash_unknown_rank_rejected(self):
+        sim, net, procs = world()
+        inj = FaultInjector(sim, FaultPlan(crashes=(CrashFault(9, 1.0),)))
+        with pytest.raises(ValueError):
+            inj.install_process_faults(procs)
+
+    def test_slowdown_window_scales_task_durations(self):
+        sim, net, procs = world()
+        inj = FaultInjector(sim, FaultPlan(
+            slowdowns=(SlowdownFault(rank=0, start=0.0, duration=1.0, factor=4.0),)
+        ))
+        inj.install_process_faults(procs)
+        done = []
+        procs[0].queue_task(0.01, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert inj.stats.slowdowns == 1
+        assert done and done[0] == pytest.approx(0.04, rel=1e-6)
+        assert procs[0].speed_factor == 1.0  # window closed
+
+    def test_slowdown_after_window_is_normal_speed(self):
+        sim, net, procs = world()
+        inj = FaultInjector(sim, FaultPlan(
+            slowdowns=(SlowdownFault(rank=0, start=0.0, duration=1e-3, factor=4.0),)
+        ))
+        inj.install_process_faults(procs)
+        done = []
+        sim.schedule_at(
+            2e-3,
+            lambda: procs[0].queue_task(
+                0.01, on_complete=lambda: done.append(sim.now)
+            ),
+        )
+        sim.run()
+        assert done and done[0] == pytest.approx(2e-3 + 0.01, rel=1e-6)
+
+
+# -------------------------------------------------------------- the traces
+
+
+def test_faults_are_traced():
+    from repro.simcore.trace import TraceRecorder
+
+    sim, net, procs = world()
+    sim.trace = TraceRecorder()
+    inj = FaultInjector(sim, FaultPlan(
+        scripted=(ScriptedFault(nth=1, action="drop"),),
+        crashes=(CrashFault(rank=2, time=1e-3),),
+    ))
+    net.install_injector(inj)
+    inj.install_process_faults(procs)
+    net.send(0, 1, Channel.DATA, Ping(0))
+    sim.run()
+    kinds = [e.detail for e in sim.trace.filter(kind="fault")]
+    assert any(d.startswith("drop(scripted):ping") for d in kinds), kinds
+    assert "crash:P2" in kinds

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.mapping import (
-    MappingParams,
     NodeType,
     TypeParams,
     build_layer0,

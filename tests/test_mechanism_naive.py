@@ -1,6 +1,5 @@
 """Unit tests for the naive mechanism (Algorithm 2)."""
 
-import pytest
 
 from repro.mechanisms import Load, MechanismConfig, NaiveMechanism
 

@@ -7,7 +7,6 @@ from repro.matrices import generators as gen
 from repro.mechanisms import (
     Load,
     MechanismConfig,
-    MechanismShared,
     PartialSnapshotMechanism,
     create_mechanism,
 )

@@ -14,7 +14,7 @@ from repro.mechanisms import (
     SnapshotMechanism,
     SnapshotStats,
 )
-from repro.simcore import NetworkConfig, ProtocolError, Simulator
+from repro.simcore import NetworkConfig, ProtocolError
 
 from helpers import make_world
 

@@ -11,7 +11,7 @@ from typing import List
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.simcore import Channel, NetworkConfig, Work
+from repro.simcore import Channel, NetworkConfig
 from repro.simcore.network import Payload
 
 from helpers import make_world

@@ -1,0 +1,294 @@
+"""Unit tests of the resilience layer (``MechanismConfig.resilience``).
+
+The layer has two halves:
+
+* a generic sequence-number envelope in :class:`repro.mechanisms.base.
+  Mechanism` — duplicate/stale discard, gap detection, NACK / resync /
+  absolute-sync repair, periodic refresh — exercised here through the
+  maintained-view mechanisms;
+* protocol-specific hardening of the demand-driven snapshot — gather
+  retransmission, blocked-participant liveness, failure suspicion and
+  resurrection, acknowledged reservations — exercised through scripted
+  fault plans that lose exactly the targeted message.
+"""
+
+import pytest
+
+from repro.faults import CrashFault, FaultInjector, FaultPlan, LinkFault, ScriptedFault
+from repro.mechanisms import (
+    IncrementsMechanism,
+    Load,
+    MechanismConfig,
+    NaiveMechanism,
+    SnapshotMechanism,
+)
+from repro.simcore import NetworkConfig
+from repro.simcore.network import Channel
+
+from helpers import make_world
+
+
+def rworld(nprocs, mech_cls, plan=None, *, config=None, **mech_kw):
+    cfg = MechanismConfig(resilience=True, threshold=Load(0.5, 0.5), **mech_kw)
+    sim, net, procs = make_world(
+        nprocs, lambda: mech_cls(cfg), config=config or NetworkConfig()
+    )
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(sim, plan)
+        net.install_injector(injector)
+        injector.install_process_faults(procs)
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * nprocs)
+    return sim, net, procs, injector
+
+
+def stat(procs, key):
+    return sum(p.mechanism.resilience_stats[key] for p in procs)
+
+
+# ----------------------------------------------------- sequence envelope
+
+
+class TestSequenceEnvelope:
+    def test_fault_free_traffic_is_transparent(self):
+        sim, net, procs, _ = rworld(3, NaiveMechanism)
+        procs[0].mechanism.on_local_change(Load(10.0, 0.0))
+        sim.run()
+        for p in procs:
+            assert p.mechanism.view.get(0).workload == 10.0
+        assert stat(procs, "duplicates_dropped") == 0
+        assert stat(procs, "nacks_sent") == 0
+
+    def test_duplicates_are_dropped(self):
+        plan = FaultPlan(link_faults=(
+            LinkFault(channel=Channel.STATE, dup_prob=1.0, delay=1e-4),
+        ))
+        sim, net, procs, _ = rworld(3, IncrementsMechanism, plan)
+        procs[0].mechanism.on_local_change(Load(10.0, 0.0))
+        sim.run()
+        # without dedup the duplicated UpdateIncrement would double the view
+        for p in procs[1:]:
+            assert p.mechanism.view.get(0).workload == 10.0
+        assert stat(procs, "duplicates_dropped") == 2
+
+    def test_duplicates_corrupt_increments_without_the_layer(self):
+        """The contrast case: resilience off + a duplicated delta message
+        double-counts (this is why the envelope exists)."""
+        cfg = MechanismConfig(resilience=False, threshold=Load(0.5, 0.5))
+        sim, net, procs = make_world(3, lambda: IncrementsMechanism(cfg))
+        net.install_injector(FaultInjector(sim, FaultPlan(link_faults=(
+            LinkFault(channel=Channel.STATE, dup_prob=1.0, delay=1e-4),
+        ))))
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * 3)
+        procs[0].mechanism.on_local_change(Load(10.0, 0.0))
+        sim.run()
+        assert procs[1].mechanism.view.get(0).workload == 20.0
+
+    def test_gap_is_nacked_and_resynced(self):
+        """Drop one Update mid-stream: the receiver NACKs the gap and the
+        sender answers with its absolute state — the view ends exact."""
+        plan = FaultPlan(scripted=(
+            # the second STATE message 0 -> 1 is P0's second Update
+            ScriptedFault(nth=2, action="drop", src=0, dst=1),
+        ))
+        sim, net, procs, inj = rworld(3, NaiveMechanism, plan)
+        for i, w in enumerate([10.0, 25.0, 40.0]):
+            sim.schedule_at(
+                1e-3 * (i + 1),
+                lambda w=w: procs[0].mechanism.on_local_change(
+                    Load(w, 0.0) - procs[0].mechanism.my_load
+                ),
+            )
+        sim.run()
+        assert inj.stats.dropped == 1
+        assert procs[1].mechanism.view.get(0).workload == 40.0
+        assert procs[1].mechanism.resilience_stats["nacks_sent"] >= 1
+        assert procs[0].mechanism.resilience_stats["syncs_sent"] >= 1
+        assert procs[0].mechanism.resilience_stats["resync_requests_received"] >= 1
+        # the unaffected link never saw a gap
+        assert procs[2].mechanism.resilience_stats["nacks_sent"] == 0
+
+    def test_trailing_drop_is_repaired_by_refresh(self):
+        """A dropped *last* message leaves no sequence gap to NACK; the
+        periodic absolute refresh bounds the staleness instead."""
+        plan = FaultPlan(scripted=(
+            ScriptedFault(nth=3, action="drop", src=0, dst=1),
+        ))
+        sim, net, procs, _ = rworld(
+            3, NaiveMechanism, plan, refresh_every=3,
+        )
+        for i in range(3):  # third update is dropped toward P1...
+            sim.schedule_at(
+                1e-3 * (i + 1),
+                lambda w=10.0 * (i + 1): procs[0].mechanism.on_local_change(
+                    Load(w, 0.0)
+                ),
+            )
+        sim.run()
+        # ...but the third update also triggers the refresh sync
+        assert procs[0].mechanism.resilience_stats["syncs_sent"] >= 2
+        assert procs[1].mechanism.view.get(0).workload == pytest.approx(60.0)
+        assert procs[1].mechanism.resilience_stats["syncs_received"] >= 1
+
+    def test_silent_peer_gap_is_abandoned(self):
+        """If the sender of a gap crashes before answering the NACK, the
+        retries stop after ``dead_after`` attempts (liveness over
+        freshness) and the view keeps its last coherent value."""
+        plan = FaultPlan(
+            # P0's second delta toward P1 is lost; P0 dies just after its
+            # third broadcast, before any resync can be answered.
+            scripted=(ScriptedFault(nth=2, action="drop", src=0, dst=1),),
+            crashes=(CrashFault(rank=0, time=3.1e-3),),
+        )
+        sim, net, procs, _ = rworld(
+            3, IncrementsMechanism, plan, dead_after=3, retry_timeout=1e-3,
+            config=NetworkConfig(latency=1e-5),
+        )
+        for i, w in enumerate([10.0, 15.0, 15.0]):
+            sim.schedule_at(
+                1e-3 * (i + 1),
+                lambda w=w: procs[0].mechanism.on_local_change(Load(w, 0.0)),
+            )
+        sim.run()
+        assert procs[1].mechanism.resilience_stats["nacks_sent"] >= 1
+        assert procs[1].mechanism.resilience_stats["gaps_abandoned"] == 1
+        # deltas 1 and 3 were applied, delta 2 is permanently lost
+        assert procs[1].mechanism.view.get(0).workload == 25.0
+        # the unaffected receiver got everything
+        assert procs[2].mechanism.view.get(0).workload == 40.0
+
+
+# ------------------------------------------------------ snapshot hardening
+
+
+def snapshot_decide(sim, proc, assignments, views, at=0.0):
+    def cb(view):
+        views.append((proc.rank, view))
+        proc.mechanism.record_decision(assignments)
+        proc.mechanism.decision_complete()
+
+    sim.schedule_at(at, lambda: proc.mechanism.request_view(cb))
+
+
+class TestSnapshotHardening:
+    def test_lost_start_snp_is_retransmitted(self):
+        plan = FaultPlan(scripted=(
+            ScriptedFault(nth=1, action="drop", src=0, dst=2,
+                          channel=Channel.STATE),
+        ))
+        sim, net, procs, _ = rworld(
+            3, SnapshotMechanism, plan, retry_timeout=1e-3,
+        )
+        views = []
+        snapshot_decide(sim, procs[0], {1: Load(5.0, 0.0)}, views)
+        sim.run()
+        assert len(views) == 1
+        m0 = procs[0].mechanism
+        assert m0.resilience_stats["start_snp_retransmissions"] >= 1
+        assert not m0.blocks_tasks()
+        assert procs[1].mechanism.my_load.workload == 5.0
+
+    def test_lost_answer_is_recovered(self):
+        # 2 -> 0: the Snp answer to the gather is the first STATE message
+        plan = FaultPlan(scripted=(
+            ScriptedFault(nth=1, action="drop", src=2, dst=0,
+                          channel=Channel.STATE),
+        ))
+        sim, net, procs, _ = rworld(
+            3, SnapshotMechanism, plan, retry_timeout=1e-3,
+        )
+        views = []
+        snapshot_decide(sim, procs[0], {}, views)
+        sim.run()
+        assert len(views) == 1
+        assert stat(procs, "suspected_dead") == 0
+
+    def test_lost_reservation_is_retransmitted_and_acked(self):
+        # 0 -> 1 in a 3-proc run: StartSnp, then MasterToSlave, then EndSnp
+        plan = FaultPlan(scripted=(
+            ScriptedFault(nth=2, action="drop", src=0, dst=1,
+                          channel=Channel.STATE),
+        ))
+        sim, net, procs, _ = rworld(
+            3, SnapshotMechanism, plan, retry_timeout=1e-3,
+        )
+        views = []
+        snapshot_decide(sim, procs[0], {1: Load(7.0, 0.0)}, views)
+        sim.run()
+        m0, m1 = procs[0].mechanism, procs[1].mechanism
+        assert m0.resilience_stats["mts_retransmissions"] >= 1
+        assert not m0._mts_pending  # the retransmission was acked
+        assert m1.my_load.workload == 7.0
+
+    def test_duplicated_reservation_applies_once(self):
+        plan = FaultPlan(link_faults=(
+            LinkFault(src=0, dst=1, channel=Channel.STATE,
+                      dup_prob=1.0, delay=1e-4),
+        ))
+        sim, net, procs, _ = rworld(3, SnapshotMechanism, plan)
+        views = []
+        snapshot_decide(sim, procs[0], {1: Load(7.0, 0.0)}, views)
+        sim.run()
+        assert procs[1].mechanism.my_load.workload == 7.0
+
+    def test_crashed_participant_is_suspected_and_resurrected(self):
+        """P2 crashes mid-protocol-free window: P0's gather suspects it
+        after ``dead_after`` silent retries and completes without it.  When
+        P2 'reboots' (here: a fresh request from it), it is resurrected."""
+        sim, net, procs, inj = rworld(
+            4, SnapshotMechanism, FaultPlan(crashes=(CrashFault(2, 1e-4),)),
+            retry_timeout=1e-3, dead_after=3,
+        )
+        views = []
+        snapshot_decide(sim, procs[0], {1: Load(5.0, 0.0)}, views, at=1e-3)
+        sim.run()
+        m0 = procs[0].mechanism
+        assert len(views) == 1, "gather must complete despite the dead rank"
+        assert 2 in m0._presumed_dead
+        assert m0.resilience_stats["suspected_dead"] == 1
+        assert not m0.blocks_tasks()
+        # the gather simply misses the dead rank's contribution
+        assert views[0][1].get(2).workload == 0.0
+
+    def test_late_message_resurrects_a_suspect(self):
+        """Suspicion is not permanent: any message from the suspect clears
+        it (covers wrongly-suspected slow peers)."""
+        sim, net, procs, _ = rworld(
+            3, SnapshotMechanism, None, retry_timeout=1e-3, dead_after=3,
+        )
+        m0 = procs[0].mechanism
+        m0._suspect_dead(2)  # e.g. after a long silence during a gather
+        assert 2 in m0._presumed_dead
+        views = []
+        # P2 initiating a snapshot proves it alive; P0's own later gather
+        # must wait for (and get) P2's answer again.
+        snapshot_decide(sim, procs[2], {}, views, at=1e-3)
+        snapshot_decide(sim, procs[0], {}, views, at=0.05)
+        sim.run()
+        assert m0.resilience_stats["resurrections"] >= 1
+        assert 2 not in m0._presumed_dead
+        assert [r for r, _ in views] == [2, 0]
+        for p in procs:
+            assert not p.mechanism.blocks_tasks()
+
+    def test_fault_free_resilient_snapshot_matches_plain(self):
+        """With no faults, the hardened protocol reaches the same view and
+        the same final loads as the paper-faithful one."""
+
+        def run(resilience):
+            cfg = MechanismConfig(resilience=resilience)
+            sim, net, procs = make_world(3, lambda: SnapshotMechanism(cfg))
+            init = [Load(float(r), 0.0) for r in range(3)]
+            for p in procs:
+                p.mechanism.initialize_view(init)
+            views = []
+            snapshot_decide(sim, procs[0], {1: Load(5.0, 0.0)}, views)
+            sim.run()
+            return (
+                [views[0][1].get(r).workload for r in range(3)],
+                [p.mechanism.my_load.workload for p in procs],
+            )
+
+        assert run(False) == run(True)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mechanisms.view import Load, LoadView
+from repro.mechanisms.view import LoadView
 from repro.scheduling import (
     BlockingConstraints,
     MemoryStrategy,

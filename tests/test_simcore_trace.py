@@ -1,0 +1,139 @@
+"""Unit tests of :mod:`repro.simcore.trace` (recording, filtering, export).
+
+The export half is new with the fault subsystem: traces round-trip through
+JSON and convert to the Chrome trace-event format so lossy runs (``fault``
+entries) can be inspected in ``chrome://tracing`` / Perfetto.
+"""
+
+import json
+
+import pytest
+
+from repro.simcore.trace import TraceEntry, TraceRecorder
+
+
+def sample_recorder(**kw):
+    rec = TraceRecorder(**kw)
+    rec.record(0.0, "task-start", "factor(3)", who=0)
+    rec.record(1e-3, "send", "snp:0->1", who=0)
+    rec.record(2e-3, "fault", "drop(random):update_abs:1->0@STATE", who=1)
+    rec.record(3e-3, "task-end", "factor(3)", who=0)
+    rec.record(4e-3, "event", "run-complete")  # engine-level, who == -1
+    return rec
+
+
+class TestRecording:
+    def test_append_and_iterate(self):
+        rec = sample_recorder()
+        assert len(rec) == 5
+        assert [e.kind for e in rec] == [
+            "task-start", "send", "fault", "task-end", "event",
+        ]
+
+    def test_keep_kinds_filters_at_record_time(self):
+        rec = TraceRecorder(keep_kinds={"fault"})
+        rec.record(0.0, "send", "noise", who=0)
+        rec.record(1.0, "fault", "drop", who=0)
+        assert [e.kind for e in rec] == ["fault"]
+
+    def test_filter_by_kind_who_predicate(self):
+        rec = sample_recorder()
+        assert len(rec.filter(kind="fault")) == 1
+        assert len(rec.filter(who=0)) == 3
+        assert len(rec.filter(kind="send", who=1)) == 0
+        late = rec.filter(predicate=lambda e: e.time >= 3e-3)
+        assert [e.kind for e in late] == ["task-end", "event"]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_entries(self):
+        rec = sample_recorder()
+        back = TraceRecorder.from_json(rec.to_json())
+        assert back.entries == rec.entries
+
+    def test_round_trip_preserves_keep_filter(self):
+        rec = TraceRecorder(keep_kinds={"fault", "send"})
+        rec.record(0.0, "fault", "drop", who=2)
+        back = TraceRecorder.from_json(rec.to_json())
+        assert back.entries == rec.entries
+        # the rebuilt recorder filters like the original
+        back.record(1.0, "task-start", "ignored", who=0)
+        assert len(back) == 1
+
+    def test_json_is_plain_data(self):
+        doc = json.loads(sample_recorder().to_json(indent=2))
+        assert doc["keep_kinds"] is None
+        assert doc["entries"][0] == {
+            "time": 0.0, "kind": "task-start", "who": 0, "detail": "factor(3)",
+        }
+
+
+class TestChromeTrace:
+    def test_task_pairs_become_duration_events(self):
+        doc = sample_recorder().to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["name"] == ends[0]["name"] == "factor(3)"
+        assert begins[0]["tid"] == 0
+        # simulated seconds -> microsecond timestamps
+        assert ends[0]["ts"] == pytest.approx(3e3)
+
+    def test_other_kinds_become_instants(self):
+        doc = sample_recorder().to_chrome_trace()
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert {e["cat"] for e in instants} == {"send", "fault", "event"}
+        for e in instants:
+            assert e["s"] == "t"
+
+    def test_ranks_get_thread_names_and_engine_gets_own_track(self):
+        doc = sample_recorder().to_chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"P0", "P1"}
+        engine = [e for e in doc["traceEvents"]
+                  if e["ph"] == "i" and e["cat"] == "event"]
+        # who == -1 lands past the highest rank instead of colliding with P0
+        assert engine[0]["tid"] == 2
+
+    def test_empty_recorder_exports_cleanly(self):
+        doc = TraceRecorder().to_chrome_trace()
+        assert doc["traceEvents"] == []
+
+    def test_save_chrome_trace(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        sample_recorder().save_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 7  # 2 metadata + 5 entries
+
+    def test_fault_entries_from_a_real_run_export(self):
+        """End-to-end: a traced lossy run produces 'fault' instants."""
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.simcore import NetworkConfig
+        from repro.simcore.network import Channel, Payload
+
+        from helpers import make_world
+
+        class Ping(Payload):
+            TYPE = "ping"
+
+            def nbytes(self):
+                return 8
+
+        sim, net, procs = make_world(2, None, config=NetworkConfig())
+        sim.trace = TraceRecorder()
+        net.install_injector(
+            FaultInjector(sim, FaultPlan.uniform_loss(1.0, channel=None))
+        )
+        net.send(0, 1, Channel.DATA, Ping())
+        sim.run()
+        doc = sim.trace.to_chrome_trace()
+        faults = [e for e in doc["traceEvents"]
+                  if e.get("cat") == "fault"]
+        assert faults and faults[0]["name"].startswith("drop(random):ping")
+
+
+def test_trace_entry_is_frozen():
+    e = TraceEntry(0.0, "send", 0, "x")
+    with pytest.raises(Exception):
+        e.time = 1.0

@@ -10,6 +10,12 @@ check the protocol's two contracts under every interleaving:
   concurrent snapshots): when a decision's view is delivered, it accounts
   for the reservations of *every* decision that completed before it, and
   the final self-estimates equal the exact sum of reservations received.
+
+The ``*UnderFaults`` classes re-run the same scenarios through a random
+:class:`repro.faults.FaultPlan` (message loss / duplication / delay, and
+fail-stop crashes) with the resilience layer on, and assert that liveness
+and conservation survive, and that maintained views converge back to the
+truth once the faults stop (bounded staleness).
 """
 
 from typing import Dict, List
@@ -17,13 +23,16 @@ from typing import Dict, List
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.faults import CrashFault, FaultInjector, FaultPlan, ScriptedFault
 from repro.mechanisms import (
+    IncrementsMechanism,
     Load,
     MechanismConfig,
     PartialSnapshotMechanism,
     SnapshotMechanism,
 )
 from repro.simcore import NetworkConfig
+from repro.simcore.network import Channel
 
 from helpers import make_world
 
@@ -49,6 +58,10 @@ class ChaosDriver:
     def _try(self, rank: int):
         proc = self.procs[rank]
         mech = proc.mechanism
+        if getattr(proc, "crashed", False):
+            # a fail-stopped rank abandons its intents (it is silent forever)
+            self.pending.pop(rank, None)
+            return
         if not self.pending.get(rank):
             return
         if mech.blocks_tasks() or mech._pending_callback is not None:
@@ -70,12 +83,16 @@ class ChaosDriver:
 
 
 def run_chaos(nprocs, decisions, latency, mech_cls=SnapshotMechanism,
-              group_size=0):
-    cfg = MechanismConfig(snapshot_group_size=group_size)
+              group_size=0, fault_plan=None, resilience=False):
+    cfg = MechanismConfig(snapshot_group_size=group_size, resilience=resilience)
     sim, net, procs = make_world(
         nprocs, lambda: mech_cls(cfg),
         config=NetworkConfig(latency=latency),
     )
+    if fault_plan is not None and not fault_plan.is_empty():
+        injector = FaultInjector(sim, fault_plan)
+        net.install_injector(injector)
+        injector.install_process_faults(procs)
     for p in procs:
         p.mechanism.initialize_view([Load.ZERO] * nprocs)
     driver = ChaosDriver(
@@ -162,3 +179,191 @@ class TestPartialSnapshotChaos:
             final[slave] += amount
         for p in procs:
             assert p.mechanism.my_load.workload == pytest.approx(final[p.rank])
+
+
+# --------------------------------------------------------------------------
+# Chaos under injected faults (resilience layer on)
+# --------------------------------------------------------------------------
+
+#: Random message-fault plans on the STATE channel.  Rates are kept in a
+#: range the resilience layer is specified for: losing ~1 message in 7 is
+#: already far harsher than any real interconnect.
+fault_plans = st.builds(
+    FaultPlan.chaos,
+    drop=st.floats(0.0, 0.15),
+    dup=st.floats(0.0, 0.10),
+    delay_prob=st.floats(0.0, 0.10),
+    delay=st.sampled_from([1e-4, 5e-4]),
+    seed_salt=st.integers(0, 3),
+)
+
+
+def _resilience_total(procs, key):
+    return sum(p.mechanism.resilience_stats[key] for p in procs)
+
+
+class TestSnapshotChaosUnderFaults:
+    @given(
+        nprocs=st.integers(3, 6),
+        decisions=decision_lists,
+        plan=fault_plans,
+        mech=st.sampled_from(["full", "partial"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_liveness_and_conservation_under_loss(self, nprocs, decisions,
+                                                  plan, mech):
+        """Drop/duplicate/delay chaos: every decision still completes, every
+        process ends unblocked, and acked+deduplicated reservations keep the
+        final accounting *exact* despite the unreliable channel."""
+        mech_cls = SnapshotMechanism if mech == "full" else PartialSnapshotMechanism
+        group = 0 if mech == "full" else max(2, nprocs - 2)
+        sim, net, procs, driver = run_chaos(
+            nprocs, decisions, 5e-5, mech_cls=mech_cls, group_size=group,
+            fault_plan=plan, resilience=True,
+        )
+        assert len(driver.completed) == len(decisions)
+        for p in procs:
+            assert not p.mechanism.blocks_tasks(), p.mechanism.debug_state()
+        # nothing was (or should ever be, at these rates) given up on
+        assert _resilience_total(procs, "reservations_abandoned") == 0
+        assert _resilience_total(procs, "suspected_dead") == 0
+        final = [0.0] * nprocs
+        for slave, amount in driver.log:
+            final[slave] += amount
+        for p in procs:
+            assert p.mechanism.my_load.workload == pytest.approx(final[p.rank])
+
+    @given(decisions=decision_lists, plan=fault_plans)
+    @settings(max_examples=15, deadline=None)
+    def test_faulty_runs_are_deterministic(self, decisions, plan):
+        """Same seed + same plan => identical faults and identical traffic."""
+        runs = []
+        for _ in range(2):
+            sim, net, procs, driver = run_chaos(
+                5, decisions, 5e-5, fault_plan=plan, resilience=True,
+            )
+            inj = net.injector
+            runs.append((
+                net.stats.sent_total,
+                None if inj is None else
+                (inj.stats.dropped, inj.stats.duplicated, inj.stats.delayed),
+                [(r, k) for r, _, k in driver.completed],
+            ))
+        assert runs[0] == runs[1]
+
+    @given(
+        nprocs=st.integers(4, 6),
+        decisions=decision_lists,
+        crash_time=st.floats(1e-5, 2e-3),
+        plan=fault_plans,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_failstop_crash_liveness(self, nprocs, decisions, crash_time,
+                                     plan):
+        """Fail-stop chaos: the highest rank crashes at a random time (on top
+        of random message faults).  The survivors suspect it, exclude it from
+        gathers and elections, and every decision by a survivor completes.
+
+        Reservations assigned to the dead rank are retransmitted and finally
+        abandoned; the survivors' own accounting stays exact.
+        """
+        victim = nprocs - 1
+        plan = FaultPlan(
+            link_faults=plan.link_faults,
+            crashes=(CrashFault(rank=victim, time=crash_time),),
+            seed_salt=plan.seed_salt,
+        )
+        # decisions come only from ranks that never crash
+        decisions = [(rank % (nprocs - 1), delay) for rank, delay in decisions]
+        sim, net, procs, driver = run_chaos(
+            nprocs, decisions, 5e-5, fault_plan=plan, resilience=True,
+        )
+        assert net.injector.stats.crashes == 1
+        assert len(driver.completed) == len(decisions)
+        survivors = [p for p in procs if p.rank != victim]
+        for p in survivors:
+            assert not p.mechanism.blocks_tasks(), p.mechanism.debug_state()
+        final = [0.0] * nprocs
+        for slave, amount in driver.log:
+            final[slave] += amount
+        for p in survivors:
+            assert p.mechanism.my_load.workload == pytest.approx(final[p.rank])
+
+
+class TestIncrementsChaosUnderFaults:
+    """Bounded staleness of the maintained view under finite fault bursts.
+
+    Scripted faults hit only the early, chaotic part of the run (their
+    ``nth`` is bounded by the number of messages the chaos phase provably
+    sends).  A single settle round afterwards must be enough for the
+    sequence-gap NACK / resync machinery to repair every view *exactly* —
+    staleness is bounded by the fault burst, never cumulative.
+    """
+
+    @given(
+        nprocs=st.integers(3, 6),
+        nchanges=st.integers(4, 10),
+        faults=st.lists(
+            st.tuples(
+                st.integers(1, 8),                      # nth matching message
+                st.sampled_from(["drop", "duplicate", "delay"]),
+            ),
+            min_size=1, max_size=4, unique_by=lambda f: f[0],
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_view_converges_after_fault_burst(self, nprocs, nchanges, faults):
+        nchanges = max(nchanges, 2)  # chaos phase must outnumber every nth
+        assert nchanges * (nprocs - 1) >= max(n for n, _ in faults)
+        cfg = MechanismConfig(
+            threshold=Load(0.5, 0.5), resilience=True, refresh_every=0,
+        )
+        plan = FaultPlan(scripted=tuple(
+            ScriptedFault(nth=n, action=a, channel=Channel.STATE, delay=2e-4)
+            for n, a in faults
+        ))
+        sim, net, procs = make_world(
+            nprocs, lambda: IncrementsMechanism(cfg),
+            config=NetworkConfig(latency=5e-5),
+        )
+        injector = FaultInjector(sim, plan)
+        net.install_injector(injector)
+        for p in procs:
+            p.mechanism.initialize_view([Load.ZERO] * nprocs)
+        truth = [0.0] * nprocs
+        # chaos phase: every change exceeds the threshold => broadcasts, so
+        # the phase sends at least nchanges * (nprocs - 1) STATE messages and
+        # every scripted fault fires before the settle round.
+        for i in range(nchanges):
+            rank = i % nprocs
+            truth[rank] += 1.0 + i
+            sim.schedule_at(
+                1e-4 * (i + 1),
+                lambda r=rank, w=1.0 + i: procs[r].mechanism.on_local_change(
+                    Load(w, 0.0)
+                ),
+            )
+        # settle round (network is reliable again): one more broadcast per
+        # rank gives every receiver a higher sequence number, so any hole
+        # left by a dropped update is detected and NACK-repaired.
+        for rank in range(nprocs):
+            truth[rank] += 1.0
+            sim.schedule_at(
+                0.05 + 1e-4 * rank,
+                lambda r=rank: procs[r].mechanism.on_local_change(
+                    Load(1.0, 0.0)
+                ),
+            )
+        sim.run()
+        dropped = injector.stats.dropped
+        for p in procs:
+            for r in range(nprocs):
+                assert p.mechanism.view.get(r).workload == pytest.approx(
+                    truth[r]
+                ), (
+                    f"P{p.rank}'s view of P{r} stale after {dropped} drops: "
+                    f"{p.mechanism.view.get(r).workload} != {truth[r]}; "
+                    f"stats={dict(p.mechanism.resilience_stats)}"
+                )
+        if dropped:
+            assert _resilience_total(procs, "nacks_sent") > 0

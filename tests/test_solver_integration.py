@@ -7,7 +7,6 @@ the driver), the statically predicted number of dynamic decisions, and
 deterministic results.
 """
 
-import numpy as np
 import pytest
 
 from repro import run_factorization
@@ -16,7 +15,7 @@ from repro.matrices import collection, generators as gen
 from repro.mechanisms import MECHANISM_NAMES
 from repro.simcore.network import NetworkConfig
 from repro.solver.driver import SolverConfig
-from repro.symbolic import analyze_matrix, analyze_problem
+from repro.symbolic import analyze_matrix
 
 
 @pytest.fixture(scope="module")

@@ -5,9 +5,8 @@ import pytest
 from repro import run_factorization
 from repro.mapping import NodeType, compute_mapping
 from repro.matrices import generators as gen
-from repro.mechanisms.view import Load
 from repro.simcore.errors import ProtocolError
-from repro.solver.driver import SolverConfig, default_threshold
+from repro.solver.driver import default_threshold
 from repro.solver.process import RunState
 from repro.symbolic import analyze_matrix
 from repro.symbolic.tree import AssemblyTree, Front

@@ -5,7 +5,6 @@ import dataclasses
 import pytest
 
 from repro import run_factorization
-from repro.mapping import compute_mapping
 from repro.matrices import generators as gen
 from repro.solver.validate import validate_result
 from repro.symbolic import analyze_matrix

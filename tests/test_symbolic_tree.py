@@ -1,6 +1,5 @@
 """Tests for supernode amalgamation, assembly trees and cost models."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
