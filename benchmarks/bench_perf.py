@@ -1,0 +1,190 @@
+"""Perf benchmark + regression floor for the simulation engine.
+
+Two jobs in one file:
+
+* ``python benchmarks/bench_perf.py`` measures (1) the engine hot loop in
+  isolation, (2) one representative table run at fast scale, and (3) the
+  fast-scale Table-5 suite executed serially vs fanned out with
+  ``--jobs 4`` — and writes the numbers to ``BENCH_perf.json`` at the repo
+  root, so the perf trajectory accumulates in git history PR over PR.
+
+* under pytest (CI) the ``test_*`` functions assert *generous* floors —
+  an order of magnitude below today's measurements — so a PR that makes the
+  simulator 3–10× slower fails loudly, while shared-runner noise never does.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.parallel import grid_for_targets, prefetch
+from repro.experiments.runner import ExperimentRunner, ExperimentScale
+from repro.matrices import collection
+from repro.simcore.engine import Simulator
+from repro.symbolic import analyze_problem
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
+
+#: Regression floors (events/second).  Today's numbers are ~10× higher even
+#: on a slow shared runner; these only catch order-of-magnitude regressions.
+ENGINE_FLOOR_EPS = 50_000
+SOLVER_FLOOR_EPS = 2_000
+
+
+# --------------------------------------------------------------- measurements
+
+
+def engine_hot_loop(n_events: int = 200_000, chains: int = 8):
+    """Pure engine throughput: self-rescheduling callback chains.
+
+    No network, no solver — this isolates EventQueue push/pop plus the
+    ``Simulator.run`` dispatch loop, the code the ``__slots__``/``__lt__``
+    micro-optimizations target.
+    """
+    sim = Simulator(max_events=n_events + chains + 1)
+    budget = n_events
+
+    def make_chain(period: float):
+        def cb() -> None:
+            nonlocal budget
+            budget -= 1
+            if budget > 0:
+                sim.schedule(period, cb)
+            else:
+                sim.stop("budget")
+        return cb
+
+    for c in range(chains):
+        sim.schedule(0.0, make_chain(1e-6 * (c + 1)))
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": sim.events_executed,
+        "wall_s": wall,
+        "events_per_sec": sim.events_executed / wall,
+    }
+
+
+def representative_run(problem: str = "AUDIKW_1", nprocs: int = 16):
+    """One real factorization at fast scale: solver + network + mechanism."""
+    runner = ExperimentRunner(scale=ExperimentScale(fast=True))
+    t0 = time.perf_counter()
+    r = runner.run(problem, nprocs, "increments", "workload")
+    wall = time.perf_counter() - t0
+    return {
+        "problem": problem,
+        "nprocs": nprocs,
+        "mechanism": "increments",
+        "strategy": "workload",
+        "wall_s": wall,
+        "events_executed": r.events_executed,
+        "events_per_sec": r.events_executed / wall,
+    }
+
+
+def suite_serial_vs_parallel(jobs: int = 4, target: str = "table5"):
+    """Fast-scale suite wall time: serial baseline vs ``--jobs N`` fan-out.
+
+    The symbolic-analysis cache is warmed first so both passes time the
+    *simulations* (workers inherit the warm cache via fork where available).
+    """
+    scale = ExperimentScale(fast=True)
+    specs = grid_for_targets([target], scale)
+    for name in sorted({s.problem for s in specs}):
+        analyze_problem(collection.get(name))
+
+    serial = ExperimentRunner(scale=scale)
+    t0 = time.perf_counter()
+    for s in specs:
+        serial.run(s.problem, s.nprocs, s.mechanism, s.strategy,
+                   threaded=s.threaded)
+    serial_wall = time.perf_counter() - t0
+
+    par = ExperimentRunner(scale=scale)
+    t0 = time.perf_counter()
+    prefetch(par, [target], jobs, specs=specs)
+    parallel_wall = time.perf_counter() - t0
+
+    return {
+        "target": target,
+        "scale": "fast",
+        "runs": len(specs),
+        "serial_wall_s": serial_wall,
+        "parallel_jobs": jobs,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall,
+    }
+
+
+def collect(jobs: int = 4):
+    return {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_perf.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "engine_hot_loop": engine_hot_loop(),
+        "representative_run": representative_run(),
+        "suite_fast": suite_serial_vs_parallel(jobs=jobs),
+    }
+
+
+def main(argv=None) -> int:
+    jobs = int(argv[0]) if argv else 4
+    data = collect(jobs=jobs)
+    BENCH_FILE.write_text(json.dumps(data, indent=1) + "\n")
+    eng = data["engine_hot_loop"]
+    suite = data["suite_fast"]
+    print(f"engine hot loop : {eng['events_per_sec']:,.0f} events/s "
+          f"({eng['events']} events in {eng['wall_s']:.2f}s)")
+    rep = data["representative_run"]
+    print(f"representative  : {rep['problem']} P={rep['nprocs']} "
+          f"{rep['events_per_sec']:,.0f} events/s ({rep['wall_s']:.2f}s)")
+    print(f"suite ({suite['target']}, {suite['runs']} runs): "
+          f"serial {suite['serial_wall_s']:.1f}s vs "
+          f"-j{suite['parallel_jobs']} {suite['parallel_wall_s']:.1f}s "
+          f"(speedup {suite['speedup']:.2f}x on {data['cpu_count']} CPUs)")
+    print(f"written to {BENCH_FILE}")
+    return 0
+
+
+# ----------------------------------------------------- pytest regression floor
+
+
+def test_engine_hot_loop_floor():
+    """The dispatch loop must stay within an order of magnitude of today."""
+    m = engine_hot_loop(n_events=100_000)
+    assert m["events_per_sec"] >= ENGINE_FLOOR_EPS, (
+        f"engine hot loop collapsed to {m['events_per_sec']:,.0f} events/s "
+        f"(floor {ENGINE_FLOOR_EPS:,}); see BENCH_perf.json for trajectory"
+    )
+
+
+def test_representative_run_floor():
+    m = representative_run()
+    assert m["events_per_sec"] >= SOLVER_FLOOR_EPS, (
+        f"full-stack simulation collapsed to {m['events_per_sec']:,.0f} "
+        f"events/s (floor {SOLVER_FLOOR_EPS:,})"
+    )
+
+
+def test_bench_file_schema():
+    """BENCH_perf.json (committed at the repo root) stays well-formed."""
+    data = json.loads(BENCH_FILE.read_text())
+    assert data["schema"] == 1
+    assert data["engine_hot_loop"]["events_per_sec"] > 0
+    assert data["engine_hot_loop"]["wall_s"] > 0
+    assert data["representative_run"]["events_per_sec"] > 0
+    suite = data["suite_fast"]
+    assert suite["runs"] > 0
+    assert suite["serial_wall_s"] > 0 and suite["parallel_wall_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,6 +1,6 @@
 """Experiment harness: regenerate every table, figure and ablation."""
 
-from . import ablations, figures, robustness, tables
+from . import ablations, figures, parallel, robustness, tables
 from .ablations import (
     ablation_granularity,
     ablation_latency,
@@ -11,17 +11,27 @@ from .ablations import (
     ablation_threshold,
     ablation_view_accuracy,
 )
+from .diskcache import DiskCache, config_digest
 from .figures import figure1, figure2
+from .parallel import RunSpec, grid_for_targets, prefetch
 from .report import TableResult, side_by_side
 from .robustness import resilience_contrast, robustness_sweep
-from .runner import ExperimentRunner, ExperimentScale
+from .runner import ExperimentRunner, ExperimentScale, RunKey, make_run_key
 from .tables import table1_2, table3, table4, table5, table6, table7
 
 __all__ = [
     "tables",
     "figures",
     "ablations",
+    "parallel",
     "robustness",
+    "DiskCache",
+    "config_digest",
+    "RunKey",
+    "RunSpec",
+    "make_run_key",
+    "grid_for_targets",
+    "prefetch",
     "robustness_sweep",
     "resilience_contrast",
     "TableResult",

@@ -15,12 +15,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List
 
 from . import ablations as ab
-from . import figures, robustness as rb, tables
+from . import figures, parallel, robustness as rb, tables
+from .diskcache import DiskCache
 from .report import side_by_side
 from .runner import ExperimentRunner, ExperimentScale
 
@@ -55,6 +57,18 @@ def main(argv=None) -> int:
     ap.add_argument("--out", default=None, help="also write output to a file")
     ap.add_argument("--json", default=None, metavar="FILE",
                     help="dump every simulated run's metrics as JSON")
+    ap.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                    help="fan independent table runs out over N worker "
+                         "processes (default 1: serial, byte-identical to "
+                         "previous releases; 0 = one per CPU)")
+    ap.add_argument("--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+                    metavar="DIR",
+                    help="persist results in a content-addressed on-disk "
+                         "cache shared across invocations and workers "
+                         "(default: $REPRO_CACHE_DIR, else disabled)")
+    ap.add_argument("--no-disk-cache", action="store_true",
+                    help="ignore --cache-dir/$REPRO_CACHE_DIR and keep "
+                         "results in memory only")
     faults = ap.add_argument_group(
         "faults", "knobs for the `robustness` target (repro.faults)"
     )
@@ -92,10 +106,21 @@ def main(argv=None) -> int:
         if bad:
             ap.error(f"{name} must be a probability in [0, 1], got {bad}")
 
+    if args.jobs < 0:
+        ap.error(f"--jobs must be >= 0, got {args.jobs}")
+    jobs = parallel.default_jobs() if args.jobs == 0 else args.jobs
+
+    disk_cache = None
+    if args.cache_dir and not args.no_disk_cache:
+        disk_cache = DiskCache(args.cache_dir)
+
     runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
-                              verbose=args.verbose)
+                              verbose=args.verbose, disk_cache=disk_cache)
     out: List[str] = []
     t0 = time.time()
+
+    if jobs > 1:
+        parallel.prefetch(runner, targets, jobs)
 
     for target in targets:
         if target == "table1_2":
@@ -136,7 +161,8 @@ def main(argv=None) -> int:
             ).render())
 
     wall = time.time() - t0
-    footer = (f"[{runner.runs_executed} simulated runs, "
+    hits = f", {runner.disk_hits} disk-cache hits" if disk_cache else ""
+    footer = (f"[{runner.runs_simulated} simulated runs{hits}, "
               f"{runner.total_wall_time:.1f}s simulating, {wall:.1f}s total]")
     _emit(out, footer)
 
@@ -147,7 +173,7 @@ def main(argv=None) -> int:
     if args.json:
         import json
 
-        runs = [r.to_dict() for r in runner._cache.values()]
+        runs = [r.to_dict() for r in runner.results()]
         with open(args.json, "w") as fh:
             json.dump({"runs": runs}, fh, indent=1)
         print(f"{len(runs)} run records written to {args.json}")

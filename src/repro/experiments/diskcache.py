@@ -1,0 +1,185 @@
+"""Content-addressed on-disk cache of :class:`FactorizationResult` objects.
+
+The experiment grid is a pure function of its configuration: ``(problem,
+nprocs, mechanism, strategy, threaded, SolverConfig)`` fully determines a
+simulated run (the simulator is deterministic by design).  That makes results
+safe to persist and share across processes and invocations — *provided* the
+cache key captures the full configuration, not a by-convention tag.
+
+Layout
+------
+Entries live under a root directory, sharded by the first two hex digits of
+their content address::
+
+    <root>/ab/abcdef....pkl
+
+The content address is ``sha256`` over a canonical JSON encoding of:
+
+* every :class:`~repro.experiments.runner.RunKey` field (the key already
+  embeds :func:`config_digest`, a deterministic hash of the **full**
+  ``SolverConfig``), and
+* the package version (``repro.__version__``) and the cache format version.
+
+Invalidation is purely by address: changing any config knob, the package
+version, or the on-disk format produces a different file name, so stale
+entries are never *read* — they are only reclaimed by :meth:`DiskCache.clear`
+(or deleting the directory).  Corrupt or unreadable entries are treated as
+misses and removed.
+
+Writes are atomic (temp file + :func:`os.replace` in the same directory), so
+any number of concurrent workers — e.g. a ``--jobs N`` fan-out — may share
+one cache directory without locks: the worst case is two workers computing
+the same deterministic result and one replace winning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from .. import __version__
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a runner cycle)
+    from ..solver.driver import FactorizationResult, SolverConfig
+    from .runner import RunKey
+
+#: Bump when the pickled payload layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def _canonical(obj: Any) -> Any:
+    """Convert ``obj`` to a JSON-encodable structure with a stable encoding.
+
+    Dataclasses are tagged with their class name so two config types whose
+    field values coincide cannot collide; dict keys are sorted by the JSON
+    encoder; unknown objects fall back to ``repr`` (deterministic for all
+    config types used here).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return repr(obj)
+
+
+def config_digest(cfg: "SolverConfig") -> str:
+    """Deterministic hash of the *full* solver configuration.
+
+    This is the cache-key contribution of ``SolverConfig``: every field
+    (recursively, including nested ``NetworkConfig`` / ``ScheduleParams`` /
+    ``FaultPlan`` / ... dataclasses) is folded into one sha256 digest, so two
+    configs differing in any knob can never share a cache slot.  A
+    present-but-empty ``FaultPlan`` is normalized to ``None`` first: it runs
+    the exact same simulation as no plan at all.
+    """
+    plan = getattr(cfg, "fault_plan", None)
+    if plan is not None and plan.is_empty():
+        cfg = dataclasses.replace(cfg, fault_plan=None)
+    blob = json.dumps(_canonical(cfg), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _address(key: "RunKey") -> str:
+    """Content address of one run: every RunKey field + versions."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "version": __version__,
+        "key": _canonical(key),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class DiskCache:
+    """Persistent, concurrency-safe store of factorization results."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- addressing
+
+    def path_for(self, key: "RunKey") -> Path:
+        addr = _address(key)
+        return self.root / addr[:2] / f"{addr}.pkl"
+
+    # -------------------------------------------------------------- get / put
+
+    def get(self, key: "RunKey") -> Optional["FactorizationResult"]:
+        """Return the cached result, or ``None`` (corrupt entries ⇒ miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("format") != FORMAT_VERSION or entry.get("key") != key:
+                raise ValueError("cache entry does not match its address")
+            result = entry["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unreadable/corrupt/foreign entry: drop it and re-simulate.
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: "RunKey", result: "FactorizationResult") -> Path:
+        """Atomically persist ``result`` under ``key``'s content address.
+
+        Safe under concurrent writers: each writes a private temp file in the
+        destination directory and publishes it with ``os.replace`` (atomic on
+        POSIX and Windows within one filesystem).
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".tmp-{os.getpid()}-{uuid.uuid4().hex}"
+        entry = {"format": FORMAT_VERSION, "version": __version__,
+                 "key": key, "result": result}
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed part-way
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        return path
+
+    # ------------------------------------------------------------ maintenance
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for p in self.root.glob("*/*.pkl"):
+            try:
+                os.unlink(p)
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -1,0 +1,196 @@
+"""Parallel execution of the experiment grid.
+
+The paper's tables are built from a grid of *independent* simulated
+factorizations — matrices × processor counts × mechanisms × strategies.
+Nothing couples two runs (each owns its simulator, RNG streams and network),
+so the grid farms out exactly like the independent chunks of self-scheduling
+work (Eleliemy & Ciorba, arXiv:2101.07050): collect every
+:class:`~repro.experiments.runner.RunKey` the requested targets will need
+*up front*, then fan the misses out over a :class:`ProcessPoolExecutor`.
+
+Because the simulator is deterministic, a run computed in a worker is
+byte-identical to one computed inline; ``--jobs N`` therefore changes wall
+time only, never results.  Workers share the runner's
+:class:`~repro.experiments.diskcache.DiskCache` (atomic writes) when one is
+attached, so a parallel invocation also warms the persistent cache.
+
+Enumeration order matches the table functions' own request order, keeping
+``--json`` exports and run accounting identical between ``--jobs 1`` and
+``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..matrices import collection
+from ..solver.driver import FactorizationResult, SolverConfig, run_factorization
+from ..symbolic.driver import (
+    AnalysisParams,
+    AssemblyTree,
+    analyze_problem,
+    cached_tree,
+    seed_tree,
+)
+from .diskcache import DiskCache
+from .runner import ExperimentRunner, ExperimentScale, RunKey, make_run_key
+
+#: Targets whose runs can be enumerated ahead of time.  Tables 5 and 6
+#: deliberately share one grid (the paper measured one execution); targets
+#: absent here (figures, ablations, robustness) run inline as before.
+PARALLELIZABLE_TARGETS = ("table4", "table5", "table6", "table7")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid point: everything a worker needs besides the config."""
+
+    problem: str
+    nprocs: int
+    mechanism: str
+    strategy: str
+    threaded: bool = False
+
+
+def grid_for_targets(
+    targets: Iterable[str], scale: Optional[ExperimentScale] = None
+) -> List[RunSpec]:
+    """Every run the given table targets will request, in request order.
+
+    Duplicates (Table 6 re-reads Table 5's runs) are dropped keeping the
+    first occurrence, mirroring the in-memory cache behaviour.
+    """
+    scale = scale or ExperimentScale()
+    specs: List[RunSpec] = []
+    seen = set()
+
+    def add(spec: RunSpec) -> None:
+        if spec not in seen:
+            seen.add(spec)
+            specs.append(spec)
+
+    for target in targets:
+        if target == "table4":
+            for nprocs in scale.small_procs:
+                for p in collection.suite("small"):
+                    for mech in ("increments", "snapshot", "naive"):
+                        add(RunSpec(p.name, nprocs, mech, "memory"))
+        elif target in ("table5", "table6"):
+            for nprocs in scale.large_procs:
+                for p in collection.suite("large"):
+                    for mech in ("increments", "snapshot"):
+                        add(RunSpec(p.name, nprocs, mech, "workload"))
+        elif target == "table7":
+            for nprocs in scale.large_procs:
+                for p in collection.suite("large"):
+                    for mech in ("increments", "snapshot"):
+                        add(RunSpec(p.name, nprocs, mech, "workload",
+                                    threaded=True))
+    return specs
+
+
+def _analysis_worker(
+    job: Tuple[str, Optional[AnalysisParams]],
+) -> Tuple[str, AssemblyTree]:
+    """Executed in a pool process: symbolic analysis of one matrix.
+
+    Analysis dominates small runs, and every simulation of a problem shares
+    one tree — so the distinct matrices are analyzed once each (in
+    parallel), shipped back, and seeded into the parent's tree cache before
+    the run workers fork.  Without this phase every run worker would redo
+    the analysis of its problem.
+    """
+    name, params = job
+    return name, analyze_problem(collection.get(name), params)
+
+
+def _worker(
+    job: Tuple[RunSpec, SolverConfig, Optional[str]],
+) -> Tuple[RunSpec, FactorizationResult, float]:
+    """Executed in a pool process: simulate one grid point.
+
+    Module-level (picklable) by construction.  When a cache directory is
+    given the worker persists its result itself — concurrent writers are
+    safe because :meth:`DiskCache.put` is atomic — so the cache warms even
+    if the parent dies before collecting results.
+    """
+    spec, cfg, cache_dir = job
+    if spec.threaded != cfg.threaded:
+        cfg = replace(cfg, threaded=spec.threaded)
+    t0 = time.time()
+    result = run_factorization(
+        collection.get(spec.problem), spec.nprocs, spec.mechanism,
+        spec.strategy, cfg,
+    )
+    wall = time.time() - t0
+    if cache_dir is not None:
+        key = make_run_key(spec.problem, spec.nprocs, spec.mechanism,
+                           spec.strategy, spec.threaded, cfg)
+        DiskCache(cache_dir).put(key, result)
+    return spec, result, wall
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` for "use the machine": CPU count, capped."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def prefetch(
+    runner: ExperimentRunner,
+    targets: Sequence[str],
+    jobs: int,
+    *,
+    specs: Optional[Sequence[RunSpec]] = None,
+) -> int:
+    """Compute every missing grid run for ``targets`` using ``jobs`` workers.
+
+    Results land in ``runner``'s caches, so the subsequent (serial) table
+    rendering is pure cache hits.  Returns the number of runs simulated by
+    workers.  ``jobs <= 1`` is a no-op: the tables then simulate inline,
+    preserving the serial behaviour byte-for-byte.  ``specs`` overrides the
+    grid enumeration (used by tests and ad-hoc sweeps).
+    """
+    if jobs <= 1:
+        return 0
+    if specs is None:
+        specs = grid_for_targets(targets, runner.scale)
+    keys = {
+        spec: make_run_key(spec.problem, spec.nprocs, spec.mechanism,
+                           spec.strategy, spec.threaded, runner.base_config)
+        for spec in specs
+    }
+    misses = [spec for spec in specs if runner.lookup(keys[spec]) is None]
+    if not misses:
+        return 0
+
+    # Phase 1 — analyze each distinct matrix once, in parallel, and seed the
+    # parent's tree cache, so phase-2 workers (forked afterwards) inherit the
+    # trees instead of each re-running the symbolic analysis.
+    params = runner.base_config.analysis
+    pending_names: List[str] = []
+    for spec in misses:
+        if (spec.problem not in pending_names
+                and cached_tree(spec.problem, params) is None):
+            pending_names.append(spec.problem)
+    if pending_names:
+        with ProcessPoolExecutor(
+            max_workers=max(1, min(jobs, len(pending_names)))
+        ) as ex:
+            jobs_args = [(name, params) for name in pending_names]
+            for name, tree in ex.map(_analysis_worker, jobs_args):
+                seed_tree(tree, name, params)
+
+    # Phase 2 — fan the simulations out.
+    cache_dir = (
+        str(runner.disk_cache.root) if runner.disk_cache is not None else None
+    )
+    jobs_args = [(spec, runner.base_config, cache_dir) for spec in misses]
+    with ProcessPoolExecutor(max_workers=max(1, min(jobs, len(misses)))) as ex:
+        # ex.map preserves submission order ⇒ deterministic insertion order.
+        for spec, result, wall in ex.map(_worker, jobs_args):
+            runner.install(keys[spec], result, wall)
+    return len(misses)

@@ -1,8 +1,10 @@
-"""Experiment runner with run caching.
+"""Experiment runner with in-memory and (optional) on-disk run caching.
 
 Several tables report different metrics of the *same* runs (Table 5 reports
 times, Table 6 the message counts of the identical configuration), so runs
 are cached by their full configuration key within an :class:`ExperimentRunner`.
+When a :class:`~repro.experiments.diskcache.DiskCache` is attached, results
+also persist across invocations (and are shared with ``--jobs N`` workers).
 """
 
 from __future__ import annotations
@@ -13,16 +15,43 @@ from typing import Dict, Optional, Tuple
 
 from ..matrices import collection
 from ..solver.driver import FactorizationResult, SolverConfig, run_factorization
+from .diskcache import DiskCache, config_digest
 
 
 @dataclass(frozen=True)
 class RunKey:
+    """Full identity of one simulated run.
+
+    ``config_digest`` is a deterministic hash of the *entire*
+    :class:`SolverConfig` (see :func:`repro.experiments.diskcache.config_digest`),
+    so two configs differing in any knob — fault plan, resilience, network
+    timing, thresholds, … — can never share a cache slot.  The historical
+    ``config_tag`` carried that burden by convention and silently collided
+    when a caller passed a ``config=`` with an empty tag; it survives only as
+    a display label (see :meth:`ExperimentRunner.run`) and is deliberately
+    **not** part of this key.
+    """
+
     problem: str
     nprocs: int
     mechanism: str
     strategy: str
     threaded: bool = False
-    config_tag: str = ""
+    config_digest: str = ""
+
+
+def make_run_key(
+    problem: str,
+    nprocs: int,
+    mechanism: str,
+    strategy: str,
+    threaded: bool,
+    cfg: SolverConfig,
+) -> RunKey:
+    """Build the canonical cache key of one run configuration."""
+    if threaded != cfg.threaded:
+        cfg = replace(cfg, threaded=threaded)
+    return RunKey(problem, nprocs, mechanism, strategy, threaded, config_digest(cfg))
 
 
 @dataclass
@@ -52,19 +81,58 @@ class ExperimentScale:
 
 
 class ExperimentRunner:
-    """Runs (and caches) simulated factorizations for the tables."""
+    """Runs (and caches) simulated factorizations for the tables.
+
+    Parameters
+    ----------
+    base_config:
+        Config used when a call does not pass its own ``config=``.
+    scale:
+        Processor-count grid (``--fast`` vs paper scale).
+    verbose:
+        Print each simulated run as it finishes.
+    disk_cache:
+        Optional persistent result store shared across invocations and
+        parallel workers.  ``runs_simulated`` counts only actual
+        simulations, so a warm cache shows ``0`` new factorizations.
+    """
 
     def __init__(
         self,
         base_config: Optional[SolverConfig] = None,
         scale: Optional[ExperimentScale] = None,
         verbose: bool = False,
+        disk_cache: Optional[DiskCache] = None,
     ) -> None:
         self.base_config = base_config or SolverConfig()
         self.scale = scale or ExperimentScale()
         self.verbose = verbose
+        self.disk_cache = disk_cache
         self._cache: Dict[RunKey, FactorizationResult] = {}
         self.total_wall_time = 0.0
+        #: Factorizations actually executed (memory/disk hits excluded).
+        self.runs_simulated = 0
+        #: Results served from the disk cache instead of simulating.
+        self.disk_hits = 0
+
+    # ----------------------------------------------------------------- keys
+
+    def key_for(
+        self,
+        problem_name: str,
+        nprocs: int,
+        mechanism: str,
+        strategy: str,
+        *,
+        threaded: bool = False,
+        config: Optional[SolverConfig] = None,
+    ) -> RunKey:
+        return make_run_key(
+            problem_name, nprocs, mechanism, strategy, threaded,
+            config or self.base_config,
+        )
+
+    # ------------------------------------------------------------------ run
 
     def run(
         self,
@@ -77,48 +145,71 @@ class ExperimentRunner:
         config: Optional[SolverConfig] = None,
         config_tag: str = "",
     ) -> FactorizationResult:
+        """Return the result of one run, simulating only on a cache miss.
+
+        ``config_tag`` is a purely cosmetic label (kept for callers that name
+        their variants); the cache key is derived from the full ``config=``.
+        """
         cfg = config or self.base_config
         if threaded != cfg.threaded:
             cfg = replace(cfg, threaded=threaded)
         key = RunKey(
-            problem_name,
-            nprocs,
-            mechanism,
-            strategy,
-            threaded,
-            self._effective_tag(cfg, config_tag),
+            problem_name, nprocs, mechanism, strategy, threaded,
+            config_digest(cfg),
         )
         hit = self._cache.get(key)
         if hit is not None:
             return hit
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(key)
+            if stored is not None:
+                self.disk_hits += 1
+                self._cache[key] = stored
+                return stored
         t0 = time.time()
         result = run_factorization(
             collection.get(problem_name), nprocs, mechanism, strategy, cfg
         )
         wall = time.time() - t0
         self.total_wall_time += wall
+        self.runs_simulated += 1
         if self.verbose:
-            print(f"  [{wall:5.1f}s] {result.summary()}")
+            label = f" [{config_tag}]" if config_tag else ""
+            print(f"  [{wall:5.1f}s] {result.summary()}{label}")
         self._cache[key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, result)
         return result
 
-    @staticmethod
-    def _effective_tag(cfg: SolverConfig, config_tag: str) -> str:
-        """Fold fault/resilience knobs into the cache key.
+    # ------------------------------------------------------------- plumbing
 
-        The caller-provided ``config_tag`` historically carried *every*
-        non-default knob by convention; fault plans made that fragile — two
-        configs differing only in their plan (or in ``resilience``) would
-        silently share one cache slot.  The plan's deterministic content
-        hash (:meth:`repro.faults.FaultPlan.tag`) closes the hole.
-        """
-        parts = [config_tag] if config_tag else []
-        if cfg.fault_plan is not None and not cfg.fault_plan.is_empty():
-            parts.append(cfg.fault_plan.tag())
-        if cfg.resilience:
-            parts.append("resilience")
-        return "+".join(parts)
+    def install(
+        self, key: RunKey, result: FactorizationResult, wall_time: float = 0.0
+    ) -> None:
+        """Insert an externally computed result (parallel prefetch workers)."""
+        if key not in self._cache:
+            self.total_wall_time += wall_time
+            self.runs_simulated += 1
+        self._cache[key] = result
+
+    def lookup(self, key: RunKey) -> Optional[FactorizationResult]:
+        """Memory-then-disk probe without ever simulating."""
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if self.disk_cache is not None:
+            stored = self.disk_cache.get(key)
+            if stored is not None:
+                self.disk_hits += 1
+                self._cache[key] = stored
+                return stored
+        return None
+
+    def results(self):
+        """All materialized results, in first-use order."""
+        return list(self._cache.values())
 
     @property
     def runs_executed(self) -> int:
+        """Distinct run configurations materialized (simulated or loaded)."""
         return len(self._cache)

@@ -128,35 +128,48 @@ class Simulator:
         self._stopped = False
         self._stop_reason = None
         horizon = self.max_time if until is None else min(until, self.max_time)
-        while not self._stopped:
-            ev = self.queue.pop()
-            if ev is None:
-                if self._drain_ok_checks and not all(c() for c in self._drain_ok_checks):
-                    raise SimulationDeadlock(self._deadlock_message())
-                self._stop_reason = "drained"
-                break
-            if ev.time > horizon:
-                # Re-queue untouched so a later run() can resume.
-                self.queue.push(ev.time, ev.callback, priority=ev.priority, label=ev.label)
-                self.now = horizon
-                if until is not None and ev.time <= self.max_time:
-                    self._stop_reason = "horizon"
+        # Hot loop: this executes tens of millions of times per full-scale
+        # run, so everything touched per event is bound to a local — and the
+        # trace branch compares against a local None instead of two attribute
+        # loads when no recorder is attached.
+        pop = self.queue.pop
+        trace = self.trace
+        max_events = self.max_events
+        executed = self.events_executed
+        try:
+            while not self._stopped:
+                ev = pop()
+                if ev is None:
+                    if self._drain_ok_checks and not all(c() for c in self._drain_ok_checks):
+                        raise SimulationDeadlock(self._deadlock_message())
+                    self._stop_reason = "drained"
                     break
-                raise SimulationLimitExceeded(
-                    f"simulated time limit {self.max_time}s exceeded "
-                    f"(next event at t={ev.time:.6f}, {ev.label!r})"
-                )
-            assert ev.time >= self.now, "event queue returned an event in the past"
-            self.now = ev.time
-            self.events_executed += 1
-            if self.events_executed > self.max_events:
-                raise SimulationLimitExceeded(
-                    f"event limit {self.max_events} exceeded at t={self.now:.6f}"
-                    + self._deadlock_message()
-                )
-            if self.trace is not None and ev.label:
-                self.trace.record(self.now, "event", ev.label)
-            ev.callback()
+                if ev.time > horizon:
+                    # Re-insert the *same* Event object so a handle held by a
+                    # caller still cancels the re-queued event; a later run()
+                    # then resumes exactly where this one paused.
+                    self.queue.reinsert(ev)
+                    self.now = horizon
+                    if until is not None and ev.time <= self.max_time:
+                        self._stop_reason = "horizon"
+                        break
+                    raise SimulationLimitExceeded(
+                        f"simulated time limit {self.max_time}s exceeded "
+                        f"(next event at t={ev.time:.6f}, {ev.label!r})"
+                    )
+                assert ev.time >= self.now, "event queue returned an event in the past"
+                self.now = ev.time
+                executed += 1
+                if executed > max_events:
+                    raise SimulationLimitExceeded(
+                        f"event limit {self.max_events} exceeded at t={self.now:.6f}"
+                        + self._deadlock_message()
+                    )
+                if trace is not None and ev.label:
+                    trace.record(ev.time, "event", ev.label)
+                ev.callback()
+        finally:
+            self.events_executed = executed
         return self._stop_reason or "stopped"
 
     # ------------------------------------------------------------- internals

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 #: Priority given to events that must run before ordinary events at the same
@@ -25,23 +24,56 @@ PRIORITY_NORMAL = 10
 PRIORITY_LOW = 20
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
     monotone counter allocated by the :class:`EventQueue`, guaranteeing a
     deterministic total order even among simultaneous same-priority events.
+
+    This is the hottest object in the simulator (tens of millions per full
+    run), so it is a ``__slots__`` class with a hand-written ``__lt__``
+    rather than a ``dataclass(order=True)`` — the dataclass comparison
+    builds two tuples per heap sift; the short-circuit below does not.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    #: Cancelled events stay in the heap but are skipped on pop.
-    cancelled: bool = field(default=False, compare=False)
-    #: Free-form label used by traces and deadlock dumps.
-    label: str = field(default="", compare=False)
+    __slots__ = (
+        "time", "priority", "seq", "callback", "cancelled", "label", "counted",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        #: Cancelled events stay in the heap but are skipped on pop.
+        self.cancelled = cancelled
+        #: Free-form label used by traces and deadlock dumps.
+        self.label = label
+        #: True while this event contributes to its queue's live count;
+        #: maintained by the queue so that cancelling an already-popped
+        #: event (or cancelling twice, by any route) never corrupts ``len``.
+        self.counted = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, cancelled={self.cancelled!r}, "
+                f"label={self.label!r})")
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it; O(1)."""
@@ -75,33 +107,72 @@ class EventQueue:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time != time:  # NaN guard
             raise ValueError("event time is NaN")
-        ev = Event(time, priority, next(self._counter), callback, label=label)
+        ev = Event(time, priority, next(self._counter), callback, False, label)
+        ev.counted = True
         heapq.heappush(self._heap, ev)
         self._live += 1
         return ev
 
+    def reinsert(self, event: Event) -> Event:
+        """Put a previously popped event back, *as the same object*.
+
+        Used by the engine's horizon pause: callers holding the original
+        :class:`Event` handle (e.g. for :meth:`cancel`) must keep control of
+        the re-queued copy, so no new object may be created.  The event keeps
+        its original ``seq`` and therefore its deterministic slot in the
+        total order.
+        """
+        if event.cancelled:
+            raise ValueError("cannot reinsert a cancelled event")
+        if not event.counted:
+            event.counted = True
+            self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
     def pop(self) -> Optional[Event]:
         """Return the next live event, or ``None`` if the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            ev = heappop(heap)
             if ev.cancelled:
+                # Events cancelled through Event.cancel() (bypassing the
+                # queue) are still counted; settle the books lazily here.
+                if ev.counted:
+                    ev.counted = False
+                    self._live -= 1
                 continue
+            ev.counted = False
             self._live -= 1
             return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            ev = heapq.heappop(heap)
+            if ev.counted:
+                ev.counted = False
+                self._live -= 1
+        return heap[0].time if heap else None
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
+        """Cancel a previously pushed event (idempotent).
+
+        Safe on events in any state: live in the heap, already popped, or
+        already cancelled — the live count is adjusted exactly once, and only
+        for events the queue still counts.
+        """
         if not event.cancelled:
             event.cancelled = True
-            self._live -= 1
+            if event.counted:
+                event.counted = False
+                self._live -= 1
 
     def clear(self) -> None:
+        for ev in self._heap:
+            ev.counted = False
         self._heap.clear()
         self._live = 0

@@ -84,5 +84,21 @@ def analyze_problem(
 _TREE_CACHE: Dict[Tuple[str, AnalysisParams], AssemblyTree] = {}
 
 
+def cached_tree(
+    problem_name: str, params: Optional[AnalysisParams] = None
+) -> Optional[AssemblyTree]:
+    """The already-analyzed tree for a registry problem, if any."""
+    return _TREE_CACHE.get((problem_name, params or AnalysisParams()))
+
+
+def seed_tree(
+    tree: AssemblyTree, problem_name: str,
+    params: Optional[AnalysisParams] = None,
+) -> None:
+    """Install an externally computed tree (e.g. analyzed in a worker
+    process) so later :func:`analyze_problem` calls are cache hits."""
+    _TREE_CACHE[(problem_name, params or AnalysisParams())] = tree
+
+
 def clear_cache() -> None:
     _TREE_CACHE.clear()

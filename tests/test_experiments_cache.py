@@ -1,15 +1,21 @@
 """Cache-key behavior of :class:`repro.experiments.runner.ExperimentRunner`.
 
-The runner dedups simulated runs by configuration; the fault-injection
-subsystem added two knobs (``fault_plan``, ``resilience``) that must be part
-of the key, or a robustness sweep could poison the fault-free tables with a
-lossy cached run (and vice versa).
+The runner dedups simulated runs by configuration.  Historically the key
+leaned on a caller-provided ``config_tag`` that carried every non-default
+knob *by convention*: a ``config=`` passed with an empty tag silently shared
+a cache slot with a different config.  The key is now a deterministic hash
+of the **full** :class:`SolverConfig` (:func:`repro.experiments.config_digest`),
+so no knob — fault plan, resilience, network timing, thresholds — can ever
+collide, and ``config_tag`` is a purely cosmetic label.
 """
 
 from dataclasses import replace
 
+from repro.experiments import config_digest, make_run_key
 from repro.experiments.runner import ExperimentRunner
 from repro.faults import FaultPlan
+from repro.scheduling import ScheduleParams
+from repro.simcore.network import NetworkConfig
 from repro.solver.driver import SolverConfig
 
 
@@ -19,27 +25,48 @@ def _run(runner, *, config=None, config_tag=""):
     )
 
 
-class TestEffectiveTag:
-    def test_plain_config_keeps_caller_tag(self):
-        cfg = SolverConfig()
-        assert ExperimentRunner._effective_tag(cfg, "") == ""
-        assert ExperimentRunner._effective_tag(cfg, "thr=2") == "thr=2"
+class TestConfigDigest:
+    def test_stable_across_calls(self):
+        assert config_digest(SolverConfig()) == config_digest(SolverConfig())
 
-    def test_empty_plan_is_invisible(self):
-        cfg = SolverConfig(fault_plan=FaultPlan())
-        assert ExperimentRunner._effective_tag(cfg, "") == ""
+    def test_equal_configs_share_a_digest(self):
+        a = SolverConfig(threshold_frac=0.2)
+        b = SolverConfig(threshold_frac=0.2)
+        assert config_digest(a) == config_digest(b)
 
-    def test_plan_and_resilience_are_folded_in(self):
-        plan = FaultPlan.uniform_loss(0.05)
-        cfg = SolverConfig(fault_plan=plan, resilience=True)
-        tag = ExperimentRunner._effective_tag(cfg, "thr=2")
-        assert tag == f"thr=2+{plan.tag()}+resilience"
+    def test_every_knob_discriminates(self):
+        base = SolverConfig()
+        variants = [
+            SolverConfig(threshold_frac=0.2),
+            SolverConfig(seed=1),
+            SolverConfig(threaded=True),
+            SolverConfig(no_more_master=False),
+            SolverConfig(network=NetworkConfig.high_latency()),
+            SolverConfig(schedule=ScheduleParams(kmin_rows=16)),
+            SolverConfig(resilience=True),
+            SolverConfig(fault_plan=FaultPlan.uniform_loss(0.05)),
+        ]
+        digests = [config_digest(c) for c in [base] + variants]
+        assert len(set(digests)) == len(digests)
 
-    def test_different_plans_get_different_tags(self):
+    def test_different_plans_get_different_digests(self):
         a = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.05))
         b = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.10))
-        assert (ExperimentRunner._effective_tag(a, "")
-                != ExperimentRunner._effective_tag(b, ""))
+        assert config_digest(a) != config_digest(b)
+
+    def test_empty_plan_normalized_to_no_plan(self):
+        """A present-but-empty plan runs the exact same simulation as no
+        plan at all, so it must not fragment the cache."""
+        assert config_digest(SolverConfig(fault_plan=FaultPlan())) == \
+            config_digest(SolverConfig())
+
+    def test_make_run_key_folds_threaded_into_config(self):
+        cfg = SolverConfig()
+        k = make_run_key("TWOTONE", 4, "naive", "memory", True, cfg)
+        same = make_run_key(
+            "TWOTONE", 4, "naive", "memory", True, replace(cfg, threaded=True)
+        )
+        assert k == same
 
 
 class TestRunCache:
@@ -49,6 +76,7 @@ class TestRunCache:
         b = _run(runner)
         assert a is b
         assert runner.runs_executed == 1
+        assert runner.runs_simulated == 1
 
     def test_fault_plan_is_a_cache_miss(self):
         runner = ExperimentRunner()
@@ -90,12 +118,22 @@ class TestRunCache:
         assert r1 is not r2
         assert runner.runs_executed == 2
 
-    def test_config_tag_still_discriminates(self):
+    def test_config_differs_even_with_empty_tags(self):
+        """The historical fragility: two different configs passed with empty
+        (or equal) tags must NOT share a slot."""
+        runner = ExperimentRunner()
+        a = _run(runner, config=SolverConfig(threshold_frac=0.10))
+        b = _run(runner, config=SolverConfig(threshold_frac=0.30))
+        assert a is not b
+        assert runner.runs_executed == 2
+
+    def test_config_tag_is_only_a_label(self):
+        """Same full config under two display labels = one simulation."""
         runner = ExperimentRunner()
         a = _run(runner, config_tag="variant-a")
         b = _run(runner, config_tag="variant-b")
-        assert a is not b
-        assert runner.runs_executed == 2
+        assert a is b
+        assert runner.runs_executed == 1
 
     def test_empty_plan_shares_the_fault_free_slot(self):
         """A present-but-empty plan must not fragment the cache: it runs

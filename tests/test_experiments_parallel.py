@@ -1,0 +1,240 @@
+"""Parallel execution + persistent disk cache: determinism and plumbing.
+
+The load-bearing guarantee of :mod:`repro.experiments.parallel` and
+:mod:`repro.experiments.diskcache` is that neither fan-out nor persistence
+can ever change a result: a run computed in a worker process, loaded from a
+cold disk cache, or re-loaded from a warm one is *identical* (metric for
+metric) to one computed inline.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import diskcache as dc
+from repro.experiments.diskcache import DiskCache
+from repro.experiments.parallel import (
+    PARALLELIZABLE_TARGETS,
+    RunSpec,
+    grid_for_targets,
+    prefetch,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ExperimentScale,
+    make_run_key,
+)
+from repro.matrices import collection
+
+#: A deliberately tiny grid (small problems, few procs) so four full
+#: compute passes stay cheap in CI.
+TINY_SPECS = (
+    RunSpec("TWOTONE", 4, "increments", "workload"),
+    RunSpec("TWOTONE", 8, "increments", "workload"),
+    RunSpec("TWOTONE", 8, "snapshot", "workload"),
+    RunSpec("GUPTA3", 8, "naive", "memory"),
+)
+
+
+def _run_all_serial(runner):
+    return [
+        runner.run(s.problem, s.nprocs, s.mechanism, s.strategy,
+                   threaded=s.threaded)
+        for s in TINY_SPECS
+    ]
+
+
+class TestGrid:
+    def test_table5_and_6_share_one_grid(self):
+        scale = ExperimentScale(fast=True)
+        g5 = grid_for_targets(["table5"], scale)
+        g56 = grid_for_targets(["table5", "table6"], scale)
+        assert g5 == g56
+        n_large = len(collection.suite("large"))
+        assert len(g5) == n_large * len(scale.large_procs) * 2
+
+    def test_grid_matches_table_request_order(self):
+        """Insertion order must mirror tables.table5's own loop nest."""
+        scale = ExperimentScale(fast=True)
+        g = grid_for_targets(["table5"], scale)
+        expected = [
+            RunSpec(p.name, nprocs, mech, "workload")
+            for nprocs in scale.large_procs
+            for p in collection.suite("large")
+            for mech in ("increments", "snapshot")
+        ]
+        assert g == expected
+
+    def test_table7_is_threaded(self):
+        g = grid_for_targets(["table7"], ExperimentScale(fast=True))
+        assert g and all(s.threaded for s in g)
+
+    def test_unknown_targets_contribute_nothing(self):
+        assert grid_for_targets(["figure1", "ablations", "robustness"]) == []
+
+    def test_every_parallelizable_target_enumerates(self):
+        for t in PARALLELIZABLE_TARGETS:
+            assert grid_for_targets([t], ExperimentScale(fast=True))
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        runner = ExperimentRunner()
+        result = runner.run("TWOTONE", 4, "naive", "memory")
+        key = runner.key_for("TWOTONE", 4, "naive", "memory")
+        cache = DiskCache(tmp_path)
+        cache.put(key, result)
+        assert len(cache) == 1
+        loaded = DiskCache(tmp_path).get(key)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = ExperimentRunner().key_for("TWOTONE", 4, "naive", "memory")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        runner = ExperimentRunner()
+        result = runner.run("TWOTONE", 4, "naive", "memory")
+        key = runner.key_for("TWOTONE", 4, "naive", "memory")
+        cache = DiskCache(tmp_path)
+        path = cache.put(key, result)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_key_swap_detected(self, tmp_path):
+        """An entry whose payload does not match its address is rejected."""
+        runner = ExperimentRunner()
+        result = runner.run("TWOTONE", 4, "naive", "memory")
+        k1 = runner.key_for("TWOTONE", 4, "naive", "memory")
+        k2 = runner.key_for("TWOTONE", 4, "naive", "workload")
+        cache = DiskCache(tmp_path)
+        entry = {"format": dc.FORMAT_VERSION, "version": "x",
+                 "key": k1, "result": result}
+        p2 = cache.path_for(k2)
+        p2.parent.mkdir(parents=True, exist_ok=True)
+        p2.write_bytes(pickle.dumps(entry))
+        assert cache.get(k2) is None
+
+    def test_package_version_invalidates(self, tmp_path, monkeypatch):
+        runner = ExperimentRunner()
+        result = runner.run("TWOTONE", 4, "naive", "memory")
+        key = runner.key_for("TWOTONE", 4, "naive", "memory")
+        DiskCache(tmp_path).put(key, result)
+        monkeypatch.setattr(dc, "__version__", "0.0.0-other")
+        # Same key, different package version ⇒ different address ⇒ miss.
+        assert DiskCache(tmp_path).get(key) is None
+
+    def test_clear(self, tmp_path):
+        runner = ExperimentRunner()
+        result = runner.run("TWOTONE", 4, "naive", "memory")
+        cache = DiskCache(tmp_path)
+        cache.put(runner.key_for("TWOTONE", 4, "naive", "memory"), result)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunnerWithDiskCache:
+    def test_warm_cache_simulates_nothing(self, tmp_path):
+        cold = ExperimentRunner(disk_cache=DiskCache(tmp_path))
+        a = cold.run("TWOTONE", 4, "naive", "memory")
+        assert cold.runs_simulated == 1
+
+        warm = ExperimentRunner(disk_cache=DiskCache(tmp_path))
+        b = warm.run("TWOTONE", 4, "naive", "memory")
+        assert warm.runs_simulated == 0
+        assert warm.disk_hits == 1
+        assert a.to_dict() == b.to_dict()
+
+    def test_lookup_never_simulates(self, tmp_path):
+        runner = ExperimentRunner(disk_cache=DiskCache(tmp_path))
+        key = runner.key_for("TWOTONE", 4, "naive", "memory")
+        assert runner.lookup(key) is None
+        assert runner.runs_simulated == 0
+
+
+class TestParallelGoldenDeterminism:
+    """Workers and persistence must never change results."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        runner = ExperimentRunner()
+        return [r.to_dict() for r in _run_all_serial(runner)]
+
+    def test_prefetch_jobs2_matches_serial(self, golden):
+        runner = ExperimentRunner()
+        n = prefetch(runner, [], 2, specs=list(TINY_SPECS))
+        assert n == len(TINY_SPECS)
+        assert runner.runs_simulated == len(TINY_SPECS)
+        # Every subsequent .run() is a pure cache hit...
+        results = _run_all_serial(runner)
+        assert runner.runs_simulated == len(TINY_SPECS)
+        # ...and metric-for-metric identical to the serial golden runs.
+        assert [r.to_dict() for r in results] == golden
+
+    def test_prefetch_warms_shared_disk_cache(self, golden, tmp_path):
+        runner = ExperimentRunner(disk_cache=DiskCache(tmp_path))
+        prefetch(runner, [], 2, specs=list(TINY_SPECS))
+        # Workers persisted their own results (atomic, concurrent writers):
+        assert len(DiskCache(tmp_path)) == len(TINY_SPECS)
+
+        warm = ExperimentRunner(disk_cache=DiskCache(tmp_path))
+        assert prefetch(warm, [], 2, specs=list(TINY_SPECS)) == 0
+        results = _run_all_serial(warm)
+        assert warm.runs_simulated == 0
+        assert [r.to_dict() for r in results] == golden
+
+    def test_prefetch_jobs1_is_a_noop(self):
+        runner = ExperimentRunner()
+        assert prefetch(runner, ["table5"], 1) == 0
+        assert runner.runs_simulated == 0
+
+
+class TestCLI:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        """`table4 --fast` grid through the real CLI: --jobs 2 with a cold
+        disk cache, then a warm second invocation that simulates nothing,
+        with byte-identical table output and --json export throughout."""
+        from repro.experiments.__main__ import main
+
+        def invoke(name, *extra):
+            out = tmp_path / f"{name}.txt"
+            js = tmp_path / f"{name}.json"
+            rc = main(["table4", "--fast", "--out", str(out),
+                       "--json", str(js), *extra])
+            capsys.readouterr()
+            assert rc == 0
+            # Drop the timing footer: wall-clock seconds always differ.
+            tables = out.read_text().split("\n[")[0]
+            return tables, js.read_text()
+
+        cache = str(tmp_path / "cache")
+        serial_tables, serial_json = invoke("serial")
+        par_tables, par_json = invoke("parallel", "--jobs", "2",
+                                      "--cache-dir", cache)
+        warm_tables, warm_json = invoke("warm", "--cache-dir", cache)
+
+        assert par_tables == serial_tables
+        assert warm_tables == serial_tables
+        assert par_json == serial_json
+        assert warm_json == serial_json
+
+    def test_no_disk_cache_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        cache = tmp_path / "cache"
+        rc = main(["table3", "--fast", "--cache-dir", str(cache),
+                   "--no-disk-cache"])
+        capsys.readouterr()
+        assert rc == 0
+        assert not cache.exists()
+
+    def test_negative_jobs_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table3", "--fast", "--jobs", "-2"])

@@ -73,6 +73,29 @@ class TestScheduling:
         sim.run()
         assert seen == [1, 10]
 
+    def test_cancel_still_works_after_horizon_requeue(self):
+        """Regression: the horizon pause used to re-push the event's *fields*
+        as a brand-new Event, so a handle held by a caller no longer
+        cancelled the re-queued copy."""
+        sim = Simulator()
+        hit = []
+        ev = sim.schedule(10.0, lambda: hit.append(1))
+        assert sim.run(until=5.0) == "horizon"
+        sim.cancel(ev)  # must cancel the re-queued event, not a dead copy
+        assert sim.run() == "drained"
+        assert hit == []
+
+    def test_horizon_requeue_preserves_event_order(self):
+        """The re-inserted event keeps its original seq: a same-time event
+        scheduled *after* the pause still runs after it."""
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, lambda: seen.append("early-handle"))
+        sim.run(until=5.0)
+        sim.schedule_at(10.0, lambda: seen.append("late-handle"))
+        sim.run()
+        assert seen == ["early-handle", "late-handle"]
+
 
 class TestLimits:
     def test_event_limit(self):

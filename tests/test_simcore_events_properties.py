@@ -1,0 +1,176 @@
+"""Property tests for :class:`repro.simcore.events.EventQueue`.
+
+Random interleavings of push / pop / cancel / peek_time must preserve the
+queue's contract regardless of schedule shape:
+
+* pops come out in nondecreasing ``(time, priority, seq)`` order,
+* ``len()`` always equals the number of live (pushed − popped − cancelled)
+  events,
+* ``cancel`` is idempotent and skips exactly the cancelled events,
+* ``peek_time`` is read-only: it never changes what pops afterwards.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simcore.events import EventQueue
+
+# One queue operation: (op, payload).  Payloads index previously pushed
+# events for cancel, or give (time, priority) for push.
+_push = st.tuples(
+    st.just("push"),
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=20),
+    ),
+)
+_pop = st.tuples(st.just("pop"), st.none())
+_cancel = st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200))
+_peek = st.tuples(st.just("peek"), st.none())
+
+_ops = st.lists(st.one_of(_push, _pop, _cancel, _peek), max_size=120)
+
+
+def _apply(q, ops):
+    """Run an op sequence; returns (pushed, popped, cancelled_live) lists.
+
+    ``cancelled_live`` holds the events that were cancelled while still in
+    the queue — cancelling an event that already popped is legal but must
+    not (and cannot) un-deliver it.
+    """
+    pushed, popped, cancelled_live = [], [], []
+    shadow = {}  # id -> event, the events a correct queue still owes us
+    for op, payload in ops:
+        if op == "push":
+            t, prio = payload
+            ev = q.push(t, lambda: None, priority=prio)
+            pushed.append(ev)
+            shadow[id(ev)] = ev
+        elif op == "pop":
+            ev = q.pop()
+            if ev is None:
+                assert not shadow
+            else:
+                # Each pop must return the *minimum* live key of the moment
+                # (global sortedness only holds without interleaved pushes).
+                best = min(
+                    (e.time, e.priority, e.seq) for e in shadow.values()
+                )
+                assert (ev.time, ev.priority, ev.seq) == best
+                popped.append(ev)
+                del shadow[id(ev)]
+        elif op == "cancel" and pushed:
+            target = pushed[payload % len(pushed)]
+            if id(target) in shadow:
+                cancelled_live.append(target)
+                del shadow[id(target)]
+            q.cancel(target)
+        elif op == "peek":
+            t = q.peek_time()
+            if shadow:
+                assert t == min(e.time for e in shadow.values())
+            else:
+                assert t is None
+    return pushed, popped, cancelled_live
+
+
+@given(_ops)
+@settings(max_examples=200, deadline=None)
+def test_pops_nondecreasing_and_len_matches(ops):
+    q = EventQueue()
+    pushed, popped, cancelled_live = _apply(q, ops)
+
+    # Drain what's left: with no more pushes interleaved, the tail of the
+    # pop sequence must come out in nondecreasing (time, priority, seq).
+    drained = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        drained.append(ev)
+    assert len(q) == 0
+
+    keys = [(ev.time, ev.priority, ev.seq) for ev in drained]
+    assert keys == sorted(keys)
+    popped.extend(drained)
+    # Exactly the never-live-cancelled events come out, each exactly once:
+    live_cancelled_ids = {id(ev) for ev in cancelled_live}
+    assert all(id(ev) not in live_cancelled_ids for ev in popped)
+    expected = [ev for ev in pushed if id(ev) not in live_cancelled_ids]
+    assert sorted(ev.seq for ev in popped) == sorted(ev.seq for ev in expected)
+
+
+@given(_ops)
+@settings(max_examples=150, deadline=None)
+def test_len_counts_live_events_at_every_step(ops):
+    q = EventQueue()
+    pushed, popped = [], []
+    for op, payload in ops:
+        if op == "push":
+            t, prio = payload
+            pushed.append(q.push(t, lambda: None, priority=prio))
+        elif op == "pop":
+            ev = q.pop()
+            if ev is not None:
+                popped.append(ev)
+        elif op == "cancel" and pushed:
+            q.cancel(pushed[payload % len(pushed)])
+        elif op == "peek":
+            q.peek_time()
+        n_popped = len(popped)
+        popped_ids = {id(ev) for ev in popped}
+        n_cancelled_unpopped = sum(
+            1 for ev in pushed if ev.cancelled and id(ev) not in popped_ids
+        )
+        assert len(q) == len(pushed) - n_popped - n_cancelled_unpopped
+
+
+@given(_ops, st.integers(min_value=0, max_value=200))
+@settings(max_examples=150, deadline=None)
+def test_cancel_is_idempotent(ops, idx):
+    q = EventQueue()
+    pushed, _, _ = _apply(q, ops)
+    if not pushed:
+        return
+    target = pushed[idx % len(pushed)]
+    q.cancel(target)
+    n = len(q)
+    q.cancel(target)  # double-cancel via the queue
+    target.cancel()  # and via the event itself
+    q.cancel(target)
+    assert len(q) == n
+    assert all(ev is not target for ev in iter(q.pop, None))
+
+
+@given(_ops)
+@settings(max_examples=150, deadline=None)
+def test_peek_time_never_changes_pop_order(ops):
+    a, b = EventQueue(), EventQueue()
+    # Same op sequence, but `b` peeks obsessively between every step.
+    for op, payload in ops:
+        for q, peeky in ((a, False), (b, True)):
+            if peeky:
+                q.peek_time()
+            if op == "push":
+                t, prio = payload
+                q.push(t, lambda: None, priority=prio)
+            elif op == "pop":
+                q.pop()
+            elif op == "cancel":
+                pass  # cancel handles are per-queue; covered elsewhere
+            elif op == "peek":
+                q.peek_time()
+            if peeky:
+                q.peek_time()
+    # Drain both; peek agrees with pop on the head at every step of `a`.
+    seq_a = []
+    while True:
+        t = a.peek_time()
+        ev = a.pop()
+        if ev is None:
+            assert t is None
+            break
+        assert t == ev.time
+        seq_a.append((ev.time, ev.priority, ev.seq))
+    seq_b = [(ev.time, ev.priority, ev.seq) for ev in iter(b.pop, None)]
+    assert seq_a == seq_b
