@@ -1,0 +1,37 @@
+"""Static and runtime analysis of the reproduction itself.
+
+Three pillars, built because the failure mode of a simulation study is not
+a crash but a *silently wrong table*:
+
+* :mod:`repro.analysis.lint` — determinism lint (``RPA001``-``RPA004``):
+  AST rules against hidden global RNG state, wall-clock reads in simulation
+  logic, set-iteration order leaking into event order, and mutable default
+  arguments.
+* :mod:`repro.analysis.protocol` — protocol exhaustiveness: every message
+  type a mechanism (or the solver) can emit has a registered handler in
+  every receiver's declarative dispatch table, and no catalogue type is
+  dead.
+* :mod:`repro.analysis.sanitizer` — opt-in runtime causality sanitizer:
+  vector clocks threaded through every run verifying view provenance,
+  snapshot cut consistency and reservation idempotence.
+
+CLI: ``python -m repro.analysis {lint,protocol,all} [--json]``.
+The sanitizer is enabled per-run via ``SolverConfig.sanitizer`` or the
+experiment driver's ``--sanitize`` flag.
+"""
+
+from .lint import RULES, LintFinding, lint_paths, lint_source
+from .protocol import ProtocolFinding, check_protocol
+from .sanitizer import CausalitySanitizer, MonitoredLoadView, SanitizerConfig
+
+__all__ = [
+    "RULES",
+    "LintFinding",
+    "lint_paths",
+    "lint_source",
+    "ProtocolFinding",
+    "check_protocol",
+    "CausalitySanitizer",
+    "MonitoredLoadView",
+    "SanitizerConfig",
+]

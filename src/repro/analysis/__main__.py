@@ -1,0 +1,100 @@
+"""CLI for the static-analysis suite.
+
+::
+
+    python -m repro.analysis lint      [--json] [paths...]
+    python -m repro.analysis protocol  [--json] [--src-root DIR]
+    python -m repro.analysis all       [--json]
+
+Exit status 0 when clean, 1 when any finding is reported — suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .lint import RULES, LintFinding, lint_paths
+from .protocol import ProtocolFinding, check_protocol
+
+
+def _default_src_root() -> Path:
+    # .../src/repro/analysis/__main__.py -> .../src/repro
+    return Path(__file__).resolve().parent.parent
+
+
+def _run_lint(paths: Sequence[str], as_json: bool) -> int:
+    root = _default_src_root()
+    targets = [Path(p) for p in paths] if paths else [root]
+    findings: List[LintFinding] = lint_paths(targets, root=root)
+    if as_json:
+        print(json.dumps(
+            {"tool": "lint", "findings": [f.to_dict() for f in findings]},
+            indent=2,
+        ))
+    else:
+        for f in findings:
+            print(f.format())
+        print(f"lint: {len(findings)} finding(s) in {len(targets)} path(s)")
+    return 1 if findings else 0
+
+
+def _run_protocol(src_root: Optional[str], as_json: bool) -> int:
+    root = Path(src_root) if src_root else _default_src_root()
+    findings: List[ProtocolFinding] = check_protocol(root)
+    if as_json:
+        print(json.dumps(
+            {"tool": "protocol", "findings": [f.to_dict() for f in findings]},
+            indent=2,
+        ))
+    else:
+        for f in findings:
+            print(f.format())
+        print(f"protocol: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism lint and protocol-exhaustiveness checks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the determinism lint rules")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories (default: the repro package)")
+    p_lint.add_argument("--json", action="store_true", dest="as_json")
+    p_lint.add_argument("--explain", action="store_true",
+                        help="list the rule codes and exit")
+
+    p_proto = sub.add_parser("protocol",
+                             help="check handler tables against the catalogues")
+    p_proto.add_argument("--src-root", default=None,
+                         help="path to the repro package (default: installed)")
+    p_proto.add_argument("--json", action="store_true", dest="as_json")
+
+    p_all = sub.add_parser("all", help="run every check")
+    p_all.add_argument("--json", action="store_true", dest="as_json")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        if args.explain:
+            for code, desc in sorted(RULES.items()):
+                print(f"{code}: {desc}")
+            return 0
+        return _run_lint(args.paths, args.as_json)
+    if args.command == "protocol":
+        return _run_protocol(args.src_root, args.as_json)
+    # all
+    rc_lint = _run_lint([], args.as_json)
+    rc_proto = _run_protocol(None, args.as_json)
+    return 1 if (rc_lint or rc_proto) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

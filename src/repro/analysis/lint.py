@@ -1,0 +1,305 @@
+"""Determinism lint: AST rules against the bug class that skews tables.
+
+The reproduction's results (Tables 4-7) are averages over *deterministic*
+simulated runs: same config, same numbers, byte for byte.  Nondeterminism
+does not crash — it silently moves the numbers — so the dangerous patterns
+are banned statically:
+
+``RPA001``
+    Call into the global ``random`` / ``numpy.random`` module state.  All
+    randomness must flow through a seeded generator (the simulator's
+    :class:`~repro.simcore.rng.RngHub` named streams, or an explicit
+    ``numpy.random.Generator`` parameter); the global state is shared,
+    order-dependent and invisible to the run's config digest.
+
+``RPA002``
+    Wall-clock reads (``time.time``, ``perf_counter``, ``monotonic``,
+    ``datetime.now``) inside simulation logic.  Simulated time is
+    ``sim.now``; wall-clock in the simulation path makes results depend on
+    host speed.  Reporting layers (``repro.experiments``) and the
+    ``benchmarks/`` harness legitimately measure wall time and are out of
+    scope.
+
+``RPA003``
+    Iterating a set (literal, constructor or comprehension) in a loop that
+    sends messages or schedules events.  Set iteration order depends on
+    hash-table layout, so it would leak into message send order — and from
+    there into link FIFO clocks and every downstream timestamp.  Iterate
+    ``sorted(...)`` instead.
+
+``RPA004``
+    Mutable default arguments (``def f(x=[])``).  The shared default leaks
+    state across calls — across *runs* when the function is a handler —
+    which breaks run isolation.
+
+Suppression: append ``# rpa: noqa`` (all rules) or ``# rpa: noqa[RPA003]``
+(specific rules, comma-separated) to the offending line.  Run as
+``python -m repro.analysis lint`` (``--json`` for machine-readable output).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule code -> one-line description (the CLI's ``--explain`` output).
+RULES: Dict[str, str] = {
+    "RPA001": "call into global random/numpy.random state (use a seeded Generator)",
+    "RPA002": "wall-clock read in simulation logic (use sim.now)",
+    "RPA003": "set iteration order reaches message sends / scheduled events",
+    "RPA004": "mutable default argument",
+}
+
+#: Top-level ``src/repro`` sub-packages that constitute *simulation logic*
+#: for RPA002.  ``experiments`` is the reporting/caching layer: it measures
+#: wall time on purpose (run footers, perf harness) and never runs inside
+#: a simulation.
+WALLCLOCK_EXEMPT_PACKAGES: Tuple[str, ...] = ("experiments",)
+
+#: ``random``-module functions that mutate/read the hidden global state.
+_GLOBAL_RANDOM_FUNCS: Set[str] = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+    "expovariate", "random_sample", "rand", "randn", "permutation",
+    "standard_normal", "default_rng",
+}
+
+#: Wall-clock attribute reads (module.attr) banned by RPA002.
+_WALLCLOCK_CALLS: Set[Tuple[str, str]] = {
+    ("time", "time"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: Method names whose invocation inside a set-iterating loop makes the
+#: iteration order observable (message sends / event scheduling).
+_ORDER_SINKS: Set[str] = {
+    "send", "broadcast", "schedule", "schedule_at",
+    "_send_state", "_broadcast_state", "_send_sync", "_answer",
+}
+
+_NOQA_RE = re.compile(r"#\s*rpa:\s*noqa(?:\[([A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def _noqa_codes(source_line: str) -> Optional[Set[str]]:
+    """Codes suppressed on this line; empty set = all codes; None = none."""
+    m = _NOQA_RE.search(source_line)
+    if m is None:
+        return None
+    if m.group(1) is None:
+        return set()
+    return {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """`a.b.c` attribute/name chains as a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, is_simulation: bool) -> None:
+        self.path = path
+        self.is_simulation = is_simulation
+        self.findings: List[LintFinding] = []
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------ RPA001 / RPA002
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is not None:
+            parts = name.split(".")
+            # RPA001: random.shuffle(...), np.random.rand(...), ...
+            if len(parts) >= 2 and parts[-1] in _GLOBAL_RANDOM_FUNCS:
+                owner = parts[-2]
+                if owner == "random" and parts[-1] != "default_rng":
+                    self._add(
+                        node,
+                        "RPA001",
+                        f"`{name}(...)` uses hidden global RNG state; "
+                        "draw from a seeded Generator / RngHub stream",
+                    )
+            # RPA002: time.time(), datetime.now(), ...
+            if (
+                self.is_simulation
+                and len(parts) >= 2
+                and (parts[-2], parts[-1]) in _WALLCLOCK_CALLS
+            ):
+                self._add(
+                    node,
+                    "RPA002",
+                    f"`{name}()` reads the wall clock inside simulation "
+                    "logic; simulated time is `sim.now`",
+                )
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- RPA003
+
+    def _check_order_loop(self, node: ast.AST, iter_expr: ast.AST,
+                          body: Sequence[ast.stmt]) -> None:
+        if not _is_set_expr(iter_expr):
+            return
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    fname = _dotted(sub.func)
+                    if fname is not None and fname.split(".")[-1] in _ORDER_SINKS:
+                        self._add(
+                            node,
+                            "RPA003",
+                            "iterating a set while sending/scheduling: "
+                            "hash order leaks into event order; iterate "
+                            "`sorted(...)`",
+                        )
+                        return
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_order_loop(node, node.iter, node.body)
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- RPA004
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set, ast.SetComp,
+                                           ast.ListComp, ast.DictComp))
+            if not mutable and isinstance(default, ast.Call):
+                cname = _dotted(default.func)
+                if cname in ("list", "dict", "set", "bytearray"):
+                    mutable = True
+            if mutable:
+                self._add(
+                    default,
+                    "RPA004",
+                    "mutable default argument shares state across calls "
+                    "(and across runs for handlers); default to None",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+
+def _is_simulation_file(path: Path, root: Path) -> bool:
+    """RPA002 scope: under ``root`` but not in an exempt top-level package."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return True  # outside the root (e.g. a fixture): default to strict
+    return not (rel.parts and rel.parts[0] in WALLCLOCK_EXEMPT_PACKAGES)
+
+
+def lint_source(
+    source: str, path: str, *, is_simulation: bool = True
+) -> List[LintFinding]:
+    """Lint one source text; ``path`` is used only for reporting."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(path, is_simulation)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept: List[LintFinding] = []
+    for f in visitor.findings:
+        line = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
+        suppressed = _noqa_codes(line)
+        if suppressed is not None and (not suppressed or f.code in suppressed):
+            continue
+        kept.append(f)
+    return kept
+
+
+def lint_paths(paths: Iterable[Path], *, root: Optional[Path] = None) -> List[LintFinding]:
+    """Lint every ``*.py`` file under ``paths`` (files or directories)."""
+    findings: List[LintFinding] = []
+    files: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    scope_root = root if root is not None else _common_root(files)
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                str(file),
+                is_simulation=_is_simulation_file(file, scope_root),
+            )
+        )
+    return findings
+
+
+def _common_root(files: Sequence[Path]) -> Path:
+    if not files:
+        return Path(".")
+    root = files[0].resolve().parent
+    for f in files[1:]:
+        other = f.resolve()
+        while not str(other).startswith(str(root)):
+            root = root.parent
+    return root

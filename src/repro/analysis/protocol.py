@@ -1,0 +1,335 @@
+"""Protocol exhaustiveness: message catalogues vs. dispatch tables.
+
+The mechanisms and the solver dispatch messages through *declarative*
+handler tables (``Mechanism.HANDLERS``, ``SolverProcess.DATA_HANDLERS``:
+payload class → handler-method name).  That makes the protocol a closed,
+statically checkable object: this module parses the source (no imports, so
+a broken module still produces findings instead of an ImportError) and
+cross-checks
+
+* the **message catalogues** — every class carrying a ``TYPE = "..."``
+  marker in ``mechanisms/messages.py`` and ``solver/messages.py``;
+* the **emit sets** — for each receiver class, every catalogue payload it
+  constructs anywhere in its own methods or (transitively) its bases'.
+  Mechanisms are homogeneous within a run, so what a class emits is exactly
+  what its peers must be able to treat — including the resilience messages
+  (``ResyncRequest``/``StateSync``) emitted by the shared base under
+  ``MechanismConfig.resilience``;
+* the **handler tables** — ``HANDLERS`` / ``DATA_HANDLERS`` dict literals,
+  merged along the class hierarchy exactly like the runtime
+  ``__init_subclass__`` merge.
+
+Findings (each one a CI failure):
+
+``unhandled``        a class emits a payload type it has no handler for —
+                     the run would die with ``UnknownMessageError``;
+``missing-method``   a handler table names a method the class never defines;
+``unknown-type``     a handler table keys a class that is not in any
+                     catalogue (typo, or an unexported message);
+``dead-type``        a catalogue type no scanned code ever constructs —
+                     either dead wire format or a forgotten emitter.
+
+``Sequenced`` is special-cased as the resilience *transport wrapper*: it is
+emitted but never dispatched (``handle_message`` unwraps it before the
+table lookup), so it is exempt from the ``unhandled`` check while still
+subject to ``dead-type``.
+
+Run as ``python -m repro.analysis protocol`` (``--json`` for machine
+output).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Catalogue types that are unwrapped before dispatch, never dispatched.
+TRANSPORT_WRAPPERS: Set[str] = {"Sequenced"}
+
+#: Handler-table attribute names recognized in class bodies.
+HANDLER_TABLE_NAMES: Tuple[str, ...] = ("HANDLERS", "DATA_HANDLERS")
+
+
+@dataclass(frozen=True)
+class ProtocolFinding:
+    """One protocol-closure defect."""
+
+    kind: str
+    subject: str  # class or message type concerned
+    message: str
+    path: str = ""
+
+    def format(self) -> str:
+        loc = f"{self.path}: " if self.path else ""
+        return f"{loc}{self.kind}: {self.subject}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "message": self.message,
+            "path": self.path,
+        }
+
+
+@dataclass
+class _ClassInfo:
+    """What the AST tells us about one class."""
+
+    name: str
+    path: str
+    bases: List[str] = field(default_factory=list)
+    #: payload-class name -> handler-method name, from this class body only.
+    handlers: Dict[str, str] = field(default_factory=dict)
+    #: True if the class body declared a handler table at all.
+    has_table: bool = False
+    methods: Set[str] = field(default_factory=set)
+    #: catalogue payload classes constructed in this class body.
+    emits: Set[str] = field(default_factory=set)
+
+
+def _last(name: ast.AST) -> Optional[str]:
+    """Trailing identifier of a Name/Attribute chain."""
+    if isinstance(name, ast.Attribute):
+        return name.attr
+    if isinstance(name, ast.Name):
+        return name.id
+    return None
+
+
+def scan_catalogue(path: Path) -> Set[str]:
+    """Payload class names in a messages module (marked by ``TYPE = ...``)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    out: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "TYPE"
+                    for t in stmt.targets
+                )
+            ):
+                out.add(node.name)
+                break
+    return out
+
+
+def _parse_handler_table(node: ast.AST) -> Optional[Dict[str, str]]:
+    """``{PayloadClass: "method", ...}`` dict literal, else None."""
+    if not isinstance(node, ast.Dict):
+        return None
+    table: Dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ``**other`` expansion: not statically closed
+            return None
+        kname = _last(key)
+        if kname is None:
+            return None
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            table[kname] = value.value
+        else:
+            return None
+    return table
+
+
+def _scan_classes(path: Path, catalogue: Set[str]) -> List[_ClassInfo]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    infos: List[_ClassInfo] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = _ClassInfo(name=node.name, path=str(path))
+        for base in node.bases:
+            bname = _last(base)
+            if bname is not None:
+                info.bases.append(bname)
+        for stmt in node.body:
+            # HANDLERS = {...}   or   HANDLERS: ClassVar[...] = {...}
+            target: Optional[str] = None
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = _last(stmt.targets[0])
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target = _last(stmt.target)
+                value = stmt.value
+            if target in HANDLER_TABLE_NAMES and value is not None:
+                table = _parse_handler_table(value)
+                info.has_table = True
+                if table is not None:
+                    info.handlers.update(table)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods.add(stmt.name)
+        # Emit sites: catalogue constructors anywhere inside the class.
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                cname = _last(sub.func)
+                if cname in catalogue:
+                    info.emits.add(cname)
+        infos.append(info)
+    return infos
+
+
+class _ClassGraph:
+    """Name-resolved class hierarchy with runtime-equivalent table merge."""
+
+    def __init__(self, infos: Sequence[_ClassInfo]) -> None:
+        # Last definition of a name wins, mirroring import shadowing.
+        self.by_name: Dict[str, _ClassInfo] = {i.name: i for i in infos}
+
+    def _linearize(self, name: str, seen: Optional[Set[str]] = None) -> List[_ClassInfo]:
+        """Base-first chain of known classes (unknown bases are external)."""
+        if seen is None:
+            seen = set()
+        if name in seen or name not in self.by_name:
+            return []
+        seen.add(name)
+        info = self.by_name[name]
+        chain: List[_ClassInfo] = []
+        for base in info.bases:
+            for anc in self._linearize(base, seen):
+                if anc not in chain:
+                    chain.append(anc)
+        chain.append(info)
+        return chain
+
+    def merged_handlers(self, name: str) -> Dict[str, str]:
+        merged: Dict[str, str] = {}
+        for info in self._linearize(name):
+            merged.update(info.handlers)
+        return merged
+
+    def merged_emits(self, name: str) -> Set[str]:
+        out: Set[str] = set()
+        for info in self._linearize(name):
+            out.update(info.emits)
+        return out
+
+    def all_methods(self, name: str) -> Set[str]:
+        out: Set[str] = set()
+        for info in self._linearize(name):
+            out.update(info.methods)
+        return out
+
+    def is_receiver(self, name: str) -> bool:
+        """A class participating in dispatch: declares or inherits a table."""
+        return any(i.has_table for i in self._linearize(name))
+
+
+def _check_group(
+    graph: _ClassGraph,
+    catalogue: Set[str],
+    catalogue_label: str,
+) -> List[ProtocolFinding]:
+    findings: List[ProtocolFinding] = []
+    emitted_anywhere: Set[str] = set()
+    for name, info in graph.by_name.items():
+        emitted_anywhere.update(info.emits)
+        if not graph.is_receiver(name):
+            continue
+        handlers = graph.merged_handlers(name)
+        methods = graph.all_methods(name)
+        for ptype, method in handlers.items():
+            if ptype not in catalogue:
+                findings.append(
+                    ProtocolFinding(
+                        "unknown-type",
+                        ptype,
+                        f"{name} registers a handler for a type absent "
+                        f"from {catalogue_label}",
+                        path=info.path,
+                    )
+                )
+            if method not in methods:
+                findings.append(
+                    ProtocolFinding(
+                        "missing-method",
+                        name,
+                        f"handler table maps {ptype} to `{method}`, which "
+                        f"{name} never defines",
+                        path=info.path,
+                    )
+                )
+        for ptype in sorted(graph.merged_emits(name) & catalogue):
+            if ptype in TRANSPORT_WRAPPERS:
+                continue
+            if ptype not in handlers:
+                findings.append(
+                    ProtocolFinding(
+                        "unhandled",
+                        name,
+                        f"emits {ptype} but registers no handler for it — "
+                        "peers running this class would raise "
+                        "UnknownMessageError",
+                        path=info.path,
+                    )
+                )
+    for ptype in sorted(catalogue - emitted_anywhere):
+        findings.append(
+            ProtocolFinding(
+                "dead-type",
+                ptype,
+                f"declared in {catalogue_label} but never constructed by "
+                "any scanned module — dead wire format or missing emitter",
+            )
+        )
+    return findings
+
+
+def check_protocol(
+    src_root: Path,
+    *,
+    extra_mechanism_files: Iterable[Path] = (),
+) -> List[ProtocolFinding]:
+    """Cross-check the repository's protocols; empty list = closed.
+
+    ``src_root`` is the path to the ``repro`` package.
+    ``extra_mechanism_files`` join the mechanism class graph — used by the
+    tests to prove that a deliberately incomplete mechanism is caught.
+    """
+    findings: List[ProtocolFinding] = []
+
+    mech_catalogue = scan_catalogue(src_root / "mechanisms" / "messages.py")
+    mech_files = sorted((src_root / "mechanisms").glob("*.py"))
+    mech_files.extend(extra_mechanism_files)
+    mech_infos: List[_ClassInfo] = []
+    for f in mech_files:
+        if f.name == "messages.py":
+            continue
+        mech_infos.extend(_scan_classes(f, mech_catalogue))
+    findings.extend(
+        _check_group(
+            _ClassGraph(mech_infos), mech_catalogue, "mechanisms/messages.py"
+        )
+    )
+
+    solver_catalogue = scan_catalogue(src_root / "solver" / "messages.py")
+    solver_infos: List[_ClassInfo] = []
+    for f in sorted((src_root / "solver").glob("*.py")):
+        if f.name == "messages.py":
+            continue
+        solver_infos.extend(_scan_classes(f, solver_catalogue))
+    solver_graph = _ClassGraph(solver_infos)
+    findings.extend(
+        _check_group(solver_graph, solver_catalogue, "solver/messages.py")
+    )
+    # The solver protocol is additionally *total*: every DATA-channel type
+    # must be treatable by SolverProcess, emitted or not (fronts of every
+    # type can appear in any tree).
+    sp_handlers = solver_graph.merged_handlers("SolverProcess")
+    for ptype in sorted(solver_catalogue - set(sp_handlers)):
+        if ptype not in TRANSPORT_WRAPPERS:
+            findings.append(
+                ProtocolFinding(
+                    "unhandled",
+                    "SolverProcess",
+                    f"solver catalogue type {ptype} has no DATA_HANDLERS "
+                    "entry",
+                )
+            )
+    return findings

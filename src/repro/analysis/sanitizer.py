@@ -1,0 +1,279 @@
+"""Vector-clock causality sanitizer (opt-in runtime checker).
+
+The mechanisms' whole purpose is to give each process a *causally
+consistent* estimate of remote loads: a view entry may be stale (that is
+the phenomenon the paper measures) but must never be **fresher than the
+messages actually received** — a future-view read means the simulator
+leaked state across process boundaries, and the numbers in Tables 4-7 stop
+modelling a message-passing machine.  This module verifies that property at
+runtime, plus two protocol-level invariants:
+
+* **view provenance** — a process's live :class:`~repro.mechanisms.view.
+  LoadView` may only be written from that process's own execution context
+  (message treatment, task bracket, decision callback).  Every legitimate
+  path to a view entry goes through a treated message, so any write from
+  the wrong context (or from no context, e.g. the engine) is exactly a
+  future-view / shared-memory leak.  Enforced by wrapping each live view in
+  :class:`MonitoredLoadView`;
+* **consistent cut** — a snapshot gather must observe a consistent cut of
+  the *load-information flow* (vector clocks are threaded through STATE
+  -channel messages; DATA-channel application traffic is invisible to the
+  views and does not define the cut): with :math:`V_q` the vector clock of
+  member *q* at its cut point (just after its first ``snp`` answer for that
+  request, so the answer itself is inside the cut; the initiator's cut
+  point is gather completion), :math:`V_q[r] \\le V_r[r]` must hold for all
+  members *q, r* — otherwise a state message sent *after* r's cut was
+  received *before* q's, and the gathered "global state" never existed;
+* **reservation idempotence** — a ``Master_To_All`` / ``master_to_slave``
+  reservation (identified by ``(master, decision)``) is applied at most
+  once per process; a double application permanently corrupts load
+  accounting without any immediate symptom.
+
+The sanitizer is a :class:`~repro.simcore.monitor.RunMonitor`: it observes
+sends, treatments and context switches, maintains one vector clock per
+process, and **never** schedules events, charges CPU or mutates state — a
+sanitized run's results are identical to an unsanitized one.  Violations
+raise :class:`~repro.simcore.errors.CausalityViolation` carrying a short
+replayable excerpt of the most recent events.
+
+Scope: the checks are calibrated for paper-faithful (reliable-network)
+runs.  Under ``MechanismConfig.resilience`` retransmission timers apply
+view updates from timer context and re-answers blur snapshot cut points;
+disable :attr:`SanitizerConfig.check_view_provenance` /
+:attr:`SanitizerConfig.check_consistent_cut` when sanitizing such runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..mechanisms.view import Load, LoadView
+from ..simcore.errors import CausalityViolation
+from ..simcore.monitor import RunMonitor
+from ..simcore.network import Channel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mechanisms.base import MechanismShared
+    from ..simcore.engine import Simulator
+    from ..simcore.network import Envelope, Network
+    from ..simcore.process import SimProcess
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Which invariants to verify (all on by default)."""
+
+    check_view_provenance: bool = True
+    check_consistent_cut: bool = True
+    check_reservations: bool = True
+    #: Number of recent events kept for the violation trace excerpt.
+    trace_depth: int = 16
+
+
+class MonitoredLoadView(LoadView):
+    """A live :class:`LoadView` that reports every write to the sanitizer.
+
+    ``copy()`` intentionally returns a plain :class:`LoadView` (the base
+    implementation), so decision-time snapshots handed to the schedulers
+    are not monitored — only the *live* view is provenance-checked.
+    """
+
+    __slots__ = ("_sanitizer", "_owner")
+
+    def __init__(self, nprocs: int, sanitizer: "CausalitySanitizer", owner: int) -> None:
+        super().__init__(nprocs)
+        self._sanitizer = sanitizer
+        self._owner = owner
+
+    @classmethod
+    def wrap(
+        cls, view: LoadView, sanitizer: "CausalitySanitizer", owner: int
+    ) -> "MonitoredLoadView":
+        out = cls(view.nprocs, sanitizer, owner)
+        out.workload[:] = view.workload
+        out.memory[:] = view.memory
+        return out
+
+    def set(self, rank: int, load: Load) -> None:
+        self._sanitizer.view_write(self._owner, rank)
+        super().set(rank, load)
+
+    def add(self, rank: int, delta: Load) -> None:
+        self._sanitizer.view_write(self._owner, rank)
+        super().add(rank, delta)
+
+
+class CausalitySanitizer(RunMonitor):
+    """Threads vector clocks through one run and checks the invariants."""
+
+    def __init__(self, config: Optional[SanitizerConfig] = None) -> None:
+        self.config = config or SanitizerConfig()
+        self.nprocs = 0
+        self._sim: Optional["Simulator"] = None
+        #: One vector clock per rank.
+        self._vc: List[List[int]] = []
+        #: Clock snapshot attached to each in-flight message (by env.seq).
+        self._msg_vc: Dict[int, Tuple[int, ...]] = {}
+        #: Execution-context stack (rank of the currently running process).
+        self._ctx: List[int] = []
+        #: First-answer clock per snapshot member: (initiator, req) -> {src: vc}.
+        self._answer_vc: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+        #: Reservations already applied: (applier, master, decision).
+        self._applied: Set[Tuple[int, int, int]] = set()
+        self._trace: Deque[str] = deque(maxlen=self.config.trace_depth)
+        self.stats: "Counter[str]" = Counter()
+
+    # -------------------------------------------------------------- wiring
+
+    def install(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        procs: Sequence["SimProcess"],
+        shared: Optional["MechanismShared"] = None,
+    ) -> None:
+        """Attach to a fully constructed run, just before ``sim.run()``.
+
+        Installs the monitor hooks, publishes itself through the mechanisms'
+        shared state, and wraps every live view in
+        :class:`MonitoredLoadView` (views must already be initialized —
+        static-mapping seeding happens outside any process context by
+        design and is not subject to the provenance check).
+        """
+        self._sim = sim
+        self.nprocs = network.nprocs
+        self._vc = [[0] * self.nprocs for _ in range(self.nprocs)]
+        network.install_monitor(self)
+        for p in procs:
+            p.monitor = self
+        if shared is not None:
+            shared.sanitizer = self
+        if self.config.check_view_provenance:
+            for p in procs:
+                mech = getattr(p, "mechanism", None)
+                if mech is not None:
+                    mech.view = MonitoredLoadView.wrap(mech.view, self, p.rank)
+
+    # ------------------------------------------------------- monitor hooks
+
+    def on_send(self, env: "Envelope") -> None:
+        # The clocks order *load-information* flow: DATA-channel application
+        # traffic is invisible to the views, so it does not define the cut.
+        if env.channel is not Channel.STATE:
+            return
+        vc = self._vc[env.src]
+        vc[env.src] += 1
+        self._msg_vc[env.seq] = tuple(vc)
+        self.stats["messages_tracked"] += 1
+        self._note(
+            f"send {env.payload.type_name} P{env.src}->P{env.dst} "
+            f"vc{env.src}={vc[env.src]}"
+        )
+
+    def on_treat(self, rank: int, env: "Envelope") -> None:
+        if env.channel is not Channel.STATE:
+            return
+        snap = self._msg_vc.get(env.seq)
+        mine = self._vc[rank]
+        if snap is not None:
+            for i, v in enumerate(snap):
+                if v > mine[i]:
+                    mine[i] = v
+        mine[rank] += 1
+        self.stats["messages_treated"] += 1
+        self._note(
+            f"treat {env.payload.type_name} P{env.src}->P{rank} "
+            f"vc{rank}={mine[rank]}"
+        )
+
+    def enter_context(self, rank: int) -> None:
+        self._ctx.append(rank)
+
+    def leave_context(self, rank: int) -> None:
+        if self._ctx and self._ctx[-1] == rank:
+            self._ctx.pop()
+
+    # --------------------------------------------------- invariant checks
+
+    def view_write(self, owner: int, entry_rank: int) -> None:
+        """Called by :class:`MonitoredLoadView` before every live write."""
+        if not self.config.check_view_provenance:
+            return
+        current = self._ctx[-1] if self._ctx else None
+        if current != owner:
+            where = f"P{current}'s context" if current is not None else "no context"
+            self._note(f"WRITE P{owner}.view[{entry_rank}] from {where}")
+            self._fail(
+                "view-provenance",
+                f"P{owner}'s live view entry for P{entry_rank} was written "
+                f"from {where}: state crossed a process boundary without a "
+                "message (future-view leak)",
+            )
+        self.stats["view_writes"] += 1
+
+    def snapshot_answer(self, src: int, initiator: int, req: int) -> None:
+        """``src`` answers ``initiator``'s snapshot request ``req``.
+
+        The *first* answer defines ``src``'s cut point for that request
+        (resilience re-answers are retransmissions of the same state).
+        """
+        if not self.config.check_consistent_cut:
+            return
+        bucket = self._answer_vc.setdefault((initiator, req), {})
+        if src not in bucket:
+            bucket[src] = tuple(self._vc[src])
+        self.stats["answers_recorded"] += 1
+
+    def gather_complete(
+        self, initiator: int, req: int, members: Sequence[int]
+    ) -> None:
+        """``initiator`` completed gather ``req``; verify the cut."""
+        if not self.config.check_consistent_cut:
+            return
+        self.stats["snapshots_checked"] += 1
+        bucket = self._answer_vc.pop((initiator, req), {})
+        cut: Dict[int, Tuple[int, ...]] = {initiator: tuple(self._vc[initiator])}
+        for m in members:
+            if m in bucket:
+                cut[m] = bucket[m]
+        for q, vq in cut.items():
+            for r, vr in cut.items():
+                if q != r and vq[r] > vr[r]:
+                    self._fail(
+                        "inconsistent-cut",
+                        f"snapshot (initiator P{initiator}, req {req}): "
+                        f"P{q}'s cut state reflects {vq[r]} events of P{r} "
+                        f"but P{r}'s own cut point is {vr[r]} — a message "
+                        "sent after the cut was received inside it",
+                    )
+
+    def reservation_applied(self, applier: int, master: int, decision: int) -> None:
+        """``applier`` accounts reservation ``decision`` of ``master``."""
+        if not self.config.check_reservations:
+            return
+        key = (applier, master, decision)
+        if key in self._applied:
+            self._fail(
+                "reservation-replay",
+                f"P{applier} applied the reservation of P{master}'s "
+                f"decision #{decision} twice — load accounting is now "
+                "permanently skewed",
+            )
+        self._applied.add(key)
+        self.stats["reservations_tracked"] += 1
+
+    # -------------------------------------------------------------- output
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Counters of everything observed (all zeros = nothing monitored)."""
+        return dict(sorted(self.stats.items()))
+
+    def _note(self, detail: str) -> None:
+        now = self._sim.now if self._sim is not None else 0.0
+        self._trace.append(f"t={now:.9f} {detail}")
+
+    def _fail(self, invariant: str, detail: str) -> None:
+        self.stats["violations"] += 1
+        raise CausalityViolation(invariant, detail, trace=tuple(self._trace))

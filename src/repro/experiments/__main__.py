@@ -69,6 +69,10 @@ def main(argv=None) -> int:
     ap.add_argument("--no-disk-cache", action="store_true",
                     help="ignore --cache-dir/$REPRO_CACHE_DIR and keep "
                          "results in memory only")
+    ap.add_argument("--sanitize", action="store_true",
+                    help="run every simulation under the vector-clock "
+                         "causality sanitizer (repro.analysis); results are "
+                         "identical, violations abort the run")
     faults = ap.add_argument_group(
         "faults", "knobs for the `robustness` target (repro.faults)"
     )
@@ -115,7 +119,8 @@ def main(argv=None) -> int:
         disk_cache = DiskCache(args.cache_dir)
 
     runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
-                              verbose=args.verbose, disk_cache=disk_cache)
+                              verbose=args.verbose, disk_cache=disk_cache,
+                              sanitize=args.sanitize)
     out: List[str] = []
     t0 = time.time()
 

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
+from ..analysis.sanitizer import SanitizerConfig
 from ..matrices import collection
 from ..solver.driver import FactorizationResult, SolverConfig, run_factorization
 from .diskcache import DiskCache, config_digest
@@ -95,6 +96,11 @@ class ExperimentRunner:
         Optional persistent result store shared across invocations and
         parallel workers.  ``runs_simulated`` counts only actual
         simulations, so a warm cache shows ``0`` new factorizations.
+    sanitize:
+        Thread the causality sanitizer through every run (``--sanitize``).
+        Folded into ``base_config``, so parallel prefetch workers and cache
+        keys see it too; sanitized runs never share cache slots with
+        unsanitized ones (the results coincide, their stats do not).
     """
 
     def __init__(
@@ -103,8 +109,13 @@ class ExperimentRunner:
         scale: Optional[ExperimentScale] = None,
         verbose: bool = False,
         disk_cache: Optional[DiskCache] = None,
+        sanitize: bool = False,
     ) -> None:
         self.base_config = base_config or SolverConfig()
+        if sanitize and self.base_config.sanitizer is None:
+            self.base_config = replace(
+                self.base_config, sanitizer=SanitizerConfig()
+            )
         self.scale = scale or ExperimentScale()
         self.verbose = verbose
         self.disk_cache = disk_cache

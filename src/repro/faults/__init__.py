@@ -17,7 +17,14 @@ guarantees.
 """
 
 from .injector import FaultInjector, FaultStats
-from .plan import CrashFault, FaultPlan, LinkFault, ScriptedFault, SlowdownFault
+from .plan import (
+    CrashFault,
+    FaultPlan,
+    LinkFault,
+    ScriptedFault,
+    SlowdownFault,
+    StateLeakFault,
+)
 
 __all__ = [
     "FaultPlan",
@@ -25,6 +32,7 @@ __all__ = [
     "ScriptedFault",
     "CrashFault",
     "SlowdownFault",
+    "StateLeakFault",
     "FaultInjector",
     "FaultStats",
 ]

@@ -39,6 +39,7 @@ class FaultStats:
     delayed: int = 0
     crashes: int = 0
     slowdowns: int = 0
+    leaks: int = 0
     dropped_by_type: Counter = field(default_factory=Counter)
 
     def total_faults(self) -> int:
@@ -154,6 +155,35 @@ class FaultInjector:
                 lambda p=proc: self._set_speed(p, 1.0),
                 label=f"fault:slow-end:P{sl.rank}",
             )
+        for lk in self.plan.leaks:
+            proc = by_rank.get(lk.rank)
+            if proc is None:
+                raise ValueError(f"leak plan names unknown rank {lk.rank}")
+            self.sim.schedule_at(
+                lk.time,
+                lambda p=proc, f=lk: self._fire_leak(p, f),
+                label=f"fault:leak:P{lk.rank}",
+            )
+
+    def _fire_leak(self, proc: "SimProcess", fault) -> None:
+        from ..mechanisms.view import Load
+
+        mech = getattr(proc, "mechanism", None)
+        if mech is None:
+            raise ValueError(
+                f"rank {fault.rank} has no mechanism to leak state into"
+            )
+        self.stats.leaks += 1
+        if self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now,
+                "fault",
+                f"state-leak:P{fault.rank}[{fault.entry_rank}]",
+                who=fault.rank,
+            )
+        # Deliberately bypasses every message path: the write happens from
+        # the engine's context, exactly like a shared-memory bug would.
+        mech.view.set(fault.entry_rank, Load(fault.workload, fault.memory))
 
     def _fire_crash(self, proc: "SimProcess") -> None:
         if proc.rank in self._crashed:

@@ -107,6 +107,26 @@ class SlowdownFault:
 
 
 @dataclass(frozen=True)
+class StateLeakFault:
+    """Shared-memory-style state corruption, messageless by design.
+
+    At simulated ``time``, rank ``rank``'s live load view entry for
+    ``entry_rank`` is overwritten with ``Load(workload, memory)`` without
+    any message being exchanged — the cross-process "leak" that breaks
+    happens-before reasoning.  Without the causality sanitizer this
+    silently skews every later decision of ``rank``; with ``--sanitize``
+    the write is caught as a view-provenance violation, which is exactly
+    what the sanitizer's negative tests rely on.
+    """
+
+    rank: int
+    entry_rank: int
+    time: float
+    workload: float = 0.0
+    memory: float = 0.0
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, immutable fault scenario for one run."""
 
@@ -114,13 +134,20 @@ class FaultPlan:
     scripted: Tuple[ScriptedFault, ...] = ()
     crashes: Tuple[CrashFault, ...] = ()
     slowdowns: Tuple[SlowdownFault, ...] = ()
+    leaks: Tuple[StateLeakFault, ...] = ()
     #: Folded into the injector's RNG stream name: two otherwise identical
     #: plans with different salts produce different (but each deterministic)
     #: fault sequences — the robustness sweeps' replication axis.
     seed_salt: int = 0
 
     def is_empty(self) -> bool:
-        return not (self.link_faults or self.scripted or self.crashes or self.slowdowns)
+        return not (
+            self.link_faults
+            or self.scripted
+            or self.crashes
+            or self.slowdowns
+            or self.leaks
+        )
 
     def describe(self) -> str:
         """Canonical, order-stable text form (the input of :meth:`tag`)."""
@@ -143,6 +170,11 @@ class FaultPlan:
         for sl in self.slowdowns:
             parts.append(
                 f"slow(P{sl.rank}@{sl.start!r}+{sl.duration!r}x{sl.factor!r})"
+            )
+        for lk in self.leaks:
+            parts.append(
+                f"leak(P{lk.rank}[{lk.entry_rank}]@{lk.time!r}:"
+                f"w={lk.workload!r},m={lk.memory!r})"
             )
         return ";".join(parts)
 

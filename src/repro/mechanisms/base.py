@@ -18,6 +18,15 @@ process interacts with it through five upcalls:
 
 and one downcall contract: the process asks :meth:`Mechanism.blocks_tasks`
 before starting any task, which is how snapshots freeze computation.
+
+Message dispatch is **declarative and closed**: every mechanism lists its
+handlers in a class-level :data:`HANDLERS` table mapping payload classes to
+method names.  Tables are merged over the MRO at class-creation time, so the
+protocol-exhaustiveness checker (:mod:`repro.analysis.protocol`) can read
+them statically, and a payload type absent from every table raises
+:class:`~repro.simcore.errors.UnknownMessageError` instead of being silently
+dropped — a dropped state message would skew the receiver's view (and the
+paper's Tables 4-7) without ever crashing.
 """
 
 from __future__ import annotations
@@ -26,14 +35,28 @@ import dataclasses
 from abc import ABC, abstractmethod
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
-from ..simcore.errors import ProtocolError
+from ..simcore.errors import ProtocolError, UnknownMessageError
 from ..simcore.network import Channel, Envelope, Payload
+from .messages import NoMoreMaster, ResyncRequest, Sequenced, StateSync
 from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import CausalitySanitizer
     from ..simcore.engine import Simulator
+    from ..simcore.events import Event
     from ..simcore.network import Network
     from ..simcore.process import SimProcess
 
@@ -91,12 +114,12 @@ class SnapshotStats:
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
-        self._active: set = set()
+        self._active: Set[int] = set()
         self._union_started_at = 0.0
         self.union_time = 0.0
         self.total_snapshots = 0
         self.max_concurrent = 0
-        self.per_snapshot_durations: list = []
+        self.per_snapshot_durations: List[float] = []
         self._initiated_at: Dict[int, float] = {}
 
     def initiation_started(self, rank: int) -> None:
@@ -127,6 +150,9 @@ class MechanismShared:
     snapshot_stats: Optional[SnapshotStats] = None
     #: Global truth view used by the oracle baseline (created on bind).
     oracle_view: Optional["LoadView"] = None
+    #: Optional causality sanitizer (repro.analysis); mechanisms call its
+    #: hooks when set.  Pure observer: never affects protocol behaviour.
+    sanitizer: Optional["CausalitySanitizer"] = None
 
 
 class _RxState:
@@ -140,7 +166,7 @@ class _RxState:
         #: Sequence numbers ≤ floor are subsumed by a received StateSync:
         #: late arrivals below it are stale and missing ones are resolved.
         self.floor = 0
-        self.nack_event = None
+        self.nack_event: Optional["Event"] = None
         self.nack_tries = 0
 
     def missing(self) -> bool:
@@ -158,6 +184,31 @@ class Mechanism(ABC):
     #: request.  Demand-driven mechanisms (snapshot) turn this off: their
     #: request/answer traffic has its own timeout-based retransmission.
     gap_nack: bool = True
+    #: Declarative message dispatch: payload class → handler method name.
+    #: Subclasses declare only their *own* handlers; tables are merged over
+    #: the MRO into ``_DISPATCH`` at class-creation time.
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        NoMoreMaster: "_on_no_more_master",
+        ResyncRequest: "_on_resync_request",
+        StateSync: "_on_state_sync",
+    }
+    #: Merged dispatch table (computed; do not declare directly).
+    _DISPATCH: ClassVar[Dict[Type[Payload], str]] = dict(HANDLERS)
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        merged: Dict[Type[Payload], str] = {}
+        for klass in reversed(cls.__mro__):
+            own = klass.__dict__.get("HANDLERS")
+            if own:
+                merged.update(own)
+        for payload_cls, method in merged.items():
+            if not callable(getattr(cls, method, None)):
+                raise TypeError(
+                    f"{cls.__name__}.HANDLERS maps {payload_cls.__name__} to "
+                    f"missing handler {method!r}"
+                )
+        cls._DISPATCH = merged
 
     def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         self.config = config or MechanismConfig()
@@ -169,7 +220,7 @@ class Mechanism(ABC):
         self.view: LoadView = LoadView(0)
         self._my_load = Load.ZERO
         #: Ranks that declared No_more_master: stop sending them load info.
-        self._dont_send_to: set = set()
+        self._dont_send_to: Set[int] = set()
         self._announced_no_more_master = False
         self.shared = MechanismShared()
         # resilience layer (inert unless config.resilience)
@@ -181,7 +232,7 @@ class Mechanism(ABC):
         self.updates_sent = 0
         #: Resilience-layer event counters (duplicates dropped, stale
         #: discards, NACKs sent, syncs sent/received, retransmissions...).
-        self.resilience_stats: Counter = Counter()
+        self.resilience_stats: "Counter[str]" = Counter()
 
     # -------------------------------------------------------------- binding
 
@@ -196,7 +247,7 @@ class Mechanism(ABC):
         if shared is not None:
             self.shared = shared
 
-    def initialize_view(self, loads) -> None:
+    def initialize_view(self, loads: Sequence[Load]) -> None:
         """Seed the view with the statically known initial loads.
 
         The static mapping (subtree costs, factor placement) is computed by
@@ -250,7 +301,7 @@ class Mechanism(ABC):
     def decision_complete(self) -> None:
         """The decision's work messages are sent; finish the protocol."""
 
-    def decision_candidates(self):
+    def decision_candidates(self) -> Optional[List[int]]:
         """Ranks eligible as slaves for the pending decision, or None for
         "all other ranks" (restricted by the partial-snapshot extension)."""
         return None
@@ -269,6 +320,7 @@ class Mechanism(ABC):
         """Cancel any self-scheduled activity (called when the run ends)."""
         for st in self._rx.values():
             if st.nack_event is not None:
+                assert self.sim is not None
                 self.sim.cancel(st.nack_event)
                 st.nack_event = None
 
@@ -277,8 +329,6 @@ class Mechanism(ABC):
         if not self.config.no_more_master or self._announced_no_more_master:
             return
         self._announced_no_more_master = True
-        from .messages import NoMoreMaster
-
         self._broadcast_state(NoMoreMaster(), respect_silence=False)
 
     # --------------------------------------------------------- message side
@@ -288,36 +338,54 @@ class Mechanism(ABC):
 
         This is the single entry point (the process model calls it).  It
         unwraps the resilience layer (sequence check: duplicates and stale
-        messages are consumed silently), handles the layer's own messages,
-        then dispatches to the mechanism's :meth:`_handle_protocol`.
+        messages are consumed silently), then dispatches through the merged
+        :data:`HANDLERS` table.  A payload type with no registered handler
+        raises :class:`UnknownMessageError` — dispatch is closed by design.
         """
-        from .messages import NoMoreMaster, ResyncRequest, Sequenced, StateSync
-
         payload = env.payload
         if isinstance(payload, Sequenced):
             if not self._accept_sequenced(env.src, payload.seq):
                 return True
             env = dataclasses.replace(env, payload=payload.inner)
             payload = env.payload
-        if isinstance(payload, NoMoreMaster):
-            self._dont_send_to.add(env.src)
-            return True
-        if isinstance(payload, ResyncRequest):
-            self._on_resync_request(env.src)
-            return True
-        if isinstance(payload, StateSync):
-            self._on_state_sync(env.src, payload)
-            return True
-        return self._handle_protocol(env)
+        self._pre_dispatch(env)
+        method = self._DISPATCH.get(type(payload))
+        if method is None:
+            raise UnknownMessageError(self.rank, payload.type_name)
+        handler: Callable[[Envelope], None] = getattr(self, method)
+        handler(env)
+        return True
 
-    def _handle_protocol(self, env: Envelope) -> bool:
-        """Mechanism-specific message dispatch (override; no super() chain
-        needed — common and resilience messages are consumed upstream)."""
-        return False
+    def _pre_dispatch(self, env: Envelope) -> None:
+        """Hook run on every (unwrapped) message before its handler
+        (the snapshot mechanism resurrects suspected-dead senders here)."""
 
     def blocks_tasks(self) -> bool:
         """Whether the process must refrain from starting tasks right now."""
         return False
+
+    # ------------------------------------------------------ common handlers
+
+    def _on_no_more_master(self, env: Envelope) -> None:
+        self._dont_send_to.add(env.src)
+
+    def _on_resync_request(self, env: Envelope) -> None:
+        self.resilience_stats["resync_requests_received"] += 1
+        self._send_sync(env.src)
+
+    def _on_state_sync(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, StateSync)
+        self.resilience_stats["syncs_received"] += 1
+        st = self._rx_state(env.src)
+        if payload.upto > st.floor:
+            st.floor = payload.upto
+            st.seen = {s for s in st.seen if s > st.floor}
+        if st.nack_event is not None and not st.missing():
+            assert self.sim is not None
+            self.sim.cancel(st.nack_event)
+            st.nack_event = None
+        self._apply_state_sync(env.src, payload.load)
 
     # ----------------------------------------------------- resilience layer
 
@@ -340,6 +408,7 @@ class Mechanism(ABC):
         if seq > st.max_seq:
             st.max_seq = seq
         if self.gap_nack and st.missing() and st.nack_event is None:
+            assert self.sim is not None
             st.nack_tries = 0
             st.nack_event = self.sim.schedule(
                 self.config.nack_delay,
@@ -363,36 +432,18 @@ class Mechanism(ABC):
             self.resilience_stats["gaps_abandoned"] += 1
             return
         self.resilience_stats["nacks_sent"] += 1
-        from .messages import ResyncRequest
-
         self._send_state(src, ResyncRequest())
+        assert self.sim is not None
         st.nack_event = self.sim.schedule(
             self.config.retry_timeout,
             lambda: self._check_gap(src),
             label=f"nack-check:P{self.rank}<-P{src}",
         )
 
-    def _on_resync_request(self, src: int) -> None:
-        self.resilience_stats["resync_requests_received"] += 1
-        self._send_sync(src)
-
     def _send_sync(self, dst: int) -> None:
-        from .messages import StateSync
-
         self.resilience_stats["syncs_sent"] += 1
         upto = self._tx_seq.get(dst, 0)
         self._send_state(dst, StateSync(load=self._my_load, upto=upto))
-
-    def _on_state_sync(self, src: int, payload) -> None:
-        self.resilience_stats["syncs_received"] += 1
-        st = self._rx_state(src)
-        if payload.upto > st.floor:
-            st.floor = payload.upto
-            st.seen = {s for s in st.seen if s > st.floor}
-        if st.nack_event is not None and not st.missing():
-            self.sim.cancel(st.nack_event)
-            st.nack_event = None
-        self._apply_state_sync(src, payload.load)
 
     def _apply_state_sync(self, src: int, load: Load) -> None:
         """Fold a peer's absolute state into the view (override as needed)."""
@@ -416,8 +467,6 @@ class Mechanism(ABC):
     def _send_state(self, dst: int, payload: Payload) -> None:
         assert self.network is not None
         if self.config.resilience:
-            from .messages import Sequenced
-
             seq = self._tx_seq.get(dst, 0) + 1
             self._tx_seq[dst] = seq
             payload = Sequenced(seq=seq, inner=payload)
@@ -428,7 +477,7 @@ class Mechanism(ABC):
         if self.config.resilience:
             # Per-destination sequence numbers force a point-to-point loop
             # (same message count and sender cost as Network.broadcast).
-            exclude = self._dont_send_to if respect_silence else ()
+            exclude: Set[int] = self._dont_send_to if respect_silence else set()
             nsent = 0
             for dst in range(self.nprocs):
                 if dst == self.rank or dst in exclude:
@@ -436,9 +485,11 @@ class Mechanism(ABC):
                 self._send_state(dst, payload)
                 nsent += 1
             return nsent
-        exclude = self._dont_send_to if respect_silence else ()
         return self.network.broadcast(
-            self.rank, Channel.STATE, payload, exclude=exclude
+            self.rank,
+            Channel.STATE,
+            payload,
+            exclude=self._dont_send_to if respect_silence else (),
         )
 
     def _require_bound(self) -> None:

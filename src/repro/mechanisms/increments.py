@@ -24,10 +24,10 @@ is what we implement.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import ClassVar, Dict, Mapping, Optional, Type
 
-from ..simcore.network import Envelope
-from .base import Mechanism, ViewCallback
+from ..simcore.network import Envelope, Payload
+from .base import Mechanism, MechanismConfig, ViewCallback
 from .messages import MasterToAll, UpdateIncrement
 from .view import Load
 
@@ -38,7 +38,12 @@ class IncrementsMechanism(Mechanism):
     name = "increments"
     maintains_view = True
 
-    def __init__(self, config=None) -> None:
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        UpdateIncrement: "_on_update_increment",
+        MasterToAll: "_on_master_to_all",
+    }
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         super().__init__(config)
         #: ∆load of Algorithm 3: deltas accumulated since the last Update.
         self._accum = Load.ZERO
@@ -73,24 +78,34 @@ class IncrementsMechanism(Mechanism):
         # slaves must learn their reservations even if they never select
         # slaves themselves (only Update traffic is suppressed, §2.3).
         self._broadcast_state(
-            MasterToAll(assignments=dict(assignments)), respect_silence=False
+            MasterToAll(assignments=dict(assignments), decision=self.decisions),
+            respect_silence=False,
         )
         # Local application (the broadcast does not loop back to the sender).
-        self._apply_master_to_all(assignments)
+        self._apply_master_to_all(
+            assignments, master=self.rank, decision=self.decisions
+        )
 
     # --------------------------------------------------------- message side
 
-    def _handle_protocol(self, env: Envelope) -> bool:
+    def _on_update_increment(self, env: Envelope) -> None:
         payload = env.payload
-        if isinstance(payload, UpdateIncrement):
-            self.view.add(env.src, payload.delta)
-            return True
-        if isinstance(payload, MasterToAll):
-            self._apply_master_to_all(payload.assignments)
-            return True
-        return False
+        assert isinstance(payload, UpdateIncrement)
+        self.view.add(env.src, payload.delta)
 
-    def _apply_master_to_all(self, assignments: Dict[int, Load]) -> None:
+    def _on_master_to_all(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, MasterToAll)
+        self._apply_master_to_all(
+            payload.assignments, master=env.src, decision=payload.decision
+        )
+
+    def _apply_master_to_all(
+        self, assignments: Dict[int, Load], *, master: int, decision: int
+    ) -> None:
+        sanitizer = self.shared.sanitizer
+        if sanitizer is not None:
+            sanitizer.reservation_applied(self.rank, master, decision)
         for rank, share in assignments.items():
             if rank == self.rank:
                 # I am one of the selected slaves: account the reserved work

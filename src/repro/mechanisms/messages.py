@@ -46,6 +46,10 @@ class MasterToAll(Payload):
 
     TYPE = "master_to_all"
     assignments: Dict[int, Load] = field(default_factory=dict)
+    #: Per-master decision counter identifying the reservation (fits in the
+    #: message header; lets the causality sanitizer prove each reservation
+    #: is applied at most once per receiver).
+    decision: int = 0
 
     def nbytes(self) -> int:
         return 32 + 24 * len(self.assignments)
@@ -180,6 +184,8 @@ class MasterToSlave(Payload):
     delta: Load = Load.ZERO
     #: Resilience retransmission token (0 on paper-faithful runs).
     token: int = 0
+    #: Per-master decision counter (see :class:`MasterToAll`).
+    decision: int = 0
 
     def nbytes(self) -> int:
         return 48

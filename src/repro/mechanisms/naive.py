@@ -14,10 +14,10 @@ re-broadcast — the coherence flaw of Figure 1, which the memory experiments
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import ClassVar, Dict, Mapping, Optional, Type
 
-from ..simcore.network import Envelope
-from .base import Mechanism, ViewCallback
+from ..simcore.network import Envelope, Payload
+from .base import Mechanism, MechanismConfig, ViewCallback
 from .messages import UpdateAbsolute
 from .view import Load
 
@@ -28,7 +28,11 @@ class NaiveMechanism(Mechanism):
     name = "naive"
     maintains_view = True
 
-    def __init__(self, config=None) -> None:
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        UpdateAbsolute: "_on_update_absolute",
+    }
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         super().__init__(config)
         self._last_sent = Load.ZERO
 
@@ -69,9 +73,7 @@ class NaiveMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def _handle_protocol(self, env: Envelope) -> bool:
+    def _on_update_absolute(self, env: Envelope) -> None:
         payload = env.payload
-        if isinstance(payload, UpdateAbsolute):
-            self.view.set(env.src, payload.load)
-            return True
-        return False
+        assert isinstance(payload, UpdateAbsolute)
+        self.view.set(env.src, payload.load)

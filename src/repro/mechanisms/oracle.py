@@ -18,11 +18,14 @@ reservations update it synchronously.  No state message is ever sent.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from .base import Mechanism, MechanismShared, ViewCallback
 from .registry import register_mechanism
 from .view import Load, LoadView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.process import SimProcess
 
 
 class OracleMechanism(Mechanism):
@@ -31,9 +34,11 @@ class OracleMechanism(Mechanism):
     name = "oracle"
     maintains_view = True
 
-    def bind(self, proc, shared: Optional[MechanismShared] = None) -> None:
+    def bind(
+        self, proc: "SimProcess", shared: Optional[MechanismShared] = None
+    ) -> None:
         super().bind(proc, shared)
-        if getattr(self.shared, "oracle_view", None) is None:
+        if self.shared.oracle_view is None:
             self.shared.oracle_view = LoadView(self.nprocs)
         self._global: LoadView = self.shared.oracle_view
 

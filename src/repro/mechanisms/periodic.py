@@ -21,13 +21,16 @@ the real application it would live on the communication thread of §4.5.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, ClassVar, Dict, Mapping, Optional, Type
 
-from ..simcore.network import Envelope
+from ..simcore.network import Envelope, Payload
 from .base import Mechanism, MechanismConfig, ViewCallback
 from .messages import UpdateAbsolute
 from .registry import register_mechanism
 from .view import Load
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.events import Event
 
 
 class PeriodicMechanism(Mechanism):
@@ -39,9 +42,13 @@ class PeriodicMechanism(Mechanism):
     #: Default broadcast period (seconds, simulated).
     DEFAULT_PERIOD = 1e-3
 
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        UpdateAbsolute: "_on_update_absolute",
+    }
+
     def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         super().__init__(config)
-        self._timer = None
+        self._timer: Optional["Event"] = None
         self._last_sent = Load.ZERO
         self._dirty = False
 
@@ -94,11 +101,10 @@ class PeriodicMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def _handle_protocol(self, env: Envelope) -> bool:
-        if isinstance(env.payload, UpdateAbsolute):
-            self.view.set(env.src, env.payload.load)
-            return True
-        return False
+    def _on_update_absolute(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, UpdateAbsolute)
+        self.view.set(env.src, payload.load)
 
 
 register_mechanism(PeriodicMechanism)

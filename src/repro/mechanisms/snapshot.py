@@ -50,13 +50,27 @@ flagged here explicitly:
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
 
 from ..simcore.errors import ProtocolError
-from ..simcore.network import Envelope
-from .base import Mechanism, ViewCallback
+from ..simcore.network import Envelope, Payload
+from .base import Mechanism, MechanismConfig, MechanismShared, ViewCallback
 from .messages import EndSnp, MasterToSlave, ReservationAck, Snp, StartSnp
 from .view import Load, LoadView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.events import Event
+    from ..simcore.process import SimProcess
 
 
 class _Phase(enum.Enum):
@@ -97,7 +111,15 @@ class SnapshotMechanism(Mechanism):
     #: gap-NACK machinery would only add noise.
     gap_nack = False
 
-    def __init__(self, config=None) -> None:
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        StartSnp: "_on_start_snp_msg",
+        Snp: "_on_snp_msg",
+        EndSnp: "_on_end_snp_msg",
+        MasterToSlave: "_on_master_to_slave",
+        ReservationAck: "_on_reservation_ack",
+    }
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         super().__init__(config)
         self._phase = _Phase.IDLE
         self._initiating = False  # a view request is pending (initiate→finalize)
@@ -116,24 +138,26 @@ class SnapshotMechanism(Mechanism):
         self._paused_proc = False
         self._stats_open = False
         # --- resilience state (inert when config.resilience is off) -------
-        self._presumed_dead: set = set()
-        self._retry_event = None
+        self._presumed_dead: Set[int] = set()
+        self._retry_event: Optional["Event"] = None
         self._retry_tries = 0
-        self._blocked_event = None
+        self._blocked_event: Optional["Event"] = None
         self._blocked_tries = 0
         self._mts_token = 0
         #: un-acked reservations: token -> (slave rank, payload)
-        self._mts_pending: Dict[int, tuple] = {}
-        self._mts_event = None
+        self._mts_pending: Dict[int, Tuple[int, MasterToSlave]] = {}
+        self._mts_event: Optional["Event"] = None
         self._mts_tries = 0
         #: reservation tokens already applied, per master (duplicate guard)
-        self._mts_applied: set = set()
+        self._mts_applied: Set[Tuple[int, int]] = set()
         # instrumentation
         self.rounds_started = 0
         self.answers_sent = 0
         self.stale_answers_ignored = 0
 
-    def bind(self, proc, shared=None) -> None:
+    def bind(
+        self, proc: "SimProcess", shared: Optional[MechanismShared] = None
+    ) -> None:
         super().bind(proc, shared)
         n = self.nprocs
         self._req = [0] * n
@@ -195,10 +219,12 @@ class SnapshotMechanism(Mechanism):
                 # Token + retransmit-until-ack keeps reservation accounting
                 # exact under loss; duplicates are discarded by token.
                 self._mts_token += 1
-                payload = MasterToSlave(delta=share, token=self._mts_token)
+                payload = MasterToSlave(
+                    delta=share, token=self._mts_token, decision=self.decisions
+                )
                 self._mts_pending[self._mts_token] = (rank, payload)
             else:
-                payload = MasterToSlave(delta=share)
+                payload = MasterToSlave(delta=share, decision=self.decisions)
             self._send_state(rank, payload)
             self.view.add(rank, share)
         if self._mts_pending and self._mts_event is None:
@@ -231,7 +257,7 @@ class SnapshotMechanism(Mechanism):
 
     # ------------------------------------------------------------ internals
 
-    def _priority(self, rank: int) -> tuple:
+    def _priority(self, rank: int) -> Tuple[int, ...]:
         """Election priority of a rank (lower wins); deterministic and
         identical on every process, as the protocol requires."""
         crit = self.config.leader_criterion
@@ -263,6 +289,11 @@ class SnapshotMechanism(Mechanism):
     def _answer(self, dst: int) -> None:
         self.answers_sent += 1
         self._send_state(dst, Snp(req=self._req[dst], load=self._my_load))
+        # After the send: my cut point includes emitting the answer, so the
+        # answer itself does not cross the cut it defines.
+        sanitizer = self.shared.sanitizer
+        if sanitizer is not None:
+            sanitizer.snapshot_answer(self.rank, dst, self._req[dst])
 
     def _start_gather(self) -> None:
         self.rounds_started += 1
@@ -279,7 +310,7 @@ class SnapshotMechanism(Mechanism):
             self._arm_retry()
         self._check_gather_done()
 
-    def _broadcast_to_group(self, payload) -> None:
+    def _broadcast_to_group(self, payload: Payload) -> None:
         """Send to every snapshot member (all ranks when group is None)."""
         if self._group is None:
             self._broadcast_state(payload, respect_silence=False)
@@ -309,6 +340,11 @@ class SnapshotMechanism(Mechanism):
         for r, load in self._collected.items():
             view.set(r, load)
         view.set(self.rank, self._my_load)
+        sanitizer = self.shared.sanitizer
+        if sanitizer is not None:
+            sanitizer.gather_complete(
+                self.rank, self._req[self.rank], sorted(self._collected)
+            )
         callback = self._pending_callback
         self._pending_callback = None
         if callback is None:  # pragma: no cover - defensive
@@ -322,39 +358,49 @@ class SnapshotMechanism(Mechanism):
 
     # --------------------------------------------------------- message side
 
-    def _handle_protocol(self, env: Envelope) -> bool:
+    def _pre_dispatch(self, env: Envelope) -> None:
         if self._presumed_dead and env.src in self._presumed_dead:
             # Any sign of life from a suspected-crashed rank resurrects it.
             self._presumed_dead.discard(env.src)
             self.resilience_stats["resurrections"] += 1
+
+    def _on_start_snp_msg(self, env: Envelope) -> None:
         payload = env.payload
-        if isinstance(payload, StartSnp):
-            self._on_start_snp(env.src, payload.req)
-            return True
-        if isinstance(payload, Snp):
-            self._on_snp(env.src, payload.req, payload.load)
-            return True
-        if isinstance(payload, EndSnp):
-            self._on_end_snp(env.src)
-            return True
-        if isinstance(payload, MasterToSlave):
-            if payload.token:
-                self._send_state(env.src, ReservationAck(token=payload.token))
-                key = (env.src, payload.token)
-                if key in self._mts_applied:
-                    # Retransmitted reservation already accounted: ack only.
-                    self.resilience_stats["reservations_deduped"] += 1
-                    return True
-                self._mts_applied.add(key)
-            self._set_my_load(self._my_load + payload.delta)
-            return True
-        if isinstance(payload, ReservationAck):
-            self._mts_pending.pop(payload.token, None)
-            if not self._mts_pending and self._mts_event is not None:
-                self._cancel_timer(self._mts_event)
-                self._mts_event = None
-            return True
-        return False
+        assert isinstance(payload, StartSnp)
+        self._on_start_snp(env.src, payload.req)
+
+    def _on_snp_msg(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, Snp)
+        self._on_snp(env.src, payload.req, payload.load)
+
+    def _on_end_snp_msg(self, env: Envelope) -> None:
+        assert isinstance(env.payload, EndSnp)
+        self._on_end_snp(env.src)
+
+    def _on_master_to_slave(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, MasterToSlave)
+        if payload.token:
+            self._send_state(env.src, ReservationAck(token=payload.token))
+            key = (env.src, payload.token)
+            if key in self._mts_applied:
+                # Retransmitted reservation already accounted: ack only.
+                self.resilience_stats["reservations_deduped"] += 1
+                return
+            self._mts_applied.add(key)
+        sanitizer = self.shared.sanitizer
+        if sanitizer is not None:
+            sanitizer.reservation_applied(self.rank, env.src, payload.decision)
+        self._set_my_load(self._my_load + payload.delta)
+
+    def _on_reservation_ack(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, ReservationAck)
+        self._mts_pending.pop(payload.token, None)
+        if not self._mts_pending and self._mts_event is not None:
+            self._cancel_timer(self._mts_event)
+            self._mts_event = None
 
     def _on_start_snp(self, src: int, req: int) -> None:
         self._req[src] = req
@@ -491,13 +537,14 @@ class SnapshotMechanism(Mechanism):
 
     # ------------------------------------------------- resilience (timers)
 
-    def _cancel_timer(self, ev) -> None:
+    def _cancel_timer(self, ev: Optional["Event"]) -> None:
         if ev is not None and self.sim is not None:
             self.sim.cancel(ev)
 
     def _arm_retry(self) -> None:
         self._cancel_timer(self._retry_event)
         self._retry_tries = 0
+        assert self.sim is not None
         self._retry_event = self.sim.schedule(
             self.config.retry_timeout,
             self._retry_gather,
@@ -538,6 +585,7 @@ class SnapshotMechanism(Mechanism):
         for r in missing:
             self.resilience_stats["start_snp_retransmissions"] += 1
             self._send_state(r, StartSnp(req=req))
+        assert self.sim is not None
         self._retry_event = self.sim.schedule(
             self.config.retry_timeout,
             self._retry_gather,
@@ -545,6 +593,7 @@ class SnapshotMechanism(Mechanism):
         )
 
     def _arm_blocked(self) -> None:
+        assert self.sim is not None
         self._blocked_event = self.sim.schedule(
             self.config.retry_timeout,
             self._blocked_tick,
@@ -574,6 +623,7 @@ class SnapshotMechanism(Mechanism):
         self._arm_blocked()
 
     def _arm_mts(self) -> None:
+        assert self.sim is not None
         self._mts_event = self.sim.schedule(
             self.config.retry_timeout,
             self._mts_tick,

@@ -11,7 +11,7 @@ sole input of the dynamic schedulers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import ClassVar, Iterable, Iterator
 
 import numpy as np
 
@@ -23,7 +23,10 @@ class Load:
     workload: float = 0.0
     memory: float = 0.0
 
-    ZERO: "Load" = None  # type: ignore[assignment]  # set below
+    #: Canonical zero (set right after the class body; ClassVar keeps it out
+    #: of the dataclass fields, so it is not part of equality or canonical
+    #: serialization).
+    ZERO: ClassVar["Load"]
 
     def __add__(self, other: "Load") -> "Load":
         return Load(self.workload + other.workload, self.memory + other.memory)

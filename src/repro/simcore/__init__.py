@@ -9,13 +9,16 @@ state-information messages.
 
 from .engine import Simulator
 from .errors import (
+    CausalityViolation,
     ChannelError,
     ProtocolError,
     SimulationDeadlock,
     SimulationError,
     SimulationLimitExceeded,
+    UnknownMessageError,
 )
 from .events import Event, EventQueue, PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+from .monitor import RunMonitor
 from .network import (
     Channel,
     Envelope,
@@ -43,6 +46,7 @@ __all__ = [
     "Payload",
     "SimProcess",
     "Work",
+    "RunMonitor",
     "RngHub",
     "TraceEntry",
     "TraceRecorder",
@@ -51,4 +55,6 @@ __all__ = [
     "SimulationLimitExceeded",
     "ChannelError",
     "ProtocolError",
+    "UnknownMessageError",
+    "CausalityViolation",
 ]

@@ -32,3 +32,39 @@ class ChannelError(SimulationError):
 
 class ProtocolError(SimulationError):
     """Raised when a mechanism or solver protocol invariant is violated."""
+
+
+class UnknownMessageError(ProtocolError):
+    """Raised when a process receives a message type it has no handler for.
+
+    A silently dropped STATE message does not crash a run — it skews the
+    receiver's load view and therefore the scheduling decisions that Tables
+    4-7 measure.  Dispatch is consequently *closed*: every payload type must
+    appear in a handler table, and anything else raises immediately.
+    """
+
+    def __init__(self, rank: int, type_name: str) -> None:
+        super().__init__(
+            f"rank {rank} has no handler for message type {type_name!r}"
+        )
+        self.rank = rank
+        self.type_name = type_name
+
+
+class CausalityViolation(SimulationError):
+    """Raised by the causality sanitizer (:mod:`repro.analysis.sanitizer`).
+
+    Carries the invariant that failed and a bounded, replayable excerpt of
+    the event trace leading up to the violation.
+    """
+
+    def __init__(self, invariant: str, detail: str,
+                 trace: "tuple[str, ...]" = ()) -> None:
+        lines = [f"[{invariant}] {detail}"]
+        if trace:
+            lines.append("event trace (oldest first):")
+            lines.extend(f"  {line}" for line in trace)
+        super().__init__("\n".join(lines))
+        self.invariant = invariant
+        self.detail = detail
+        self.trace = trace

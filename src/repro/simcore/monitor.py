@@ -1,0 +1,41 @@
+"""Observation hooks for runtime checkers.
+
+A :class:`RunMonitor` is a passive observer the kernel calls at well-defined
+points: every network send, every message treatment, and on entry/exit of
+each process's execution context (message treatment, task completion,
+decision callbacks).  Monitors must never schedule events, charge CPU time,
+or mutate simulation state — a run with a monitor installed produces results
+identical to one without.
+
+The only monitor shipped today is the causality sanitizer
+(:mod:`repro.analysis.sanitizer`), which threads vector clocks through the
+hooks to detect happens-before violations.  Keeping the base class here (and
+not in ``repro.analysis``) lets the kernel stay free of upward imports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Envelope
+
+
+class RunMonitor:
+    """No-op base; subclass and override the hooks you need.
+
+    All hooks default to ``pass`` so the kernel can call them
+    unconditionally once a monitor is installed.
+    """
+
+    def on_send(self, env: "Envelope") -> None:
+        """``env`` was just handed to the network by ``env.src``."""
+
+    def on_treat(self, rank: int, env: "Envelope") -> None:
+        """``rank`` is about to treat (process) ``env``."""
+
+    def enter_context(self, rank: int) -> None:
+        """``rank``'s code starts executing (treat, task or callback)."""
+
+    def leave_context(self, rank: int) -> None:
+        """``rank``'s code stops executing (matches :meth:`enter_context`)."""

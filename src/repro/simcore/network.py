@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterable, List, Optional, Tuple
 
 from .errors import ChannelError
 from .events import PRIORITY_HIGH
@@ -31,6 +31,7 @@ from .events import PRIORITY_HIGH
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
     from .engine import Simulator
+    from .monitor import RunMonitor
     from .process import SimProcess
 
 
@@ -50,7 +51,7 @@ class Payload:
     control message.
     """
 
-    TYPE = "payload"
+    TYPE: ClassVar[str] = "payload"
 
     def nbytes(self) -> int:
         return 64
@@ -122,9 +123,9 @@ class MessageStats:
 
     sent_total: int = 0
     sent_bytes: int = 0
-    by_type: Counter = field(default_factory=Counter)
-    by_channel: Counter = field(default_factory=Counter)
-    bytes_by_type: Counter = field(default_factory=Counter)
+    by_type: "Counter[str]" = field(default_factory=Counter)
+    by_channel: "Counter[str]" = field(default_factory=Counter)
+    bytes_by_type: "Counter[str]" = field(default_factory=Counter)
 
     def count(self, env: Envelope) -> None:
         self.sent_total += 1
@@ -160,6 +161,9 @@ class Network:
         #: Optional fault injector (repro.faults); None keeps the delivery
         #: path exactly as reliable/FIFO as the paper assumes.
         self._injector: Optional["FaultInjector"] = None
+        #: Optional passive observer (repro.analysis.sanitizer); never
+        #: affects delivery, timing or accounting.
+        self._monitor: Optional["RunMonitor"] = None
 
     # --------------------------------------------------------------- wiring
 
@@ -168,6 +172,16 @@ class Network:
         if self._injector is not None:
             raise ChannelError("a fault injector is already installed")
         self._injector = injector
+
+    def install_monitor(self, monitor: "RunMonitor") -> None:
+        """Observe every subsequent send with ``monitor`` (passive only)."""
+        if self._monitor is not None:
+            raise ChannelError("a monitor is already installed")
+        self._monitor = monitor
+
+    @property
+    def monitor(self) -> Optional["RunMonitor"]:
+        return self._monitor
 
     @property
     def injector(self) -> Optional["FaultInjector"]:
@@ -224,6 +238,8 @@ class Network:
         self._seq += 1
         env = Envelope(src, dst, channel, payload, nbytes, now, arrive, self._seq)
         self.stats.count(env)
+        if self._monitor is not None:
+            self._monitor.on_send(env)
         receiver = self.proc(dst)
         if self._injector is not None:
             # The injector decides when (and whether, and how many times)

@@ -38,6 +38,7 @@ from .network import Channel, Envelope
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Simulator
+    from .monitor import RunMonitor
     from .network import Network
 
 
@@ -99,6 +100,9 @@ class SimProcess:
         self._current: Optional[_RunningTask] = None
         self._dispatch_event: Optional[Event] = None
         self._poll_event: Optional[Event] = None
+        #: Optional passive observer (see :mod:`repro.simcore.monitor`);
+        #: notified of message treatments and execution-context windows.
+        self.monitor: Optional["RunMonitor"] = None
         # --- statistics -------------------------------------------------
         self.stats_msgs_treated = 0
         self.stats_tasks_run = 0
@@ -249,7 +253,17 @@ class SimProcess:
             self._treat(self.mailbox_data.popleft())
             return
         if self.can_start_task() and self._current is None:
-            work = self.next_task()
+            # Task selection may take a dynamic decision (request_view /
+            # record_decision), i.e. run mechanism code on this process's
+            # behalf — give monitors the execution-context window.
+            mon = self.monitor
+            if mon is not None:
+                mon.enter_context(self.rank)
+            try:
+                work = self.next_task()
+            finally:
+                if mon is not None:
+                    mon.leave_context(self.rank)
             if work is not None:
                 self._begin_task(work)
                 return
@@ -258,6 +272,10 @@ class SimProcess:
     def _treat(self, env: Envelope) -> None:
         """Treat one message: run its handler, charge its CPU cost."""
         self.stats_msgs_treated += 1
+        mon = self.monitor
+        if mon is not None:
+            mon.on_treat(self.rank, env)
+            mon.enter_context(self.rank)
         self._in_activity = True
         try:
             if env.channel is Channel.STATE:
@@ -266,6 +284,8 @@ class SimProcess:
                 self.handle_data(env)
         finally:
             self._in_activity = False
+            if mon is not None:
+                mon.leave_context(self.rank)
         cost = self.network.config.recv_cost(env.size) + self._take_pending()
         self.stats_busy_time += cost
         self._busy_until = max(self._busy_until, self.sim.now) + cost
@@ -274,12 +294,17 @@ class SimProcess:
     # ---------------------------------------------------------------- tasks
 
     def _begin_task(self, work: Work) -> None:
+        mon = self.monitor
+        if mon is not None:
+            mon.enter_context(self.rank)
         self._in_activity = True
         try:
             if work.on_start is not None:
                 work.on_start()
         finally:
             self._in_activity = False
+            if mon is not None:
+                mon.leave_context(self.rank)
         setup = self._take_pending()
         duration = work.duration
         if self.speed_factor != 1.0:
@@ -303,12 +328,17 @@ class SimProcess:
         if task is None:  # pragma: no cover - defensive
             return
         self._current = None
+        mon = self.monitor
+        if mon is not None:
+            mon.enter_context(self.rank)
         self._in_activity = True
         try:
             if task.work.on_complete is not None:
                 task.work.on_complete()
         finally:
             self._in_activity = False
+            if mon is not None:
+                mon.leave_context(self.rank)
         cost = self._take_pending()
         self.stats_busy_time += cost
         self._busy_until = max(self._busy_until, self.sim.now) + cost
@@ -404,11 +434,17 @@ class SimProcess:
         while self.mailbox_state and self.computing:
             env = self.mailbox_state.popleft()
             self.stats_msgs_treated += 1
+            mon = self.monitor
+            if mon is not None:
+                mon.on_treat(self.rank, env)
+                mon.enter_context(self.rank)
             self._in_activity = True
             try:
                 self.handle_state(env)
             finally:
                 self._in_activity = False
+                if mon is not None:
+                    mon.leave_context(self.rank)
             cost = self.network.config.recv_cost(env.size) + self._take_pending()
             if self.computing:
                 self._extend_running_task(cost)

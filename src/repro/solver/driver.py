@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..analysis.sanitizer import CausalitySanitizer, SanitizerConfig
 from ..faults import FaultInjector, FaultPlan
 from ..mapping.static import MappingParams, StaticMapping, compute_mapping
 from ..mapping.types import NodeType
@@ -57,6 +58,8 @@ class SolverConfig:
     fault_plan: Optional[FaultPlan] = None
     #: Mechanism hardening (sequence numbers, retransmissions, suspicion).
     resilience: bool = False
+    #: Opt-in causality sanitizer (None = no monitoring, zero overhead).
+    sanitizer: Optional[SanitizerConfig] = None
 
 
 @dataclass
@@ -91,6 +94,8 @@ class FactorizationResult:
     fault_stats: Optional[Dict[str, int]] = None
     #: Summed recovery-protocol counters (None when resilience was off).
     resilience_stats: Optional[Dict[str, int]] = None
+    #: Causality-sanitizer observation counters (None when not sanitized).
+    sanitizer_stats: Optional[Dict[str, int]] = None
 
     @property
     def mean_view_error_workload(self) -> float:
@@ -153,6 +158,8 @@ class FactorizationResult:
             out["fault_stats"] = dict(self.fault_stats)
         if self.resilience_stats is not None:
             out["resilience_stats"] = dict(self.resilience_stats)
+        if self.sanitizer_stats is not None:
+            out["sanitizer_stats"] = dict(self.sanitizer_stats)
         return out
 
 
@@ -278,6 +285,13 @@ def run_factorization(
     for p in procs:
         sim.add_state_dumper(p.debug_state)
 
+    # Last wiring step on purpose: views are initialized and seeded by now,
+    # so every write the sanitizer sees from here on must be message-driven.
+    sanitizer: Optional[CausalitySanitizer] = None
+    if config.sanitizer is not None:
+        sanitizer = CausalitySanitizer(config.sanitizer)
+        sanitizer.install(sim, net, procs, shared)
+
     reason = sim.run()
     if run_state.remaining != 0:  # pragma: no cover - deadlock guard
         raise ProtocolError(
@@ -308,6 +322,7 @@ def run_factorization(
             "delayed": s.delayed,
             "crashes": s.crashes,
             "slowdowns": s.slowdowns,
+            "leaks": s.leaks,
         }
         for mtype, n in sorted(s.dropped_by_type.items()):
             fault_stats[f"dropped:{mtype}"] = n
@@ -348,4 +363,7 @@ def run_factorization(
         decision_log=decision_log,
         fault_stats=fault_stats,
         resilience_stats=resilience_counters,
+        sanitizer_stats=(
+            sanitizer.stats_dict() if sanitizer is not None else None
+        ),
     )

@@ -28,7 +28,7 @@ slave rows arrive     active += rows×nfront; workload/memory reported with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, ClassVar, Dict, List, Mapping, Optional, Set, Type
 
 from ..mapping.static import StaticMapping
 from ..mapping.types import NodeType
@@ -36,8 +36,8 @@ from ..mechanisms.base import Mechanism, MechanismShared
 from ..mechanisms.view import Load
 from ..scheduling.base import SlaveSelectionStrategy
 from ..simcore.engine import Simulator
-from ..simcore.errors import ProtocolError
-from ..simcore.network import Channel, Envelope, Network
+from ..simcore.errors import ProtocolError, UnknownMessageError
+from ..simcore.network import Channel, Envelope, Network, Payload
 from ..simcore.process import SimProcess, Work
 from ..symbolic import costs
 from .memory import MemoryTracker
@@ -119,7 +119,7 @@ class SolverProcess(SimProcess):
         #: CB entries physically held here, keyed by the consuming front.
         self._held_cb: Dict[int, float] = {}
         #: For mastered type-2 fronts: ranks holding distributed CB pieces.
-        self._cb_producers: Dict[int, set] = {}
+        self._cb_producers: Dict[int, Set[int]] = {}
         self._seq = 0
         self._deciding: Optional[ReadyTask] = None
         self._decisions_done = 0
@@ -274,66 +274,94 @@ class SolverProcess(SimProcess):
 
     # ---------------------------------------------------- message handling
 
+    #: Declarative DATA-channel dispatch (mirrors Mechanism.HANDLERS so the
+    #: protocol-exhaustiveness checker can read the solver's receivers too).
+    DATA_HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        CBBlockMsg: "_on_cb_block",
+        CBNoticeMsg: "_on_cb_notice",
+        ReleaseCBMsg: "_on_release_cb",
+        SlaveTaskMsg: "_on_slave_task",
+        RootPartMsg: "_on_root_part",
+    }
+
     def handle_state(self, env: Envelope) -> None:
-        if not self.mechanism.handle_message(env):
+        if not self.mechanism.handle_message(env):  # pragma: no cover
+            # Mechanisms now raise UnknownMessageError themselves; kept as a
+            # belt-and-braces guard for third-party mechanism classes.
             raise ProtocolError(
                 f"P{self.rank}: unhandled state message {env.payload!r}"
             )
 
     def handle_data(self, env: Envelope) -> None:
+        method = self.DATA_HANDLERS.get(type(env.payload))
+        if method is None:
+            raise UnknownMessageError(self.rank, env.payload.type_name)
+        getattr(self, method)(env)
+
+    def _on_cb_block(self, env: Envelope) -> None:
         p = env.payload
-        if isinstance(p, CBBlockMsg):
-            self._held_cb[p.parent_front] = (
-                self._held_cb.get(p.parent_front, 0.0) + float(p.entries)
+        assert isinstance(p, CBBlockMsg)
+        self._held_cb[p.parent_front] = (
+            self._held_cb.get(p.parent_front, 0.0) + float(p.entries)
+        )
+        self._mem_alloc(float(p.entries))
+        self._deliver_cb(p.parent_front, float(p.entries))
+
+    def _on_cb_notice(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, CBNoticeMsg)
+        self._cb_producers.setdefault(p.parent_front, set()).add(env.src)
+        self._deliver_cb(p.parent_front, float(p.entries))
+
+    def _on_release_cb(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, ReleaseCBMsg)
+        held = self._held_cb.pop(p.parent_front, 0.0)
+        if held > 0:
+            self._mem_free(held)
+
+    def _on_slave_task(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, SlaveTaskMsg)
+        entries = float(p.entries)
+        self.tracker.alloc_active(entries, self.sim.now)
+        # Reservation-aware mechanisms already counted this share at
+        # Master_To_All / master_to_slave reception (slave_task=True).
+        self._report(+p.flops, +entries, slave=True)
+        self._seq += 1
+        f = self.tree[p.front_id]
+        self.ready.append(
+            ReadyTask(
+                kind=TaskKind.SLAVE2,
+                front_id=p.front_id,
+                flops=p.flops,
+                depth=f.depth,
+                activation_entries=0.0,
+                order_key=self._seq,
+                rows=p.rows,
             )
-            self._mem_alloc(float(p.entries))
-            self._deliver_cb(p.parent_front, float(p.entries))
-        elif isinstance(p, CBNoticeMsg):
-            self._cb_producers.setdefault(p.parent_front, set()).add(env.src)
-            self._deliver_cb(p.parent_front, float(p.entries))
-        elif isinstance(p, ReleaseCBMsg):
-            held = self._held_cb.pop(p.parent_front, 0.0)
-            if held > 0:
-                self._mem_free(held)
-        elif isinstance(p, SlaveTaskMsg):
-            entries = float(p.entries)
-            self.tracker.alloc_active(entries, self.sim.now)
-            # Reservation-aware mechanisms already counted this share at
-            # Master_To_All / master_to_slave reception (slave_task=True).
-            self._report(+p.flops, +entries, slave=True)
-            self._seq += 1
-            f = self.tree[p.front_id]
-            self.ready.append(
-                ReadyTask(
-                    kind=TaskKind.SLAVE2,
-                    front_id=p.front_id,
-                    flops=p.flops,
-                    depth=f.depth,
-                    activation_entries=0.0,
-                    order_key=self._seq,
-                    rows=p.rows,
-                )
+        )
+        self.notify_work()
+
+    def _on_root_part(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, RootPartMsg)
+        entries = float(p.entries)
+        self.tracker.alloc_active(entries, self.sim.now)
+        self._report(+p.flops, +entries)
+        self._seq += 1
+        f = self.tree[p.front_id]
+        self.ready.append(
+            ReadyTask(
+                kind=TaskKind.ROOT_PART,
+                front_id=p.front_id,
+                flops=p.flops,
+                depth=f.depth,
+                activation_entries=0.0,
+                order_key=self._seq,
             )
-            self.notify_work()
-        elif isinstance(p, RootPartMsg):
-            entries = float(p.entries)
-            self.tracker.alloc_active(entries, self.sim.now)
-            self._report(+p.flops, +entries)
-            self._seq += 1
-            f = self.tree[p.front_id]
-            self.ready.append(
-                ReadyTask(
-                    kind=TaskKind.ROOT_PART,
-                    front_id=p.front_id,
-                    flops=p.flops,
-                    depth=f.depth,
-                    activation_entries=0.0,
-                    order_key=self._seq,
-                )
-            )
-            self.notify_work()
-        else:
-            raise ProtocolError(f"P{self.rank}: unhandled data message {p!r}")
+        )
+        self.notify_work()
 
     # ------------------------------------------------------ task selection
 
@@ -439,8 +467,13 @@ class SolverProcess(SimProcess):
     # ------------------------------------------------------- task execution
 
     def _release_producers(self, fid: int) -> None:
-        """Free the distributed CB pieces once the consumer is activated."""
-        for producer in self._cb_producers.pop(fid, ()):
+        """Free the distributed CB pieces once the consumer is activated.
+
+        The producers are iterated in rank order: the release messages'
+        send order reaches the network link clocks, and iterating the raw
+        set would make it depend on hash-table layout (RPA003).
+        """
+        for producer in sorted(self._cb_producers.pop(fid, ())):
             if producer == self.rank:
                 self._consume_children_cbs(fid)
             else:

@@ -1,0 +1,161 @@
+"""Determinism lint: per-rule positives, negatives and noqa suppression."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import RULES, lint_paths, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def codes(source: str, **kw) -> list:
+    return [f.code for f in lint_source(source, "fixture.py", **kw)]
+
+
+class TestRPA001GlobalRandom:
+    def test_positive_stdlib_random(self):
+        src = "import random\nx = random.randint(0, 5)\n"
+        assert codes(src) == ["RPA001"]
+
+    def test_positive_shuffle(self):
+        assert codes("import random\nrandom.shuffle(items)\n") == ["RPA001"]
+
+    def test_negative_seeded_generator(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "x = rng.integers(0, 5)\n"
+        )
+        assert codes(src) == []
+
+    def test_negative_rng_stream(self):
+        assert codes("x = sim.rng.stream('ties').random()\n") == []
+
+    def test_noqa(self):
+        src = "import random\nx = random.random()  # rpa: noqa[RPA001]\n"
+        assert codes(src) == []
+
+
+class TestRPA002WallClock:
+    def test_positive_time_time(self):
+        assert codes("import time\nt = time.time()\n") == ["RPA002"]
+
+    def test_positive_perf_counter(self):
+        assert codes("import time\nt = time.perf_counter()\n") == ["RPA002"]
+
+    def test_negative_sim_now(self):
+        assert codes("t = sim.now\n") == []
+
+    def test_negative_outside_simulation_scope(self):
+        # Reporting layers measure wall time on purpose.
+        src = "import time\nt = time.time()\n"
+        assert codes(src, is_simulation=False) == []
+
+    def test_noqa_all_codes_form(self):
+        assert codes("import time\nt = time.time()  # rpa: noqa\n") == []
+
+
+class TestRPA003SetIterationOrder:
+    def test_positive_set_constructor(self):
+        src = (
+            "def f(self, ranks):\n"
+            "    for r in set(ranks):\n"
+            "        self.net.send(r, payload)\n"
+        )
+        assert codes(src) == ["RPA003"]
+
+    def test_positive_set_literal_schedule(self):
+        src = (
+            "def f(self):\n"
+            "    for r in {1, 2, 3}:\n"
+            "        self.sim.schedule_at(1.0, cb)\n"
+        )
+        assert codes(src) == ["RPA003"]
+
+    def test_negative_sorted(self):
+        src = (
+            "def f(self, ranks):\n"
+            "    for r in sorted(set(ranks)):\n"
+            "        self.net.send(r, payload)\n"
+        )
+        assert codes(src) == []
+
+    def test_negative_set_without_send(self):
+        src = (
+            "def f(self, ranks):\n"
+            "    for r in set(ranks):\n"
+            "        total += r\n"
+        )
+        assert codes(src) == []
+
+    def test_noqa(self):
+        src = (
+            "def f(self, ranks):\n"
+            "    for r in set(ranks):  # rpa: noqa[RPA003]\n"
+            "        self.net.send(r, payload)\n"
+        )
+        assert codes(src) == []
+
+
+class TestRPA004MutableDefault:
+    def test_positive_list_literal(self):
+        assert codes("def f(x=[]):\n    pass\n") == ["RPA004"]
+
+    def test_positive_dict_constructor(self):
+        assert codes("def f(x=dict()):\n    pass\n") == ["RPA004"]
+
+    def test_positive_kwonly(self):
+        assert codes("def f(*, x={}):\n    pass\n") == ["RPA004"]
+
+    def test_negative_none_default(self):
+        assert codes("def f(x=None):\n    x = x or []\n") == []
+
+    def test_negative_tuple_default(self):
+        assert codes("def f(x=()):\n    pass\n") == []
+
+
+class TestHarness:
+    def test_repository_is_clean(self):
+        """The repo itself must pass its own lint (CI enforces this)."""
+        assert lint_paths([SRC_ROOT], root=SRC_ROOT) == []
+
+    def test_finding_locations_and_dict(self):
+        src = "import random\n\nx = random.random()\n"
+        (f,) = lint_source(src, "somewhere.py")
+        assert (f.path, f.line, f.code) == ("somewhere.py", 3, "RPA001")
+        assert f.to_dict()["code"] == "RPA001"
+        assert "somewhere.py:3" in f.format()
+
+    def test_noqa_only_suppresses_named_codes(self):
+        src = "import time\n\ndef f(x=[]):\n    t = time.time()  # rpa: noqa[RPA004]\n"
+        # The noqa names the wrong rule: RPA002 must survive.
+        assert codes(src) == ["RPA004", "RPA002"]
+
+
+class TestCLI:
+    def test_lint_clean_exit_zero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["lint", str(SRC_ROOT)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_json_findings_exit_one(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        rc = main(["lint", "--json", str(bad)])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert out["tool"] == "lint"
+        assert [f["code"] for f in out["findings"]] == ["RPA001"]
+
+    def test_explain_lists_all_rules(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out

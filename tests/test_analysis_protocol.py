@@ -1,0 +1,120 @@
+"""Protocol exhaustiveness: the repo's protocols are closed; broken ones fail."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.protocol import check_protocol, scan_catalogue
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRepositoryProtocols:
+    def test_repository_is_closed(self):
+        """Every emittable type has a handler everywhere; no dead types."""
+        assert check_protocol(SRC_ROOT) == []
+
+    def test_catalogues_are_seen(self):
+        mech = scan_catalogue(SRC_ROOT / "mechanisms" / "messages.py")
+        solver = scan_catalogue(SRC_ROOT / "solver" / "messages.py")
+        # Guards against the checker passing vacuously on an empty scan.
+        assert {"UpdateAbsolute", "Snp", "Sequenced", "MasterToSlave"} <= mech
+        assert {"SlaveTaskMsg", "CBBlockMsg", "ReleaseCBMsg"} <= solver
+
+
+def _fixture(tmp_path: Path, body: str) -> Path:
+    f = tmp_path / "broken_mechanism.py"
+    f.write_text(textwrap.dedent(body))
+    return f
+
+
+class TestBrokenMechanisms:
+    def test_emitted_but_unhandled_is_caught(self, tmp_path):
+        """A mechanism emitting a type it cannot treat is a finding."""
+        fixture = _fixture(
+            tmp_path,
+            """
+            class BrokenGossipMechanism(Mechanism):
+                HANDLERS = {UpdateAbsolute: "_on_update_absolute"}
+
+                def push(self):
+                    # Emits StartSnp but registers no handler for it.
+                    self._broadcast_state(StartSnp(req=1))
+                    self._broadcast_state(UpdateAbsolute(load=self._my_load))
+
+                def _on_update_absolute(self, env):
+                    pass
+            """,
+        )
+        findings = check_protocol(SRC_ROOT, extra_mechanism_files=[fixture])
+        bad = [f for f in findings if f.subject == "BrokenGossipMechanism"]
+        assert [f.kind for f in bad] == ["unhandled"]
+        assert "StartSnp" in bad[0].message
+        # The fixture must not contaminate the verdict on the real classes.
+        assert all(f.subject == "BrokenGossipMechanism" for f in findings)
+
+    def test_missing_handler_method_is_caught(self, tmp_path):
+        fixture = _fixture(
+            tmp_path,
+            """
+            class TypoMechanism(Mechanism):
+                HANDLERS = {UpdateAbsolute: "_on_update_absoulte"}  # typo
+            """,
+        )
+        findings = check_protocol(SRC_ROOT, extra_mechanism_files=[fixture])
+        bad = [f for f in findings if f.subject == "TypoMechanism"]
+        assert [f.kind for f in bad] == ["missing-method"]
+        assert "_on_update_absoulte" in bad[0].message
+
+    def test_unknown_message_type_is_caught(self, tmp_path):
+        fixture = _fixture(
+            tmp_path,
+            """
+            class PhantomMechanism(Mechanism):
+                HANDLERS = {PhantomMsg: "_on_phantom"}
+
+                def _on_phantom(self, env):
+                    pass
+            """,
+        )
+        findings = check_protocol(SRC_ROOT, extra_mechanism_files=[fixture])
+        bad = [f for f in findings if f.subject == "PhantomMsg"]
+        assert [f.kind for f in bad] == ["unknown-type"]
+
+    def test_inherited_handlers_count(self, tmp_path):
+        """Handlers merge along bases exactly like __init_subclass__ does."""
+        fixture = _fixture(
+            tmp_path,
+            """
+            class DerivedSnapshotMechanism(SnapshotMechanism):
+                def extra(self):
+                    self._send_state(0, Snp(req=1, load=self._my_load))
+            """,
+        )
+        # Snp is handled by the inherited SnapshotMechanism table: clean.
+        findings = check_protocol(SRC_ROOT, extra_mechanism_files=[fixture])
+        assert findings == []
+
+
+class TestCLI:
+    def test_protocol_clean_exit_zero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["protocol", "--src-root", str(SRC_ROOT)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_protocol_json_shape(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["protocol", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out == {"tool": "protocol", "findings": []}
+
+    def test_all_subcommand(self, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out and "protocol:" in out

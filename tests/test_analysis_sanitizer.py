@@ -1,0 +1,193 @@
+"""Causality sanitizer: clean runs are silent and identical, leaks are caught.
+
+Also covers the dispatch-layer hardening the sanitizer builds on: unknown
+message types raise :class:`UnknownMessageError` instead of being silently
+ignored, and handler tables are validated at class-creation time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    CausalitySanitizer,
+    MonitoredLoadView,
+    SanitizerConfig,
+)
+from repro.faults import FaultPlan, StateLeakFault
+from repro.matrices import collection
+from repro.mechanisms import Load, MechanismConfig, NaiveMechanism
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.messages import StartSnp, UpdateAbsolute
+from repro.mechanisms.view import LoadView
+from repro.simcore.errors import CausalityViolation, UnknownMessageError
+from repro.simcore.network import Channel
+from repro.solver.driver import SolverConfig, run_factorization
+
+from helpers import make_world
+
+
+def run(mechanism, *, sanitize=False, fault_plan=None, nprocs=4, seed=3):
+    return run_factorization(
+        collection.get("TWOTONE"),
+        nprocs,
+        mechanism,
+        "workload",
+        SolverConfig(
+            seed=seed,
+            sanitizer=SanitizerConfig() if sanitize else None,
+            fault_plan=fault_plan,
+        ),
+    )
+
+
+class TestDispatchHardening:
+    def test_unknown_message_raises(self):
+        """A payload without a HANDLERS entry is a protocol error, loudly."""
+        factory = lambda: NaiveMechanism(MechanismConfig())
+        sim, net, procs = make_world(2, factory)
+        # The naive mechanism has no snapshot handlers.
+        net.send(0, 1, Channel.STATE, StartSnp(req=1))
+        with pytest.raises(UnknownMessageError) as exc:
+            sim.run()
+        assert exc.value.rank == 1
+        assert exc.value.type_name == "start_snp"
+
+    def test_bad_handler_table_fails_at_class_creation(self):
+        with pytest.raises(TypeError, match="_no_such_method"):
+
+            class Oops(Mechanism):
+                HANDLERS = {UpdateAbsolute: "_no_such_method"}
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("mechanism", ["increments", "snapshot"])
+    def test_sanitized_run_is_clean_and_identical(self, mechanism):
+        base = run(mechanism)
+        san = run(mechanism, sanitize=True)
+        assert san.sanitizer_stats is not None
+        assert san.sanitizer_stats.get("violations", 0) == 0
+        assert san.sanitizer_stats["messages_tracked"] > 0
+        assert san.sanitizer_stats["view_writes"] > 0
+        # The sanitizer observes; it must never perturb the run.
+        assert san.factorization_time == base.factorization_time
+        assert san.state_messages == base.state_messages
+        assert san.messages_by_type == base.messages_by_type
+        assert (san.peak_active == base.peak_active).all()
+        assert base.sanitizer_stats is None
+
+    def test_snapshot_cuts_are_checked(self):
+        san = run("snapshot", sanitize=True, nprocs=8)
+        assert san.sanitizer_stats["snapshots_checked"] > 0
+        assert san.sanitizer_stats["answers_recorded"] > 0
+
+    def test_reservations_are_tracked(self):
+        san = run("increments", sanitize=True, nprocs=8)
+        assert san.sanitizer_stats["reservations_tracked"] > 0
+
+    def test_stats_only_exported_when_sanitized(self):
+        assert "sanitizer_stats" not in run("increments").to_dict()
+        assert "sanitizer_stats" in run("increments", sanitize=True).to_dict()
+
+
+class TestViolations:
+    def test_state_leak_raises_view_provenance(self):
+        """A messageless cross-process write is caught with a usable trace."""
+        plan = FaultPlan(
+            leaks=(StateLeakFault(rank=2, entry_rank=0, time=1e-3,
+                                  workload=1e9),)
+        )
+        with pytest.raises(CausalityViolation) as exc:
+            run("increments", sanitize=True, fault_plan=plan)
+        err = exc.value
+        assert err.invariant == "view-provenance"
+        assert "P2" in err.detail and "P0" in err.detail
+        # The replayable excerpt ends with the offending write.
+        assert err.trace
+        assert "WRITE P2.view[0]" in err.trace[-1]
+        assert "event trace" in str(err)
+
+    def test_state_leak_is_silent_without_sanitizer(self):
+        plan = FaultPlan(
+            leaks=(StateLeakFault(rank=2, entry_rank=0, time=1e-3,
+                                  workload=1e9),)
+        )
+        result = run("increments", fault_plan=plan)
+        assert result.fault_stats["leaks"] == 1
+
+    def test_leak_check_can_be_disabled(self):
+        plan = FaultPlan(
+            leaks=(StateLeakFault(rank=2, entry_rank=0, time=1e-3,
+                                  workload=1e9),)
+        )
+        cfg = SolverConfig(
+            seed=3,
+            sanitizer=SanitizerConfig(check_view_provenance=False),
+            fault_plan=plan,
+        )
+        result = run_factorization(
+            collection.get("TWOTONE"), 4, "increments", "workload", cfg
+        )
+        assert result.sanitizer_stats.get("violations", 0) == 0
+
+    def test_reservation_replay_raises(self):
+        san = CausalitySanitizer()
+        san.reservation_applied(applier=1, master=0, decision=7)
+        with pytest.raises(CausalityViolation) as exc:
+            san.reservation_applied(applier=1, master=0, decision=7)
+        assert exc.value.invariant == "reservation-replay"
+        # Distinct deciders/decisions never collide.
+        san.reservation_applied(applier=1, master=0, decision=8)
+        san.reservation_applied(applier=2, master=0, decision=7)
+        san.reservation_applied(applier=1, master=3, decision=7)
+
+    def test_inconsistent_cut_raises(self):
+        """Synthetic two-process gather where a post-cut message crossed."""
+        san = CausalitySanitizer()
+        san.nprocs = 2
+        san._vc = [[0, 0], [0, 0]]
+        # Member P1 answers initiator P0's request 1 at clock (0, 1)...
+        san._vc[1] = [0, 1]
+        san.snapshot_answer(src=1, initiator=0, req=1)
+        # ...then P1 keeps working and a later message reaches P0 before
+        # the gather completes: P0's clock now reflects 3 events of P1.
+        san._vc[0] = [5, 3]
+        with pytest.raises(CausalityViolation) as exc:
+            san.gather_complete(initiator=0, req=1, members=[1])
+        assert exc.value.invariant == "inconsistent-cut"
+
+    def test_consistent_cut_passes(self):
+        san = CausalitySanitizer()
+        san.nprocs = 2
+        san._vc = [[0, 0], [0, 1]]
+        san.snapshot_answer(src=1, initiator=0, req=1)
+        san._vc[0] = [5, 1]  # exactly the answer, nothing later
+        san.gather_complete(initiator=0, req=1, members=[1])
+        assert san.stats["snapshots_checked"] == 1
+
+
+class TestMonitoredView:
+    def test_copy_returns_plain_view(self):
+        """Decision-time snapshots must escape the provenance check."""
+        san = CausalitySanitizer()
+        view = MonitoredLoadView(3, san, owner=0)
+        snap = view.copy()
+        assert type(snap) is LoadView
+        # Writing the *copy* from anywhere is legal.
+        snap.set(1, Load(1.0, 1.0))
+
+    def test_wrap_preserves_contents(self):
+        san = CausalitySanitizer()
+        plain = LoadView(2)
+        plain.set(1, Load(3.0, 4.0))
+        wrapped = MonitoredLoadView.wrap(plain, san, owner=0)
+        assert wrapped.get(1).workload == 3.0
+        assert wrapped.get(1).memory == 4.0
+
+
+class TestCLISanitize:
+    def test_sanitize_flag_smoke(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["table3", "--fast", "--sanitize"]) == 0
+        capsys.readouterr()
