@@ -36,6 +36,11 @@ BENCH_FILE = REPO_ROOT / "BENCH_perf.json"
 ENGINE_FLOOR_EPS = 50_000
 SOLVER_FLOOR_EPS = 2_000
 
+#: Telemetry budget: a metrics-on run must keep at least this fraction of
+#: the metrics-off floor (docs/observability.md documents the 5% budget;
+#: the floor-relative form stays immune to shared-runner noise).
+METRICS_FLOOR_FRACTION = 0.95
+
 
 # --------------------------------------------------------------- measurements
 
@@ -89,6 +94,39 @@ def representative_run(problem: str = "AUDIKW_1", nprocs: int = 16):
     }
 
 
+def metrics_overhead(problem: str = "AUDIKW_1", nprocs: int = 16):
+    """Same representative run with telemetry off vs on (repro.obs).
+
+    The registry is zero-cost when off; when on, every send/treat pays one
+    monitor callback plus a dict lookup per metric.  This measures that tax
+    end to end so the trajectory is visible in BENCH_perf.json.
+    """
+    off = ExperimentRunner(scale=ExperimentScale(fast=True))
+    t0 = time.perf_counter()
+    r_off = off.run(problem, nprocs, "increments", "workload")
+    wall_off = time.perf_counter() - t0
+
+    on = ExperimentRunner(scale=ExperimentScale(fast=True), metrics=True)
+    t0 = time.perf_counter()
+    r_on = on.run(problem, nprocs, "increments", "workload")
+    wall_on = time.perf_counter() - t0
+
+    eps_off = r_off.events_executed / wall_off
+    eps_on = r_on.events_executed / wall_on
+    return {
+        "problem": problem,
+        "nprocs": nprocs,
+        "mechanism": "increments",
+        "strategy": "workload",
+        "off_wall_s": wall_off,
+        "on_wall_s": wall_on,
+        "off_events_per_sec": eps_off,
+        "on_events_per_sec": eps_on,
+        "overhead_pct": 100.0 * (wall_on - wall_off) / wall_off,
+        "metric_families": len((r_on.metrics or {}).get("families", {})),
+    }
+
+
 def suite_serial_vs_parallel(jobs: int = 4, target: str = "table5"):
     """Fast-scale suite wall time: serial baseline vs ``--jobs N`` fan-out.
 
@@ -131,6 +169,7 @@ def collect(jobs: int = 4):
         "cpu_count": os.cpu_count(),
         "engine_hot_loop": engine_hot_loop(),
         "representative_run": representative_run(),
+        "metrics_overhead": metrics_overhead(),
         "suite_fast": suite_serial_vs_parallel(jobs=jobs),
     }
 
@@ -146,6 +185,11 @@ def main(argv=None) -> int:
     rep = data["representative_run"]
     print(f"representative  : {rep['problem']} P={rep['nprocs']} "
           f"{rep['events_per_sec']:,.0f} events/s ({rep['wall_s']:.2f}s)")
+    mo = data["metrics_overhead"]
+    print(f"metrics overhead: {mo['overhead_pct']:+.1f}% wall "
+          f"({mo['off_events_per_sec']:,.0f} -> "
+          f"{mo['on_events_per_sec']:,.0f} events/s, "
+          f"{mo['metric_families']} families)")
     print(f"suite ({suite['target']}, {suite['runs']} runs): "
           f"serial {suite['serial_wall_s']:.1f}s vs "
           f"-j{suite['parallel_jobs']} {suite['parallel_wall_s']:.1f}s "
@@ -174,6 +218,24 @@ def test_representative_run_floor():
     )
 
 
+def test_metrics_overhead_floor():
+    """A metrics-on run must stay within the telemetry overhead budget.
+
+    Floor-relative on purpose: asserting ``on >= 0.95 * off`` measured on
+    the same noisy shared runner flakes, but a metrics-on run that cannot
+    even clear 95% of the metrics-off *floor* has blown the 5% budget by an
+    order of magnitude.
+    """
+    m = metrics_overhead()
+    floor = METRICS_FLOOR_FRACTION * SOLVER_FLOOR_EPS
+    assert m["on_events_per_sec"] >= floor, (
+        f"metrics-on run at {m['on_events_per_sec']:,.0f} events/s is below "
+        f"{floor:,.0f} ({METRICS_FLOOR_FRACTION:.0%} of the "
+        f"{SOLVER_FLOOR_EPS:,} floor); MetricsMonitor is no longer cheap"
+    )
+    assert m["metric_families"] > 0, "metrics-on run exported no families"
+
+
 def test_bench_file_schema():
     """BENCH_perf.json (committed at the repo root) stays well-formed."""
     data = json.loads(BENCH_FILE.read_text())
@@ -181,6 +243,9 @@ def test_bench_file_schema():
     assert data["engine_hot_loop"]["events_per_sec"] > 0
     assert data["engine_hot_loop"]["wall_s"] > 0
     assert data["representative_run"]["events_per_sec"] > 0
+    mo = data["metrics_overhead"]
+    assert mo["on_events_per_sec"] > 0 and mo["off_events_per_sec"] > 0
+    assert mo["metric_families"] > 0
     suite = data["suite_fast"]
     assert suite["runs"] > 0
     assert suite["serial_wall_s"] > 0 and suite["parallel_wall_s"] > 0

@@ -32,6 +32,14 @@ are banned statically:
     state across calls — across *runs* when the function is a handler —
     which breaks run isolation.
 
+``RPA005``
+    Direct ``print(...)`` or ``logging`` calls in the simulation hot path
+    (``simcore`` / ``mechanisms`` / ``solver``).  Console I/O per event or
+    per message dwarfs the simulated work and busts the telemetry overhead
+    budget (docs/observability.md); observability belongs in the trace
+    recorder, ``repro.obs`` metrics, or the ``debug_state`` dumps that the
+    engine prints only on failure.
+
 Suppression: append ``# rpa: noqa`` (all rules) or ``# rpa: noqa[RPA003]``
 (specific rules, comma-separated) to the offending line.  Run as
 ``python -m repro.analysis lint`` (``--json`` for machine-readable output).
@@ -51,6 +59,7 @@ RULES: Dict[str, str] = {
     "RPA002": "wall-clock read in simulation logic (use sim.now)",
     "RPA003": "set iteration order reaches message sends / scheduled events",
     "RPA004": "mutable default argument",
+    "RPA005": "print()/logging in the simulation hot path (use trace/obs metrics)",
 }
 
 #: Top-level ``src/repro`` sub-packages that constitute *simulation logic*
@@ -58,6 +67,12 @@ RULES: Dict[str, str] = {
 #: wall time on purpose (run footers, perf harness) and never runs inside
 #: a simulation.
 WALLCLOCK_EXEMPT_PACKAGES: Tuple[str, ...] = ("experiments",)
+
+#: Top-level ``src/repro`` sub-packages that constitute the simulation *hot
+#: path* for RPA005: code in them runs per event / per message, where
+#: console I/O would dominate the simulated work.  Reporting layers print
+#: on purpose and are out of scope.
+HOT_PATH_PACKAGES: Tuple[str, ...] = ("simcore", "mechanisms", "solver")
 
 #: ``random``-module functions that mutate/read the hidden global state.
 _GLOBAL_RANDOM_FUNCS: Set[str] = {
@@ -85,6 +100,16 @@ _ORDER_SINKS: Set[str] = {
     "send", "broadcast", "schedule", "schedule_at",
     "_send_state", "_broadcast_state", "_send_sync", "_answer",
 }
+
+#: Logger method names whose invocation RPA005 flags (when the receiver
+#: looks like a logger or the ``logging`` module itself).
+_LOG_METHODS: Set[str] = {
+    "debug", "info", "warning", "warn", "error", "critical", "exception",
+    "log",
+}
+
+#: Receiver names treated as loggers for RPA005 (last-but-one dotted part).
+_LOGGERISH: Set[str] = {"logging", "logger", "log", "_logger", "_log"}
 
 _NOQA_RE = re.compile(r"#\s*rpa:\s*noqa(?:\[([A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
@@ -146,9 +171,12 @@ def _is_set_expr(node: ast.AST) -> bool:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, is_simulation: bool) -> None:
+    def __init__(
+        self, path: str, is_simulation: bool, is_hot_path: bool = False
+    ) -> None:
         self.path = path
         self.is_simulation = is_simulation
+        self.is_hot_path = is_hot_path
         self.findings: List[LintFinding] = []
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
@@ -190,6 +218,26 @@ class _Visitor(ast.NodeVisitor):
                     f"`{name}()` reads the wall clock inside simulation "
                     "logic; simulated time is `sim.now`",
                 )
+            # RPA005: print(...) / logger.info(...) in hot-path packages.
+            if self.is_hot_path:
+                if name == "print":
+                    self._add(
+                        node,
+                        "RPA005",
+                        "`print(...)` in the simulation hot path; return "
+                        "data or record trace/obs metrics instead",
+                    )
+                elif (
+                    len(parts) >= 2
+                    and parts[-1] in _LOG_METHODS
+                    and parts[-2] in _LOGGERISH
+                ):
+                    self._add(
+                        node,
+                        "RPA005",
+                        f"`{name}(...)` logs from the simulation hot path; "
+                        "record trace/obs metrics instead",
+                    )
         self.generic_visit(node)
 
     # -------------------------------------------------------------- RPA003
@@ -254,12 +302,22 @@ def _is_simulation_file(path: Path, root: Path) -> bool:
     return not (rel.parts and rel.parts[0] in WALLCLOCK_EXEMPT_PACKAGES)
 
 
+def _is_hot_path_file(path: Path, root: Path) -> bool:
+    """RPA005 scope: only files inside a hot-path top-level package."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return False  # outside the root: console I/O is not our business
+    return bool(rel.parts) and rel.parts[0] in HOT_PATH_PACKAGES
+
+
 def lint_source(
-    source: str, path: str, *, is_simulation: bool = True
+    source: str, path: str, *, is_simulation: bool = True,
+    is_hot_path: bool = False
 ) -> List[LintFinding]:
     """Lint one source text; ``path`` is used only for reporting."""
     tree = ast.parse(source, filename=path)
-    visitor = _Visitor(path, is_simulation)
+    visitor = _Visitor(path, is_simulation, is_hot_path)
     visitor.visit(tree)
     lines = source.splitlines()
     kept: List[LintFinding] = []
@@ -289,6 +347,7 @@ def lint_paths(paths: Iterable[Path], *, root: Optional[Path] = None) -> List[Li
                 source,
                 str(file),
                 is_simulation=_is_simulation_file(file, scope_root),
+                is_hot_path=_is_hot_path_file(file, scope_root),
             )
         )
     return findings

@@ -73,6 +73,14 @@ def main(argv=None) -> int:
                     help="run every simulation under the vector-clock "
                          "causality sanitizer (repro.analysis); results are "
                          "identical, violations abort the run")
+    ap.add_argument("--metrics", action="store_true",
+                    help="collect runtime telemetry (repro.obs) on every "
+                         "run; paper-table outputs stay identical, each "
+                         "result gains a metrics export")
+    ap.add_argument("--metrics-dir", default=None, metavar="DIR",
+                    help="write each run's metrics as JSON into DIR "
+                         "(implies --metrics; view with "
+                         "`python -m repro.obs report DIR`)")
     faults = ap.add_argument_group(
         "faults", "knobs for the `robustness` target (repro.faults)"
     )
@@ -120,7 +128,8 @@ def main(argv=None) -> int:
 
     runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
                               verbose=args.verbose, disk_cache=disk_cache,
-                              sanitize=args.sanitize)
+                              sanitize=args.sanitize, metrics=args.metrics,
+                              metrics_dir=args.metrics_dir)
     out: List[str] = []
     t0 = time.time()
 
@@ -142,6 +151,11 @@ def main(argv=None) -> int:
         elif target == "figure1":
             _emit(out, figures.figure1("naive").render())
             _emit(out, figures.figure1("increments").render())
+            if args.metrics or args.metrics_dir:
+                # Quantitative companion: measured per-decision view error
+                # (only with telemetry on, so the default output is stable).
+                _emit(out, figures.figure1_view_accuracy("naive").render())
+                _emit(out, figures.figure1_view_accuracy("increments").render())
         elif target == "figure2":
             _emit(out, figures.figure2().render())
         elif target == "ablations":

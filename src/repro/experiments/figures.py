@@ -162,6 +162,54 @@ def figure1(mechanism: str = "naive") -> Figure1Result:
     )
 
 
+# ------------------------------------------------- figure 1, quantitative
+
+
+@dataclass
+class Figure1AccuracyResult:
+    """Per-decision signed view error of a real run (Figure 1, measured)."""
+
+    mechanism: str
+    chart: str
+    nsamples: int
+
+    def render(self) -> str:
+        head = (
+            f"Figure 1 (quantitative): per-decision view error, "
+            f"{self.mechanism} mechanism"
+        )
+        return head + "\n" + "-" * len(head) + "\n" + self.chart
+
+
+def figure1_view_accuracy(
+    mechanism: str = "naive", nprocs: int = 8
+) -> Figure1AccuracyResult:
+    """Measure the Figure-1 staleness on a real factorization.
+
+    Runs a grid-Laplacian factorization with telemetry on and charts the
+    signed view error sampled at every dynamic decision: the naive
+    mechanism's cloud sits below zero (stale views), the increments
+    mechanism's hugs it (reservations repair the lag).
+    """
+    from ..obs import view_accuracy_samples
+    from ..solver.driver import SolverConfig, run_factorization
+    from .viz import view_accuracy_chart
+
+    tree = analyze_matrix(gen.grid_laplacian((12, 12, 10)), name="grid12x12x10")
+    result = run_factorization(
+        tree, nprocs, mechanism, "workload", SolverConfig(metrics=True)
+    )
+    assert result.metrics is not None
+    samples = view_accuracy_samples(result.metrics)
+    chart = view_accuracy_chart(
+        samples,
+        title=f"signed view error per decision ({mechanism}, P={nprocs})",
+    )
+    return Figure1AccuracyResult(
+        mechanism=mechanism, chart=chart, nsamples=len(samples)
+    )
+
+
 # --------------------------------------------------------------- figure 2
 
 

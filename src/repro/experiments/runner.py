@@ -9,6 +9,8 @@ also persist across invocations (and are shared with ``--jobs N`` workers).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
@@ -101,6 +103,15 @@ class ExperimentRunner:
         Folded into ``base_config``, so parallel prefetch workers and cache
         keys see it too; sanitized runs never share cache slots with
         unsanitized ones (the results coincide, their stats do not).
+    metrics:
+        Collect runtime telemetry (``repro.obs``) on every run
+        (``--metrics``).  Folded into ``base_config`` like ``sanitize``;
+        metric-bearing runs get their own cache slots, and cached results
+        round-trip the metrics export automatically.
+    metrics_dir:
+        When set (implies ``metrics``), each run's registry export is also
+        written as ``<dir>/<run-label>_<digest8>.json`` for
+        ``python -m repro.obs report``.
     """
 
     def __init__(
@@ -110,12 +121,17 @@ class ExperimentRunner:
         verbose: bool = False,
         disk_cache: Optional[DiskCache] = None,
         sanitize: bool = False,
+        metrics: bool = False,
+        metrics_dir: Optional[str] = None,
     ) -> None:
         self.base_config = base_config or SolverConfig()
         if sanitize and self.base_config.sanitizer is None:
             self.base_config = replace(
                 self.base_config, sanitizer=SanitizerConfig()
             )
+        if (metrics or metrics_dir) and not self.base_config.metrics:
+            self.base_config = replace(self.base_config, metrics=True)
+        self.metrics_dir = metrics_dir
         self.scale = scale or ExperimentScale()
         self.verbose = verbose
         self.disk_cache = disk_cache
@@ -176,6 +192,7 @@ class ExperimentRunner:
             if stored is not None:
                 self.disk_hits += 1
                 self._cache[key] = stored
+                self._persist_metrics(key, stored)
                 return stored
         t0 = time.time()
         result = run_factorization(
@@ -190,6 +207,7 @@ class ExperimentRunner:
         self._cache[key] = result
         if self.disk_cache is not None:
             self.disk_cache.put(key, result)
+        self._persist_metrics(key, result)
         return result
 
     # ------------------------------------------------------------- plumbing
@@ -202,6 +220,37 @@ class ExperimentRunner:
             self.total_wall_time += wall_time
             self.runs_simulated += 1
         self._cache[key] = result
+        self._persist_metrics(key, result)
+
+    def _persist_metrics(self, key: RunKey, result: FactorizationResult) -> None:
+        """Write a run's metrics export to ``metrics_dir`` (once per run).
+
+        Each file wraps the registry export with the run identity, which
+        ``python -m repro.obs report`` uses as the report label.
+        """
+        if self.metrics_dir is None or result.metrics is None:
+            return
+        os.makedirs(self.metrics_dir, exist_ok=True)
+        thr = "_threaded" if key.threaded else ""
+        fname = (
+            f"{key.problem}_P{key.nprocs}_{key.mechanism}_{key.strategy}"
+            f"{thr}_{key.config_digest[:8]}.json"
+        )
+        path = os.path.join(self.metrics_dir, fname)
+        if os.path.exists(path):
+            return
+        doc = {
+            "run": {
+                "problem": key.problem,
+                "nprocs": key.nprocs,
+                "mechanism": key.mechanism,
+                "strategy": key.strategy,
+                "threaded": key.threaded,
+            },
+            "metrics": result.metrics,
+        }
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
 
     def lookup(self, key: RunKey) -> Optional[FactorizationResult]:
         """Memory-then-disk probe without ever simulating."""

@@ -6,7 +6,10 @@ No plotting dependency — everything renders to the terminal:
   max-over-processes), the picture behind Table 4's single peak number;
 * :func:`gantt` — per-process activity bars from a run's trace, the
   picture behind Table 5's makespans (idle gaps around snapshots are
-  clearly visible for the demand-driven mechanism).
+  clearly visible for the demand-driven mechanism);
+* :func:`view_accuracy_chart` — signed view error at each dynamic
+  decision over time (from ``repro.obs`` view-accuracy samples), the
+  quantitative generalization of the paper's Figure 1.
 """
 
 from __future__ import annotations
@@ -121,6 +124,57 @@ def gantt(
         lines.append(f"P{rank:<3d}|" + "".join(row) + "|")
     lines.append("     " + "=local  m=type2 master  s=type2 slave  r=root")
     return "\n".join(lines)
+
+
+def view_accuracy_chart(
+    samples: Sequence[dict],
+    *,
+    metric: str = "workload",
+    width: int = 72,
+    height: int = 12,
+    title: str = "signed view error at decision instants",
+) -> str:
+    """ASCII scatter of per-decision signed view error over time.
+
+    ``samples`` are the records returned by
+    :func:`repro.obs.view_accuracy_samples` (keys ``time`` and
+    ``signed_<metric>``).  Negative values mean the deciding master's view
+    lagged behind the true committed loads — the staleness of Figure 1;
+    positive values mean it overestimated.  The zero axis is drawn so the
+    bias direction is readable at a glance.
+    """
+    key = f"signed_{metric}"
+    pts = [(float(s["time"]), float(s[key])) for s in samples if key in s]
+    if not pts:
+        return f"{title}: no view-accuracy samples (run with metrics on)"
+    t1 = max(t for t, _ in pts) or 1.0
+    top = max(abs(v) for _, v in pts) or 1.0
+    rows = []
+    # Rows span [-top, +top]; each point lands in one (row, col) cell.
+    cells = set()
+    for t, v in pts:
+        c = min(int(t / t1 * (width - 1)), width - 1)
+        r = min(int((top - v) / (2 * top) * (height - 1)), height - 1)
+        cells.add((r, c))
+    zero_row = min(int(0.5 * (height - 1) + 0.5), height - 1)
+    for r in range(height):
+        cut = top - r * (2 * top) / (height - 1)
+        line = []
+        for c in range(width):
+            if (r, c) in cells:
+                line.append("*")
+            elif r == zero_row:
+                line.append("-")
+            else:
+                line.append(" ")
+        rows.append(f"{cut:10.3g} |" + "".join(line))
+    rows.append(" " * 11 + "+" + "-" * width)
+    rows.append(" " * 12 + f"0{'':{width - 14}}t={t1:.4g}s")
+    legend = (
+        f"* = one decision ({len(pts)} total); "
+        "above 0 = view overestimates, below 0 = stale view"
+    )
+    return "\n".join([title, "=" * len(title)] + rows + [legend])
 
 
 def utilization(trace: TraceRecorder, nprocs: int,

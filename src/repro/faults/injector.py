@@ -20,12 +20,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..simcore.network import Envelope
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
     from ..simcore.engine import Simulator
     from ..simcore.process import SimProcess
 
@@ -57,6 +58,9 @@ class FaultInjector:
         #: messages seen so far per scripted rule (index-aligned with plan.scripted)
         self._script_counts: List[int] = [0] * len(plan.scripted)
         self._crashed: set = set()
+        #: Optional telemetry registry (set by the driver with metrics on):
+        #: injections become labeled ``faults_injected_total`` increments.
+        self.metrics: Optional["MetricsRegistry"] = None
 
     # ----------------------------------------------------------- messages
 
@@ -118,6 +122,10 @@ class FaultInjector:
         self._note(env, "drop", why)
 
     def _note(self, env: Envelope, action: str, why: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "faults_injected_total", {"action": action, "why": why}
+            ).inc()
         if self.sim.trace is not None:
             self.sim.trace.record(
                 self.sim.now,
@@ -184,6 +192,7 @@ class FaultInjector:
         # Deliberately bypasses every message path: the write happens from
         # the engine's context, exactly like a shared-memory bug would.
         mech.view.set(fault.entry_rank, Load(fault.workload, fault.memory))
+        self._note_process_fault("leak")
 
     def _fire_crash(self, proc: "SimProcess") -> None:
         if proc.rank in self._crashed:
@@ -193,11 +202,19 @@ class FaultInjector:
         if self.sim.trace is not None:
             self.sim.trace.record(self.sim.now, "fault", f"crash:P{proc.rank}",
                                   who=proc.rank)
+        self._note_process_fault("crash")
         proc.crash()
+
+    def _note_process_fault(self, action: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "process_faults_total", {"action": action}
+            ).inc()
 
     def _set_speed(self, proc: "SimProcess", factor: float) -> None:
         if factor != 1.0:
             self.stats.slowdowns += 1
+            self._note_process_fault("slowdown")
         if self.sim.trace is not None:
             self.sim.trace.record(
                 self.sim.now, "fault", f"speed:P{proc.rank}x{factor}",

@@ -55,6 +55,7 @@ from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.sanitizer import CausalitySanitizer
+    from ..obs.registry import MetricsRegistry
     from ..simcore.engine import Simulator
     from ..simcore.events import Event
     from ..simcore.network import Network
@@ -121,6 +122,9 @@ class SnapshotStats:
         self.max_concurrent = 0
         self.per_snapshot_durations: List[float] = []
         self._initiated_at: Dict[int, float] = {}
+        #: Optional telemetry registry (set by the driver with metrics on):
+        #: round durations feed the ``snapshot_round_seconds`` histogram.
+        self.metrics: Optional["MetricsRegistry"] = None
 
     def initiation_started(self, rank: int) -> None:
         if not self._active:
@@ -129,14 +133,21 @@ class SnapshotStats:
         self._initiated_at[rank] = self._sim.now
         self.total_snapshots += 1
         self.max_concurrent = max(self.max_concurrent, len(self._active))
+        if self._sim.trace is not None:
+            self._sim.trace.begin_span(self._sim.now, "snapshot-round", who=rank)
 
     def initiation_finished(self, rank: int) -> None:
         if rank not in self._active:  # pragma: no cover - defensive
             return
         self._active.discard(rank)
-        self.per_snapshot_durations.append(self._sim.now - self._initiated_at.pop(rank))
+        duration = self._sim.now - self._initiated_at.pop(rank)
+        self.per_snapshot_durations.append(duration)
         if not self._active:
             self.union_time += self._sim.now - self._union_started_at
+        if self._sim.trace is not None:
+            self._sim.trace.end_span(self._sim.now, "snapshot-round", who=rank)
+        if self.metrics is not None:
+            self.metrics.histogram("snapshot_round_seconds").observe(duration)
 
     @property
     def concurrent_now(self) -> int:
@@ -153,6 +164,9 @@ class MechanismShared:
     #: Optional causality sanitizer (repro.analysis); mechanisms call its
     #: hooks when set.  Pure observer: never affects protocol behaviour.
     sanitizer: Optional["CausalitySanitizer"] = None
+    #: Optional telemetry registry (repro.obs); mechanisms label broadcast
+    #: causes and protocol latencies on it.  Pure observer as well.
+    metrics: Optional["MetricsRegistry"] = None
 
 
 class _RxState:
@@ -329,6 +343,7 @@ class Mechanism(ABC):
         if not self.config.no_more_master or self._announced_no_more_master:
             return
         self._announced_no_more_master = True
+        self._note_broadcast("no_more_master")
         self._broadcast_state(NoMoreMaster(), respect_silence=False)
 
     # --------------------------------------------------------- message side
@@ -458,9 +473,32 @@ class Mechanism(ABC):
         if self._updates_since_refresh < self.config.refresh_every:
             return
         self._updates_since_refresh = 0
+        self._note_broadcast("refresh")
         for dst in range(self.nprocs):
             if dst != self.rank and dst not in self._dont_send_to:
                 self._send_sync(dst)
+
+    # ------------------------------------------------------------- telemetry
+
+    def _note_broadcast(self, cause: str) -> None:
+        """Count a state broadcast under its ``cause`` label (telemetry).
+
+        Causes: ``threshold`` (significant local variation), ``reservation``
+        (Master_To_All / master_to_slave), ``timer`` (periodic tick),
+        ``snapshot_start`` / ``snapshot_end``, ``no_more_master``,
+        ``refresh`` (resilience re-anchoring).  No-op with metrics off.
+        """
+        metrics = self.shared.metrics
+        if metrics is not None:
+            metrics.counter("state_broadcasts_total", {"cause": cause}).inc()
+
+    def _note_reservation_lag(self, send_time: float) -> None:
+        """Observe how stale a just-treated reservation is (telemetry)."""
+        metrics = self.shared.metrics
+        if metrics is not None:
+            assert self.sim is not None
+            lag = max(0.0, self.sim.now - send_time)
+            metrics.histogram("reservation_lag_seconds").observe(lag)
 
     # ---------------------------------------------------------------- helpers
 

@@ -61,6 +61,7 @@ class IncrementsMechanism(Mechanism):
         self._set_my_load(self._my_load + delta)
         self._accum = self._accum + delta
         if self._accum.abs_exceeds(self.config.threshold):
+            self._note_broadcast("threshold")
             self._broadcast_state(UpdateIncrement(delta=self._accum))
             self.updates_sent += 1
             self._accum = Load.ZERO
@@ -77,6 +78,7 @@ class IncrementsMechanism(Mechanism):
         # Master_To_All bypasses the No_more_master silence: the selected
         # slaves must learn their reservations even if they never select
         # slaves themselves (only Update traffic is suppressed, §2.3).
+        self._note_broadcast("reservation")
         self._broadcast_state(
             MasterToAll(assignments=dict(assignments), decision=self.decisions),
             respect_silence=False,
@@ -96,6 +98,7 @@ class IncrementsMechanism(Mechanism):
     def _on_master_to_all(self, env: Envelope) -> None:
         payload = env.payload
         assert isinstance(payload, MasterToAll)
+        self._note_reservation_lag(env.send_time)
         self._apply_master_to_all(
             payload.assignments, master=env.src, decision=payload.decision
         )

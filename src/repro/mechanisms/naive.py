@@ -54,6 +54,7 @@ class NaiveMechanism(Mechanism):
         self._set_my_load(self._my_load + delta)
         drift = self._my_load - self._last_sent
         if drift.abs_exceeds(self.config.threshold):
+            self._note_broadcast("threshold")
             self._broadcast_state(UpdateAbsolute(load=self._my_load))
             self.updates_sent += 1
             self._last_sent = self._my_load

@@ -70,6 +70,7 @@ class PeriodicMechanism(Mechanism):
     def _tick(self) -> None:
         self._timer = None
         if self._dirty:
+            self._note_broadcast("timer")
             self._broadcast_state(UpdateAbsolute(load=self._my_load))
             self.updates_sent += 1
             self._last_sent = self._my_load

@@ -137,6 +137,7 @@ class SnapshotMechanism(Mechanism):
         self._group: Optional[List[int]] = None
         self._paused_proc = False
         self._stats_open = False
+        self._gather_started_at = 0.0
         # --- resilience state (inert when config.resilience is off) -------
         self._presumed_dead: Set[int] = set()
         self._retry_event: Optional["Event"] = None
@@ -235,6 +236,7 @@ class SnapshotMechanism(Mechanism):
         """Finalize the snapshot (paper: broadcast ``end_snp``, then wait)."""
         if self._phase is not _Phase.DECIDING:
             raise ProtocolError(f"P{self.rank}: decision_complete without decision")
+        self._note_broadcast("snapshot_end")
         self._broadcast_to_group(EndSnp())
         self._group = None
         self._during_snp = False
@@ -305,6 +307,9 @@ class SnapshotMechanism(Mechanism):
         self._req[self.rank] += 1
         self._nb_msgs = 0
         self._collected = {}
+        assert self.sim is not None
+        self._gather_started_at = self.sim.now
+        self._note_broadcast("snapshot_start")
         self._broadcast_to_group(StartSnp(req=self._req[self.rank]))
         if self.config.resilience:
             self._arm_retry()
@@ -335,6 +340,12 @@ class SnapshotMechanism(Mechanism):
         # Gather complete: I am the unique leader; commit to the decision.
         self._stop_retry()
         self._phase = _Phase.DECIDING
+        metrics = self.shared.metrics
+        if metrics is not None:
+            assert self.sim is not None
+            metrics.histogram("snapshot_gather_seconds").observe(
+                self.sim.now - self._gather_started_at
+            )
         self._snp_active[self.rank] = False  # paper, initiate loop line 18
         view = LoadView(self.nprocs)
         for r, load in self._collected.items():
@@ -381,6 +392,7 @@ class SnapshotMechanism(Mechanism):
     def _on_master_to_slave(self, env: Envelope) -> None:
         payload = env.payload
         assert isinstance(payload, MasterToSlave)
+        self._note_reservation_lag(env.send_time)
         if payload.token:
             self._send_state(env.src, ReservationAck(token=payload.token))
             key = (env.src, payload.token)

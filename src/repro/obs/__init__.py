@@ -1,0 +1,32 @@
+"""Runtime telemetry: metrics registry, view-accuracy tracking, reports.
+
+Opt-in per run via ``SolverConfig(metrics=True)`` (CLI: ``--metrics`` /
+``--metrics-dir``); with metrics off, no code in this package runs and all
+outputs are byte-identical to a build without it.  See
+``docs/observability.md`` for the metric catalogue and label conventions.
+"""
+
+from .accuracy import ViewAccuracyTracker
+from .monitor import MetricsMonitor
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Samples,
+    Timeseries,
+)
+from .report import render_report, view_accuracy_samples
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsMonitor",
+    "MetricsRegistry",
+    "Samples",
+    "Timeseries",
+    "ViewAccuracyTracker",
+    "render_report",
+    "view_accuracy_samples",
+]

@@ -1,0 +1,64 @@
+"""Telemetry report CLI.
+
+::
+
+    python -m repro.obs report  METRICS...   # text summary per run
+    python -m repro.obs report  METRICS... --json
+    python -m repro.obs prom    METRICS...   # Prometheus text exposition
+
+``METRICS`` are per-run metrics files (``repro-experiments --metrics-dir``),
+directories of them, a bare registry export, or a ``--json`` runs dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .report import collect_metrics, render_reports, to_prometheus
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render telemetry captured from simulated runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="per-run text/JSON summary")
+    p_report.add_argument("paths", nargs="+",
+                          help="metrics JSON files or directories of them")
+    p_report.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the merged raw registry exports as JSON")
+
+    p_prom = sub.add_parser("prom", help="Prometheus text exposition")
+    p_prom.add_argument("paths", nargs="+")
+    p_prom.add_argument("--prefix", default="repro_",
+                        help="metric name prefix (default: repro_)")
+
+    args = parser.parse_args(argv)
+    entries = collect_metrics([Path(p) for p in args.paths])
+    if not entries:
+        print("no metrics found (run with --metrics / --metrics-dir?)",
+              file=sys.stderr)
+        return 1
+
+    if args.command == "report":
+        if args.as_json:
+            print(json.dumps(
+                {"runs": [{"run": label, "metrics": m} for label, m in entries]},
+                indent=1,
+            ))
+        else:
+            print(render_reports(entries))
+        return 0
+    # prom
+    sys.stdout.write(to_prometheus(entries, prefix=args.prefix))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

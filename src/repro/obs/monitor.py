@@ -1,0 +1,110 @@
+"""MetricsMonitor: a passive :class:`RunMonitor` feeding the registry.
+
+Installed (composed with any causality sanitizer) only when the run was
+configured with ``SolverConfig(metrics=True)``; with metrics off the kernel
+never calls into this module.  The monitor is strictly observational — it
+never schedules events, charges CPU time or mutates simulation state — so
+even metrics-*on* runs produce simulated results identical to metrics-off
+runs; only wall time differs.
+
+Metrics fed from the kernel hooks (see ``docs/observability.md`` for the
+full catalogue):
+
+* ``messages_sent_total{channel,type}`` / ``message_bytes_sent_total`` —
+  per-channel, per-payload-type counters (the live view of Table 6);
+* ``message_send_rate{channel}`` — time-bucketed send counts;
+* ``messages_treated_total{channel}`` and ``mailbox_wait_seconds`` — the
+  delivery-to-treatment latency distribution (how long state information
+  sits behind a computing process — the very effect §4.5's comm thread
+  attacks);
+* ``engine_events_executed`` / ``engine_event_queue_depth`` — engine
+  progress and queue depth, sampled at most once per time bucket from
+  inside the hooks (no timer events: sampling must not perturb the run).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..simcore.monitor import RunMonitor
+from .registry import DEFAULT_BUCKET_WIDTH, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Simulator
+    from ..simcore.network import Envelope
+
+
+class MetricsMonitor(RunMonitor):
+    """Feeds message and engine metrics from the kernel's monitor hooks."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        registry: MetricsRegistry,
+        bucket_width: float = DEFAULT_BUCKET_WIDTH,
+    ) -> None:
+        self.sim = sim
+        self.registry = registry
+        self.bucket_width = float(bucket_width)
+        self._last_engine_bucket = -1
+        # Pre-created instruments for the per-hook fast path; per-label
+        # counters are resolved through a small local cache instead of the
+        # registry's dict-of-dicts on every message.
+        self._wait_hist = registry.histogram("mailbox_wait_seconds")
+        self._events_ts = registry.timeseries(
+            "engine_events_executed", bucket_width=self.bucket_width
+        )
+        self._queue_ts = registry.timeseries(
+            "engine_event_queue_depth", bucket_width=self.bucket_width
+        )
+        self._sent: dict = {}
+        self._sent_bytes: dict = {}
+        self._send_rate: dict = {}
+        self._treated: dict = {}
+
+    # ------------------------------------------------------------- sampling
+
+    def _sample_engine(self, now: float) -> None:
+        """At most one engine sample per time bucket, from inside a hook."""
+        bucket = int(now / self.bucket_width)
+        if bucket == self._last_engine_bucket:
+            return
+        self._last_engine_bucket = bucket
+        self._events_ts.sample(now, float(self.sim.events_executed))
+        self._queue_ts.sample(now, float(len(self.sim.queue)))
+
+    # ----------------------------------------------------------- kernel hooks
+
+    def on_send(self, env: "Envelope") -> None:
+        key = (env.channel.name, env.payload.type_name)
+        ctr = self._sent.get(key)
+        if ctr is None:
+            labels = {"channel": key[0], "type": key[1]}
+            ctr = self._sent[key] = self.registry.counter(
+                "messages_sent_total", labels
+            )
+            self._sent_bytes[key] = self.registry.counter(
+                "message_bytes_sent_total", labels
+            )
+        ctr.inc()
+        self._sent_bytes[key].inc(env.size)
+        rate = self._send_rate.get(env.channel.name)
+        if rate is None:
+            rate = self._send_rate[env.channel.name] = self.registry.timeseries(
+                "message_send_rate", {"channel": env.channel.name},
+                bucket_width=self.bucket_width,
+            )
+        rate.sample(env.send_time, 1.0)
+        self._sample_engine(self.sim.now)
+
+    def on_treat(self, rank: int, env: "Envelope") -> None:
+        ctr = self._treated.get(env.channel.name)
+        if ctr is None:
+            ctr = self._treated[env.channel.name] = self.registry.counter(
+                "messages_treated_total", {"channel": env.channel.name}
+            )
+        ctr.inc()
+        now = self.sim.now
+        wait = now - env.deliver_time
+        self._wait_hist.observe(wait if wait > 0.0 else 0.0)
+        self._sample_engine(now)

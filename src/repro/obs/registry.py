@@ -1,0 +1,438 @@
+"""Metrics registry: counters, gauges, histograms, timeseries, raw samples.
+
+The registry is the storage layer of the telemetry subsystem
+(:mod:`repro.obs`).  Design constraints, in order of importance:
+
+* **Zero cost when off.**  No instrumentation site holds a registry unless
+  the run was started with ``SolverConfig(metrics=True)``; every hot-path
+  hook is guarded by a single ``is None`` check, and a metrics-off run is
+  byte-identical to a build without the subsystem.
+* **Passive.**  Recording a metric never touches the simulator: no events,
+  no CPU charges, no RNG draws.  Simulated results are identical with and
+  without metrics; only wall time differs (budgeted < 5%, see
+  ``benchmarks/bench_perf.py``).
+* **Stable label sets.**  A metric family fixes its label *keys* on first
+  use; a later call with different keys raises.  This keeps exports
+  (Prometheus exposition, JSON) well-formed and diffs meaningful.
+* **Deterministic exports.**  Families, series and points are emitted in
+  sorted order, so two identical runs produce byte-identical exports.
+
+Five instrument kinds:
+
+=============  ==========================================================
+``counter``    monotonically increasing float (messages sent, broadcasts)
+``gauge``      last-write-wins float (per-rank busy seconds, peaks)
+``histogram``  bucketed distribution + sum/count/min/max (latencies)
+``timeseries`` time-bucketed count/sum/min/max/last (rates over sim time)
+``samples``    raw (time, mapping) records (per-decision view accuracy)
+=============  ==========================================================
+
+Timestamps are *simulated* seconds throughout (``sim.now``), never wall
+clock — the registry observes the simulation, not the host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Canonical label storage: sorted (key, value) tuples.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds): spans the simulated
+#: latencies of interest, from sub-microsecond hops to multi-second stalls.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+#: Default timeseries bucket width (simulated seconds).  Fast-scale runs
+#: last tens of milliseconds to seconds, so 1 ms gives tens-to-thousands
+#: of points — fine for text charts and JSON exports alike.
+DEFAULT_BUCKET_WIDTH = 1e-3
+
+
+def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with sum/count/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        #: counts[i] = observations <= bounds[i]; one overflow slot at the end.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if self.count == 0:
+            self.min = self.max = v
+        else:
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+        self.count += 1
+        self.sum += v
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Timeseries:
+    """Time-bucketed aggregation: per-bucket count/sum/min/max/last.
+
+    ``sample(t, v)`` folds ``v`` into the bucket ``int(t / width)``.  Buckets
+    are sparse (a dict), so long idle stretches cost nothing.
+    """
+
+    __slots__ = ("width", "_buckets")
+
+    def __init__(self, width: float = DEFAULT_BUCKET_WIDTH) -> None:
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.width = float(width)
+        #: bucket index -> [count, sum, min, max, last]
+        self._buckets: Dict[int, List[float]] = {}
+
+    def sample(self, t: float, value: float) -> None:
+        v = float(value)
+        idx = int(t / self.width)
+        b = self._buckets.get(idx)
+        if b is None:
+            self._buckets[idx] = [1.0, v, v, v, v]
+            return
+        b[0] += 1.0
+        b[1] += v
+        if v < b[2]:
+            b[2] = v
+        if v > b[3]:
+            b[3] = v
+        b[4] = v
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def points(self) -> List[Dict[str, float]]:
+        """Sorted bucket records: time (bucket start), count, sum, min, max,
+        mean, last."""
+        out: List[Dict[str, float]] = []
+        for idx in sorted(self._buckets):
+            count, total, vmin, vmax, last = self._buckets[idx]
+            out.append({
+                "time": idx * self.width,
+                "count": count,
+                "sum": total,
+                "min": vmin,
+                "max": vmax,
+                "mean": total / count if count else 0.0,
+                "last": last,
+            })
+        return out
+
+
+class Samples:
+    """Raw (time, record) series — per-event data too rich to aggregate."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[float, Dict[str, float]]] = []
+
+    def append(self, t: float, values: Mapping[str, float]) -> None:
+        self.records.append((float(t), {k: float(v) for k, v in values.items()}))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class _Family:
+    """One named metric: a kind, a fixed label-key set, labeled series."""
+
+    __slots__ = ("name", "kind", "label_keys", "series", "help")
+
+    def __init__(self, name: str, kind: str, help_text: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_keys: Optional[Tuple[str, ...]] = None
+        self.series: Dict[LabelSet, Any] = {}
+
+    def check_labels(self, labels: LabelSet) -> None:
+        keys = tuple(k for k, _ in labels)
+        if self.label_keys is None:
+            self.label_keys = keys
+        elif self.label_keys != keys:
+            raise ValueError(
+                f"metric {self.name!r} used with label keys {keys!r}; "
+                f"the family is fixed to {self.label_keys!r}"
+            )
+
+
+class MetricsRegistry:
+    """All metrics of one run, keyed by (name, labels).
+
+    Accessors are get-or-create and idempotent: the first call for a name
+    fixes its kind and label-key set; a conflicting later call raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------ accessors
+
+    def _series(
+        self,
+        name: str,
+        kind: str,
+        labels: Optional[Mapping[str, str]],
+        factory: Any,
+        help_text: str = "",
+    ) -> Any:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = _Family(name, kind, help_text)
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {fam.kind}, not a {kind}"
+            )
+        ls = _labelset(labels)
+        inst = fam.series.get(ls)
+        if inst is None:
+            fam.check_labels(ls)
+            inst = fam.series[ls] = factory()
+        return inst
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        c: Counter = self._series(name, "counter", labels, Counter, help)
+        return c
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        g: Gauge = self._series(name, "gauge", labels, Gauge, help)
+        return g
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        h: Histogram = self._series(
+            name, "histogram", labels, lambda: Histogram(buckets), help
+        )
+        return h
+
+    def timeseries(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        bucket_width: float = DEFAULT_BUCKET_WIDTH,
+        help: str = "",
+    ) -> Timeseries:
+        t: Timeseries = self._series(
+            name, "timeseries", labels, lambda: Timeseries(bucket_width), help
+        )
+        return t
+
+    def samples(
+        self, name: str, labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Samples:
+        s: Samples = self._series(name, "samples", labels, Samples, help)
+        return s
+
+    # ------------------------------------------------------------ iteration
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> Iterator[Tuple[str, str]]:
+        """(name, kind) pairs in sorted name order."""
+        for name in sorted(self._families):
+            yield name, self._families[name].kind
+
+    # -------------------------------------------------------------- exports
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-serializable export of every family."""
+        fams: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            series_out: List[Dict[str, Any]] = []
+            for ls in sorted(fam.series):
+                inst = fam.series[ls]
+                entry: Dict[str, Any] = {"labels": dict(ls)}
+                if fam.kind in ("counter", "gauge"):
+                    entry["value"] = inst.value
+                elif fam.kind == "histogram":
+                    entry.update({
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "min": inst.min,
+                        "max": inst.max,
+                        "buckets": [
+                            [b, c] for b, c in
+                            zip(list(inst.bounds) + ["+Inf"], inst.bucket_counts)
+                        ],
+                    })
+                elif fam.kind == "timeseries":
+                    entry["bucket_width"] = inst.width
+                    entry["points"] = inst.points()
+                else:  # samples
+                    entry["records"] = [
+                        {"time": t, **vals} for t, vals in inst.records
+                    ]
+                series_out.append(entry)
+            fams[name] = {
+                "kind": fam.kind,
+                "label_keys": list(fam.label_keys or ()),
+                "series": series_out,
+            }
+            if fam.help:
+                fams[name]["help"] = fam.help
+        return {"schema": 1, "families": fams}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` (lossless for counters,
+        gauges and samples; histograms/timeseries restore their aggregates)."""
+        if doc.get("schema") != 1:
+            raise ValueError(f"unknown metrics schema {doc.get('schema')!r}")
+        reg = cls()
+        for name, fam_doc in doc["families"].items():
+            kind = fam_doc["kind"]
+            for entry in fam_doc["series"]:
+                labels = entry.get("labels") or None
+                if kind == "counter":
+                    c = reg.counter(name, labels)
+                    c.value = float(entry["value"])
+                elif kind == "gauge":
+                    reg.gauge(name, labels).set(float(entry["value"]))
+                elif kind == "histogram":
+                    bounds = [b for b, _ in entry["buckets"] if b != "+Inf"]
+                    h = reg.histogram(name, labels, buckets=bounds)
+                    h.count = int(entry["count"])
+                    h.sum = float(entry["sum"])
+                    h.min = float(entry["min"])
+                    h.max = float(entry["max"])
+                    h.bucket_counts = [int(c) for _, c in entry["buckets"]]
+                elif kind == "timeseries":
+                    ts = reg.timeseries(
+                        name, labels, bucket_width=float(entry["bucket_width"])
+                    )
+                    for p in entry["points"]:
+                        idx = int(p["time"] / ts.width + 0.5)
+                        ts._buckets[idx] = [
+                            p["count"], p["sum"], p["min"], p["max"], p["last"]
+                        ]
+                elif kind == "samples":
+                    s = reg.samples(name, labels)
+                    for rec in entry["records"]:
+                        vals = {k: v for k, v in rec.items() if k != "time"}
+                        s.append(rec["time"], vals)
+                else:
+                    raise ValueError(f"unknown metric kind {kind!r}")
+        return reg
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition (for scraping long sweeps).
+
+        Counters, gauges and histograms map directly; a timeseries is
+        summarized as ``<name>_last`` / ``<name>_points`` gauges (Prometheus
+        has no native notion of simulated time); raw samples are omitted.
+        """
+        lines: List[str] = []
+
+        def fmt_labels(ls: LabelSet, extra: str = "") -> str:
+            parts = [f'{k}="{v}"' for k, v in ls]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        for name in sorted(self._families):
+            fam = self._families[name]
+            full = prefix + name
+            if fam.kind in ("counter", "gauge"):
+                lines.append(f"# TYPE {full} {fam.kind}")
+                for ls in sorted(fam.series):
+                    lines.append(f"{full}{fmt_labels(ls)} {fam.series[ls].value:g}")
+            elif fam.kind == "histogram":
+                lines.append(f"# TYPE {full} histogram")
+                for ls in sorted(fam.series):
+                    h = fam.series[ls]
+                    cum = 0
+                    for bound, n in zip(list(h.bounds) + ["+Inf"],
+                                        h.bucket_counts):
+                        cum += n
+                        le = bound if bound == "+Inf" else f"{bound:g}"
+                        le_label = 'le="' + str(le) + '"'
+                        lines.append(
+                            f"{full}_bucket{fmt_labels(ls, le_label)} {cum}"
+                        )
+                    lines.append(f"{full}_sum{fmt_labels(ls)} {h.sum:g}")
+                    lines.append(f"{full}_count{fmt_labels(ls)} {h.count}")
+            elif fam.kind == "timeseries":
+                lines.append(f"# TYPE {full}_last gauge")
+                lines.append(f"# TYPE {full}_points gauge")
+                for ls in sorted(fam.series):
+                    ts = fam.series[ls]
+                    pts = ts.points()
+                    last = pts[-1]["last"] if pts else 0.0
+                    lines.append(f"{full}_last{fmt_labels(ls)} {last:g}")
+                    lines.append(f"{full}_points{fmt_labels(ls)} {len(pts)}")
+            # samples: not exposable as Prometheus scalars
+        return "\n".join(lines) + ("\n" if lines else "")

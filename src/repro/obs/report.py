@@ -1,0 +1,188 @@
+"""Report rendering for persisted run metrics.
+
+Input formats accepted (all JSON):
+
+* a per-run metrics file as written by ``repro-experiments --metrics-dir``:
+  ``{"run": {...identity...}, "metrics": {registry export}}``;
+* a bare registry export (:meth:`MetricsRegistry.to_dict`);
+* a ``--json`` runs dump (``{"runs": [...]}``) whose entries carry a
+  ``metrics`` key (entries without one are skipped).
+
+``python -m repro.obs report <files-or-dirs>`` renders the text summary;
+``python -m repro.obs prom`` emits the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+
+def run_label(run: Optional[Mapping[str, Any]]) -> str:
+    """Human-readable identity of one run record."""
+    if not run:
+        return "run"
+    label = (
+        f"{run.get('problem', '?')} P={run.get('nprocs', '?')} "
+        f"{run.get('mechanism', '?')}/{run.get('strategy', '?')}"
+    )
+    if run.get("threaded"):
+        label += " +thread"
+    return label
+
+
+def load_metrics_doc(doc: Mapping[str, Any]) -> List[Tuple[str, Dict[str, Any]]]:
+    """(label, registry-export) pairs found in one parsed JSON document."""
+    if "families" in doc and "schema" in doc:
+        return [("run", dict(doc))]
+    if "metrics" in doc and isinstance(doc["metrics"], Mapping):
+        return [(run_label(doc.get("run")), dict(doc["metrics"]))]
+    if "runs" in doc:
+        out: List[Tuple[str, Dict[str, Any]]] = []
+        for run in doc["runs"]:
+            m = run.get("metrics")
+            if isinstance(m, Mapping):
+                out.append((run_label(run), dict(m)))
+        return out
+    raise ValueError("unrecognized metrics document (no families/metrics/runs)")
+
+
+def collect_metrics(paths: Iterable[Path]) -> List[Tuple[str, Dict[str, Any]]]:
+    """Load every metrics document under ``paths`` (files or directories)."""
+    files: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.json")))
+        else:
+            files.append(p)
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for f in files:
+        doc = json.loads(f.read_text(encoding="utf-8"))
+        for label, metrics in load_metrics_doc(doc):
+            out.append((label if label != "run" else f.stem, metrics))
+    return out
+
+
+def view_accuracy_samples(metrics: Mapping[str, Any]) -> List[Dict[str, float]]:
+    """Per-decision view-error records from a registry export.
+
+    Each record has ``time``, ``master``, ``signed_workload``,
+    ``signed_memory``, ``abs_workload`` and ``abs_memory`` keys (see
+    :class:`repro.obs.accuracy.ViewAccuracyTracker`); empty when the run
+    took no dynamic decisions or was not run with metrics.
+    """
+    fam = metrics.get("families", {}).get("view_accuracy")
+    if not fam:
+        return []
+    records: List[Dict[str, float]] = []
+    for series in fam.get("series", []):
+        records.extend(series.get("records", []))
+    records.sort(key=lambda r: r.get("time", 0.0))
+    return records
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_report(label: str, metrics: Mapping[str, Any]) -> str:
+    """Text summary of one run's registry export."""
+    lines = [label, "=" * len(label)]
+    families: Mapping[str, Any] = metrics.get("families", {})
+
+    counters = [(n, f) for n, f in sorted(families.items())
+                if f["kind"] in ("counter", "gauge")]
+    if counters:
+        lines.append("")
+        lines.append("counters / gauges")
+        lines.append("-----------------")
+        for name, fam in counters:
+            for s in fam["series"]:
+                key = f"{name}{_fmt_labels(s.get('labels', {}))}"
+                lines.append(f"  {key:<52} {s['value']:>14g}")
+
+    hists = [(n, f) for n, f in sorted(families.items())
+             if f["kind"] == "histogram"]
+    if hists:
+        lines.append("")
+        lines.append("histograms (count / mean / max)")
+        lines.append("-------------------------------")
+        for name, fam in hists:
+            for s in fam["series"]:
+                count = s["count"]
+                mean = s["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {name}{_fmt_labels(s.get('labels', {}))}: "
+                    f"n={count} mean={mean:.3g} max={s['max']:.3g}"
+                )
+
+    series = [(n, f) for n, f in sorted(families.items())
+              if f["kind"] == "timeseries"]
+    if series:
+        lines.append("")
+        lines.append("timeseries (buckets / span / last)")
+        lines.append("----------------------------------")
+        for name, fam in series:
+            for s in fam["series"]:
+                pts = s.get("points", [])
+                span = (pts[-1]["time"] - pts[0]["time"]) if pts else 0.0
+                last = pts[-1]["last"] if pts else 0.0
+                lines.append(
+                    f"  {name}{_fmt_labels(s.get('labels', {}))}: "
+                    f"{len(pts)} buckets over {span:.4g}s, last={last:g}"
+                )
+
+    acc = view_accuracy_samples(metrics)
+    if acc:
+        n = len(acc)
+        mean_w = sum(r["abs_workload"] for r in acc) / n
+        mean_sw = sum(r["signed_workload"] for r in acc) / n
+        worst = max(acc, key=lambda r: r["abs_workload"])
+        lines.append("")
+        lines.append("view accuracy (decision views vs committed-load truth)")
+        lines.append("------------------------------------------------------")
+        lines.append(f"  decisions sampled : {n}")
+        lines.append(f"  mean |err| workload: {mean_w:.4g}")
+        lines.append(f"  mean signed err    : {mean_sw:+.4g} "
+                     "(negative = stale view, the Figure-1 failure)")
+        lines.append(f"  worst decision     : t={worst['time']:.5g}s "
+                     f"master=P{int(worst['master'])} "
+                     f"|err|={worst['abs_workload']:.4g}")
+    return "\n".join(lines)
+
+
+def render_reports(
+    entries: Iterable[Tuple[str, Mapping[str, Any]]]
+) -> str:
+    return "\n\n".join(render_report(label, m) for label, m in entries)
+
+
+def to_prometheus(
+    entries: Iterable[Tuple[str, Mapping[str, Any]]], prefix: str = "repro_"
+) -> str:
+    """Merge registry exports back into one Prometheus exposition.
+
+    Each run is distinguished by an injected ``run`` label, so a long sweep
+    scrapes as one document.
+    """
+    out: List[str] = []
+    for label, metrics in entries:
+        reg = MetricsRegistry.from_dict(metrics)
+        text = reg.to_prometheus(prefix)
+        # inject the run label into every sample line
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                out.append(line)
+                continue
+            name, _, value = line.rpartition(" ")
+            if name.endswith("}"):
+                head, _, tail = name.rpartition("}")
+                out.append(f'{head},run="{label}"}} {value}')
+            else:
+                out.append(f'{name}{{run="{label}"}} {value}')
+    return "\n".join(out) + ("\n" if out else "")

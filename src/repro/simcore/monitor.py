@@ -7,15 +7,19 @@ decision callbacks).  Monitors must never schedule events, charge CPU time,
 or mutate simulation state — a run with a monitor installed produces results
 identical to one without.
 
-The only monitor shipped today is the causality sanitizer
+Two monitors ship today: the causality sanitizer
 (:mod:`repro.analysis.sanitizer`), which threads vector clocks through the
-hooks to detect happens-before violations.  Keeping the base class here (and
-not in ``repro.analysis``) lets the kernel stay free of upward imports.
+hooks to detect happens-before violations, and the telemetry feed
+(:mod:`repro.obs.monitor`), which turns the same hooks into metrics.  They
+compose through :class:`MultiMonitor` (see ``Network.add_monitor`` /
+``SimProcess.add_monitor``).  Keeping the base class here (and not in
+``repro.analysis`` / ``repro.obs``) lets the kernel stay free of upward
+imports.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, List
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .network import Envelope
@@ -39,3 +43,46 @@ class RunMonitor:
 
     def leave_context(self, rank: int) -> None:
         """``rank``'s code stops executing (matches :meth:`enter_context`)."""
+
+
+class MultiMonitor(RunMonitor):
+    """Fan-out composite: every hook is forwarded to each child in order.
+
+    Composition (rather than a second install slot) keeps the kernel's hot
+    path a single ``monitor is not None`` check however many observers are
+    attached.  Nested composites are flattened, so repeated
+    ``add_monitor`` calls never build a call chain.
+    """
+
+    def __init__(self, monitors: Iterable[RunMonitor]) -> None:
+        self.monitors: List[RunMonitor] = []
+        for m in monitors:
+            if isinstance(m, MultiMonitor):
+                self.monitors.extend(m.monitors)
+            else:
+                self.monitors.append(m)
+
+    def on_send(self, env: "Envelope") -> None:
+        for m in self.monitors:
+            m.on_send(env)
+
+    def on_treat(self, rank: int, env: "Envelope") -> None:
+        for m in self.monitors:
+            m.on_treat(rank, env)
+
+    def enter_context(self, rank: int) -> None:
+        for m in self.monitors:
+            m.enter_context(rank)
+
+    def leave_context(self, rank: int) -> None:
+        for m in self.monitors:
+            m.leave_context(rank)
+
+
+def compose_monitors(
+    existing: "RunMonitor | None", extra: RunMonitor
+) -> RunMonitor:
+    """``extra`` composed after ``existing`` (which may be absent)."""
+    if existing is None:
+        return extra
+    return MultiMonitor([existing, extra])

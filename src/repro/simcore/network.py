@@ -174,10 +174,21 @@ class Network:
         self._injector = injector
 
     def install_monitor(self, monitor: "RunMonitor") -> None:
-        """Observe every subsequent send with ``monitor`` (passive only)."""
+        """Observe every subsequent send with ``monitor`` (passive only).
+
+        Raises when a monitor is already installed — callers that must
+        coexist with others use :meth:`add_monitor` instead.
+        """
         if self._monitor is not None:
             raise ChannelError("a monitor is already installed")
         self._monitor = monitor
+
+    def add_monitor(self, monitor: "RunMonitor") -> None:
+        """Compose ``monitor`` with any already-installed one (fan-out,
+        notification order = installation order)."""
+        from .monitor import compose_monitors
+
+        self._monitor = compose_monitors(self._monitor, monitor)
 
     @property
     def monitor(self) -> Optional["RunMonitor"]:

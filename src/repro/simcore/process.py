@@ -102,6 +102,7 @@ class SimProcess:
         self._poll_event: Optional[Event] = None
         #: Optional passive observer (see :mod:`repro.simcore.monitor`);
         #: notified of message treatments and execution-context windows.
+        #: Compose additional observers via :meth:`add_monitor`.
         self.monitor: Optional["RunMonitor"] = None
         # --- statistics -------------------------------------------------
         self.stats_msgs_treated = 0
@@ -138,6 +139,14 @@ class SimProcess:
 
     def on_idle(self) -> None:
         """Hook called when the process goes idle (no messages, no tasks)."""
+
+    # ------------------------------------------------------------- monitors
+
+    def add_monitor(self, monitor: "RunMonitor") -> None:
+        """Compose a passive observer with any already-installed one."""
+        from .monitor import compose_monitors
+
+        self.monitor = compose_monitors(self.monitor, monitor)
 
     # -------------------------------------------------------------- queries
 
@@ -287,9 +296,24 @@ class SimProcess:
             if mon is not None:
                 mon.leave_context(self.rank)
         cost = self.network.config.recv_cost(env.size) + self._take_pending()
+        self._record_treat_span(env, cost)
         self.stats_busy_time += cost
         self._busy_until = max(self._busy_until, self.sim.now) + cost
         self._schedule_dispatch(self._busy_until)
+
+    def _record_treat_span(self, env: Envelope, cost: float) -> None:
+        """Trace the treatment of ``env`` as a duration span.
+
+        The end is stamped ``cost`` in the future (the CPU time the treatment
+        occupies); ``to_chrome_trace`` re-sorts, so the out-of-order append is
+        fine.
+        """
+        trace = self.sim.trace
+        if trace is None:
+            return
+        name = f"treat:{env.payload.type_name}"
+        trace.begin_span(self.sim.now, name, who=self.rank)
+        trace.end_span(self.sim.now + cost, name, who=self.rank)
 
     # ---------------------------------------------------------------- tasks
 
@@ -446,6 +470,7 @@ class SimProcess:
                 if mon is not None:
                     mon.leave_context(self.rank)
             cost = self.network.config.recv_cost(env.size) + self._take_pending()
+            self._record_treat_span(env, cost)
             if self.computing:
                 self._extend_running_task(cost)
             else:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,19 @@ class TraceRecorder:
         if self._keep is not None and kind not in self._keep:
             return
         self.entries.append(TraceEntry(time, kind, who, detail))
+
+    def begin_span(self, time: float, name: str, who: int = -1) -> None:
+        """Open a named span on ``who``'s track (Chrome-trace ``B`` event).
+
+        Spans may be recorded out of append order (an end stamped in the
+        future before intervening entries); :meth:`to_chrome_trace` sorts by
+        timestamp, so viewers always see well-nested durations.
+        """
+        self.record(time, "span-start", name, who=who)
+
+    def end_span(self, time: float, name: str, who: int = -1) -> None:
+        """Close the matching :meth:`begin_span` (Chrome-trace ``E`` event)."""
+        self.record(time, "span-end", name, who=who)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -97,13 +110,28 @@ class TraceRecorder:
         ]
         return rec
 
+    #: Trace kinds exported as Chrome duration events: kind -> (phase, cat).
+    _CHROME_DURATIONS: Dict[str, Tuple[str, str]] = {
+        "task-start": ("B", "task"),
+        "task-end": ("E", "task"),
+        "span-start": ("B", "span"),
+        "span-end": ("E", "span"),
+    }
+
     def to_chrome_trace(self) -> Dict[str, Any]:
         """Chrome trace-event document (``chrome://tracing`` / Perfetto).
 
-        ``task-start``/``task-end`` pairs become duration ("B"/"E") events on
-        the acting rank's track; every other entry becomes an instant event.
-        Timestamps are microseconds, so one simulated second reads as one
-        traced second.
+        ``task-start``/``task-end`` and ``span-start``/``span-end`` pairs
+        become duration ("B"/"E") events on the acting rank's track; every
+        other entry becomes an instant event.  Timestamps are microseconds,
+        so one simulated second reads as one traced second.
+
+        Events are emitted in monotonically non-decreasing ``ts`` order
+        (metadata first, ties kept in record order): Perfetto's JSON
+        importer requires non-decreasing timestamps within a pid/tid and
+        mis-nests simultaneous send/recv instants otherwise.  Entries are
+        stably sorted rather than assumed ordered because spans may be
+        recorded with future end times (see :meth:`begin_span`).
         """
         events: List[Dict[str, Any]] = []
         ranks = sorted({e.who for e in self.entries if e.who >= 0})
@@ -112,24 +140,24 @@ class TraceRecorder:
                 "name": "thread_name", "ph": "M", "pid": 0, "tid": r,
                 "args": {"name": f"P{r}"},
             })
+        timed: List[Dict[str, Any]] = []
         for e in self.entries:
             ts = e.time * 1e6
             tid = e.who if e.who >= 0 else max(ranks, default=0) + 1
-            if e.kind == "task-start":
-                events.append({
-                    "name": e.detail, "cat": "task", "ph": "B",
-                    "ts": ts, "pid": 0, "tid": tid,
-                })
-            elif e.kind == "task-end":
-                events.append({
-                    "name": e.detail, "cat": "task", "ph": "E",
+            duration = self._CHROME_DURATIONS.get(e.kind)
+            if duration is not None:
+                ph, cat = duration
+                timed.append({
+                    "name": e.detail, "cat": cat, "ph": ph,
                     "ts": ts, "pid": 0, "tid": tid,
                 })
             else:
-                events.append({
+                timed.append({
                     "name": e.detail, "cat": e.kind, "ph": "i",
                     "ts": ts, "pid": 0, "tid": tid, "s": "t",
                 })
+        timed.sort(key=lambda ev: ev["ts"])  # stable: ties keep record order
+        events.extend(timed)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def save_chrome_trace(self, path: str) -> None:

@@ -60,6 +60,10 @@ class SolverConfig:
     resilience: bool = False
     #: Opt-in causality sanitizer (None = no monitoring, zero overhead).
     sanitizer: Optional[SanitizerConfig] = None
+    #: Opt-in runtime telemetry (repro.obs): metrics registry, view-accuracy
+    #: timeseries.  Off = no obs code runs and results are byte-identical
+    #: to a build without the subsystem.
+    metrics: bool = False
 
 
 @dataclass
@@ -96,6 +100,8 @@ class FactorizationResult:
     resilience_stats: Optional[Dict[str, int]] = None
     #: Causality-sanitizer observation counters (None when not sanitized).
     sanitizer_stats: Optional[Dict[str, int]] = None
+    #: Telemetry registry export (None unless SolverConfig.metrics was on).
+    metrics: Optional[Dict] = None
 
     @property
     def mean_view_error_workload(self) -> float:
@@ -160,6 +166,8 @@ class FactorizationResult:
             out["resilience_stats"] = dict(self.resilience_stats)
         if self.sanitizer_stats is not None:
             out["sanitizer_stats"] = dict(self.sanitizer_stats)
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
 
@@ -226,6 +234,19 @@ def run_factorization(
     truth = TruthTracker(nprocs)
     decision_log = DecisionLog()
 
+    metrics_registry = None
+    view_accuracy = None
+    if config.metrics:
+        from ..obs import MetricsRegistry, ViewAccuracyTracker
+
+        metrics_registry = MetricsRegistry()
+        view_accuracy = ViewAccuracyTracker(metrics_registry, truth)
+        shared.metrics = metrics_registry
+        if shared.snapshot_stats is not None:
+            shared.snapshot_stats.metrics = metrics_registry
+        if injector is not None:
+            injector.metrics = metrics_registry
+
     procs: List[SolverProcess] = []
     for rank in range(nprocs):
         mech = create_mechanism(mechanism, mech_config)
@@ -246,6 +267,7 @@ def run_factorization(
                 record_series=config.record_series,
                 truth=truth,
                 decision_log=decision_log,
+                view_accuracy=view_accuracy,
             )
         )
 
@@ -292,6 +314,17 @@ def run_factorization(
         sanitizer = CausalitySanitizer(config.sanitizer)
         sanitizer.install(sim, net, procs, shared)
 
+    # Composed after the sanitizer (add_monitor fan-out) so the sanitizer's
+    # exclusive install slot is untouched; both are pure observers, so the
+    # notification order between them is immaterial.
+    if metrics_registry is not None:
+        from ..obs import MetricsMonitor
+
+        metrics_monitor = MetricsMonitor(sim, metrics_registry)
+        net.add_monitor(metrics_monitor)
+        for p in procs:
+            p.add_monitor(metrics_monitor)
+
     reason = sim.run()
     if run_state.remaining != 0:  # pragma: no cover - deadlock guard
         raise ProtocolError(
@@ -335,6 +368,31 @@ def run_factorization(
         resilience_counters = dict(sorted(total.items()))
 
     snap = shared.snapshot_stats
+    metrics_export: Optional[Dict] = None
+    if metrics_registry is not None:
+        makespan = completion_time[0]
+        metrics_registry.gauge("factorization_seconds").set(makespan)
+        metrics_registry.gauge("decisions_total").set(
+            float(sum(p.stats_decisions for p in procs))
+        )
+        metrics_registry.gauge("engine_events_total").set(
+            float(sim.events_executed)
+        )
+        for p in procs:
+            labels = {"rank": str(p.rank)}
+            metrics_registry.gauge("rank_busy_seconds", labels).set(
+                p.stats_busy_time
+            )
+            metrics_registry.gauge("rank_peak_active_entries", labels).set(
+                float(p.tracker.peak_active)
+            )
+            metrics_registry.gauge("rank_factor_entries", labels).set(
+                float(p.tracker.factors)
+            )
+            metrics_registry.gauge("rank_utilization", labels).set(
+                p.stats_busy_time / makespan if makespan > 0 else 0.0
+            )
+        metrics_export = metrics_registry.to_dict()
     return FactorizationResult(
         problem=pname,
         nprocs=nprocs,
@@ -366,4 +424,5 @@ def run_factorization(
         sanitizer_stats=(
             sanitizer.stats_dict() if sanitizer is not None else None
         ),
+        metrics=metrics_export,
     )

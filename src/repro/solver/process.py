@@ -28,7 +28,17 @@ slave rows arrive     active += rows×nfront; workload/memory reported with
 
 from __future__ import annotations
 
-from typing import Callable, ClassVar, Dict, List, Mapping, Optional, Set, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Type,
+)
 
 from ..mapping.static import StaticMapping
 from ..mapping.types import NodeType
@@ -50,6 +60,9 @@ from .messages import (
     SlaveTaskMsg,
 )
 from .tasks import ReadyTask, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.accuracy import ViewAccuracyTracker
 
 
 class RunState:
@@ -103,6 +116,7 @@ class SolverProcess(SimProcess):
         record_series: bool = False,
         truth: Optional[TruthTracker] = None,
         decision_log: Optional[DecisionLog] = None,
+        view_accuracy: Optional["ViewAccuracyTracker"] = None,
     ) -> None:
         super().__init__(sim, network, rank, threaded=threaded, poll_period=poll_period)
         self.mapping = mapping
@@ -126,6 +140,7 @@ class SolverProcess(SimProcess):
         self.stats_decisions = 0
         self.truth = truth
         self.decision_log = decision_log
+        self.view_accuracy = view_accuracy
         mechanism.bind(self, shared)
 
     # ------------------------------------------------------------- setup
@@ -413,6 +428,8 @@ class SolverProcess(SimProcess):
             candidates = [r for r in range(self.network.nprocs) if r != self.rank]
         else:
             candidates = [r for r in candidates if r != self.rank]
+        if self.view_accuracy is not None:
+            self.view_accuracy.sample(self.sim.now, self.rank, view)
         if self.truth is not None and self.decision_log is not None:
             err_w, err_m = self.truth.errors_against(view, exclude=self.rank)
             self.decision_log.add(DecisionRecord(

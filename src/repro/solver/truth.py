@@ -70,6 +70,28 @@ class TruthTracker:
         err_m = float(np.abs(vm - tm).sum()) / den_m
         return err_w, err_m
 
+    def signed_errors_against(self, view: LoadView, exclude: int = -1):
+        """Signed relative errors (workload, memory) of ``view`` vs truth.
+
+        Same masking and normalization as :meth:`errors_against`, but the
+        numerator keeps its sign: positive means the view *overestimates*
+        the system load, negative that it lags behind reality — the staleness
+        direction of the paper's Figure 1 (a slave's received work not yet
+        reflected in the deciding master's view).
+        """
+        mask = np.ones(self.view.nprocs, dtype=bool)
+        if 0 <= exclude < self.view.nprocs:
+            mask[exclude] = False
+        tw = self.view.workload[mask]
+        tm = self.view.memory[mask]
+        vw = view.workload[mask]
+        vm = view.memory[mask]
+        den_w = max(float(np.abs(tw).sum()), float(np.abs(vw).sum()), 1.0)
+        den_m = max(float(np.abs(tm).sum()), float(np.abs(vm).sum()), 1.0)
+        err_w = float((vw - tw).sum()) / den_w
+        err_m = float((vm - tm).sum()) / den_m
+        return err_w, err_m
+
 
 @dataclass(frozen=True)
 class DecisionRecord:

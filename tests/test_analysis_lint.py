@@ -116,6 +116,43 @@ class TestRPA004MutableDefault:
         assert codes("def f(x=()):\n    pass\n") == []
 
 
+class TestRPA005HotPathIO:
+    def test_positive_print(self):
+        src = "def handle(self, env):\n    print('treating', env)\n"
+        assert codes(src, is_hot_path=True) == ["RPA005"]
+
+    def test_positive_logger_and_logging_module(self):
+        src = (
+            "import logging\n"
+            "logger = logging.getLogger(__name__)\n"
+            "def handle(self, env):\n"
+            "    logger.debug('state %s', env)\n"
+            "    logging.info('hi')\n"
+        )
+        assert codes(src, is_hot_path=True) == ["RPA005", "RPA005"]
+
+    def test_negative_outside_hot_path(self):
+        # The experiments/reporting layers print on purpose.
+        assert codes("print('table 5')\n") == []
+        assert codes("print('table 5')\n", is_hot_path=False) == []
+
+    def test_negative_non_logger_method(self):
+        # `self.info(...)` on a non-logger receiver is not flagged.
+        src = "def f(self):\n    self.tracker.info_for(3)\n    view.log2()\n"
+        assert codes(src, is_hot_path=True) == []
+
+    def test_noqa(self):
+        src = "def f():\n    print('dbg')  # rpa: noqa[RPA005]\n"
+        assert codes(src, is_hot_path=True) == []
+
+    def test_hot_path_packages_are_scoped_by_directory(self):
+        from repro.analysis.lint import HOT_PATH_PACKAGES
+
+        assert set(HOT_PATH_PACKAGES) == {"simcore", "mechanisms", "solver"}
+        hot = lint_paths([SRC_ROOT / "simcore"], root=SRC_ROOT)
+        assert [f for f in hot if f.code == "RPA005"] == []
+
+
 class TestHarness:
     def test_repository_is_clean(self):
         """The repo itself must pass its own lint (CI enforces this)."""

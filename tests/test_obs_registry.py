@@ -1,0 +1,173 @@
+"""Unit tests of the metrics registry (repro.obs.registry)."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    Timeseries,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("msgs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("msgs")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("msgs", {"channel": "STATE"})
+        b = reg.counter("msgs", {"channel": "STATE"})
+        assert a is b
+        assert reg.counter("msgs", {"channel": "DATA"}) is not a
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", {"a": "1", "b": "2"})
+        b = reg.counter("m", {"b": "2", "a": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("busy")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, overflow
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        assert (h.min, h.max) == (0.5, 50.0)
+        assert h.mean == pytest.approx(18.5)
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestTimeseries:
+    def test_samples_fold_into_buckets(self):
+        ts = Timeseries(width=1.0)
+        ts.sample(0.1, 2.0)
+        ts.sample(0.9, 4.0)
+        ts.sample(2.5, 1.0)
+        assert len(ts) == 2
+        p0, p1 = ts.points()
+        assert p0 == {"time": 0.0, "count": 2.0, "sum": 6.0, "min": 2.0,
+                      "max": 4.0, "mean": 3.0, "last": 4.0}
+        assert p1["time"] == 2.0
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            Timeseries(width=0.0)
+
+
+class TestFamilySchema:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("m")
+
+    def test_label_key_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", {"channel": "STATE"})
+        with pytest.raises(ValueError, match="label keys"):
+            reg.counter("m", {"cause": "threshold"})
+
+    def test_families_iterates_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert list(reg.families()) == [("a", "counter"), ("b", "gauge")]
+        assert len(reg) == 2
+        assert "a" in reg and "z" not in reg
+
+
+class TestExportRoundTrip:
+    def populated(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", {"channel": "STATE"}).inc(7)
+        reg.counter("msgs", {"channel": "DATA"}).inc(3)
+        reg.gauge("busy", {"rank": "0"}).set(1.25)
+        reg.histogram("wait", buckets=(0.1, 1.0)).observe(0.5)
+        ts = reg.timeseries("rate", bucket_width=0.5)
+        ts.sample(0.2, 1.0)
+        ts.sample(1.4, 2.0)
+        reg.samples("acc").append(0.3, {"master": 1.0, "err": -0.25})
+        return reg
+
+    def test_to_dict_is_json_serializable_and_deterministic(self):
+        a = self.populated().to_dict()
+        b = self.populated().to_dict()
+        assert a["schema"] == 1
+        assert json.dumps(a, sort_keys=False) == json.dumps(b, sort_keys=False)
+
+    def test_round_trip_preserves_everything(self):
+        reg = self.populated()
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+
+    def test_round_trip_survives_json(self):
+        doc = json.loads(json.dumps(self.populated().to_dict()))
+        assert MetricsRegistry.from_dict(doc).to_dict() == \
+            self.populated().to_dict()
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry.from_dict({"schema": 99, "families": {}})
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", {"channel": "STATE"}).inc(7)
+        reg.gauge("busy").set(1.5)
+        text = reg.to_prometheus()
+        assert "# TYPE repro_msgs counter" in text
+        assert 'repro_msgs{channel="STATE"} 7' in text
+        assert "repro_busy 1.5" in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_wait_bucket{le="1"} 1' in text
+        assert 'repro_wait_bucket{le="10"} 2' in text
+        assert 'repro_wait_bucket{le="+Inf"} 3' in text
+        assert "repro_wait_count 3" in text
+
+    def test_timeseries_summarized_samples_omitted(self):
+        reg = MetricsRegistry()
+        reg.timeseries("rate").sample(0.1, 2.0)
+        reg.samples("acc").append(0.1, {"x": 1.0})
+        text = reg.to_prometheus(prefix="x_")
+        assert "x_rate_last 2" in text
+        assert "x_rate_points 1" in text
+        assert "acc" not in text
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""

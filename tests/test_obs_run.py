@@ -1,0 +1,176 @@
+"""End-to-end telemetry tests: metrics-on runs, reports, persistence.
+
+The contract under test (docs/observability.md): metrics collection is
+passive — a metrics-on run produces *identical* simulated results to a
+metrics-off run — and the registry export agrees with the run's own
+aggregate message statistics.
+"""
+
+import json
+
+import pytest
+
+from repro.matrices import generators as gen
+from repro.obs import (
+    MetricsRegistry,
+    render_report,
+    view_accuracy_samples,
+)
+from repro.obs.report import collect_metrics, load_metrics_doc, to_prometheus
+from repro.solver.driver import SolverConfig, run_factorization
+from repro.symbolic import analyze_matrix
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((10, 10, 6)), name="obsgrid")
+
+
+@pytest.fixture(scope="module")
+def metrics_run(tree):
+    return run_factorization(tree, 8, "increments", "workload",
+                             SolverConfig(metrics=True))
+
+
+def counter_values(metrics, family):
+    """{labelset-tuple: value} of one counter family in an export."""
+    fam = metrics["families"].get(family, {"series": []})
+    return {
+        tuple(sorted(s["labels"].items())): s["value"] for s in fam["series"]
+    }
+
+
+class TestMetricsOnRun:
+    def test_export_present_and_well_formed(self, metrics_run):
+        m = metrics_run.metrics
+        assert m is not None and m["schema"] == 1
+        assert MetricsRegistry.from_dict(m).to_dict() == m
+
+    def test_results_identical_to_metrics_off(self, tree):
+        on = run_factorization(tree, 8, "increments", "workload",
+                               SolverConfig(metrics=True))
+        off = run_factorization(tree, 8, "increments", "workload",
+                                SolverConfig())
+        assert on.factorization_time == off.factorization_time
+        assert on.peak_active_memory == off.peak_active_memory
+        assert on.decisions == off.decisions
+        assert on.events_executed == off.events_executed
+        assert on.messages_by_type == off.messages_by_type
+        assert off.metrics is None
+        assert "metrics" not in off.to_dict()
+
+    def test_sent_counters_match_network_stats(self, metrics_run):
+        sent = counter_values(metrics_run.metrics, "messages_sent_total")
+        by_type = {}
+        for labels, value in sent.items():
+            t = dict(labels)["type"]
+            by_type[t] = by_type.get(t, 0) + int(value)
+        assert by_type == dict(metrics_run.messages_by_type)
+
+    def test_treat_counters_do_not_exceed_sends(self, metrics_run):
+        m = metrics_run.metrics
+        sent = sum(counter_values(m, "messages_sent_total").values())
+        treated = sum(counter_values(m, "messages_treated_total").values())
+        assert 0 < treated <= sent
+
+    def test_broadcast_causes_labeled(self, metrics_run):
+        causes = {
+            dict(ls)["cause"]
+            for ls in counter_values(metrics_run.metrics,
+                                     "state_broadcasts_total")
+        }
+        # increments: threshold broadcasts + per-decision reservations
+        assert "reservation" in causes
+        assert causes <= {"threshold", "reservation", "timer",
+                          "no_more_master", "refresh", "snapshot_start",
+                          "snapshot_end"}
+
+    def test_solver_gauges(self, metrics_run):
+        fams = metrics_run.metrics["families"]
+        t = fams["factorization_seconds"]["series"][0]["value"]
+        assert t == pytest.approx(metrics_run.factorization_time)
+        d = fams["decisions_total"]["series"][0]["value"]
+        assert d == metrics_run.decisions
+        utils = fams["rank_utilization"]["series"]
+        assert len(utils) == 8
+        assert all(0.0 <= s["value"] <= 1.0 + 1e-9 for s in utils)
+
+    def test_view_accuracy_sampled_at_every_decision(self, metrics_run):
+        samples = view_accuracy_samples(metrics_run.metrics)
+        assert len(samples) == metrics_run.decisions
+        for rec in samples:
+            assert {"time", "master", "signed_workload",
+                    "abs_workload"} <= set(rec)
+
+    def test_snapshot_run_records_round_latencies(self, tree):
+        r = run_factorization(tree, 8, "snapshot", "workload",
+                              SolverConfig(metrics=True))
+        fams = r.metrics["families"]
+        rounds = fams["snapshot_round_seconds"]["series"][0]
+        gather = fams["snapshot_gather_seconds"]["series"][0]
+        assert rounds["count"] == r.snapshot_count > 0
+        assert gather["count"] > 0
+        # the gather phase is part of the round, so it cannot take longer
+        assert gather["max"] <= rounds["max"] + 1e-12
+
+
+class TestReporting:
+    def test_render_report(self, metrics_run):
+        text = render_report("obsgrid P=8", metrics_run.metrics)
+        assert "obsgrid P=8" in text
+        assert "messages_sent_total" in text
+        assert "view accuracy" in text
+
+    def test_prometheus_merge_injects_run_label(self, metrics_run):
+        text = to_prometheus([("r1", metrics_run.metrics)])
+        assert 'run="r1"' in text
+        assert "repro_messages_sent_total" in text
+
+    def test_load_metrics_doc_all_three_formats(self, metrics_run):
+        bare = metrics_run.metrics
+        assert load_metrics_doc(bare) == [("run", dict(bare))]
+        wrapped = {"run": {"problem": "X", "nprocs": 8,
+                           "mechanism": "increments", "strategy": "workload"},
+                   "metrics": bare}
+        ((label, m),) = load_metrics_doc(wrapped)
+        assert label == "X P=8 increments/workload"
+        dump = {"runs": [{"metrics": bare}, {"no_metrics": True}]}
+        assert len(load_metrics_doc(dump)) == 1
+        with pytest.raises(ValueError):
+            load_metrics_doc({"something": "else"})
+
+
+class TestRunnerPersistence:
+    def test_metrics_dir_files_and_cli_report(self, tmp_path, capsys):
+        from repro.experiments.runner import ExperimentRunner, ExperimentScale
+
+        mdir = tmp_path / "run-metrics"
+        runner = ExperimentRunner(scale=ExperimentScale(fast=True),
+                                  metrics_dir=str(mdir))
+        runner.run("GUPTA3", 8, "increments", "workload")
+        files = sorted(mdir.glob("*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["run"]["problem"] == "GUPTA3"
+        assert doc["metrics"]["schema"] == 1
+        # a second identical run is a cache hit and writes nothing new
+        runner.run("GUPTA3", 8, "increments", "workload")
+        assert sorted(mdir.glob("*.json")) == files
+
+        entries = collect_metrics([mdir])
+        assert [label for label, _ in entries] == \
+            ["GUPTA3 P=8 increments/workload"]
+
+        from repro.obs.__main__ import main
+        assert main(["report", str(mdir)]) == 0
+        assert "GUPTA3" in capsys.readouterr().out
+        assert main(["prom", str(mdir)]) == 0
+        assert 'run="GUPTA3' in capsys.readouterr().out
+
+    def test_report_cli_empty_dir_exits_one(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["report", str(empty)]) == 1
+        assert "no metrics" in capsys.readouterr().err

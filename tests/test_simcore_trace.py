@@ -100,6 +100,47 @@ class TestChromeTrace:
         doc = TraceRecorder().to_chrome_trace()
         assert doc["traceEvents"] == []
 
+    def test_spans_become_duration_events(self):
+        rec = TraceRecorder()
+        rec.begin_span(1e-3, "treat:update_inc", who=1)
+        rec.end_span(2e-3, "treat:update_inc", who=1)
+        doc = rec.to_chrome_trace()
+        b, e = [ev for ev in doc["traceEvents"] if ev["ph"] != "M"]
+        assert (b["ph"], e["ph"]) == ("B", "E")
+        assert b["name"] == e["name"] == "treat:update_inc"
+        assert b["cat"] == e["cat"] == "span"
+        assert b["tid"] == e["tid"] == 1
+        assert (b["ts"], e["ts"]) == (pytest.approx(1e3), pytest.approx(2e3))
+
+    def test_timestamps_monotonic_even_when_recorded_out_of_order(self):
+        """Span ends are stamped at now+cost, ahead of later records; the
+        export must still be sorted (Perfetto rejects ts regressions)."""
+        rec = TraceRecorder()
+        rec.begin_span(1e-3, "treat:a", who=0)
+        rec.end_span(5e-3, "treat:a", who=0)   # future end, recorded early
+        rec.record(2e-3, "send", "snp:0->1", who=0)
+        rec.begin_span(3e-3, "treat:b", who=1)
+        rec.end_span(4e-3, "treat:b", who=1)
+        ts = [e["ts"] for e in rec.to_chrome_trace()["traceEvents"]
+              if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_sort_is_stable_for_ties(self):
+        """Same-timestamp entries keep record order (B before E at a tie)."""
+        rec = TraceRecorder()
+        rec.begin_span(1e-3, "zero-cost", who=0)
+        rec.end_span(1e-3, "zero-cost", who=0)
+        phases = [e["ph"] for e in rec.to_chrome_trace()["traceEvents"]]
+        assert phases == ["M", "B", "E"]
+
+    def test_span_round_trip_through_json(self):
+        rec = TraceRecorder()
+        rec.begin_span(1e-3, "snapshot-round", who=2)
+        rec.end_span(3e-3, "snapshot-round", who=2)
+        back = TraceRecorder.from_json(rec.to_json())
+        assert back.entries == rec.entries
+        assert back.to_chrome_trace() == rec.to_chrome_trace()
+
     def test_save_chrome_trace(self, tmp_path):
         path = tmp_path / "run.trace.json"
         sample_recorder().save_chrome_trace(str(path))

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.viz import gantt, memory_chart, utilization
+from repro.experiments.viz import (
+    gantt,
+    memory_chart,
+    utilization,
+    view_accuracy_chart,
+)
 from repro.matrices import generators as gen
 from repro.simcore import TraceRecorder
 from repro.solver import SolverConfig, run_factorization
@@ -86,3 +91,49 @@ class TestMemoryChart:
         top_label = text.splitlines()[2].split("|")[0].strip()
         assert float(top_label) == pytest.approx(result.peak_active_memory,
                                                  rel=0.01)
+
+
+class TestViewAccuracyChart:
+    SAMPLES = [
+        {"time": 0.01, "signed_workload": -0.4, "signed_memory": 0.0},
+        {"time": 0.02, "signed_workload": 0.2, "signed_memory": 0.1},
+        {"time": 0.04, "signed_workload": -0.1, "signed_memory": 0.0},
+    ]
+
+    def test_points_and_title_rendered(self):
+        text = view_accuracy_chart(self.SAMPLES, title="verr")
+        assert text.splitlines()[0] == "verr"
+        assert "*" in text
+        assert "3 total" in text
+
+    def test_axis_labels(self):
+        text = view_accuracy_chart(self.SAMPLES, height=12)
+        lines = text.splitlines()
+        rows = lines[2:14]  # title, underline, then `height` plot rows
+        # y axis spans [-top, +top] symmetrically
+        top = max(abs(s["signed_workload"]) for s in self.SAMPLES)
+        assert float(rows[0].split("|")[0]) == pytest.approx(top)
+        assert float(rows[-1].split("|")[0]) == pytest.approx(-top)
+        # the zero axis row is drawn with '-' inside the plot area
+        assert any("-" in r.split("|", 1)[1] for r in rows)
+        # x axis ends at the last sample time
+        assert "t=0.04s" in lines[-2]
+
+    def test_metric_selector(self):
+        text = view_accuracy_chart(self.SAMPLES, metric="memory")
+        assert "*" in text
+
+    def test_empty_samples_message(self):
+        assert "no view-accuracy samples" in view_accuracy_chart([])
+
+    def test_from_a_real_metrics_run(self):
+        from repro.obs import view_accuracy_samples
+
+        tree = analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="vgrid2")
+        result = run_factorization(tree, 4, mechanism="naive",
+                                   strategy="workload",
+                                   config=SolverConfig(metrics=True))
+        samples = view_accuracy_samples(result.metrics)
+        assert samples, "metrics run produced no view-accuracy samples"
+        text = view_accuracy_chart(samples)
+        assert "*" in text and "decision" in text
