@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments all --out results.txt
     python -m repro.experiments robustness --loss-rate 0.05 --loss-rate 0.2
     python -m repro.experiments robustness --no-resilience --fast
+    python -m repro.experiments extensions --fast   # every registered mechanism
 """
 
 from __future__ import annotations
@@ -31,9 +32,9 @@ TARGETS = [
     "figure1", "figure2", "ablations",
 ]
 #: Valid targets that ``all`` does NOT expand to: the robustness sweep
-#: injects faults, and ``all`` must stay byte-identical to the fault-free
-#: baseline.
-EXTRA_TARGETS = ["robustness"]
+#: injects faults, and the extensions table compares mechanisms beyond the
+#: paper's three — ``all`` must stay byte-identical to the paper baseline.
+EXTRA_TARGETS = ["robustness", "extensions"]
 
 
 def _emit(out: List[str], text: str) -> None:
@@ -162,6 +163,10 @@ def main(argv=None) -> int:
             nprocs = 16 if args.fast else 32
             for fn in ab.ALL_ABLATIONS.values():
                 _emit(out, fn(nprocs=nprocs).render())
+        elif target == "extensions":
+            a, b = tables.table_extensions(runner)
+            _emit(out, a.render())
+            _emit(out, b.render())
         elif target == "robustness":
             nprocs = 8 if args.fast else 16
             rates = tuple(args.loss_rates or (0.0, 0.02, 0.05, 0.10))

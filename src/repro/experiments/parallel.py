@@ -90,6 +90,12 @@ def grid_for_targets(
                     for mech in ("increments", "snapshot"):
                         add(RunSpec(p.name, nprocs, mech, "workload",
                                     threaded=True))
+        elif target == "extensions":
+            from ..mechanisms import available_mechanisms
+
+            for p in collection.suite("large"):
+                for mech in available_mechanisms():
+                    add(RunSpec(p.name, scale.large_procs[0], mech, "workload"))
     return specs
 
 

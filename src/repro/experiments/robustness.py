@@ -40,7 +40,13 @@ from ..solver.driver import FactorizationResult, SolverConfig, run_factorization
 from .report import TableResult
 
 #: Mechanisms swept by default (oracle is exempt: it exchanges no messages).
-MECHANISMS = ("naive", "increments", "snapshot", "partial_snapshot", "periodic")
+#: Includes the bounded-fanout family: gossip and neighborhood are the
+#: interesting cases — their merge rules are loss-tolerant by construction —
+#: while tree_agg's lost deltas corrupt the root's table silently.
+MECHANISMS = (
+    "naive", "increments", "snapshot", "partial_snapshot", "periodic",
+    "gossip", "neighborhood", "tree_agg",
+)
 
 #: resilience_stats keys that correspond to *sent* repair messages.
 RECOVERY_SEND_KEYS = (

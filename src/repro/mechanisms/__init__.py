@@ -9,14 +9,23 @@ Three mechanisms provide each process with a view of the loads of the others:
   with the §2.3 ``No_more_master`` optimization);
 * :class:`SnapshotMechanism` — demand-driven distributed snapshot with leader
   election and sequentialization of concurrent snapshots (paper §3).
+
+Extensions registered on top of the paper's three (all selectable by name;
+see :func:`available_mechanisms`): the oracle / periodic / partial-snapshot
+ablations and the bounded-fanout family (:class:`GossipMechanism`,
+:class:`NeighborhoodMechanism`, :class:`TreeAggMechanism`) built on
+:mod:`repro.topology`.
 """
 
 from .base import Mechanism, MechanismConfig, MechanismShared, SnapshotStats
+from .gossip import GossipMechanism
 from .increments import IncrementsMechanism
 from .messages import (
     EndSnp,
+    GossipLoad,
     MasterToAll,
     MasterToSlave,
+    NeighborLoad,
     NoMoreMaster,
     ReservationAck,
     ResyncRequest,
@@ -24,20 +33,25 @@ from .messages import (
     Snp,
     StartSnp,
     StateSync,
+    TreeDelta,
+    TreeSummary,
     UpdateAbsolute,
     UpdateIncrement,
 )
 from .naive import NaiveMechanism
+from .neighborhood import NeighborhoodMechanism
 from .oracle import OracleMechanism
 from .partial_snapshot import PartialSnapshotMechanism
 from .periodic import PeriodicMechanism
 from .registry import (
     MECHANISM_NAMES,
+    available_mechanisms,
     create_mechanism,
     mechanism_class,
     register_mechanism,
 )
 from .snapshot import SnapshotMechanism
+from .tree_agg import TreeAggMechanism
 from .view import Load, LoadView
 
 __all__ = [
@@ -51,6 +65,9 @@ __all__ = [
     "PartialSnapshotMechanism",
     "OracleMechanism",
     "PeriodicMechanism",
+    "GossipMechanism",
+    "NeighborhoodMechanism",
+    "TreeAggMechanism",
     "Load",
     "LoadView",
     "UpdateAbsolute",
@@ -65,7 +82,12 @@ __all__ = [
     "ResyncRequest",
     "StateSync",
     "ReservationAck",
+    "GossipLoad",
+    "NeighborLoad",
+    "TreeDelta",
+    "TreeSummary",
     "MECHANISM_NAMES",
+    "available_mechanisms",
     "create_mechanism",
     "mechanism_class",
     "register_mechanism",

@@ -103,6 +103,22 @@ class MechanismConfig:
     #: this-many updates under resilience, bounding view staleness caused by
     #: lost reservation (third-party) broadcasts.
     refresh_every: int = 8
+    #: Neighbor-graph kind for the bounded-fanout family ("" = each
+    #: mechanism's default; see :func:`repro.topology.build_topology`).
+    topology: str = ""
+    #: Topology connectivity knob (ring links per side, kreg degree, tree
+    #: arity; 0 = the kind's default).
+    topology_degree: int = 0
+    #: Seed for randomized topology kinds (the driver passes the run seed).
+    topology_seed: int = 0
+    #: Gossip: number of targets per round (0 = mechanism default).
+    gossip_fanout: int = 0
+    #: Gossip round period, seconds (0 = mechanism default).
+    gossip_period: float = 0.0
+    #: Neighborhood: maximum relay distance in hops (0 = default).
+    neighbor_horizon: int = 0
+    #: Neighborhood: per-hop blend factor for relayed estimates (0 = default).
+    neighbor_decay: float = 0.0
 
 
 class SnapshotStats:

@@ -9,7 +9,7 @@ Sizes below are bytes including a nominal header.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..simcore.network import Payload
 from .view import Load
@@ -169,6 +169,75 @@ class ReservationAck(Payload):
 
     def nbytes(self) -> int:
         return 32
+
+
+@dataclass
+class GossipLoad(Payload):
+    """Gossip mechanism: a rumor batch of versioned absolute load entries.
+
+    Maps rank → ``(version, load)``.  Versions are bumped only by the entry's
+    owner, so receivers merge by keeping the higher version — duplicates and
+    reordered rumors are harmless, which is what lets gossip survive message
+    loss without any request/reply machinery.
+    """
+
+    TYPE = "gossip_load"
+    entries: Dict[int, Tuple[int, Load]] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        return 32 + 28 * len(self.entries)
+
+
+@dataclass
+class NeighborLoad(Payload):
+    """Neighborhood mechanism: one origin's absolute load, relayed by hops.
+
+    ``hops == 0`` messages come straight from ``origin`` (exact view entry);
+    relayed copies carry ``hops >= 1`` and are blended into the receiver's
+    view with a per-hop decay (estimates degrade with distance, à la
+    ``DistNeighborsLB``).  ``version`` dedups relays per origin.
+    """
+
+    TYPE = "neighbor_load"
+    origin: int = 0
+    load: Load = Load.ZERO
+    version: int = 0
+    hops: int = 0
+
+    def nbytes(self) -> int:
+        return 56
+
+
+@dataclass
+class TreeDelta(Payload):
+    """Hierarchical mechanism: per-origin load deltas flowing *up* the tree.
+
+    Each entry maps an origin rank to the load variation it accumulated
+    since its previous flush; relays forward the batch toward the root,
+    which folds it into the authoritative global table.
+    """
+
+    TYPE = "tree_delta"
+    deltas: Dict[int, Load] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        return 32 + 24 * len(self.deltas)
+
+
+@dataclass
+class TreeSummary(Payload):
+    """Hierarchical mechanism: absolute load entries flowing *down* the tree.
+
+    The root periodically broadcasts the entries that changed since the last
+    summary; every rank installs them and forwards the message to its tree
+    children.
+    """
+
+    TYPE = "tree_summary"
+    loads: Dict[int, Load] = field(default_factory=dict)
+
+    def nbytes(self) -> int:
+        return 32 + 24 * len(self.loads)
 
 
 @dataclass

@@ -8,7 +8,7 @@ communication thread (``MechanismConfig.threaded`` + ``SimProcess(threaded=True)
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
 from .base import Mechanism, MechanismConfig
 from .increments import IncrementsMechanism
@@ -21,8 +21,22 @@ _REGISTRY: Dict[str, Type[Mechanism]] = {
     SnapshotMechanism.name: SnapshotMechanism,
 }
 
-#: Names in the order the paper's tables list them.
+#: The paper's three mechanisms, in the order its tables list them.
+#: Extension mechanisms register on top of these; consumers that want the
+#: full live list must call :func:`available_mechanisms` instead.
 MECHANISM_NAMES = ("increments", "snapshot", "naive")
+
+
+def available_mechanisms() -> Tuple[str, ...]:
+    """Every registered mechanism name: the paper's three first (in table
+    order), then the registered extensions sorted alphabetically.
+
+    This is the authoritative listing for CLIs and error messages —
+    ``MECHANISM_NAMES`` is frozen at the paper's mechanisms and misses
+    anything added through :func:`register_mechanism`.
+    """
+    extensions = sorted(n for n in _REGISTRY if n not in MECHANISM_NAMES)
+    return MECHANISM_NAMES + tuple(extensions)
 
 
 def mechanism_class(name: str) -> Type[Mechanism]:
@@ -31,7 +45,8 @@ def mechanism_class(name: str) -> Type[Mechanism]:
         return _REGISTRY[name]
     except KeyError:
         raise KeyError(
-            f"unknown mechanism {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown mechanism {name!r}; available: "
+            f"{list(available_mechanisms())}"
         ) from None
 
 

@@ -1,0 +1,248 @@
+"""Hierarchical load exchange — delta reduction up a tree, summaries down.
+
+Extension mechanism (not in the paper): state information flows along a
+reduction tree derived from the configured :mod:`repro.topology` graph
+(:meth:`~repro.topology.Topology.aggregation_tree`, default: a 4-ary tree).
+
+* **Up:** when a rank's accumulated variation exceeds the threshold it sends
+  a ``tree_delta`` (origin → ∆load) to its tree parent; relays fold the
+  entries into their own view opportunistically and forward the batch until
+  it reaches the root, which maintains the authoritative global table.  One
+  update costs *depth* ≈ log P messages instead of a P-1 broadcast.
+* **Down:** the root periodically broadcasts a ``tree_summary`` carrying the
+  absolute entries that changed since the last summary; every rank installs
+  them and forwards the message to its tree children (P-1 messages per
+  summary, amortizing any number of updates).
+
+Like the naive and periodic mechanisms there is no reservation concept, so
+the Figure-1 incoherence applies between summaries (masters patch their own
+view optimistically); the summary period bounds the staleness instead.  The
+§2.3 ``No_more_master`` broadcast is suppressed — O(P²) aggregate cost, and
+interior ranks must keep relaying regardless.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict, Mapping, Optional, Set, Tuple, Type
+
+from ..simcore.network import Envelope, Payload
+from ..topology import Topology, build_topology
+from .base import Mechanism, MechanismConfig, ViewCallback
+from .messages import TreeDelta, TreeSummary
+from .registry import register_mechanism
+from .view import Load
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.events import Event
+    from ..simcore.process import SimProcess
+    from .base import MechanismShared
+
+#: The aggregation root (rank 0, like the paper's snapshot leader order).
+ROOT = 0
+
+
+class TreeAggMechanism(Mechanism):
+    """Reduce load deltas to a root; broadcast compact summaries down."""
+
+    name = "tree_agg"
+    maintains_view = True
+
+    DEFAULT_TOPOLOGY = "tree"
+    DEFAULT_PERIOD = 5e-4
+
+    HANDLERS: ClassVar[Mapping[Type[Payload], str]] = {
+        TreeDelta: "_on_tree_delta",
+        TreeSummary: "_on_tree_summary",
+    }
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
+        super().__init__(config)
+        self._accum = Load.ZERO
+        self._parent = -1
+        self._children: Tuple[int, ...] = ()
+        #: Root only: ranks whose entries changed since the last summary.
+        self._summary_dirty: Set[int] = set()
+        self._updated_at: Dict[int, float] = {}
+        self._timer: Optional["Event"] = None
+        self._topo: Optional[Topology] = None
+        self.summaries_sent = 0
+
+    @property
+    def period(self) -> float:
+        p = self.config.gossip_period
+        return p if p > 0 else self.DEFAULT_PERIOD
+
+    def bind(
+        self, proc: "SimProcess", shared: Optional["MechanismShared"] = None
+    ) -> None:
+        super().bind(proc, shared)
+        self._topo = build_topology(
+            self.config.topology or self.DEFAULT_TOPOLOGY,
+            self.nprocs,
+            degree=self.config.topology_degree,
+            seed=self.config.topology_seed,
+        )
+        parents, children = self._topo.aggregation_tree(ROOT)
+        self._parent = parents[self.rank]
+        self._children = children[self.rank]
+
+    def _after_initialize(self) -> None:
+        now = self.sim.now if self.sim is not None else 0.0
+        for r in range(self.nprocs):
+            self._updated_at[r] = now
+        if self.rank == ROOT:
+            self._arm_timer()
+
+    # ----------------------------------------------------------- solver API
+
+    def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:
+        """Accumulate every variation; flush to the parent past the threshold.
+
+        No reservations exist, so slave-task variations are accounted when
+        the work physically arrives (naive-mechanism semantics).
+        """
+        self._require_bound()
+        self._set_my_load(self._my_load + delta)
+        self._accum = self._accum + delta
+        if self._accum.abs_exceeds(self.config.threshold):
+            self._flush()
+            self._accum = Load.ZERO
+
+    def _flush(self) -> None:
+        if self.rank == ROOT:
+            self._summary_dirty.add(self.rank)
+            return
+        self._note_broadcast("threshold")
+        self._note_fanout(1)
+        self._send_state(self._parent, TreeDelta(deltas={self.rank: self._accum}))
+        self.updates_sent += 1
+        self._maybe_refresh()
+
+    def request_view(self, callback: ViewCallback) -> None:
+        self._require_bound()
+        self._note_staleness()
+        callback(self.view.copy())
+
+    def record_decision(self, assignments: Dict[int, Load]) -> None:
+        """Patch my own view optimistically; the next summaries correct it."""
+        super().record_decision(assignments)
+        for rank, share in assignments.items():
+            if rank != self.rank:
+                self.view.add(rank, share)
+                if self.rank == ROOT:
+                    self._summary_dirty.add(rank)
+
+    def declare_no_more_master(self) -> None:
+        # Suppressed: O(P²) aggregate cost, and interior tree ranks must
+        # keep relaying deltas and summaries regardless.
+        self._announced_no_more_master = True
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._timer is not None and self.sim is not None:
+            self.sim.cancel(self._timer)
+            self._timer = None
+
+    # ----------------------------------------------------------- summaries
+
+    def _arm_timer(self) -> None:
+        assert self.sim is not None
+        self._timer = self.sim.schedule(
+            self.period, self._tick, label=f"tree-agg:P{self.rank}"
+        )
+
+    def _tick(self) -> None:
+        self._timer = None
+        if self._summary_dirty and self._children:
+            loads = {
+                r: self.view.get(r) for r in sorted(self._summary_dirty)
+            }
+            self._note_broadcast("timer")
+            self._note_fanout(len(self._children))
+            for dst in self._children:
+                self._send_state(dst, TreeSummary(loads=dict(loads)))
+            self.summaries_sent += 1
+            self._summary_dirty.clear()
+        self._arm_timer()
+
+    # ------------------------------------------------------ resilience hooks
+
+    def _maybe_refresh(self) -> None:
+        """Bounded variant of the base refresh: sync tree relatives only."""
+        if not self.config.resilience or self.config.refresh_every <= 0:
+            return
+        self._updates_since_refresh += 1
+        if self._updates_since_refresh < self.config.refresh_every:
+            return
+        self._updates_since_refresh = 0
+        self._note_broadcast("refresh")
+        if self._parent >= 0:
+            self._send_sync(self._parent)
+        for dst in self._children:
+            self._send_sync(dst)
+
+    def _apply_state_sync(self, src: int, load: Load) -> None:
+        assert self.sim is not None
+        self.view.set(src, load)
+        self._updated_at[src] = self.sim.now
+        if self.rank == ROOT:
+            self._summary_dirty.add(src)
+
+    # --------------------------------------------------------- message side
+
+    def _on_tree_delta(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, TreeDelta)
+        assert self.sim is not None
+        for origin in sorted(payload.deltas):
+            if origin == self.rank:
+                continue
+            self.view.add(origin, payload.deltas[origin])
+            self._updated_at[origin] = self.sim.now
+            if self.rank == ROOT:
+                self._summary_dirty.add(origin)
+        if self.rank != ROOT:
+            self._note_fanout(1)
+            self._send_state(self._parent, TreeDelta(deltas=dict(payload.deltas)))
+
+    def _on_tree_summary(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, TreeSummary)
+        assert self.sim is not None
+        for rank in sorted(payload.loads):
+            if rank == self.rank:
+                continue  # my own entry stays locally authoritative
+            self.view.set(rank, payload.loads[rank])
+            self._updated_at[rank] = self.sim.now
+        if self._children:
+            self._note_fanout(len(self._children))
+            for dst in self._children:
+                self._send_state(dst, TreeSummary(loads=dict(payload.loads)))
+
+    # ------------------------------------------------------------ telemetry
+
+    def _note_fanout(self, nsent: int) -> None:
+        if nsent <= 0:
+            return
+        metrics = self.shared.metrics
+        if metrics is not None:
+            metrics.counter(
+                "fanout_messages_total", {"mechanism": self.name}
+            ).inc(nsent)
+
+    def _note_staleness(self) -> None:
+        metrics = self.shared.metrics
+        if metrics is None or self.sim is None or self.nprocs <= 1:
+            return
+        now = self.sim.now
+        total = sum(
+            now - self._updated_at[r]
+            for r in range(self.nprocs)
+            if r != self.rank
+        )
+        metrics.histogram(
+            "view_staleness_seconds", {"mechanism": self.name}
+        ).observe(total / (self.nprocs - 1))
+
+
+register_mechanism(TreeAggMechanism)

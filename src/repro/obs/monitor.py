@@ -24,9 +24,10 @@ full catalogue):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..simcore.monitor import RunMonitor
+from ..simcore.network import Channel
 from .registry import DEFAULT_BUCKET_WIDTH, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,10 +58,22 @@ class MetricsMonitor(RunMonitor):
         self._queue_ts = registry.timeseries(
             "engine_event_queue_depth", bucket_width=self.bucket_width
         )
-        self._sent: dict = {}
-        self._sent_bytes: dict = {}
-        self._send_rate: dict = {}
-        self._treated: dict = {}
+        # Handles preresolved per channel (lists indexed by the Channel
+        # IntEnum) so the per-message hooks do no label-tuple construction
+        # and at most one string-keyed dict lookup per send.  The per-type
+        # caches key on ``payload.type_name`` — not ``type(payload)`` —
+        # because the resilience wrapper (``Sequenced``) reports its *inner*
+        # payload's type name.  Series stay lazily created so the registry
+        # export lists exactly the channels that saw traffic, as before.
+        self._sent_by_channel: List[Dict[str, Tuple[
+            Callable[..., None], Callable[..., None]
+        ]]] = [{} for _ in Channel]
+        self._rate_sample: List[Optional[Callable[..., None]]] = [
+            None for _ in Channel
+        ]
+        self._treated_inc: List[Optional[Callable[..., None]]] = [
+            None for _ in Channel
+        ]
 
     # ------------------------------------------------------------- sampling
 
@@ -76,34 +89,34 @@ class MetricsMonitor(RunMonitor):
     # ----------------------------------------------------------- kernel hooks
 
     def on_send(self, env: "Envelope") -> None:
-        key = (env.channel.name, env.payload.type_name)
-        ctr = self._sent.get(key)
-        if ctr is None:
-            labels = {"channel": key[0], "type": key[1]}
-            ctr = self._sent[key] = self.registry.counter(
-                "messages_sent_total", labels
+        channel = env.channel
+        tname = env.payload.type_name
+        entry = self._sent_by_channel[channel].get(tname)
+        if entry is None:
+            labels = {"channel": channel.name, "type": tname}
+            entry = self._sent_by_channel[channel][tname] = (
+                self.registry.counter("messages_sent_total", labels).inc,
+                self.registry.counter("message_bytes_sent_total", labels).inc,
             )
-            self._sent_bytes[key] = self.registry.counter(
-                "message_bytes_sent_total", labels
-            )
-        ctr.inc()
-        self._sent_bytes[key].inc(env.size)
-        rate = self._send_rate.get(env.channel.name)
+        inc_count, inc_bytes = entry
+        inc_count()
+        inc_bytes(env.size)
+        rate = self._rate_sample[channel]
         if rate is None:
-            rate = self._send_rate[env.channel.name] = self.registry.timeseries(
-                "message_send_rate", {"channel": env.channel.name},
+            rate = self._rate_sample[channel] = self.registry.timeseries(
+                "message_send_rate", {"channel": channel.name},
                 bucket_width=self.bucket_width,
-            )
-        rate.sample(env.send_time, 1.0)
+            ).sample
+        rate(env.send_time, 1.0)
         self._sample_engine(self.sim.now)
 
     def on_treat(self, rank: int, env: "Envelope") -> None:
-        ctr = self._treated.get(env.channel.name)
-        if ctr is None:
-            ctr = self._treated[env.channel.name] = self.registry.counter(
+        inc = self._treated_inc[env.channel]
+        if inc is None:
+            inc = self._treated_inc[env.channel] = self.registry.counter(
                 "messages_treated_total", {"channel": env.channel.name}
-            )
-        ctr.inc()
+            ).inc
+        inc()
         now = self.sim.now
         wait = now - env.deliver_time
         self._wait_hist.observe(wait if wait > 0.0 else 0.0)

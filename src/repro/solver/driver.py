@@ -48,6 +48,14 @@ class SolverConfig:
     leader_criterion: str = "rank"  # snapshot leader election (ablation)
     snapshot_group_size: int = 0  # partial-snapshot group (0 = default)
     periodic_period: float = 0.0  # time-driven mechanism period (0 = default)
+    #: Bounded-fanout family (gossip/neighborhood/tree_agg) knobs; the
+    #: neighbor graph is seeded from ``seed`` (see repro.topology).
+    topology: str = ""  # "" = each mechanism's default kind
+    topology_degree: int = 0  # ring links per side / kreg degree / tree arity
+    gossip_fanout: int = 0  # gossip targets per round (0 = default)
+    gossip_period: float = 0.0  # gossip round / tree summary period
+    neighbor_horizon: int = 0  # neighborhood relay hops (0 = default)
+    neighbor_decay: float = 0.0  # neighborhood per-hop blend (0 = default)
     seed: int = 0
     schedule: ScheduleParams = field(default_factory=ScheduleParams)
     mapping: Optional[MappingParams] = None
@@ -221,6 +229,13 @@ def run_factorization(
         snapshot_group_size=config.snapshot_group_size,
         periodic_period=config.periodic_period,
         resilience=config.resilience,
+        topology=config.topology,
+        topology_degree=config.topology_degree,
+        topology_seed=config.seed,
+        gossip_fanout=config.gossip_fanout,
+        gossip_period=config.gossip_period,
+        neighbor_horizon=config.neighbor_horizon,
+        neighbor_decay=config.neighbor_decay,
     )
 
     sim = Simulator(seed=config.seed, max_events=config.max_events, trace=trace)

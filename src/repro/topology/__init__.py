@@ -1,0 +1,37 @@
+"""Deterministic neighbor-graph construction for bounded-fanout mechanisms.
+
+The paper's three mechanisms are *all-to-all*: every broadcast costs P-1
+messages, so state traffic grows as O(P²) with the processor count.  The
+gossip / neighborhood / hierarchical extension family instead exchanges load
+over a fixed neighbor graph, and this package is where those graphs come
+from: seeded, reproducible constructions with a small query API
+(:class:`Topology`) that any mechanism can consume.
+
+Supported kinds (see :func:`build_topology`):
+
+* ``ring``       — each rank linked to its ``degree`` nearest ranks per side;
+* ``kreg``       — ring plus deterministic random chords (≈ k-regular);
+* ``hypercube``  — rank r linked to every ``r ^ (1 << b) < P``;
+* ``tree``       — ``degree``-ary rooted tree (parent/children links);
+* ``complete``   — everyone adjacent (the all-to-all baseline graph).
+"""
+
+from .graph import (
+    Topology,
+    build_topology,
+    complete,
+    hypercube,
+    k_regular_random,
+    ring,
+    tree,
+)
+
+__all__ = [
+    "Topology",
+    "build_topology",
+    "ring",
+    "k_regular_random",
+    "hypercube",
+    "tree",
+    "complete",
+]

@@ -1,0 +1,256 @@
+"""The :class:`Topology` API and its graph constructors.
+
+Every constructor is a pure function of ``(nprocs, degree, seed)``: two
+processes building the same topology independently obtain identical adjacency
+(the mechanisms rely on this — the graph is never exchanged over the wire,
+exactly like the paper's statically known initial mapping, §4.2.2).
+Randomized kinds derive their :class:`numpy.random.Generator` from the
+explicit ``seed`` argument, never from global RNG state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Topology:
+    """An undirected, connected neighbor graph over ``nprocs`` ranks.
+
+    Immutable after construction; adjacency lists are sorted tuples so every
+    iteration over neighbors is deterministic.
+    """
+
+    def __init__(self, kind: str, neighbors: Sequence[Sequence[int]]) -> None:
+        self.kind = kind
+        self.nprocs = len(neighbors)
+        self._neighbors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(set(ns))) for ns in neighbors
+        )
+        self._validate()
+        self._dist_cache: Dict[int, Tuple[int, ...]] = {}
+        self._tree_cache: Dict[int, Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]] = {}
+
+    def _validate(self) -> None:
+        for r, ns in enumerate(self._neighbors):
+            for n in ns:
+                if not 0 <= n < self.nprocs:
+                    raise ValueError(f"rank {r} has out-of-range neighbor {n}")
+                if n == r:
+                    raise ValueError(f"rank {r} lists itself as a neighbor")
+                if r not in self._neighbors[n]:
+                    raise ValueError(f"edge {r}-{n} is not symmetric")
+        if self.nprocs > 1 and len(self._bfs(0)) != self.nprocs:
+            raise ValueError(f"{self.kind} topology is not connected")
+
+    # ---------------------------------------------------------------- queries
+
+    def neighbors(self, rank: int) -> Tuple[int, ...]:
+        """Ranks adjacent to ``rank`` (sorted)."""
+        return self._neighbors[rank]
+
+    def degree(self, rank: int) -> int:
+        return len(self._neighbors[rank])
+
+    @property
+    def max_degree(self) -> int:
+        return max((len(ns) for ns in self._neighbors), default=0)
+
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        """Undirected edge list, each edge once, lexicographically sorted."""
+        return [
+            (r, n)
+            for r in range(self.nprocs)
+            for n in self._neighbors[r]
+            if r < n
+        ]
+
+    def _bfs(self, root: int) -> Dict[int, int]:
+        """rank → hop distance from ``root`` (reachable ranks only)."""
+        dist = {root: 0}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return dist
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two ranks (BFS, rows cached)."""
+        row = self._dist_cache.get(a)
+        if row is None:
+            d = self._bfs(a)
+            row = tuple(d.get(r, -1) for r in range(self.nprocs))
+            self._dist_cache[a] = row
+        return row[b]
+
+    @property
+    def diameter(self) -> int:
+        return max(
+            self.distance(a, b)
+            for a in range(self.nprocs)
+            for b in range(self.nprocs)
+        )
+
+    def aggregation_tree(
+        self, root: int = 0
+    ) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]:
+        """A BFS spanning tree rooted at ``root``: ``(parents, children)``.
+
+        ``parents[r]`` is the tree parent of rank ``r`` (``-1`` for the
+        root); ``children[r]`` are its tree children, sorted.  BFS order is
+        deterministic (sorted adjacency), so every rank derives the same
+        tree locally.  For the ``tree`` topology kind this recovers the
+        construction tree exactly.
+        """
+        cached = self._tree_cache.get(root)
+        if cached is not None:
+            return cached
+        parents = [-1] * self.nprocs
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if v not in seen:
+                    seen.add(v)
+                    parents[v] = u
+                    queue.append(v)
+        children: List[List[int]] = [[] for _ in range(self.nprocs)]
+        for r, p in enumerate(parents):
+            if p >= 0:
+                children[p].append(r)
+        result = (
+            tuple(parents),
+            tuple(tuple(sorted(cs)) for cs in children),
+        )
+        self._tree_cache[root] = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.kind!r}, nprocs={self.nprocs}, "
+            f"max_degree={self.max_degree})"
+        )
+
+
+# ------------------------------------------------------------- constructors
+
+
+def ring(nprocs: int, k: int = 1) -> Topology:
+    """Ring lattice: each rank adjacent to its ``k`` nearest per side."""
+    k = max(1, k)
+    adj: List[List[int]] = [[] for _ in range(nprocs)]
+    for r in range(nprocs):
+        for off in range(1, k + 1):
+            if off >= nprocs:
+                break
+            adj[r].append((r + off) % nprocs)
+            adj[r].append((r - off) % nprocs)
+    return Topology("ring", adj)
+
+
+def k_regular_random(nprocs: int, k: int = 4, seed: int = 0) -> Topology:
+    """Approximately k-regular random graph, connected by construction.
+
+    A ring backbone guarantees connectivity; deterministic random chords
+    (drawn from a :func:`numpy.random.default_rng` generator derived from
+    ``seed``) raise the degree toward ``k``.  The result is *approximately*
+    regular: chord endpoints saturate independently.
+    """
+    k = max(2, k)
+    base = ring(nprocs, 1)
+    if nprocs <= k + 1:
+        return complete(nprocs)
+    adj: List[List[int]] = [list(base.neighbors(r)) for r in range(nprocs)]
+    present = {(min(a, b), max(a, b)) for a, ns in enumerate(adj) for b in ns}
+    rng = np.random.default_rng((int(seed) * 0x9E3779B1 + 0x6B6E) & 0xFFFFFFFF)
+    # Bounded retry budget: dense requests may not be satisfiable exactly.
+    for _ in range(8 * nprocs * k):
+        if all(len(ns) >= k for ns in adj):
+            break
+        a = int(rng.integers(nprocs))
+        b = int(rng.integers(nprocs))
+        if a == b or len(adj[a]) >= k or len(adj[b]) >= k:
+            continue
+        e = (min(a, b), max(a, b))
+        if e in present:
+            continue
+        present.add(e)
+        adj[a].append(b)
+        adj[b].append(a)
+    return Topology("kreg", adj)
+
+
+def hypercube(nprocs: int) -> Topology:
+    """Binary hypercube links ``r ↔ r ^ (1 << b)`` for every bit.
+
+    For non-power-of-two ``nprocs`` the out-of-range partners are simply
+    skipped; the graph stays connected (bit 0 always links within range for
+    even ranks, and every rank reaches a smaller one by clearing its top
+    set bit).
+    """
+    adj: List[List[int]] = [[] for _ in range(nprocs)]
+    for r in range(nprocs):
+        b = 0
+        while (1 << b) < nprocs:
+            p = r ^ (1 << b)
+            if p < nprocs:
+                adj[r].append(p)
+            b += 1
+    return Topology("hypercube", adj)
+
+
+def tree(nprocs: int, arity: int = 2) -> Topology:
+    """Rooted ``arity``-ary tree: parent of rank ``r > 0`` is ``(r-1)//arity``."""
+    arity = max(1, arity)
+    adj: List[List[int]] = [[] for _ in range(nprocs)]
+    for r in range(1, nprocs):
+        p = (r - 1) // arity
+        adj[r].append(p)
+        adj[p].append(r)
+    return Topology("tree", adj)
+
+
+def complete(nprocs: int) -> Topology:
+    """The all-to-all graph (baseline; gossip's default target pool)."""
+    adj = [
+        [n for n in range(nprocs) if n != r]
+        for r in range(nprocs)
+    ]
+    return Topology("complete", adj)
+
+
+#: Constructor kinds accepted by :func:`build_topology`.
+TOPOLOGY_KINDS = ("ring", "kreg", "hypercube", "tree", "complete")
+
+
+def build_topology(
+    kind: str, nprocs: int, *, degree: int = 0, seed: int = 0
+) -> Topology:
+    """Build a topology by kind name.
+
+    ``degree`` is the kind's connectivity knob (ring: links per side, kreg:
+    target degree, tree: arity; ignored by hypercube/complete); ``0`` picks
+    the kind's default.  ``seed`` only affects randomized kinds.
+    """
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if kind == "ring":
+        return ring(nprocs, degree or 2)
+    if kind in ("kreg", "random"):
+        return k_regular_random(nprocs, degree or 4, seed)
+    if kind == "hypercube":
+        return hypercube(nprocs)
+    if kind == "tree":
+        return tree(nprocs, degree or 4)
+    if kind == "complete":
+        return complete(nprocs)
+    raise ValueError(
+        f"unknown topology kind {kind!r}; choose from {TOPOLOGY_KINDS}"
+    )

@@ -1,0 +1,185 @@
+"""Tests for the gossip (epidemic, bounded-fanout) mechanism."""
+
+import pytest
+
+from repro import run_factorization
+from repro.faults import FaultPlan
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    GossipMechanism,
+    Load,
+    MechanismConfig,
+    create_mechanism,
+)
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+PERIOD = 1e-3
+
+
+def gossip_world(nprocs, fanout=2, period=PERIOD, **kw):
+    cfg = MechanismConfig(gossip_fanout=fanout, gossip_period=period, **kw)
+    return make_world(nprocs, lambda: GossipMechanism(cfg))
+
+
+def init(procs):
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * len(procs))
+
+
+class TestGossipRounds:
+    def test_registered(self):
+        assert isinstance(create_mechanism("gossip"), GossipMechanism)
+
+    def test_quiet_when_clean(self):
+        sim, net, procs = gossip_world(4)
+        init(procs)
+        sim.run(until=0.01)
+        assert net.stats.sent_total == 0
+
+    def test_rumor_spreads_epidemically(self):
+        sim, net, procs = gossip_world(8, fanout=3)
+        init(procs)
+        sim.schedule(1e-4, lambda: procs[0].mechanism.on_local_change(Load(50.0, 0.0)))
+        sim.run(until=20 * PERIOD)
+        knowing = sum(
+            1 for p in procs[1:] if p.mechanism.view.get(0).workload == 50.0
+        )
+        # Forward-once push gossip is probabilistic, but fanout 3 on 8 ranks
+        # reaches a clear majority within a couple of rounds.
+        assert knowing >= 4
+
+    def test_fanout_bounds_messages_per_round(self):
+        sim, net, procs = gossip_world(8, fanout=2)
+        init(procs)
+        sim.schedule(1e-4, lambda: procs[0].mechanism.on_local_change(Load(50.0, 0.0)))
+        # One round only: exactly the originator's fanout messages.
+        sim.run(until=1.5 * PERIOD)
+        assert net.stats.by_type["gossip_load"] == 2
+
+    def test_burst_costs_one_rumor(self):
+        sim, net, procs = gossip_world(4, fanout=1)
+        init(procs)
+
+        def burst():
+            for _ in range(100):
+                procs[0].mechanism.on_local_change(Load(1.0, 0.0))
+
+        sim.schedule(1e-4, burst)
+        sim.run(until=1.5 * PERIOD)
+        assert net.stats.by_type["gossip_load"] == 1
+
+    def test_version_merge_keeps_newest(self):
+        sim, net, procs = gossip_world(2)
+        init(procs)
+        m1 = procs[1].mechanism
+        m1._versions[0] = 5
+        m1.view.set(0, Load(99.0, 0.0))
+        from repro.mechanisms import GossipLoad
+        from repro.simcore.network import Channel, Envelope
+
+        stale = Envelope(
+            src=0, dst=1, channel=Channel.STATE,
+            payload=GossipLoad(entries={0: (3, Load(1.0, 0.0))}),
+            size=60, send_time=0.0, deliver_time=0.0, seq=0,
+        )
+        m1.handle_message(stale)
+        assert m1.view.get(0).workload == 99.0  # older version ignored
+        fresh = Envelope(
+            src=0, dst=1, channel=Channel.STATE,
+            payload=GossipLoad(entries={0: (6, Load(7.0, 0.0))}),
+            size=60, send_time=0.0, deliver_time=0.0, seq=1,
+        )
+        m1.handle_message(fresh)
+        assert m1.view.get(0).workload == 7.0
+
+    def test_no_reservation_broadcast(self):
+        sim, net, procs = gossip_world(4)
+        init(procs)
+        procs[0].mechanism.record_decision({1: Load(10.0, 0.0)})
+        procs[0].mechanism.decision_complete()
+        sim.run(until=5 * PERIOD)
+        assert net.stats.sent_total == 0
+        # ...but the master's own view was patched optimistically.
+        assert procs[0].mechanism.view.get(1).workload == 10.0
+
+    def test_no_more_master_suppressed(self):
+        sim, net, procs = gossip_world(4)
+        init(procs)
+        procs[0].mechanism.declare_no_more_master()
+        sim.run(until=PERIOD)
+        assert net.stats.by_type.get("no_more_master", 0) == 0
+
+    def test_shutdown_stops_timer(self):
+        sim, net, procs = gossip_world(2)
+        init(procs)
+        for p in procs:
+            p.mechanism.shutdown()
+        assert sim.run(until=1.0) in ("drained", "horizon")
+        assert net.stats.sent_total == 0
+
+
+class TestGossipInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="gossipgrid")
+
+    def test_factorization_completes_and_validates(self, tree):
+        from repro.solver import validate_result
+
+        r = run_factorization(tree, 8, mechanism="gossip")
+        assert r.factorization_time > 0
+        assert validate_result(r, tree).ok
+
+    def test_same_seed_identical_results(self, tree):
+        a = run_factorization(tree, 8, mechanism="gossip", config=SolverConfig(seed=3))
+        b = run_factorization(tree, 8, mechanism="gossip", config=SolverConfig(seed=3))
+        assert a.factorization_time == b.factorization_time
+        assert a.state_messages == b.state_messages
+        assert a.messages_by_type == b.messages_by_type
+        assert a.events_executed == b.events_executed
+
+    def test_different_seed_different_targets(self, tree):
+        a = run_factorization(tree, 8, mechanism="gossip", config=SolverConfig(seed=3))
+        b = run_factorization(tree, 8, mechanism="gossip", config=SolverConfig(seed=4))
+        # The fanout target choice is seed-derived; message flow differs.
+        assert (
+            a.messages_by_type != b.messages_by_type
+            or a.events_executed != b.events_executed
+        )
+
+    def test_ring_topology_also_works(self, tree):
+        cfg = SolverConfig(topology="ring", topology_degree=2)
+        r = run_factorization(tree, 8, mechanism="gossip", config=cfg)
+        assert r.factorization_time > 0
+
+    def test_metrics_families(self, tree):
+        r = run_factorization(
+            tree, 8, mechanism="gossip", config=SolverConfig(metrics=True)
+        )
+        fams = r.metrics["families"]
+        assert "gossip_rounds_total" in fams
+        assert "fanout_messages_total" in fams
+        assert "view_staleness_seconds" in fams
+
+
+class TestGossipChaos:
+    """Gossip survives lossy networks — with and without the recovery layer."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="gossipchaos")
+
+    @pytest.mark.parametrize("resilience", [True, False])
+    def test_completes_under_20pct_state_loss(self, tree, resilience):
+        from repro.solver import validate_result
+
+        cfg = SolverConfig(
+            fault_plan=FaultPlan.uniform_loss(0.20),
+            resilience=resilience,
+        )
+        r = run_factorization(tree, 8, mechanism="gossip", config=cfg)
+        assert (r.fault_stats or {}).get("dropped", 0) > 0
+        assert validate_result(r, tree).ok

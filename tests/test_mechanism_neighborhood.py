@@ -1,0 +1,165 @@
+"""Tests for the neighborhood (topology-aware, hop-decayed) mechanism."""
+
+import pytest
+
+from repro import run_factorization
+from repro.faults import FaultPlan
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    NeighborhoodMechanism,
+    create_mechanism,
+)
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+
+def neighborhood_world(nprocs, **kw):
+    kw.setdefault("topology", "ring")
+    kw.setdefault("topology_degree", 1)  # plain ring: 2 neighbors each
+    cfg = MechanismConfig(**kw)
+    return make_world(nprocs, lambda: NeighborhoodMechanism(cfg))
+
+
+def init(procs):
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * len(procs))
+
+
+class TestNeighborhoodProtocol:
+    def test_registered(self):
+        assert isinstance(create_mechanism("neighborhood"), NeighborhoodMechanism)
+
+    def test_publish_reaches_neighbors_exactly(self):
+        sim, net, procs = neighborhood_world(8)
+        init(procs)
+        procs[0].mechanism.on_local_change(Load(40.0, 8.0))
+        sim.run()
+        assert procs[1].mechanism.view.get(0) == Load(40.0, 8.0)
+        assert procs[7].mechanism.view.get(0) == Load(40.0, 8.0)
+
+    def test_beyond_horizon_is_decayed_estimate(self):
+        sim, net, procs = neighborhood_world(8, neighbor_horizon=2,
+                                             neighbor_decay=0.5)
+        init(procs)
+        procs[0].mechanism.on_local_change(Load(40.0, 0.0))
+        sim.run()
+        # rank 2 is two hops from 0 on the ring: one relay, decay 0.5.
+        assert procs[2].mechanism.view.get(0).workload == pytest.approx(20.0)
+        # rank 4 is beyond the horizon: the wave never reached it.
+        assert procs[4].mechanism.view.get(0).workload == 0.0
+
+    def test_relay_wave_visits_each_rank_once(self):
+        sim, net, procs = neighborhood_world(8, neighbor_horizon=10)
+        init(procs)
+        procs[0].mechanism.on_local_change(Load(40.0, 0.0))
+        sim.run()
+        # Even with a huge horizon the per-origin version dedup caps the
+        # wave: every rank forwards a given version at most once.
+        assert net.stats.by_type["neighbor_load"] <= 3 * len(procs)
+
+    def test_message_cost_independent_of_nprocs(self):
+        counts = {}
+        for nprocs in (8, 32):
+            sim, net, procs = neighborhood_world(nprocs, neighbor_horizon=2)
+            init(procs)
+            procs[0].mechanism.on_local_change(Load(40.0, 0.0))
+            sim.run()
+            counts[nprocs] = net.stats.by_type["neighbor_load"]
+        # Bounded-degree graph + bounded horizon: cost does not grow with P
+        # (contrast: naive/increments broadcast costs P-1 per update).
+        assert counts[32] == counts[8]
+
+    def test_decision_candidates_are_neighbors(self):
+        sim, net, procs = neighborhood_world(8)
+        init(procs)
+        assert procs[0].mechanism.decision_candidates() == [1, 7]
+        assert procs[3].mechanism.decision_candidates() == [2, 4]
+
+    def test_reservation_ledger_absorbs_arrival(self):
+        sim, net, procs = neighborhood_world(4, threshold=5.0)
+        init(procs)
+        m0, m1 = procs[0].mechanism, procs[1].mechanism
+        m0.record_decision({1: Load(30.0, 6.0)})
+        m0.decision_complete()
+        sim.run()
+        # The reservation raised the slave's advertised load...
+        assert m1._my_load == Load(30.0, 6.0)
+        before = net.stats.by_type["neighbor_load"]
+        # ...so the physical arrival consumes the ledger: no re-publish.
+        m1.on_local_change(Load(30.0, 6.0), slave_task=True)
+        sim.run()
+        assert m1._my_load == Load(30.0, 6.0)
+        assert net.stats.by_type["neighbor_load"] == before
+
+    def test_lost_reservation_self_heals(self):
+        sim, net, procs = neighborhood_world(4)
+        init(procs)
+        m1 = procs[1].mechanism
+        # The master_to_slave never arrived: the slave's arrival must still
+        # be accounted (excess over the empty ledger goes the normal path).
+        m1.on_local_change(Load(30.0, 6.0), slave_task=True)
+        sim.run()
+        assert m1._my_load == Load(30.0, 6.0)
+        assert procs[2].mechanism.view.get(1).workload == 30.0
+
+    def test_stale_version_ignored(self):
+        sim, net, procs = neighborhood_world(4)
+        init(procs)
+        m1 = procs[1].mechanism
+        m1._seen_version[0] = 99
+        procs[0].mechanism.on_local_change(Load(40.0, 0.0))
+        sim.run()
+        assert m1.view.get(0).workload == 0.0
+
+
+class TestNeighborhoodInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="nbrgrid")
+
+    def test_factorization_completes_and_validates(self, tree):
+        from repro.solver import validate_result
+
+        r = run_factorization(tree, 8, mechanism="neighborhood")
+        assert r.factorization_time > 0
+        assert validate_result(r, tree).ok
+
+    @pytest.mark.parametrize("topology", ["ring", "kreg", "hypercube"])
+    def test_alternative_topologies(self, tree, topology):
+        cfg = SolverConfig(topology=topology)
+        r = run_factorization(tree, 8, mechanism="neighborhood", config=cfg)
+        assert r.factorization_time > 0
+
+    def test_same_seed_identical_results(self, tree):
+        cfg = SolverConfig(topology="kreg", seed=5)
+        a = run_factorization(tree, 8, mechanism="neighborhood", config=cfg)
+        b = run_factorization(tree, 8, mechanism="neighborhood", config=cfg)
+        assert a.factorization_time == b.factorization_time
+        assert a.state_messages == b.state_messages
+        assert a.messages_by_type == b.messages_by_type
+
+    def test_metrics_families(self, tree):
+        r = run_factorization(
+            tree, 8, mechanism="neighborhood", config=SolverConfig(metrics=True)
+        )
+        fams = r.metrics["families"]
+        assert "fanout_messages_total" in fams
+        assert "view_staleness_seconds" in fams
+
+
+class TestNeighborhoodChaos:
+    def test_completes_under_20pct_state_loss(self):
+        from repro.solver import validate_result
+
+        tree = analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="nbrchaos")
+        cfg = SolverConfig(
+            fault_plan=FaultPlan.uniform_loss(0.20),
+            resilience=True,
+        )
+        r = run_factorization(tree, 8, mechanism="neighborhood", config=cfg)
+        assert (r.fault_stats or {}).get("dropped", 0) > 0
+        assert validate_result(r, tree).ok

@@ -1,0 +1,30 @@
+"""Tests for the mechanism registry listing and its error messages."""
+
+import pytest
+
+from repro.mechanisms import (
+    MECHANISM_NAMES,
+    available_mechanisms,
+    create_mechanism,
+    mechanism_class,
+)
+
+
+class TestAvailableMechanisms:
+    def test_paper_mechanisms_first_then_extensions_sorted(self):
+        names = available_mechanisms()
+        assert names[: len(MECHANISM_NAMES)] == MECHANISM_NAMES
+        extensions = names[len(MECHANISM_NAMES):]
+        assert list(extensions) == sorted(extensions)
+        assert set(names) >= {
+            "gossip", "neighborhood", "tree_agg",
+            "oracle", "partial_snapshot", "periodic",
+        }
+
+    def test_every_listed_name_instantiates(self):
+        for name in available_mechanisms():
+            assert create_mechanism(name).name == name
+
+    def test_unknown_name_error_lists_available(self):
+        with pytest.raises(KeyError, match="gossip"):
+            mechanism_class("definitely_not_a_mechanism")

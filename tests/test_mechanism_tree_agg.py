@@ -1,0 +1,130 @@
+"""Tests for the tree_agg (hierarchical reduction) mechanism."""
+
+import pytest
+
+from repro import run_factorization
+from repro.matrices import generators as gen
+from repro.mechanisms import (
+    Load,
+    MechanismConfig,
+    TreeAggMechanism,
+    create_mechanism,
+)
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+PERIOD = 1e-3
+
+
+def tree_world(nprocs, period=PERIOD, **kw):
+    cfg = MechanismConfig(gossip_period=period, **kw)
+    return make_world(nprocs, lambda: TreeAggMechanism(cfg))
+
+
+def init(procs):
+    for p in procs:
+        p.mechanism.initialize_view([Load.ZERO] * len(procs))
+
+
+class TestTreeAggProtocol:
+    def test_registered(self):
+        assert isinstance(create_mechanism("tree_agg"), TreeAggMechanism)
+
+    def test_delta_climbs_to_root(self):
+        # 4-ary tree on 8 ranks: 5..8 don't exist; rank 7 -> parent 1 -> root.
+        sim, net, procs = tree_world(8)
+        init(procs)
+        procs[7].mechanism.on_local_change(Load(25.0, 5.0))
+        sim.run(until=PERIOD / 2)  # before the first summary tick
+        # Root folded the delta in; relays saw it opportunistically.
+        assert procs[0].mechanism.view.get(7) == Load(25.0, 5.0)
+        assert procs[1].mechanism.view.get(7) == Load(25.0, 5.0)
+        # A leaf in another subtree hasn't heard yet.
+        assert procs[2].mechanism.view.get(7).workload == 0.0
+        # Depth-many messages, not a broadcast.
+        assert net.stats.by_type["tree_delta"] == 2
+
+    def test_summary_disseminates_to_all(self):
+        sim, net, procs = tree_world(8)
+        init(procs)
+        procs[7].mechanism.on_local_change(Load(25.0, 5.0))
+        sim.run(until=5 * PERIOD)
+        for p in procs:
+            if p.mechanism.rank != 7:
+                assert p.mechanism.view.get(7) == Load(25.0, 5.0)
+        assert procs[0].mechanism.summaries_sent >= 1
+
+    def test_quiet_root_sends_no_summaries(self):
+        sim, net, procs = tree_world(8)
+        init(procs)
+        sim.run(until=10 * PERIOD)
+        assert net.stats.sent_total == 0
+
+    def test_summary_batches_many_updates(self):
+        sim, net, procs = tree_world(8)
+        init(procs)
+
+        def burst():
+            for rank in (3, 4, 7):
+                procs[rank].mechanism.on_local_change(Load(10.0 * rank, 0.0))
+
+        sim.schedule(1e-5, burst)
+        sim.run(until=1.5 * PERIOD)
+        # One summary wave carries all three entries: P-1 = 7 messages.
+        assert net.stats.by_type["tree_summary"] == 7
+        assert procs[5].mechanism.view.get(3).workload == 30.0
+        assert procs[5].mechanism.view.get(7).workload == 70.0
+
+    def test_own_entry_stays_authoritative(self):
+        sim, net, procs = tree_world(4)
+        init(procs)
+        m3 = procs[3].mechanism
+        # Rank 3 knows its own load better than any (stale) summary.
+        m3.on_local_change(Load(50.0, 0.0))
+        procs[0].mechanism.view.set(3, Load(1.0, 0.0))
+        procs[0].mechanism._summary_dirty.add(3)
+        sim.run(until=2 * PERIOD)
+        assert m3._my_load.workload == 50.0
+        assert m3.view.get(3).workload == 50.0
+
+    def test_root_timer_cancelled_on_shutdown(self):
+        sim, net, procs = tree_world(4)
+        init(procs)
+        for p in procs:
+            p.mechanism.shutdown()
+        assert sim.run(until=1.0) in ("drained", "horizon")
+        assert net.stats.sent_total == 0
+
+
+class TestTreeAggInSolver:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="treegrid")
+
+    def test_factorization_completes_and_validates(self, tree):
+        from repro.solver import validate_result
+
+        r = run_factorization(tree, 8, mechanism="tree_agg")
+        assert r.factorization_time > 0
+        assert validate_result(r, tree).ok
+
+    def test_uses_tree_message_types(self, tree):
+        r = run_factorization(tree, 8, mechanism="tree_agg")
+        assert r.messages_by_type.get("tree_delta", 0) > 0
+        assert r.messages_by_type.get("tree_summary", 0) > 0
+
+    def test_same_seed_identical_results(self, tree):
+        a = run_factorization(tree, 8, mechanism="tree_agg",
+                              config=SolverConfig(seed=2))
+        b = run_factorization(tree, 8, mechanism="tree_agg",
+                              config=SolverConfig(seed=2))
+        assert a.factorization_time == b.factorization_time
+        assert a.state_messages == b.state_messages
+        assert a.messages_by_type == b.messages_by_type
+
+    def test_hypercube_derived_tree_works(self, tree):
+        cfg = SolverConfig(topology="hypercube")
+        r = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
+        assert r.factorization_time > 0

@@ -1,0 +1,139 @@
+"""Tests for repro.topology: seeded neighbor-graph construction."""
+
+import pytest
+
+from repro.topology import (
+    Topology,
+    build_topology,
+    complete,
+    hypercube,
+    k_regular_random,
+    ring,
+    tree,
+)
+from repro.topology.graph import TOPOLOGY_KINDS
+
+
+def assert_valid(topo, nprocs):
+    assert topo.nprocs == nprocs
+    for r in range(nprocs):
+        for n in topo.neighbors(r):
+            assert 0 <= n < nprocs and n != r
+            assert r in topo.neighbors(n)  # symmetry
+    if nprocs > 1:
+        # connectivity: everyone reachable from rank 0
+        assert all(topo.distance(0, r) >= 0 for r in range(nprocs))
+
+
+class TestConstructors:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 8, 17, 64])
+    @pytest.mark.parametrize("kind", TOPOLOGY_KINDS)
+    def test_valid_and_connected(self, kind, nprocs):
+        assert_valid(build_topology(kind, nprocs), nprocs)
+
+    def test_ring_neighbors(self):
+        t = ring(8, 1)
+        assert t.neighbors(0) == (1, 7)
+        assert t.neighbors(3) == (2, 4)
+
+    def test_ring_two_per_side(self):
+        t = ring(8, 2)
+        assert t.neighbors(0) == (1, 2, 6, 7)
+
+    def test_hypercube_power_of_two(self):
+        t = hypercube(8)
+        assert t.neighbors(0) == (1, 2, 4)
+        assert t.neighbors(5) == (1, 4, 7)
+        assert t.diameter == 3
+
+    def test_hypercube_non_power_of_two_connected(self):
+        for n in (3, 5, 6, 7, 12, 100):
+            assert_valid(hypercube(n), n)
+
+    def test_tree_parents(self):
+        t = tree(7, 2)
+        assert t.neighbors(0) == (1, 2)
+        assert t.neighbors(1) == (0, 3, 4)
+        assert t.neighbors(6) == (2,)
+
+    def test_complete_everyone_adjacent(self):
+        t = complete(5)
+        assert all(t.degree(r) == 4 for r in range(5))
+        assert t.diameter == 1
+
+    def test_kreg_degree_near_target(self):
+        t = k_regular_random(32, 4, seed=1)
+        assert t.max_degree <= 4
+        # ring backbone guarantees at least degree 2
+        assert all(t.degree(r) >= 2 for r in range(32))
+
+    def test_kreg_small_world_falls_back_to_complete(self):
+        t = k_regular_random(4, 4, seed=0)
+        assert all(t.degree(r) == 3 for r in range(4))
+
+
+class TestDeterminism:
+    def test_kreg_same_seed_same_graph(self):
+        a = k_regular_random(24, 4, seed=7)
+        b = k_regular_random(24, 4, seed=7)
+        assert a.edges == b.edges
+
+    def test_kreg_different_seed_different_graph(self):
+        a = k_regular_random(24, 4, seed=7)
+        b = k_regular_random(24, 4, seed=8)
+        assert a.edges != b.edges
+
+    def test_aggregation_tree_deterministic(self):
+        a = build_topology("hypercube", 16).aggregation_tree()
+        b = build_topology("hypercube", 16).aggregation_tree()
+        assert a == b
+
+
+class TestQueries:
+    def test_distance_ring(self):
+        t = ring(10, 1)
+        assert t.distance(0, 5) == 5
+        assert t.distance(0, 9) == 1
+        assert t.distance(3, 3) == 0
+
+    def test_aggregation_tree_spans(self):
+        for kind in TOPOLOGY_KINDS:
+            topo = build_topology(kind, 13)
+            parents, children = topo.aggregation_tree(0)
+            assert parents[0] == -1
+            assert sorted(r for cs in children for r in cs) == list(range(1, 13))
+            for r in range(1, 13):
+                assert r in children[parents[r]]
+                # tree edges are graph edges
+                assert parents[r] in topo.neighbors(r)
+
+    def test_aggregation_tree_of_tree_kind_is_construction_tree(self):
+        topo = build_topology("tree", 9, degree=2)
+        parents, _ = topo.aggregation_tree(0)
+        assert list(parents) == [-1, 0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_edges_listed_once(self):
+        t = ring(6, 1)
+        assert t.edges == [(0, 1), (0, 5), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+
+class TestValidation:
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError, match="not symmetric"):
+            Topology("bad", [[1], []])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Topology("bad", [[0, 1], [0]])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="not connected"):
+            Topology("bad", [[1], [0], [3], [2]])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology kind"):
+            build_topology("moebius", 8)
+
+    def test_bad_nprocs_rejected(self):
+        with pytest.raises(ValueError, match="nprocs"):
+            build_topology("ring", 0)
