@@ -1,0 +1,54 @@
+"""Execution backends for the load-exchange mechanism layer.
+
+The mechanisms (:mod:`repro.mechanisms`) are written against small
+structural protocols — :class:`~repro.backends.api.Clock`,
+:class:`~repro.backends.api.Transport`,
+:class:`~repro.backends.api.ProcessLike` — rather than the concrete
+simulator classes.  Anything that satisfies those protocols can host the
+mechanism fleet:
+
+* :mod:`repro.backends.des` replays a recorded run on the discrete-event
+  simulator (the reference substrate);
+* :mod:`repro.backends.asyncio_net` replays it over real localhost TCP
+  sockets with per-rank asyncio tasks and a scaled wall clock.
+
+:mod:`repro.backends.script` records a solver run into a portable
+:class:`~repro.backends.script.WorkloadScript`; :mod:`repro.conformance`
+runs the same script on both backends and compares the observables.
+"""
+
+from .api import Clock, ProcessLike, TimerHandle, Transport, TransportStats
+from .base import (
+    Backend,
+    BackendRunResult,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .script import (
+    SCRIPT_VERSION,
+    DecisionEvent,
+    RankEvent,
+    ReportEvent,
+    ScriptRecorder,
+    WorkloadScript,
+)
+
+__all__ = [
+    "Backend",
+    "BackendRunResult",
+    "Clock",
+    "DecisionEvent",
+    "ProcessLike",
+    "RankEvent",
+    "ReportEvent",
+    "SCRIPT_VERSION",
+    "ScriptRecorder",
+    "TimerHandle",
+    "Transport",
+    "TransportStats",
+    "WorkloadScript",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

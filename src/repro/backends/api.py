@@ -1,0 +1,167 @@
+"""The backend-agnostic substrate API the mechanism layer runs against.
+
+The load-exchange mechanisms (:mod:`repro.mechanisms`) were written against
+the discrete-event simulator, but the surface they actually touch is tiny
+and substrate-neutral:
+
+* a **clock** — ``now``, relative ``schedule``/``cancel`` of callbacks, the
+  named RNG streams, and an optional trace recorder;
+* a **transport** — ``send``/``broadcast`` of :class:`Payload` objects
+  between integer ranks, with per-type message accounting;
+* a **process** — the host each mechanism is bound to: its rank, whether it
+  is computing, pause/resume of the running task, and a wake-up hook.
+
+This module pins that surface down as structural :class:`typing.Protocol`
+classes.  The DES engine (:class:`repro.simcore.engine.Simulator`,
+:class:`repro.simcore.network.Network`, :class:`repro.simcore.process.
+SimProcess`) satisfies them *unchanged*; the asyncio socket backend
+(:mod:`repro.backends.asyncio_net`) provides an alternative implementation
+that runs the identical mechanism ``HANDLERS`` code over real localhost
+sockets.  Mechanisms must restrict themselves to this surface — the static
+protocol checker and the conformance suite both lean on that guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Counter,
+    Iterable,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+from ..simcore.network import Channel, Envelope, Payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.rng import RngHub
+    from ..simcore.trace import TraceRecorder
+
+#: Opaque handle returned by :meth:`Clock.schedule` and accepted by
+#: :meth:`Clock.cancel`.  The DES clock hands out
+#: :class:`~repro.simcore.events.Event` objects, the asyncio clock hands out
+#: :class:`asyncio.TimerHandle` objects; mechanisms must treat the handle as
+#: opaque (store it, cancel it, nothing else).
+TimerHandle = Any
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time source + callback scheduler (virtual or scaled wall clock)."""
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds (virtual time under the DES backend,
+        scaled wall-clock time under real-transport backends)."""
+        ...
+
+    @property
+    def rng(self) -> "RngHub":
+        """Seed-derived named RNG streams (identical across backends)."""
+        ...
+
+    @property
+    def trace(self) -> Optional["TraceRecorder"]:
+        """Optional event tracer; backends may return None."""
+        ...
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> TimerHandle:
+        """Run ``callback`` ``delay`` seconds from now; returns a handle."""
+        ...
+
+    def cancel(self, event: TimerHandle) -> None:
+        """Cancel a handle returned by :meth:`schedule` (idempotent)."""
+        ...
+
+
+class TransportStats(Protocol):
+    """Per-type message accounting shared by every transport."""
+
+    sent_total: int
+    sent_bytes: int
+    by_type: "Counter[str]"
+    by_channel: "Counter[str]"
+    bytes_by_type: "Counter[str]"
+
+    def state_message_count(self) -> int: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Rank-to-rank FIFO message passing with Table-6 style accounting.
+
+    Implementations must preserve per-``(src, dst, channel)`` FIFO order —
+    the DES network via per-link clocks, the asyncio backend via one TCP
+    stream per ordered pair.
+    """
+
+    nprocs: int
+
+    @property
+    def stats(self) -> TransportStats: ...
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> Envelope: ...
+
+    def broadcast(
+        self,
+        src: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        exclude: Iterable[int] = (),
+    ) -> int: ...
+
+
+@runtime_checkable
+class ProcessLike(Protocol):
+    """The host process a mechanism is bound to (``Mechanism.bind``)."""
+
+    rank: int
+
+    @property
+    def sim(self) -> Clock: ...
+
+    @property
+    def network(self) -> Transport: ...
+
+    @property
+    def computing(self) -> bool:
+        """True while a local task occupies the CPU (threaded variant)."""
+        ...
+
+    def pause_task(self) -> bool:
+        """Pause the running task; True if one was actually paused."""
+        ...
+
+    def resume_task(self) -> None:
+        """Release a pause taken with :meth:`pause_task`."""
+        ...
+
+    def notify_work(self) -> None:
+        """Wake the host: a block lifted or local work became available."""
+        ...
+
+    def charge(self, dt: float) -> None:
+        """Charge ``dt`` seconds of CPU time to the host (may be a no-op
+        on real-time backends, where CPU time is simply spent)."""
+        ...

@@ -1,0 +1,460 @@
+"""Asyncio localhost-socket backend: the mechanisms over real TCP.
+
+Executes a recorded :class:`~repro.backends.script.WorkloadScript` with the
+*identical* mechanism ``HANDLERS`` code, but on a real transport:
+
+* every rank owns a TCP server on ``127.0.0.1`` (ephemeral port) and one
+  outgoing connection per peer — messages from rank *i* to rank *j* always
+  travel on *i*'s dialled stream to *j*, so per-``(src, dst)`` FIFO order
+  holds exactly as on the simulated network;
+* frames are length-prefixed msgpack or JSON (:mod:`repro.backends.wire`;
+  JSON when msgpack is absent);
+* there is no virtual time: the clock is the event loop's wall clock,
+  scaled so one recorded virtual second spans ``time_scale`` wall seconds,
+  and mechanism timers (`sim.schedule`) become ``loop.call_later`` calls;
+* each rank is an asyncio task replaying its transcript (sleep until the
+  event's scaled time, issue the upcall); message reception runs in
+  per-connection reader coroutines dispatching into
+  ``mechanism.handle_message`` — concurrently with the rank scripts, like
+  a comm thread.
+
+Termination: when every rank script has completed, mechanisms are shut
+down (cancelling their timers) and the backend waits for quiescence —
+total frames sent equals total frames handled, stable across two polls —
+before collecting results.  A hard wall-clock timeout bounds the whole
+replay; exceeding it raises :class:`BackendTimeout` rather than hanging
+the harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+from ..mechanisms.base import Mechanism, MechanismShared
+from ..mechanisms.registry import create_mechanism
+from ..mechanisms.view import Load
+from ..simcore.network import Channel, Envelope, MessageStats, Payload
+from ..simcore.rng import RngHub
+from . import wire
+from .base import Backend, BackendRunResult, register_backend
+from .script import DecisionEvent, ReportEvent, WorkloadScript
+
+#: Wall seconds a "natural-speed" replay should take (used to auto-pick the
+#: time scale); keeps conformance runs fast yet long relative to socket RTTs.
+TARGET_WALL_SECONDS = 0.75
+
+#: Bounds for the auto-picked virtual→wall scale factor.
+MIN_TIME_SCALE = 1.0
+MAX_TIME_SCALE = 1e6
+
+
+class BackendTimeout(RuntimeError):
+    """The replay exceeded its hard wall-clock budget."""
+
+
+class AsyncClock:
+    """Scaled wall clock satisfying :class:`repro.backends.api.Clock`.
+
+    ``now`` is ``(loop.time() - t0) / time_scale`` so mechanism timer
+    periods (virtual seconds) keep their recorded meaning; ``schedule``
+    maps virtual delays onto ``loop.call_later``.
+    """
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, seed: int, time_scale: float
+    ) -> None:
+        self._loop = loop
+        self.time_scale = float(time_scale)
+        self._t0 = loop.time()
+        self.rng = RngHub(seed)
+        self.trace = None
+
+    def start(self) -> None:
+        """Re-zero the clock (called once the socket mesh is up)."""
+        self._t0 = self._loop.time()
+
+    @property
+    def now(self) -> float:
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    def wall_deadline(self, virtual_time: float) -> float:
+        """Loop time at which ``virtual_time`` is reached."""
+        return self._t0 + virtual_time * self.time_scale
+
+    def schedule(
+        self, delay: float, callback, *, priority: int = 0, label: str = ""
+    ) -> asyncio.TimerHandle:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r} for timer {label!r}")
+        return self._loop.call_later(delay * self.time_scale, callback)
+
+    def cancel(self, event: asyncio.TimerHandle) -> None:
+        event.cancel()
+
+
+class _AsyncHost:
+    """Per-rank mechanism host satisfying :class:`repro.backends.api.ProcessLike`.
+
+    There is no task model on this backend (the replay is message- and
+    script-driven), so ``computing`` is always False and pause/resume are
+    no-ops; ``notify_work`` pings the rank script so a deferred decision
+    can retry once a snapshot block lifts.
+    """
+
+    def __init__(self, rank: int, clock: AsyncClock, network: "AsyncTransport") -> None:
+        self.rank = rank
+        self.sim = clock
+        self.network = network
+        self.computing = False
+        self.wake = asyncio.Event()
+
+    def pause_task(self) -> bool:
+        return False
+
+    def resume_task(self) -> None:  # pragma: no cover - never paused
+        pass
+
+    def notify_work(self) -> None:
+        self.wake.set()
+
+    def charge(self, dt: float) -> None:
+        pass  # real CPU time is simply spent on this backend
+
+    def debug_state(self) -> str:  # pragma: no cover - diagnostics
+        return f"P{self.rank} (asyncio host)"
+
+
+class AsyncTransport:
+    """Shared transport satisfying :class:`repro.backends.api.Transport`.
+
+    ``send`` frames the payload and writes it to the ordered-pair stream
+    synchronously (asyncio buffers the bytes); accounting mirrors the DES
+    network so ``stats`` is directly comparable.
+    """
+
+    def __init__(self, nprocs: int, clock: AsyncClock, use_msgpack: bool) -> None:
+        self.nprocs = nprocs
+        self.stats = MessageStats()
+        self._clock = clock
+        self._use_msgpack = use_msgpack and wire.HAVE_MSGPACK
+        self._writers: Dict[Tuple[int, int], asyncio.StreamWriter] = {}
+        self._seq = 0
+        self.frames_sent = 0
+        self.frames_handled = 0
+
+    def attach(self, src: int, dst: int, writer: asyncio.StreamWriter) -> None:
+        self._writers[(src, dst)] = writer
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> Envelope:
+        if src == dst:
+            raise ValueError(f"self-send from rank {src}")
+        nbytes = payload.nbytes() if size is None else int(size)
+        now = self._clock.now
+        self._seq += 1
+        env = Envelope(src, dst, channel, payload, nbytes, now, now, self._seq)
+        self.stats.count(env)
+        frame = wire.encode_frame(
+            {
+                "s": src,
+                "d": dst,
+                "c": int(channel),
+                "t": now,
+                "n": nbytes,
+                "p": wire.encode_payload(payload),
+            },
+            use_msgpack=self._use_msgpack,
+        )
+        writer = self._writers.get((src, dst))
+        if writer is None:
+            raise RuntimeError(f"no stream for {src}->{dst} (mesh not built?)")
+        writer.write(frame)
+        self.frames_sent += 1
+        return env
+
+    def broadcast(
+        self,
+        src: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        exclude=(),
+    ) -> int:
+        skip = set(exclude)
+        skip.add(src)
+        nsent = 0
+        for dst in range(self.nprocs):
+            if dst in skip:
+                continue
+            self.send(src, dst, channel, payload, size=size)
+            nsent += 1
+        return nsent
+
+
+@register_backend
+class AsyncioBackend(Backend):
+    """Replay a script over real localhost sockets with per-rank tasks."""
+
+    name = "asyncio"
+
+    def __init__(
+        self,
+        time_scale: Optional[float] = None,
+        hard_timeout: float = 60.0,
+        use_msgpack: bool = True,
+        quiescence_poll: float = 0.02,
+    ) -> None:
+        self._time_scale = time_scale
+        self._hard_timeout = float(hard_timeout)
+        self._use_msgpack = use_msgpack
+        self._quiescence_poll = float(quiescence_poll)
+
+    # ------------------------------------------------------------- helpers
+
+    def _pick_scale(self, script: WorkloadScript) -> float:
+        if self._time_scale is not None:
+            return float(self._time_scale)
+        span = max(script.makespan, 1e-9)
+        scale = TARGET_WALL_SECONDS / span
+        return min(MAX_TIME_SCALE, max(MIN_TIME_SCALE, scale))
+
+    def execute(self, script: WorkloadScript) -> BackendRunResult:
+        t_wall = _time.perf_counter()
+        result = asyncio.run(self._run(script))
+        result.wall_seconds = _time.perf_counter() - t_wall
+        return result
+
+    # ---------------------------------------------------------------- core
+
+    async def _run(self, script: WorkloadScript) -> BackendRunResult:
+        try:
+            return await asyncio.wait_for(
+                self._run_inner(script), timeout=self._hard_timeout
+            )
+        except asyncio.TimeoutError:
+            raise BackendTimeout(
+                f"asyncio replay of {script.mechanism!r} exceeded "
+                f"{self._hard_timeout}s"
+            ) from None
+
+    async def _run_inner(self, script: WorkloadScript) -> BackendRunResult:
+        loop = asyncio.get_running_loop()
+        nprocs = script.nprocs
+        clock = AsyncClock(loop, script.seed, self._pick_scale(script))
+        transport = AsyncTransport(nprocs, clock, self._use_msgpack)
+        hosts = [_AsyncHost(r, clock, transport) for r in range(nprocs)]
+
+        mech_config = script.mechanism_config()
+        shared = MechanismShared()  # snapshot stats are DES-only diagnostics
+        mechs: List[Mechanism] = []
+        for rank in range(nprocs):
+            mech = create_mechanism(script.mechanism, mech_config)
+            mech.bind(hosts[rank], shared)
+            mechs.append(mech)
+
+        servers: List[asyncio.base_events.Server] = []
+        readers: List[asyncio.Task] = []
+        writers: List[asyncio.StreamWriter] = []
+        decode_errors: List[str] = []
+
+        async def serve_rank(dst: int) -> Tuple[asyncio.base_events.Server, int]:
+            async def on_connect(
+                reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+            ) -> None:
+                readers.append(
+                    asyncio.current_task() or asyncio.ensure_future(_noop())
+                )
+                writers.append(writer)
+                await self._reader_loop(
+                    reader, dst, mechs[dst], transport, clock, decode_errors
+                )
+
+            server = await asyncio.start_server(on_connect, host="127.0.0.1", port=0)
+            port = server.sockets[0].getsockname()[1]
+            return server, port
+
+        async def _noop() -> None:
+            return None
+
+        ports: Dict[int, int] = {}
+        for rank in range(nprocs):
+            server, port = await serve_rank(rank)
+            servers.append(server)
+            ports[rank] = port
+
+        # Dial the full ordered-pair mesh: src's stream to dst carries every
+        # src->dst message, preserving per-link FIFO order.
+        for src in range(nprocs):
+            for dst in range(nprocs):
+                if src == dst:
+                    continue
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", ports[dst]
+                )
+                hello = wire.encode_frame(
+                    {"hello": src, "to": dst},
+                    use_msgpack=self._use_msgpack and wire.HAVE_MSGPACK,
+                )
+                writer.write(hello)
+                writers.append(writer)
+                transport.attach(src, dst, writer)
+        await asyncio.sleep(0)  # let servers accept the dialled connections
+
+        initial = script.initial_loads()
+        clock.start()  # mechanism timers begin at virtual t=0
+        for mech in mechs:
+            mech.initialize_view(initial)
+
+        rank_tasks = [
+            asyncio.ensure_future(
+                self._run_rank(script, rank, mechs[rank], hosts[rank], clock)
+            )
+            for rank in range(nprocs)
+        ]
+        try:
+            await asyncio.gather(*rank_tasks)
+
+            for mech in mechs:
+                mech.shutdown()
+
+            # Quiescence: every frame sent was handled, stable over a poll.
+            stable = 0
+            while stable < 2:
+                before = (transport.frames_sent, transport.frames_handled)
+                await asyncio.sleep(self._quiescence_poll)
+                after = (transport.frames_sent, transport.frames_handled)
+                if before == after and after[0] == after[1]:
+                    stable += 1
+                else:
+                    stable = 0
+        finally:
+            for t in rank_tasks:
+                t.cancel()
+            for w in writers:
+                try:
+                    w.close()
+                except RuntimeError:  # pragma: no cover - teardown race
+                    pass
+            for s in servers:
+                s.close()
+            await asyncio.sleep(0)
+
+        if decode_errors:  # pragma: no cover - wire bugs surface here
+            raise RuntimeError(
+                f"wire decode errors during replay: {decode_errors[:3]}"
+            )
+
+        return BackendRunResult(
+            backend=self.name,
+            mechanism=script.mechanism,
+            nprocs=nprocs,
+            messages_by_type=dict(transport.stats.by_type),
+            bytes_by_type=dict(transport.stats.bytes_by_type),
+            state_messages=transport.stats.state_message_count(),
+            decisions=sum(m.decisions for m in mechs),
+            final_views=[
+                [
+                    (float(m.view.workload[r]), float(m.view.memory[r]))
+                    for r in range(nprocs)
+                ]
+                for m in mechs
+            ],
+            final_my_load=[(m.my_load.workload, m.my_load.memory) for m in mechs],
+            wall_seconds=0.0,  # patched by execute()
+            extras={
+                "frames_sent": float(transport.frames_sent),
+                "frames_handled": float(transport.frames_handled),
+                "time_scale": clock.time_scale,
+                "virtual_end": clock.now,
+            },
+        )
+
+    # ---------------------------------------------------------- coroutines
+
+    async def _reader_loop(
+        self,
+        reader: asyncio.StreamReader,
+        dst: int,
+        mechanism: Mechanism,
+        transport: AsyncTransport,
+        clock: AsyncClock,
+        decode_errors: List[str],
+    ) -> None:
+        src: Optional[int] = None
+        try:
+            while True:
+                header = await reader.readexactly(wire.HEADER_BYTES)
+                length = int.from_bytes(header[1:5], "big")
+                if length > wire.MAX_FRAME_BYTES:
+                    raise wire.WireError(f"oversized frame ({length} bytes)")
+                body = await reader.readexactly(length)
+                obj = wire.decode_body(header[0:1], body)
+                if "hello" in obj:
+                    src = int(obj["hello"])
+                    continue
+                env = Envelope(
+                    src=int(obj["s"]),
+                    dst=dst,
+                    channel=Channel(int(obj["c"])),
+                    payload=wire.decode_payload(obj["p"]),
+                    size=int(obj["n"]),
+                    send_time=float(obj["t"]),
+                    deliver_time=clock.now,
+                    seq=transport.frames_handled + 1,
+                )
+                mechanism.handle_message(env)
+                transport.frames_handled += 1
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return  # peer closed: normal teardown
+        except asyncio.CancelledError:  # pragma: no cover - teardown
+            raise
+        except wire.WireError as exc:
+            decode_errors.append(f"P{dst}<-{src}: {exc}")
+
+    async def _run_rank(
+        self,
+        script: WorkloadScript,
+        rank: int,
+        mechanism: Mechanism,
+        host: _AsyncHost,
+        clock: AsyncClock,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        for ev in script.events[rank]:
+            delay = clock.wall_deadline(ev.time) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if isinstance(ev, ReportEvent):
+                mechanism.on_local_change(
+                    Load(ev.workload, ev.memory), slave_task=ev.slave
+                )
+                continue
+            assert isinstance(ev, DecisionEvent)
+            # Defer while another rank's snapshot blocks us (same rule as
+            # the DES replay driver; the mechanism pings `wake` on unblock).
+            while mechanism.blocks_tasks():
+                host.wake.clear()
+                await host.wake.wait()
+            done: asyncio.Future = loop.create_future()
+
+            def callback(view, ev=ev, done=done) -> None:
+                mechanism.record_decision(ev.shares_as_loads())
+                if ev.declare:
+                    mechanism.declare_no_more_master()
+                mechanism.decision_complete()
+                if not done.done():
+                    done.set_result(None)
+
+            mechanism.request_view(callback)
+            await done

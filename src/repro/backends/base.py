@@ -1,0 +1,106 @@
+"""Backend abstraction: execute a recorded workload script on a substrate.
+
+A :class:`Backend` takes a :class:`~repro.backends.script.WorkloadScript`
+and runs the mechanism fleet it describes — same mechanism classes, same
+``HANDLERS`` dispatch, same RNG seed — returning a
+:class:`BackendRunResult` with the observables the conformance suite
+compares: per-type message counts, decision counts, final views and final
+self-load estimates.
+
+Two backends are registered:
+
+* ``"des"`` (:mod:`repro.backends.des`) — the discrete-event simulator
+  replays the script in virtual time over the simulated network;
+* ``"asyncio"`` (:mod:`repro.backends.asyncio_net`) — per-rank asyncio
+  tasks replay it in scaled wall-clock time over real localhost TCP
+  sockets with length-prefixed frames.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Type
+
+from .script import WorkloadScript
+
+
+@dataclass
+class BackendRunResult:
+    """Observables of one script replay (the conformance comparands)."""
+
+    backend: str
+    mechanism: str
+    nprocs: int
+    #: Messages sent, by payload TYPE (Sequenced unwraps to its inner type,
+    #: exactly like the DES network accounting).
+    messages_by_type: Dict[str, int]
+    bytes_by_type: Dict[str, int]
+    state_messages: int
+    #: Decisions published through ``record_decision`` (all mechanisms).
+    decisions: int
+    #: Final per-rank views: ``final_views[rank][peer] == (workload, memory)``.
+    final_views: List[List[Tuple[float, float]]]
+    #: Final broadcast-consistent self-load estimate per rank.
+    final_my_load: List[Tuple[float, float]]
+    #: Wall-clock seconds the replay took (diagnostic only; never compared).
+    wall_seconds: float
+    #: Backend-specific diagnostics (snapshot rounds, frames decoded, ...).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "backend": self.backend,
+            "mechanism": self.mechanism,
+            "nprocs": self.nprocs,
+            "messages_by_type": dict(self.messages_by_type),
+            "bytes_by_type": dict(self.bytes_by_type),
+            "state_messages": self.state_messages,
+            "decisions": self.decisions,
+            "final_views": [[list(v) for v in row] for row in self.final_views],
+            "final_my_load": [list(v) for v in self.final_my_load],
+            "wall_seconds": self.wall_seconds,
+            "extras": dict(self.extras),
+        }
+
+
+class Backend(ABC):
+    """One execution substrate for the mechanism layer."""
+
+    #: Registry name.
+    name: str = "?"
+
+    @abstractmethod
+    def execute(self, script: WorkloadScript) -> BackendRunResult:
+        """Replay ``script`` and return the comparable observables."""
+
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    if cls.name in _REGISTRY:
+        raise ValueError(f"backend {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> Tuple[str, ...]:
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(name: str, **kwargs) -> Backend:
+    _ensure_loaded()
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return cls(**kwargs)
+
+
+def _ensure_loaded() -> None:
+    # Import the built-in backends lazily to avoid import cycles at package
+    # load (they import mechanisms, which must not import backends).
+    from . import asyncio_net, des  # noqa: F401

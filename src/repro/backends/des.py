@@ -1,0 +1,221 @@
+"""DES replay backend: run a workload script inside the event simulator.
+
+The reference substrate.  Mechanism instances are bound to lightweight
+:class:`~repro.simcore.process.SimProcess` hosts (no solver, no tasks) on
+the standard simulated :class:`~repro.simcore.network.Network`; per-rank
+drivers feed the recorded upcalls at their recorded virtual times.
+
+Replay rules shared with the asyncio backend (see
+:mod:`repro.backends.script`):
+
+* events replay per rank in order; a decision blocks the rank's later
+  events until the mechanism's view callback has run;
+* a decision that arrives while the mechanism blocks tasks (a snapshot led
+  by another rank is active here) is *deferred* until the block lifts —
+  the solver's Algorithm-1 loop has the same property, but replay timing
+  can shift an overlap onto the scripted decision instant;
+* when every rank has finished its transcript, all mechanisms are shut
+  down (timers cancelled) and the simulation drains in-flight messages.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, List, Optional
+
+from ..mechanisms.base import Mechanism, MechanismShared, SnapshotStats
+from ..mechanisms.registry import create_mechanism
+from ..mechanisms.view import Load
+from ..simcore.engine import Simulator
+from ..simcore.errors import ProtocolError
+from ..simcore.network import Envelope, Network, NetworkConfig
+from ..simcore.process import SimProcess, Work
+from .base import Backend, BackendRunResult, register_backend
+from .script import DecisionEvent, RankEvent, ReportEvent, WorkloadScript
+
+
+class _ReplayProcess(SimProcess):
+    """Minimal host: routes STATE messages to the mechanism, runs no tasks."""
+
+    def __init__(self, sim: Simulator, network: Network, rank: int) -> None:
+        super().__init__(sim, network, rank)
+        self.mechanism: Optional[Mechanism] = None
+        #: Set by the driver so mechanism unblocks re-try deferred decisions.
+        self.on_wake: Optional[Callable[[], None]] = None
+
+    def handle_state(self, env: Envelope) -> None:
+        assert self.mechanism is not None
+        self.mechanism.handle_message(env)
+
+    def handle_data(self, env: Envelope) -> None:  # pragma: no cover - guard
+        raise ProtocolError(f"P{self.rank}: unexpected DATA message in replay")
+
+    def next_task(self) -> Optional[Work]:
+        return None
+
+    def notify_work(self) -> None:
+        super().notify_work()
+        if self.on_wake is not None:
+            self.on_wake()
+
+
+class _RankDriver:
+    """Feeds one rank's recorded upcalls into its mechanism, in order."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mechanism: Mechanism,
+        proc: _ReplayProcess,
+        events: List[RankEvent],
+        on_finished: Callable[[], None],
+    ) -> None:
+        self._sim = sim
+        self._mech = mechanism
+        self._rank = proc.rank
+        self._events = events
+        self._next = 0
+        self._on_finished = on_finished
+        self._deferred: Optional[DecisionEvent] = None
+        self.finished = False
+        proc.on_wake = self._on_wake
+
+    def start(self) -> None:
+        self._advance()
+
+    # ------------------------------------------------------------ plumbing
+
+    def _advance(self) -> None:
+        if self._next >= len(self._events):
+            self.finished = True
+            self._on_finished()
+            return
+        ev = self._events[self._next]
+        self._next += 1
+        delay = max(0.0, ev.time - self._sim.now)
+        self._sim.schedule(delay, lambda: self._fire(ev), label=f"replay:P{self._rank}")
+
+    def _fire(self, ev: RankEvent) -> None:
+        if isinstance(ev, ReportEvent):
+            self._mech.on_local_change(
+                Load(ev.workload, ev.memory), slave_task=ev.slave
+            )
+            self._advance()
+            return
+        assert isinstance(ev, DecisionEvent)
+        if self._mech.blocks_tasks():
+            # A snapshot led by another rank is active here right now; the
+            # solver loop would not reach task selection either.  Retry when
+            # the mechanism lifts the block (it calls proc.notify_work()).
+            self._deferred = ev
+            return
+        self._issue_decision(ev)
+
+    def _on_wake(self) -> None:
+        ev = self._deferred
+        if ev is None or self._mech.blocks_tasks():
+            return
+        self._deferred = None
+        self._issue_decision(ev)
+
+    def _issue_decision(self, ev: DecisionEvent) -> None:
+        def callback(view) -> None:
+            self._mech.record_decision(ev.shares_as_loads())
+            if ev.declare:
+                # No-op under the replay config (no_more_master=False);
+                # re-issued for upcall-sequence fidelity.
+                self._mech.declare_no_more_master()
+            self._mech.decision_complete()
+            self._advance()
+
+        self._mech.request_view(callback)
+
+
+@register_backend
+class DesBackend(Backend):
+    """Replay a script on the discrete-event simulator."""
+
+    name = "des"
+
+    def __init__(
+        self,
+        network: Optional[NetworkConfig] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self._network_config = network or NetworkConfig()
+        self._max_events = max_events
+
+    def execute(self, script: WorkloadScript) -> BackendRunResult:
+        t_wall = _time.perf_counter()
+        sim = Simulator(seed=script.seed, max_events=self._max_events)
+        net = Network(sim, script.nprocs, self._network_config)
+        shared = MechanismShared(snapshot_stats=SnapshotStats(sim))
+        mech_config = script.mechanism_config()
+
+        procs: List[_ReplayProcess] = []
+        mechs: List[Mechanism] = []
+        for rank in range(script.nprocs):
+            proc = _ReplayProcess(sim, net, rank)
+            mech = create_mechanism(script.mechanism, mech_config)
+            mech.bind(proc, shared)
+            proc.mechanism = mech
+            procs.append(proc)
+            mechs.append(mech)
+
+        initial = script.initial_loads()
+        for mech in mechs:
+            mech.initialize_view(initial)
+
+        unfinished = [script.nprocs]
+
+        def rank_finished() -> None:
+            unfinished[0] -= 1
+            if unfinished[0] == 0:
+                # Every transcript replayed: stop self-scheduled mechanism
+                # activity so the post-replay drain terminates (the solver
+                # driver does the same at the makespan).
+                for m in mechs:
+                    m.shutdown()
+
+        drivers = [
+            _RankDriver(sim, mechs[r], procs[r], script.events[r], rank_finished)
+            for r in range(script.nprocs)
+        ]
+        for d in drivers:
+            d.start()
+
+        sim.on_drain_check(lambda: unfinished[0] == 0)
+        for p in procs:
+            sim.add_state_dumper(p.debug_state)
+        sim.run()
+        if unfinished[0] != 0:  # pragma: no cover - deadlock guard
+            raise ProtocolError(
+                f"script replay incomplete: {unfinished[0]} ranks still active"
+            )
+
+        snap = shared.snapshot_stats
+        return BackendRunResult(
+            backend=self.name,
+            mechanism=script.mechanism,
+            nprocs=script.nprocs,
+            messages_by_type=dict(net.stats.by_type),
+            bytes_by_type=dict(net.stats.bytes_by_type),
+            state_messages=net.stats.state_message_count(),
+            decisions=sum(m.decisions for m in mechs),
+            final_views=[
+                [
+                    (float(m.view.workload[r]), float(m.view.memory[r]))
+                    for r in range(script.nprocs)
+                ]
+                for m in mechs
+            ],
+            final_my_load=[
+                (m.my_load.workload, m.my_load.memory) for m in mechs
+            ],
+            wall_seconds=_time.perf_counter() - t_wall,
+            extras={
+                "events_executed": float(sim.events_executed),
+                "snapshots": float(snap.total_snapshots if snap else 0),
+                "virtual_end": sim.now,
+            },
+        )

@@ -1,0 +1,301 @@
+"""Workload scripts: record a solver run once, replay it on any backend.
+
+A factorization run exercises a mechanism through exactly two upcall
+families (see :mod:`repro.mechanisms.base`):
+
+* ``on_local_change(delta, slave_task=...)`` — the local load varied;
+* the decision sequence ``request_view`` → ``record_decision(shares)`` →
+  optionally ``declare_no_more_master`` → ``decision_complete``.
+
+A :class:`WorkloadScript` is the timestamped, per-rank transcript of those
+upcalls from one source run, plus everything needed to re-instantiate the
+mechanism fleet (mechanism name, knobs, threshold, seed, initial loads).
+Replaying the script drives the *identical* mechanism code on a different
+substrate — the DES replay backend and the asyncio socket backend — which is
+what the conformance suite compares.
+
+Replay semantics (both backends):
+
+* each rank replays its events sequentially in recorded order;
+* a decision event blocks that rank's subsequent events until the
+  mechanism's view callback has fired and the decision was published —
+  matching Algorithm 1, where a process takes no other action while its
+  dynamic decision is in flight;
+* replays run with ``no_more_master=False`` and ``resilience=False``: the
+  §2.3 silence set grows at message-arrival times, which would make even
+  deterministic broadcast counts depend on the substrate's timing.  With it
+  off, every broadcast is exactly ``nprocs - 1`` sends on every backend
+  (documented in ``docs/backends.md``).
+
+The recorder is a pure observer: a run with ``recorder=None`` executes the
+exact same instruction stream as before the recorder existed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..mechanisms.base import MechanismConfig
+from ..mechanisms.view import Load
+
+#: Script schema version (bump on incompatible changes).
+SCRIPT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReportEvent:
+    """One ``on_local_change`` upcall: (time, Δworkload, Δmemory, slave)."""
+
+    time: float
+    workload: float
+    memory: float
+    slave: bool = False
+
+    def to_list(self) -> list:
+        return ["r", self.time, self.workload, self.memory, int(self.slave)]
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    """One dynamic decision: issued at ``time``, publishing ``shares``.
+
+    ``shares`` maps slave rank → (workload, memory) share; ``declare`` marks
+    the master's last decision (the source run called
+    ``declare_no_more_master`` right after) — replays re-issue the call,
+    which is a no-op under the replay config, purely for API fidelity.
+    """
+
+    time: float
+    shares: Tuple[Tuple[int, float, float], ...]
+    declare: bool = False
+
+    def shares_as_loads(self) -> Dict[int, Load]:
+        return {r: Load(w, m) for r, w, m in self.shares}
+
+    def to_list(self) -> list:
+        return ["d", self.time, [list(s) for s in self.shares], int(self.declare)]
+
+
+RankEvent = Union[ReportEvent, DecisionEvent]
+
+
+def _event_from_list(obj: list) -> RankEvent:
+    kind = obj[0]
+    if kind == "r":
+        return ReportEvent(float(obj[1]), float(obj[2]), float(obj[3]), bool(obj[4]))
+    if kind == "d":
+        shares = tuple((int(s[0]), float(s[1]), float(s[2])) for s in obj[2])
+        return DecisionEvent(float(obj[1]), shares, bool(obj[3]))
+    raise ValueError(f"unknown script event kind {kind!r}")
+
+
+@dataclass
+class WorkloadScript:
+    """A recorded run: per-rank upcall transcript + mechanism configuration."""
+
+    problem: str
+    mechanism: str
+    strategy: str
+    nprocs: int
+    seed: int
+    threshold: Tuple[float, float]
+    initial: List[Tuple[float, float]]
+    events: List[List[RankEvent]]
+    makespan: float
+    #: Mechanism knobs copied from the source run's MechanismConfig
+    #: (topology/gossip/periodic family; resilience knobs excluded).
+    knobs: Dict[str, Any] = field(default_factory=dict)
+    version: int = SCRIPT_VERSION
+
+    # ------------------------------------------------------------- queries
+
+    def decision_count(self) -> int:
+        return sum(
+            1 for evs in self.events for ev in evs if isinstance(ev, DecisionEvent)
+        )
+
+    def event_count(self) -> int:
+        return sum(len(evs) for evs in self.events)
+
+    def initial_loads(self) -> List[Load]:
+        return [Load(w, m) for w, m in self.initial]
+
+    def mechanism_config(self) -> MechanismConfig:
+        """The replay config: source knobs, silence and resilience forced off
+        (see the module docstring for why)."""
+        return MechanismConfig(
+            threshold=Load(*self.threshold),
+            no_more_master=False,
+            threaded=False,
+            resilience=False,
+            leader_criterion=self.knobs.get("leader_criterion", "rank"),
+            snapshot_group_size=int(self.knobs.get("snapshot_group_size", 0)),
+            periodic_period=float(self.knobs.get("periodic_period", 0.0)),
+            topology=self.knobs.get("topology", ""),
+            topology_degree=int(self.knobs.get("topology_degree", 0)),
+            topology_seed=int(self.knobs.get("topology_seed", self.seed)),
+            gossip_fanout=int(self.knobs.get("gossip_fanout", 0)),
+            gossip_period=float(self.knobs.get("gossip_period", 0.0)),
+            neighbor_horizon=int(self.knobs.get("neighbor_horizon", 0)),
+            neighbor_decay=float(self.knobs.get("neighbor_decay", 0.0)),
+        )
+
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "problem": self.problem,
+            "mechanism": self.mechanism,
+            "strategy": self.strategy,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "threshold": list(self.threshold),
+            "initial": [list(p) for p in self.initial],
+            "events": [[ev.to_list() for ev in evs] for evs in self.events],
+            "makespan": self.makespan,
+            "knobs": dict(self.knobs),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "WorkloadScript":
+        version = int(obj.get("version", 0))
+        if version != SCRIPT_VERSION:
+            raise ValueError(
+                f"unsupported script version {version} (expected {SCRIPT_VERSION})"
+            )
+        return cls(
+            problem=obj["problem"],
+            mechanism=obj["mechanism"],
+            strategy=obj["strategy"],
+            nprocs=int(obj["nprocs"]),
+            seed=int(obj["seed"]),
+            threshold=(float(obj["threshold"][0]), float(obj["threshold"][1])),
+            initial=[(float(p[0]), float(p[1])) for p in obj["initial"]],
+            events=[[_event_from_list(e) for e in evs] for evs in obj["events"]],
+            makespan=float(obj["makespan"]),
+            knobs=dict(obj.get("knobs", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadScript":
+        return cls.from_dict(json.loads(text))
+
+
+class ScriptRecorder:
+    """Hooks the solver driver/process call to transcribe a run.
+
+    Purely observational; attach via ``run_factorization(..., recorder=...)``.
+    """
+
+    def __init__(self) -> None:
+        self._events: List[List[RankEvent]] = []
+        self._pending_decision: List[Optional[float]] = []
+        self._meta: Optional[Dict[str, Any]] = None
+        self._script: Optional[WorkloadScript] = None
+
+    # -------------------------------------------------------- driver hooks
+
+    def begin_run(
+        self,
+        *,
+        problem: str,
+        nprocs: int,
+        mechanism: str,
+        strategy: str,
+        seed: int,
+        mech_config: MechanismConfig,
+        initial: List[Load],
+    ) -> None:
+        self._events = [[] for _ in range(nprocs)]
+        self._pending_decision = [None] * nprocs
+        self._meta = {
+            "problem": problem,
+            "nprocs": nprocs,
+            "mechanism": mechanism,
+            "strategy": strategy,
+            "seed": seed,
+            "threshold": (
+                mech_config.threshold.workload,
+                mech_config.threshold.memory,
+            ),
+            "initial": [(ld.workload, ld.memory) for ld in initial],
+            "knobs": {
+                "leader_criterion": mech_config.leader_criterion,
+                "snapshot_group_size": mech_config.snapshot_group_size,
+                "periodic_period": mech_config.periodic_period,
+                "topology": mech_config.topology,
+                "topology_degree": mech_config.topology_degree,
+                "topology_seed": mech_config.topology_seed,
+                "gossip_fanout": mech_config.gossip_fanout,
+                "gossip_period": mech_config.gossip_period,
+                "neighbor_horizon": mech_config.neighbor_horizon,
+                "neighbor_decay": mech_config.neighbor_decay,
+            },
+        }
+
+    def finish(self, makespan: float) -> None:
+        if self._meta is None:
+            raise RuntimeError("ScriptRecorder.finish before begin_run")
+        meta = self._meta
+        self._script = WorkloadScript(
+            problem=meta["problem"],
+            mechanism=meta["mechanism"],
+            strategy=meta["strategy"],
+            nprocs=meta["nprocs"],
+            seed=meta["seed"],
+            threshold=meta["threshold"],
+            initial=list(meta["initial"]),
+            events=[list(evs) for evs in self._events],
+            makespan=makespan,
+            knobs=dict(meta["knobs"]),
+        )
+
+    # ------------------------------------------------------- process hooks
+
+    def on_report(
+        self, time: float, rank: int, workload: float, memory: float, slave: bool
+    ) -> None:
+        self._events[rank].append(ReportEvent(time, workload, memory, slave))
+
+    def on_decision_start(self, time: float, rank: int) -> None:
+        """A decision was issued (``request_view`` is about to be called).
+
+        The event is stamped with this time — demand-driven mechanisms
+        deliver the view (and hence the shares) later, but the replay must
+        *issue* the request at the recorded point in the rank's timeline.
+        """
+        if self._pending_decision[rank] is not None:
+            raise RuntimeError(f"P{rank}: overlapping recorded decisions")
+        self._pending_decision[rank] = time
+
+    def on_decision(
+        self, rank: int, shares: Dict[int, Load], declare: bool
+    ) -> None:
+        """The decision's shares are known (view callback ran)."""
+        started = self._pending_decision[rank]
+        if started is None:
+            raise RuntimeError(f"P{rank}: decision recorded without a start")
+        self._pending_decision[rank] = None
+        self._events[rank].append(
+            DecisionEvent(
+                time=started,
+                shares=tuple(
+                    (r, share.workload, share.memory)
+                    for r, share in sorted(shares.items())
+                ),
+                declare=declare,
+            )
+        )
+
+    # ------------------------------------------------------------- product
+
+    def script(self) -> WorkloadScript:
+        if self._script is None:
+            raise RuntimeError("recorder has no finished run")
+        return self._script

@@ -1,0 +1,292 @@
+"""Wire format of the socket backend: payload codec + length-prefixed frames.
+
+Every state-information payload (:mod:`repro.mechanisms.messages`) has an
+explicit, schema-checked codec here, keyed by its ``TYPE`` string.  A frame
+on the wire is::
+
+    1 byte   format marker: b"J" (JSON body) or b"M" (msgpack body)
+    4 bytes  big-endian body length
+    N bytes  body
+
+msgpack is optional — the container may not ship it — so the codec is gated
+on import and JSON is the default; both sides of a connection read the
+marker byte, so mixed-format peers interoperate.  Codecs are exact for the
+integer fields and round-trip floats through JSON's shortest-repr (Python
+floats survive ``json.dumps``/``loads`` bit-exactly), which the conformance
+suite relies on.
+
+The module knows nothing about sockets or asyncio: it maps payloads to/from
+plain dicts and frames to/from bytes, and is unit-testable in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple
+
+from ..mechanisms.messages import (
+    EndSnp,
+    GossipLoad,
+    MasterToAll,
+    MasterToSlave,
+    NeighborLoad,
+    NoMoreMaster,
+    ReservationAck,
+    ResyncRequest,
+    Sequenced,
+    Snp,
+    StartSnp,
+    StateSync,
+    TreeDelta,
+    TreeSummary,
+    UpdateAbsolute,
+    UpdateIncrement,
+)
+from ..mechanisms.view import Load
+from ..simcore.network import Payload
+
+try:  # pragma: no cover - environment-dependent
+    import msgpack  # type: ignore[import-not-found]
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - the common case in this container
+    msgpack = None
+    HAVE_MSGPACK = False
+
+FORMAT_JSON = b"J"
+FORMAT_MSGPACK = b"M"
+HEADER_BYTES = 5  # 1 marker + 4 length
+
+#: Frames larger than this are rejected (a corrupt length prefix must not
+#: make a reader allocate gigabytes).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """Malformed frame or unknown/invalid payload encoding."""
+
+
+# --------------------------------------------------------------- Load codec
+
+
+def _enc_load(load: Load) -> list:
+    return [load.workload, load.memory]
+
+
+def _dec_load(obj: Any) -> Load:
+    if not isinstance(obj, (list, tuple)) or len(obj) != 2:
+        raise WireError(f"bad load encoding {obj!r}")
+    return Load(float(obj[0]), float(obj[1]))
+
+
+def _enc_load_map(loads: Dict[int, Load]) -> Dict[str, list]:
+    # JSON objects require string keys; sort for canonical bytes.
+    return {str(r): _enc_load(load) for r, load in sorted(loads.items())}
+
+
+def _dec_load_map(obj: Any) -> Dict[int, Load]:
+    return {int(r): _dec_load(v) for r, v in obj.items()}
+
+
+# ------------------------------------------------------------ payload codec
+
+_Encoder = Callable[[Payload], Dict[str, Any]]
+_Decoder = Callable[[Dict[str, Any]], Payload]
+
+_CODECS: Dict[str, Tuple[type, _Encoder, _Decoder]] = {}
+
+
+def _codec(cls: type, enc: _Encoder, dec: _Decoder) -> None:
+    _CODECS[cls.TYPE] = (cls, enc, dec)  # type: ignore[attr-defined]
+
+
+_codec(
+    UpdateAbsolute,
+    lambda p: {"load": _enc_load(p.load)},
+    lambda o: UpdateAbsolute(load=_dec_load(o["load"])),
+)
+_codec(
+    UpdateIncrement,
+    lambda p: {"delta": _enc_load(p.delta)},
+    lambda o: UpdateIncrement(delta=_dec_load(o["delta"])),
+)
+_codec(
+    MasterToAll,
+    lambda p: {"assignments": _enc_load_map(p.assignments), "decision": p.decision},
+    lambda o: MasterToAll(
+        assignments=_dec_load_map(o["assignments"]), decision=int(o["decision"])
+    ),
+)
+_codec(NoMoreMaster, lambda p: {}, lambda o: NoMoreMaster())
+_codec(
+    StartSnp,
+    lambda p: {"req": p.req},
+    lambda o: StartSnp(req=int(o["req"])),
+)
+_codec(
+    Snp,
+    lambda p: {"req": p.req, "load": _enc_load(p.load)},
+    lambda o: Snp(req=int(o["req"]), load=_dec_load(o["load"])),
+)
+_codec(EndSnp, lambda p: {}, lambda o: EndSnp())
+_codec(ResyncRequest, lambda p: {}, lambda o: ResyncRequest())
+_codec(
+    StateSync,
+    lambda p: {"load": _enc_load(p.load), "upto": p.upto},
+    lambda o: StateSync(load=_dec_load(o["load"]), upto=int(o["upto"])),
+)
+_codec(
+    ReservationAck,
+    lambda p: {"token": p.token},
+    lambda o: ReservationAck(token=int(o["token"])),
+)
+_codec(
+    GossipLoad,
+    lambda p: {
+        "entries": {
+            str(r): [ver, _enc_load(load)]
+            for r, (ver, load) in sorted(p.entries.items())
+        }
+    },
+    lambda o: GossipLoad(
+        entries={
+            int(r): (int(v[0]), _dec_load(v[1])) for r, v in o["entries"].items()
+        }
+    ),
+)
+_codec(
+    NeighborLoad,
+    lambda p: {
+        "origin": p.origin,
+        "load": _enc_load(p.load),
+        "version": p.version,
+        "hops": p.hops,
+    },
+    lambda o: NeighborLoad(
+        origin=int(o["origin"]),
+        load=_dec_load(o["load"]),
+        version=int(o["version"]),
+        hops=int(o["hops"]),
+    ),
+)
+_codec(
+    TreeDelta,
+    lambda p: {"deltas": _enc_load_map(p.deltas)},
+    lambda o: TreeDelta(deltas=_dec_load_map(o["deltas"])),
+)
+_codec(
+    TreeSummary,
+    lambda p: {"loads": _enc_load_map(p.loads)},
+    lambda o: TreeSummary(loads=_dec_load_map(o["loads"])),
+)
+_codec(
+    MasterToSlave,
+    lambda p: {"delta": _enc_load(p.delta), "token": p.token, "decision": p.decision},
+    lambda o: MasterToSlave(
+        delta=_dec_load(o["delta"]),
+        token=int(o["token"]),
+        decision=int(o["decision"]),
+    ),
+)
+
+
+def encode_payload(payload: Payload) -> Dict[str, Any]:
+    """Encode a payload as a plain dict carrying its ``TYPE`` under ``"k"``.
+
+    Keyed by ``type(payload).TYPE`` rather than ``payload.type_name`` —
+    :class:`Sequenced` proxies ``type_name`` to its inner payload, but on
+    the wire the wrapper itself must be encoded.
+    """
+    if isinstance(payload, Sequenced):
+        return {
+            "k": Sequenced.TYPE,
+            "seq": payload.seq,
+            "inner": encode_payload(payload.inner),
+        }
+    key = type(payload).TYPE
+    entry = _CODECS.get(key)
+    if entry is None or type(payload) is not entry[0]:
+        raise WireError(f"no wire codec for payload {type(payload).__name__}")
+    obj = entry[1](payload)
+    obj["k"] = key
+    return obj
+
+
+def decode_payload(obj: Dict[str, Any]) -> Payload:
+    """Inverse of :func:`encode_payload`."""
+    try:
+        key = obj["k"]
+    except (TypeError, KeyError):
+        raise WireError(f"payload encoding lacks a type key: {obj!r}") from None
+    if key == Sequenced.TYPE:
+        return Sequenced(seq=int(obj["seq"]), inner=decode_payload(obj["inner"]))
+    entry = _CODECS.get(key)
+    if entry is None:
+        raise WireError(f"unknown payload type {key!r} on the wire")
+    try:
+        return entry[2](obj)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"invalid {key!r} payload {obj!r}: {exc}") from None
+
+
+def wire_types() -> Tuple[str, ...]:
+    """All payload TYPE strings the codec covers (for exhaustiveness tests)."""
+    return tuple(sorted(_CODECS)) + (Sequenced.TYPE,)
+
+
+# ------------------------------------------------------------------ framing
+
+
+def encode_frame(obj: Dict[str, Any], *, use_msgpack: bool = False) -> bytes:
+    """Serialize one message dict into a length-prefixed frame."""
+    if use_msgpack:
+        if not HAVE_MSGPACK:
+            raise WireError("msgpack requested but the module is unavailable")
+        body = msgpack.packb(obj, use_bin_type=True)
+        marker = FORMAT_MSGPACK
+    else:
+        body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        marker = FORMAT_JSON
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame body of {len(body)} bytes exceeds the limit")
+    return marker + len(body).to_bytes(4, "big") + body
+
+
+def decode_body(marker: bytes, body: bytes) -> Dict[str, Any]:
+    """Decode a frame body according to its 1-byte format marker."""
+    if marker == FORMAT_JSON:
+        obj = json.loads(body.decode("utf-8"))
+    elif marker == FORMAT_MSGPACK:
+        if not HAVE_MSGPACK:
+            raise WireError("received a msgpack frame without msgpack installed")
+        obj = msgpack.unpackb(body, raw=False, strict_map_key=False)
+    else:
+        raise WireError(f"unknown wire format marker {marker!r}")
+    if not isinstance(obj, dict):
+        raise WireError(f"frame body is not a mapping: {obj!r}")
+    return obj
+
+
+def decode_frame(data: bytes) -> Tuple[Dict[str, Any], int]:
+    """Decode one frame from ``data``; returns (message, bytes consumed).
+
+    Raises :class:`IncompleteFrame` when more bytes are needed — the
+    synchronous counterpart of the async reader's ``readexactly`` loop.
+    """
+    if len(data) < HEADER_BYTES:
+        raise IncompleteFrame(HEADER_BYTES - len(data))
+    length = int.from_bytes(data[1:5], "big")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap")
+    end = HEADER_BYTES + length
+    if len(data) < end:
+        raise IncompleteFrame(end - len(data))
+    return decode_body(data[0:1], data[5:end]), end
+
+
+class IncompleteFrame(Exception):
+    """decode_frame needs ``self.missing`` more bytes."""
+
+    def __init__(self, missing: int) -> None:
+        super().__init__(f"need {missing} more bytes")
+        self.missing = missing

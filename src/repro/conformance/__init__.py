@@ -1,0 +1,476 @@
+"""Differential conformance: DES vs asyncio sockets on one recorded run.
+
+Pipeline
+--------
+
+1. **Record.**  Run a normal simulated factorization with a
+   :class:`~repro.backends.script.ScriptRecorder` attached and validate the
+   result with :func:`repro.solver.validate.validate_result` — the recorded
+   :class:`~repro.backends.script.WorkloadScript` therefore comes from a
+   run whose final mapping is known-good.
+2. **Replay.**  Execute the script on each backend (``"des"`` and
+   ``"asyncio"``) — the *identical* mechanism ``HANDLERS`` code over the
+   simulated network and over real localhost TCP sockets.
+3. **Compare.**  Check the backends against each other and against the
+   script's own deterministic invariants.
+
+Comparison policy
+-----------------
+
+Replays force ``no_more_master=False`` and ``resilience=False`` (see
+:mod:`repro.backends.script`), which makes a large share of the traffic
+*count-deterministic* — independent of message timing — so those buckets
+are compared **exactly**:
+
+==================  =====================================================
+bucket              exact invariant
+==================  =====================================================
+decisions           == the script's recorded decision count, per backend
+naive               ``update_abs`` broadcasts (threshold crossings are a
+                    pure function of the scripted load deltas)
+increments          ``update`` broadcasts and one ``master_to_all``
+                    broadcast per decision
+snapshot family     one ``master_to_slave`` per assigned share
+neighborhood        ``master_to_slave`` reservations, ditto
+tree_agg            ``tree_delta`` climbs (each flush forwards immediately
+                    — one message per tree edge crossed, no coalescing)
+oracle              zero messages of any type
+==================  =====================================================
+
+Timer-driven and relay traffic (``gossip_load``, ``neighbor_load``,
+periodic ``update_abs``, ``tree_summary``, and the snapshot handshake
+``start_snp``/``snp``/``end_snp`` whose round count depends on
+concurrent-initiation aborts) is wall-clock dependent on the socket
+backend, so those buckets get the documented tolerance
+
+    ``|a - b| <= max(TOLERANCE_FLOOR, TOLERANCE_FRAC * max(a, b))``.
+
+Final state: every backend must agree on each rank's final ``my_load``
+(the scripted deltas plus reservation sums — addition order may differ, so
+FP tolerance); mechanisms whose view is event-exact under the replay
+config (naive, increments, oracle) must also agree on the full final view.
+See ``docs/backends.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..backends.base import BackendRunResult, create_backend
+from ..backends.script import ScriptRecorder, WorkloadScript
+from ..mechanisms.registry import available_mechanisms
+
+#: Absolute slack of the count tolerance (covers one-off end effects).
+TOLERANCE_FLOOR = 8
+#: Relative slack of the count tolerance.
+TOLERANCE_FRAC = 0.5
+
+#: Relative/absolute FP tolerance for final load comparisons.
+LOAD_RTOL = 1e-6
+LOAD_ATOL = 1e-6
+
+#: Message buckets compared exactly, per mechanism (payload ``TYPE``
+#: strings; Sequenced unwraps to its inner type in the stats, exactly like
+#: the DES network accounting).
+EXACT_TYPES: Dict[str, Tuple[str, ...]] = {
+    "naive": ("update_abs",),
+    "increments": ("update", "master_to_all"),
+    "snapshot": ("master_to_slave",),
+    "partial_snapshot": ("master_to_slave",),
+    "neighborhood": ("master_to_slave",),
+    "tree_agg": ("tree_delta",),
+    "oracle": (),
+    "periodic": (),
+    "gossip": (),
+}
+
+#: Mechanisms whose replay sends no messages at all (exact zero check).
+SILENT_MECHS = ("oracle",)
+
+#: Mechanisms whose final view must be FP-equal across backends.
+VIEW_EXACT_MECHS = ("naive", "increments", "oracle")
+
+#: Default mechanism set: everything registered.
+ALL_MECHANISMS: Tuple[str, ...] = tuple(sorted(available_mechanisms()))
+
+
+def tolerance_ok(a: int, b: int) -> bool:
+    """The documented count tolerance for wall-clock-dependent buckets."""
+    return abs(a - b) <= max(TOLERANCE_FLOOR, TOLERANCE_FRAC * max(a, b))
+
+
+def _loads_close(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> bool:
+    return all(
+        math.isclose(x, y, rel_tol=LOAD_RTOL, abs_tol=LOAD_ATOL)
+        for x, y in zip(a, b)
+    )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One failed cross-backend (or backend-vs-script) check."""
+
+    mechanism: str
+    check: str  # "decisions" | "exact:<type>" | "tolerance:<type>" | ...
+    detail: str
+    expected: Any
+    actual: Any
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mechanism": self.mechanism,
+            "check": self.check,
+            "detail": self.detail,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+
+@dataclass
+class MechanismVerdict:
+    """Conformance outcome for one mechanism."""
+
+    mechanism: str
+    ok: bool
+    source_valid: bool
+    source_failures: List[str]
+    divergences: List[Divergence]
+    results: Dict[str, BackendRunResult]
+    script_decisions: int
+    script_events: int
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mechanism": self.mechanism,
+            "ok": self.ok,
+            "source_valid": self.source_valid,
+            "source_failures": list(self.source_failures),
+            "divergences": [d.to_dict() for d in self.divergences],
+            "results": {k: r.to_dict() for k, r in self.results.items()},
+            "script_decisions": self.script_decisions,
+            "script_events": self.script_events,
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Full differential run: one matrix, N mechanisms, M backends."""
+
+    problem: str
+    nprocs: int
+    seed: int
+    backends: Tuple[str, ...]
+    verdicts: List[MechanismVerdict]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    def divergence_count(self) -> int:
+        return sum(len(v.divergences) for v in self.verdicts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "problem": self.problem,
+            "nprocs": self.nprocs,
+            "seed": self.seed,
+            "backends": list(self.backends),
+            "ok": self.ok,
+            "divergences": self.divergence_count(),
+            "wall_seconds": self.wall_seconds,
+            "tolerance": {
+                "floor": TOLERANCE_FLOOR,
+                "frac": TOLERANCE_FRAC,
+                "load_rtol": LOAD_RTOL,
+                "load_atol": LOAD_ATOL,
+            },
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def write(self, path: str) -> None:
+        """Write the divergence-report artifact (JSON, stable key order)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def summary(self) -> str:
+        lines = [
+            f"conformance: {self.problem} nprocs={self.nprocs} "
+            f"seed={self.seed} backends={','.join(self.backends)}"
+        ]
+        for v in self.verdicts:
+            status = "ok" if v.ok else f"FAIL ({len(v.divergences)} divergences)"
+            lines.append(
+                f"  {v.mechanism:<18} {status:<24} "
+                f"decisions={v.script_decisions} events={v.script_events}"
+            )
+            for d in v.divergences:
+                lines.append(
+                    f"    - {d.check}: {d.detail} "
+                    f"(expected {d.expected!r}, got {d.actual!r})"
+                )
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- recording
+
+
+def record_script(
+    tree,
+    nprocs: int,
+    mechanism: str,
+    *,
+    strategy: str = "workload",
+    config=None,
+) -> Tuple[WorkloadScript, bool, List[str]]:
+    """Run the factorization once with a recorder; validate the source run.
+
+    Returns ``(script, source_valid, source_failures)``.
+    """
+    from ..solver.driver import run_factorization
+    from ..solver.validate import validate_result
+
+    recorder = ScriptRecorder()
+    result = run_factorization(
+        tree, nprocs, mechanism=mechanism, config=config, recorder=recorder
+    )
+    report = validate_result(result, tree)
+    return recorder.script(), report.ok, list(report.failures)
+
+
+# ---------------------------------------------------------------- comparison
+
+
+def compare_results(
+    script: WorkloadScript,
+    results: Dict[str, BackendRunResult],
+) -> List[Divergence]:
+    """Cross-check the backends' observables per the documented policy."""
+    mech = script.mechanism
+    out: List[Divergence] = []
+    names = sorted(results)
+    if len(names) < 2 and not names:
+        return out
+    ref_name = "des" if "des" in results else names[0]
+    ref = results[ref_name]
+
+    def diverge(check: str, detail: str, expected, actual) -> None:
+        out.append(Divergence(mech, check, detail, expected, actual))
+
+    # Decisions: every backend replays exactly the scripted decisions.
+    want = script.decision_count()
+    for name in names:
+        got = results[name].decisions
+        if got != want:
+            diverge("decisions", f"{name} decision count", want, got)
+
+    exact = set(EXACT_TYPES.get(mech, ()))
+    if mech in SILENT_MECHS:
+        for name in names:
+            total = sum(results[name].messages_by_type.values())
+            if total != 0:
+                diverge(
+                    "exact:silent",
+                    f"{name} sent messages for a silent mechanism",
+                    0,
+                    dict(results[name].messages_by_type),
+                )
+
+    all_types = sorted(
+        {t for r in results.values() for t in r.messages_by_type}
+    )
+    for mtype in all_types:
+        a = ref.messages_by_type.get(mtype, 0)
+        for name in names:
+            if name == ref_name:
+                continue
+            b = results[name].messages_by_type.get(mtype, 0)
+            if mtype in exact:
+                if a != b:
+                    diverge(
+                        f"exact:{mtype}",
+                        f"{ref_name}={a} vs {name}={b}",
+                        a,
+                        b,
+                    )
+            elif not tolerance_ok(a, b):
+                diverge(
+                    f"tolerance:{mtype}",
+                    f"{ref_name}={a} vs {name}={b} exceeds "
+                    f"max({TOLERANCE_FLOOR}, {TOLERANCE_FRAC}*max)",
+                    a,
+                    b,
+                )
+
+    # Final self-load: scripted deltas + reservation sums; only the FP
+    # addition order may differ between backends.
+    for name in names:
+        if name == ref_name:
+            continue
+        other = results[name]
+        for rank in range(script.nprocs):
+            if not _loads_close(ref.final_my_load[rank], other.final_my_load[rank]):
+                diverge(
+                    "final_my_load",
+                    f"P{rank}: {ref_name} vs {name}",
+                    ref.final_my_load[rank],
+                    other.final_my_load[rank],
+                )
+
+    # Final view: only where the replay config makes it event-exact.
+    if mech in VIEW_EXACT_MECHS:
+        for name in names:
+            if name == ref_name:
+                continue
+            other = results[name]
+            for rank in range(script.nprocs):
+                for peer in range(script.nprocs):
+                    if not _loads_close(
+                        ref.final_views[rank][peer], other.final_views[rank][peer]
+                    ):
+                        diverge(
+                            "final_view",
+                            f"P{rank} view of P{peer}: {ref_name} vs {name}",
+                            ref.final_views[rank][peer],
+                            other.final_views[rank][peer],
+                        )
+    return out
+
+
+# ------------------------------------------------------------------- driving
+
+
+def run_mechanism_conformance(
+    tree,
+    nprocs: int,
+    mechanism: str,
+    *,
+    backends: Sequence[str] = ("des", "asyncio"),
+    config=None,
+    backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> MechanismVerdict:
+    """Record one run of ``mechanism`` and replay it on every backend."""
+    script, source_valid, source_failures = record_script(
+        tree, nprocs, mechanism, config=config
+    )
+    results: Dict[str, BackendRunResult] = {}
+    divergences: List[Divergence] = []
+    notes: List[str] = []
+    kwargs = backend_kwargs or {}
+    for name in backends:
+        backend = create_backend(name, **kwargs.get(name, {}))
+        try:
+            results[name] = backend.execute(script)
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            divergences.append(
+                Divergence(
+                    mechanism, "backend_error", f"{name}: {exc}", "run", "error"
+                )
+            )
+    divergences.extend(compare_results(script, results))
+    if not source_valid:
+        divergences.append(
+            Divergence(
+                mechanism,
+                "source_invalid",
+                "; ".join(source_failures) or "validate_result failed",
+                True,
+                False,
+            )
+        )
+    for name, r in results.items():
+        notes.append(
+            f"{name}: {sum(r.messages_by_type.values())} msgs, "
+            f"{r.decisions} decisions, {r.wall_seconds:.3f}s wall"
+        )
+    return MechanismVerdict(
+        mechanism=mechanism,
+        ok=not divergences,
+        source_valid=source_valid,
+        source_failures=source_failures,
+        divergences=divergences,
+        results=results,
+        script_decisions=script.decision_count(),
+        script_events=script.event_count(),
+        notes=notes,
+    )
+
+
+def default_tree(shape: Tuple[int, int, int] = (10, 10, 4)):
+    """The conformance suite's small deterministic matrix."""
+    from ..matrices import generators as gen
+    from ..symbolic import analyze_matrix
+
+    name = f"conformance-grid-{shape[0]}x{shape[1]}b{shape[2]}"
+    return analyze_matrix(gen.grid_laplacian(shape), name=name)
+
+
+def run_conformance(
+    *,
+    nprocs: int = 4,
+    mechanisms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    backends: Sequence[str] = ("des", "asyncio"),
+    shape: Tuple[int, int, int] = (10, 10, 4),
+    config=None,
+    backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    out_path: Optional[str] = None,
+) -> ConformanceReport:
+    """Record + replay + compare every mechanism; optionally write the report."""
+    from ..solver.driver import SolverConfig
+
+    t0 = _time.perf_counter()
+    tree = default_tree(shape)
+    cfg = config or SolverConfig(seed=seed)
+    mechs = tuple(mechanisms) if mechanisms else ALL_MECHANISMS
+    verdicts = [
+        run_mechanism_conformance(
+            tree,
+            nprocs,
+            m,
+            backends=backends,
+            config=cfg,
+            backend_kwargs=backend_kwargs,
+        )
+        for m in mechs
+    ]
+    report = ConformanceReport(
+        problem=tree.name or "custom",
+        nprocs=nprocs,
+        seed=cfg.seed,
+        backends=tuple(backends),
+        verdicts=verdicts,
+        wall_seconds=_time.perf_counter() - t0,
+    )
+    if out_path:
+        report.write(out_path)
+    return report
+
+
+__all__ = [
+    "ALL_MECHANISMS",
+    "ConformanceReport",
+    "Divergence",
+    "EXACT_TYPES",
+    "MechanismVerdict",
+    "SILENT_MECHS",
+    "TOLERANCE_FLOOR",
+    "TOLERANCE_FRAC",
+    "VIEW_EXACT_MECHS",
+    "compare_results",
+    "default_tree",
+    "record_script",
+    "run_conformance",
+    "run_mechanism_conformance",
+    "tolerance_ok",
+]

@@ -1,0 +1,96 @@
+"""CLI for the differential conformance suite.
+
+Examples::
+
+    # everything, both backends, write the divergence report
+    PYTHONPATH=src python -m repro.conformance --out conformance.json
+
+    # CI smoke: two mechanisms, hard timeout per asyncio replay
+    PYTHONPATH=src python -m repro.conformance \
+        --mechanisms increments,gossip --nprocs 4 --timeout 30
+
+Exit status is 0 iff every mechanism conforms (and the source runs
+validate); the JSON report is written even on failure, so CI can upload it
+as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ALL_MECHANISMS, run_conformance
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="DES-vs-asyncio differential conformance for the "
+        "load-exchange mechanisms",
+    )
+    parser.add_argument(
+        "--mechanisms",
+        default="all",
+        help="comma-separated mechanism names, or 'all' "
+        f"(registered: {', '.join(ALL_MECHANISMS)})",
+    )
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backends",
+        default="des,asyncio",
+        help="comma-separated backend names (default: des,asyncio)",
+    )
+    parser.add_argument(
+        "--grid",
+        default="10x10x4",
+        help="grid Laplacian shape NXxNYxBLOCK of the source matrix",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="hard wall-clock budget per asyncio replay (seconds)",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="virtual->wall scale for the asyncio backend (default: auto)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON divergence report here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.mechanisms == "all":
+        mechanisms = None
+    else:
+        mechanisms = [m.strip() for m in args.mechanisms.split(",") if m.strip()]
+    try:
+        nx, ny, block = (int(p) for p in args.grid.lower().split("x"))
+    except ValueError:
+        parser.error(f"bad --grid {args.grid!r}; expected e.g. 10x10x4")
+
+    asyncio_kwargs = {"hard_timeout": args.timeout}
+    if args.time_scale is not None:
+        asyncio_kwargs["time_scale"] = args.time_scale
+
+    report = run_conformance(
+        nprocs=args.nprocs,
+        mechanisms=mechanisms,
+        seed=args.seed,
+        backends=[b.strip() for b in args.backends.split(",") if b.strip()],
+        shape=(nx, ny, block),
+        backend_kwargs={"asyncio": asyncio_kwargs},
+        out_path=args.out,
+    )
+    print(report.summary())
+    if args.out:
+        print(f"report: {args.out}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

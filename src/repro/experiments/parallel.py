@@ -42,7 +42,7 @@ from .runner import ExperimentRunner, ExperimentScale, RunKey, make_run_key
 #: Targets whose runs can be enumerated ahead of time.  Tables 5 and 6
 #: deliberately share one grid (the paper measured one execution); targets
 #: absent here (figures, ablations, robustness) run inline as before.
-PARALLELIZABLE_TARGETS = ("table4", "table5", "table6", "table7")
+PARALLELIZABLE_TARGETS = ("table4", "table5", "table6", "table7", "extensions")
 
 
 @dataclass(frozen=True)

@@ -55,11 +55,8 @@ from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.sanitizer import CausalitySanitizer
+    from ..backends.api import Clock, ProcessLike, TimerHandle, Transport
     from ..obs.registry import MetricsRegistry
-    from ..simcore.engine import Simulator
-    from ..simcore.events import Event
-    from ..simcore.network import Network
-    from ..simcore.process import SimProcess
 
 ViewCallback = Callable[[LoadView], None]
 
@@ -129,7 +126,7 @@ class SnapshotStats:
     maximum number of simultaneously initiated snapshots.
     """
 
-    def __init__(self, sim: "Simulator") -> None:
+    def __init__(self, sim: "Clock") -> None:
         self._sim = sim
         self._active: Set[int] = set()
         self._union_started_at = 0.0
@@ -196,7 +193,7 @@ class _RxState:
         #: Sequence numbers ≤ floor are subsumed by a received StateSync:
         #: late arrivals below it are stale and missing ones are resolved.
         self.floor = 0
-        self.nack_event: Optional["Event"] = None
+        self.nack_event: Optional["TimerHandle"] = None
         self.nack_tries = 0
 
     def missing(self) -> bool:
@@ -242,9 +239,9 @@ class Mechanism(ABC):
 
     def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         self.config = config or MechanismConfig()
-        self.proc: Optional["SimProcess"] = None
-        self.sim: Optional["Simulator"] = None
-        self.network: Optional["Network"] = None
+        self.proc: Optional["ProcessLike"] = None
+        self.sim: Optional["Clock"] = None
+        self.network: Optional["Transport"] = None
         self.rank: int = -1
         self.nprocs: int = 0
         self.view: LoadView = LoadView(0)
@@ -266,7 +263,7 @@ class Mechanism(ABC):
 
     # -------------------------------------------------------------- binding
 
-    def bind(self, proc: "SimProcess", shared: Optional[MechanismShared] = None) -> None:
+    def bind(self, proc: "ProcessLike", shared: Optional[MechanismShared] = None) -> None:
         """Attach to the owning simulated process (called once by the driver)."""
         self.proc = proc
         self.sim = proc.sim

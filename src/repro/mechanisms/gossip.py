@@ -40,8 +40,7 @@ from .registry import register_mechanism
 from .view import Load
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.events import Event
-    from ..simcore.process import SimProcess
+    from ..backends.api import ProcessLike, TimerHandle
     from .base import MechanismShared
 
 
@@ -68,7 +67,7 @@ class GossipMechanism(Mechanism):
         self._updated_at: Dict[int, float] = {}
         #: Entries learned since my last round, to be re-forwarded once.
         self._dirty: Set[int] = set()
-        self._timer: Optional["Event"] = None
+        self._timer: Optional["TimerHandle"] = None
         self._topo: Optional[Topology] = None
         self.rounds_sent = 0
 
@@ -83,7 +82,7 @@ class GossipMechanism(Mechanism):
         return p if p > 0 else self.DEFAULT_PERIOD
 
     def bind(
-        self, proc: "SimProcess", shared: Optional["MechanismShared"] = None
+        self, proc: "ProcessLike", shared: Optional["MechanismShared"] = None
     ) -> None:
         super().bind(proc, shared)
         self._topo = build_topology(

@@ -32,7 +32,7 @@ from .registry import register_mechanism
 from .view import Load
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.process import SimProcess
+    from ..backends.api import ProcessLike
     from .base import MechanismShared
 
 
@@ -73,7 +73,7 @@ class NeighborhoodMechanism(Mechanism):
         return d if d > 0 else self.DEFAULT_DECAY
 
     def bind(
-        self, proc: "SimProcess", shared: Optional["MechanismShared"] = None
+        self, proc: "ProcessLike", shared: Optional["MechanismShared"] = None
     ) -> None:
         super().bind(proc, shared)
         self._topo = build_topology(

@@ -25,7 +25,7 @@ from .registry import register_mechanism
 from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.process import SimProcess
+    from ..backends.api import ProcessLike
 
 
 class OracleMechanism(Mechanism):
@@ -35,7 +35,7 @@ class OracleMechanism(Mechanism):
     maintains_view = True
 
     def bind(
-        self, proc: "SimProcess", shared: Optional[MechanismShared] = None
+        self, proc: "ProcessLike", shared: Optional[MechanismShared] = None
     ) -> None:
         super().bind(proc, shared)
         if self.shared.oracle_view is None:

@@ -30,7 +30,7 @@ from .registry import register_mechanism
 from .view import Load
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.events import Event
+    from ..backends.api import TimerHandle
 
 
 class PeriodicMechanism(Mechanism):
@@ -48,7 +48,7 @@ class PeriodicMechanism(Mechanism):
 
     def __init__(self, config: Optional[MechanismConfig] = None) -> None:
         super().__init__(config)
-        self._timer: Optional["Event"] = None
+        self._timer: Optional["TimerHandle"] = None
         self._last_sent = Load.ZERO
         self._dirty = False
 

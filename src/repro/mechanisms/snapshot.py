@@ -69,8 +69,7 @@ from .messages import EndSnp, MasterToSlave, ReservationAck, Snp, StartSnp
 from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.events import Event
-    from ..simcore.process import SimProcess
+    from ..backends.api import ProcessLike, TimerHandle
 
 
 class _Phase(enum.Enum):
@@ -140,14 +139,14 @@ class SnapshotMechanism(Mechanism):
         self._gather_started_at = 0.0
         # --- resilience state (inert when config.resilience is off) -------
         self._presumed_dead: Set[int] = set()
-        self._retry_event: Optional["Event"] = None
+        self._retry_event: Optional["TimerHandle"] = None
         self._retry_tries = 0
-        self._blocked_event: Optional["Event"] = None
+        self._blocked_event: Optional["TimerHandle"] = None
         self._blocked_tries = 0
         self._mts_token = 0
         #: un-acked reservations: token -> (slave rank, payload)
         self._mts_pending: Dict[int, Tuple[int, MasterToSlave]] = {}
-        self._mts_event: Optional["Event"] = None
+        self._mts_event: Optional["TimerHandle"] = None
         self._mts_tries = 0
         #: reservation tokens already applied, per master (duplicate guard)
         self._mts_applied: Set[Tuple[int, int]] = set()
@@ -157,7 +156,7 @@ class SnapshotMechanism(Mechanism):
         self.stale_answers_ignored = 0
 
     def bind(
-        self, proc: "SimProcess", shared: Optional[MechanismShared] = None
+        self, proc: "ProcessLike", shared: Optional[MechanismShared] = None
     ) -> None:
         super().bind(proc, shared)
         n = self.nprocs
@@ -549,7 +548,7 @@ class SnapshotMechanism(Mechanism):
 
     # ------------------------------------------------- resilience (timers)
 
-    def _cancel_timer(self, ev: Optional["Event"]) -> None:
+    def _cancel_timer(self, ev: Optional["TimerHandle"]) -> None:
         if ev is not None and self.sim is not None:
             self.sim.cancel(ev)
 

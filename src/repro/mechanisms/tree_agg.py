@@ -33,8 +33,7 @@ from .registry import register_mechanism
 from .view import Load
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..simcore.events import Event
-    from ..simcore.process import SimProcess
+    from ..backends.api import ProcessLike, TimerHandle
     from .base import MechanismShared
 
 #: The aggregation root (rank 0, like the paper's snapshot leader order).
@@ -63,7 +62,7 @@ class TreeAggMechanism(Mechanism):
         #: Root only: ranks whose entries changed since the last summary.
         self._summary_dirty: Set[int] = set()
         self._updated_at: Dict[int, float] = {}
-        self._timer: Optional["Event"] = None
+        self._timer: Optional["TimerHandle"] = None
         self._topo: Optional[Topology] = None
         self.summaries_sent = 0
 
@@ -73,7 +72,7 @@ class TreeAggMechanism(Mechanism):
         return p if p > 0 else self.DEFAULT_PERIOD
 
     def bind(
-        self, proc: "SimProcess", shared: Optional["MechanismShared"] = None
+        self, proc: "ProcessLike", shared: Optional["MechanismShared"] = None
     ) -> None:
         super().bind(proc, shared)
         self._topo = build_topology(

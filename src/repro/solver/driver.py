@@ -9,7 +9,7 @@ and dynamic strategy into one deterministic simulated run and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from ..symbolic.driver import AnalysisParams, analyze_problem
 from ..symbolic.tree import AssemblyTree
 from .process import RunState, SolverProcess
 from .truth import DecisionLog, TruthTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.script import ScriptRecorder
 
 
 @dataclass(frozen=True)
@@ -208,8 +211,15 @@ def run_factorization(
     strategy: str = "workload",
     config: Optional[SolverConfig] = None,
     trace: Optional[TraceRecorder] = None,
+    recorder: Optional["ScriptRecorder"] = None,
 ) -> FactorizationResult:
-    """Simulate one parallel factorization; fully deterministic per config."""
+    """Simulate one parallel factorization; fully deterministic per config.
+
+    ``recorder`` (a :class:`repro.backends.ScriptRecorder`) transcribes the
+    mechanism upcalls into a replayable workload script; it is a pure
+    observer — a run with ``recorder=None`` executes the exact same
+    instruction stream as one without the parameter.
+    """
     config = config or SolverConfig()
     if isinstance(problem, AssemblyTree):
         tree = problem
@@ -283,6 +293,7 @@ def run_factorization(
                 truth=truth,
                 decision_log=decision_log,
                 view_accuracy=view_accuracy,
+                recorder=recorder,
             )
         )
 
@@ -303,6 +314,16 @@ def run_factorization(
     # Statically known initial state (paper §4.2.2): the subtree workloads.
     initial = [Load(float(w), 0.0) for w in mapping.initial_workload()]
     truth.initialize(initial)
+    if recorder is not None:
+        recorder.begin_run(
+            problem=pname,
+            nprocs=nprocs,
+            mechanism=mechanism,
+            strategy=strategy,
+            seed=config.seed,
+            mech_config=mech_config,
+            initial=initial,
+        )
     static_masters = set(mapping.static_masters())
     silent_ranks = [r for r in range(nprocs) if r not in static_masters]
     for p in procs:
@@ -341,6 +362,8 @@ def run_factorization(
             p.add_monitor(metrics_monitor)
 
     reason = sim.run()
+    if recorder is not None:
+        recorder.finish(completion_time[0] if completion_time else sim.now)
     if run_state.remaining != 0:  # pragma: no cover - deadlock guard
         raise ProtocolError(
             f"factorization incomplete: {run_state.remaining} parts left "

@@ -62,6 +62,7 @@ from .messages import (
 from .tasks import ReadyTask, TaskKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.script import ScriptRecorder
     from ..obs.accuracy import ViewAccuracyTracker
 
 
@@ -117,6 +118,7 @@ class SolverProcess(SimProcess):
         truth: Optional[TruthTracker] = None,
         decision_log: Optional[DecisionLog] = None,
         view_accuracy: Optional["ViewAccuracyTracker"] = None,
+        recorder: Optional["ScriptRecorder"] = None,
     ) -> None:
         super().__init__(sim, network, rank, threaded=threaded, poll_period=poll_period)
         self.mapping = mapping
@@ -141,6 +143,7 @@ class SolverProcess(SimProcess):
         self.truth = truth
         self.decision_log = decision_log
         self.view_accuracy = view_accuracy
+        self.recorder = recorder
         mechanism.bind(self, shared)
 
     # ------------------------------------------------------------- setup
@@ -171,6 +174,10 @@ class SolverProcess(SimProcess):
             self.mechanism.on_local_change(delta, slave_task=slave)
             if self.truth is not None:
                 self.truth.local_change(self.rank, delta, slave_task=slave)
+            if self.recorder is not None:
+                self.recorder.on_report(
+                    self.sim.now, self.rank, workload, memory, slave
+                )
 
     def _mem_alloc(self, entries: float, *, report: bool = True) -> None:
         self.tracker.alloc_active(entries, self.sim.now)
@@ -415,6 +422,11 @@ class SolverProcess(SimProcess):
         task.deciding = True
         self._deciding = task
         self.stats_decisions += 1
+        if self.recorder is not None:
+            # Before request_view: maintained-view mechanisms run the
+            # callback synchronously inside it, and the recorded decision
+            # must carry the *issue* time, not the callback time.
+            self.recorder.on_decision_start(self.sim.now, self.rank)
         self.mechanism.request_view(self._decision_callback)
 
     def _decision_callback(self, view) -> None:
@@ -450,6 +462,13 @@ class SolverProcess(SimProcess):
                 self.decision_log.records[-1] = dataclasses.replace(
                     last, nslaves=assignment.nslaves
                 )
+        if self.recorder is not None:
+            declared = (
+                self.mechanism.maintains_view
+                and self._decisions_done + 1
+                == self.mapping.type2_master_counts[self.rank]
+            )
+            self.recorder.on_decision(self.rank, assignment.shares, declared)
         self.mechanism.record_decision(assignment.shares)
         fpr = front.flops_per_slave_row
         for rank, rows in assignment.rows.items():

@@ -1,0 +1,85 @@
+"""Real-socket backend tests (opt-in: ``pytest -m backend``).
+
+These spin up actual localhost TCP servers per rank, so they are excluded
+from the default (tier-1) run by the ``-m "not backend"`` addopts and run
+in the CI conformance smoke job instead.
+"""
+
+import pytest
+
+from repro import run_factorization
+from repro.backends import ScriptRecorder, create_backend
+from repro.backends.asyncio_net import AsyncioBackend, BackendTimeout
+from repro.matrices import generators as gen
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+pytestmark = pytest.mark.backend
+
+NPROCS = 4
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="asyncgrid")
+
+
+def record(tree, mechanism, seed=0):
+    rec = ScriptRecorder()
+    run_factorization(tree, NPROCS, mechanism=mechanism,
+                      config=SolverConfig(seed=seed), recorder=rec)
+    return rec.script()
+
+
+class TestAsyncioBackend:
+    def test_registered(self):
+        assert isinstance(create_backend("asyncio"), AsyncioBackend)
+
+    @pytest.mark.parametrize("mechanism", ["naive", "increments", "tree_agg"])
+    def test_exact_buckets_match_des(self, tree, mechanism):
+        from repro.conformance import EXACT_TYPES
+
+        script = record(tree, mechanism)
+        des = create_backend("des").execute(script)
+        net = create_backend("asyncio").execute(script)
+        assert net.decisions == script.decision_count() == des.decisions
+        for mtype in EXACT_TYPES[mechanism]:
+            assert net.messages_by_type.get(mtype, 0) == \
+                des.messages_by_type.get(mtype, 0), mtype
+
+    def test_final_my_load_matches_des(self, tree):
+        script = record(tree, "increments")
+        des = create_backend("des").execute(script)
+        net = create_backend("asyncio").execute(script)
+        for a, b in zip(des.final_my_load, net.final_my_load):
+            assert a[0] == pytest.approx(b[0], rel=1e-6, abs=1e-6)
+            assert a[1] == pytest.approx(b[1], rel=1e-6, abs=1e-6)
+
+    def test_snapshot_protocol_over_sockets(self, tree):
+        # The demand-driven mechanism exercises blocking, deferral, and the
+        # reservation path; every scripted decision must still complete.
+        script = record(tree, "snapshot")
+        net = create_backend("asyncio").execute(script)
+        assert net.decisions == script.decision_count()
+        assert net.messages_by_type.get("master_to_slave", 0) > 0
+
+    def test_frames_all_handled(self, tree):
+        script = record(tree, "gossip")
+        net = create_backend("asyncio").execute(script)
+        assert net.extras["frames_sent"] == net.extras["frames_handled"]
+        assert net.extras["frames_sent"] > 0
+
+    def test_hard_timeout_fires(self, tree):
+        script = record(tree, "periodic")
+        # A replay cannot finish within a microscopic budget; the backend
+        # must fail loudly rather than hang.
+        backend = AsyncioBackend(hard_timeout=1e-3)
+        with pytest.raises(BackendTimeout):
+            backend.execute(script)
+
+    def test_explicit_time_scale(self, tree):
+        script = record(tree, "naive")
+        backend = AsyncioBackend(time_scale=3e4)
+        out = backend.execute(script)
+        assert out.extras["time_scale"] == 3e4
+        assert out.decisions == script.decision_count()

@@ -1,0 +1,112 @@
+"""Tests for workload-script recording, serialization, and DES replay."""
+
+import pytest
+
+from repro import run_factorization
+from repro.backends import ScriptRecorder, WorkloadScript, create_backend
+from repro.backends.script import DecisionEvent, ReportEvent
+from repro.conformance import EXACT_TYPES
+from repro.matrices import generators as gen
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+NPROCS = 4
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="scriptgrid")
+
+
+def record(tree, mechanism, seed=0):
+    rec = ScriptRecorder()
+    result = run_factorization(
+        tree, NPROCS, mechanism=mechanism,
+        config=SolverConfig(seed=seed), recorder=rec,
+    )
+    return rec.script(), result
+
+
+class TestRecorder:
+    def test_recorder_is_a_pure_observer(self, tree):
+        """A run with a recorder produces the identical result object —
+        the hook must never perturb the simulation."""
+        plain = run_factorization(tree, NPROCS, mechanism="increments",
+                                  config=SolverConfig(seed=0))
+        _, recorded = record(tree, "increments")
+        assert recorded.factorization_time == plain.factorization_time
+        assert recorded.messages_by_type == plain.messages_by_type
+        assert recorded.decisions == plain.decisions
+
+    def test_transcript_shape(self, tree):
+        script, result = record(tree, "increments")
+        assert script.nprocs == NPROCS
+        assert script.mechanism == "increments"
+        assert len(script.events) == NPROCS
+        assert script.decision_count() == result.decisions
+        assert script.makespan == pytest.approx(result.factorization_time)
+        # events are per-rank time-ordered
+        for evs in script.events:
+            times = [e.time for e in evs]
+            assert times == sorted(times)
+        kinds = {type(e) for evs in script.events for e in evs}
+        assert ReportEvent in kinds
+
+    def test_decision_events_carry_shares(self, tree):
+        script, result = record(tree, "snapshot")
+        decisions = [e for evs in script.events
+                     for e in evs if isinstance(e, DecisionEvent)]
+        assert len(decisions) == result.decisions
+        for d in decisions:
+            assert d.shares  # a dynamic decision always selects slaves
+            for rank, w, m in d.shares:
+                assert 0 <= rank < NPROCS
+                assert w >= 0.0
+
+    def test_json_round_trip(self, tree):
+        script, _ = record(tree, "gossip")
+        back = WorkloadScript.from_json(script.to_json())
+        assert back == script
+
+    def test_version_check(self, tree):
+        script, _ = record(tree, "naive")
+        d = script.to_dict()
+        d["version"] = 99
+        with pytest.raises(ValueError):
+            WorkloadScript.from_dict(d)
+
+    def test_replay_config_forces_determinism_knobs(self, tree):
+        script, _ = record(tree, "increments")
+        cfg = script.mechanism_config()
+        assert cfg.no_more_master is False
+        assert cfg.resilience is False
+        assert cfg.threaded is False
+
+
+class TestDesReplay:
+    """The DES backend replays the transcript with exact deterministic
+    counts (the reference half of the conformance suite)."""
+
+    @pytest.mark.parametrize("mechanism", sorted(EXACT_TYPES))
+    def test_replay_matches_script_decisions(self, tree, mechanism):
+        script, _ = record(tree, mechanism)
+        out = create_backend("des").execute(script)
+        assert out.decisions == script.decision_count()
+        assert out.nprocs == NPROCS
+
+    def test_replay_is_deterministic(self, tree):
+        script, _ = record(tree, "tree_agg")
+        a = create_backend("des").execute(script)
+        b = create_backend("des").execute(script)
+        assert a.messages_by_type == b.messages_by_type
+        assert a.final_views == b.final_views
+        assert a.final_my_load == b.final_my_load
+
+    def test_silent_mechanism_stays_silent(self, tree):
+        script, _ = record(tree, "oracle")
+        out = create_backend("des").execute(script)
+        assert sum(out.messages_by_type.values()) == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            create_backend("mpi")

@@ -1,0 +1,174 @@
+"""Tests for the differential conformance suite.
+
+The comparison logic and DES-side checks run in tier-1; the end-to-end
+DES-vs-asyncio differentials are marked ``backend`` and run in the CI
+smoke job (and locally via ``pytest -m backend``).
+"""
+
+import json
+
+import pytest
+
+from repro.backends.base import BackendRunResult
+from repro.conformance import (
+    ALL_MECHANISMS,
+    EXACT_TYPES,
+    TOLERANCE_FLOOR,
+    VIEW_EXACT_MECHS,
+    compare_results,
+    default_tree,
+    record_script,
+    run_conformance,
+    tolerance_ok,
+)
+from repro.solver.driver import SolverConfig
+
+
+def result_for(script, mechanism="increments", backend="des", **over):
+    base = dict(
+        backend=backend,
+        mechanism=mechanism,
+        nprocs=script.nprocs,
+        messages_by_type={"update": 100, "master_to_all": 3},
+        bytes_by_type={"update": 6400, "master_to_all": 192},
+        state_messages=103,
+        decisions=script.decision_count(),
+        final_views=[[(1.0, 2.0)] * script.nprocs] * script.nprocs,
+        final_my_load=[(1.0, 2.0)] * script.nprocs,
+        wall_seconds=0.1,
+    )
+    base.update(over)
+    return BackendRunResult(**base)
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return default_tree((10, 10, 4))
+
+
+@pytest.fixture(scope="module")
+def script(tree):
+    s, valid, failures = record_script(tree, 4, "increments",
+                                       config=SolverConfig(seed=0))
+    assert valid, failures
+    return s
+
+
+class TestPolicy:
+    def test_tolerance_formula(self):
+        assert tolerance_ok(0, TOLERANCE_FLOOR)
+        assert not tolerance_ok(0, TOLERANCE_FLOOR + 1)
+        assert tolerance_ok(100, 150)  # |50| <= max(8, 75)
+        assert tolerance_ok(100, 200)  # |100| <= max(8, 100), boundary
+        assert not tolerance_ok(100, 201)  # |101| > max(8, 100.5)
+        assert not tolerance_ok(1000, 4000)
+
+    def test_policy_covers_every_mechanism(self):
+        assert set(EXACT_TYPES) == set(ALL_MECHANISMS)
+        assert set(VIEW_EXACT_MECHS) <= set(ALL_MECHANISMS)
+
+
+class TestCompare:
+    def test_agreement_passes(self, script):
+        a = result_for(script, backend="des")
+        b = result_for(script, backend="asyncio")
+        assert compare_results(script, {"des": a, "asyncio": b}) == []
+
+    def test_exact_bucket_divergence_detected(self, script):
+        a = result_for(script, backend="des")
+        b = result_for(script, backend="asyncio",
+                       messages_by_type={"update": 101, "master_to_all": 3})
+        divs = compare_results(script, {"des": a, "asyncio": b})
+        assert any(d.check == "exact:update" for d in divs)
+
+    def test_tolerance_bucket_allows_slack(self, script):
+        a = result_for(script, backend="des",
+                       messages_by_type={"update": 100, "master_to_all": 3,
+                                         "gossip_load": 40})
+        b = result_for(script, backend="asyncio",
+                       messages_by_type={"update": 100, "master_to_all": 3,
+                                         "gossip_load": 55})
+        divs = compare_results(script, {"des": a, "asyncio": b})
+        assert divs == []  # gossip_load is not exact for increments
+
+    def test_decision_mismatch_detected(self, script):
+        a = result_for(script, backend="des")
+        b = result_for(script, backend="asyncio",
+                       decisions=script.decision_count() + 1)
+        divs = compare_results(script, {"des": a, "asyncio": b})
+        assert any(d.check == "decisions" for d in divs)
+
+    def test_final_load_mismatch_detected(self, script):
+        loads = [(1.0, 2.0)] * script.nprocs
+        loads[2] = (1.5, 2.0)
+        b = result_for(script, backend="asyncio", final_my_load=loads)
+        divs = compare_results(
+            script, {"des": result_for(script), "asyncio": b}
+        )
+        assert any(d.check == "final_my_load" for d in divs)
+
+    def test_view_mismatch_detected_for_view_exact_mechs(self, script):
+        views = [[(1.0, 2.0)] * script.nprocs for _ in range(script.nprocs)]
+        views[1][3] = (9.0, 2.0)
+        b = result_for(script, backend="asyncio", final_views=views)
+        divs = compare_results(
+            script, {"des": result_for(script), "asyncio": b}
+        )
+        assert any(d.check == "final_view" for d in divs)
+
+    def test_fp_noise_tolerated(self, script):
+        b = result_for(
+            script, backend="asyncio",
+            final_my_load=[(1.0 + 1e-9, 2.0 - 1e-9)] * script.nprocs,
+        )
+        divs = compare_results(
+            script, {"des": result_for(script), "asyncio": b}
+        )
+        assert divs == []
+
+
+class TestDesOnlyConformance:
+    """The suite with backends=('des',): validates recording + replay +
+    reporting without sockets, so it runs in tier-1."""
+
+    def test_report_structure_and_artifact(self, tmp_path):
+        out = tmp_path / "report.json"
+        report = run_conformance(
+            nprocs=4,
+            mechanisms=["increments", "tree_agg"],
+            backends=["des"],
+            out_path=str(out),
+        )
+        assert report.ok, report.summary()
+        data = json.loads(out.read_text())
+        assert data["ok"] is True
+        assert {v["mechanism"] for v in data["verdicts"]} == {
+            "increments", "tree_agg"
+        }
+        for v in data["verdicts"]:
+            assert v["source_valid"] is True
+            assert v["results"]["des"]["decisions"] == v["script_decisions"]
+        assert "PASS" in report.summary()
+
+
+@pytest.mark.backend
+class TestDifferentialConformance:
+    """The real thing: DES vs asyncio sockets."""
+
+    def test_all_mechanisms_conform(self):
+        report = run_conformance(nprocs=4, seed=0)
+        assert set(v.mechanism for v in report.verdicts) == set(ALL_MECHANISMS)
+        assert report.ok, report.summary()
+
+    def test_cli_smoke(self, tmp_path, capsys):
+        from repro.conformance.__main__ import main
+
+        out = tmp_path / "div.json"
+        rc = main(["--mechanisms", "increments,gossip",
+                   "--nprocs", "4", "--timeout", "60",
+                   "--out", str(out)])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in printed
+        data = json.loads(out.read_text())
+        assert data["ok"] is True

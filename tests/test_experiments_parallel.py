@@ -228,6 +228,37 @@ class TestCLI:
         assert par_json == serial_json
         assert warm_json == serial_json
 
+    def test_extensions_golden_across_jobs_and_cache(self, tmp_path, capsys):
+        """`extensions --fast` is byte-identical between --jobs 1 and
+        --jobs 2 and between a cold and a warm disk cache — the same golden
+        the paper tables get, now covering the extensions table (its target
+        was added to PARALLELIZABLE_TARGETS with the backend work)."""
+        from repro.experiments.__main__ import main
+        from repro.experiments.parallel import PARALLELIZABLE_TARGETS
+
+        assert "extensions" in PARALLELIZABLE_TARGETS
+
+        def invoke(name, *extra):
+            out = tmp_path / f"{name}.txt"
+            js = tmp_path / f"{name}.json"
+            rc = main(["extensions", "--fast", "--out", str(out),
+                       "--json", str(js), *extra])
+            capsys.readouterr()
+            assert rc == 0
+            tables = out.read_text().split("\n[")[0]
+            return tables, json.loads(js.read_text())
+
+        cache = str(tmp_path / "cache")
+        serial_tables, serial_json = invoke("serial")
+        par_tables, par_json = invoke("parallel", "--jobs", "2",
+                                      "--cache-dir", cache)
+        warm_tables, warm_json = invoke("warm", "--cache-dir", cache)
+
+        assert par_tables == serial_tables
+        assert warm_tables == serial_tables
+        assert par_json == serial_json
+        assert warm_json == serial_json
+
     def test_no_disk_cache_flag(self, tmp_path, capsys):
         from repro.experiments.__main__ import main
 

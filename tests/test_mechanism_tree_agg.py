@@ -128,3 +128,55 @@ class TestTreeAggInSolver:
         cfg = SolverConfig(topology="hypercube")
         r = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
         assert r.factorization_time > 0
+
+
+class TestTreeAggChaos:
+    """tree_agg survives lossy networks — parity with the gossip/neighborhood
+    chaos coverage (the tree path makes losses *more* damaging: a dropped
+    climb loses every descendant's delta in the batch)."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="treechaos")
+
+    @pytest.mark.parametrize("resilience", [True, False])
+    def test_completes_under_20pct_state_loss(self, tree, resilience):
+        from repro.faults import FaultPlan
+        from repro.solver import validate_result
+
+        cfg = SolverConfig(
+            fault_plan=FaultPlan.uniform_loss(0.20),
+            resilience=resilience,
+        )
+        r = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
+        assert (r.fault_stats or {}).get("dropped", 0) > 0
+        assert validate_result(r, tree).ok
+
+    def test_view_error_stays_bounded_under_loss(self, tree):
+        import math
+
+        from repro.faults import FaultPlan
+
+        clean = run_factorization(
+            tree, 8, mechanism="tree_agg", config=SolverConfig(seed=3)
+        )
+        cfg = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.20), seed=3)
+        lossy = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
+        # Dropped climbs/summaries stale the views but must not unbound them:
+        # the decision-time error stays within one unit of relative error of
+        # the lossless run on the same seed.
+        assert math.isfinite(lossy.mean_view_error_workload)
+        assert (
+            lossy.mean_view_error_workload
+            <= clean.mean_view_error_workload + 1.0
+        )
+
+    def test_loss_is_deterministic_per_seed(self, tree):
+        from repro.faults import FaultPlan
+
+        cfg = SolverConfig(fault_plan=FaultPlan.uniform_loss(0.20), seed=5)
+        a = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
+        b = run_factorization(tree, 8, mechanism="tree_agg", config=cfg)
+        assert a.fault_stats == b.fault_stats
+        assert a.messages_by_type == b.messages_by_type
+        assert a.factorization_time == b.factorization_time

@@ -1,0 +1,126 @@
+"""Property-based tests for :mod:`repro.topology` (Hypothesis).
+
+Every constructor must yield a symmetric, self-loop-free, *connected*
+adjacency (``Topology._validate`` enforces this at construction — these
+tests check it holds over the whole parameter space, not just the handful
+of shapes the unit tests pin); ``build_topology`` must be a pure function
+of ``(kind, nprocs, degree, seed)``; and ``aggregation_tree`` must be a
+spanning tree: every rank reached, exactly ``nprocs - 1`` edges, no
+cycles, children consistent with parents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import Topology, build_topology
+from repro.topology.graph import TOPOLOGY_KINDS
+
+kinds = st.sampled_from(TOPOLOGY_KINDS)
+nprocs_s = st.integers(min_value=1, max_value=48)
+degree_s = st.integers(min_value=0, max_value=8)
+seed_s = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def assert_valid_adjacency(topo: Topology) -> None:
+    n = topo.nprocs
+    for r in range(n):
+        ns = topo.neighbors(r)
+        assert list(ns) == sorted(set(ns)), "adjacency must be sorted, unique"
+        assert r not in ns, "no self-loops"
+        for v in ns:
+            assert 0 <= v < n
+            assert r in topo.neighbors(v), f"edge {r}-{v} must be symmetric"
+
+
+def assert_connected(topo: Topology) -> None:
+    n = topo.nprocs
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v in topo.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    assert len(seen) == n, f"{topo.kind} graph is disconnected"
+
+
+class TestConstructorInvariants:
+    @given(kind=kinds, nprocs=nprocs_s, degree=degree_s, seed=seed_s)
+    @settings(max_examples=120, deadline=None)
+    def test_symmetric_connected(self, kind, nprocs, degree, seed):
+        topo = build_topology(kind, nprocs, degree=degree, seed=seed)
+        assert topo.nprocs == nprocs
+        assert_valid_adjacency(topo)
+        assert_connected(topo)
+
+    @given(kind=kinds, nprocs=st.integers(min_value=2, max_value=48),
+           degree=degree_s, seed=seed_s)
+    @settings(max_examples=60, deadline=None)
+    def test_edges_and_distances_consistent(self, kind, nprocs, degree, seed):
+        topo = build_topology(kind, nprocs, degree=degree, seed=seed)
+        for a, b in topo.edges:
+            assert a < b
+            assert topo.distance(a, b) == 1
+        # connectivity again, through the distance API
+        assert all(topo.distance(0, r) >= 0 for r in range(nprocs))
+
+
+class TestDeterminism:
+    @given(kind=kinds, nprocs=nprocs_s, degree=degree_s, seed=seed_s)
+    @settings(max_examples=60, deadline=None)
+    def test_same_inputs_same_graph(self, kind, nprocs, degree, seed):
+        a = build_topology(kind, nprocs, degree=degree, seed=seed)
+        b = build_topology(kind, nprocs, degree=degree, seed=seed)
+        assert [a.neighbors(r) for r in range(nprocs)] == [
+            b.neighbors(r) for r in range(nprocs)
+        ]
+
+    @given(nprocs=st.integers(min_value=8, max_value=48),
+           seed1=seed_s, seed2=seed_s)
+    @settings(max_examples=40, deadline=None)
+    def test_kreg_seed_only_affects_chords(self, nprocs, seed1, seed2):
+        # Different seeds may change the chords, but every sample must keep
+        # the ring backbone (so connectivity never depends on the seed).
+        for seed in (seed1, seed2):
+            topo = build_topology("kreg", nprocs, seed=seed)
+            for r in range(nprocs):
+                assert (r + 1) % nprocs in topo.neighbors(r)
+                assert (r - 1) % nprocs in topo.neighbors(r)
+
+
+class TestAggregationTree:
+    @given(kind=kinds, nprocs=nprocs_s, degree=degree_s, seed=seed_s,
+           root_pick=st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=120, deadline=None)
+    def test_spanning_tree(self, kind, nprocs, degree, seed, root_pick):
+        topo = build_topology(kind, nprocs, degree=degree, seed=seed)
+        root = root_pick % nprocs
+        parents, children = topo.aggregation_tree(root)
+        assert len(parents) == nprocs and len(children) == nprocs
+        assert parents[root] == -1
+        # exactly nprocs-1 tree edges, every non-root has a parent
+        assert sum(1 for p in parents if p >= 0) == nprocs - 1
+        # children lists are the exact inverse of parents
+        derived = [[] for _ in range(nprocs)]
+        for r, p in enumerate(parents):
+            if p >= 0:
+                derived[p].append(r)
+        assert [tuple(sorted(c)) for c in derived] == list(children)
+        # every rank reaches the root by walking parents, without cycles
+        for r in range(nprocs):
+            hops = 0
+            cur = r
+            while cur != root:
+                cur = parents[cur]
+                hops += 1
+                assert cur >= 0, f"rank {r} walks off the tree"
+                assert hops <= nprocs, f"cycle above rank {r}"
+
+    @given(nprocs=st.integers(min_value=2, max_value=48),
+           arity=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_kind_recovers_construction_tree(self, nprocs, arity):
+        topo = build_topology("tree", nprocs, degree=arity)
+        parents, _ = topo.aggregation_tree(0)
+        for r in range(1, nprocs):
+            assert parents[r] == (r - 1) // arity
