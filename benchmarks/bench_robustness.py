@@ -18,7 +18,12 @@ and assert the headline results of the fault-injection subsystem:
 
 from conftest import show
 
-from repro.experiments.robustness import resilience_contrast, robustness_sweep
+from repro.experiments.robustness import (
+    RECOVERY_MECHANISMS,
+    recovery_sweep,
+    resilience_contrast,
+    robustness_sweep,
+)
 
 #: Keep CI fast: one small matrix, modest process count, three loss rates.
 NPROCS = 16
@@ -67,3 +72,28 @@ def test_bench_robustness_resilience_contrast(benchmark):
     benchmark.extra_info["completed_without_layer"] = {
         m: r[1] for m, r in by.items()
     }
+
+
+def test_bench_robustness_crash_recovery(benchmark):
+    """One rank crashes at 25% of the makespan and restarts: every
+    mechanism must complete a *valid* factorization with bounded
+    degradation — the end-to-end bar of the task-recovery layer."""
+    t = benchmark.pedantic(
+        lambda: recovery_sweep(nprocs=NPROCS, crash_counts=(1,)),
+        rounds=1, iterations=1,
+    )
+    show(t)
+    assert not t.extras["failures"], t.extras["failures"]
+    assert len(t.rows) == len(RECOVERY_MECHANISMS) == 9
+    for row in t.rows:
+        mech, _, done, valid, ratio = row[0], row[1], row[2], row[3], row[4]
+        assert done == "yes", f"{mech} did not complete"
+        assert valid == "yes", f"{mech} completed but failed validation"
+        # degradation is finite and far from pathological
+        assert 0.0 < ratio < 3.0, f"{mech}: time ratio {ratio}"
+    # the detector caught the crash somewhere (oracle opts out of recovery),
+    # and never pointed at a survivor
+    assert any(row[6] > 0 for row in t.rows if row[0] != "oracle")
+    assert all(row[7] == 0 for row in t.rows), "false suspicions"
+    benchmark.extra_info["time_ratio"] = {row[0]: row[4] for row in t.rows}
+    benchmark.extra_info["tasks_reclaimed"] = {row[0]: row[5] for row in t.rows}

@@ -29,9 +29,11 @@ the harness.
 from __future__ import annotations
 
 import asyncio
+import random
 import time as _time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..faults.plan import FaultPlan
 from ..mechanisms.base import Mechanism, MechanismShared
 from ..mechanisms.registry import create_mechanism
 from ..mechanisms.view import Load
@@ -48,6 +50,16 @@ TARGET_WALL_SECONDS = 0.75
 #: Bounds for the auto-picked virtual→wall scale factor.
 MIN_TIME_SCALE = 1.0
 MAX_TIME_SCALE = 1e6
+
+#: Reconnect backoff (wall seconds): first retry delay, growth cap.
+REDIAL_BASE = 0.01
+REDIAL_CAP = 0.2
+REDIAL_ATTEMPTS = 12
+
+#: Per-link send-stall guard: if a stream's kernel-side write buffer grows
+#: past this, the peer stopped draining and the link is reset (then redialled)
+#: instead of buffering unboundedly — the "send timeout" of a real transport.
+SEND_BUFFER_LIMIT = 1 << 20
 
 
 class BackendTimeout(RuntimeError):
@@ -147,16 +159,15 @@ class AsyncTransport:
     def attach(self, src: int, dst: int, writer: asyncio.StreamWriter) -> None:
         self._writers[(src, dst)] = writer
 
-    def send(
+    def _frame(
         self,
         src: int,
         dst: int,
         channel: Channel,
         payload: Payload,
-        *,
-        size: Optional[int] = None,
-        charge_sender: bool = True,
-    ) -> Envelope:
+        size: Optional[int],
+    ) -> Tuple[Envelope, bytes]:
+        """Build the envelope (counted in ``stats``) and its wire frame."""
         if src == dst:
             raise ValueError(f"self-send from rank {src}")
         nbytes = payload.nbytes() if size is None else int(size)
@@ -175,6 +186,19 @@ class AsyncTransport:
             },
             use_msgpack=self._use_msgpack,
         )
+        return env, frame
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> Envelope:
+        env, frame = self._frame(src, dst, channel, payload, size)
         writer = self._writers.get((src, dst))
         if writer is None:
             raise RuntimeError(f"no stream for {src}->{dst} (mesh not built?)")
@@ -202,6 +226,150 @@ class AsyncTransport:
         return nsent
 
 
+class FaultyTransport(AsyncTransport):
+    """:class:`AsyncTransport` with a seeded :class:`FaultPlan` applied.
+
+    The *socket* analogue of :class:`repro.faults.injector.FaultInjector`:
+    envelopes are still counted in ``stats`` exactly as sent (mirroring the
+    DES network, which counts at ``send`` and faults at delivery), but the
+    wire write is then dropped, duplicated, delayed, or — for a scripted
+    ``"reset"`` — the whole TCP link is torn down so the backend's redial
+    path (capped exponential backoff + jitter) has to rebuild it.
+
+    Determinism: each ordered link ``(src, dst)`` draws from its own
+    ``random.Random`` seeded from ``(script seed, plan salt, src, dst)``.
+    Per-link frame order is the sender's local program order, so a given
+    link replays the same fault schedule regardless of how the event loop
+    interleaves the other links.  Scripted rules count matching frames
+    globally (like the DES injector); pin ``src``/``dst`` on them for a
+    fully reproducible trigger point.
+
+    A rank in :attr:`down` is dead: frames to or from it vanish without a
+    write (its writers are already detached; this catches stragglers).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        clock: AsyncClock,
+        use_msgpack: bool,
+        plan: FaultPlan,
+        seed: int,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        super().__init__(nprocs, clock, use_msgpack)
+        self._plan = plan
+        self._seed = seed
+        self._loop = loop
+        self._script_counts = [0] * len(plan.scripted)
+        self._link_rngs: Dict[Tuple[int, int], random.Random] = {}
+        #: Ranks currently killed (maintained by the backend).
+        self.down: Set[int] = set()
+        #: Called with (src, dst) when a link was torn down and needs redial.
+        self.on_link_down: Optional[Callable[[int, int], None]] = None
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+        self.frames_delayed = 0
+        self.resets = 0
+
+    def _rng_for(self, src: int, dst: int) -> random.Random:
+        rng = self._link_rngs.get((src, dst))
+        if rng is None:
+            rng = random.Random(
+                (self._seed * 1_000_003 + self._plan.seed_salt) * 65_536
+                + src * 251
+                + dst
+            )
+            self._link_rngs[(src, dst)] = rng
+        return rng
+
+    def _judge(self, src: int, dst: int, channel: Channel) -> Tuple[str, float]:
+        """(action, extra_delay) for this frame; action '' means deliver."""
+        fired = None
+        for i, rule in enumerate(self._plan.scripted):
+            if not rule.matches(src, dst, channel):
+                continue
+            self._script_counts[i] += 1
+            if fired is None and self._script_counts[i] == rule.nth:
+                fired = rule
+        if fired is not None:
+            return fired.action, max(fired.delay, 0.0)
+        for rule in self._plan.link_faults:
+            if not rule.matches(src, dst, channel):
+                continue
+            rng = self._rng_for(src, dst)
+            if rule.drop_prob > 0.0 and rng.random() < rule.drop_prob:
+                return "drop", 0.0
+            if rule.dup_prob > 0.0 and rng.random() < rule.dup_prob:
+                return "duplicate", 0.0
+            if rule.delay_prob > 0.0 and rng.random() < rule.delay_prob:
+                extra = rule.delay
+                if rule.delay_jitter > 0.0:
+                    extra += rule.delay_jitter * rng.random()
+                return "delay", extra
+            return "", 0.0
+        return "", 0.0
+
+    def _write(self, src: int, dst: int, frame: bytes) -> None:
+        writer = self._writers.get((src, dst))
+        if writer is None or writer.is_closing():
+            # Link is down or mid-redial: the frame is lost, like a datagram
+            # sent into a half-open connection.
+            self.frames_dropped += 1
+            return
+        writer.write(frame)
+        self.frames_sent += 1
+        if writer.transport.get_write_buffer_size() > SEND_BUFFER_LIMIT:
+            # Peer stopped draining: per-link send timeout → reset the link.
+            self._tear_down(src, dst)
+
+    def _tear_down(self, src: int, dst: int) -> None:
+        writer = self._writers.pop((src, dst), None)
+        if writer is not None:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop teardown race
+                pass
+        self.resets += 1
+        if self.on_link_down is not None and not (
+            src in self.down or dst in self.down
+        ):
+            self.on_link_down(src, dst)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        channel: Channel,
+        payload: Payload,
+        *,
+        size: Optional[int] = None,
+        charge_sender: bool = True,
+    ) -> Envelope:
+        env, frame = self._frame(src, dst, channel, payload, size)
+        if src in self.down or dst in self.down:
+            self.frames_dropped += 1
+            return env
+        action, extra = self._judge(src, dst, channel)
+        if action in ("drop", "reset"):
+            self.frames_dropped += 1
+            if action == "reset":
+                self._tear_down(src, dst)
+            return env
+        if action == "delay":
+            self.frames_delayed += 1
+            self._loop.call_later(
+                extra * self._clock.time_scale,
+                lambda: self._write(src, dst, frame),
+            )
+            return env
+        self._write(src, dst, frame)
+        if action == "duplicate":
+            self.frames_duplicated += 1
+            self._write(src, dst, frame)
+        return env
+
+
 @register_backend
 class AsyncioBackend(Backend):
     """Replay a script over real localhost sockets with per-rank tasks."""
@@ -214,11 +382,19 @@ class AsyncioBackend(Backend):
         hard_timeout: float = 60.0,
         use_msgpack: bool = True,
         quiescence_poll: float = 0.02,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._time_scale = time_scale
         self._hard_timeout = float(hard_timeout)
         self._use_msgpack = use_msgpack
         self._quiescence_poll = float(quiescence_poll)
+        if fault_plan is not None and (fault_plan.slowdowns or fault_plan.leaks):
+            # There is no task model (nothing to slow down) and no sanitizer
+            # hookup on this backend; those faults are DES-solver features.
+            raise ValueError(
+                "asyncio backend supports message faults and rank crashes only"
+            )
+        self._fault_plan = fault_plan
 
     # ------------------------------------------------------------- helpers
 
@@ -252,7 +428,14 @@ class AsyncioBackend(Backend):
         loop = asyncio.get_running_loop()
         nprocs = script.nprocs
         clock = AsyncClock(loop, script.seed, self._pick_scale(script))
-        transport = AsyncTransport(nprocs, clock, self._use_msgpack)
+        plan = self._fault_plan
+        faulty = plan is not None and not plan.is_empty()
+        if faulty:
+            transport: AsyncTransport = FaultyTransport(
+                nprocs, clock, self._use_msgpack, plan, script.seed, loop
+            )
+        else:
+            transport = AsyncTransport(nprocs, clock, self._use_msgpack)
         hosts = [_AsyncHost(r, clock, transport) for r in range(nprocs)]
 
         mech_config = script.mechanism_config()
@@ -293,32 +476,114 @@ class AsyncioBackend(Backend):
             servers.append(server)
             ports[rank] = port
 
+        async def dial(src: int, dst: int) -> None:
+            """Open src's ordered stream to dst and attach it."""
+            reader, writer = await asyncio.open_connection("127.0.0.1", ports[dst])
+            hello = wire.encode_frame(
+                {"hello": src, "to": dst},
+                use_msgpack=self._use_msgpack and wire.HAVE_MSGPACK,
+            )
+            writer.write(hello)
+            writers.append(writer)
+            transport.attach(src, dst, writer)
+
+        closing = [False]
+        redial_rng = random.Random(script.seed * 7919 + 17)
+
+        async def redial(src: int, dst: int) -> bool:
+            """Rebuild a torn-down link: capped exponential backoff + jitter."""
+            backoff = REDIAL_BASE
+            for _ in range(REDIAL_ATTEMPTS):
+                if closing[0] or (
+                    isinstance(transport, FaultyTransport)
+                    and (src in transport.down or dst in transport.down)
+                ):
+                    return False
+                try:
+                    await asyncio.wait_for(dial(src, dst), timeout=REDIAL_CAP)
+                    return True
+                except (OSError, asyncio.TimeoutError):
+                    await asyncio.sleep(backoff * (1.0 + 0.25 * redial_rng.random()))
+                    backoff = min(backoff * 2.0, REDIAL_CAP)
+            return False
+
         # Dial the full ordered-pair mesh: src's stream to dst carries every
         # src->dst message, preserving per-link FIFO order.
         for src in range(nprocs):
             for dst in range(nprocs):
-                if src == dst:
-                    continue
-                reader, writer = await asyncio.open_connection(
-                    "127.0.0.1", ports[dst]
-                )
-                hello = wire.encode_frame(
-                    {"hello": src, "to": dst},
-                    use_msgpack=self._use_msgpack and wire.HAVE_MSGPACK,
-                )
-                writer.write(hello)
-                writers.append(writer)
-                transport.attach(src, dst, writer)
+                if src != dst:
+                    await dial(src, dst)
         await asyncio.sleep(0)  # let servers accept the dialled connections
+
+        redial_tasks: List[asyncio.Task] = []
+        if isinstance(transport, FaultyTransport):
+            transport.on_link_down = lambda s, d: redial_tasks.append(
+                asyncio.ensure_future(redial(s, d))
+            )
 
         initial = script.initial_loads()
         clock.start()  # mechanism timers begin at virtual t=0
         for mech in mechs:
             mech.initialize_view(initial)
 
+        # Rank crashes from the plan: at the crash instant the rank's links
+        # are torn down, its mechanism timers cancelled and its script
+        # paused; at the restart the links are redialled, the mechanism's
+        # rejoin hook runs and the script resumes (the downtime's recorded
+        # events replay late — volatile progress was lost and redone).
+        up: List[asyncio.Event] = [asyncio.Event() for _ in range(nprocs)]
+        for ev in up:
+            ev.set()
+        fault_timers: List[asyncio.TimerHandle] = []
+
+        def kill_rank(r: int, restart_after: float) -> None:
+            assert isinstance(transport, FaultyTransport)
+            if r in transport.down:
+                return
+            transport.down.add(r)
+            up[r].clear()
+            for key in [k for k in transport._writers if r in k]:
+                w = transport._writers.pop(key)
+                try:
+                    w.close()
+                except RuntimeError:  # pragma: no cover - teardown race
+                    pass
+            mechs[r].shutdown()
+            if restart_after > 0:
+                fault_timers.append(
+                    loop.call_later(
+                        restart_after * clock.time_scale,
+                        lambda: asyncio.ensure_future(restart_rank(r)),
+                    )
+                )
+
+        async def restart_rank(r: int) -> None:
+            assert isinstance(transport, FaultyTransport)
+            if r not in transport.down or closing[0]:
+                return
+            transport.down.discard(r)
+            await asyncio.gather(
+                *(redial(r, x) for x in range(nprocs) if x != r),
+                *(redial(x, r) for x in range(nprocs) if x != r),
+            )
+            mechs[r].on_restart()
+            up[r].set()
+            hosts[r].wake.set()
+
+        if faulty:
+            assert plan is not None
+            for cf in plan.crashes:
+                delay = max(0.0, clock.wall_deadline(cf.time) - loop.time())
+                fault_timers.append(
+                    loop.call_later(
+                        delay,
+                        lambda c=cf: kill_rank(c.rank, c.restart_after),
+                    )
+                )
+
         rank_tasks = [
             asyncio.ensure_future(
-                self._run_rank(script, rank, mechs[rank], hosts[rank], clock)
+                self._run_rank(script, rank, mechs[rank], hosts[rank], clock, up[rank])
             )
             for rank in range(nprocs)
         ]
@@ -328,18 +593,28 @@ class AsyncioBackend(Backend):
             for mech in mechs:
                 mech.shutdown()
 
-            # Quiescence: every frame sent was handled, stable over a poll.
+            # Quiescence.  Fault-free: every frame sent was handled, stable
+            # over a poll — an exact flush.  Under faults that identity is
+            # gone by construction (drops and resets lose frames, duplicates
+            # are handled twice), so the criterion relaxes to stability
+            # alone, held for one extra poll to compensate.
             stable = 0
-            while stable < 2:
+            need = 3 if faulty else 2
+            while stable < need:
                 before = (transport.frames_sent, transport.frames_handled)
                 await asyncio.sleep(self._quiescence_poll)
                 after = (transport.frames_sent, transport.frames_handled)
-                if before == after and after[0] == after[1]:
+                if before == after and (faulty or after[0] == after[1]):
                     stable += 1
                 else:
                     stable = 0
         finally:
+            closing[0] = True
+            for h in fault_timers:
+                h.cancel()
             for t in rank_tasks:
+                t.cancel()
+            for t in redial_tasks:
                 t.cancel()
             for w in writers:
                 try:
@@ -377,6 +652,16 @@ class AsyncioBackend(Backend):
                 "frames_handled": float(transport.frames_handled),
                 "time_scale": clock.time_scale,
                 "virtual_end": clock.now,
+                **(
+                    {
+                        "faults_dropped": float(transport.frames_dropped),
+                        "faults_duplicated": float(transport.frames_duplicated),
+                        "faults_delayed": float(transport.frames_delayed),
+                        "link_resets": float(transport.resets),
+                    }
+                    if isinstance(transport, FaultyTransport)
+                    else {}
+                ),
             },
         )
 
@@ -429,12 +714,16 @@ class AsyncioBackend(Backend):
         mechanism: Mechanism,
         host: _AsyncHost,
         clock: AsyncClock,
+        up: asyncio.Event,
     ) -> None:
         loop = asyncio.get_running_loop()
         for ev in script.events[rank]:
             delay = clock.wall_deadline(ev.time) - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
+            # A killed rank halts here until its restart: the events of the
+            # downtime window replay late, modelling redone volatile work.
+            await up.wait()
             if isinstance(ev, ReportEvent):
                 mechanism.on_local_change(
                     Load(ev.workload, ev.memory), slave_task=ev.slave

@@ -23,6 +23,8 @@ from __future__ import annotations
 import time as _time
 from typing import Callable, List, Optional
 
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..mechanisms.base import Mechanism, MechanismShared, SnapshotStats
 from ..mechanisms.registry import create_mechanism
 from ..mechanisms.view import Load
@@ -141,14 +143,31 @@ class DesBackend(Backend):
         self,
         network: Optional[NetworkConfig] = None,
         max_events: int = 50_000_000,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._network_config = network or NetworkConfig()
         self._max_events = max_events
+        if fault_plan is not None and (
+            fault_plan.crashes or fault_plan.slowdowns or fault_plan.leaks
+        ):
+            # Rank drivers feed upcalls unconditionally; a crashed replay
+            # host would still be driven, which models nothing real.  Crash
+            # replays belong to the solver runs (repro.solver.driver) and the
+            # socket backend, which kills the whole rank loop.
+            raise ValueError(
+                "DES replay supports message faults only "
+                "(drops/duplicates/delays/resets)"
+            )
+        self._fault_plan = fault_plan
 
     def execute(self, script: WorkloadScript) -> BackendRunResult:
         t_wall = _time.perf_counter()
         sim = Simulator(seed=script.seed, max_events=self._max_events)
         net = Network(sim, script.nprocs, self._network_config)
+        injector: Optional[FaultInjector] = None
+        if self._fault_plan is not None and not self._fault_plan.is_empty():
+            injector = FaultInjector(sim, self._fault_plan)
+            net.install_injector(injector)
         shared = MechanismShared(snapshot_stats=SnapshotStats(sim))
         mech_config = script.mechanism_config()
 
@@ -217,5 +236,14 @@ class DesBackend(Backend):
                 "events_executed": float(sim.events_executed),
                 "snapshots": float(snap.total_snapshots if snap else 0),
                 "virtual_end": sim.now,
+                **(
+                    {
+                        "faults_dropped": float(injector.stats.dropped),
+                        "faults_duplicated": float(injector.stats.duplicated),
+                        "faults_delayed": float(injector.stats.delayed),
+                    }
+                    if injector is not None
+                    else {}
+                ),
             },
         )

@@ -107,6 +107,11 @@ class WorkloadScript:
     #: Mechanism knobs copied from the source run's MechanismConfig
     #: (topology/gossip/periodic family; resilience knobs excluded).
     knobs: Dict[str, Any] = field(default_factory=dict)
+    #: Replay with the resilience layer armed (sequence numbers, gap NACKs,
+    #: refresh syncs).  Off by default — the fault-free conformance buckets
+    #: rely on raw sends — and switched on for faulty-transport replays,
+    #: where the repair traffic is the whole point.
+    resilience: bool = False
     version: int = SCRIPT_VERSION
 
     # ------------------------------------------------------------- queries
@@ -123,13 +128,13 @@ class WorkloadScript:
         return [Load(w, m) for w, m in self.initial]
 
     def mechanism_config(self) -> MechanismConfig:
-        """The replay config: source knobs, silence and resilience forced off
-        (see the module docstring for why)."""
+        """The replay config: source knobs, silence forced off, resilience
+        off unless the script opts in (see the module docstring for why)."""
         return MechanismConfig(
             threshold=Load(*self.threshold),
             no_more_master=False,
             threaded=False,
-            resilience=False,
+            resilience=self.resilience,
             leader_criterion=self.knobs.get("leader_criterion", "rank"),
             snapshot_group_size=int(self.knobs.get("snapshot_group_size", 0)),
             periodic_period=float(self.knobs.get("periodic_period", 0.0)),
@@ -145,7 +150,7 @@ class WorkloadScript:
     # ------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "version": self.version,
             "problem": self.problem,
             "mechanism": self.mechanism,
@@ -158,6 +163,11 @@ class WorkloadScript:
             "makespan": self.makespan,
             "knobs": dict(self.knobs),
         }
+        if self.resilience:
+            # Only serialized when set: pre-existing scripts stay
+            # byte-identical (and SCRIPT_VERSION unchanged).
+            out["resilience"] = True
+        return out
 
     @classmethod
     def from_dict(cls, obj: Dict[str, Any]) -> "WorkloadScript":
@@ -177,6 +187,7 @@ class WorkloadScript:
             events=[[_event_from_list(e) for e in evs] for evs in obj["events"]],
             makespan=float(obj["makespan"]),
             knobs=dict(obj.get("knobs", {})),
+            resilience=bool(obj.get("resilience", False)),
         )
 
     def to_json(self) -> str:

@@ -27,16 +27,19 @@ from typing import Any, Callable, Dict, Tuple
 from ..mechanisms.messages import (
     EndSnp,
     GossipLoad,
+    Heartbeat,
     MasterToAll,
     MasterToSlave,
     NeighborLoad,
     NoMoreMaster,
+    RejoinRequest,
     ReservationAck,
     ResyncRequest,
     Sequenced,
     Snp,
     StartSnp,
     StateSync,
+    SuspectNotice,
     TreeDelta,
     TreeSummary,
     UpdateAbsolute,
@@ -179,6 +182,15 @@ _codec(
     lambda p: {"loads": _enc_load_map(p.loads)},
     lambda o: TreeSummary(loads=_dec_load_map(o["loads"])),
 )
+_codec(Heartbeat, lambda p: {}, lambda o: Heartbeat())
+_codec(
+    RejoinRequest,
+    lambda p: {"incarnation": p.incarnation, "load": _enc_load(p.load)},
+    lambda o: RejoinRequest(
+        incarnation=int(o["incarnation"]), load=_dec_load(o["load"])
+    ),
+)
+_codec(SuspectNotice, lambda p: {}, lambda o: SuspectNotice())
 _codec(
     MasterToSlave,
     lambda p: {"delta": _enc_load(p.delta), "token": p.token, "decision": p.decision},

@@ -50,6 +50,29 @@ Final state: every backend must agree on each rank's final ``my_load``
 FP tolerance); mechanisms whose view is event-exact under the replay
 config (naive, increments, oracle) must also agree on the full final view.
 See ``docs/backends.md``.
+
+Faulty mode
+-----------
+
+With a non-empty :class:`~repro.faults.plan.FaultPlan` the same script is
+replayed under injected faults on both substrates (the DES network's
+:class:`~repro.faults.injector.FaultInjector` vs the socket backend's
+:class:`~repro.backends.asyncio_net.FaultyTransport`) with the script's
+``resilience`` flag forced on, and the buckets relax to what survives
+unequal loss patterns — the two injectors are seeded independently, so
+they drop *different* messages:
+
+* decisions stay **exact** (every scripted decision is local and must
+  complete on both substrates despite the faults);
+* the silent-mechanism zero check stays exact;
+* **every** message-type count moves to the tolerance bucket (send-side
+  counts still largely agree — both substrates count at ``send``, before
+  the fault is applied — but resilience repair traffic is loss-dependent);
+* final-state checks are skipped entirely (which reservations were lost
+  differs per substrate by construction).
+
+What faulty mode certifies is therefore liveness and protocol closure
+under loss on both substrates, not state equality.
 """
 
 from __future__ import annotations
@@ -62,6 +85,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..backends.base import BackendRunResult, create_backend
 from ..backends.script import ScriptRecorder, WorkloadScript
+from ..faults.plan import FaultPlan
 from ..mechanisms.registry import available_mechanisms
 
 #: Absolute slack of the count tolerance (covers one-off end effects).
@@ -170,6 +194,8 @@ class ConformanceReport:
     backends: Tuple[str, ...]
     verdicts: List[MechanismVerdict]
     wall_seconds: float
+    #: ``FaultPlan.tag()`` of the injected plan, or None for fault-free.
+    fault_tag: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -187,6 +213,7 @@ class ConformanceReport:
             "ok": self.ok,
             "divergences": self.divergence_count(),
             "wall_seconds": self.wall_seconds,
+            "fault_tag": self.fault_tag,
             "tolerance": {
                 "floor": TOLERANCE_FLOOR,
                 "frac": TOLERANCE_FRAC,
@@ -206,6 +233,7 @@ class ConformanceReport:
         lines = [
             f"conformance: {self.problem} nprocs={self.nprocs} "
             f"seed={self.seed} backends={','.join(self.backends)}"
+            + (f" faults={self.fault_tag}" if self.fault_tag else "")
         ]
         for v in self.verdicts:
             status = "ok" if v.ok else f"FAIL ({len(v.divergences)} divergences)"
@@ -254,8 +282,15 @@ def record_script(
 def compare_results(
     script: WorkloadScript,
     results: Dict[str, BackendRunResult],
+    *,
+    faulty: bool = False,
 ) -> List[Divergence]:
-    """Cross-check the backends' observables per the documented policy."""
+    """Cross-check the backends' observables per the documented policy.
+
+    With ``faulty=True`` the fault-mode policy applies (see the module
+    docstring): decisions and the silent check stay exact, every count is
+    tolerance-compared, final-state checks are skipped.
+    """
     mech = script.mechanism
     out: List[Divergence] = []
     names = sorted(results)
@@ -274,7 +309,7 @@ def compare_results(
         if got != want:
             diverge("decisions", f"{name} decision count", want, got)
 
-    exact = set(EXACT_TYPES.get(mech, ()))
+    exact = set() if faulty else set(EXACT_TYPES.get(mech, ()))
     if mech in SILENT_MECHS:
         for name in names:
             total = sum(results[name].messages_by_type.values())
@@ -313,7 +348,10 @@ def compare_results(
                 )
 
     # Final self-load: scripted deltas + reservation sums; only the FP
-    # addition order may differ between backends.
+    # addition order may differ between backends.  Under faults the two
+    # substrates lose different reservations, so the check is meaningless.
+    if faulty:
+        return out
     for name in names:
         if name == ref_name:
             continue
@@ -358,17 +396,29 @@ def run_mechanism_conformance(
     backends: Sequence[str] = ("des", "asyncio"),
     config=None,
     backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> MechanismVerdict:
-    """Record one run of ``mechanism`` and replay it on every backend."""
+    """Record one run of ``mechanism`` and replay it on every backend.
+
+    ``fault_plan`` switches on faulty mode: the (fault-free) recording is
+    replayed under the plan on every backend, with the resilience layer
+    armed, and compared with the fault-mode buckets.
+    """
     script, source_valid, source_failures = record_script(
         tree, nprocs, mechanism, config=config
     )
+    faulty = fault_plan is not None and not fault_plan.is_empty()
+    if faulty:
+        script.resilience = True
     results: Dict[str, BackendRunResult] = {}
     divergences: List[Divergence] = []
     notes: List[str] = []
     kwargs = backend_kwargs or {}
     for name in backends:
-        backend = create_backend(name, **kwargs.get(name, {}))
+        extra = dict(kwargs.get(name, {}))
+        if faulty:
+            extra.setdefault("fault_plan", fault_plan)
+        backend = create_backend(name, **extra)
         try:
             results[name] = backend.execute(script)
         except Exception as exc:  # noqa: BLE001 - reported, not swallowed
@@ -377,7 +427,9 @@ def run_mechanism_conformance(
                     mechanism, "backend_error", f"{name}: {exc}", "run", "error"
                 )
             )
-    divergences.extend(compare_results(script, results))
+    divergences.extend(compare_results(script, results, faulty=faulty))
+    if faulty:
+        notes.append(f"fault plan: {fault_plan.describe()}")
     if not source_valid:
         divergences.append(
             Divergence(
@@ -424,6 +476,7 @@ def run_conformance(
     shape: Tuple[int, int, int] = (10, 10, 4),
     config=None,
     backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    fault_plan: Optional[FaultPlan] = None,
     out_path: Optional[str] = None,
 ) -> ConformanceReport:
     """Record + replay + compare every mechanism; optionally write the report."""
@@ -441,9 +494,11 @@ def run_conformance(
             backends=backends,
             config=cfg,
             backend_kwargs=backend_kwargs,
+            fault_plan=fault_plan,
         )
         for m in mechs
     ]
+    faulty = fault_plan is not None and not fault_plan.is_empty()
     report = ConformanceReport(
         problem=tree.name or "custom",
         nprocs=nprocs,
@@ -451,6 +506,7 @@ def run_conformance(
         backends=tuple(backends),
         verdicts=verdicts,
         wall_seconds=_time.perf_counter() - t0,
+        fault_tag=fault_plan.tag() if faulty else None,
     )
     if out_path:
         report.write(out_path)

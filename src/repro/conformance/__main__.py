@@ -9,6 +9,10 @@ Examples::
     PYTHONPATH=src python -m repro.conformance \
         --mechanisms increments,gossip --nprocs 4 --timeout 30
 
+    # faulty mode: replay under 5% uniform loss with the fault-mode buckets
+    PYTHONPATH=src python -m repro.conformance \
+        --mechanisms increments,gossip --fault-loss 0.05 --fault-salt 1
+
 Exit status is 0 iff every mechanism conforms (and the source runs
 validate); the JSON report is written even on failure, so CI can upload it
 as an artifact.
@@ -60,6 +64,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="virtual->wall scale for the asyncio backend (default: auto)",
     )
     parser.add_argument(
+        "--fault-loss",
+        type=float,
+        default=0.0,
+        help="replay under uniform message loss of this probability "
+        "(switches on the fault-mode comparison buckets)",
+    )
+    parser.add_argument(
+        "--fault-salt",
+        type=int,
+        default=0,
+        help="seed salt of the fault plan (replication axis)",
+    )
+    parser.add_argument(
         "--out", default=None, help="write the JSON divergence report here"
     )
     args = parser.parse_args(argv)
@@ -77,6 +94,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.time_scale is not None:
         asyncio_kwargs["time_scale"] = args.time_scale
 
+    fault_plan = None
+    if args.fault_loss > 0.0:
+        from ..faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.uniform_loss(
+            args.fault_loss, seed_salt=args.fault_salt
+        )
+
     report = run_conformance(
         nprocs=args.nprocs,
         mechanisms=mechanisms,
@@ -84,6 +109,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backends=[b.strip() for b in args.backends.split(",") if b.strip()],
         shape=(nx, ny, block),
         backend_kwargs={"asyncio": asyncio_kwargs},
+        fault_plan=fault_plan,
         out_path=args.out,
     )
     print(report.summary())

@@ -31,10 +31,11 @@ TARGETS = [
     "table1_2", "table3", "table4", "table5", "table6", "table7",
     "figure1", "figure2", "ablations",
 ]
-#: Valid targets that ``all`` does NOT expand to: the robustness sweep
-#: injects faults, and the extensions table compares mechanisms beyond the
-#: paper's three — ``all`` must stay byte-identical to the paper baseline.
-EXTRA_TARGETS = ["robustness", "extensions"]
+#: Valid targets that ``all`` does NOT expand to: the robustness and
+#: recovery sweeps inject faults, and the extensions table compares
+#: mechanisms beyond the paper's three — ``all`` must stay byte-identical
+#: to the paper baseline.
+EXTRA_TARGETS = ["robustness", "recovery", "extensions"]
 
 
 def _emit(out: List[str], text: str) -> None:
@@ -182,6 +183,14 @@ def main(argv=None) -> int:
             ).render())
             _emit(out, rb.resilience_contrast(
                 nprocs=max(nprocs, 16), seed_salt=args.fault_seed
+            ).render())
+        elif target == "recovery":
+            nprocs = 8 if args.fast else 16
+            crash_counts = (1,) if args.fast else (1, 2)
+            _emit(out, rb.recovery_sweep(
+                nprocs=nprocs,
+                crash_counts=crash_counts,
+                seed_salt=args.fault_seed,
             ).render())
 
     wall = time.time() - t0

@@ -21,10 +21,15 @@ delay) against every mechanism and reports, per cell:
 Faults are restricted to the STATE channel by default: the numerical
 payload (DATA) of a real solver travels over reliable MPI, while the state
 exchange is precisely the part one may want to run over a cheaper, lossy
-transport — the trade-off this table makes visible.  Fail-stop crashes are
-exercised at the protocol level (``tests/test_snapshot_chaos.py``), not
-here: a crashed rank can never finish its share of the factorization, so
-completion would be trivially false for every mechanism.
+transport — the trade-off this table makes visible.  *Permanent* fail-stop
+crashes are exercised at the protocol level (``tests/test_snapshot_chaos.py``),
+not here: a permanently dead rank can never finish its share, so completion
+would be trivially false.  Crash-with-**restart**, however, is exactly what
+:func:`recovery_sweep` measures: ranks die mid-run, restart from their
+durable checkpoint after a downtime, and the task-recovery layer (failure
+detector, revoke/reclaim protocol, rejoin handshake) must bring the run to
+a valid completion — the table reports the makespan degradation and the
+recovery work that bought it.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..faults import FaultPlan
+from ..faults.plan import CrashFault
 from ..matrices import collection
 from ..simcore.errors import SimulationError
 from ..simcore.network import Channel
@@ -47,6 +53,11 @@ MECHANISMS = (
     "naive", "increments", "snapshot", "partial_snapshot", "periodic",
     "gossip", "neighborhood", "tree_agg",
 )
+
+#: The crash-recovery sweep covers every registered mechanism: oracle
+#: exchanges no state but still exercises the crash/restart machinery
+#: (buffered DATA, aborted-work redo, rejoinless restart).
+RECOVERY_MECHANISMS = MECHANISMS + ("oracle",)
 
 #: resilience_stats keys that correspond to *sent* repair messages.
 RECOVERY_SEND_KEYS = (
@@ -156,6 +167,118 @@ def robustness_sweep(
             "Recovery msgs",
             "View err",
             "Dropped",
+        ],
+        rows=rows,
+        notes=notes,
+        extras={"failures": failures},
+    )
+
+
+def recovery_sweep(
+    problem: str = "GUPTA3",
+    nprocs: int = 16,
+    crash_counts: Sequence[int] = (1, 2),
+    mechanisms: Sequence[str] = RECOVERY_MECHANISMS,
+    *,
+    strategy: str = "memory",
+    crash_at: float = 0.25,
+    downtime_frac: float = 0.5,
+    seed_salt: int = 0,
+    base_config: Optional[SolverConfig] = None,
+) -> TableResult:
+    """Crash-with-restart sweep: makespan degradation vs crash count.
+
+    For each mechanism and each ``n`` in ``crash_counts``, the ``n``
+    highest non-host ranks crash at staggered fractions of the mechanism's
+    *fault-free* makespan (the first at ``crash_at``) and restart after
+    ``downtime_frac`` of it.  Runs enable the full recovery stack —
+    resilience layer, failure detector, task reclaim — with the detector
+    timeouts scaled to the reference makespan so suspicion can actually
+    fire within the run.  Each cell reports the completion-time ratio vs
+    the same mechanism fault-free, whether the result still validates, and
+    the recovery work performed (tasks reclaimed, ranks suspected, false
+    suspicions, cumulative downtime).
+    """
+    from ..solver.validate import validate_result
+    from ..symbolic.driver import analyze_problem
+
+    base = base_config or SolverConfig()
+    # Analyze once so validation has the assembly tree in hand.
+    p = analyze_problem(collection.get(problem), base.analysis)
+    rows = []
+    failures = []
+    for mech in mechanisms:
+        ref = run_factorization(p, nprocs, mech, strategy, base)
+        span = ref.factorization_time
+        for n in crash_counts:
+            crashes = tuple(
+                CrashFault(
+                    rank=nprocs - 1 - i,
+                    time=span * (crash_at + 0.15 * i),
+                    restart_after=span * downtime_frac,
+                )
+                for i in range(n)
+            )
+            plan = FaultPlan(crashes=crashes, seed_salt=seed_salt)
+            cfg = replace(
+                base,
+                fault_plan=plan,
+                resilience=True,
+                recovery=True,
+                failure_detection=True,
+                heartbeat_period=span / 50.0,
+                # Must exceed the longest message-dispatch gap (a big front's
+                # compute blocks the mailbox), or live-but-busy ranks get
+                # suspected wholesale.  A quarter of the makespan is safely
+                # above any single task yet still fires mid-downtime.
+                suspect_timeout=span / 4.0,
+            )
+            try:
+                r = run_factorization(p, nprocs, mech, strategy, cfg)
+            except SimulationError as exc:
+                failures.append(f"{mech} x{n}: {type(exc).__name__}")
+                rows.append([mech, n, "no", "-", "-", "-", "-", "-", "-"])
+                continue
+            valid = validate_result(r, p).ok
+            if not valid:
+                failures.append(f"{mech} x{n}: validation failed")
+            rec = r.recovery_stats or {}
+            downtime = sum(rec.get("rank_downtime_seconds", {}).values())
+            rows.append(
+                [
+                    mech,
+                    n,
+                    "yes",
+                    "yes" if valid else "NO",
+                    r.factorization_time / span,
+                    rec.get("tasks_reclaimed", 0),
+                    len(rec.get("ranks_suspected", [])),
+                    rec.get("false_suspicions", 0),
+                    downtime / TIME_UNIT,
+                ]
+            )
+    notes = [
+        "time ratio vs the same mechanism fault-free (resilience off)",
+        f"first crash at {crash_at:.0%} of the fault-free makespan, "
+        f"restart after {downtime_frac:.0%} of it",
+        "detector: heartbeat=makespan/50, suspect timeout=makespan/4",
+    ]
+    notes.extend(f"FAILED: {f}" for f in failures)
+    return TableResult(
+        title=(
+            f"Crash recovery: restart + task reclaim — {problem}, "
+            f"{nprocs} procs"
+        ),
+        headers=[
+            "Mechanism",
+            "Crashes",
+            "Done",
+            "Valid",
+            "Time x",
+            "Reclaimed",
+            "Suspected",
+            "False susp",
+            "Downtime ms",
         ],
         rows=rows,
         notes=notes,

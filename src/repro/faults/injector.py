@@ -39,6 +39,7 @@ class FaultStats:
     duplicated: int = 0
     delayed: int = 0
     crashes: int = 0
+    restarts: int = 0
     slowdowns: int = 0
     leaks: int = 0
     dropped_by_type: Counter = field(default_factory=Counter)
@@ -58,6 +59,10 @@ class FaultInjector:
         #: messages seen so far per scripted rule (index-aligned with plan.scripted)
         self._script_counts: List[int] = [0] * len(plan.scripted)
         self._crashed: set = set()
+        self._ever_crashed: set = set()
+        #: Cumulative downtime per restarted rank (crash → restart spans).
+        self.downtime_by_rank: Dict[int, float] = {}
+        self._crash_started_at: Dict[int, float] = {}
         #: Optional telemetry registry (set by the driver with metrics on):
         #: injections become labeled ``faults_injected_total`` increments.
         self.metrics: Optional["MetricsRegistry"] = None
@@ -79,7 +84,10 @@ class FaultInjector:
             if fired is None and self._script_counts[i] == rule.nth:
                 fired = rule
         if fired is not None:
-            if fired.action == "drop":
+            if fired.action in ("drop", "reset"):
+                # On the DES substrate a connection reset just loses the
+                # in-flight message; the socket backend additionally tears
+                # the TCP link down (see backends.asyncio_net).
                 self._note_drop(env, "scripted")
                 return ()
             if fired.action == "duplicate":
@@ -146,7 +154,7 @@ class FaultInjector:
                 raise ValueError(f"crash plan names unknown rank {cf.rank}")
             self.sim.schedule_at(
                 cf.time,
-                lambda p=proc: self._fire_crash(p),
+                lambda p=proc, c=cf: self._fire_crash(p, c),
                 label=f"fault:crash:P{cf.rank}",
             )
         for sl in self.plan.slowdowns:
@@ -194,16 +202,51 @@ class FaultInjector:
         mech.view.set(fault.entry_rank, Load(fault.workload, fault.memory))
         self._note_process_fault("leak")
 
-    def _fire_crash(self, proc: "SimProcess") -> None:
+    def _fire_crash(self, proc: "SimProcess", fault=None) -> None:
         if proc.rank in self._crashed:
             return
         self._crashed.add(proc.rank)
+        self._ever_crashed.add(proc.rank)
         self.stats.crashes += 1
         if self.sim.trace is not None:
             self.sim.trace.record(self.sim.now, "fault", f"crash:P{proc.rank}",
                                   who=proc.rank)
         self._note_process_fault("crash")
-        proc.crash()
+        restart_after = getattr(fault, "restart_after", 0.0) if fault else 0.0
+        if restart_after > 0:
+            # Crash-with-restart: DATA deliveries during the downtime are
+            # buffered (reliable-MPI retransmission model) and replayed at
+            # the restart; STATE messages are genuinely lost.
+            self._crash_started_at[proc.rank] = self.sim.now
+            proc.crash(restart_pending=True)
+            self.sim.schedule_at(
+                self.sim.now + restart_after,
+                lambda p=proc: self._fire_restart(p),
+                label=f"fault:restart:P{proc.rank}",
+            )
+        else:
+            proc.crash()
+
+    def _fire_restart(self, proc: "SimProcess") -> None:
+        if proc.rank not in self._crashed:  # pragma: no cover - defensive
+            return
+        self._crashed.discard(proc.rank)
+        self.stats.restarts += 1
+        started = self._crash_started_at.pop(proc.rank, self.sim.now)
+        down = self.sim.now - started
+        self.downtime_by_rank[proc.rank] = (
+            self.downtime_by_rank.get(proc.rank, 0.0) + down
+        )
+        if self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now, "fault", f"restart:P{proc.rank}", who=proc.rank
+            )
+        self._note_process_fault("restart")
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "rank_downtime_seconds", {"rank": str(proc.rank)}
+            ).set(self.downtime_by_rank[proc.rank])
+        proc.restart()
 
     def _note_process_fault(self, action: str) -> None:
         if self.metrics is not None:
@@ -224,4 +267,10 @@ class FaultInjector:
 
     @property
     def crashed_ranks(self) -> frozenset:
+        """Ranks that ever crashed (restarted ranks stay included)."""
+        return frozenset(self._ever_crashed | self._crashed)
+
+    @property
+    def down_ranks(self) -> frozenset:
+        """Ranks currently crashed and not (yet) restarted."""
         return frozenset(self._crashed)

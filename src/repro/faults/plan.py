@@ -65,11 +65,14 @@ class LinkFault:
 class ScriptedFault:
     """Deterministic one-shot fault: the ``nth`` matching message (1-based).
 
-    ``action`` is one of ``"drop"``, ``"duplicate"``, ``"delay"``; for
-    ``delay`` (and the duplicate's second copy) ``delay`` seconds are added.
-    Scripted faults are checked before the probabilistic rules and consume
-    no RNG draw, so a Figure-1-style scenario can lose exactly one chosen
-    message, reproducibly.
+    ``action`` is one of ``"drop"``, ``"duplicate"``, ``"delay"``, or
+    ``"reset"``; for ``delay`` (and the duplicate's second copy) ``delay``
+    seconds are added.  ``"reset"`` models a connection reset: on the DES
+    substrate it behaves like ``"drop"`` (the in-flight message is lost),
+    while the socket backend additionally tears down the TCP link so the
+    reconnect path is exercised.  Scripted faults are checked before the
+    probabilistic rules and consume no RNG draw, so a Figure-1-style
+    scenario can lose exactly one chosen message, reproducibly.
     """
 
     nth: int
@@ -89,10 +92,19 @@ class ScriptedFault:
 
 @dataclass(frozen=True)
 class CrashFault:
-    """Fail-stop crash of ``rank`` at simulated ``time``."""
+    """Fail-stop crash of ``rank`` at simulated ``time``.
+
+    With the default ``restart_after = 0.0`` the crash is permanent: the
+    process is silent forever.  A positive ``restart_after`` models
+    crash-with-restart: after that much downtime the process reboots from
+    its durable local checkpoint (solver + mechanism state survive; mailbox
+    contents, task progress and armed timers do not) and re-announces
+    itself through the rejoin handshake.
+    """
 
     rank: int
     time: float
+    restart_after: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -166,7 +178,13 @@ class FaultPlan:
                 f"delay={sf.delay!r})"
             )
         for cf in self.crashes:
-            parts.append(f"crash(P{cf.rank}@{cf.time!r})")
+            # The restart clause is appended only when present so the tags
+            # (and cache keys) of pre-existing permanent-crash plans are
+            # unchanged.
+            restart = (
+                f",restart={cf.restart_after!r}" if cf.restart_after > 0 else ""
+            )
+            parts.append(f"crash(P{cf.rank}@{cf.time!r}{restart})")
         for sl in self.slowdowns:
             parts.append(
                 f"slow(P{sl.rank}@{sl.start!r}+{sl.duration!r}x{sl.factor!r})"

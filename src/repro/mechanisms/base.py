@@ -50,7 +50,16 @@ from typing import (
 
 from ..simcore.errors import ProtocolError, UnknownMessageError
 from ..simcore.network import Channel, Envelope, Payload
-from .messages import NoMoreMaster, ResyncRequest, Sequenced, StateSync
+from .detector import FailureDetector
+from .messages import (
+    Heartbeat,
+    NoMoreMaster,
+    RejoinRequest,
+    ResyncRequest,
+    Sequenced,
+    StateSync,
+    SuspectNotice,
+)
 from .view import Load, LoadView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -116,6 +125,15 @@ class MechanismConfig:
     neighbor_horizon: int = 0
     #: Neighborhood: per-hop blend factor for relayed estimates (0 = default).
     neighbor_decay: float = 0.0
+    #: Heartbeat-based failure detection + rejoin handshake (recovery layer).
+    #: Off = PR-1 semantics: only protocol-level suspicion (snapshot retries,
+    #: abandoned gaps) and no unsolicited liveness traffic.
+    failure_detection: bool = False
+    #: Failure-detector heartbeat period, seconds.  Each rank's beat phase
+    #: gets a deterministic seeded jitter so beats do not synchronize.
+    heartbeat_period: float = 5e-4
+    #: Silence span after which the failure detector suspects a peer.
+    suspect_timeout: float = 2e-3
 
 
 class SnapshotStats:
@@ -211,6 +229,10 @@ class Mechanism(ABC):
     #: request.  Demand-driven mechanisms (snapshot) turn this off: their
     #: request/answer traffic has its own timeout-based retransmission.
     gap_nack: bool = True
+    #: Whether the mechanism participates in the recovery layer (heartbeats,
+    #: rejoin announcements).  The oracle turns this off: it exchanges no
+    #: messages by contract, and its shared truth view needs no repair.
+    participates_in_recovery: ClassVar[bool] = True
     #: Declarative message dispatch: payload class → handler method name.
     #: Subclasses declare only their *own* handlers; tables are merged over
     #: the MRO into ``_DISPATCH`` at class-creation time.
@@ -218,6 +240,9 @@ class Mechanism(ABC):
         NoMoreMaster: "_on_no_more_master",
         ResyncRequest: "_on_resync_request",
         StateSync: "_on_state_sync",
+        Heartbeat: "_on_heartbeat",
+        RejoinRequest: "_on_rejoin_request",
+        SuspectNotice: "_on_suspect_notice",
     }
     #: Merged dispatch table (computed; do not declare directly).
     _DISPATCH: ClassVar[Dict[Type[Payload], str]] = dict(HANDLERS)
@@ -254,6 +279,16 @@ class Mechanism(ABC):
         self._tx_seq: Dict[int, int] = {}
         self._rx: Dict[int, _RxState] = {}
         self._updates_since_refresh = 0
+        # recovery layer (inert unless config.failure_detection / restarts)
+        self.detector: Optional[FailureDetector] = None
+        self._suspected: Set[int] = set()
+        #: Every rank ever suspected here (rejoin clears ``_suspected`` but
+        #: not this — false-positive accounting needs the full history).
+        self._ever_suspected: Set[int] = set()
+        #: Suspects already reminded to rejoin this suspicion episode.
+        self._notice_sent: Set[int] = set()
+        self._incarnation = 0
+        self._peer_incarnation: Dict[int, int] = {}
         # statistics
         self.decisions = 0
         self.updates_sent = 0
@@ -273,6 +308,8 @@ class Mechanism(ABC):
         self.view = LoadView(self.nprocs)
         if shared is not None:
             self.shared = shared
+        if self.config.failure_detection and self.participates_in_recovery:
+            self.detector = FailureDetector(self)
 
     def initialize_view(self, loads: Sequence[Load]) -> None:
         """Seed the view with the statically known initial loads.
@@ -330,8 +367,28 @@ class Mechanism(ABC):
 
     def decision_candidates(self) -> Optional[List[int]]:
         """Ranks eligible as slaves for the pending decision, or None for
-        "all other ranks" (restricted by the partial-snapshot extension)."""
+        "all other ranks" (restricted by the partial-snapshot extension).
+
+        While peers are suspected crashed, the base implementation restricts
+        decisions to the survivors so no fresh work lands on a corpse.  If
+        *every* peer is suspected (a detector meltdown — e.g. timeouts far
+        below the dispatch latency) the restriction is dropped: assigning to
+        a possibly-dead rank is recoverable via reclaim, an empty slave set
+        is not.
+        """
+        if self._suspected:
+            live = self._live_peers()
+            if live:
+                return live
         return None
+
+    def _live_peers(self) -> List[int]:
+        """All other ranks not currently suspected crashed."""
+        return [
+            r
+            for r in range(self.nprocs)
+            if r != self.rank and r not in self._suspected
+        ]
 
     def current_view(self) -> LoadView:
         """The view the solver should consult for *task selection*.
@@ -350,6 +407,8 @@ class Mechanism(ABC):
                 assert self.sim is not None
                 self.sim.cancel(st.nack_event)
                 st.nack_event = None
+        if self.detector is not None:
+            self.detector.shutdown()
 
     def declare_no_more_master(self) -> None:
         """Broadcast ``No_more_master`` (§2.3) if the optimization is on."""
@@ -371,11 +430,25 @@ class Mechanism(ABC):
         raises :class:`UnknownMessageError` — dispatch is closed by design.
         """
         payload = env.payload
+        if self.detector is not None:
+            self.detector.heard_from(env.src)
         if isinstance(payload, Sequenced):
             if not self._accept_sequenced(env.src, payload.seq):
                 return True
             env = dataclasses.replace(env, payload=payload.inner)
             payload = env.payload
+        if env.src in self._suspected and not isinstance(
+            payload, (RejoinRequest, Heartbeat)
+        ):
+            # A suspected peer spoke without formally rejoining.  Its message
+            # is still dispatched (protocol liveness: e.g. an End_snp must
+            # unblock us even from a suspect), but it is *not* silently
+            # trusted again: suspicion clears only through the rejoin
+            # handshake.  Remind it once per suspicion episode.
+            if env.src not in self._notice_sent:
+                self._notice_sent.add(env.src)
+                self.resilience_stats["suspect_notices_sent"] += 1
+                self._send_raw(env.src, SuspectNotice())
         self._pre_dispatch(env)
         method = self._DISPATCH.get(type(payload))
         if method is None:
@@ -414,6 +487,115 @@ class Mechanism(ABC):
             self.sim.cancel(st.nack_event)
             st.nack_event = None
         self._apply_state_sync(env.src, payload.load)
+
+    # ------------------------------------------------------- recovery layer
+
+    @property
+    def suspected_peers(self) -> Set[int]:
+        """Ranks currently suspected crashed (read-only for the solver)."""
+        return set(self._suspected)
+
+    @property
+    def ever_suspected_peers(self) -> Set[int]:
+        """Ranks suspected at any point of the run (rejoins don't erase)."""
+        return set(self._ever_suspected)
+
+    def suspect_peer(self, rank: int) -> None:
+        """Mark ``rank`` as suspected crashed.
+
+        Called by the failure detector on silence, and by protocol-level
+        suspicion (snapshot retry exhaustion).  Fires the mechanism repair
+        hook and the owning process' reclaim hook; suspicion clears only
+        through the rejoin handshake (:meth:`_on_rejoin_request`).
+        """
+        if rank == self.rank or rank in self._suspected:
+            return
+        self._suspected.add(rank)
+        self._ever_suspected.add(rank)
+        self._notice_sent.discard(rank)
+        self.resilience_stats["suspected_peers"] += 1
+        if self.sim is not None and self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now, "recovery", f"suspect:P{rank}", who=self.rank
+            )
+        self.on_peer_suspected(rank)
+        proc_hook = getattr(self.proc, "on_peer_suspected", None)
+        if proc_hook is not None:
+            proc_hook(rank)
+
+    def on_peer_suspected(self, rank: int) -> None:
+        """Mechanism hook: repair protocol structures around a dead peer."""
+
+    def on_peer_rejoined(self, rank: int) -> None:
+        """Mechanism hook: a formerly suspected peer formally rejoined."""
+
+    def announce_rejoin(self) -> None:
+        """Broadcast the rejoin handshake (fresh incarnation, current load).
+
+        Sent by a restarting rank from :meth:`on_restart`, and by a
+        falsely-suspected live rank when a peer's :class:`SuspectNotice`
+        arrives.  Deliberately ignores ``No_more_master`` silence — this is
+        membership traffic, not load information.
+        """
+        if not self.participates_in_recovery:
+            return
+        self._incarnation += 1
+        self.resilience_stats["rejoins_sent"] += 1
+        payload = RejoinRequest(incarnation=self._incarnation, load=self._my_load)
+        for dst in range(self.nprocs):
+            if dst != self.rank:
+                self._send_raw(dst, payload)
+
+    def on_restart(self) -> None:
+        """Crash-with-restart hook (called by the process' ``restart``).
+
+        The mechanism state itself is the durable checkpoint (it survived
+        the crash object-identically); what was lost are armed timers and
+        the peers' trust.  Subclasses re-arm their timers after calling
+        ``super().on_restart()``.
+        """
+        if self.detector is not None:
+            self.detector.restart()
+        self.announce_rejoin()
+
+    def _on_heartbeat(self, env: Envelope) -> None:
+        """Liveness only: the arrival already refreshed the detector."""
+
+    def _on_suspect_notice(self, env: Envelope) -> None:
+        # A peer suspects *me* — a false positive (I was slow, not dead) or
+        # a missed restart announcement.  Re-announce so it trusts me again.
+        self.resilience_stats["suspect_notices_received"] += 1
+        self.announce_rejoin()
+
+    def _on_rejoin_request(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, RejoinRequest)
+        if self._peer_incarnation.get(env.src, 0) >= payload.incarnation:
+            self.resilience_stats["rejoins_duplicate"] += 1
+            return
+        self._peer_incarnation[env.src] = payload.incarnation
+        self.resilience_stats["rejoins_received"] += 1
+        was_suspected = env.src in self._suspected
+        self._suspected.discard(env.src)
+        self._notice_sent.discard(env.src)
+        if self.detector is not None:
+            self.detector.heard_from(env.src)
+        # The carried load is the peer's authoritative checkpoint: install
+        # it over whatever stale entry survived the suspicion window.
+        if self.maintains_view:
+            self.view.set(env.src, payload.load)
+        if was_suspected:
+            if self.sim is not None and self.sim.trace is not None:
+                self.sim.trace.record(
+                    self.sim.now, "recovery", f"rejoin:P{env.src}", who=self.rank
+                )
+            self.on_peer_rejoined(env.src)
+            proc_hook = getattr(self.proc, "on_peer_rejoined", None)
+            if proc_hook is not None:
+                proc_hook(env.src)
+        if self.config.resilience:
+            # Re-anchor the rejoiner's view of *us* too.
+            self._send_sync(env.src)
 
     # ----------------------------------------------------- resilience layer
 
@@ -514,6 +696,16 @@ class Mechanism(ABC):
             metrics.histogram("reservation_lag_seconds").observe(lag)
 
     # ---------------------------------------------------------------- helpers
+
+    def _send_raw(self, dst: int, payload: Payload) -> None:
+        """Send outside the resilience envelope.
+
+        Liveness and membership traffic (heartbeats, rejoin handshake) must
+        not participate in sequence-gap accounting: a heartbeat lost on a
+        quiet link would otherwise manufacture a permanent gap.
+        """
+        assert self.network is not None
+        self.network.send(self.rank, dst, Channel.STATE, payload)
 
     def _send_state(self, dst: int, payload: Payload) -> None:
         assert self.network is not None

@@ -1,0 +1,123 @@
+"""Heartbeat-based failure detector with deterministic seeded timeouts.
+
+One detector lives inside each :class:`~repro.mechanisms.base.Mechanism`
+(created on ``bind`` when ``MechanismConfig.failure_detection`` is on).  It
+does two things, both on self-armed simulator timers:
+
+* every ``heartbeat_period`` it sends an unsequenced :class:`Heartbeat` to
+  every other rank — pure liveness traffic, outside the resilience
+  envelope so a lost beat never manufactures a sequence gap;
+* every ``suspect_timeout / 2`` it scans the last-heard table and reports
+  any peer silent for longer than ``suspect_timeout`` to
+  :meth:`Mechanism.suspect_peer`.
+
+*Any* STATE-channel arrival refreshes the last-heard entry (the mechanism
+feeds :meth:`heard_from` from its dispatch path), so heartbeats only matter
+on otherwise quiet links.  The initial beat phase is jittered by a draw from
+the named RNG stream ``fd:P<rank>``: deterministic per seed, different per
+rank, so the cluster's beats never synchronize into bursts.
+
+Suspicion is one-way here: the detector only ever *adds* suspects.  Clearing
+one requires the rejoin handshake (see ``Mechanism._on_rejoin_request``) —
+hearing a suspected peer again is necessary but not sufficient, which is
+what fixes the PR-1 silent-"resurrection" bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .messages import Heartbeat
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..backends.api import TimerHandle
+    from .base import Mechanism
+
+
+class FailureDetector:
+    """Per-rank heartbeat emitter + silence monitor (see module docstring)."""
+
+    def __init__(self, mech: "Mechanism") -> None:
+        self.mech = mech
+        assert mech.sim is not None
+        self.sim = mech.sim
+        self.period = mech.config.heartbeat_period
+        self.timeout = mech.config.suspect_timeout
+        self._rng = self.sim.rng.stream(f"fd:P{mech.rank}")
+        self._last_heard: Dict[int, float] = {}
+        self._beat_event: Optional["TimerHandle"] = None
+        self._check_event: Optional["TimerHandle"] = None
+        self.suspicions_raised = 0
+        self._start()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _start(self) -> None:
+        now = self.sim.now
+        for r in range(self.mech.nprocs):
+            if r != self.mech.rank:
+                self._last_heard[r] = now
+        jitter = self.period * float(self._rng.random())
+        self._beat_event = self.sim.schedule(
+            max(jitter, 1e-12), self._beat, label=f"fd-beat:P{self.mech.rank}"
+        )
+        self._check_event = self.sim.schedule(
+            self.timeout, self._check, label=f"fd-check:P{self.mech.rank}"
+        )
+
+    def shutdown(self) -> None:
+        """Cancel both timers (run end, or the owning process crashed)."""
+        if self._beat_event is not None:
+            self.sim.cancel(self._beat_event)
+            self._beat_event = None
+        if self._check_event is not None:
+            self.sim.cancel(self._check_event)
+            self._check_event = None
+
+    def restart(self) -> None:
+        """Re-arm after a crash-with-restart of the owning process.
+
+        The last-heard table is reset to "now": the checkpointed timestamps
+        predate the downtime, and trusting them would instantly suspect the
+        whole (perfectly alive) cluster.
+        """
+        self.shutdown()
+        self._start()
+
+    # ------------------------------------------------------------- liveness
+
+    def heard_from(self, src: int) -> None:
+        """Any STATE arrival from ``src`` is proof of life."""
+        self._last_heard[src] = self.sim.now
+
+    def _beat(self) -> None:
+        self._beat_event = None
+        for dst in range(self.mech.nprocs):
+            if dst != self.mech.rank:
+                self.mech._send_raw(dst, Heartbeat())
+        self._beat_event = self.sim.schedule(
+            self.period, self._beat, label=f"fd-beat:P{self.mech.rank}"
+        )
+
+    def _check(self) -> None:
+        self._check_event = None
+        now = self.sim.now
+        # While an *unthreaded* process computes (a long front), arrivals
+        # sit in the mailbox and ``heard_from`` cannot fire — the silence
+        # measured here would be our own deafness, not the peers'.  A real
+        # solver's comm thread timestamps arrivals (and the threaded config
+        # dispatches during compute), so scan only when actually listening.
+        proc = getattr(self.mech, "proc", None)
+        listening = (
+            proc is None or not proc.computing or self.mech.config.threaded
+        )
+        if listening:
+            for r in sorted(self._last_heard):
+                if r in self.mech._suspected:
+                    continue
+                if now - self._last_heard[r] > self.timeout:
+                    self.suspicions_raised += 1
+                    self.mech.suspect_peer(r)
+        self._check_event = self.sim.schedule(
+            self.timeout / 2, self._check, label=f"fd-check:P{self.mech.rank}"
+        )

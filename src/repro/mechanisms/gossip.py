@@ -147,6 +147,15 @@ class GossipMechanism(Mechanism):
             self.sim.cancel(self._timer)
             self._timer = None
 
+    def on_restart(self) -> None:
+        """Crash-with-restart: re-arm the round timer (it died with the
+        crash) and re-version my own entry so the authoritative value
+        spreads epidemically on top of the rejoin announcement."""
+        self._timer = None
+        self._stamp_self()
+        self._arm_timer()
+        super().on_restart()
+
     # -------------------------------------------------------------- rounds
 
     def _arm_timer(self) -> None:
@@ -163,7 +172,16 @@ class GossipMechanism(Mechanism):
 
     def _push_rumors(self) -> None:
         assert self.sim is not None and self._topo is not None
-        pool = self._topo.neighbors(self.rank)
+        pool = [
+            r
+            for r in self._topo.neighbors(self.rank)
+            if r not in self._suspected
+        ]
+        if not pool:
+            # Topology repair fallback: every graph neighbor is suspected
+            # crashed — gossip to any live rank so the epidemic keeps
+            # flowing instead of partitioning around the corpses.
+            pool = self._live_peers()
         if pool:
             entries: Dict[int, Tuple[int, Load]] = {
                 r: (self._versions[r], self.view.get(r))

@@ -241,6 +241,60 @@ class TreeSummary(Payload):
 
 
 @dataclass
+class Heartbeat(Payload):
+    """Failure detector: periodic "I am alive" beacon.
+
+    Sent **unsequenced** (outside the resilience envelope) every
+    ``heartbeat_period`` with a deterministic seeded phase jitter; any STATE
+    message refreshes the detector, so heartbeats only matter on otherwise
+    quiet links.  Carries nothing — liveness is the information.
+    """
+
+    TYPE = "heartbeat"
+
+    def nbytes(self) -> int:
+        return 24
+
+
+@dataclass
+class RejoinRequest(Payload):
+    """Recovery handshake: a restarting (or falsely-suspected) rank
+    re-announces itself instead of being silently "resurrected".
+
+    ``incarnation`` is bumped on every (re)announcement so duplicated or
+    reordered rejoins are idempotent; ``load`` is the sender's *current*
+    checkpointed self-estimate, which replaces whatever stale view entry the
+    receiver kept from before the suspicion.  Receivers clear the suspicion,
+    repair their topology structures, and (under resilience) answer with a
+    :class:`StateSync` so the rejoiner's view of *them* is re-anchored too.
+    """
+
+    TYPE = "rejoin"
+    incarnation: int = 0
+    load: Load = Load.ZERO
+
+    def nbytes(self) -> int:
+        return 56
+
+
+@dataclass
+class SuspectNotice(Payload):
+    """Recovery handshake: "I currently suspect you crashed — re-announce".
+
+    Sent once per suspicion episode when a non-rejoin message arrives from a
+    suspected peer.  The message itself is still processed (protocol
+    liveness), but the peer's view entry is *not* refreshed from what may be
+    stale state; a falsely-suspected live peer answers with a
+    :class:`RejoinRequest` broadcast.
+    """
+
+    TYPE = "suspect_notice"
+
+    def nbytes(self) -> int:
+        return 24
+
+
+@dataclass
 class MasterToSlave(Payload):
     """Snapshot scheme: reservation sent to each *selected* slave only.
 

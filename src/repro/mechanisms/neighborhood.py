@@ -117,12 +117,28 @@ class NeighborhoodMechanism(Mechanism):
             self._publish()
             self._accum = Load.ZERO
 
+    def _live_neighbors(self) -> List[int]:
+        """Graph neighbors not currently suspected crashed.
+
+        Topology repair: when *every* neighbor is suspected, fall back to
+        all live ranks — a rank whose whole neighborhood died must not end
+        up mute and blind on a partitioned ring.
+        """
+        assert self._topo is not None
+        live = [
+            r
+            for r in self._topo.neighbors(self.rank)
+            if r not in self._suspected
+        ]
+        return live if live else self._live_peers()
+
     def _publish(self) -> None:
         assert self._topo is not None
         self._version += 1
+        targets = self._live_neighbors()
         self._note_broadcast("threshold")
-        self._note_fanout(self._topo.degree(self.rank))
-        for dst in self._topo.neighbors(self.rank):
+        self._note_fanout(len(targets))
+        for dst in targets:
             self._send_state(
                 dst,
                 NeighborLoad(
@@ -139,8 +155,11 @@ class NeighborhoodMechanism(Mechanism):
         callback(self.view.copy())
 
     def decision_candidates(self) -> Optional[List[int]]:
-        """Select slaves among the neighbors only — where the view is exact."""
+        """Select slaves among the live neighbors — where the view is exact
+        (with the dead-neighborhood fallback of :meth:`_live_neighbors`)."""
         assert self._topo is not None
+        if self._suspected:
+            return self._live_neighbors()
         return list(self._topo.neighbors(self.rank))
 
     def record_decision(self, assignments: Dict[int, Load]) -> None:
@@ -161,6 +180,14 @@ class NeighborhoodMechanism(Mechanism):
         # in aggregate and neighbors are needed as relays regardless.
         self._announced_no_more_master = True
 
+    def on_restart(self) -> None:
+        """Crash-with-restart: republish my checkpointed load to the (live)
+        neighborhood so relay waves re-propagate it past one hop; the base
+        rejoin broadcast re-anchors the direct entries everywhere."""
+        self._accum = Load.ZERO
+        self._publish()
+        super().on_restart()
+
     # ------------------------------------------------------ resilience hooks
 
     def _maybe_refresh(self) -> None:
@@ -173,7 +200,7 @@ class NeighborhoodMechanism(Mechanism):
         self._updates_since_refresh = 0
         assert self._topo is not None
         self._note_broadcast("refresh")
-        for dst in self._topo.neighbors(self.rank):
+        for dst in self._live_neighbors():
             self._send_sync(dst)
 
     def _apply_state_sync(self, src: int, load: Load) -> None:
@@ -208,7 +235,7 @@ class NeighborhoodMechanism(Mechanism):
         relays = [
             dst
             for dst in self._topo.neighbors(self.rank)
-            if dst != env.src and dst != origin
+            if dst != env.src and dst != origin and dst not in self._suspected
         ]
         self._note_fanout(len(relays))
         for dst in relays:

@@ -33,6 +33,10 @@ class OracleMechanism(Mechanism):
 
     name = "oracle"
     maintains_view = True
+    #: No messages by contract ("oracle run sent state messages" is a
+    #: validation failure): no heartbeats, no rejoin broadcasts.  A crashed
+    #: oracle rank needs no repair anyway — the truth view is shared.
+    participates_in_recovery = False
 
     def bind(
         self, proc: "ProcessLike", shared: Optional[MechanismShared] = None

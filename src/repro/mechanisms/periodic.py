@@ -84,6 +84,14 @@ class PeriodicMechanism(Mechanism):
             self.sim.cancel(self._timer)
             self._timer = None
 
+    def on_restart(self) -> None:
+        """Crash-with-restart: re-arm the broadcast timer and mark the view
+        dirty so the first post-restart tick re-publishes the load."""
+        self._timer = None
+        self._dirty = True
+        self._arm_timer()
+        super().on_restart()
+
     # ----------------------------------------------------------- solver API
 
     def on_local_change(self, delta: Load, *, slave_task: bool = False) -> None:

@@ -97,7 +97,9 @@ class SnapshotMechanism(Mechanism):
     * ``master_to_slave`` reservations carry a token and are retransmitted
       until the selected slave acknowledges them (duplicates are discarded
       by token), keeping reservation accounting exact under loss;
-    * any message from a suspected-crashed rank resurrects it.
+    * a message from a suspected-crashed rank does **not** resurrect it:
+      the sender is reminded (once) to re-announce through the base
+      rejoin handshake, and only the handshake clears the suspicion.
 
     Duplicate ``start_snp`` / ``snp`` / ``end_snp`` handling is idempotent
     (request ids, the collected-answers dict, the active flags), so
@@ -367,12 +369,6 @@ class SnapshotMechanism(Mechanism):
             )
 
     # --------------------------------------------------------- message side
-
-    def _pre_dispatch(self, env: Envelope) -> None:
-        if self._presumed_dead and env.src in self._presumed_dead:
-            # Any sign of life from a suspected-crashed rank resurrects it.
-            self._presumed_dead.discard(env.src)
-            self.resilience_stats["resurrections"] += 1
 
     def _on_start_snp_msg(self, env: Envelope) -> None:
         payload = env.payload
@@ -661,9 +657,17 @@ class SnapshotMechanism(Mechanism):
         self._arm_mts()
 
     def _suspect_dead(self, rank: int) -> None:
-        """Suspect ``rank`` fail-stopped: exclude it from gathers and leader
-        elections, and treat its active snapshot (if any) as ended.  Any
-        later message from it resurrects it."""
+        """Suspect ``rank`` fail-stopped (protocol-level detection).
+
+        Routed through the base recovery layer so the owning process'
+        task-reclaim hook fires too; the snapshot-specific exclusion happens
+        in :meth:`on_peer_suspected`.  Only the rejoin handshake clears it.
+        """
+        self.suspect_peer(rank)
+
+    def on_peer_suspected(self, rank: int) -> None:
+        """Exclude ``rank`` from gathers and leader elections, and treat its
+        active snapshot (if any) as ended."""
         if rank in self._presumed_dead:
             return
         self._presumed_dead.add(rank)
@@ -677,6 +681,47 @@ class SnapshotMechanism(Mechanism):
             )
         if self._snp_active[rank]:
             self._on_end_snp(rank)
+
+    def on_peer_rejoined(self, rank: int) -> None:
+        """Re-admit a formally rejoined rank.
+
+        If a gather is in flight the rank becomes a member again; the retry
+        watchdog retransmits ``start_snp`` to it, so its state re-enters the
+        collection without any special-casing here.
+        """
+        self._presumed_dead.discard(rank)
+
+    def on_restart(self) -> None:
+        """Crash-with-restart: reset the protocol state machine to IDLE.
+
+        The crash aborted any round in flight — peers blocked on us re-elect
+        through their watchdogs and our stale answers are discarded by
+        request id.  Un-acked reservations are dropped (their timers died
+        with the crash); the request-id counters are durable, so the next
+        round's ids stay fresh.  The base class then announces the rejoin.
+        """
+        if self._stats_open and self.shared.snapshot_stats is not None:
+            self.shared.snapshot_stats.initiation_finished(self.rank)
+            self._stats_open = False
+        self._phase = _Phase.IDLE
+        self._initiating = False
+        self._during_snp = False
+        self._snapshot = False
+        self._leader = None
+        self._nb_snp = 0
+        self._snp_active = [False] * self.nprocs
+        self._delayed = [False] * self.nprocs
+        self._nb_msgs = 0
+        self._collected = {}
+        self._pending_callback = None
+        self._group = None
+        self._paused_proc = False
+        # The crash's shutdown() cancelled these; drop the dead handles.
+        self._retry_event = None
+        self._blocked_event = None
+        self._mts_event = None
+        self._mts_pending.clear()
+        super().on_restart()
 
     def shutdown(self) -> None:
         super().shutdown()

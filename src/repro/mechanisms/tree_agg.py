@@ -23,7 +23,18 @@ interior ranks must keep relaying regardless.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Dict, Mapping, Optional, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 from ..simcore.network import Envelope, Payload
 from ..topology import Topology, build_topology
@@ -59,6 +70,8 @@ class TreeAggMechanism(Mechanism):
         self._accum = Load.ZERO
         self._parent = -1
         self._children: Tuple[int, ...] = ()
+        self._parents: Sequence[int] = ()
+        self._children_all: Sequence[Tuple[int, ...]] = ()
         #: Root only: ranks whose entries changed since the last summary.
         self._summary_dirty: Set[int] = set()
         self._updated_at: Dict[int, float] = {}
@@ -82,6 +95,10 @@ class TreeAggMechanism(Mechanism):
             seed=self.config.topology_seed,
         )
         parents, children = self._topo.aggregation_tree(ROOT)
+        # Full static tree kept for crash repair: _eff_parent/_eff_children
+        # walk it around suspected ranks.
+        self._parents: Sequence[int] = parents
+        self._children_all: Sequence[Tuple[int, ...]] = children
         self._parent = parents[self.rank]
         self._children = children[self.rank]
 
@@ -107,13 +124,74 @@ class TreeAggMechanism(Mechanism):
             self._flush()
             self._accum = Load.ZERO
 
+    # ---------------------------------------------------------- tree repair
+
+    def _eff_parent(self) -> int:
+        """Effective parent: the nearest live ancestor in the static tree
+        (walks past suspected ranks; −1 means every ancestor is dead)."""
+        p = self._parent
+        while p >= 0 and p in self._suspected:
+            p = self._parents[p]
+        return p
+
+    def _eff_children(self) -> List[int]:
+        """Effective children: the static ones, with each suspected child
+        recursively replaced by *its* children — orphaned subtrees re-parent
+        onto their grandparent."""
+        out: List[int] = []
+        stack = list(self._children)
+        while stack:
+            c = stack.pop()
+            if c in self._suspected:
+                stack.extend(self._children_all[c])
+            else:
+                out.append(c)
+        return sorted(out)
+
+    def _acting_root(self) -> bool:
+        """Whether this rank owns the summary timer right now: the static
+        root, or a rank whose whole ancestor chain is suspected crashed."""
+        return self.rank == ROOT or self._eff_parent() < 0
+
+    def on_peer_suspected(self, rank: int) -> None:
+        # Structures repair lazily through _eff_parent/_eff_children; the
+        # only eager action is summary-root promotion when my entire
+        # ancestor chain just died.
+        if self._acting_root() and self._timer is None:
+            self._arm_timer()
+
+    def on_peer_rejoined(self, rank: int) -> None:
+        # Demotion: a live ancestor means the real root's timer owns the
+        # summaries again (a stray armed timer would also stop itself at
+        # the next _tick, this just stops it sooner).
+        if self.rank != ROOT and not self._acting_root() and self._timer is not None:
+            assert self.sim is not None
+            self.sim.cancel(self._timer)
+            self._timer = None
+
+    def on_restart(self) -> None:
+        """Crash-with-restart: re-arm the summary timer if I own it (the
+        crash cancelled it); the base rejoin broadcast re-anchors my entry
+        in every peer's view."""
+        self._timer = None
+        if self._acting_root():
+            self._arm_timer()
+        super().on_restart()
+
     def _flush(self) -> None:
-        if self.rank == ROOT:
+        if self._acting_root():
             self._summary_dirty.add(self.rank)
+            if self.rank != ROOT and self._timer is None:
+                # Promoted acting root: the static root's initialize-time
+                # arming never happened here.  (ROOT itself must not re-arm:
+                # after shutdown() that would leak an immortal timer.)
+                self._arm_timer()
             return
         self._note_broadcast("threshold")
         self._note_fanout(1)
-        self._send_state(self._parent, TreeDelta(deltas={self.rank: self._accum}))
+        self._send_state(
+            self._eff_parent(), TreeDelta(deltas={self.rank: self._accum})
+        )
         self.updates_sent += 1
         self._maybe_refresh()
 
@@ -125,10 +203,11 @@ class TreeAggMechanism(Mechanism):
     def record_decision(self, assignments: Dict[int, Load]) -> None:
         """Patch my own view optimistically; the next summaries correct it."""
         super().record_decision(assignments)
+        acting = self._acting_root()
         for rank, share in assignments.items():
             if rank != self.rank:
                 self.view.add(rank, share)
-                if self.rank == ROOT:
+                if acting:
                     self._summary_dirty.add(rank)
 
     def declare_no_more_master(self) -> None:
@@ -152,13 +231,18 @@ class TreeAggMechanism(Mechanism):
 
     def _tick(self) -> None:
         self._timer = None
-        if self._summary_dirty and self._children:
+        if not self._acting_root():
+            # Demoted between ticks (an ancestor rejoined): the real root's
+            # timer owns summaries again, stop self-rescheduling.
+            return
+        children = self._eff_children()
+        if self._summary_dirty and children:
             loads = {
                 r: self.view.get(r) for r in sorted(self._summary_dirty)
             }
             self._note_broadcast("timer")
-            self._note_fanout(len(self._children))
-            for dst in self._children:
+            self._note_fanout(len(children))
+            for dst in children:
                 self._send_state(dst, TreeSummary(loads=dict(loads)))
             self.summaries_sent += 1
             self._summary_dirty.clear()
@@ -175,16 +259,17 @@ class TreeAggMechanism(Mechanism):
             return
         self._updates_since_refresh = 0
         self._note_broadcast("refresh")
-        if self._parent >= 0:
-            self._send_sync(self._parent)
-        for dst in self._children:
+        parent = self._eff_parent()
+        if parent >= 0:
+            self._send_sync(parent)
+        for dst in self._eff_children():
             self._send_sync(dst)
 
     def _apply_state_sync(self, src: int, load: Load) -> None:
         assert self.sim is not None
         self.view.set(src, load)
         self._updated_at[src] = self.sim.now
-        if self.rank == ROOT:
+        if self._acting_root():
             self._summary_dirty.add(src)
 
     # --------------------------------------------------------- message side
@@ -193,16 +278,21 @@ class TreeAggMechanism(Mechanism):
         payload = env.payload
         assert isinstance(payload, TreeDelta)
         assert self.sim is not None
+        acting = self._acting_root()
         for origin in sorted(payload.deltas):
             if origin == self.rank:
                 continue
             self.view.add(origin, payload.deltas[origin])
             self._updated_at[origin] = self.sim.now
-            if self.rank == ROOT:
+            if acting:
                 self._summary_dirty.add(origin)
-        if self.rank != ROOT:
+        if not acting:
             self._note_fanout(1)
-            self._send_state(self._parent, TreeDelta(deltas=dict(payload.deltas)))
+            self._send_state(
+                self._eff_parent(), TreeDelta(deltas=dict(payload.deltas))
+            )
+        elif self.rank != ROOT and self._timer is None:
+            self._arm_timer()
 
     def _on_tree_summary(self, env: Envelope) -> None:
         payload = env.payload
@@ -213,9 +303,10 @@ class TreeAggMechanism(Mechanism):
                 continue  # my own entry stays locally authoritative
             self.view.set(rank, payload.loads[rank])
             self._updated_at[rank] = self.sim.now
-        if self._children:
-            self._note_fanout(len(self._children))
-            for dst in self._children:
+        children = self._eff_children()
+        if children:
+            self._note_fanout(len(children))
+            for dst in children:
                 self._send_state(dst, TreeSummary(loads=dict(payload.loads)))
 
     # ------------------------------------------------------------ telemetry

@@ -91,6 +91,10 @@ class SimProcess:
         self.mailbox_data: Deque[Envelope] = deque()
         self.halted = False
         self.crashed = False
+        #: True between a crash-with-restart and its restart: DATA deliveries
+        #: are buffered (reliable-MPI retransmission model) instead of lost.
+        self._crash_restart_pending = False
+        self._crash_buffer: Deque[Envelope] = deque()
         #: >1 stretches the duration of tasks *starting* while it is set
         #: (fault-injection slowdown windows); exactly 1.0 on healthy runs.
         self.speed_factor = 1.0
@@ -201,6 +205,15 @@ class SimProcess:
     def deliver(self, env: Envelope) -> None:
         """Called by the network when a message reaches this process."""
         if self.halted:
+            if (
+                self._crash_restart_pending
+                and env.channel is Channel.DATA
+            ):
+                # Down but restarting: the numerical payload travels over
+                # reliable MPI, which retransmits until the rank is back.
+                # STATE messages are genuinely lost (the resilience layer
+                # repairs views via gap NACKs / syncs / the rejoin).
+                self._crash_buffer.append(env)
             return
         if env.channel is Channel.STATE:
             self.mailbox_state.append(env)
@@ -497,23 +510,81 @@ class SimProcess:
             self.sim.cancel(self._current.completion_event)
             self._current = None
 
-    def crash(self) -> None:
-        """Fail-stop crash (fault injection): the process stops permanently.
+    def crash(self, *, restart_pending: bool = False) -> None:
+        """Fail-stop crash (fault injection).
 
         Queued messages are discarded and later deliveries are ignored; the
         running task (if any) never completes.  Distinct from :meth:`halt`
         only in intent — ``crashed`` lets protocols and tests distinguish an
         injected failure from a normal shutdown.
+
+        With ``restart_pending`` (crash-with-restart, see
+        :class:`repro.faults.CrashFault`) queued and later DATA messages are
+        buffered for the restart instead of dropped, and the aborted running
+        task is handed to :meth:`on_crash` so subclasses can re-queue it.
         """
         self.crashed = True
+        self._crash_restart_pending = restart_pending
+        aborted: Optional[Work] = None
+        task = self._current
+        if task is not None:
+            aborted = task.work
+            if not task.paused:
+                # Refund the un-elapsed portion (mirrors pause_task): the
+                # work was pre-charged in full at _begin_task but will be
+                # re-run from scratch after the restart.
+                remaining = max(0.0, task.completion_time - self.sim.now)
+                self.stats_busy_time -= remaining
+        if restart_pending:
+            self._crash_buffer.extend(self.mailbox_data)
         self.mailbox_state.clear()
         self.mailbox_data.clear()
         self.halt()
+        self._current = None
+        self._busy_until = min(self._busy_until, self.sim.now)
+        if restart_pending:
+            self.on_crash(aborted)
         # A crashed process must not keep protocol timers alive (periodic
-        # broadcasts, resilience retransmissions) — it is silent forever.
+        # broadcasts, resilience retransmissions) — it is silent until the
+        # restart (if any).
         mech = getattr(self, "mechanism", None)
         if mech is not None:
             mech.shutdown()
+
+    def on_crash(self, aborted: Optional[Work]) -> None:
+        """Hook: a crash-with-restart aborted ``aborted`` (None if idle).
+
+        Subclasses re-queue the task so the restart re-runs it from scratch
+        (its ``on_start`` effects are durable — see the solver process).
+        """
+
+    def restart(self) -> None:
+        """Reboot after a crash-with-restart from the durable checkpoint.
+
+        Solver and mechanism state survive (continuous local checkpoint
+        model); the volatile losses are the mailbox contents, the running
+        task's progress, and armed timers.  Buffered DATA messages are
+        re-enqueued in arrival order — crucially *before* any task restarts,
+        because the mailbox is drained ahead of ``next_task`` — and the
+        mechanism re-announces itself through the rejoin handshake.
+        """
+        if not self.crashed or not self._crash_restart_pending:
+            raise ProtocolError(
+                f"P{self.rank}: restart of a process that is not pending one"
+            )
+        self.crashed = False
+        self.halted = False
+        self._crash_restart_pending = False
+        self.mailbox_data.extend(self._crash_buffer)
+        self._crash_buffer.clear()
+        mech = getattr(self, "mechanism", None)
+        if mech is not None and hasattr(mech, "on_restart"):
+            mech.on_restart()
+        self.on_restart()
+        self._wake()
+
+    def on_restart(self) -> None:
+        """Hook: the process just rebooted (subclasses re-queue local work)."""
 
     # ----------------------------------------------------------- diagnostics
 

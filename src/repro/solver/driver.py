@@ -69,6 +69,13 @@ class SolverConfig:
     fault_plan: Optional[FaultPlan] = None
     #: Mechanism hardening (sequence numbers, retransmissions, suspicion).
     resilience: bool = False
+    #: Task-level crash recovery: masters tag shipped slave parts and
+    #: reclaim them from suspected ranks (see SolverProcess).
+    recovery: bool = False
+    #: Heartbeat-based failure detection (repro.mechanisms.detector).
+    failure_detection: bool = False
+    heartbeat_period: float = 5e-4
+    suspect_timeout: float = 2e-3
     #: Opt-in causality sanitizer (None = no monitoring, zero overhead).
     sanitizer: Optional[SanitizerConfig] = None
     #: Opt-in runtime telemetry (repro.obs): metrics registry, view-accuracy
@@ -109,6 +116,8 @@ class FactorizationResult:
     fault_stats: Optional[Dict[str, int]] = None
     #: Summed recovery-protocol counters (None when resilience was off).
     resilience_stats: Optional[Dict[str, int]] = None
+    #: Task-recovery summary (None when SolverConfig.recovery was off).
+    recovery_stats: Optional[Dict] = None
     #: Causality-sanitizer observation counters (None when not sanitized).
     sanitizer_stats: Optional[Dict[str, int]] = None
     #: Telemetry registry export (None unless SolverConfig.metrics was on).
@@ -175,6 +184,8 @@ class FactorizationResult:
             out["fault_stats"] = dict(self.fault_stats)
         if self.resilience_stats is not None:
             out["resilience_stats"] = dict(self.resilience_stats)
+        if self.recovery_stats is not None:
+            out["recovery_stats"] = dict(self.recovery_stats)
         if self.sanitizer_stats is not None:
             out["sanitizer_stats"] = dict(self.sanitizer_stats)
         if self.metrics is not None:
@@ -239,6 +250,9 @@ def run_factorization(
         snapshot_group_size=config.snapshot_group_size,
         periodic_period=config.periodic_period,
         resilience=config.resilience,
+        failure_detection=config.failure_detection,
+        heartbeat_period=config.heartbeat_period,
+        suspect_timeout=config.suspect_timeout,
         topology=config.topology,
         topology_degree=config.topology_degree,
         topology_seed=config.seed,
@@ -294,6 +308,7 @@ def run_factorization(
                 decision_log=decision_log,
                 view_accuracy=view_accuracy,
                 recorder=recorder,
+                recovery=config.recovery,
             )
         )
 
@@ -392,6 +407,7 @@ def run_factorization(
             "duplicated": s.duplicated,
             "delayed": s.delayed,
             "crashes": s.crashes,
+            "restarts": s.restarts,
             "slowdowns": s.slowdowns,
             "leaks": s.leaks,
         }
@@ -404,6 +420,29 @@ def run_factorization(
             for key, n in p.mechanism.resilience_stats.items():
                 total[key] = total.get(key, 0) + n
         resilience_counters = dict(sorted(total.items()))
+
+    recovery_stats: Optional[Dict] = None
+    if config.recovery:
+        suspected_union: set = set()
+        for p in procs:
+            suspected_union |= p.mechanism.ever_suspected_peers
+        crashed = injector.crashed_ranks if injector is not None else frozenset()
+        false_pos = sorted(r for r in suspected_union if r not in crashed)
+        downtime = (
+            dict(injector.downtime_by_rank) if injector is not None else {}
+        )
+        recovery_stats = {
+            "tasks_reclaimed": sum(p.stats_reclaimed for p in procs),
+            "ranks_suspected": sorted(suspected_union),
+            "false_suspicions": len(false_pos),
+            "rank_downtime_seconds": {
+                str(r): t for r, t in sorted(downtime.items())
+            },
+        }
+        if metrics_registry is not None:
+            metrics_registry.counter("suspicion_false_positives_total").inc(
+                len(false_pos)
+            )
 
     snap = shared.snapshot_stats
     metrics_export: Optional[Dict] = None
@@ -459,6 +498,7 @@ def run_factorization(
         decision_log=decision_log,
         fault_stats=fault_stats,
         resilience_stats=resilience_counters,
+        recovery_stats=recovery_stats,
         sanitizer_stats=(
             sanitizer.stats_dict() if sanitizer is not None else None
         ),

@@ -16,13 +16,19 @@ BYTES_PER_ENTRY = 8
 
 @dataclass
 class SlaveTaskMsg(Payload):
-    """Master → selected slave: your block of rows of a type-2 front."""
+    """Master → selected slave: your block of rows of a type-2 front.
+
+    ``part_id`` is non-zero only on recovery-enabled runs: the master tags
+    every shipped part so it can be acknowledged (:class:`SlaveDoneMsg`) or
+    reclaimed (:class:`RevokeTaskMsg`) if the slave is suspected crashed.
+    """
 
     TYPE = "slave_task"
     front_id: int = -1
     rows: int = 0
     nfront: int = 0
     flops: float = 0.0
+    part_id: int = 0
 
     @property
     def entries(self) -> int:
@@ -70,6 +76,51 @@ class ReleaseCBMsg(Payload):
 
     TYPE = "release_cb"
     parent_front: int = -1
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class SlaveDoneMsg(Payload):
+    """Slave → master: the tagged part finished (clears the master's
+    outstanding-part ledger on recovery-enabled runs)."""
+
+    TYPE = "slave_done"
+    part_id: int = 0
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class RevokeTaskMsg(Payload):
+    """Master → suspected slave: give the tagged part back.
+
+    Retried every ``retry_timeout`` until an ack arrives or ``dead_after``
+    tries exhaust (fail-stop presumption) — then the master reassigns the
+    part to a survivor unilaterally.
+    """
+
+    TYPE = "revoke_task"
+    part_id: int = 0
+
+    def nbytes(self) -> int:
+        return 48
+
+
+@dataclass
+class RevokeAckMsg(Payload):
+    """Slave → master: revoke answer.
+
+    ``accepted=True`` means the part was still queued and has been dropped
+    (the master may reassign it); ``False`` means it is running or already
+    finished here — the master keeps waiting for the :class:`SlaveDoneMsg`.
+    """
+
+    TYPE = "revoke_ack"
+    part_id: int = 0
+    accepted: bool = False
 
     def nbytes(self) -> int:
         return 48

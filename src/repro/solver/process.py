@@ -56,7 +56,10 @@ from .messages import (
     CBBlockMsg,
     CBNoticeMsg,
     ReleaseCBMsg,
+    RevokeAckMsg,
+    RevokeTaskMsg,
     RootPartMsg,
+    SlaveDoneMsg,
     SlaveTaskMsg,
 )
 from .tasks import ReadyTask, TaskKind
@@ -119,6 +122,7 @@ class SolverProcess(SimProcess):
         decision_log: Optional[DecisionLog] = None,
         view_accuracy: Optional["ViewAccuracyTracker"] = None,
         recorder: Optional["ScriptRecorder"] = None,
+        recovery: bool = False,
     ) -> None:
         super().__init__(sim, network, rank, threaded=threaded, poll_period=poll_period)
         self.mapping = mapping
@@ -144,6 +148,17 @@ class SolverProcess(SimProcess):
         self.decision_log = decision_log
         self.view_accuracy = view_accuracy
         self.recorder = recorder
+        # --- task-level recovery (crash tolerance) ---------------------
+        self.recovery = bool(recovery)
+        self._next_part_id = 0
+        #: Master ledger: part_id → (slave rank, shipped message) of every
+        #: tagged slave part not yet acknowledged done.
+        self._outstanding: Dict[int, tuple] = {}
+        #: part_id → {"tries", "event"} of in-flight revoke campaigns.
+        self._revoking: Dict[int, Dict] = {}
+        #: Works aborted by a crash-with-restart, re-run after the reboot.
+        self._requeued: List[Work] = []
+        self.stats_reclaimed = 0
         mechanism.bind(self, shared)
 
     # ------------------------------------------------------------- setup
@@ -304,6 +319,9 @@ class SolverProcess(SimProcess):
         ReleaseCBMsg: "_on_release_cb",
         SlaveTaskMsg: "_on_slave_task",
         RootPartMsg: "_on_root_part",
+        SlaveDoneMsg: "_on_slave_done",
+        RevokeTaskMsg: "_on_revoke_task",
+        RevokeAckMsg: "_on_revoke_ack",
     }
 
     def handle_state(self, env: Envelope) -> None:
@@ -345,6 +363,10 @@ class SolverProcess(SimProcess):
     def _on_slave_task(self, env: Envelope) -> None:
         p = env.payload
         assert isinstance(p, SlaveTaskMsg)
+        self._accept_slave_part(p)
+
+    def _accept_slave_part(self, p: SlaveTaskMsg) -> None:
+        """Account and enqueue a received (or self-reassigned) slave part."""
         entries = float(p.entries)
         self.tracker.alloc_active(entries, self.sim.now)
         # Reservation-aware mechanisms already counted this share at
@@ -361,6 +383,7 @@ class SolverProcess(SimProcess):
                 activation_entries=0.0,
                 order_key=self._seq,
                 rows=p.rows,
+                part_id=p.part_id,
             )
         )
         self.notify_work()
@@ -396,6 +419,10 @@ class SolverProcess(SimProcess):
         return not self.mechanism.blocks_tasks()
 
     def next_task(self) -> Optional[Work]:
+        if self._requeued:
+            # A crash-with-restart aborted this work mid-run: re-execute it
+            # from scratch before anything else (its inputs are durable).
+            return self._requeued.pop(0)
         candidates = [t for t in self.ready if not t.deciding]
         if not candidates:
             return None
@@ -472,17 +499,17 @@ class SolverProcess(SimProcess):
         self.mechanism.record_decision(assignment.shares)
         fpr = front.flops_per_slave_row
         for rank, rows in assignment.rows.items():
-            self.network.send(
-                self.rank,
-                rank,
-                Channel.DATA,
-                SlaveTaskMsg(
-                    front_id=front.id,
-                    rows=rows,
-                    nfront=front.nfront,
-                    flops=rows * fpr,
-                ),
+            msg = SlaveTaskMsg(
+                front_id=front.id,
+                rows=rows,
+                nfront=front.nfront,
+                flops=rows * fpr,
             )
+            if self.recovery:
+                self._next_part_id += 1
+                msg.part_id = self._next_part_id
+                self._outstanding[msg.part_id] = (rank, msg)
+            self.network.send(self.rank, rank, Channel.DATA, msg)
         self.run_state.add_parts(len(assignment.rows))
         # The front's rows (with the children CBs assembled in) are shipped:
         # the distributed CB pieces of the children can now be freed.
@@ -591,6 +618,15 @@ class SolverProcess(SimProcess):
             self._report(-task.flops, -entries, slave=True)
             self.tracker.add_factors(float(task.rows * f.npiv), self.sim.now)
             self._emit_cb(f.id, float(task.rows * f.border))
+            if task.part_id:
+                master = self.mapping.master_of(f.id)
+                if master == self.rank:
+                    self._part_finished(task.part_id)
+                else:
+                    self.network.send(
+                        self.rank, master, Channel.DATA,
+                        SlaveDoneMsg(part_id=task.part_id),
+                    )
         elif task.kind is TaskKind.ROOT_MASTER:
             master_part, _other = self._root_part_sizes(f)
             self._mem_free(master_part)
@@ -614,6 +650,181 @@ class SolverProcess(SimProcess):
         other = float(f.front_entries // nprocs)
         master = float(f.front_entries - (nprocs - 1) * other)
         return master, other
+
+    # ------------------------------------------------------ task recovery
+    #
+    # Recovery-enabled masters tag every shipped slave part and keep it in
+    # the ``_outstanding`` ledger until the slave's SlaveDoneMsg.  When the
+    # failure detector suspects a slave, the master revokes its outstanding
+    # parts: the victim drops still-queued parts (ack accepted) so the
+    # master can reassign them to a survivor; running/finished parts are
+    # refused (the SlaveDoneMsg settles them).  Under the reliable-MPI model
+    # every revoke of a restarting rank is buffered and treated before the
+    # rank runs anything new, so a part executes exactly once; only the
+    # unilateral reassignment after ``dead_after`` unanswered retries
+    # (fail-stop presumption) could double-execute, and then only if the
+    # presumed-dead rank was in fact alive and computing the part.
+
+    @property
+    def _revoke_period(self) -> float:
+        return self.mechanism.config.retry_timeout
+
+    @property
+    def _revoke_retries(self) -> int:
+        return self.mechanism.config.dead_after
+
+    def on_peer_suspected(self, rank: int) -> None:
+        """Mechanism hook: reclaim every outstanding part held by ``rank``."""
+        if not self.recovery:
+            return
+        for part_id in sorted(self._outstanding):
+            dst, _msg = self._outstanding[part_id]
+            if dst == rank and part_id not in self._revoking:
+                self._revoking[part_id] = {"tries": 0, "event": None}
+                self._send_revoke(part_id)
+
+    def _send_revoke(self, part_id: int) -> None:
+        state = self._revoking.get(part_id)
+        if state is None or part_id not in self._outstanding:
+            return
+        state["event"] = None
+        if state["tries"] >= self._revoke_retries:
+            # Unreachable after dead_after tries: presumed fail-stopped,
+            # reclaim unilaterally.
+            self._reclaim_part(part_id)
+            return
+        state["tries"] += 1
+        dst, _msg = self._outstanding[part_id]
+        self.network.send(
+            self.rank, dst, Channel.DATA, RevokeTaskMsg(part_id=part_id)
+        )
+        state["event"] = self.sim.schedule(
+            self._revoke_period,
+            lambda: self._send_revoke(part_id),
+            label=f"revoke:P{self.rank}:{part_id}",
+        )
+
+    def _cancel_revoke(self, part_id: int) -> None:
+        state = self._revoking.pop(part_id, None)
+        if state is not None and state["event"] is not None:
+            self.sim.cancel(state["event"])
+
+    def _part_finished(self, part_id: int) -> None:
+        self._outstanding.pop(part_id, None)
+        self._cancel_revoke(part_id)
+
+    def _reclaim_part(self, part_id: int) -> None:
+        """Take an outstanding part back and reassign it to a survivor."""
+        self._cancel_revoke(part_id)
+        entry = self._outstanding.pop(part_id, None)
+        if entry is None:
+            return
+        victim, msg = entry
+        self.stats_reclaimed += 1
+        if self.sim.trace is not None:
+            self.sim.trace.record(
+                self.sim.now, "recovery",
+                f"reclaim:{msg.front_id}:P{victim}", who=self.rank,
+            )
+        metrics = self.mechanism.shared.metrics
+        if metrics is not None:
+            metrics.counter(
+                "tasks_reclaimed_total", {"rank": str(self.rank)}
+            ).inc()
+        suspected = self.mechanism.suspected_peers
+        survivors = [
+            r for r in range(self.network.nprocs)
+            if r != self.rank and r != victim and r not in suspected
+        ]
+        view = self.mechanism.current_view()
+        if survivors:
+            # Deterministic choice: least-loaded survivor, rank tie-break.
+            dst = min(survivors, key=lambda r: (view.get(r).workload, r))
+        else:
+            dst = self.rank  # every other rank is suspected: run it here
+        self._next_part_id += 1
+        renewed = SlaveTaskMsg(
+            front_id=msg.front_id, rows=msg.rows, nfront=msg.nfront,
+            flops=msg.flops, part_id=self._next_part_id,
+        )
+        # Reassignment is NOT a new decision: the run_state parts were
+        # registered once at decision time and record_decision must not
+        # re-reserve (the view correction flows through normal reports).
+        self._outstanding[renewed.part_id] = (dst, renewed)
+        if dst == self.rank:
+            self._accept_slave_part(renewed)
+        else:
+            self.network.send(self.rank, dst, Channel.DATA, renewed)
+
+    def _on_slave_done(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, SlaveDoneMsg)
+        self._part_finished(p.part_id)
+
+    def _on_revoke_task(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, RevokeTaskMsg)
+        accepted = False
+        for task in self.ready:
+            if task.kind is TaskKind.SLAVE2 and task.part_id == p.part_id:
+                # Still queued: give it back — undo the arrival accounting.
+                self.ready.remove(task)
+                f = self.tree[task.front_id]
+                entries = float(task.rows * f.nfront)
+                self.tracker.free_active(entries, self.sim.now)
+                self._report(-task.flops, -entries, slave=True)
+                accepted = True
+                break
+        self.network.send(
+            self.rank, env.src, Channel.DATA,
+            RevokeAckMsg(part_id=p.part_id, accepted=accepted),
+        )
+
+    def _on_revoke_ack(self, env: Envelope) -> None:
+        p = env.payload
+        assert isinstance(p, RevokeAckMsg)
+        if p.part_id not in self._revoking:
+            return  # already settled (done raced the ack, or reclaimed)
+        if p.accepted:
+            self._reclaim_part(p.part_id)
+        else:
+            # Running or already finished on the slave: the SlaveDoneMsg
+            # will settle the ledger, stop revoking.
+            self._cancel_revoke(p.part_id)
+
+    # ------------------------------------------------------ crash / restart
+
+    def on_crash(self, aborted: Optional[Work]) -> None:
+        """Crash-with-restart: keep durable state consistent for the reboot."""
+        # Armed revoke-retry timers die with the process; on_restart
+        # re-opens the campaigns from the (durable) ledger.
+        for part_id in sorted(self._revoking):
+            ev = self._revoking[part_id]["event"]
+            if ev is not None:
+                self.sim.cancel(ev)
+        self._revoking.clear()
+        # A decision in flight aborts: the MASTER2 task stays in the ready
+        # list and re-decides after the restart — roll the counter back so
+        # the re-issued decision is counted once.
+        task = self._deciding
+        if task is not None:
+            self._deciding = None
+            task.deciding = False
+            self.stats_decisions -= 1
+        if aborted is not None:
+            # Re-run from scratch, but skip on_start: its effects (memory
+            # allocation, CB consumption, root-part distribution) are
+            # durable state that already happened before the crash.
+            self._requeued.append(
+                Work(duration=aborted.duration, label=aborted.label,
+                     on_start=None, on_complete=aborted.on_complete)
+            )
+
+    def on_restart(self) -> None:
+        if self.recovery:
+            for rank in sorted(self.mechanism.suspected_peers):
+                self.on_peer_suspected(rank)
+        self.notify_work()
 
     # ------------------------------------------------------------ dumps
 

@@ -37,6 +37,8 @@ class ReadyTask:
     order_key: int
     #: SLAVE2 only: number of Schur rows held.
     rows: int = 0
+    #: SLAVE2 only: recovery ledger tag (0 on non-recovery runs).
+    part_id: int = 0
     #: MASTER2 only: set once the slave selection completed.
     assignment: Optional[SlaveAssignment] = None
     #: MASTER2 only: a snapshot decision is in flight.

@@ -86,8 +86,22 @@ def validate_result(
 
     # 5. mechanism-specific message identities
     msgs = result.messages_by_type
+    crashes = (result.fault_stats or {}).get("crashes", 0)
     if result.mechanism in ("snapshot", "partial_snapshot"):
-        if result.snapshot_count != result.decisions:
+        if crashes:
+            # A crash aborts an in-flight snapshot round; the restarted
+            # decision initiates a fresh one, so each crash can add at most
+            # one orphaned round to the count.
+            if not (
+                result.decisions
+                <= result.snapshot_count
+                <= result.decisions + crashes
+            ):
+                fails.append(
+                    f"{result.snapshot_count} snapshots for "
+                    f"{result.decisions} decisions ({crashes} crashes)"
+                )
+        elif result.snapshot_count != result.decisions:
             fails.append(
                 f"{result.snapshot_count} snapshots for {result.decisions} decisions"
             )

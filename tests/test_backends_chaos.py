@@ -1,0 +1,147 @@
+"""Chaos tests: fault injection against the real-socket backend.
+
+Opt-in (``pytest -m backend``) like the other socket suites.  The DES
+fault injector is exercised by tier-1 tests; here the same :class:`FaultPlan`
+drives *actual TCP connections* — scripted connection resets tear down live
+sockets mid-run and rank kills close every socket a rank owns — and the
+replay must still carry every scripted decision to completion within the
+backend's hard timeout.
+
+The mechanisms used (increments, gossip) push state one-way: no blocking
+request/response round-trips, so a lost frame costs accuracy, never
+liveness.  Demand-driven mechanisms (snapshot) would need the full solver
+recovery stack, which replays do not carry.
+"""
+
+import pytest
+
+from repro import run_factorization
+from repro.backends import ScriptRecorder, create_backend
+from repro.backends.asyncio_net import AsyncioBackend
+from repro.backends.des import DesBackend
+from repro.faults import CrashFault, FaultPlan, ScriptedFault
+from repro.faults.plan import SlowdownFault
+from repro.matrices import generators as gen
+from repro.solver.driver import SolverConfig
+from repro.symbolic import analyze_matrix
+
+pytestmark = pytest.mark.backend
+
+NPROCS = 4
+CHAOS_MECHANISMS = ["increments", "gossip"]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="chaosgrid")
+
+
+def record(tree, mechanism, seed=0):
+    rec = ScriptRecorder()
+    run_factorization(tree, NPROCS, mechanism=mechanism,
+                      config=SolverConfig(seed=seed), recorder=rec)
+    script = rec.script()
+    # Faulty replays need the resilience envelope: a dropped frame must
+    # surface as a NACK/retransmit, not a sequence-gap protocol error.
+    script.resilience = True
+    return script
+
+
+class TestConnectionReset:
+    @pytest.mark.parametrize("mechanism", CHAOS_MECHANISMS)
+    def test_scripted_reset_mid_run(self, tree, mechanism):
+        """The 8th STATE frame tears down its TCP connection.  The backend
+        redials with backoff and the replay still completes every
+        decision."""
+        plan = FaultPlan(scripted=(ScriptedFault(nth=8, action="reset"),))
+        script = record(tree, mechanism)
+        out = create_backend("asyncio", fault_plan=plan).execute(script)
+        assert out.decisions == script.decision_count()
+        assert out.extras["link_resets"] >= 1
+        # the reset frame itself is lost with the connection
+        assert out.extras["faults_dropped"] >= 1
+
+    def test_uniform_loss_completes(self, tree):
+        """5% random STATE loss: per-link seeded schedules, so the drop
+        count is reproducible run to run despite socket nondeterminism."""
+        plan = FaultPlan.uniform_loss(0.05, seed_salt=3)
+        script = record(tree, "increments")
+        a = create_backend("asyncio", fault_plan=plan).execute(script)
+        b = create_backend("asyncio", fault_plan=plan).execute(script)
+        assert a.decisions == script.decision_count()
+        assert a.extras["faults_dropped"] > 0
+        assert a.extras["faults_dropped"] == b.extras["faults_dropped"]
+
+
+class TestRankKill:
+    @pytest.mark.parametrize("mechanism", CHAOS_MECHANISMS)
+    def test_kill_and_restart_completes(self, tree, mechanism):
+        """One rank dies at 30% of the (scaled) makespan — every one of its
+        sockets is closed — and reboots after a downtime.  Frames sent to
+        the corpse are dropped; its own replay stalls and resumes; the run
+        still finishes inside the hard timeout with all decisions made."""
+        script = record(tree, mechanism)
+        plan = FaultPlan(
+            crashes=(
+                CrashFault(
+                    rank=NPROCS - 1,
+                    time=script.makespan * 0.3,
+                    restart_after=script.makespan * 0.3,
+                ),
+            )
+        )
+        out = create_backend("asyncio", fault_plan=plan).execute(script)
+        assert out.decisions == script.decision_count()
+        assert out.extras["frames_handled"] > 0
+
+    def test_kill_drops_frames_to_downed_rank(self, tree):
+        """increments broadcasts continuously, so the downtime window must
+        swallow at least one frame addressed to the dead rank."""
+        script = record(tree, "increments")
+        plan = FaultPlan(
+            crashes=(
+                CrashFault(
+                    rank=NPROCS - 1,
+                    time=script.makespan * 0.25,
+                    restart_after=script.makespan * 0.4,
+                ),
+            )
+        )
+        out = create_backend("asyncio", fault_plan=plan).execute(script)
+        assert out.decisions == script.decision_count()
+        assert out.extras["faults_dropped"] > 0
+
+
+class TestDeterminism:
+    def test_des_fault_schedule_is_deterministic(self, tree):
+        """Same plan + same script => byte-identical fault accounting on
+        the DES replay (the reference the sockets are compared against)."""
+        plan = FaultPlan.uniform_loss(0.10, seed_salt=7)
+        script = record(tree, "increments")
+        a = DesBackend(fault_plan=plan).execute(script)
+        b = DesBackend(fault_plan=plan).execute(script)
+        assert a.extras["faults_dropped"] == b.extras["faults_dropped"] > 0
+        assert a.messages_by_type == b.messages_by_type
+        assert a.decisions == b.decisions == script.decision_count()
+
+    def test_salt_changes_the_schedule(self, tree):
+        # salts 1 and 2 are known (deterministically) to drop different
+        # frame counts for this script; any stable pair would do
+        script = record(tree, "increments")
+        a = DesBackend(fault_plan=FaultPlan.uniform_loss(0.10, seed_salt=1)).execute(script)
+        b = DesBackend(fault_plan=FaultPlan.uniform_loss(0.10, seed_salt=2)).execute(script)
+        assert a.extras["faults_dropped"] != b.extras["faults_dropped"]
+
+
+class TestPlanGuards:
+    def test_des_replay_rejects_crash_plans(self):
+        plan = FaultPlan(crashes=(CrashFault(rank=1, time=1e-3),))
+        with pytest.raises(ValueError, match="message faults only"):
+            DesBackend(fault_plan=plan)
+
+    def test_asyncio_rejects_slowdown_plans(self):
+        plan = FaultPlan(
+            slowdowns=(SlowdownFault(rank=1, start=0.0, duration=1e-3, factor=2.0),)
+        )
+        with pytest.raises(ValueError):
+            AsyncioBackend(fault_plan=plan)

@@ -1,0 +1,184 @@
+"""End-to-end crash tolerance: detector, reclaim, rejoin, and validation.
+
+The acceptance bar of the task-recovery layer: every mechanism must carry a
+mid-run crash-with-restart to a *valid* completion — no task lost (factor
+conservation would fail short) and none double-executed (it would fail
+long) — with the crashed rank suspected, its in-flight SLAVE2 parts
+reclaimed where needed, and zero false suspicions of live ranks.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import CrashFault, FaultPlan
+from repro.faults.plan import LinkFault
+from repro.matrices import generators as gen
+from repro.mechanisms import IncrementsMechanism, MechanismConfig
+from repro.mechanisms.registry import available_mechanisms
+from repro.simcore.network import Channel
+from repro.solver.driver import SolverConfig, run_factorization
+from repro.solver.validate import validate_result
+from repro.symbolic import analyze_matrix
+
+from helpers import make_world
+
+NPROCS = 8
+ALL_MECHS = tuple(sorted(available_mechanisms()))
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((12, 12, 4)), name="recovgrid")
+
+
+def recovery_config(span, plan, **kw):
+    """The full recovery stack, detector timeouts scaled to the makespan."""
+    return SolverConfig(
+        seed=1,
+        fault_plan=plan,
+        resilience=True,
+        recovery=True,
+        failure_detection=True,
+        heartbeat_period=span / 50.0,
+        suspect_timeout=span / 4.0,
+        **kw,
+    )
+
+
+def crash_plan(span, rank=2, at=0.25, downtime=0.5):
+    return FaultPlan(
+        crashes=(
+            CrashFault(rank=rank, time=span * at, restart_after=span * downtime),
+        )
+    )
+
+
+class TestCrashAcceptance:
+    """ISSUE acceptance: every mechanism survives a mid-run crash (DES,
+    resilience=True) with ``validate_result`` passing."""
+
+    @pytest.mark.parametrize("mechanism", ALL_MECHS)
+    def test_mid_run_crash_completes_and_validates(self, tree, mechanism):
+        ref = run_factorization(tree, NPROCS, mechanism, config=SolverConfig(seed=1))
+        span = ref.factorization_time
+        cfg = recovery_config(span, crash_plan(span))
+        r = run_factorization(tree, NPROCS, mechanism, config=cfg)
+        report = validate_result(r, tree)
+        assert report.ok, report.failures
+        assert r.fault_stats["crashes"] == 1
+        assert r.fault_stats["restarts"] == 1
+        rec = r.recovery_stats
+        assert rec is not None
+        # the crashed rank — and only it — ends up suspected (the oracle
+        # opts out of recovery entirely: no detector, no suspicion)
+        if mechanism == "oracle":
+            assert rec["ranks_suspected"] == []
+        else:
+            assert rec["ranks_suspected"] == [2]
+        assert rec["false_suspicions"] == 0
+        assert rec["rank_downtime_seconds"]["2"] > 0
+
+    def test_reclaimed_parts_are_not_double_executed(self, tree):
+        """A downtime long enough to trigger reclaim: the revoked parts are
+        re-scheduled on survivors, and factor conservation (validate) proves
+        they ran exactly once."""
+        ref = run_factorization(tree, NPROCS, "increments", config=SolverConfig(seed=1))
+        span = ref.factorization_time
+        # restart only lands after the fault-free end: suspicion and the
+        # revoke campaign must finish their work without the victim.  Rank 6
+        # at 25% is a crash point with SLAVE2 parts still in flight.
+        cfg = recovery_config(span, crash_plan(span, rank=6, downtime=4.0))
+        r = run_factorization(tree, NPROCS, "increments", config=cfg)
+        report = validate_result(r, tree)
+        assert report.ok, report.failures
+        assert r.recovery_stats["tasks_reclaimed"] >= 1
+        assert r.recovery_stats["ranks_suspected"] == [6]
+        assert r.recovery_stats["false_suspicions"] == 0
+
+    def test_recovery_stats_absent_by_default(self, tree):
+        r = run_factorization(tree, NPROCS, "increments", config=SolverConfig(seed=1))
+        assert r.recovery_stats is None
+        assert "recovery_stats" not in r.to_dict()
+
+
+class TestFalsePositives:
+    """A live-but-unheard rank must not corrupt the run."""
+
+    def test_partitioned_rank_is_suspected_but_run_stays_valid(self, tree):
+        """Rank 3's STATE channel is severed (it is alive and computing —
+        DATA still flows).  The detector suspects it, decisions route
+        around it, and the run still completes and validates; the driver
+        books the suspicion as a false positive because the rank never
+        crashed."""
+        ref = run_factorization(tree, NPROCS, "increments", config=SolverConfig(seed=1))
+        span = ref.factorization_time
+        plan = FaultPlan(
+            link_faults=(LinkFault(src=3, channel=Channel.STATE, drop_prob=1.0),)
+        )
+        cfg = recovery_config(span, plan)
+        r = run_factorization(tree, NPROCS, "increments", config=cfg)
+        report = validate_result(r, tree)
+        assert report.ok, report.failures
+        rec = r.recovery_stats
+        assert 3 in rec["ranks_suspected"]
+        assert rec["false_suspicions"] >= 1
+        # the partitioned rank never crashed, so no downtime was booked
+        assert rec["rank_downtime_seconds"] == {}
+
+    def test_busy_process_does_not_suspect_the_cluster(self):
+        """The silence scan is skipped while the owning (unthreaded)
+        process computes: queued heartbeats are its own deafness, not peer
+        death.  Without the guard P0 would suspect a perfectly live P1
+        after any compute block longer than the timeout."""
+        cfg = MechanismConfig(
+            failure_detection=True,
+            heartbeat_period=1e-4,
+            suspect_timeout=4e-4,
+        )
+        sim, net, procs = make_world(2, lambda: IncrementsMechanism(cfg))
+        m0 = procs[0].mechanism
+        procs[0].queue_task(duration=5e-3, label="long-front")
+        sim.run(until=6e-3)
+        assert m0.suspected_peers == set()
+        assert m0.ever_suspected_peers == set()
+
+    def test_silent_peer_is_suspected_while_idle(self):
+        """Same detector, but P1 is genuinely dead: an idle P0 suspects it
+        once the timeout elapses."""
+        cfg = MechanismConfig(
+            failure_detection=True,
+            heartbeat_period=1e-4,
+            suspect_timeout=4e-4,
+        )
+        sim, net, procs = make_world(2, lambda: IncrementsMechanism(cfg))
+        m0 = procs[0].mechanism
+        sim.schedule(2e-4, lambda: procs[1].crash(), label="kill-P1")
+        sim.run(until=5e-3)
+        assert 1 in m0.suspected_peers
+        assert 1 in m0.ever_suspected_peers
+
+
+class TestValidateCrashAware:
+    """The snapshot-count identity relaxes by at most one round per crash."""
+
+    @pytest.mark.parametrize("mechanism", ["snapshot", "partial_snapshot"])
+    def test_snapshot_count_bound_under_crash(self, tree, mechanism):
+        ref = run_factorization(tree, NPROCS, mechanism, config=SolverConfig(seed=1))
+        span = ref.factorization_time
+        cfg = recovery_config(span, crash_plan(span))
+        r = run_factorization(tree, NPROCS, mechanism, config=cfg)
+        crashes = r.fault_stats["crashes"]
+        assert r.decisions <= r.snapshot_count <= r.decisions + crashes
+        assert validate_result(r, tree).ok
+
+
+class TestPlanStability:
+    """Restart crashes must round-trip through the cache-key surface."""
+
+    def test_describe_and_tag_include_restart(self):
+        a = FaultPlan(crashes=(CrashFault(rank=2, time=1e-3),))
+        b = FaultPlan(crashes=(CrashFault(rank=2, time=1e-3, restart_after=5e-4),))
+        assert a.describe() != b.describe()
+        assert a.tag() != b.tag()
+        assert b.tag() == replace(b).tag()  # stable across instances

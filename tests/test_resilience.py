@@ -233,10 +233,9 @@ class TestSnapshotHardening:
         sim.run()
         assert procs[1].mechanism.my_load.workload == 7.0
 
-    def test_crashed_participant_is_suspected_and_resurrected(self):
+    def test_crashed_participant_is_suspected_and_excluded(self):
         """P2 crashes mid-protocol-free window: P0's gather suspects it
-        after ``dead_after`` silent retries and completes without it.  When
-        P2 'reboots' (here: a fresh request from it), it is resurrected."""
+        after ``dead_after`` silent retries and completes without it."""
         sim, net, procs, inj = rworld(
             4, SnapshotMechanism, FaultPlan(crashes=(CrashFault(2, 1e-4),)),
             retry_timeout=1e-3, dead_after=3,
@@ -252,23 +251,32 @@ class TestSnapshotHardening:
         # the gather simply misses the dead rank's contribution
         assert views[0][1].get(2).workload == 0.0
 
-    def test_late_message_resurrects_a_suspect(self):
-        """Suspicion is not permanent: any message from the suspect clears
-        it (covers wrongly-suspected slow peers)."""
+    def test_late_message_triggers_rejoin_not_resurrection(self):
+        """Suspicion is not permanent, but hearing a suspect again is not
+        enough either: the suspect is told to re-announce (SuspectNotice)
+        and only its RejoinRequest — carrying its authoritative load —
+        clears the suspicion.  Regression for the PR-1 silent-resurrection
+        bug, where any stale message restored full trust."""
         sim, net, procs, _ = rworld(
             3, SnapshotMechanism, None, retry_timeout=1e-3, dead_after=3,
         )
-        m0 = procs[0].mechanism
+        m0, m2 = procs[0].mechanism, procs[2].mechanism
         m0._suspect_dead(2)  # e.g. after a long silence during a gather
         assert 2 in m0._presumed_dead
         views = []
-        # P2 initiating a snapshot proves it alive; P0's own later gather
-        # must wait for (and get) P2's answer again.
+        # P2 initiating a snapshot proves it alive; P0 reminds it to rejoin
+        # instead of trusting it outright.  P0's own later gather must wait
+        # for (and get) P2's answer again.
         snapshot_decide(sim, procs[2], {}, views, at=1e-3)
         snapshot_decide(sim, procs[0], {}, views, at=0.05)
         sim.run()
-        assert m0.resilience_stats["resurrections"] >= 1
+        assert m0.resilience_stats["suspect_notices_sent"] == 1
+        assert m2.resilience_stats["suspect_notices_received"] == 1
+        assert m2.resilience_stats["rejoins_sent"] >= 1
+        assert m0.resilience_stats["rejoins_received"] >= 1
+        assert "resurrections" not in m0.resilience_stats
         assert 2 not in m0._presumed_dead
+        assert 2 not in m0.suspected_peers
         assert [r for r, _ in views] == [2, 0]
         for p in procs:
             assert not p.mechanism.blocks_tasks()
