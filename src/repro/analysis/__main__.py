@@ -4,9 +4,13 @@
 
     python -m repro.analysis lint      [--json] [paths...]
     python -m repro.analysis protocol  [--json] [--src-root DIR]
+    python -m repro.analysis explore   --mechanism M [--nprocs 2..3] [--json]
     python -m repro.analysis all       [--json]
 
 Exit status 0 when clean, 1 when any finding is reported — suitable for CI.
+``explore`` model-checks message interleavings (see repro.analysis.explore);
+``--counterexample FILE`` writes the first violation as a replayable JSON
+artifact, and ``--replay FILE`` re-runs one.
 """
 
 from __future__ import annotations
@@ -57,6 +61,90 @@ def _run_protocol(src_root: Optional[str], as_json: bool) -> int:
     return 1 if findings else 0
 
 
+def _parse_nprocs(spec: str) -> List[int]:
+    """``"2"`` -> [2]; ``"2..4"`` -> [2, 3, 4]."""
+    if ".." in spec:
+        lo_s, hi_s = spec.split("..", 1)
+        lo, hi = int(lo_s), int(hi_s)
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad nprocs range: {spec!r}")
+        return list(range(lo, hi + 1))
+    return [int(spec)]
+
+
+def _run_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        explore_mechanism,
+        load_counterexample,
+        replay_counterexample,
+        tiny_tree,
+    )
+
+    if args.mutants or args.mechanism == "nc_increments":
+        from .mutants import install_mutants
+
+        install_mutants()
+
+    tree = tiny_tree(levels=args.tree_levels)
+
+    if args.replay:
+        ce = load_counterexample(args.replay)
+        v = replay_counterexample(ce)  # tree reconstructed from the record
+        if v is None:
+            print(f"replay: counterexample in {args.replay} did NOT reproduce")
+            return 1
+        print(f"replay: reproduced {v.invariant}: {v.detail}")
+        return 0
+
+    if not args.mechanism:
+        print("explore: --mechanism is required (or --replay FILE)",
+              file=sys.stderr)
+        return 2
+
+    reports = []
+    for np_ in _parse_nprocs(args.nprocs):
+        try:
+            report = explore_mechanism(
+                args.mechanism,
+                np_,
+                tree=tree,
+                seed=args.seed,
+                depth_budget=args.depth_budget,
+                max_runs=args.max_runs,
+                dpor=not args.no_dpor,
+                prune=not args.no_prune,
+                probes=not args.no_probes,
+                crash_rank=args.crash_rank,
+            )
+        except KeyError as exc:
+            print(f"explore: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        reports.append(report)
+        if not args.as_json:
+            print(report.summary())
+        if report.violations and args.counterexample:
+            with open(args.counterexample, "w", encoding="utf-8") as fh:
+                json.dump(report.violations[0].to_dict(), fh, indent=2)
+            if not args.as_json:
+                print(f"counterexample written to {args.counterexample}")
+        if report.violations:
+            break
+    if args.as_json:
+        print(json.dumps(
+            {"tool": "explore", "reports": [r.to_dict() for r in reports]},
+            indent=2,
+        ))
+    failed = any(r.violations for r in reports)
+    if args.require_complete and not failed:
+        incomplete = [r for r in reports if not r.complete]
+        if incomplete:
+            for r in incomplete:
+                print(f"explore: NOT complete within budget: {r.summary()}",
+                      file=sys.stderr)
+            return 1
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -77,6 +165,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          help="path to the repro package (default: installed)")
     p_proto.add_argument("--json", action="store_true", dest="as_json")
 
+    p_exp = sub.add_parser(
+        "explore",
+        help="model-check message interleavings of one mechanism",
+    )
+    p_exp.add_argument("--mechanism", default=None,
+                       help="mechanism name (e.g. increments; nc_increments "
+                            "auto-installs the mutant fixtures)")
+    p_exp.add_argument("--nprocs", default="2",
+                       help='process count or range, e.g. "2" or "2..3"')
+    p_exp.add_argument("--depth-budget", type=int, default=64,
+                       help="max branch points per run before defaulting")
+    p_exp.add_argument("--max-runs", type=int, default=20000,
+                       help="total run budget for the DFS")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--tree-levels", type=int, default=2, choices=(1, 2),
+                       help="tiny-tree size (1 = 3 fronts, 2 = 4 fronts)")
+    p_exp.add_argument("--no-dpor", action="store_true",
+                       help="disable sleep-set partial-order reduction")
+    p_exp.add_argument("--no-prune", action="store_true",
+                       help="disable visited-state pruning")
+    p_exp.add_argument("--no-probes", action="store_true",
+                       help="skip the link-starvation probe stage")
+    p_exp.add_argument("--mutants", action="store_true",
+                       help="register the seeded-bug mutant mechanisms")
+    p_exp.add_argument("--crash-rank", type=int, default=None,
+                       help="also branch on crash points of this rank")
+    p_exp.add_argument("--require-complete", action="store_true",
+                       help="fail unless exploration drained within budget")
+    p_exp.add_argument("--counterexample", default=None, metavar="FILE",
+                       help="write the first violation as replayable JSON")
+    p_exp.add_argument("--replay", default=None, metavar="FILE",
+                       help="re-run a counterexample JSON file and exit")
+    p_exp.add_argument("--json", action="store_true", dest="as_json")
+
     p_all = sub.add_parser("all", help="run every check")
     p_all.add_argument("--json", action="store_true", dest="as_json")
 
@@ -90,6 +212,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_lint(args.paths, args.as_json)
     if args.command == "protocol":
         return _run_protocol(args.src_root, args.as_json)
+    if args.command == "explore":
+        return _run_explore(args)
     # all
     rc_lint = _run_lint([], args.as_json)
     rc_proto = _run_protocol(None, args.as_json)

@@ -1,0 +1,842 @@
+"""Systematic interleaving exploration — the simulator as a model checker.
+
+The reproduction validates each load-exchange mechanism on *one* delivery
+schedule per seed: the engine's deterministic ``(time, priority, seq)``
+order.  The paper's correctness claims, however, are about *every*
+asynchronous interleaving — reservations racing completion updates,
+snapshots racing decisions.  This module explores those interleavings
+systematically on top of :class:`repro.simcore.ScheduleController`:
+
+* **Replay-based DFS** — each schedule is one full simulated run driven by
+  a forced prefix of branch choices; siblings discovered past the prefix
+  are pushed onto a stack and replayed later (stateless model checking).
+* **Dynamic partial-order reduction** — sleep sets (Godefroid) over a
+  rank-disjointness independence relation: two deliveries commute iff they
+  target different ranks (per-link FIFO already serializes same-link
+  deliveries), a delivery commutes with an internal step of a different
+  rank.  Only racing choices branch.  The relation deliberately ignores
+  the global completion hook (``RunState.on_done`` shuts every mechanism
+  down), which couples ranks at the very end of a run; the DPOR soundness
+  test cross-checks the reduction against full enumeration.
+* **Visited-set pruning** — runs are cut as soon as they reach a logical
+  state (time-abstracted fingerprint of queues + views + solver state,
+  :mod:`repro.simcore.fingerprint`) already covered with a compatible
+  (subset) sleep set.
+* **Invariant oracles** — every explored schedule runs under the causality
+  sanitizer and is additionally checked for protocol closure (no
+  ``UnknownMessageError``), liveness (no ``SimulationDeadlock`` / event
+  or clock limit), the decision-count and conservation bounds of
+  :func:`repro.solver.validate.validate_result`, and quiescent view
+  coherence: once everything completed and drained, every maintained view
+  entry must be within the broadcast threshold of the true (zero) load.
+* **Counterexamples** — a violating schedule is minimized (greedy
+  choice-by-choice reversion to the default) and emitted as a replayable
+  JSON trace in the shape of the sanitizer's ``CausalityViolation``.
+* **Crash-point branching** — optionally, every branch-point time of the
+  baseline schedule becomes a :class:`repro.faults.CrashFault` plan, and
+  each plan's schedules are explored too.
+
+Exhaustive exploration is feasible at small scale only; :func:`tiny_tree`
+builds the standard 2-level problem (one TYPE2 decision, a handful of
+messages) used by the CLI and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..faults import FaultPlan, crash_plans
+from ..mechanisms.registry import mechanism_class
+from ..simcore.errors import (
+    CausalityViolation,
+    ProtocolError,
+    SimulationDeadlock,
+    SimulationError,
+    SimulationLimitExceeded,
+    UnknownMessageError,
+)
+from ..simcore.events import Event
+from ..simcore.fingerprint import freeze, state_fingerprint
+from ..simcore.schedule import ActionKey, ScheduleController, ScheduleDivergence, action_rank
+from ..solver.driver import SolverConfig, run_factorization
+from ..symbolic.tree import AssemblyTree, Front
+from .sanitizer import SanitizerConfig
+
+#: Mechanisms whose maintained view must equal the true load (zero) at
+#: quiescence, to within the broadcast threshold.  Multi-hop/decayed
+#: mechanisms (gossip, neighborhood, tree_agg) and demand-driven snapshots
+#: legitimately end with bounded-staleness views and are not held to it.
+VIEW_COHERENT_MECHANISMS: Set[str] = {"naive", "increments", "nc_increments"}
+
+
+def tiny_tree(levels: int = 2) -> AssemblyTree:
+    """Smallest tree with a dynamic (TYPE2) decision, for exhaustive runs.
+
+    ``levels=1`` is two leaves under a TYPE2 root (fewest events);
+    ``levels=2`` adds a sequential root above it (the default — it keeps a
+    post-decision serial phase so completion updates race reservations).
+    """
+    if levels == 1:
+        fronts = [
+            Front(id=0, npiv=8, nfront=24, parent=2),
+            Front(id=1, npiv=8, nfront=24, parent=2),
+            Front(id=2, npiv=16, nfront=80, parent=-1),
+        ]
+        fronts[2].children = [0, 1]
+        return AssemblyTree(fronts, name="tiny1")
+    fronts = [
+        Front(id=0, npiv=8, nfront=24, parent=2),
+        Front(id=1, npiv=8, nfront=24, parent=2),
+        Front(id=2, npiv=16, nfront=80, parent=3),
+        Front(id=3, npiv=16, nfront=16, parent=-1),
+    ]
+    fronts[2].children = [0, 1]
+    fronts[3].children = [2]
+    return AssemblyTree(fronts, name="tiny")
+
+
+def independent(a: ActionKey, b: ActionKey) -> bool:
+    """Whether two actions commute (rank-disjointness approximation)."""
+    ra, rb = action_rank(a), action_rank(b)
+    if ra < 0 or rb < 0:
+        return False
+    return ra != rb
+
+
+# --------------------------------------------------------------------------
+# exploration outcomes
+
+
+class _PrunedRun(Exception):
+    """The run reached a fingerprint already covered — stop early."""
+
+
+class _SleepBlocked(Exception):
+    """Every enabled action sleeps: the subtree was explored elsewhere."""
+
+
+@dataclass
+class Violation:
+    """One invariant violation with its replayable schedule.
+
+    Serialized in the same shape as the sanitizer's ``CausalityViolation``
+    payload (``invariant`` / ``detail`` / ``trace``) plus the replay
+    coordinates (mechanism, nprocs, problem, seed, schedule).
+    """
+
+    invariant: str
+    detail: str
+    trace: List[Dict[str, Any]]
+    schedule: List[ActionKey]
+    mechanism: str
+    nprocs: int
+    problem: str
+    seed: int
+    minimized: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "trace": list(self.trace),
+            "schedule": [list(k) for k in self.schedule],
+            "mechanism": self.mechanism,
+            "nprocs": self.nprocs,
+            "problem": self.problem,
+            "seed": self.seed,
+            "minimized": self.minimized,
+        }
+
+
+@dataclass
+class ExploreReport:
+    """Aggregate outcome of one exploration."""
+
+    mechanism: str
+    nprocs: int
+    problem: str
+    runs: int = 0
+    probe_runs: int = 0
+    pruned: int = 0
+    sleep_blocked: int = 0
+    budget_hits: int = 0
+    states: int = 0
+    final_states: Set[str] = field(default_factory=set)
+    violations: List[Violation] = field(default_factory=list)
+    #: True when the DFS frontier drained within the run/depth budgets —
+    #: i.e. the visited-set-complete sense of "exhaustive".
+    complete: bool = False
+    crash_plans: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mechanism": self.mechanism,
+            "nprocs": self.nprocs,
+            "problem": self.problem,
+            "runs": self.runs,
+            "probe_runs": self.probe_runs,
+            "pruned": self.pruned,
+            "sleep_blocked": self.sleep_blocked,
+            "budget_hits": self.budget_hits,
+            "states": self.states,
+            "final_states": len(self.final_states),
+            "complete": self.complete,
+            "crash_plans": self.crash_plans,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"{self.mechanism} P={self.nprocs} [{self.problem}]: {status} — "
+            f"{self.runs} runs, {self.states} states, "
+            f"{len(self.final_states)} final states, "
+            f"{'complete' if self.complete else 'budget-limited'}"
+        )
+
+
+# --------------------------------------------------------------------------
+# the exploring controller
+
+
+@dataclass
+class _NodeRecord:
+    """A branch point discovered past the forced prefix."""
+
+    index: int  # position among the run's branch points
+    keys: Tuple[ActionKey, ...]
+    chosen: ActionKey
+    sleep: FrozenSet[ActionKey]
+    available: Tuple[ActionKey, ...]  # non-sleeping keys, default first
+
+
+class _ExplorerController(ScheduleController):
+    """Forced-prefix replay + sleep sets + visited-set pruning."""
+
+    def __init__(
+        self,
+        forced: Sequence[ActionKey],
+        initial_sleep: FrozenSet[ActionKey],
+        *,
+        visited: Optional[Dict[str, List[FrozenSet[ActionKey]]]] = None,
+        dpor: bool = True,
+        prune: bool = True,
+        depth_budget: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.forced = list(forced)
+        self.initial_sleep = initial_sleep
+        self.visited = visited
+        self.dpor = dpor
+        self.prune = prune
+        self.depth_budget = depth_budget
+        self.sleep: Set[ActionKey] = set(initial_sleep) if not self.forced else set()
+        self._active = not self.forced
+        self.new_nodes: List[_NodeRecord] = []
+        self.budget_hit = False
+        # Fingerprints recorded by THIS run.  A run must never prune
+        # against its own records: two consecutive branch points can be
+        # logically equal (the step between them only advanced clocks) and
+        # self-pruning would abandon the continuation entirely.
+        self._own_fps: Set[str] = set()
+
+    # -- shared logical state folded into fingerprints ---------------------
+
+    def _shared_extra(self) -> Any:
+        if not self.procs:
+            return None
+        p0 = self.procs[0]
+        run_state = getattr(p0, "run_state", None)
+        decision_log = getattr(p0, "decision_log", None)
+        return (
+            run_state.remaining if run_state is not None else None,
+            tuple(sorted(repr(freeze(r)) for r in decision_log.records))
+            if decision_log is not None
+            else None,
+        )
+
+    def fingerprint(self) -> str:
+        return state_fingerprint(self, self.procs, extra=self._shared_extra())
+
+    # -- policy ------------------------------------------------------------
+
+    def choose(self, candidates: List[Tuple[ActionKey, Event]]) -> int:
+        b = len(self.choices)
+        keys = [k for k, _ in candidates]
+        if b < len(self.forced):
+            want = self.forced[b]
+            if want not in keys:
+                raise ScheduleDivergence(
+                    f"forced choice {want!r} not enabled at branch {b}; "
+                    f"candidates: {keys!r}"
+                )
+            return keys.index(want)
+        if self.depth_budget is not None and b >= self.depth_budget:
+            self.budget_hit = True
+            return 0
+        if self.prune and self.visited is not None:
+            fp = self.fingerprint()
+            cur = frozenset(self.sleep)
+            if fp not in self._own_fps:
+                seen = self.visited.get(fp)
+                if seen is not None and any(s <= cur for s in seen):
+                    raise _PrunedRun()
+            self.visited.setdefault(fp, []).append(cur)
+            self._own_fps.add(fp)
+        if self.dpor:
+            available = [k for k in keys if k not in self.sleep]
+            if not available:
+                raise _SleepBlocked()
+        else:
+            available = keys
+        chosen = available[0]
+        self.new_nodes.append(
+            _NodeRecord(
+                index=b,
+                keys=tuple(keys),
+                chosen=chosen,
+                sleep=frozenset(self.sleep),
+                available=tuple(available),
+            )
+        )
+        return keys.index(chosen)
+
+    def on_step(
+        self,
+        candidates: List[Tuple[ActionKey, Event]],
+        chosen: int,
+        *,
+        branch: bool,
+    ) -> None:
+        executed = candidates[chosen][0]
+        if not self._active:
+            if branch and len(self.choices) == len(self.forced):
+                # The prefix is consumed with this choice; the stored sleep
+                # set already accounts for this edge, so activation starts
+                # *after* it.
+                self._active = True
+                self.sleep = set(self.initial_sleep)
+            return
+        if self.dpor and not branch and executed in self.sleep:
+            # The only enabled action sleeps: this continuation was fully
+            # explored from the ancestor that put it to sleep.
+            raise _SleepBlocked()
+        if self.sleep:
+            self.sleep = {a for a in self.sleep if independent(a, executed)}
+
+
+class _StarveController(_ExplorerController):
+    """Maximally defer one link's deliveries (a directed race probe).
+
+    Starving link L while every other candidate proceeds realizes the
+    extreme point of the independence relation: every delivery on L is
+    reordered past every concurrent delivery on other links.  One probe
+    per link finds cross-link message races (e.g. a completion report
+    overtaking a reservation broadcast) that depth-first search only
+    reaches after an infeasible number of runs.  ``defer_cap`` bounds the
+    deferrals so a mechanism that genuinely needs the starved link to make
+    progress (e.g. a snapshot reply) degrades to the default schedule
+    instead of spinning to the event limit.
+    """
+
+    def __init__(self, starve: ActionKey, defer_cap: int = 400) -> None:
+        super().__init__((), frozenset(), dpor=False, prune=False)
+        self.starve = starve
+        self.defer_cap = defer_cap
+        self.deferrals = 0
+
+    def choose(self, candidates: List[Tuple[ActionKey, Event]]) -> int:
+        keys = [k for k, _ in candidates]
+        if self.starve in keys and self.deferrals < self.defer_cap:
+            for i, key in enumerate(keys):
+                if key != self.starve:
+                    self.deferrals += 1
+                    return i
+        return 0
+
+
+# --------------------------------------------------------------------------
+# oracles
+
+
+def _violation_from_exc(exc: BaseException) -> Tuple[str, str, List[Dict[str, Any]]]:
+    if isinstance(exc, CausalityViolation):
+        return exc.invariant, exc.detail, [dict(t) for t in exc.trace]
+    if isinstance(exc, UnknownMessageError):
+        return "protocol_closure", str(exc), []
+    if isinstance(exc, SimulationDeadlock):
+        return "liveness_deadlock", str(exc), []
+    if isinstance(exc, SimulationLimitExceeded):
+        return "liveness_limit", str(exc), []
+    if isinstance(exc, ProtocolError):
+        return "protocol_closure", str(exc), []
+    raise exc  # not an oracle failure: propagate (programming error)
+
+
+def _check_completed_run(
+    result: Any,
+    controller: _ExplorerController,
+    tree: AssemblyTree,
+    config: SolverConfig,
+    mechanism: str,
+    *,
+    validate: bool = True,
+    coherence: bool = True,
+) -> Optional[Tuple[str, str, List[Dict[str, Any]]]]:
+    """Oracles on a run that completed without raising; None when clean."""
+    if validate:
+        from ..solver.validate import validate_result
+
+        report = validate_result(result, tree, proc_speed=config.proc_speed)
+        if not report.ok:
+            return (
+                "validate_result",
+                "; ".join(report.failures),
+                [],
+            )
+    if coherence and mechanism in VIEW_COHERENT_MECHANISMS:
+        from ..solver.driver import default_threshold
+        from ..mapping.static import compute_mapping
+
+        mapping = compute_mapping(tree, result.nprocs, config.mapping)
+        thr = default_threshold(
+            tree, mapping, config.threshold_frac, config.schedule.kmin_rows
+        )
+        tol_w = 2.0 * thr.workload + 1e-6
+        tol_m = 2.0 * thr.memory + 1e-6
+        for proc in controller.procs:
+            mech = getattr(proc, "mechanism", None)
+            if mech is None or not getattr(mech, "maintains_view", False):
+                continue
+            for rank in range(result.nprocs):
+                entry = mech.view.get(rank)
+                if abs(entry.workload) > tol_w or abs(entry.memory) > tol_m:
+                    return (
+                        "view_coherence",
+                        f"P{proc.rank}'s quiescent view of P{rank} is "
+                        f"(w={entry.workload:.6g}, m={entry.memory:.6g}), "
+                        f"beyond the threshold tolerance "
+                        f"(w={tol_w:.6g}, m={tol_m:.6g}); the true "
+                        f"remaining load is zero",
+                        [],
+                    )
+    return None
+
+
+# --------------------------------------------------------------------------
+# the explorer
+
+
+def _explore_config(
+    config: Optional[SolverConfig],
+    seed: int,
+    *,
+    sanitize: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    detector_span: Optional[float] = None,
+) -> SolverConfig:
+    """Exploration defaults: sanitized, no update suppression, small caps.
+
+    ``no_more_master=False`` keeps every rank subscribed to updates so the
+    quiescent view-coherence oracle applies to all of them (the same choice
+    the conformance suite makes).
+    """
+    from dataclasses import replace
+
+    base = config if config is not None else SolverConfig()
+    kwargs: Dict[str, Any] = {
+        "seed": seed,
+        "no_more_master": False,
+        "max_events": min(base.max_events, 1_000_000),
+    }
+    if sanitize:
+        kwargs["sanitizer"] = SanitizerConfig()
+    else:
+        kwargs["sanitizer"] = None
+    if fault_plan is not None:
+        kwargs.update(
+            fault_plan=fault_plan,
+            resilience=True,
+            recovery=True,
+            failure_detection=True,
+        )
+        if detector_span is not None:
+            # Scale the failure detector to the run, as the recovery suite
+            # does: the defaults assume seconds-long runs and would leave a
+            # tiny-tree crash unsuspected (and its task unreclaimed) forever.
+            kwargs.update(
+                heartbeat_period=detector_span / 50.0,
+                suspect_timeout=detector_span / 4.0,
+            )
+    return replace(base, **kwargs)
+
+
+@dataclass
+class _RunOutcome:
+    status: str  # "ok" | "violation" | "pruned" | "blocked"
+    controller: _ExplorerController
+    violation: Optional[Tuple[str, str, List[Dict[str, Any]]]] = None
+    final_fp: Optional[str] = None
+
+
+def _run_schedule(
+    tree: AssemblyTree,
+    nprocs: int,
+    mechanism: str,
+    config: SolverConfig,
+    forced: Sequence[ActionKey],
+    initial_sleep: FrozenSet[ActionKey],
+    *,
+    visited: Optional[Dict[str, List[FrozenSet[ActionKey]]]],
+    dpor: bool,
+    prune: bool,
+    depth_budget: Optional[int],
+    validate: bool = True,
+    coherence: bool = True,
+    controller: Optional[_ExplorerController] = None,
+) -> _RunOutcome:
+    if controller is None:
+        controller = _ExplorerController(
+            forced,
+            initial_sleep,
+            visited=visited,
+            dpor=dpor,
+            prune=prune,
+            depth_budget=depth_budget,
+        )
+    try:
+        result = run_factorization(
+            tree, nprocs, mechanism, config=config, controller=controller
+        )
+    except _PrunedRun:
+        return _RunOutcome("pruned", controller)
+    except _SleepBlocked:
+        return _RunOutcome("blocked", controller)
+    except (
+        CausalityViolation,
+        UnknownMessageError,
+        SimulationDeadlock,
+        SimulationLimitExceeded,
+        ProtocolError,
+    ) as exc:
+        return _RunOutcome("violation", controller, _violation_from_exc(exc))
+    failure = _check_completed_run(
+        result, controller, tree, config, mechanism,
+        validate=validate, coherence=coherence,
+    )
+    if failure is not None:
+        return _RunOutcome("violation", controller, failure)
+    return _RunOutcome("ok", controller, final_fp=controller.fingerprint())
+
+
+def minimize_schedule(
+    schedule: List[ActionKey],
+    still_fails: "Any",
+) -> List[ActionKey]:
+    """Greedy minimization: drop trailing choices, then revert each forced
+    choice to the default, keeping every change under which the violation
+    still reproduces.  ``still_fails(schedule) -> bool`` re-runs a candidate.
+    """
+    current = list(schedule)
+    # 1. trim the suffix as far as possible
+    lo, hi = 0, len(current)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if still_fails(current[:mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    current = current[:hi]
+    # 2. greedily drop individual choices (replay re-defaults the gap)
+    i = len(current) - 1
+    while i >= 0:
+        candidate = current[:i] + current[i + 1:]
+        if still_fails(candidate):
+            current = candidate
+        i -= 1
+    return current
+
+
+def explore_mechanism(
+    mechanism: str,
+    nprocs: int,
+    *,
+    tree: Optional[AssemblyTree] = None,
+    config: Optional[SolverConfig] = None,
+    seed: int = 0,
+    depth_budget: int = 64,
+    max_runs: int = 20_000,
+    dpor: bool = True,
+    prune: bool = True,
+    probes: bool = True,
+    stop_on_violation: bool = True,
+    minimize: bool = True,
+    validate: bool = True,
+    crash_rank: Optional[int] = None,
+    crash_points: int = 4,
+    crash_restart_after: Optional[float] = None,
+) -> ExploreReport:
+    """Explore the interleavings of one mechanism at one process count.
+
+    Returns an :class:`ExploreReport`; ``report.complete`` is True when the
+    DFS frontier drained within ``max_runs``/``depth_budget`` — exhaustive
+    in the visited-set sense.  With ``crash_rank`` set, the baseline
+    schedule's branch-point times additionally seed ``crash_points``
+    crash-with-restart fault plans, each explored under relaxed oracles
+    (crash runs legitimately re-decide, and restarts lose view history, so
+    only closure/liveness are checked).
+    """
+    mechanism_class(mechanism)  # fail fast on unknown names
+    tree = tree if tree is not None else tiny_tree()
+    run_config = _explore_config(config, seed)
+
+    report = ExploreReport(mechanism=mechanism, nprocs=nprocs, problem=tree.name)
+    visited: Dict[str, List[FrozenSet[ActionKey]]] = {}
+
+    def still_fails(schedule: List[ActionKey]) -> bool:
+        try:
+            outcome = _run_schedule(
+                tree, nprocs, mechanism, run_config, schedule, frozenset(),
+                visited=None, dpor=False, prune=False, depth_budget=None,
+                validate=validate,
+            )
+        except ScheduleDivergence:
+            return False
+        return outcome.status == "violation"
+
+    def record_violation(
+        controller: _ExplorerController,
+        failure: Tuple[str, str, List[Dict[str, Any]]],
+    ) -> None:
+        schedule = [c.chosen for c in controller.choices]
+        minimized = False
+        if minimize:
+            schedule = minimize_schedule(schedule, still_fails)
+            minimized = True
+        invariant, detail, trace = failure
+        report.violations.append(
+            Violation(
+                invariant=invariant,
+                detail=detail,
+                trace=trace,
+                schedule=schedule,
+                mechanism=mechanism,
+                nprocs=nprocs,
+                problem=tree.name,
+                seed=seed,
+                minimized=minimized,
+            )
+        )
+
+    # ------------------------------------------------- link-starvation probes
+    # One cheap directed run per (src, dst, channel) link before the DFS:
+    # racing message pairs live deep in the DFS order but on the surface of
+    # the starvation probes.
+    if probes:
+        for src in range(nprocs):
+            for dst in range(nprocs):
+                if src == dst:
+                    continue
+                for channel in (0, 1):
+                    starved: ActionKey = ("d", src, dst, channel)
+                    probe = _StarveController(starved)
+                    outcome = _run_schedule(
+                        tree, nprocs, mechanism, run_config, [], frozenset(),
+                        visited=None, dpor=False, prune=False,
+                        depth_budget=None, validate=validate,
+                        controller=probe,
+                    )
+                    report.runs += 1
+                    report.probe_runs += 1
+                    if outcome.status == "violation":
+                        assert outcome.violation is not None
+                        record_violation(outcome.controller, outcome.violation)
+                        if stop_on_violation:
+                            report.states = len(visited)
+                            return report
+
+    stack: List[Tuple[Tuple[ActionKey, ...], FrozenSet[ActionKey]]] = [
+        ((), frozenset())
+    ]
+    complete = True
+    while stack:
+        if report.runs >= max_runs:
+            complete = False
+            break
+        prefix, sleep0 = stack.pop()
+        try:
+            outcome = _run_schedule(
+                tree, nprocs, mechanism, run_config, list(prefix), sleep0,
+                visited=visited, dpor=dpor, prune=prune,
+                depth_budget=depth_budget, validate=validate,
+            )
+        except ScheduleDivergence:
+            # A sibling whose branch point evaporated under budget replay;
+            # treat as covered.
+            report.runs += 1
+            continue
+        report.runs += 1
+        controller = outcome.controller
+        if controller.budget_hit:
+            report.budget_hits += 1
+            complete = False
+        if outcome.status == "pruned":
+            report.pruned += 1
+        elif outcome.status == "blocked":
+            report.sleep_blocked += 1
+        elif outcome.status == "violation":
+            assert outcome.violation is not None
+            record_violation(controller, outcome.violation)
+            if stop_on_violation:
+                complete = False
+                break
+        elif outcome.final_fp is not None:
+            report.final_states.add(outcome.final_fp)
+        # Push the siblings of every newly discovered branch point; LIFO
+        # order continues the DFS down the deepest node first.
+        run_choices = [c.chosen for c in controller.choices]
+        for node in controller.new_nodes:
+            base = tuple(run_choices[: node.index])
+            earlier: List[ActionKey] = []
+            for key in node.available:
+                if key == node.chosen:
+                    earlier.append(key)
+                    continue
+                sibling_sleep = frozenset(
+                    a
+                    for a in set(node.sleep) | set(earlier)
+                    if independent(a, key)
+                )
+                stack.append((base + (key,), sibling_sleep))
+                earlier.append(key)
+    report.states = len(visited)
+    report.complete = complete and not report.violations
+
+    # ---------------------------------------------------- crash-point plans
+    if crash_rank is not None and not report.violations:
+        baseline = _ExplorerController((), frozenset())
+        span = None
+        try:
+            baseline_result = run_factorization(
+                tree, nprocs, mechanism, config=run_config, controller=baseline
+            )
+            span = baseline_result.factorization_time
+        except SimulationError:
+            pass
+        times = sorted({c.time for c in baseline.choices if c.time > 0.0})
+        if times and span:
+            step = max(1, len(times) // max(crash_points, 1))
+            sampled = times[::step][:crash_points]
+            restart = (
+                crash_restart_after
+                if crash_restart_after is not None
+                else span * 0.5
+            )
+            plans = crash_plans(crash_rank, sampled, restart_after=restart)
+            report.crash_plans = len(plans)
+            for plan in plans:
+                crash_config = _explore_config(
+                    config, seed, sanitize=False, fault_plan=plan,
+                    detector_span=span,
+                )
+                outcome = _run_schedule(
+                    tree, nprocs, mechanism, crash_config, [], frozenset(),
+                    visited=None, dpor=False, prune=False,
+                    depth_budget=depth_budget, validate=False, coherence=False,
+                )
+                report.runs += 1
+                if outcome.status == "violation":
+                    assert outcome.violation is not None
+                    invariant, detail, trace = outcome.violation
+                    report.violations.append(
+                        Violation(
+                            invariant=invariant,
+                            detail=f"[crash plan {plan.describe()}] {detail}",
+                            trace=trace,
+                            schedule=[
+                                c.chosen for c in outcome.controller.choices
+                            ],
+                            mechanism=mechanism,
+                            nprocs=nprocs,
+                            problem=tree.name,
+                            seed=seed,
+                        )
+                    )
+                    if stop_on_violation:
+                        break
+    return report
+
+
+# --------------------------------------------------------------------------
+# counterexample replay
+
+
+def _schedule_from_json(raw: Sequence[Sequence[Any]]) -> List[ActionKey]:
+    return [tuple(entry) for entry in raw]
+
+
+def replay_counterexample(
+    ce: Dict[str, Any],
+    *,
+    tree: Optional[AssemblyTree] = None,
+    config: Optional[SolverConfig] = None,
+) -> Optional[Violation]:
+    """Re-run a counterexample dict; returns the reproduced violation or None.
+
+    ``ce`` is a :meth:`Violation.to_dict` payload (possibly loaded from the
+    JSON artifact the CLI writes).  Mutant mechanisms referenced by the
+    counterexample are installed on demand.
+    """
+    mechanism = ce["mechanism"]
+    if mechanism == "nc_increments":
+        from .mutants import install_mutants
+
+        install_mutants()
+    nprocs = int(ce["nprocs"])
+    seed = int(ce.get("seed", 0))
+    schedule = _schedule_from_json(ce["schedule"])
+    if tree is None:
+        # Reconstruct the recorded problem when it is one of ours.
+        tree = tiny_tree(levels=1 if ce.get("problem") == "tiny1" else 2)
+    run_config = _explore_config(config, seed)
+    try:
+        outcome = _run_schedule(
+            tree, nprocs, mechanism, run_config, schedule, frozenset(),
+            visited=None, dpor=False, prune=False, depth_budget=None,
+        )
+    except ScheduleDivergence as exc:
+        return Violation(
+            invariant="replay_divergence",
+            detail=str(exc),
+            trace=[],
+            schedule=schedule,
+            mechanism=mechanism,
+            nprocs=nprocs,
+            problem=tree.name,
+            seed=seed,
+        )
+    if outcome.status != "violation":
+        return None
+    assert outcome.violation is not None
+    invariant, detail, trace = outcome.violation
+    return Violation(
+        invariant=invariant,
+        detail=detail,
+        trace=trace,
+        schedule=schedule,
+        mechanism=mechanism,
+        nprocs=nprocs,
+        problem=tree.name,
+        seed=seed,
+    )
+
+
+def load_counterexample(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return dict(json.load(fh))

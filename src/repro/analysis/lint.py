@@ -40,9 +40,34 @@ are banned statically:
     recorder, ``repro.obs`` metrics, or the ``debug_state`` dumps that the
     engine prints only on failure.
 
+``RPA006``
+    Blocking call (``time.sleep``, synchronous socket I/O, ``subprocess``,
+    ``os.system``) inside an ``async def`` in the asyncio backend packages.
+    A blocking call stalls the whole event loop — every simulated process
+    at once — and turns latency bugs into heisenbugs; use the ``await``-able
+    equivalent (``asyncio.sleep``, reader/writer streams, executors).
+
+``RPA007``
+    Shared mutable attribute read before an ``await`` and written after it
+    in the same ``async def`` without holding a lock (no enclosing
+    ``async with``) and without an ``# ordering:`` comment.  The await is a
+    yield point: another task can interleave and the read is stale by the
+    time of the write (lost update).  Either hold a lock across the
+    critical section or document the ordering argument on the write line.
+
+``RPA008``
+    Calling a locally-defined coroutine function as a bare statement
+    without ``await`` / ``asyncio.create_task`` / ``ensure_future``.  The
+    call just builds a coroutine object and discards it — the body never
+    runs, which Python only reports as a runtime warning that a busy event
+    loop easily swallows.
+
 Suppression: append ``# rpa: noqa`` (all rules) or ``# rpa: noqa[RPA003]``
-(specific rules, comma-separated) to the offending line.  Run as
-``python -m repro.analysis lint`` (``--json`` for machine-readable output).
+(specific rules, comma-separated) to the offending line.  Suppressions must
+pull their weight: a ``noqa`` comment on a line with no matching finding is
+itself reported (``RPA009``, not suppressible) so stale escapes cannot
+accumulate.  Run as ``python -m repro.analysis lint`` (``--json`` for
+machine-readable output).
 """
 
 from __future__ import annotations
@@ -60,6 +85,10 @@ RULES: Dict[str, str] = {
     "RPA003": "set iteration order reaches message sends / scheduled events",
     "RPA004": "mutable default argument",
     "RPA005": "print()/logging in the simulation hot path (use trace/obs metrics)",
+    "RPA006": "blocking call inside async def (stalls the event loop)",
+    "RPA007": "attribute read before an await and written after it without a lock",
+    "RPA008": "coroutine called as a bare statement (never awaited, never runs)",
+    "RPA009": "stale `# rpa: noqa` suppression (no matching finding on the line)",
 }
 
 #: Top-level ``src/repro`` sub-packages that constitute *simulation logic*
@@ -73,6 +102,10 @@ WALLCLOCK_EXEMPT_PACKAGES: Tuple[str, ...] = ("experiments",)
 #: console I/O would dominate the simulated work.  Reporting layers print
 #: on purpose and are out of scope.
 HOT_PATH_PACKAGES: Tuple[str, ...] = ("simcore", "mechanisms", "solver")
+
+#: Top-level ``src/repro`` sub-packages that host asyncio event-loop code:
+#: the RPA006/RPA007/RPA008 async-safety rules apply only there.
+ASYNC_PACKAGES: Tuple[str, ...] = ("backends",)
 
 #: ``random``-module functions that mutate/read the hidden global state.
 _GLOBAL_RANDOM_FUNCS: Set[str] = {
@@ -113,6 +146,28 @@ _LOGGERISH: Set[str] = {"logging", "logger", "log", "_logger", "_log"}
 
 _NOQA_RE = re.compile(r"#\s*rpa:\s*noqa(?:\[([A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
+#: Dotted call chains that block the thread, banned in ``async def`` bodies
+#: (RPA006) unless awaited (which they never legitimately are).
+_BLOCKING_CALLS: Set[str] = {
+    "time.sleep",
+    "os.system",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen.wait",
+}
+
+#: Method names that block when invoked on a raw socket / file object.
+#: Only flagged when the call is NOT awaited — ``await reader.read(...)``
+#: and ``await loop.sock_recv(...)`` are the sanctioned forms.
+_BLOCKING_METHODS: Set[str] = {
+    "recv", "recv_into", "recvfrom", "accept", "sendall",
+}
+
+#: Call names that legitimately consume a coroutine object (RPA008).
+_COROUTINE_SINKS: Set[str] = {
+    "create_task", "ensure_future", "gather", "run", "wait_for",
+    "run_until_complete", "shield", "as_completed", "run_coroutine_threadsafe",
+}
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -145,6 +200,28 @@ def _noqa_codes(source_line: str) -> Optional[Set[str]]:
     if m.group(1) is None:
         return set()
     return {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+
+
+def _noqa_comments(source: str) -> Dict[int, Set[str]]:
+    """Line -> suppressed codes for every real ``# rpa: noqa`` COMMENT token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps mentions of the
+    escape hatch inside strings and docstrings — like the one in this
+    module's own docstring — from being treated as suppressions.
+    """
+    import io
+    import tokenize
+
+    out: Dict[int, Set[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                codes = _noqa_codes(tok.string)
+                if codes is not None:
+                    out[tok.start[0]] = codes
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # unterminated source: ast.parse will have raised already
+    return out
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -293,6 +370,172 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _own_nodes(fn: ast.AST) -> "List[ast.AST]":
+    """Walk ``fn``'s body excluding nested function/class definitions."""
+    out: List[ast.AST] = []
+
+    def rec(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            out.append(child)
+            rec(child)
+
+    rec(fn)
+    return out
+
+
+def _lockish(expr: ast.AST) -> bool:
+    name = _dotted(expr.func if isinstance(expr, ast.Call) else expr) or ""
+    low = name.lower()
+    return any(w in low for w in ("lock", "mutex", "sem", "condition"))
+
+
+class _AsyncVisitor(ast.NodeVisitor):
+    """RPA006/007/008: async-safety rules for event-loop packages."""
+
+    def __init__(
+        self, path: str, coro_names: Set[str], lines: Sequence[str]
+    ) -> None:
+        self.path = path
+        self.coro_names = coro_names
+        self.lines = lines
+        self.findings: List[LintFinding] = []
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    def _line_has_ordering_note(self, lineno: int) -> bool:
+        if 0 < lineno <= len(self.lines):
+            line = self.lines[lineno - 1]
+            return "#" in line and "ordering" in line.split("#", 1)[1].lower()
+        return False
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        own = _own_nodes(node)
+        awaited = {
+            id(n.value) for n in own
+            if isinstance(n, ast.Await) and isinstance(n.value, ast.Call)
+        }
+        sunk: Set[int] = set()
+        for n in own:
+            if isinstance(n, ast.Call):
+                fname = _dotted(n.func)
+                if fname and fname.split(".")[-1] in _COROUTINE_SINKS:
+                    sunk.update(id(a) for a in n.args if isinstance(a, ast.Call))
+
+        # ------------------------------------------------------------ RPA006
+        for n in own:
+            if not isinstance(n, ast.Call) or id(n) in awaited:
+                continue
+            name = _dotted(n.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            tail2 = ".".join(parts[-2:])
+            if tail2 in _BLOCKING_CALLS:
+                self._add(
+                    n, "RPA006",
+                    f"`{name}(...)` blocks the event loop inside `async def "
+                    f"{node.name}`; use the awaitable equivalent "
+                    "(asyncio.sleep, streams, run_in_executor)",
+                )
+            elif len(parts) >= 2 and parts[-1] in _BLOCKING_METHODS:
+                self._add(
+                    n, "RPA006",
+                    f"`{name}(...)` is synchronous socket I/O inside `async "
+                    f"def {node.name}`; use reader/writer streams or "
+                    "loop.sock_* coroutines",
+                )
+
+        # ------------------------------------------------------------ RPA008
+        for n in own:
+            if not (isinstance(n, ast.Expr) and isinstance(n.value, ast.Call)):
+                continue
+            call = n.value
+            if id(call) in awaited or id(call) in sunk:
+                continue
+            fname = _dotted(call.func)
+            if fname and fname.split(".")[-1] in self.coro_names:
+                self._add(
+                    call, "RPA008",
+                    f"`{fname}(...)` builds a coroutine and discards it — "
+                    "the body never runs; await it or hand it to "
+                    "asyncio.create_task/ensure_future",
+                )
+
+        # ------------------------------------------------------------ RPA007
+        self._check_cross_await_mutation(node)
+        self.generic_visit(node)
+
+    def _check_cross_await_mutation(self, fn: ast.AsyncFunctionDef) -> None:
+        await_lines = sorted(
+            n.lineno for n in _own_nodes(fn) if isinstance(n, ast.Await)
+        )
+        if not await_lines:
+            return
+
+        # Attribute loads/stores on `self.X` / `shared.X`-style receivers,
+        # with stores inside a lock-holding `with` block exempted.
+        reads: Dict[str, int] = {}
+        writes: List[Tuple[str, ast.AST]] = []
+
+        def rec(node: ast.AST, locked: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                     ast.Lambda),
+                ):
+                    continue
+                child_locked = locked
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    if any(_lockish(item.context_expr) for item in child.items):
+                        child_locked = True
+                if isinstance(child, ast.Attribute):
+                    target = _dotted(child)
+                    if target is not None and "." in target:
+                        if isinstance(child.ctx, ast.Load):
+                            prev = reads.get(target)
+                            if prev is None or child.lineno < prev:
+                                reads[target] = child.lineno
+                        elif not child_locked:
+                            writes.append((target, child))
+                rec(child, child_locked)
+
+        rec(fn, False)
+        flagged: Set[str] = set()
+        for target, node in writes:
+            first_read = reads.get(target)
+            if first_read is None or target in flagged:
+                continue
+            lineno = getattr(node, "lineno", 0)
+            crosses = any(first_read <= a <= lineno for a in await_lines)
+            if not crosses:
+                continue
+            if self._line_has_ordering_note(lineno):
+                continue
+            flagged.add(target)
+            self._add(
+                node, "RPA007",
+                f"`{target}` is read before an await and written after it "
+                f"in `async def {fn.name}`; another task can interleave at "
+                "the await (lost update) — hold a lock across the section "
+                "or justify with an `# ordering: ...` comment on this line",
+            )
+
+
 def _is_simulation_file(path: Path, root: Path) -> bool:
     """RPA002 scope: under ``root`` but not in an exempt top-level package."""
     try:
@@ -311,22 +554,60 @@ def _is_hot_path_file(path: Path, root: Path) -> bool:
     return bool(rel.parts) and rel.parts[0] in HOT_PATH_PACKAGES
 
 
+def _is_async_file(path: Path, root: Path) -> bool:
+    """RPA006-008 scope: only files inside an event-loop package."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return False
+    return bool(rel.parts) and rel.parts[0] in ASYNC_PACKAGES
+
+
 def lint_source(
     source: str, path: str, *, is_simulation: bool = True,
-    is_hot_path: bool = False
+    is_hot_path: bool = False, is_async_pkg: bool = False,
+    audit_noqa: bool = True,
 ) -> List[LintFinding]:
     """Lint one source text; ``path`` is used only for reporting."""
     tree = ast.parse(source, filename=path)
     visitor = _Visitor(path, is_simulation, is_hot_path)
     visitor.visit(tree)
+    findings = list(visitor.findings)
     lines = source.splitlines()
+    if is_async_pkg:
+        coro_names = {
+            n.name for n in ast.walk(tree)
+            if isinstance(n, ast.AsyncFunctionDef)
+        }
+        async_visitor = _AsyncVisitor(path, coro_names, lines)
+        async_visitor.visit(tree)
+        findings.extend(async_visitor.findings)
+    noqa = _noqa_comments(source)
     kept: List[LintFinding] = []
-    for f in visitor.findings:
-        line = lines[f.line - 1] if 0 < f.line <= len(lines) else ""
-        suppressed = _noqa_codes(line)
+    used_lines: Set[int] = set()
+    for f in findings:
+        suppressed = noqa.get(f.line)
         if suppressed is not None and (not suppressed or f.code in suppressed):
+            used_lines.add(f.line)
             continue
         kept.append(f)
+    if audit_noqa:
+        # Unused-suppression audit: every noqa must suppress something real.
+        # RPA009 is deliberately not itself suppressible.
+        for lineno in sorted(set(noqa) - used_lines):
+            codes = noqa[lineno]
+            label = f"[{', '.join(sorted(codes))}]" if codes else ""
+            kept.append(
+                LintFinding(
+                    path=path,
+                    line=lineno,
+                    col=1,
+                    code="RPA009",
+                    message=f"stale `# rpa: noqa{label}` — no matching "
+                            "finding on this line; remove the escape",
+                )
+            )
+    kept.sort(key=lambda f: (f.line, f.col, f.code))
     return kept
 
 
@@ -348,6 +629,7 @@ def lint_paths(paths: Iterable[Path], *, root: Optional[Path] = None) -> List[Li
                 str(file),
                 is_simulation=_is_simulation_file(file, scope_root),
                 is_hot_path=_is_hot_path_file(file, scope_root),
+                is_async_pkg=_is_async_file(file, scope_root),
             )
         )
     return findings

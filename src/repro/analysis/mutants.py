@@ -1,0 +1,79 @@
+"""Seeded-bug fixture mechanisms for the interleaving explorer.
+
+These mutants exist to prove (in tests and CI) that
+:mod:`repro.analysis.explore` finds real ordering bugs that every
+single-schedule test misses.  Each mutant is *correct on the default
+schedule* — it passes the full conformance/validation path when messages
+arrive in global timestamp order — and wrong only under a reordering the
+explorer is allowed to produce.
+
+:class:`NonCommutativeIncrements` applies increment updates
+non-commutatively: it assumes that a completion report (negative
+``UpdateIncrement``) *sent after* a reservation broadcast supersedes that
+broadcast's share for the reporting rank, and therefore skips the share.
+On the default schedule the assumption holds vacuously — a later send is
+always a later delivery — so behaviour is identical to the parent
+mechanism.  Once a third process is involved, however, the two messages
+travel on *different* FIFO links and commute: the explorer can deliver the
+completion first, the mutant drops the reservation share, and the
+observer's view of the reporting rank ends up a full share below the
+truth — caught by the explorer's quiescent view-coherence oracle.
+
+Mutants are not registered at import time; call :func:`install_mutants`
+(idempotent) so ordinary mechanism listings never advertise them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..mechanisms.base import MechanismConfig
+from ..mechanisms.increments import IncrementsMechanism
+from ..mechanisms.messages import MasterToAll, UpdateIncrement
+from ..mechanisms.registry import register_mechanism
+from ..simcore.network import Envelope
+
+
+class NonCommutativeIncrements(IncrementsMechanism):
+    """Increments that mistake send order for delivery order (seeded bug)."""
+
+    name = "nc_increments"
+
+    def __init__(self, config: Optional[MechanismConfig] = None) -> None:
+        super().__init__(config)
+        # Send times of the last *negative* update per reporting rank.
+        # Deliberately not clock-suffix-named: this is schedule-relevant
+        # logical state and must be part of the exploration fingerprint.
+        self._neg_report_order: Dict[int, float] = {}
+
+    def _on_update_increment(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, UpdateIncrement)
+        if payload.delta.workload < 0.0:
+            self._neg_report_order[env.src] = env.send_time
+        super()._on_update_increment(env)
+
+    def _on_master_to_all(self, env: Envelope) -> None:
+        payload = env.payload
+        assert isinstance(payload, MasterToAll)
+        self._note_reservation_lag(env.send_time)
+        kept = {
+            rank: share
+            for rank, share in payload.assignments.items()
+            # BUG (deliberate): a completion report sent after this
+            # reservation does NOT supersede it — the two messages travel
+            # on different links and may be delivered in either order.
+            if not (
+                rank != self.rank
+                and self._neg_report_order.get(rank, float("-inf"))
+                > env.send_time
+            )
+        }
+        self._apply_master_to_all(
+            kept, master=env.src, decision=payload.decision
+        )
+
+
+def install_mutants() -> None:
+    """Register every mutant mechanism (idempotent)."""
+    register_mechanism(NonCommutativeIncrements)

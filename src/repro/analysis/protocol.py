@@ -27,7 +27,18 @@ Findings (each one a CI failure):
 ``unknown-type``     a handler table keys a class that is not in any
                      catalogue (typo, or an unexported message);
 ``dead-type``        a catalogue type no scanned code ever constructs —
-                     either dead wire format or a forgotten emitter.
+                     either dead wire format or a forgotten emitter;
+``unencodable``      a mechanism catalogue type with no ``_codec``
+                     registration in ``backends/wire.py`` — it would cross
+                     the DES network fine and then crash the socket backend
+                     at the first real send.
+
+The solver catalogue is additionally checked for *totality* against
+``SolverProcess.DATA_HANDLERS``: every DATA-channel type — including the
+task-recovery triple (``SlaveDoneMsg`` / ``RevokeTaskMsg`` /
+``RevokeAckMsg``) — must have a dispatch entry whether or not the scanned
+code currently emits it, so a newly catalogued message can never silently
+bypass dispatch.
 
 ``Sequenced`` is special-cased as the resilience *transport wrapper*: it is
 emitted but never dispatched (``handle_message`` unwraps it before the
@@ -116,6 +127,22 @@ def scan_catalogue(path: Path) -> Set[str]:
             ):
                 out.add(node.name)
                 break
+    return out
+
+
+def scan_wire_codecs(path: Path) -> Set[str]:
+    """Payload class names registered with ``_codec(Cls, enc, dec)``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and _last(node.func) == "_codec"
+            and node.args
+        ):
+            cname = _last(node.args[0])
+            if cname is not None:
+                out.add(cname)
     return out
 
 
@@ -285,12 +312,15 @@ def check_protocol(
     src_root: Path,
     *,
     extra_mechanism_files: Iterable[Path] = (),
+    extra_solver_files: Iterable[Path] = (),
 ) -> List[ProtocolFinding]:
     """Cross-check the repository's protocols; empty list = closed.
 
     ``src_root`` is the path to the ``repro`` package.
-    ``extra_mechanism_files`` join the mechanism class graph — used by the
-    tests to prove that a deliberately incomplete mechanism is caught.
+    ``extra_mechanism_files`` / ``extra_solver_files`` join the respective
+    class graphs *after* the real sources (so a fixture class shadows its
+    namesake) — used by the tests to prove that a deliberately incomplete
+    mechanism or solver process is caught.
     """
     findings: List[ProtocolFinding] = []
 
@@ -309,8 +339,10 @@ def check_protocol(
     )
 
     solver_catalogue = scan_catalogue(src_root / "solver" / "messages.py")
+    solver_files = sorted((src_root / "solver").glob("*.py"))
+    solver_files.extend(extra_solver_files)
     solver_infos: List[_ClassInfo] = []
-    for f in sorted((src_root / "solver").glob("*.py")):
+    for f in solver_files:
         if f.name == "messages.py":
             continue
         solver_infos.extend(_scan_classes(f, solver_catalogue))
@@ -330,6 +362,25 @@ def check_protocol(
                     "SolverProcess",
                     f"solver catalogue type {ptype} has no DATA_HANDLERS "
                     "entry",
+                )
+            )
+    # Every mechanism (STATE-channel) type must also survive the socket
+    # backend: cross-check the catalogue against the wire codec table.
+    # ``Sequenced`` is encoded structurally (unwrapped by encode_payload),
+    # so the transport wrappers are exempt here too.
+    wire_path = src_root / "backends" / "wire.py"
+    if wire_path.exists():
+        coded = scan_wire_codecs(wire_path)
+        for ptype in sorted(mech_catalogue - coded):
+            if ptype in TRANSPORT_WRAPPERS:
+                continue
+            findings.append(
+                ProtocolFinding(
+                    "unencodable",
+                    ptype,
+                    "mechanism catalogue type has no _codec registration in "
+                    "backends/wire.py — the socket backend cannot carry it",
+                    path=str(wire_path),
                 )
             )
     return findings

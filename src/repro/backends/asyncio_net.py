@@ -31,12 +31,12 @@ from __future__ import annotations
 import asyncio
 import random
 import time as _time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..faults.plan import FaultPlan
 from ..mechanisms.base import Mechanism, MechanismShared
 from ..mechanisms.registry import create_mechanism
-from ..mechanisms.view import Load
+from ..mechanisms.view import Load, LoadView
 from ..simcore.network import Channel, Envelope, MessageStats, Payload
 from ..simcore.rng import RngHub
 from . import wire
@@ -96,7 +96,12 @@ class AsyncClock:
         return self._t0 + virtual_time * self.time_scale
 
     def schedule(
-        self, delay: float, callback, *, priority: int = 0, label: str = ""
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
     ) -> asyncio.TimerHandle:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r} for timer {label!r}")
@@ -213,7 +218,7 @@ class AsyncTransport:
         payload: Payload,
         *,
         size: Optional[int] = None,
-        exclude=(),
+        exclude: Iterable[int] = (),
     ) -> int:
         skip = set(exclude)
         skip.add(src)
@@ -735,9 +740,13 @@ class AsyncioBackend(Backend):
             while mechanism.blocks_tasks():
                 host.wake.clear()
                 await host.wake.wait()
-            done: asyncio.Future = loop.create_future()
+            done: "asyncio.Future[None]" = loop.create_future()
 
-            def callback(view, ev=ev, done=done) -> None:
+            def callback(
+                view: LoadView,
+                ev: DecisionEvent = ev,
+                done: "asyncio.Future[None]" = done,
+            ) -> None:
                 mechanism.record_decision(ev.shares_as_loads())
                 if ev.declare:
                     mechanism.declare_no_more_master()

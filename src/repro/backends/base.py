@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Type
+from typing import Any, Dict, List, Tuple, Type
 
 from .script import WorkloadScript
 
@@ -90,7 +90,7 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def create_backend(name: str, **kwargs) -> Backend:
+def create_backend(name: str, **kwargs: Any) -> Backend:
     _ensure_loaded()
     cls = _REGISTRY.get(name)
     if cls is None:

@@ -27,7 +27,7 @@ from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..mechanisms.base import Mechanism, MechanismShared, SnapshotStats
 from ..mechanisms.registry import create_mechanism
-from ..mechanisms.view import Load
+from ..mechanisms.view import Load, LoadView
 from ..simcore.engine import Simulator
 from ..simcore.errors import ProtocolError
 from ..simcore.network import Envelope, Network, NetworkConfig
@@ -121,7 +121,7 @@ class _RankDriver:
         self._issue_decision(ev)
 
     def _issue_decision(self, ev: DecisionEvent) -> None:
-        def callback(view) -> None:
+        def callback(view: LoadView) -> None:
             self._mech.record_decision(ev.shares_as_loads())
             if ev.declare:
                 # No-op under the replay config (no_more_master=False);

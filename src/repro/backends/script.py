@@ -81,7 +81,7 @@ class DecisionEvent:
 RankEvent = Union[ReportEvent, DecisionEvent]
 
 
-def _event_from_list(obj: list) -> RankEvent:
+def _event_from_list(obj: List[Any]) -> RankEvent:
     kind = obj[0]
     if kind == "r":
         return ReportEvent(float(obj[1]), float(obj[2]), float(obj[3]), bool(obj[4]))

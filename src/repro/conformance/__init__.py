@@ -81,12 +81,17 @@ import json
 import math
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..backends.base import BackendRunResult, create_backend
 from ..backends.script import ScriptRecorder, WorkloadScript
 from ..faults.plan import FaultPlan
 from ..mechanisms.registry import available_mechanisms
+from ..symbolic.tree import AssemblyTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.explore import Violation
+    from ..solver.driver import SolverConfig
 
 #: Absolute slack of the count tolerance (covers one-off end effects).
 TOLERANCE_FLOOR = 8
@@ -254,12 +259,12 @@ class ConformanceReport:
 
 
 def record_script(
-    tree,
+    tree: AssemblyTree,
     nprocs: int,
     mechanism: str,
     *,
     strategy: str = "workload",
-    config=None,
+    config: Optional["SolverConfig"] = None,
 ) -> Tuple[WorkloadScript, bool, List[str]]:
     """Run the factorization once with a recorder; validate the source run.
 
@@ -299,7 +304,7 @@ def compare_results(
     ref_name = "des" if "des" in results else names[0]
     ref = results[ref_name]
 
-    def diverge(check: str, detail: str, expected, actual) -> None:
+    def diverge(check: str, detail: str, expected: Any, actual: Any) -> None:
         out.append(Divergence(mech, check, detail, expected, actual))
 
     # Decisions: every backend replays exactly the scripted decisions.
@@ -389,12 +394,12 @@ def compare_results(
 
 
 def run_mechanism_conformance(
-    tree,
+    tree: AssemblyTree,
     nprocs: int,
     mechanism: str,
     *,
     backends: Sequence[str] = ("des", "asyncio"),
-    config=None,
+    config: Optional["SolverConfig"] = None,
     backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
     fault_plan: Optional[FaultPlan] = None,
 ) -> MechanismVerdict:
@@ -458,7 +463,7 @@ def run_mechanism_conformance(
     )
 
 
-def default_tree(shape: Tuple[int, int, int] = (10, 10, 4)):
+def default_tree(shape: Tuple[int, int, int] = (10, 10, 4)) -> AssemblyTree:
     """The conformance suite's small deterministic matrix."""
     from ..matrices import generators as gen
     from ..symbolic import analyze_matrix
@@ -474,7 +479,7 @@ def run_conformance(
     seed: int = 0,
     backends: Sequence[str] = ("des", "asyncio"),
     shape: Tuple[int, int, int] = (10, 10, 4),
-    config=None,
+    config: Optional["SolverConfig"] = None,
     backend_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
     fault_plan: Optional[FaultPlan] = None,
     out_path: Optional[str] = None,
@@ -513,6 +518,22 @@ def run_conformance(
     return report
 
 
+def replay_explored_schedule(path: str) -> Optional["Violation"]:
+    """Replay one explorer counterexample trace on the DES substrate.
+
+    Conformance-side entry point for the interleaving explorer
+    (:mod:`repro.analysis.explore`): load a counterexample JSON artifact —
+    the ``--counterexample`` output of ``python -m repro.analysis
+    explore`` — force its exact delivery schedule, and return the
+    re-confirmed :class:`~repro.analysis.explore.Violation` (or ``None``
+    when the trace no longer reproduces, e.g. after a fix).  This is how a
+    schedule found by model checking becomes a pinned regression input.
+    """
+    from ..analysis.explore import load_counterexample, replay_counterexample
+
+    return replay_counterexample(load_counterexample(path))
+
+
 __all__ = [
     "ALL_MECHANISMS",
     "ConformanceReport",
@@ -526,6 +547,7 @@ __all__ = [
     "compare_results",
     "default_tree",
     "record_script",
+    "replay_explored_schedule",
     "run_conformance",
     "run_mechanism_conformance",
     "tolerance_ok",

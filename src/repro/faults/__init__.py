@@ -24,6 +24,7 @@ from .plan import (
     ScriptedFault,
     SlowdownFault,
     StateLeakFault,
+    crash_plans,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "StateLeakFault",
     "FaultInjector",
     "FaultStats",
+    "crash_plans",
 ]

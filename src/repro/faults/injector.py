@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..simcore.network import Envelope
-from .plan import FaultPlan
+from .plan import CrashFault, FaultPlan, LinkFault, StateLeakFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.registry import MetricsRegistry
@@ -42,7 +42,7 @@ class FaultStats:
     restarts: int = 0
     slowdowns: int = 0
     leaks: int = 0
-    dropped_by_type: Counter = field(default_factory=Counter)
+    dropped_by_type: "Counter[str]" = field(default_factory=Counter)
 
     def total_faults(self) -> int:
         return self.dropped + self.duplicated + self.delayed
@@ -58,8 +58,8 @@ class FaultInjector:
         self._rng = sim.rng.stream(f"faults/{plan.seed_salt}")
         #: messages seen so far per scripted rule (index-aligned with plan.scripted)
         self._script_counts: List[int] = [0] * len(plan.scripted)
-        self._crashed: set = set()
-        self._ever_crashed: set = set()
+        self._crashed: Set[int] = set()
+        self._ever_crashed: Set[int] = set()
         #: Cumulative downtime per restarted rank (crash → restart spans).
         self.downtime_by_rank: Dict[int, float] = {}
         self._crash_started_at: Dict[int, float] = {}
@@ -118,7 +118,7 @@ class FaultInjector:
             return tuple(times)
         return (base,)
 
-    def _extra_delay(self, rule) -> float:
+    def _extra_delay(self, rule: LinkFault) -> float:
         extra = rule.delay
         if rule.delay_jitter > 0.0:
             extra += rule.delay_jitter * float(self._rng.random())
@@ -181,7 +181,7 @@ class FaultInjector:
                 label=f"fault:leak:P{lk.rank}",
             )
 
-    def _fire_leak(self, proc: "SimProcess", fault) -> None:
+    def _fire_leak(self, proc: "SimProcess", fault: StateLeakFault) -> None:
         from ..mechanisms.view import Load
 
         mech = getattr(proc, "mechanism", None)
@@ -202,7 +202,9 @@ class FaultInjector:
         mech.view.set(fault.entry_rank, Load(fault.workload, fault.memory))
         self._note_process_fault("leak")
 
-    def _fire_crash(self, proc: "SimProcess", fault=None) -> None:
+    def _fire_crash(
+        self, proc: "SimProcess", fault: Optional[CrashFault] = None
+    ) -> None:
         if proc.rank in self._crashed:
             return
         self._crashed.add(proc.rank)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..simcore.network import Channel
 
@@ -254,3 +254,22 @@ class FaultPlan:
             ),
             seed_salt=seed_salt,
         )
+
+
+def crash_plans(
+    rank: int,
+    times: "Sequence[float]",
+    *,
+    restart_after: float = 0.0,
+    seed_salt: int = 0,
+) -> "Tuple[FaultPlan, ...]":
+    """One single-crash plan per time point — the interleaving explorer's
+    crash-point branching enumerates the baseline schedule's choice times
+    through this helper (one plan = one 'what if P{rank} died right here')."""
+    return tuple(
+        FaultPlan(
+            crashes=(CrashFault(rank=rank, time=t, restart_after=restart_after),),
+            seed_salt=seed_salt,
+        )
+        for t in times
+    )

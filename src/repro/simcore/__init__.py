@@ -27,8 +27,10 @@ from .network import (
     NetworkConfig,
     Payload,
 )
+from .fingerprint import freeze, process_fingerprint, state_fingerprint
 from .process import SimProcess, Work
 from .rng import RngHub
+from .schedule import ActionKey, Choice, ScheduleController, ScheduleDivergence
 from .trace import TraceEntry, TraceRecorder
 
 __all__ = [
@@ -47,6 +49,13 @@ __all__ = [
     "SimProcess",
     "Work",
     "RunMonitor",
+    "ActionKey",
+    "Choice",
+    "ScheduleController",
+    "ScheduleDivergence",
+    "freeze",
+    "process_fingerprint",
+    "state_fingerprint",
     "RngHub",
     "TraceEntry",
     "TraceRecorder",

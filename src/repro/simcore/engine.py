@@ -16,12 +16,15 @@ The engine is deliberately minimal — all message-passing semantics live in
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from .errors import SimulationDeadlock, SimulationLimitExceeded
 from .events import Event, EventQueue, PRIORITY_NORMAL
 from .rng import RngHub
 from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .schedule import ScheduleController
 
 
 class Simulator:
@@ -56,6 +59,11 @@ class Simulator:
         self.max_events = int(max_events)
         self.max_time = float(max_time)
         self.trace = trace
+        #: Optional schedule controller (repro.simcore.schedule): when
+        #: installed, every pop routes through it so a model checker can
+        #: pick among co-enabled events.  None keeps the uncontrolled
+        #: hot path untouched.
+        self.controller: Optional["ScheduleController"] = None
         self.events_executed = 0
         self._stopped = False
         self._stop_reason: Optional[str] = None
@@ -132,7 +140,7 @@ class Simulator:
         # run, so everything touched per event is bound to a local — and the
         # trace branch compares against a local None instead of two attribute
         # loads when no recorder is attached.
-        pop = self.queue.pop
+        pop = self.queue.pop if self.controller is None else self.controller.pop
         trace = self.trace
         max_events = self.max_events
         executed = self.events_executed

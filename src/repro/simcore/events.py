@@ -158,6 +158,31 @@ class EventQueue:
                 self._live -= 1
         return heap[0].time if heap else None
 
+    def take(self, event: Event) -> Event:
+        """Eagerly remove a specific live event from the queue.
+
+        Unlike :meth:`cancel` (lazy deletion), the event is physically
+        removed from the heap, so the caller may mutate ``event.time``
+        afterwards without corrupting the heap invariant — this is what the
+        schedule controller relies on to *time-warp* a chosen event up to
+        the current clock.  O(n): only used by the (cold) controlled path.
+        """
+        if event.cancelled or not event.counted:
+            raise ValueError(f"cannot take a dead event: {event!r}")
+        self._heap.remove(event)
+        heapq.heapify(self._heap)
+        event.counted = False
+        self._live -= 1
+        return event
+
+    def live_events(self) -> "list[Event]":
+        """All live (non-cancelled, still-queued) events, unordered.
+
+        Used by the schedule controller to enumerate co-enabled choices;
+        never called on the uncontrolled hot path.
+        """
+        return [ev for ev in self._heap if ev.counted and not ev.cancelled]
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event (idempotent).
 

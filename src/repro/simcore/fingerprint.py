@@ -1,0 +1,195 @@
+"""Time-abstracted state fingerprints for visited-set pruning.
+
+The interleaving explorer (:mod:`repro.analysis.explore`) prunes a schedule
+as soon as it reaches a *logical* state some earlier schedule already
+covered.  Two interleavings that commute reach the same logical state at
+different simulated clocks, so the fingerprint must capture exactly the
+schedule-relevant state and nothing clock-valued:
+
+* the messages in flight, per link, in FIFO order (payload contents, not
+  timestamps or global sequence numbers);
+* each process's mailboxes, liveness flags, running-task label and
+  application state (solver queues, trackers, mechanism views, ...);
+* shared run state supplied by the caller (remaining work, decision log).
+
+Application state is frozen *generically*: objects are walked attribute by
+attribute with (a) infrastructure references (simulator, network, event
+handles, callbacks) skipped by type, (b) clock-valued attributes skipped by
+name convention (``*_time``, ``*_at``, ``*_until``, ``*_since``,
+``*_clock``, ``*timer*``), and (c) floats rounded to 12 significant digits
+so that the last-ulp noise of reordered-but-commuting float accumulations
+does not split equal states.  Components that store *logical* state under a
+clock-like name must expose it under a different name to be fingerprinted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Set, Tuple
+
+from collections import deque
+from enum import Enum
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Envelope
+    from .process import SimProcess
+    from .schedule import ScheduleController
+
+#: Classes (by name, anywhere in the MRO) whose instances are identity-only
+#: infrastructure: frozen as a bare class marker, never walked.
+_INFRA_CLASS_NAMES: Set[str] = {
+    "Simulator", "Network", "EventQueue", "Event", "RngHub", "TraceRecorder",
+    "SimProcess", "Mechanism", "MechanismShared", "RunState", "TruthTracker",
+    "DecisionLog", "FaultInjector", "CausalitySanitizer", "RunMonitor",
+    "ScheduleController", "MetricsRegistry", "ScriptRecorder",
+    "ViewAccuracyTracker", "StaticMapping", "AssemblyTree", "Generator",
+    "ScheduleExplorer",
+}
+
+#: Attribute-name suffixes that denote clock values (excluded, see module
+#: docstring).
+_CLOCK_SUFFIXES: Tuple[str, ...] = ("_time", "_at", "_until", "_since", "_clock")
+
+#: Exact attribute names excluded on top of the suffix rule.
+_EXCLUDED_NAMES: Set[str] = {"seq", "time", "deliver_time", "send_time"}
+
+_MAX_DEPTH = 8
+
+
+def _clock_named(name: str) -> bool:
+    return (
+        name in _EXCLUDED_NAMES
+        or name.endswith(_CLOCK_SUFFIXES)
+        or "timer" in name
+    )
+
+
+def _is_infra(value: Any) -> bool:
+    return any(c.__name__ in _INFRA_CLASS_NAMES for c in type(value).__mro__)
+
+
+def freeze(value: Any, _depth: int = 0, _memo: Optional[Set[int]] = None) -> Any:
+    """Deterministic hashable projection of ``value`` (see module docstring)."""
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.12g}")
+    if isinstance(value, Enum):
+        return (type(value).__name__, value.name)
+    if _depth >= _MAX_DEPTH:
+        return ("depth", type(value).__name__)
+    if _memo is None:
+        _memo = set()
+    if id(value) in _memo:
+        return ("cycle", type(value).__name__)
+    if isinstance(value, (list, tuple, deque)):
+        _memo.add(id(value))
+        out: Any = tuple(freeze(v, _depth + 1, _memo) for v in value)
+        _memo.discard(id(value))
+        return out
+    if isinstance(value, dict):
+        _memo.add(id(value))
+        items = sorted(
+            ((freeze(k, _depth + 1, _memo), freeze(v, _depth + 1, _memo))
+             for k, v in value.items()),
+            key=repr,
+        )
+        _memo.discard(id(value))
+        return ("dict",) + tuple(items)
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(
+            sorted((freeze(v, _depth + 1, _memo) for v in value), key=repr)
+        )
+    if hasattr(value, "tolist") and hasattr(value, "shape"):  # numpy array
+        return ("nd",) + tuple(
+            freeze(v, _depth + 1, _memo) for v in value.tolist()
+        )
+    if callable(value) and not hasattr(value, "__dict__"):
+        return ("fn", getattr(value, "__name__", "?"))
+    if _is_infra(value):
+        return ("ref", type(value).__name__)
+    attrs = getattr(value, "__dict__", None)
+    if attrs is None and hasattr(type(value), "__slots__"):
+        attrs = {
+            n: getattr(value, n)
+            for n in type(value).__slots__
+            if hasattr(value, n)
+        }
+    if attrs is not None:
+        _memo.add(id(value))
+        items = tuple(
+            (name, freeze(v, _depth + 1, _memo))
+            for name, v in sorted(attrs.items())
+            if not _clock_named(name) and not callable(v)
+        )
+        _memo.discard(id(value))
+        return (type(value).__name__,) + items
+    return ("opaque", type(value).__name__, repr(value))
+
+
+def _freeze_envelope(env: "Envelope") -> Any:
+    return (
+        env.src,
+        env.dst,
+        int(env.channel),
+        env.payload.type_name,
+        freeze(env.payload),
+    )
+
+
+def process_fingerprint(proc: "SimProcess") -> Any:
+    """Logical state of one process: mailboxes, flags, application attrs."""
+    cur = getattr(proc, "_current", None)
+    skip = {
+        "sim", "network", "monitor", "mechanism", "mapping", "tree",
+        "run_state", "truth", "decision_log", "view_accuracy", "recorder",
+        "mailbox_state", "mailbox_data", "_crash_buffer", "_current",
+        "_dispatch_event", "_poll_event", "on_done",
+    }
+    app = tuple(
+        (name, freeze(v))
+        for name, v in sorted(vars(proc).items())
+        if name not in skip and not _clock_named(name) and not callable(v)
+    )
+    mech = getattr(proc, "mechanism", None)
+    mech_fp: Any = None
+    if mech is not None:
+        mech_fp = tuple(
+            (name, freeze(v))
+            for name, v in sorted(vars(mech).items())
+            if name not in ("_sim", "sim", "_proc", "proc", "shared", "config",
+                            "detector")
+            and not _clock_named(name) and not callable(v)
+        )
+    return (
+        proc.rank,
+        proc.halted,
+        proc.crashed,
+        (cur.work.label, cur.paused) if cur is not None else None,
+        tuple(_freeze_envelope(e) for e in proc.mailbox_state),
+        tuple(_freeze_envelope(e) for e in proc.mailbox_data),
+        tuple(_freeze_envelope(e) for e in proc._crash_buffer),
+        app,
+        mech_fp,
+    )
+
+
+def state_fingerprint(
+    controller: "ScheduleController",
+    procs: Iterable["SimProcess"],
+    extra: Any = None,
+) -> str:
+    """Hex digest of the run's logical state at a quiescent point.
+
+    ``extra`` lets the caller fold in shared state the processes do not own
+    (e.g. remaining part count, sorted decision records).
+    """
+    parts = (
+        tuple(
+            (link, env.payload.type_name, freeze(env.payload))
+            for link, env in controller.in_flight()
+        ),
+        tuple(process_fingerprint(p) for p in procs),
+        freeze(extra),
+    )
+    return hashlib.sha1(repr(parts).encode()).hexdigest()

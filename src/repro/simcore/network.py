@@ -252,23 +252,28 @@ class Network:
         if self._monitor is not None:
             self._monitor.on_send(env)
         receiver = self.proc(dst)
+        controller = self.sim.controller
         if self._injector is not None:
             # The injector decides when (and whether, and how many times)
             # this envelope reaches the receiver.
             for when in self._injector.deliveries(env):
-                self.sim.schedule_at(
+                ev = self.sim.schedule_at(
                     when,
                     lambda e=env: receiver.deliver(e),
                     priority=PRIORITY_HIGH,
                     label=f"deliver:{payload.type_name}:{src}->{dst}",
                 )
+                if controller is not None:
+                    controller.note_delivery(ev, env)
             return env
-        self.sim.schedule_at(
+        ev = self.sim.schedule_at(
             arrive,
             lambda: receiver.deliver(env),
             priority=PRIORITY_HIGH,
             label=f"deliver:{payload.type_name}:{src}->{dst}",
         )
+        if controller is not None:
+            controller.note_delivery(ev, env)
         return env
 
     def broadcast(

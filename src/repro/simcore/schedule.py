@@ -1,0 +1,221 @@
+"""Controllable event scheduling — the model-checking hook of the kernel.
+
+The uncontrolled engine executes events in the deterministic total order
+``(time, priority, seq)``: one fixed interleaving per seed.  For systematic
+interleaving exploration (:mod:`repro.analysis.explore`) the engine instead
+delegates every pop to a :class:`ScheduleController`, which may execute any
+*co-enabled* pending event next:
+
+* one candidate per non-empty network link — the **head** of that link's
+  FIFO of in-flight deliveries (per-link FIFO order is part of the network
+  semantics and is never violated);
+* the earliest **internal** event (dispatch, task completion, poll, timer)
+  in queue order.  Internal events of one process are program-ordered, and
+  reordering internal events of *different* processes against each other is
+  redundant (they only interact through messages), so a single internal
+  candidate suffices.
+
+Choosing a candidate whose nominal timestamp lies in the past of another
+already-executed event would break clock monotonicity, so the chosen event
+is **time-warped** to ``max(event.time, sim.now)`` — semantically, the
+network delayed that delivery (or the OS descheduled that process) a little
+longer.  The default policy picks the globally earliest candidate, which is
+exactly the uncontrolled order: a run with a default controller is
+byte-identical to a run without one.
+
+Actions are identified by structural keys, stable across replays:
+
+* ``("d", src, dst, channel)`` — deliver the head of that link;
+* ``("i", rank)`` — run the earliest internal event (``rank`` is parsed
+  from the event label, ``-1`` when unattributable).
+
+A recorded schedule is the sequence of keys chosen at *branch points*
+(choice points with ≥ 2 candidates); replaying the same prefix reproduces
+the same execution, which is what makes explorer counterexamples portable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from .errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+    from .network import Envelope, Network
+    from .process import SimProcess
+
+#: Structural identity of a schedulable action (see module docstring).
+ActionKey = Tuple
+
+_RANK_RE = re.compile(r":P(\d+)\b")
+
+
+def action_rank(key: ActionKey) -> int:
+    """The rank whose state the action mutates (-1 = unknown/global).
+
+    Deliveries mutate the destination process; internal events mutate the
+    process parsed from their label.  This is what the explorer's
+    independence relation is built on.
+    """
+    if key[0] == "d":
+        return int(key[2])
+    return int(key[1])
+
+
+class ScheduleDivergence(SimulationError):
+    """A forced schedule did not match the candidates actually enabled."""
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One resolved branch point (≥ 2 co-enabled candidates)."""
+
+    index: int  # ordinal among this run's branch points
+    time: float  # sim.now when the choice was taken
+    chosen: ActionKey
+    candidates: Tuple[ActionKey, ...]  # in deterministic (default-first) order
+
+
+class ScheduleController:
+    """Intercepts the engine's event pops and picks among co-enabled events.
+
+    The base class implements the default policy (globally earliest
+    candidate — identical to the uncontrolled engine) while recording every
+    branch point; :mod:`repro.analysis.explore` subclasses it to force
+    schedule prefixes and to prune via state fingerprints.
+    """
+
+    def __init__(self) -> None:
+        self.sim: Optional["Simulator"] = None
+        self.net: Optional["Network"] = None
+        self.procs: Tuple["SimProcess", ...] = ()
+        #: link key -> FIFO of (event, envelope) pairs still in flight.
+        self._links: Dict[Tuple[int, int, int], "deque[Tuple[Event, Envelope]]"] = {}
+        #: identity of every pending delivery event (to split internals out).
+        self._delivery_ids: Dict[int, Tuple[int, int, int]] = {}
+        self.choices: List[Choice] = []
+        self.pops = 0
+
+    # ---------------------------------------------------------------- wiring
+
+    def install(self, sim: "Simulator") -> None:
+        """Attach to ``sim``; every subsequent pop routes through us."""
+        if sim.controller is not None:
+            raise SimulationError("a schedule controller is already installed")
+        self.sim = sim
+        sim.controller = self
+
+    def bind_world(self, net: "Network", procs: Tuple["SimProcess", ...]) -> None:
+        """Give the controller the run's world (for fingerprints/oracles)."""
+        self.net = net
+        self.procs = tuple(procs)
+
+    def note_delivery(self, event: Event, env: "Envelope") -> None:
+        """Called by :meth:`Network.send` for every scheduled delivery."""
+        key = (env.src, env.dst, int(env.channel))
+        dq = self._links.get(key)
+        if dq is None:
+            dq = self._links[key] = deque()
+        dq.append((event, env))
+        self._delivery_ids[id(event)] = key
+
+    # ------------------------------------------------------------ candidates
+
+    def _candidates(self) -> List[Tuple[ActionKey, Event]]:
+        """Co-enabled actions, sorted so the default pick is element 0."""
+        assert self.sim is not None
+        out: List[Tuple[ActionKey, Event]] = []
+        for link in sorted(self._links):
+            dq = self._links[link]
+            while dq and (dq[0][0].cancelled or not dq[0][0].counted):
+                ev, _ = dq.popleft()
+                self._delivery_ids.pop(id(ev), None)
+            if dq:
+                out.append((("d",) + link, dq[0][0]))
+        internal: Optional[Event] = None
+        delivery_ids = self._delivery_ids
+        for ev in self.sim.queue.live_events():
+            if id(ev) in delivery_ids:
+                continue
+            if internal is None or ev < internal:
+                internal = ev
+        if internal is not None:
+            m = _RANK_RE.search(internal.label)
+            rank = int(m.group(1)) if m else -1
+            out.append((("i", rank), internal))
+        out.sort(key=lambda c: (c[1].time, c[1].priority, c[1].seq))
+        return out
+
+    def in_flight(self) -> List[Tuple[Tuple[int, int, int], "Envelope"]]:
+        """Pending (link, envelope) pairs in per-link FIFO order."""
+        out: List[Tuple[Tuple[int, int, int], "Envelope"]] = []
+        for link in sorted(self._links):
+            for ev, env in self._links[link]:
+                if not ev.cancelled and ev.counted:
+                    out.append((link, env))
+        return out
+
+    # ---------------------------------------------------------------- policy
+
+    def choose(self, candidates: List[Tuple[ActionKey, Event]]) -> int:
+        """Index of the candidate to execute; override in subclasses.
+
+        Called only at branch points (≥ 2 candidates).  The list is sorted
+        by ``(time, priority, seq)``; returning 0 reproduces the
+        uncontrolled schedule.
+        """
+        return 0
+
+    # ------------------------------------------------------------------- pop
+
+    def pop(self) -> Optional[Event]:
+        """The engine's event source while a controller is installed."""
+        assert self.sim is not None
+        cands = self._candidates()
+        if not cands:
+            # Only cancelled events may remain: drain them the normal way.
+            return self.sim.queue.pop()
+        if len(cands) == 1:
+            idx = 0
+            self.on_step(cands, 0, branch=False)
+        else:
+            idx = self.choose(cands)
+            key = cands[idx][0]
+            self.choices.append(
+                Choice(
+                    index=len(self.choices),
+                    time=self.sim.now,
+                    chosen=key,
+                    candidates=tuple(k for k, _ in cands),
+                )
+            )
+            self.on_step(cands, idx, branch=True)
+        key, ev = cands[idx]
+        self.sim.queue.take(ev)
+        if key[0] == "d":
+            link = key[1:]
+            dq = self._links[link]
+            taken, _env = dq.popleft()
+            assert taken is ev, "link FIFO head desynchronized"
+            self._delivery_ids.pop(id(ev), None)
+        if ev.time < self.sim.now:
+            # Time-warp: the chosen event nominally precedes already-executed
+            # ones; it is re-stamped to "now" (extra network/OS delay).
+            ev.time = self.sim.now
+        self.pops += 1
+        return ev
+
+    def on_step(
+        self,
+        candidates: List[Tuple[ActionKey, Event]],
+        chosen: int,
+        *,
+        branch: bool,
+    ) -> None:
+        """Hook invoked for every controlled pop (override in explorers)."""

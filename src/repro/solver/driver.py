@@ -25,6 +25,7 @@ from ..scheduling import ScheduleParams, create_strategy
 from ..simcore.engine import Simulator
 from ..simcore.errors import ProtocolError
 from ..simcore.network import Network, NetworkConfig
+from ..simcore.schedule import ScheduleController
 from ..simcore.trace import TraceRecorder
 from ..symbolic.driver import AnalysisParams, analyze_problem
 from ..symbolic.tree import AssemblyTree
@@ -223,6 +224,7 @@ def run_factorization(
     config: Optional[SolverConfig] = None,
     trace: Optional[TraceRecorder] = None,
     recorder: Optional["ScriptRecorder"] = None,
+    controller: Optional[ScheduleController] = None,
 ) -> FactorizationResult:
     """Simulate one parallel factorization; fully deterministic per config.
 
@@ -230,6 +232,12 @@ def run_factorization(
     mechanism upcalls into a replayable workload script; it is a pure
     observer — a run with ``recorder=None`` executes the exact same
     instruction stream as one without the parameter.
+
+    ``controller`` (a :class:`repro.simcore.ScheduleController`) intercepts
+    every co-enabled event choice for interleaving exploration
+    (:mod:`repro.analysis.explore`); a default controller reproduces the
+    uncontrolled schedule exactly, and ``None`` keeps the engine's
+    uncontrolled hot path.
     """
     config = config or SolverConfig()
     if isinstance(problem, AssemblyTree):
@@ -263,6 +271,8 @@ def run_factorization(
     )
 
     sim = Simulator(seed=config.seed, max_events=config.max_events, trace=trace)
+    if controller is not None:
+        controller.install(sim)
     net = Network(sim, nprocs, config.network)
     injector: Optional[FaultInjector] = None
     if config.fault_plan is not None and not config.fault_plan.is_empty():
@@ -357,6 +367,8 @@ def run_factorization(
     sim.on_drain_check(lambda: run_state.remaining == 0)
     for p in procs:
         sim.add_state_dumper(p.debug_state)
+    if controller is not None:
+        controller.bind_world(net, tuple(procs))
 
     # Last wiring step on purpose: views are initialized and seeded by now,
     # so every write the sanitizer sees from here on must be message-driven.

@@ -153,6 +153,140 @@ class TestRPA005HotPathIO:
         assert [f for f in hot if f.code == "RPA005"] == []
 
 
+class TestRPA006BlockingInAsync:
+    def test_positive_time_sleep(self):
+        src = "import time\nasync def pump():\n    time.sleep(0.1)\n"
+        found = codes(src, is_simulation=False, is_async_pkg=True)
+        assert found == ["RPA006"]
+
+    def test_positive_subprocess_and_socket(self):
+        src = (
+            "async def f(sock):\n"
+            "    subprocess.run(['ls'])\n"
+            "    sock.recv(1024)\n"
+        )
+        assert codes(src, is_async_pkg=True) == ["RPA006", "RPA006"]
+
+    def test_negative_asyncio_sleep(self):
+        src = "async def pump():\n    await asyncio.sleep(0.1)\n"
+        assert codes(src, is_async_pkg=True) == []
+
+    def test_negative_sync_function(self):
+        # Blocking in a plain def is fine — only async bodies are checked.
+        src = "import time\ndef pump():\n    time.sleep(0.1)\n"
+        assert codes(src, is_simulation=False, is_async_pkg=True) == []
+
+    def test_negative_outside_async_packages(self):
+        src = "import time\nasync def pump():\n    time.sleep(0.1)\n"
+        assert codes(src, is_simulation=False) == []
+
+    def test_noqa(self):
+        src = (
+            "import time\n"
+            "async def pump():\n"
+            "    time.sleep(0.1)  # rpa: noqa[RPA006]\n"
+        )
+        assert codes(src, is_simulation=False, is_async_pkg=True) == []
+
+
+class TestRPA007CrossAwaitMutation:
+    def test_positive_read_await_write(self):
+        src = (
+            "async def f(self):\n"
+            "    v = self.count\n"
+            "    await self.flush()\n"
+            "    self.count = v + 1\n"
+        )
+        assert codes(src, is_async_pkg=True) == ["RPA007"]
+
+    def test_negative_lock_held(self):
+        src = (
+            "async def f(self):\n"
+            "    async with self._lock:\n"
+            "        v = self.count\n"
+            "        await self.flush()\n"
+            "        self.count = v + 1\n"
+        )
+        assert codes(src, is_async_pkg=True) == []
+
+    def test_negative_ordering_comment(self):
+        src = (
+            "async def f(self):\n"
+            "    v = self.count\n"
+            "    await self.flush()\n"
+            "    self.count = v + 1  # ordering: one writer per rank\n"
+        )
+        assert codes(src, is_async_pkg=True) == []
+
+    def test_negative_write_before_await(self):
+        src = (
+            "async def f(self):\n"
+            "    self.count = self.count + 1\n"
+            "    await self.flush()\n"
+        )
+        assert codes(src, is_async_pkg=True) == []
+
+
+class TestRPA008DiscardedCoroutine:
+    SRC = (
+        "async def worker(rank):\n"
+        "    pass\n"
+        "async def f():\n"
+        "    {call}\n"
+    )
+
+    def test_positive_bare_call(self):
+        src = self.SRC.format(call="worker(3)")
+        assert codes(src, is_async_pkg=True) == ["RPA008"]
+
+    def test_negative_awaited(self):
+        src = self.SRC.format(call="await worker(3)")
+        assert codes(src, is_async_pkg=True) == []
+
+    def test_negative_create_task_sink(self):
+        src = self.SRC.format(call="asyncio.create_task(worker(3))")
+        assert codes(src, is_async_pkg=True) == []
+
+    def test_negative_plain_function(self):
+        # Only locally-known coroutines are flagged; plain calls pass.
+        src = "async def f():\n    logit(3)\n"
+        assert codes(src, is_async_pkg=True) == []
+
+
+class TestRPA009StaleNoqa:
+    def test_stale_escape_is_reported(self):
+        assert codes("x = 1  # rpa: noqa[RPA001]\n") == ["RPA009"]
+
+    def test_used_escape_is_silent(self):
+        src = "import random\nx = random.random()  # rpa: noqa[RPA001]\n"
+        assert codes(src) == []
+
+    def test_rpa009_is_not_suppressible(self):
+        # A blanket noqa that suppresses nothing is itself the offence.
+        assert codes("x = 1  # rpa: noqa\n") == ["RPA009"]
+
+    def test_string_mention_is_not_an_escape(self):
+        # Only real comments count — docs may discuss the escape hatch.
+        assert codes('DOC = "write # rpa: noqa[RPA001] to suppress"\n') == []
+
+    def test_audit_can_be_disabled(self):
+        assert codes("x = 1  # rpa: noqa[RPA001]\n", audit_noqa=False) == []
+
+
+class TestAsyncScope:
+    def test_async_packages_are_scoped_by_directory(self):
+        from repro.analysis.lint import ASYNC_PACKAGES
+
+        assert set(ASYNC_PACKAGES) == {"backends"}
+        # The real backends pass their own async-safety rules.
+        async_findings = [
+            f
+            for f in lint_paths([SRC_ROOT / "backends"], root=SRC_ROOT)
+            if f.code in ("RPA006", "RPA007", "RPA008")
+        ]
+        assert async_findings == []
+
+
 class TestHarness:
     def test_repository_is_clean(self):
         """The repo itself must pass its own lint (CI enforces this)."""
@@ -167,8 +301,9 @@ class TestHarness:
 
     def test_noqa_only_suppresses_named_codes(self):
         src = "import time\n\ndef f(x=[]):\n    t = time.time()  # rpa: noqa[RPA004]\n"
-        # The noqa names the wrong rule: RPA002 must survive.
-        assert codes(src) == ["RPA004", "RPA002"]
+        # The noqa names the wrong rule: RPA002 must survive, and the
+        # escape itself — suppressing nothing on its line — is stale.
+        assert codes(src) == ["RPA004", "RPA009", "RPA002"]
 
 
 class TestCLI:

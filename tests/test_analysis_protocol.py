@@ -6,7 +6,11 @@ import json
 import textwrap
 from pathlib import Path
 
-from repro.analysis.protocol import check_protocol, scan_catalogue
+from repro.analysis.protocol import (
+    check_protocol,
+    scan_catalogue,
+    scan_wire_codecs,
+)
 
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 
@@ -22,6 +26,17 @@ class TestRepositoryProtocols:
         # Guards against the checker passing vacuously on an empty scan.
         assert {"UpdateAbsolute", "Snp", "Sequenced", "MasterToSlave"} <= mech
         assert {"SlaveTaskMsg", "CBBlockMsg", "ReleaseCBMsg"} <= solver
+
+    def test_recovery_messages_are_in_the_checked_catalogue(self):
+        """The PR 7 task-recovery triple is under the totality check."""
+        solver = scan_catalogue(SRC_ROOT / "solver" / "messages.py")
+        assert {"SlaveDoneMsg", "RevokeTaskMsg", "RevokeAckMsg"} <= solver
+
+    def test_mechanism_catalogue_is_wire_encodable(self):
+        """Every STATE-channel type survives the socket backend's codec."""
+        mech = scan_catalogue(SRC_ROOT / "mechanisms" / "messages.py")
+        coded = scan_wire_codecs(SRC_ROOT / "backends" / "wire.py")
+        assert mech - coded == {"Sequenced"}  # wrapper: encoded structurally
 
 
 def _fixture(tmp_path: Path, body: str) -> Path:
@@ -96,6 +111,96 @@ class TestBrokenMechanisms:
         # Snp is handled by the inherited SnapshotMechanism table: clean.
         findings = check_protocol(SRC_ROOT, extra_mechanism_files=[fixture])
         assert findings == []
+
+
+class TestBrokenSolver:
+    def test_recovery_messages_cannot_bypass_the_totality_check(self, tmp_path):
+        """A SolverProcess without recovery dispatch entries is a finding.
+
+        The fixture shadows the real ``SolverProcess`` (extra files are
+        scanned last; last definition of a name wins) with a handler table
+        that predates PR 7's task recovery — the checker must flag every
+        missing catalogue type, recovery triple included.
+        """
+        fixture = tmp_path / "broken_process.py"
+        fixture.write_text(
+            textwrap.dedent(
+                """
+                class SolverProcess:
+                    DATA_HANDLERS = {SlaveTaskMsg: "_on_slave_task"}
+
+                    def _on_slave_task(self, env):
+                        pass
+                """
+            )
+        )
+        findings = check_protocol(SRC_ROOT, extra_solver_files=[fixture])
+        unhandled = {
+            f.message
+            for f in findings
+            if f.kind == "unhandled" and f.subject == "SolverProcess"
+        }
+        for name in ("SlaveDoneMsg", "RevokeTaskMsg", "RevokeAckMsg"):
+            assert any(name in msg for msg in unhandled), name
+
+
+class TestWireCodecCoverage:
+    """Hermetic fake src-root: the `unencodable` cross-check end to end."""
+
+    @staticmethod
+    def _fake_root(tmp_path: Path, *, with_codec: bool) -> Path:
+        root = tmp_path / "repro"
+        (root / "mechanisms").mkdir(parents=True)
+        (root / "solver").mkdir()
+        (root / "backends").mkdir()
+        (root / "mechanisms" / "messages.py").write_text(
+            'class PingMsg:\n    TYPE = "ping"\n'
+        )
+        (root / "mechanisms" / "impl.py").write_text(
+            textwrap.dedent(
+                """
+                class PingMechanism:
+                    HANDLERS = {PingMsg: "_on_ping"}
+
+                    def push(self):
+                        self._broadcast_state(PingMsg())
+
+                    def _on_ping(self, env):
+                        pass
+                """
+            )
+        )
+        (root / "solver" / "messages.py").write_text(
+            'class TaskMsg:\n    TYPE = "task"\n'
+        )
+        (root / "solver" / "process.py").write_text(
+            textwrap.dedent(
+                """
+                class SolverProcess:
+                    DATA_HANDLERS = {TaskMsg: "_on_task"}
+
+                    def run(self):
+                        self.send(TaskMsg())
+
+                    def _on_task(self, env):
+                        pass
+                """
+            )
+        )
+        codec = "_codec(PingMsg, lambda p: {}, lambda o: PingMsg())\n"
+        (root / "backends" / "wire.py").write_text(
+            codec if with_codec else "# no codecs registered\n"
+        )
+        return root
+
+    def test_missing_codec_is_caught(self, tmp_path):
+        findings = check_protocol(self._fake_root(tmp_path, with_codec=False))
+        assert [(f.kind, f.subject) for f in findings] == [
+            ("unencodable", "PingMsg")
+        ]
+
+    def test_registered_codec_is_clean(self, tmp_path):
+        assert check_protocol(self._fake_root(tmp_path, with_codec=True)) == []
 
 
 class TestCLI:

@@ -1,0 +1,241 @@
+"""Interleaving explorer: DPOR soundness, oracles, mutant hunt, replay."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.explore import (
+    ExploreReport,
+    Violation,
+    explore_mechanism,
+    independent,
+    load_counterexample,
+    minimize_schedule,
+    replay_counterexample,
+    tiny_tree,
+)
+from repro.analysis.mutants import NonCommutativeIncrements, install_mutants
+from repro.mechanisms.registry import available_mechanisms
+from repro.simcore import ScheduleController
+from repro.solver.driver import SolverConfig, run_factorization
+from repro.solver.validate import validate_result
+
+PAPER_MECHANISMS = ("naive", "increments", "snapshot")
+
+
+class TestControllerTransparency:
+    def test_default_controller_is_byte_identical(self):
+        """A pass-through controller must not perturb the baseline run.
+
+        This is the "paper-table outputs stay identical with exploration
+        off" guarantee, measured at its strongest point: even with the
+        choice-point hook *installed*, default picks reproduce the
+        uncontrolled engine exactly.
+        """
+        tree = tiny_tree()
+        config = SolverConfig(seed=3)
+        base = run_factorization(tree, 3, mechanism="increments", config=config)
+        ctrl = ScheduleController()
+        controlled = run_factorization(
+            tree, 3, mechanism="increments", config=config, controller=ctrl
+        )
+        assert controlled.factorization_time == base.factorization_time
+        assert controlled.decisions == base.decisions
+        assert controlled.to_dict() == base.to_dict()
+
+
+class TestDporSoundness:
+    def test_reduced_exploration_matches_full_enumeration(self):
+        """ISSUE satellite: DPOR visits the same distinct final states.
+
+        On ``naive`` at nprocs=2 with a bounded branching window (the
+        unreduced space is infinite otherwise: delaying a delivery creates
+        ever-new timer interleavings), sleep-set DPOR must reach exactly
+        the final states full enumeration reaches — with far fewer runs.
+        """
+        tree = tiny_tree(levels=1)
+        kw = dict(
+            tree=tree,
+            depth_budget=8,
+            max_runs=5000,
+            prune=False,
+            probes=False,
+            minimize=False,
+        )
+        full = explore_mechanism("naive", 2, dpor=False, **kw)
+        reduced = explore_mechanism("naive", 2, dpor=True, **kw)
+        # Both frontiers drained within max_runs (the depth budget bounds
+        # the branching window, so `complete` is deliberately False here).
+        assert full.runs < 5000 and reduced.runs < 5000
+        assert full.ok and reduced.ok
+        assert reduced.final_states == full.final_states
+        assert reduced.runs < full.runs
+
+    def test_independence_is_rank_disjointness(self):
+        d01 = ("d", 0, 1, 1)
+        d21 = ("d", 2, 1, 1)
+        d20 = ("d", 2, 0, 1)
+        i1 = ("i", 1, -1, -1)
+        assert independent(d01, d20)  # touch ranks {1} vs {0}
+        assert not independent(d01, d21)  # both deliver into rank 1
+        assert not independent(d01, i1)  # internal event on rank 1
+        assert independent(d20, i1)
+
+
+class TestExhaustiveSmallScale:
+    @pytest.mark.parametrize("mechanism", PAPER_MECHANISMS)
+    def test_paper_mechanisms_exhaustive_at_two_procs(self, mechanism):
+        """Acceptance: visited-set-complete exploration, all oracles green."""
+        report = explore_mechanism(mechanism, 2, tree=tiny_tree(levels=1))
+        assert report.complete, report.summary()
+        assert report.ok, report.summary()
+        assert report.runs > 1  # it actually branched
+
+    @pytest.mark.parametrize(
+        "mechanism",
+        sorted(set(available_mechanisms()) - set(PAPER_MECHANISMS)),
+    )
+    def test_remaining_mechanisms_explore_clean(self, mechanism):
+        report = explore_mechanism(mechanism, 2, tree=tiny_tree(levels=1))
+        assert report.complete, report.summary()
+        assert report.ok, report.summary()
+
+
+class TestMutantHunt:
+    """The seeded ordering bug: invisible to single-schedule runs."""
+
+    def test_mutant_is_clean_on_the_default_schedule(self):
+        install_mutants()
+        tree = tiny_tree(levels=1)
+        result = run_factorization(
+            tree, 3, mechanism="nc_increments", config=SolverConfig(seed=0)
+        )
+        assert validate_result(result, tree).ok
+
+    def test_mutant_is_clean_at_two_procs(self):
+        # With two processes every racing pair shares a FIFO link, so the
+        # non-commutativity is unreachable: the bug needs a third party.
+        install_mutants()
+        report = explore_mechanism("nc_increments", 2, tree=tiny_tree(levels=1))
+        assert report.complete and report.ok
+
+    def test_explorer_finds_the_mutant_at_three_procs(self, tmp_path):
+        install_mutants()
+        report = explore_mechanism("nc_increments", 3, tree=tiny_tree(levels=1))
+        assert not report.ok
+        v = report.violations[0]
+        assert v.invariant == "view_coherence"
+        assert v.minimized
+        assert v.schedule  # replay coordinates present
+        # The link-starvation probes make this cheap: no DFS marathon.
+        assert report.runs + report.probe_runs < 200
+
+        # The minimized counterexample replays from its JSON artifact.
+        path = tmp_path / "ce.json"
+        path.write_text(json.dumps(v.to_dict()))
+        replayed = replay_counterexample(load_counterexample(str(path)))
+        assert replayed is not None
+        assert replayed.invariant == "view_coherence"
+
+    def test_conformance_replay_hook(self, tmp_path):
+        from repro.conformance import replay_explored_schedule
+
+        install_mutants()
+        report = explore_mechanism("nc_increments", 3, tree=tiny_tree(levels=1))
+        assert not report.ok
+        path = tmp_path / "ce.json"
+        path.write_text(json.dumps(report.violations[0].to_dict()))
+        confirmed = replay_explored_schedule(str(path))
+        assert confirmed is not None and confirmed.invariant == "view_coherence"
+
+    def test_parent_mechanism_survives_the_same_hunt(self):
+        # Sanity: the probe stage that kills the mutant passes the real
+        # increments mechanism — the finding is the bug, not the schedule.
+        report = explore_mechanism("increments", 3, tree=tiny_tree(levels=1),
+                                   max_runs=300)
+        assert report.ok
+
+
+class TestCrashBranching:
+    def test_increments_survives_crash_points(self):
+        report = explore_mechanism(
+            "increments", 2, tree=tiny_tree(levels=1),
+            crash_rank=1, crash_points=2,
+        )
+        assert report.crash_plans > 0
+        assert report.ok, report.summary()
+
+
+class TestMinimization:
+    def test_minimize_drops_irrelevant_choices(self):
+        schedule = [("d", 0, 1, 1), ("d", 1, 0, 1), ("i", 0, -1, -1)]
+
+        def still_fails(s):
+            return ("d", 1, 0, 1) in s
+
+        out = minimize_schedule(schedule, still_fails)
+        assert out == [("d", 1, 0, 1)]
+
+    def test_minimize_keeps_a_failing_pair(self):
+        schedule = [("d", 0, 1, 1), ("d", 1, 0, 1), ("d", 2, 0, 1)]
+
+        def still_fails(s):
+            return ("d", 0, 1, 1) in s and ("d", 2, 0, 1) in s
+
+        out = minimize_schedule(schedule, still_fails)
+        assert out == [("d", 0, 1, 1), ("d", 2, 0, 1)]
+
+
+class TestReportShape:
+    def test_report_and_violation_round_trip_to_json(self):
+        report = explore_mechanism("oracle", 2, tree=tiny_tree(levels=1))
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["mechanism"] == "oracle"
+        assert d["complete"] is True
+        v = Violation(
+            invariant="x", detail="y", trace=[], schedule=[("d", 0, 1, 1)],
+            mechanism="naive", nprocs=2, problem="tiny1", seed=0,
+        )
+        assert json.loads(json.dumps(v.to_dict()))["schedule"] == [[
+            "d", 0, 1, 1]]
+
+
+class TestCLI:
+    def test_explore_clean_exit_zero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main([
+            "explore", "--mechanism", "naive", "--nprocs", "2",
+            "--tree-levels", "1", "--require-complete",
+        ])
+        assert rc == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_explore_json_shape(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main([
+            "explore", "--mechanism", "oracle", "--nprocs", "2",
+            "--tree-levels", "1", "--json",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["tool"] == "explore"
+        assert out["reports"][0]["mechanism"] == "oracle"
+
+    def test_mutant_cli_round_trip(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        ce = tmp_path / "ce.json"
+        rc = main([
+            "explore", "--mechanism", "nc_increments", "--nprocs", "3",
+            "--tree-levels", "1", "--counterexample", str(ce),
+        ])
+        assert rc == 1  # the seeded bug must be found
+        assert ce.exists()
+        capsys.readouterr()
+        assert main(["explore", "--replay", str(ce)]) == 0
+        assert "reproduced" in capsys.readouterr().out
