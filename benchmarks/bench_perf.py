@@ -13,9 +13,11 @@ Two jobs in one file:
   simulator 3–10× slower fails loudly, while shared-runner noise never does.
 """
 
+import gc
 import json
 import os
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -40,6 +42,14 @@ SOLVER_FLOOR_EPS = 2_000
 #: the metrics-off floor (docs/observability.md documents the 5% budget;
 #: the floor-relative form stays immune to shared-runner noise).
 METRICS_FLOOR_FRACTION = 0.95
+
+#: The hot-path telemetry budget (docs/observability.md): the committed
+#: paired-median ``overhead_pct`` in BENCH_perf.json must stay below this.
+METRICS_BUDGET_PCT = 5.0
+
+#: Metric families the representative metrics-on run must export — the
+#: budget only counts if the full catalogue is still being fed.
+METRICS_MIN_FAMILIES = 21
 
 
 # --------------------------------------------------------------- measurements
@@ -94,35 +104,59 @@ def representative_run(problem: str = "AUDIKW_1", nprocs: int = 16):
     }
 
 
-def metrics_overhead(problem: str = "AUDIKW_1", nprocs: int = 16):
-    """Same representative run with telemetry off vs on (repro.obs).
+def metrics_overhead(
+    problem: str = "AUDIKW_1", nprocs: int = 16, pairs: int = 7
+):
+    """Telemetry tax of the representative run, off vs on (repro.obs).
 
-    The registry is zero-cost when off; when on, every send/treat pays one
-    monitor callback plus a dict lookup per metric.  This measures that tax
-    end to end so the trajectory is visible in BENCH_perf.json.
+    Methodology (shared runners drift ±10% over minutes, which swamps a
+    single back-to-back comparison):
+
+    * the symbolic-analysis cache is warmed first, and one throwaway
+      off/on pair warms code paths and allocators;
+    * ``gc.collect()`` runs before every timed region so collector debt
+      accumulated by a previous run never lands inside the next one;
+    * off and on runs alternate in tightly interleaved pairs, and the
+      reported ``overhead_pct`` is the **median** of the per-pair relative
+      differences — drift moves both halves of a pair together, and the
+      median discards the pairs an OS hiccup still ruins.
     """
-    off = ExperimentRunner(scale=ExperimentScale(fast=True))
-    t0 = time.perf_counter()
-    r_off = off.run(problem, nprocs, "increments", "workload")
-    wall_off = time.perf_counter() - t0
+    analyze_problem(collection.get(problem))
 
-    on = ExperimentRunner(scale=ExperimentScale(fast=True), metrics=True)
-    t0 = time.perf_counter()
-    r_on = on.run(problem, nprocs, "increments", "workload")
-    wall_on = time.perf_counter() - t0
+    def run_once(metrics: bool):
+        runner = ExperimentRunner(
+            scale=ExperimentScale(fast=True), metrics=metrics
+        )
+        gc.collect()
+        t0 = time.perf_counter()
+        r = runner.run(problem, nprocs, "increments", "workload")
+        return time.perf_counter() - t0, r
 
-    eps_off = r_off.events_executed / wall_off
-    eps_on = r_on.events_executed / wall_on
+    run_once(False)
+    _, r_on = run_once(True)
+    diffs = []
+    walls_off = []
+    walls_on = []
+    r_off = None
+    for _ in range(pairs):
+        w_off, r_off = run_once(False)
+        w_on, r_on = run_once(True)
+        walls_off.append(w_off)
+        walls_on.append(w_on)
+        diffs.append(100.0 * (w_on - w_off) / w_off)
+    wall_off = statistics.median(walls_off)
+    wall_on = statistics.median(walls_on)
     return {
         "problem": problem,
         "nprocs": nprocs,
         "mechanism": "increments",
         "strategy": "workload",
+        "pairs": pairs,
         "off_wall_s": wall_off,
         "on_wall_s": wall_on,
-        "off_events_per_sec": eps_off,
-        "on_events_per_sec": eps_on,
-        "overhead_pct": 100.0 * (wall_on - wall_off) / wall_off,
+        "off_events_per_sec": r_off.events_executed / wall_off,
+        "on_events_per_sec": r_on.events_executed / wall_on,
+        "overhead_pct": statistics.median(diffs),
         "metric_families": len((r_on.metrics or {}).get("families", {})),
     }
 
@@ -221,19 +255,49 @@ def test_representative_run_floor():
 def test_metrics_overhead_floor():
     """A metrics-on run must stay within the telemetry overhead budget.
 
-    Floor-relative on purpose: asserting ``on >= 0.95 * off`` measured on
-    the same noisy shared runner flakes, but a metrics-on run that cannot
-    even clear 95% of the metrics-off *floor* has blown the 5% budget by an
-    order of magnitude.
+    Two-sided: the committed paired-median in BENCH_perf.json enforces the
+    <5% budget exactly (see :func:`test_metrics_overhead_budget`); this
+    live guard is deliberately noise-tolerant — a couple of quick pairs on
+    a noisy shared runner cannot resolve 5%, but a median above 3× the
+    budget means the hot path regressed for real, not that the runner
+    hiccupped.
     """
-    m = metrics_overhead()
+    m = metrics_overhead(pairs=3)
     floor = METRICS_FLOOR_FRACTION * SOLVER_FLOOR_EPS
     assert m["on_events_per_sec"] >= floor, (
         f"metrics-on run at {m['on_events_per_sec']:,.0f} events/s is below "
         f"{floor:,.0f} ({METRICS_FLOOR_FRACTION:.0%} of the "
         f"{SOLVER_FLOOR_EPS:,} floor); MetricsMonitor is no longer cheap"
     )
-    assert m["metric_families"] > 0, "metrics-on run exported no families"
+    assert m["overhead_pct"] < 3 * METRICS_BUDGET_PCT, (
+        f"live paired-median telemetry overhead {m['overhead_pct']:+.1f}% is "
+        f"over 3x the {METRICS_BUDGET_PCT:.0f}% budget — the hot path "
+        "regressed beyond what runner noise explains"
+    )
+    assert m["metric_families"] >= METRICS_MIN_FAMILIES, (
+        f"metrics-on run exported {m['metric_families']} families "
+        f"(expected >= {METRICS_MIN_FAMILIES}); the catalogue shrank"
+    )
+
+
+def test_metrics_overhead_budget():
+    """The committed BENCH_perf.json honors the <5% telemetry budget.
+
+    ``python benchmarks/bench_perf.py`` must be re-run (on a quiet machine,
+    paired-median protocol) whenever the hot path changes; this test makes
+    an over-budget measurement un-commitable without also making CI depend
+    on the runner's wall clock.
+    """
+    mo = json.loads(BENCH_FILE.read_text())["metrics_overhead"]
+    assert mo["overhead_pct"] < METRICS_BUDGET_PCT, (
+        f"committed telemetry overhead {mo['overhead_pct']:+.2f}% breaks "
+        f"the {METRICS_BUDGET_PCT:.0f}% budget; re-optimize the hot path "
+        "and re-run benchmarks/bench_perf.py"
+    )
+    assert mo["metric_families"] >= METRICS_MIN_FAMILIES, (
+        f"committed run exported {mo['metric_families']} metric families "
+        f"(expected >= {METRICS_MIN_FAMILIES})"
+    )
 
 
 def test_bench_file_schema():

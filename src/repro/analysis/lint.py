@@ -33,12 +33,20 @@ are banned statically:
     which breaks run isolation.
 
 ``RPA005``
-    Direct ``print(...)`` or ``logging`` calls in the simulation hot path
-    (``simcore`` / ``mechanisms`` / ``solver``).  Console I/O per event or
-    per message dwarfs the simulated work and busts the telemetry overhead
-    budget (docs/observability.md); observability belongs in the trace
-    recorder, ``repro.obs`` metrics, or the ``debug_state`` dumps that the
-    engine prints only on failure.
+    Per-event observability cost in the simulation hot path (``simcore`` /
+    ``mechanisms`` / ``solver``), two shapes:
+
+    * direct ``print(...)`` or ``logging`` calls — console I/O per event
+      or per message dwarfs the simulated work;
+    * registry *instrument lookups* (``metrics.counter(...)``,
+      ``registry.histogram(...)``, …) inside an ordinary function — each
+      one re-canonicalizes labels and probes dicts per event, which is what
+      busts the <5% telemetry overhead budget (docs/observability.md).
+      Resolve the instrument **once** on a setup path and keep the handle
+      (or a raw ``counter_slot()`` / ``gauge_slot()`` pair); functions
+      whose name marks a setup path (``__init__``, ``bind``, ``setup``,
+      ``register``, ``declare``, ``finalize``, ``export``, or containing
+      ``resolve``/``slot``) are exempt, as is module level.
 
 ``RPA006``
     Blocking call (``time.sleep``, synchronous socket I/O, ``subprocess``,
@@ -84,7 +92,8 @@ RULES: Dict[str, str] = {
     "RPA002": "wall-clock read in simulation logic (use sim.now)",
     "RPA003": "set iteration order reaches message sends / scheduled events",
     "RPA004": "mutable default argument",
-    "RPA005": "print()/logging in the simulation hot path (use trace/obs metrics)",
+    "RPA005": "print()/logging or per-event metric lookup in the simulation "
+              "hot path (use trace/obs metrics via preresolved slot handles)",
     "RPA006": "blocking call inside async def (stalls the event loop)",
     "RPA007": "attribute read before an await and written after it without a lock",
     "RPA008": "coroutine called as a bare statement (never awaited, never runs)",
@@ -143,6 +152,26 @@ _LOG_METHODS: Set[str] = {
 
 #: Receiver names treated as loggers for RPA005 (last-but-one dotted part).
 _LOGGERISH: Set[str] = {"logging", "logger", "log", "_logger", "_log"}
+
+#: Registry instrument-factory method names whose per-event invocation
+#: RPA005 flags in hot-path packages: each call re-sorts labels and probes
+#: dicts, the exact cost the slot-handle architecture exists to avoid.
+_METRIC_FACTORIES: Set[str] = {
+    "counter", "gauge", "histogram", "timeseries", "samples",
+}
+
+#: Receiver names treated as a metrics registry for that check
+#: (last-but-one dotted part, mirroring ``_LOGGERISH``).
+_REGISTRYISH: Set[str] = {
+    "metrics", "registry", "metrics_registry", "_metrics", "_registry", "reg",
+}
+
+#: Substrings of an enclosing function's name that mark a *setup* path,
+#: where registry lookups are the intended API (resolved once, cached).
+_METRIC_SETUP_MARKERS: Tuple[str, ...] = (
+    "__init__", "__post_init__", "bind", "setup", "resolve", "slot",
+    "register", "declare", "finalize", "export",
+)
 
 _NOQA_RE = re.compile(r"#\s*rpa:\s*noqa(?:\[([A-Z0-9,\s]+)\])?", re.IGNORECASE)
 
@@ -255,6 +284,9 @@ class _Visitor(ast.NodeVisitor):
         self.is_simulation = is_simulation
         self.is_hot_path = is_hot_path
         self.findings: List[LintFinding] = []
+        #: Names of the enclosing ``def``s, innermost last (for the RPA005
+        #: metric-lookup check's setup-path exemption).
+        self._func_stack: List[str] = []
 
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -315,7 +347,31 @@ class _Visitor(ast.NodeVisitor):
                         f"`{name}(...)` logs from the simulation hot path; "
                         "record trace/obs metrics instead",
                     )
+                elif (
+                    len(parts) >= 2
+                    and parts[-1] in _METRIC_FACTORIES
+                    and parts[-2] in _REGISTRYISH
+                    and self._in_per_event_code()
+                ):
+                    self._add(
+                        node,
+                        "RPA005",
+                        f"`{name}(...)` resolves a metric instrument "
+                        "per call in the simulation hot path; resolve a "
+                        "slot handle once on a setup path "
+                        "(`counter_slot()`/`gauge_slot()` or a cached "
+                        "instrument) and reuse it",
+                    )
         self.generic_visit(node)
+
+    def _in_per_event_code(self) -> bool:
+        """Whether the current position is inside an ordinary function —
+        i.e. not module level and not a setup-named function, the two
+        places where registry lookups are the intended (once-only) API."""
+        if not self._func_stack:
+            return False
+        fname = self._func_stack[-1]
+        return not any(marker in fname for marker in _METRIC_SETUP_MARKERS)
 
     # -------------------------------------------------------------- RPA003
 
@@ -363,11 +419,19 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node, node.args)
-        self.generic_visit(node)
+        self._func_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._func_stack.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node, node.args)
-        self.generic_visit(node)
+        self._func_stack.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._func_stack.pop()
 
 
 def _own_nodes(fn: ast.AST) -> "List[ast.AST]":

@@ -147,7 +147,9 @@ class CausalitySanitizer(RunMonitor):
         self._vc = [[0] * self.nprocs for _ in range(self.nprocs)]
         network.install_monitor(self)
         for p in procs:
-            p.monitor = self
+            # add_monitor (not a bare assignment) keeps the process's
+            # context-hook fast-path cache in sync.
+            p.add_monitor(self)
         if shared is not None:
             shared.sanitizer = self
         if self.config.check_view_provenance:

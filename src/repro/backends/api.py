@@ -85,13 +85,24 @@ class Clock(Protocol):
 
 
 class TransportStats(Protocol):
-    """Per-type message accounting shared by every transport."""
+    """Per-type message accounting shared by every transport.
+
+    The marginal views are read-only properties: implementations keep the
+    joint ``(channel, type)`` counters hot and derive these on demand (see
+    :class:`repro.simcore.network.MessageStats`).
+    """
 
     sent_total: int
     sent_bytes: int
-    by_type: "Counter[str]"
-    by_channel: "Counter[str]"
-    bytes_by_type: "Counter[str]"
+
+    @property
+    def by_type(self) -> "Counter[str]": ...
+
+    @property
+    def by_channel(self) -> "Counter[str]": ...
+
+    @property
+    def bytes_by_type(self) -> "Counter[str]": ...
 
     def state_message_count(self) -> int: ...
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import random
 import time as _time
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..faults.plan import FaultPlan
 from ..mechanisms.base import Mechanism, MechanismShared
@@ -42,6 +42,9 @@ from ..simcore.rng import RngHub
 from . import wire
 from .base import Backend, BackendRunResult, register_backend
 from .script import DecisionEvent, ReportEvent, WorkloadScript
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.live import LiveMetricsStore
 
 #: Wall seconds a "natural-speed" replay should take (used to auto-pick the
 #: time scale); keeps conformance runs fast yet long relative to socket RTTs.
@@ -388,11 +391,19 @@ class AsyncioBackend(Backend):
         use_msgpack: bool = True,
         quiescence_poll: float = 0.02,
         fault_plan: Optional[FaultPlan] = None,
+        live: Optional["LiveMetricsStore"] = None,
+        live_interval: float = 0.25,
     ) -> None:
         self._time_scale = time_scale
         self._hard_timeout = float(hard_timeout)
         self._use_msgpack = use_msgpack
         self._quiescence_poll = float(quiescence_poll)
+        #: Optional live-metrics store (repro.obs.live): the replay
+        #: publishes transport/mechanism snapshots every ``live_interval``
+        #: wall seconds — the socket backend's real-wall-clock counterpart
+        #: of the DES driver's paced publisher.
+        self._live = live
+        self._live_interval = float(live_interval)
         if fault_plan is not None and (fault_plan.slowdowns or fault_plan.leaks):
             # There is no task model (nothing to slow down) and no sanitizer
             # hookup on this backend; those faults are DES-solver features.
@@ -415,6 +426,46 @@ class AsyncioBackend(Backend):
         result = asyncio.run(self._run(script))
         result.wall_seconds = _time.perf_counter() - t_wall
         return result
+
+    def _live_export(
+        self,
+        transport: AsyncTransport,
+        mechs: List[Mechanism],
+        clock: AsyncClock,
+    ) -> Dict:
+        """Registry export of the replay's observable state, right now.
+
+        Runs on the event loop (no awaits, no locks needed) and only
+        *reads* transport counters and mechanism tallies — publishing can
+        never perturb the replay.
+        """
+        from ..obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        stats = transport.stats
+        for mtype, n in sorted(stats.by_type.items()):
+            reg.counter(
+                "messages_sent_total", {"type": mtype},
+                help="Frames sent over the socket transport, by payload type",
+            ).inc(float(n))
+        for mtype, nbytes in sorted(stats.bytes_by_type.items()):
+            reg.counter(
+                "message_bytes_sent_total", {"type": mtype},
+                help="Wire bytes sent, by payload type",
+            ).inc(float(nbytes))
+        reg.gauge(
+            "frames_sent", help="Total frames written to sockets"
+        ).set(float(transport.frames_sent))
+        reg.gauge(
+            "frames_handled", help="Frames dispatched to mechanism handlers"
+        ).set(float(transport.frames_handled))
+        reg.gauge(
+            "decisions_total", help="Replayed dynamic decisions so far"
+        ).set(float(sum(m.decisions for m in mechs)))
+        reg.gauge(
+            "virtual_time_seconds", help="Scaled virtual clock position"
+        ).set(clock.now)
+        return reg.to_dict()
 
     # ---------------------------------------------------------------- core
 
@@ -586,6 +637,21 @@ class AsyncioBackend(Backend):
                     )
                 )
 
+        live_task: Optional[asyncio.Task] = None
+        if self._live is not None:
+            store = self._live
+            live_label = f"asyncio {script.mechanism} P={nprocs}"
+
+            async def publish_live() -> None:
+                while True:
+                    store.publish(
+                        live_label,
+                        self._live_export(transport, mechs, clock),
+                    )
+                    await asyncio.sleep(self._live_interval)
+
+            live_task = asyncio.ensure_future(publish_live())
+
         rank_tasks = [
             asyncio.ensure_future(
                 self._run_rank(script, rank, mechs[rank], hosts[rank], clock, up[rank])
@@ -615,6 +681,8 @@ class AsyncioBackend(Backend):
                     stable = 0
         finally:
             closing[0] = True
+            if live_task is not None:
+                live_task.cancel()
             for h in fault_timers:
                 h.cancel()
             for t in rank_tasks:
@@ -633,6 +701,13 @@ class AsyncioBackend(Backend):
         if decode_errors:  # pragma: no cover - wire bugs surface here
             raise RuntimeError(
                 f"wire decode errors during replay: {decode_errors[:3]}"
+            )
+
+        if self._live is not None:
+            # Final authoritative snapshot: everything settled at quiescence.
+            self._live.publish(
+                f"asyncio {script.mechanism} P={nprocs}",
+                self._live_export(transport, mechs, clock),
             )
 
         return BackendRunResult(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from . import ALL_MECHANISMS, run_conformance
 
@@ -79,6 +79,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--out", default=None, help="write the JSON divergence report here"
     )
+    parser.add_argument(
+        "--live-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="stream asyncio-replay metrics on http://127.0.0.1:PORT "
+        "while the conformance suite runs (0 = ephemeral port)",
+    )
     args = parser.parse_args(argv)
 
     if args.mechanisms == "all":
@@ -90,9 +98,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError:
         parser.error(f"bad --grid {args.grid!r}; expected e.g. 10x10x4")
 
-    asyncio_kwargs = {"hard_timeout": args.timeout}
+    asyncio_kwargs: Dict[str, Any] = {"hard_timeout": args.timeout}
     if args.time_scale is not None:
         asyncio_kwargs["time_scale"] = args.time_scale
+
+    live_server = None
+    if args.live_metrics is not None:
+        from ..obs.live import LiveMetricsServer
+
+        live_server = LiveMetricsServer(port=args.live_metrics).start()
+        asyncio_kwargs["live"] = live_server.store
+        print(f"live metrics on {live_server.url()}", file=sys.stderr)
 
     fault_plan = None
     if args.fault_loss > 0.0:
@@ -115,6 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(report.summary())
     if args.out:
         print(f"report: {args.out}")
+    if live_server is not None:
+        live_server.stop()
     return 0 if report.ok else 1
 
 

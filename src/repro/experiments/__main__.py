@@ -83,6 +83,16 @@ def main(argv=None) -> int:
                     help="write each run's metrics as JSON into DIR "
                          "(implies --metrics; view with "
                          "`python -m repro.obs report DIR`)")
+    ap.add_argument("--live-metrics", type=int, default=None, metavar="PORT",
+                    help="stream metrics of running experiments on "
+                         "http://127.0.0.1:PORT (implies --metrics; "
+                         "Prometheus scrape at /metrics, SSE at /events; "
+                         "0 = ephemeral port)")
+    ap.add_argument("--live-linger", type=float, default=0.0,
+                    metavar="SECONDS",
+                    help="keep the --live-metrics endpoint up this long "
+                         "after the sweep finishes (lets a scraper catch "
+                         "the final state)")
     faults = ap.add_argument_group(
         "faults", "knobs for the `robustness` target (repro.faults)"
     )
@@ -122,16 +132,32 @@ def main(argv=None) -> int:
 
     if args.jobs < 0:
         ap.error(f"--jobs must be >= 0, got {args.jobs}")
+    if args.live_metrics is not None and not 0 <= args.live_metrics <= 65535:
+        ap.error(f"--live-metrics must be a port in [0, 65535], "
+                 f"got {args.live_metrics}")
+    if args.live_linger < 0:
+        ap.error(f"--live-linger must be >= 0, got {args.live_linger}")
     jobs = parallel.default_jobs() if args.jobs == 0 else args.jobs
 
     disk_cache = None
     if args.cache_dir and not args.no_disk_cache:
         disk_cache = DiskCache(args.cache_dir)
 
+    live_server = None
+    live_publisher = None
+    if args.live_metrics is not None:
+        from ..obs.live import LiveMetricsServer, LiveRunPublisher
+
+        live_server = LiveMetricsServer(port=args.live_metrics).start()
+        live_publisher = LiveRunPublisher(live_server.store)
+        print(f"live metrics on {live_server.url()} (SSE: /events)",
+              file=sys.stderr)
+
     runner = ExperimentRunner(scale=ExperimentScale(fast=args.fast),
                               verbose=args.verbose, disk_cache=disk_cache,
                               sanitize=args.sanitize, metrics=args.metrics,
-                              metrics_dir=args.metrics_dir)
+                              metrics_dir=args.metrics_dir,
+                              live=live_publisher)
     out: List[str] = []
     t0 = time.time()
 
@@ -210,6 +236,10 @@ def main(argv=None) -> int:
         with open(args.json, "w") as fh:
             json.dump({"runs": runs}, fh, indent=1)
         print(f"{len(runs)} run records written to {args.json}")
+    if live_server is not None:
+        if args.live_linger > 0:
+            time.sleep(args.live_linger)
+        live_server.stop()
     return 0
 
 

@@ -13,12 +13,15 @@ import json
 import os
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..analysis.sanitizer import SanitizerConfig
 from ..matrices import collection
 from ..solver.driver import FactorizationResult, SolverConfig, run_factorization
 from .diskcache import DiskCache, config_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.live import LiveRunPublisher
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,12 @@ class ExperimentRunner:
         When set (implies ``metrics``), each run's registry export is also
         written as ``<dir>/<run-label>_<digest8>.json`` for
         ``python -m repro.obs report``.
+    live:
+        Optional :class:`repro.obs.live.LiveRunPublisher` (implies
+        ``metrics``): simulated runs stream periodic registry snapshots to
+        its store while executing, and cached results publish their final
+        export.  Publishing is a pure read of run state, so results are
+        byte-identical with or without it (see ``run_factorization``).
     """
 
     def __init__(
@@ -123,15 +132,17 @@ class ExperimentRunner:
         sanitize: bool = False,
         metrics: bool = False,
         metrics_dir: Optional[str] = None,
+        live: Optional["LiveRunPublisher"] = None,
     ) -> None:
         self.base_config = base_config or SolverConfig()
         if sanitize and self.base_config.sanitizer is None:
             self.base_config = replace(
                 self.base_config, sanitizer=SanitizerConfig()
             )
-        if (metrics or metrics_dir) and not self.base_config.metrics:
+        if (metrics or metrics_dir or live) and not self.base_config.metrics:
             self.base_config = replace(self.base_config, metrics=True)
         self.metrics_dir = metrics_dir
+        self.live = live
         self.scale = scale or ExperimentScale()
         self.verbose = verbose
         self.disk_cache = disk_cache
@@ -186,6 +197,7 @@ class ExperimentRunner:
         )
         hit = self._cache.get(key)
         if hit is not None:
+            self._publish_live(key, hit)
             return hit
         if self.disk_cache is not None:
             stored = self.disk_cache.get(key)
@@ -193,10 +205,12 @@ class ExperimentRunner:
                 self.disk_hits += 1
                 self._cache[key] = stored
                 self._persist_metrics(key, stored)
+                self._publish_live(key, stored)
                 return stored
         t0 = time.time()
         result = run_factorization(
-            collection.get(problem_name), nprocs, mechanism, strategy, cfg
+            collection.get(problem_name), nprocs, mechanism, strategy, cfg,
+            live=self.live,
         )
         wall = time.time() - t0
         self.total_wall_time += wall
@@ -221,6 +235,21 @@ class ExperimentRunner:
             self.runs_simulated += 1
         self._cache[key] = result
         self._persist_metrics(key, result)
+        self._publish_live(key, result)
+
+    def _publish_live(self, key: RunKey, result: FactorizationResult) -> None:
+        """Publish a ready-made result's final export to the live store.
+
+        Covers the paths that never enter ``run_factorization`` (memory and
+        disk cache hits, parallel-worker installs), so a live dashboard
+        still sees every run of the sweep.
+        """
+        if self.live is None or result.metrics is None:
+            return
+        label = f"{key.problem} P={key.nprocs} {key.mechanism}/{key.strategy}"
+        if key.threaded:
+            label += " +thread"
+        self.live.publish_export(label, result.metrics)
 
     def _persist_metrics(self, key: RunKey, result: FactorizationResult) -> None:
         """Write a run's metrics export to ``metrics_dir`` (once per run).

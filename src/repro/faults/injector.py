@@ -26,6 +26,7 @@ from ..simcore.network import Envelope
 from .plan import CrashFault, FaultPlan, LinkFault, StateLeakFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import Counter as MetricCounter
     from ..obs.registry import MetricsRegistry
     from ..simcore.engine import Simulator
     from ..simcore.process import SimProcess
@@ -66,6 +67,10 @@ class FaultInjector:
         #: Optional telemetry registry (set by the driver with metrics on):
         #: injections become labeled ``faults_injected_total`` increments.
         self.metrics: Optional["MetricsRegistry"] = None
+        #: Preresolved counter handles keyed by call site — per-fault paths
+        #: probe this dict and resolve through the registry only once per
+        #: (action, why) combination.
+        self._metric_slots: Dict[str, "MetricCounter"] = {}
 
     # ----------------------------------------------------------- messages
 
@@ -129,11 +134,26 @@ class FaultInjector:
         self.stats.dropped_by_type[env.payload.type_name] += 1
         self._note(env, "drop", why)
 
+    def _resolve_fault_counter(
+        self, key: str, name: str, labels: Dict[str, str], help_text: str
+    ) -> "MetricCounter":
+        """Setup path: cache one counter handle (once per key)."""
+        assert self.metrics is not None
+        c = self.metrics.counter(name, labels, help=help_text)
+        self._metric_slots[key] = c
+        return c
+
     def _note(self, env: Envelope, action: str, why: str) -> None:
         if self.metrics is not None:
-            self.metrics.counter(
-                "faults_injected_total", {"action": action, "why": why}
-            ).inc()
+            key = "fault:" + action + ":" + why
+            c = self._metric_slots.get(key)
+            if c is None:
+                c = self._resolve_fault_counter(
+                    key, "faults_injected_total",
+                    {"action": action, "why": why},
+                    "Message faults injected, by action and trigger",
+                )
+            c.inc()
         if self.sim.trace is not None:
             self.sim.trace.record(
                 self.sim.now,
@@ -245,16 +265,24 @@ class FaultInjector:
             )
         self._note_process_fault("restart")
         if self.metrics is not None:
+            # Restarts are rare (one registry hit apiece is fine), and the
+            # gauge is absolute so a cached handle would be no cheaper.
             self.metrics.gauge(
-                "rank_downtime_seconds", {"rank": str(proc.rank)}
+                "rank_downtime_seconds", {"rank": str(proc.rank)},
+                help="Cumulative crash-to-restart downtime per rank",
             ).set(self.downtime_by_rank[proc.rank])
         proc.restart()
 
     def _note_process_fault(self, action: str) -> None:
         if self.metrics is not None:
-            self.metrics.counter(
-                "process_faults_total", {"action": action}
-            ).inc()
+            key = "pfault:" + action
+            c = self._metric_slots.get(key)
+            if c is None:
+                c = self._resolve_fault_counter(
+                    key, "process_faults_total", {"action": action},
+                    "Process-level faults fired, by action",
+                )
+            c.inc()
 
     def _set_speed(self, proc: "SimProcess", factor: float) -> None:
         if factor != 1.0:

@@ -37,6 +37,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     ClassVar,
     Dict,
@@ -65,7 +66,7 @@ from .view import Load, LoadView
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.sanitizer import CausalitySanitizer
     from ..backends.api import Clock, ProcessLike, TimerHandle, Transport
-    from ..obs.registry import MetricsRegistry
+    from ..obs.registry import Histogram, MetricsRegistry
 
 ViewCallback = Callable[[LoadView], None]
 
@@ -156,6 +157,8 @@ class SnapshotStats:
         #: Optional telemetry registry (set by the driver with metrics on):
         #: round durations feed the ``snapshot_round_seconds`` histogram.
         self.metrics: Optional["MetricsRegistry"] = None
+        #: Preresolved histogram handle (resolved once on first use).
+        self._round_hist: Optional["Histogram"] = None
 
     def initiation_started(self, rank: int) -> None:
         if not self._active:
@@ -178,7 +181,19 @@ class SnapshotStats:
         if self._sim.trace is not None:
             self._sim.trace.end_span(self._sim.now, "snapshot-round", who=rank)
         if self.metrics is not None:
-            self.metrics.histogram("snapshot_round_seconds").observe(duration)
+            hist = self._round_hist
+            if hist is None:
+                hist = self._resolve_round_hist()
+            hist.observe(duration)
+
+    def _resolve_round_hist(self) -> "Histogram":
+        """Setup path: registry lookups are allowed here, not per event."""
+        assert self.metrics is not None
+        self._round_hist = h = self.metrics.histogram(
+            "snapshot_round_seconds",
+            help="Wall span of one snapshot round, initiation to decision",
+        )
+        return h
 
     @property
     def concurrent_now(self) -> int:
@@ -198,6 +213,11 @@ class MechanismShared:
     #: Optional telemetry registry (repro.obs); mechanisms label broadcast
     #: causes and protocol latencies on it.  Pure observer as well.
     metrics: Optional["MetricsRegistry"] = None
+    #: Preresolved instrument handles keyed by call site (shared across all
+    #: ranks of the run): per-event telemetry paths probe this dict instead
+    #: of doing a registry lookup, and miss exactly once per key (see
+    #: ``Mechanism._resolve_metric_slot``).
+    metric_slots: Dict[str, Any] = field(default_factory=dict)
 
 
 class _RxState:
@@ -675,6 +695,31 @@ class Mechanism(ABC):
 
     # ------------------------------------------------------------- telemetry
 
+    def _resolve_metric_slot(
+        self,
+        key: str,
+        kind: str,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> Any:
+        """Setup path: resolve one instrument into the run-shared slot cache.
+
+        Per-event telemetry paths (``_note_*``) probe ``shared.metric_slots``
+        and land here exactly once per key, so the registry's name/label
+        resolution never runs per event (enforced by lint rule RPA005).
+        """
+        metrics = self.shared.metrics
+        assert metrics is not None
+        if kind == "counter":
+            inst: Any = metrics.counter(name, labels, help=help)
+        elif kind == "histogram":
+            inst = metrics.histogram(name, labels, help=help)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported slot kind {kind!r}")
+        self.shared.metric_slots[key] = inst
+        return inst
+
     def _note_broadcast(self, cause: str) -> None:
         """Count a state broadcast under its ``cause`` label (telemetry).
 
@@ -683,17 +728,28 @@ class Mechanism(ABC):
         ``snapshot_start`` / ``snapshot_end``, ``no_more_master``,
         ``refresh`` (resilience re-anchoring).  No-op with metrics off.
         """
-        metrics = self.shared.metrics
-        if metrics is not None:
-            metrics.counter("state_broadcasts_total", {"cause": cause}).inc()
+        if self.shared.metrics is not None:
+            key = "bcast:" + cause
+            c = self.shared.metric_slots.get(key)
+            if c is None:
+                c = self._resolve_metric_slot(
+                    key, "counter", "state_broadcasts_total",
+                    {"cause": cause},
+                    help="State broadcasts, by triggering cause",
+                )
+            c.inc()
 
     def _note_reservation_lag(self, send_time: float) -> None:
         """Observe how stale a just-treated reservation is (telemetry)."""
-        metrics = self.shared.metrics
-        if metrics is not None:
+        if self.shared.metrics is not None:
             assert self.sim is not None
-            lag = max(0.0, self.sim.now - send_time)
-            metrics.histogram("reservation_lag_seconds").observe(lag)
+            h = self.shared.metric_slots.get("reservation_lag")
+            if h is None:
+                h = self._resolve_metric_slot(
+                    "reservation_lag", "histogram", "reservation_lag_seconds",
+                    help="Send-to-treatment staleness of reservations",
+                )
+            h.observe(max(0.0, self.sim.now - send_time))
 
     # ---------------------------------------------------------------- helpers
 

@@ -223,16 +223,28 @@ class GossipMechanism(Mechanism):
     # ------------------------------------------------------------ telemetry
 
     def _note_round(self, nsent: int) -> None:
-        metrics = self.shared.metrics
-        if metrics is not None:
-            metrics.counter("gossip_rounds_total").inc()
-            metrics.counter(
-                "fanout_messages_total", {"mechanism": self.name}
-            ).inc(nsent)
+        if self.shared.metrics is None:
+            return
+        slots = self.shared.metric_slots
+        rounds = slots.get("gossip_rounds")
+        if rounds is None:
+            rounds = self._resolve_metric_slot(
+                "gossip_rounds", "counter", "gossip_rounds_total",
+                help="Gossip rounds fired across all ranks",
+            )
+        rounds.inc()
+        key = "fanout:" + self.name
+        fanout = slots.get(key)
+        if fanout is None:
+            fanout = self._resolve_metric_slot(
+                key, "counter", "fanout_messages_total",
+                {"mechanism": self.name},
+                help="Bounded-fanout state messages, by mechanism",
+            )
+        fanout.inc(nsent)
 
     def _note_staleness(self) -> None:
-        metrics = self.shared.metrics
-        if metrics is None or self.sim is None or self.nprocs <= 1:
+        if self.shared.metrics is None or self.sim is None or self.nprocs <= 1:
             return
         now = self.sim.now
         total = sum(
@@ -240,9 +252,15 @@ class GossipMechanism(Mechanism):
             for r in range(self.nprocs)
             if r != self.rank
         )
-        metrics.histogram(
-            "view_staleness_seconds", {"mechanism": self.name}
-        ).observe(total / (self.nprocs - 1))
+        key = "staleness:" + self.name
+        h = self.shared.metric_slots.get(key)
+        if h is None:
+            h = self._resolve_metric_slot(
+                key, "histogram", "view_staleness_seconds",
+                {"mechanism": self.name},
+                help="Mean age of remote view entries at round time",
+            )
+        h.observe(total / (self.nprocs - 1))
 
 
 register_mechanism(GossipMechanism)

@@ -341,12 +341,15 @@ class SnapshotMechanism(Mechanism):
         # Gather complete: I am the unique leader; commit to the decision.
         self._stop_retry()
         self._phase = _Phase.DECIDING
-        metrics = self.shared.metrics
-        if metrics is not None:
+        if self.shared.metrics is not None:
             assert self.sim is not None
-            metrics.histogram("snapshot_gather_seconds").observe(
-                self.sim.now - self._gather_started_at
-            )
+            h = self.shared.metric_slots.get("snapshot_gather")
+            if h is None:
+                h = self._resolve_metric_slot(
+                    "snapshot_gather", "histogram", "snapshot_gather_seconds",
+                    help="Leader wait from gather start to decision",
+                )
+            h.observe(self.sim.now - self._gather_started_at)
         self._snp_active[self.rank] = False  # paper, initiate loop line 18
         view = LoadView(self.nprocs)
         for r, load in self._collected.items():

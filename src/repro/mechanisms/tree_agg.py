@@ -312,17 +312,20 @@ class TreeAggMechanism(Mechanism):
     # ------------------------------------------------------------ telemetry
 
     def _note_fanout(self, nsent: int) -> None:
-        if nsent <= 0:
+        if nsent <= 0 or self.shared.metrics is None:
             return
-        metrics = self.shared.metrics
-        if metrics is not None:
-            metrics.counter(
-                "fanout_messages_total", {"mechanism": self.name}
-            ).inc(nsent)
+        key = "fanout:" + self.name
+        c = self.shared.metric_slots.get(key)
+        if c is None:
+            c = self._resolve_metric_slot(
+                key, "counter", "fanout_messages_total",
+                {"mechanism": self.name},
+                help="Bounded-fanout state messages, by mechanism",
+            )
+        c.inc(nsent)
 
     def _note_staleness(self) -> None:
-        metrics = self.shared.metrics
-        if metrics is None or self.sim is None or self.nprocs <= 1:
+        if self.shared.metrics is None or self.sim is None or self.nprocs <= 1:
             return
         now = self.sim.now
         total = sum(
@@ -330,9 +333,15 @@ class TreeAggMechanism(Mechanism):
             for r in range(self.nprocs)
             if r != self.rank
         )
-        metrics.histogram(
-            "view_staleness_seconds", {"mechanism": self.name}
-        ).observe(total / (self.nprocs - 1))
+        key = "staleness:" + self.name
+        h = self.shared.metric_slots.get(key)
+        if h is None:
+            h = self._resolve_metric_slot(
+                key, "histogram", "view_staleness_seconds",
+                {"mechanism": self.name},
+                help="Mean age of remote view entries at round time",
+            )
+        h.observe(total / (self.nprocs - 1))
 
 
 register_mechanism(TreeAggMechanism)

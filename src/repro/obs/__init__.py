@@ -7,6 +7,11 @@ outputs are byte-identical to a build without it.  See
 """
 
 from .accuracy import ViewAccuracyTracker
+from .live import (
+    LiveMetricsServer,
+    LiveMetricsStore,
+    LiveRunPublisher,
+)
 from .monitor import MetricsMonitor
 from .registry import (
     Counter,
@@ -16,12 +21,16 @@ from .registry import (
     Samples,
     Timeseries,
 )
-from .report import render_report, view_accuracy_samples
+from .report import MetricsInputError, render_report, view_accuracy_samples
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveMetricsServer",
+    "LiveMetricsStore",
+    "LiveRunPublisher",
+    "MetricsInputError",
     "MetricsMonitor",
     "MetricsRegistry",
     "Samples",

@@ -5,9 +5,15 @@
     python -m repro.obs report  METRICS...   # text summary per run
     python -m repro.obs report  METRICS... --json
     python -m repro.obs prom    METRICS...   # Prometheus text exposition
+    python -m repro.obs serve   METRICS... --port 9464   # live scrape + SSE
 
 ``METRICS`` are per-run metrics files (``repro-experiments --metrics-dir``),
 directories of them, a bare registry export, or a ``--json`` runs dump.
+
+``report``/``prom`` are strict one-shot readers: a missing path, invalid
+JSON, or an empty input set is a one-line error and exit status 2.
+``serve`` watches the paths instead (files may appear while a sweep runs)
+and republishes changes on a Prometheus scrape + SSE endpoint.
 """
 
 from __future__ import annotations
@@ -18,7 +24,12 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .report import collect_metrics, render_reports, to_prometheus
+from .report import (
+    MetricsInputError,
+    collect_metrics,
+    render_reports,
+    to_prometheus,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -39,12 +50,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_prom.add_argument("--prefix", default="repro_",
                         help="metric name prefix (default: repro_)")
 
+    p_serve = sub.add_parser(
+        "serve", help="live scrape/SSE server over metrics files"
+    )
+    p_serve.add_argument("paths", nargs="+",
+                         help="metrics JSON files or directories to watch")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="listen port (default: 9464; 0 = ephemeral)")
+    p_serve.add_argument("--interval", type=float, default=1.0,
+                         help="seconds between rescans (default: 1)")
+    p_serve.add_argument("--max-seconds", type=float, default=0.0,
+                         help="stop after this many seconds (0 = forever)")
+
     args = parser.parse_args(argv)
-    entries = collect_metrics([Path(p) for p in args.paths])
+    paths = [Path(p) for p in args.paths]
+
+    if args.command == "serve":
+        from .live import DEFAULT_PORT, serve_paths
+
+        port = DEFAULT_PORT if args.port is None else args.port
+        if not 0 <= port <= 65535:
+            parser.error(f"--port must be in [0, 65535], got {port}")
+        serve_paths(
+            paths,
+            host=args.host,
+            port=port,
+            interval=args.interval,
+            max_seconds=args.max_seconds,
+            announce=sys.stderr,
+        )
+        return 0
+
+    try:
+        entries = collect_metrics(paths)
+    except MetricsInputError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     if not entries:
-        print("no metrics found (run with --metrics / --metrics-dir?)",
+        print("error: no metrics found (run with --metrics / --metrics-dir?)",
               file=sys.stderr)
-        return 1
+        return 2
 
     if args.command == "report":
         if args.as_json:

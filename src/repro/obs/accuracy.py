@@ -21,6 +21,17 @@ Per decision, the tracker records into the run's metrics registry:
 * ``view_error_signed_workload`` (timeseries) — the signed workload error,
   whose persistent negative excursions are the staleness signature;
 * ``view_error_workload_hist`` (histogram) — the error distribution.
+
+Every instrument is resolved **once** here in ``__init__`` and held as an
+attribute — the per-decision :meth:`~ViewAccuracyTracker.sample` path never
+touches the registry's name/label lookup (the slot-handle discipline that
+RPA005 enforces across the hot-path packages).
+
+Cost knobs: ``max_samples`` bounds the per-decision record reservoir
+(:class:`~repro.obs.registry.Samples` decimates deterministically past the
+cap), for long sweeps where the default unbounded capture would dominate
+the export size.  The default 0 keeps every record, byte-identical to
+previous releases.
 """
 
 from __future__ import annotations
@@ -45,10 +56,13 @@ class ViewAccuracyTracker:
         registry: MetricsRegistry,
         truth: "TruthTracker",
         bucket_width: float = 1e-3,
+        max_samples: int = 0,
     ) -> None:
         self.registry = registry
         self.truth = truth
-        self._samples = registry.samples("view_accuracy")
+        self._samples = registry.samples(
+            "view_accuracy", max_records=max_samples
+        )
         self._ts_w = registry.timeseries(
             "view_error_workload", bucket_width=bucket_width
         )
@@ -69,8 +83,7 @@ class ViewAccuracyTracker:
         The master's own entry is excluded (trivially fresh under every
         mechanism), matching :meth:`TruthTracker.errors_against`.
         """
-        abs_w, abs_m = self.truth.errors_against(view, exclude=master)
-        signed_w, signed_m = self.truth.signed_errors_against(
+        abs_w, abs_m, signed_w, signed_m = self.truth.all_errors_against(
             view, exclude=master
         )
         self.decisions_sampled += 1

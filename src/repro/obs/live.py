@@ -1,0 +1,346 @@
+"""Live metrics streaming for running experiments.
+
+Three pieces, composable from the CLI or as a library:
+
+* :class:`LiveMetricsStore` — a thread-safe map of run label → registry
+  export with a change sequence number; writers :meth:`~LiveMetricsStore.
+  publish` whole snapshots, readers either poll :meth:`~LiveMetricsStore.
+  snapshot` or block in :meth:`~LiveMetricsStore.wait_changed`.
+* :class:`LiveMetricsServer` — a daemon-thread HTTP server exposing the
+  store as a Prometheus text scrape (``/metrics``), a JSON document
+  (``/metrics.json``), a Server-Sent-Events stream (``/events``) and a
+  ``/healthz`` probe.
+* :class:`LiveRunPublisher` — the bridge from a *running* simulation to the
+  store: it hooks :attr:`MetricsMonitor.on_tick` and republishes the
+  registry export at a wall-clock cadence.  The simulation remains
+  deterministic: publishing only *reads* (plus ring-buffer flushes that are
+  fold-order invariant), so results are byte-identical with or without it.
+
+The paced hot-path cost with a publisher attached is one ``monotonic()``
+read per engine sample (every ``engine_stride`` events); with no publisher
+the monitor's hook check is a single ``is None`` test.
+
+``python -m repro.obs serve`` runs :func:`serve_paths` — a directory
+watcher that republishes metrics files as a sweep writes them — and
+``repro-experiments --live-metrics PORT`` attaches a publisher in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+# Live streaming is wall-clock-paced by design: it observes the simulation
+# from outside and never feeds anything back into it (cf. RPA002, which
+# bans wall-clock reads that could steer simulated behavior).
+import time as _time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+from .report import collect_metrics, to_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .monitor import MetricsMonitor
+    from .registry import MetricsRegistry
+
+#: Default scrape/SSE port (the conventional Prometheus exporter range).
+DEFAULT_PORT = 9464
+
+#: Seconds between SSE keepalive comments when nothing changed.
+SSE_KEEPALIVE = 10.0
+
+
+class LiveMetricsStore:
+    """Latest registry export per run label, with change notification."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: label → registry export, in first-publish order.
+        self._runs: Dict[str, Dict[str, Any]] = {}
+        self._seq = 0
+        self._closed = False
+
+    @property
+    def seq(self) -> int:
+        with self._cond:
+            return self._seq
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def publish(self, label: str, export: Dict[str, Any]) -> None:
+        """Install ``export`` as the latest snapshot for ``label``.
+
+        No-op (no sequence bump, no wakeups) when the export equals the
+        one already stored, so idle runs do not spam SSE subscribers.
+        """
+        with self._cond:
+            if self._runs.get(label) == export:
+                return
+            self._runs[label] = export
+            self._seq += 1
+            self._cond.notify_all()
+
+    def snapshot(self) -> Tuple[int, List[Tuple[str, Dict[str, Any]]]]:
+        """Current ``(seq, [(label, export), ...])``.
+
+        Exports are returned by reference: publishers hand over freshly
+        built dicts and never mutate them afterwards.
+        """
+        with self._cond:
+            return self._seq, list(self._runs.items())
+
+    def wait_changed(self, seen_seq: int, timeout: float) -> int:
+        """Block until the sequence passes ``seen_seq``, the store closes,
+        or ``timeout`` elapses; returns the current sequence."""
+        deadline = _time.monotonic() + timeout
+        with self._cond:
+            while self._seq <= seen_seq and not self._closed:
+                left = deadline - _time.monotonic()
+                if left <= 0:
+                    break
+                self._cond.wait(left)
+            return self._seq
+
+    def close(self) -> None:
+        """Mark the store finished and wake every waiting subscriber."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class _LiveHandler(BaseHTTPRequestHandler):
+    """One scrape/stream request; ``store`` is injected per server."""
+
+    store: LiveMetricsStore  # set on the per-server subclass
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # a scrape per second would drown the experiment's own output
+
+    def _send_text(self, body: str, content_type: str, status: int = 200) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _json_doc(self) -> str:
+        seq, entries = self.store.snapshot()
+        return json.dumps(
+            {"seq": seq, "runs": {label: export for label, export in entries}},
+            sort_keys=True,
+        )
+
+    def do_GET(self) -> None:  # http.server handler API name
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                _, entries = self.store.snapshot()
+                self._send_text(
+                    to_prometheus(entries),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/metrics.json":
+                self._send_text(self._json_doc(), "application/json")
+            elif path == "/events":
+                self._stream_events()
+            elif path in ("/", "/healthz"):
+                self._send_text("ok\n", "text/plain; charset=utf-8")
+            else:
+                self._send_text("not found\n", "text/plain; charset=utf-8", 404)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-write; nothing to clean up
+
+    def _stream_events(self) -> None:
+        """SSE: one ``metrics`` event per store change + keepalive comments."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        seen = -1  # the first frame always carries the current state
+        while True:
+            seq = self.store.wait_changed(seen, SSE_KEEPALIVE)
+            if seq > seen:
+                seen = seq
+                frame = f"event: metrics\ndata: {self._json_doc()}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
+            else:
+                if self.store.closed:
+                    self.wfile.write(b"event: end\ndata: {}\n\n")
+                    return
+                self.wfile.write(b": keepalive\n\n")
+            self.wfile.flush()
+
+
+class LiveMetricsServer:
+    """Daemon-thread HTTP server over one :class:`LiveMetricsStore`."""
+
+    def __init__(
+        self,
+        store: Optional[LiveMetricsStore] = None,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.store = store if store is not None else LiveMetricsStore()
+        handler = type("Handler", (_LiveHandler,), {"store": self.store})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolves ``port=0`` requests)."""
+        return int(self._httpd.server_address[1])
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "LiveMetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-live-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.store.close()  # unblock SSE subscribers before shutdown
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class LiveRunPublisher:
+    """Publishes one running simulation's registry into a store.
+
+    The driver calls :meth:`attach` once per run (after building the
+    :class:`MetricsMonitor`) and :meth:`finish` with the final export; in
+    between, the monitor's engine-sample hook lands in :meth:`_tick`, which
+    republishes at most every ``interval`` wall seconds.
+    """
+
+    def __init__(
+        self, store: LiveMetricsStore, interval: float = 0.5
+    ) -> None:
+        self.store = store
+        self.interval = interval
+        self._label: Optional[str] = None
+        self._registry: Optional["MetricsRegistry"] = None
+        self._monitor: Optional["MetricsMonitor"] = None
+        self._next_at = 0.0
+
+    def attach(
+        self,
+        label: str,
+        registry: "MetricsRegistry",
+        monitor: "MetricsMonitor",
+    ) -> None:
+        self.detach()
+        self._label = label
+        self._registry = registry
+        self._monitor = monitor
+        self._next_at = 0.0  # first engine sample publishes immediately
+        monitor.on_tick = self._tick
+
+    def _tick(self) -> None:
+        now = _time.monotonic()
+        if now < self._next_at:
+            return
+        self._next_at = now + self.interval
+        assert self._monitor is not None and self._registry is not None
+        assert self._label is not None
+        # Fold pending rate buffers first so the snapshot is current; the
+        # fold is order-invariant, so mid-run flushes leave the final
+        # timeseries byte-identical to an unpublished run's.
+        self._monitor.flush()
+        self.store.publish(self._label, self._registry.to_dict())
+
+    def publish_export(self, label: str, export: Dict[str, Any]) -> None:
+        """Publish a finished run's export directly (cache hits, replays)."""
+        self.store.publish(label, export)
+
+    def finish(self, export: Optional[Dict[str, Any]] = None) -> None:
+        """Publish the final snapshot and detach from the monitor."""
+        if self._label is not None and self._registry is not None:
+            final = export if export is not None else self._registry.to_dict()
+            self.store.publish(self._label, final)
+        self.detach()
+
+    def detach(self) -> None:
+        if self._monitor is not None:
+            self._monitor.on_tick = None
+        self._label = None
+        self._registry = None
+        self._monitor = None
+
+
+def serve_paths(
+    paths: Iterable[Path],
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    interval: float = 1.0,
+    max_seconds: float = 0.0,
+    announce: Optional[Any] = None,
+) -> LiveMetricsServer:
+    """Serve metrics files/directories live, republishing as they change.
+
+    Missing files and half-written JSON are skipped each scan (a sweep may
+    still be writing them) — unlike the strict one-shot ``report``/``prom``
+    readers, a watcher must tolerate files that appear over time.  Returns
+    after ``max_seconds`` (0 = watch until interrupted); the caller owns
+    the returned (already stopped) server only for inspection.
+    """
+    store = LiveMetricsStore()
+    server = LiveMetricsServer(store, host=host, port=port).start()
+    if announce is not None:
+        print(f"serving live metrics on {server.url()}", file=announce)
+    started = _time.monotonic()
+    try:
+        while True:
+            for label, export in _scan_entries(paths):
+                store.publish(label, export)
+            if max_seconds > 0 and _time.monotonic() - started >= max_seconds:
+                break
+            try:
+                _time.sleep(interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                break
+    finally:
+        server.stop()
+    return server
+
+
+def _scan_entries(
+    paths: Iterable[Path],
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """One tolerant scan pass: every readable metrics entry right now."""
+    from .report import MetricsInputError
+
+    out: List[Tuple[str, Dict[str, Any]]] = []
+    for p in paths:
+        targets: List[Path]
+        if p.is_dir():
+            targets = sorted(p.glob("*.json"))
+        elif p.exists():
+            targets = [p]
+        else:
+            continue
+        for f in targets:
+            try:
+                out.extend(collect_metrics([f]))
+            except MetricsInputError:
+                continue  # mid-write or foreign JSON; next scan may succeed
+    return out

@@ -5,34 +5,75 @@ configured with ``SolverConfig(metrics=True)``; with metrics off the kernel
 never calls into this module.  The monitor is strictly observational — it
 never schedules events, charges CPU time or mutates simulation state — so
 even metrics-*on* runs produce simulated results identical to metrics-off
-runs; only wall time differs.
+runs; only wall time differs (budget: < 5% on the representative run, see
+``benchmarks/bench_perf.py``).
+
+The per-event hot path does almost nothing.  Send counts and bytes are
+**not** recounted here at all: the kernel's :class:`MessageStats` (which
+runs metrics on or off) keeps the joint ``channel × payload type``
+counters, and :meth:`MetricsMonitor.flush` syncs them into preresolved
+registry slots (:meth:`MetricsRegistry.counter_slot`) as idempotent
+absolute assignments.  In the usual shared-stats configuration the monitor
+does not override ``on_send`` at all — the transport's ``wants_send``
+fast path then skips the per-send monitor call entirely.  Send *rate*
+stamps ride the treat hook instead: every envelope carries its
+``send_time``, so the sampled treat path appends it to a per-channel ring
+buffer (flushed in batches through :meth:`Timeseries.fold_counts`, which
+weights each kept stamp by the sampling stride).  ``on_treat`` itself is
+two scalar countdowns in the common case.  The hooks are compiled as
+closures at construction time: every name the hot path touches is a
+closure cell, so there are no ``self`` attribute loads (and, because they
+are instance attributes, no bound-method objects created) per event.
 
 Metrics fed from the kernel hooks (see ``docs/observability.md`` for the
 full catalogue):
 
 * ``messages_sent_total{channel,type}`` / ``message_bytes_sent_total`` —
   per-channel, per-payload-type counters (the live view of Table 6);
-* ``message_send_rate{channel}`` — time-bucketed send counts;
+* ``message_send_rate{channel}`` — time-bucketed send counts (stamped at
+  treat time from each envelope's ``send_time``; messages still in flight
+  at finalize — or dropped by fault injection — contribute no stamp);
 * ``messages_treated_total{channel}`` and ``mailbox_wait_seconds`` — the
   delivery-to-treatment latency distribution (how long state information
   sits behind a computing process — the very effect §4.5's comm thread
-  attacks);
+  attacks), stride-sampled (``wait_stride``);
 * ``engine_events_executed`` / ``engine_event_queue_depth`` — engine
   progress and queue depth, sampled at most once per time bucket from
-  inside the hooks (no timer events: sampling must not perturb the run).
+  inside the treat hook (no timer events: sampling must not perturb the
+  run).
+
+``on_tick`` is the live-streaming hook: when set (see
+:mod:`repro.obs.live`), it is invoked from the engine-sampling path — at
+most once every ``engine_stride`` treated messages — so a wall-clock-paced
+snapshot publisher can piggyback on the run without scheduling anything.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple,
+)
 
 from ..simcore.monitor import RunMonitor
-from ..simcore.network import Channel
+from ..simcore.network import Channel, MessageStats
 from .registry import DEFAULT_BUCKET_WIDTH, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.engine import Simulator
     from ..simcore.network import Envelope
+    from ..simcore.process import SimProcess
+
+#: Sample every ``wait_stride``-th treat (deterministic): the sampled
+#: treat records a mailbox-wait observation and a send-rate stamp.
+DEFAULT_WAIT_STRIDE = 4
+#: Check the engine-sample time bucket every ``engine_stride`` treats.
+DEFAULT_ENGINE_STRIDE = 16
+#: Flush a channel's send-rate ring buffer once it holds this many stamps.
+DEFAULT_RATE_FLUSH = 1024
+
+#: One preresolved send entry: (count values, count slot, byte values,
+#: byte slot) — synced from :class:`MessageStats` at flush time.
+_SendSlots = Tuple[List[float], int, List[float], int]
 
 
 class MetricsMonitor(RunMonitor):
@@ -42,82 +83,301 @@ class MetricsMonitor(RunMonitor):
         self,
         sim: "Simulator",
         registry: MetricsRegistry,
+        stats: Optional[MessageStats] = None,
         bucket_width: float = DEFAULT_BUCKET_WIDTH,
+        wait_stride: int = DEFAULT_WAIT_STRIDE,
+        engine_stride: int = DEFAULT_ENGINE_STRIDE,
+        rate_flush: int = DEFAULT_RATE_FLUSH,
+        procs: Optional[Sequence["SimProcess"]] = None,
     ) -> None:
         self.sim = sim
         self.registry = registry
+        # Kernel mode: when the driver hands over the process list, treated
+        # counts are read from the kernel's own per-process counters
+        # (SimProcess.treated_state/treated_data) at flush time, and the
+        # monitor publishes ``treat_stride`` so the kernel only *calls*
+        # ``on_treat`` every ``wait_stride``-th treatment — each invocation
+        # is then one sample, with no counting in the hook at all.
+        self._procs = procs
+        self.treat_stride = (
+            max(1, int(wait_stride)) if procs is not None else 1
+        )
+        # When the caller shares the transport's own MessageStats (the
+        # driver passes ``net.stats``), the monitor needs no send hook at
+        # all — counts and bytes are folded from the shared stats at flush
+        # time, and rate stamps come from the treat hook — so the per-send
+        # cost of message accounting is paid once, in the kernel, metrics
+        # on or off.  Without a shared stats the monitor installs a
+        # counting ``on_send`` to keep a private one (slower; used by
+        # direct constructions in tests/benchmarks only).
+        self._owns_stats = stats is None
+        self.stats = MessageStats() if stats is None else stats
         self.bucket_width = float(bucket_width)
+        self.wait_stride = max(1, int(wait_stride))
+        self.engine_stride = max(1, int(engine_stride))
+        self.rate_flush = max(1, int(rate_flush))
         self._last_engine_bucket = -1
-        # Pre-created instruments for the per-hook fast path; per-label
-        # counters are resolved through a small local cache instead of the
-        # registry's dict-of-dicts on every message.
-        self._wait_hist = registry.histogram("mailbox_wait_seconds")
+        #: Live-streaming hook (repro.obs.live): called at most once every
+        #: ``engine_stride`` treated messages; None costs one identity check.
+        self.on_tick: Optional[Callable[[], None]] = None
+        # Registration time: fix every family's schema up front so the
+        # per-event paths below only ever resolve slots, never shapes.
+        registry.declare("messages_sent_total", "counter",
+                         ("channel", "type"),
+                         help="Messages sent, by channel and payload type")
+        registry.declare("message_bytes_sent_total", "counter",
+                         ("channel", "type"),
+                         help="Payload bytes sent, by channel and type")
+        registry.declare("messages_treated_total", "counter", ("channel",),
+                         help="Messages treated (handler ran), by channel")
+        registry.declare("message_send_rate", "timeseries", ("channel",),
+                         help="Send counts per simulated-time bucket "
+                         "(stride-sampled, fold-weighted)")
+        # Stride sampling happens monitor-side (the countdown below skips
+        # the observe() call entirely), so the histogram itself keeps
+        # stride 1 — strides must not compound.
+        self._wait_hist = registry.histogram(
+            "mailbox_wait_seconds",
+            help="Delivery-to-treatment latency (stride-sampled)",
+        )
         self._events_ts = registry.timeseries(
-            "engine_events_executed", bucket_width=self.bucket_width
+            "engine_events_executed", bucket_width=self.bucket_width,
+            help="Cumulative engine events, sampled per time bucket",
         )
         self._queue_ts = registry.timeseries(
-            "engine_event_queue_depth", bucket_width=self.bucket_width
+            "engine_event_queue_depth", bucket_width=self.bucket_width,
+            help="Pending engine events, sampled per time bucket",
         )
-        # Handles preresolved per channel (lists indexed by the Channel
-        # IntEnum) so the per-message hooks do no label-tuple construction
-        # and at most one string-keyed dict lookup per send.  The per-type
-        # caches key on ``payload.type_name`` — not ``type(payload)`` —
-        # because the resilience wrapper (``Sequenced``) reports its *inner*
+        # Slot handles for the send counters, resolved lazily per joint
+        # ``(channel, type)`` key at flush time (sync path, not per event).
+        # Keys use ``payload.type_name`` — not ``type(payload)`` — because
+        # the resilience wrapper (``Sequenced``) reports its *inner*
         # payload's type name.  Series stay lazily created so the registry
-        # export lists exactly the channels that saw traffic, as before.
-        self._sent_by_channel: List[Dict[str, Tuple[
-            Callable[..., None], Callable[..., None]
-        ]]] = [{} for _ in Channel]
-        self._rate_sample: List[Optional[Callable[..., None]]] = [
+        # export lists exactly the channels/types that saw traffic.
+        self._sent_slots: Dict[Tuple[Channel, str], _SendSlots] = {}
+        #: Per-channel ring buffers of send timestamps, batch-flushed into
+        #: the ``message_send_rate`` timeseries.
+        self._rate_buffers: List[Optional[List[float]]] = [
             None for _ in Channel
         ]
-        self._treated_inc: List[Optional[Callable[..., None]]] = [
+        self._treated: List[Optional[Tuple[List[float], int]]] = [
             None for _ in Channel
         ]
+        # Treated counts accumulate as plain ints here (one list-indexed
+        # increment per treat) and sync into registry slots at flush time,
+        # like the send counters.
+        self._treated_counts: List[int] = [0 for _ in Channel]
+        # The per-event hooks are compiled as closures over local bindings
+        # (see _build_hooks): every name they touch is a cell variable, so
+        # the hot path pays no ``self`` attribute loads and no bound-method
+        # creation per event.  The instance attributes assigned there shadow
+        # the class-level RunMonitor methods.
+        self._build_hooks()
+
+    def _build_hooks(self) -> None:
+        """Setup path: compile the hot hooks as closures.
+
+        Kernel mode (``procs`` given): the kernel honors ``treat_stride``,
+        so each ``on_treat`` invocation *is* one sample — record the
+        mailbox wait and the envelope's ``send_time`` into the channel's
+        rate ring buffer (the fold weights each kept stamp back up by the
+        stride); treated counts are read from the kernel's per-process
+        counters at flush time.  The engine-sample countdown ticks once
+        per invocation, so the effective engine cadence stays
+        ``engine_stride`` treats (``wait_stride`` × the nested sub-stride).
+
+        Private mode (no ``procs``): ``treat_stride`` stays 1, the hook is
+        called every treat, counts in two scalar closure cells and applies
+        the ``wait_stride`` countdown itself — the standalone behavior
+        direct constructions (tests, microbenchmarks) rely on.
+
+        ``on_send`` is only installed when the monitor owns a private
+        :class:`MessageStats`; with the driver's shared stats the class
+        keeps the base no-op and the transport's ``wants_send`` fast path
+        skips the call per send.
+        """
+        rate_buffers = self._rate_buffers
+        resolve_rate = self._resolve_rate_buffer
+        treated_counts = self._treated_counts
+        rate_flush = self.rate_flush
+        flush = self.flush
+        wait_stride = self.wait_stride
+        engine_sub = max(1, self.engine_stride // self.wait_stride)
+        sample_engine = self._sample_engine
+        sim = self.sim
+        observe_wait = self._wait_hist.observe
+
+        if self._owns_stats:
+            stats_count = self.stats.count
+
+            def on_send(env: "Envelope") -> None:
+                stats_count(env)
+
+            self.on_send = on_send  # type: ignore[method-assign]
+
+        assert len(Channel) == 2, "treat fast path assumes STATE/DATA only"
+        engine_left = 1
+
+        if self._procs is not None:
+            procs = tuple(self._procs)
+
+            def on_treat_sampled(rank: int, env: "Envelope") -> None:
+                nonlocal engine_left
+                now = sim.now
+                wait = now - env.deliver_time
+                observe_wait(wait if wait > 0.0 else 0.0)
+                buf = rate_buffers[env.channel]
+                if buf is None:
+                    buf = resolve_rate(env.channel)
+                buf.append(env.send_time)
+                if len(buf) >= rate_flush:
+                    flush()
+                engine_left -= 1
+                if engine_left <= 0:
+                    engine_left = engine_sub
+                    sample_engine(now)
+
+            def _sync_treated_kernel() -> None:
+                ts = 0
+                td = 0
+                for p in procs:
+                    ts += p.treated_state
+                    td += p.treated_data
+                treated_counts[Channel.STATE] = ts
+                treated_counts[Channel.DATA] = td
+
+            self.on_treat = on_treat_sampled  # type: ignore[method-assign]
+            self._sync_treated = _sync_treated_kernel
+            return
+
+        # Private mode: per-channel treated counts live in two scalar
+        # closure cells (STATE is falsy as an IntEnum of 0) — a nonlocal
+        # int increment beats an enum-indexed list update.
+        state_treated = 0
+        data_treated = 0
+        wait_left = 1
+
+        def on_treat(rank: int, env: "Envelope") -> None:
+            nonlocal state_treated, data_treated, wait_left, engine_left
+            if env.channel:
+                data_treated += 1
+            else:
+                state_treated += 1
+            wait_left -= 1
+            if wait_left <= 0:
+                wait_left = wait_stride
+                now = sim.now
+                wait = now - env.deliver_time
+                observe_wait(wait if wait > 0.0 else 0.0)
+                buf = rate_buffers[env.channel]
+                if buf is None:
+                    buf = resolve_rate(env.channel)
+                buf.append(env.send_time)
+                if len(buf) >= rate_flush:
+                    flush()
+                engine_left -= 1
+                if engine_left <= 0:
+                    engine_left = engine_sub
+                    sample_engine(now)
+
+        def _sync_treated() -> None:
+            treated_counts[Channel.STATE] = state_treated
+            treated_counts[Channel.DATA] = data_treated
+
+        self.on_treat = on_treat  # type: ignore[method-assign]
+        self._sync_treated = _sync_treated
+
+    # ------------------------------------------------------------ resolution
+
+    def _resolve_send_slots(
+        self, channel: "Channel", tname: str
+    ) -> _SendSlots:
+        """Sync path: resolve one channel×type's slot handles (once)."""
+        labels = {"channel": channel.name, "type": tname}
+        cvals, cslot = self.registry.counter_slot("messages_sent_total", labels)
+        bvals, bslot = self.registry.counter_slot(
+            "message_bytes_sent_total", labels
+        )
+        entry = (cvals, cslot, bvals, bslot)
+        self._sent_slots[(channel, tname)] = entry
+        return entry
+
+    def _resolve_rate_buffer(self, channel: "Channel") -> List[float]:
+        """Setup path: first sampled treat on ``channel`` creates its rate
+        series (so the export still lists exactly the channels that saw
+        traffic) and the ring buffer the treat hook appends into."""
+        self.registry.timeseries(
+            "message_send_rate", {"channel": channel.name},
+            bucket_width=self.bucket_width,
+        )
+        buf: List[float] = []
+        self._rate_buffers[channel] = buf
+        return buf
+
+    def _resolve_treated_slot(self, channel: "Channel") -> Tuple[List[float], int]:
+        """Setup path: resolve one channel's treated-counter slot (once)."""
+        entry = self.registry.counter_slot(
+            "messages_treated_total", {"channel": channel.name}
+        )
+        self._treated[channel] = entry
+        return entry
 
     # ------------------------------------------------------------- sampling
 
     def _sample_engine(self, now: float) -> None:
         """At most one engine sample per time bucket, from inside a hook."""
         bucket = int(now / self.bucket_width)
-        if bucket == self._last_engine_bucket:
-            return
-        self._last_engine_bucket = bucket
-        self._events_ts.sample(now, float(self.sim.events_executed))
-        self._queue_ts.sample(now, float(len(self.sim.queue)))
+        if bucket != self._last_engine_bucket:
+            self._last_engine_bucket = bucket
+            self._events_ts.sample(now, float(self.sim.events_executed))
+            self._queue_ts.sample(now, float(len(self.sim.queue)))
+        tick = self.on_tick
+        if tick is not None:
+            tick()
 
-    # ----------------------------------------------------------- kernel hooks
+    # -------------------------------------------------------------- flushing
 
-    def on_send(self, env: "Envelope") -> None:
-        channel = env.channel
-        tname = env.payload.type_name
-        entry = self._sent_by_channel[channel].get(tname)
-        if entry is None:
-            labels = {"channel": channel.name, "type": tname}
-            entry = self._sent_by_channel[channel][tname] = (
-                self.registry.counter("messages_sent_total", labels).inc,
-                self.registry.counter("message_bytes_sent_total", labels).inc,
-            )
-        inc_count, inc_bytes = entry
-        inc_count()
-        inc_bytes(env.size)
-        rate = self._rate_sample[channel]
-        if rate is None:
-            rate = self._rate_sample[channel] = self.registry.timeseries(
-                "message_send_rate", {"channel": channel.name},
-                bucket_width=self.bucket_width,
-            ).sample
-        rate(env.send_time, 1.0)
-        self._sample_engine(self.sim.now)
+    def flush(self) -> None:
+        """Fold pending send stamps and sync counters from the kernel stats.
 
-    def on_treat(self, rank: int, env: "Envelope") -> None:
-        inc = self._treated_inc[env.channel]
-        if inc is None:
-            inc = self._treated_inc[env.channel] = self.registry.counter(
-                "messages_treated_total", {"channel": env.channel.name}
-            ).inc
-        inc()
-        now = self.sim.now
-        wait = now - env.deliver_time
-        self._wait_hist.observe(wait if wait > 0.0 else 0.0)
-        self._sample_engine(now)
+        Called automatically when a rate buffer fills (``rate_flush``), by
+        the live publisher before each snapshot, and by :meth:`finalize`.
+        Counter sync is an idempotent absolute assignment — the registry
+        slots are set *to* the shared :class:`MessageStats` joint counts,
+        so flushing twice (or mid-run for a live scrape) never double
+        counts.
+        """
+        for channel in Channel:
+            buf = self._rate_buffers[channel]
+            if buf:
+                self.registry.timeseries(
+                    "message_send_rate", {"channel": channel.name},
+                    bucket_width=self.bucket_width,
+                ).fold_counts(buf, weight=float(self.wait_stride))
+                del buf[:]
+        sent_slots = self._sent_slots
+        bytes_joint = self.stats.bytes_by_channel_type
+        for key, n in self.stats.by_channel_type.items():
+            entry = sent_slots.get(key)
+            if entry is None:
+                entry = self._resolve_send_slots(key[0], key[1])
+            cvals, cslot, bvals, bslot = entry
+            cvals[cslot] = float(n)
+            bvals[bslot] = float(bytes_joint[key])
+        self._sync_treated()
+        for channel in Channel:
+            n = self._treated_counts[channel]
+            if n:
+                entry = self._treated[channel]
+                if entry is None:
+                    entry = self._resolve_treated_slot(channel)
+                values, slot = entry
+                values[slot] = float(n)
+
+    def finalize(self) -> None:
+        """Drain all buffers; the driver calls this before the export."""
+        self.flush()
+
+    # The kernel hook ``on_treat`` (and, in private-stats mode only,
+    # ``on_send``) is an instance attribute compiled in
+    # :meth:`_build_hooks` — see there for the hot-path bodies.

@@ -18,7 +18,15 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
-from .registry import MetricsRegistry
+from .registry import MetricsRegistry, escape_label_value
+
+
+class MetricsInputError(ValueError):
+    """A metrics input path is missing, unreadable or not a metrics doc.
+
+    The CLI turns this into a one-line ``error: ...`` message and exit
+    status 2 instead of a traceback.
+    """
 
 
 def run_label(run: Optional[Mapping[str, Any]]) -> str:
@@ -51,17 +59,35 @@ def load_metrics_doc(doc: Mapping[str, Any]) -> List[Tuple[str, Dict[str, Any]]]
 
 
 def collect_metrics(paths: Iterable[Path]) -> List[Tuple[str, Dict[str, Any]]]:
-    """Load every metrics document under ``paths`` (files or directories)."""
+    """Load every metrics document under ``paths`` (files or directories).
+
+    Raises :class:`MetricsInputError` (with the offending path in the
+    message) for missing paths, unreadable files, invalid JSON and JSON
+    documents that are not metrics in any accepted format.
+    """
     files: List[Path] = []
     for p in paths:
         if p.is_dir():
             files.extend(sorted(p.glob("*.json")))
-        else:
+        elif p.exists():
             files.append(p)
+        else:
+            raise MetricsInputError(f"{p}: no such file or directory")
     out: List[Tuple[str, Dict[str, Any]]] = []
     for f in files:
-        doc = json.loads(f.read_text(encoding="utf-8"))
-        for label, metrics in load_metrics_doc(doc):
+        try:
+            text = f.read_text(encoding="utf-8")
+        except OSError as e:
+            raise MetricsInputError(f"{f}: {e.strerror or e}") from e
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise MetricsInputError(f"{f}: invalid JSON ({e})") from e
+        try:
+            pairs = load_metrics_doc(doc)
+        except ValueError as e:
+            raise MetricsInputError(f"{f}: {e}") from e
+        for label, metrics in pairs:
             out.append((label if label != "run" else f.stem, metrics))
     return out
 
@@ -174,6 +200,7 @@ def to_prometheus(
     for label, metrics in entries:
         reg = MetricsRegistry.from_dict(metrics)
         text = reg.to_prometheus(prefix)
+        run = escape_label_value(label)
         # inject the run label into every sample line
         for line in text.splitlines():
             if line.startswith("#") or not line:
@@ -182,7 +209,7 @@ def to_prometheus(
             name, _, value = line.rpartition(" ")
             if name.endswith("}"):
                 head, _, tail = name.rpartition("}")
-                out.append(f'{head},run="{label}"}} {value}')
+                out.append(f'{head},run="{run}"}} {value}')
             else:
-                out.append(f'{name}{{run="{label}"}} {value}')
+                out.append(f'{name}{{run="{run}"}} {value}')
     return "\n".join(out) + ("\n" if out else "")

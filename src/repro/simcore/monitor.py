@@ -32,6 +32,14 @@ class RunMonitor:
     unconditionally once a monitor is installed.
     """
 
+    #: Sampling contract for :meth:`on_treat`: the kernel may invoke the
+    #: hook only every ``treat_stride``-th treatment (per process), and the
+    #: monitor must treat each invocation as representing ``treat_stride``
+    #: treatments.  Monitors that need every treatment (the sanitizer's
+    #: vector clocks) keep the default 1; the telemetry monitor raises it
+    #: so non-sampled treats pay a two-op countdown instead of a call.
+    treat_stride: int = 1
+
     def on_send(self, env: "Envelope") -> None:
         """``env`` was just handed to the network by ``env.src``."""
 
@@ -43,6 +51,36 @@ class RunMonitor:
 
     def leave_context(self, rank: int) -> None:
         """``rank``'s code stops executing (matches :meth:`enter_context`)."""
+
+    def wants_context(self) -> bool:
+        """True when the execution-context hooks are overridden.
+
+        The kernel caches this per process (``SimProcess.add_monitor``) and
+        skips the ``enter_context``/``leave_context`` calls entirely for
+        monitors that keep the no-op defaults — a metrics-only run must not
+        pay two no-op method calls per message treatment.  Overrides via
+        instance attributes (compiled closures) are detected too.
+        """
+        cls = type(self)
+        return (
+            "enter_context" in self.__dict__
+            or "leave_context" in self.__dict__
+            or cls.enter_context is not RunMonitor.enter_context
+            or cls.leave_context is not RunMonitor.leave_context
+        )
+
+    def wants_send(self) -> bool:
+        """True when :meth:`on_send` is overridden (class- or instance-level).
+
+        ``Network.add_monitor`` caches this so transports skip the per-send
+        call for monitors that don't observe sends — the telemetry monitor
+        gets everything it needs from the shared :class:`MessageStats` and
+        the treat hook, so pure-metrics runs pay nothing per send.
+        """
+        return (
+            "on_send" in self.__dict__
+            or type(self).on_send is not RunMonitor.on_send
+        )
 
 
 class MultiMonitor(RunMonitor):
@@ -61,14 +99,22 @@ class MultiMonitor(RunMonitor):
                 self.monitors.extend(m.monitors)
             else:
                 self.monitors.append(m)
+        # The composite always declares stride 1 (the inherited default)
+        # and applies each child's own ``treat_stride`` here, so children
+        # with different sampling contracts compose correctly.
+        self._treat_left: List[int] = [1] * len(self.monitors)
 
     def on_send(self, env: "Envelope") -> None:
         for m in self.monitors:
             m.on_send(env)
 
     def on_treat(self, rank: int, env: "Envelope") -> None:
-        for m in self.monitors:
-            m.on_treat(rank, env)
+        left = self._treat_left
+        for i, m in enumerate(self.monitors):
+            left[i] -= 1
+            if left[i] <= 0:
+                left[i] = m.treat_stride
+                m.on_treat(rank, env)
 
     def enter_context(self, rank: int) -> None:
         for m in self.monitors:
@@ -77,6 +123,12 @@ class MultiMonitor(RunMonitor):
     def leave_context(self, rank: int) -> None:
         for m in self.monitors:
             m.leave_context(rank)
+
+    def wants_context(self) -> bool:
+        return any(m.wants_context() for m in self.monitors)
+
+    def wants_send(self) -> bool:
+        return any(m.wants_send() for m in self.monitors)
 
 
 def compose_monitors(

@@ -119,24 +119,67 @@ class NetworkConfig:
 
 @dataclass
 class MessageStats:
-    """Counters regenerating Table 6 (and sanity metrics beyond it)."""
+    """Counters regenerating Table 6 (and sanity metrics beyond it).
+
+    The per-send hot path maintains only the **joint** ``(channel, type)``
+    counters — one tuple-keyed update each for counts and bytes, instead of
+    three string-keyed updates plus two enum ``.name`` lookups.  The Table-6
+    marginals (:attr:`by_type`, :attr:`by_channel`, :attr:`bytes_by_type`)
+    are derived on demand.  The joint view is also exactly what the
+    telemetry monitor (:mod:`repro.obs.monitor`) folds into the metrics
+    registry at flush time, so metrics-on runs pay nothing extra per send
+    for message accounting.
+    """
 
     sent_total: int = 0
     sent_bytes: int = 0
-    by_type: "Counter[str]" = field(default_factory=Counter)
-    by_channel: "Counter[str]" = field(default_factory=Counter)
-    bytes_by_type: "Counter[str]" = field(default_factory=Counter)
+    #: Joint send counts keyed by ``(Channel, payload type name)``.
+    by_channel_type: "Counter[Tuple[Channel, str]]" = field(
+        default_factory=Counter
+    )
+    #: Joint payload-byte counts, same key.
+    bytes_by_channel_type: "Counter[Tuple[Channel, str]]" = field(
+        default_factory=Counter
+    )
 
     def count(self, env: Envelope) -> None:
         self.sent_total += 1
         self.sent_bytes += env.size
-        self.by_type[env.payload.type_name] += 1
-        self.by_channel[env.channel.name] += 1
-        self.bytes_by_type[env.payload.type_name] += env.size
+        key = (env.channel, env.payload.type_name)
+        self.by_channel_type[key] += 1
+        self.bytes_by_channel_type[key] += env.size
+
+    @property
+    def by_type(self) -> "Counter[str]":
+        """Send counts by payload type (marginal of the joint counter)."""
+        out: "Counter[str]" = Counter()
+        for (_ch, tname), n in self.by_channel_type.items():
+            out[tname] += n
+        return out
+
+    @property
+    def by_channel(self) -> "Counter[str]":
+        """Send counts by channel name (marginal of the joint counter)."""
+        out: "Counter[str]" = Counter()
+        for (ch, _tname), n in self.by_channel_type.items():
+            out[ch.name] += n
+        return out
+
+    @property
+    def bytes_by_type(self) -> "Counter[str]":
+        """Payload bytes by type (marginal of the joint byte counter)."""
+        out: "Counter[str]" = Counter()
+        for (_ch, tname), n in self.bytes_by_channel_type.items():
+            out[tname] += n
+        return out
 
     def state_message_count(self) -> int:
         """Number of messages on the state channel — the paper's Table 6 metric."""
-        return self.by_channel.get(Channel.STATE.name, 0)
+        return sum(
+            n
+            for (ch, _tname), n in self.by_channel_type.items()
+            if ch is Channel.STATE
+        )
 
 
 class Network:
@@ -164,6 +207,10 @@ class Network:
         #: Optional passive observer (repro.analysis.sanitizer); never
         #: affects delivery, timing or accounting.
         self._monitor: Optional["RunMonitor"] = None
+        #: Fast-path alias: the monitor iff it overrides ``on_send``.  The
+        #: telemetry monitor doesn't (it reads ``stats`` at flush time), so
+        #: metrics-only runs pay nothing per send here.
+        self._send_monitor: Optional["RunMonitor"] = None
 
     # --------------------------------------------------------------- wiring
 
@@ -182,6 +229,7 @@ class Network:
         if self._monitor is not None:
             raise ChannelError("a monitor is already installed")
         self._monitor = monitor
+        self._send_monitor = monitor if monitor.wants_send() else None
 
     def add_monitor(self, monitor: "RunMonitor") -> None:
         """Compose ``monitor`` with any already-installed one (fan-out,
@@ -189,6 +237,9 @@ class Network:
         from .monitor import compose_monitors
 
         self._monitor = compose_monitors(self._monitor, monitor)
+        self._send_monitor = (
+            self._monitor if self._monitor.wants_send() else None
+        )
 
     @property
     def monitor(self) -> Optional["RunMonitor"]:
@@ -249,8 +300,9 @@ class Network:
         self._seq += 1
         env = Envelope(src, dst, channel, payload, nbytes, now, arrive, self._seq)
         self.stats.count(env)
-        if self._monitor is not None:
-            self._monitor.on_send(env)
+        mon = self._send_monitor
+        if mon is not None:
+            mon.on_send(env)
         receiver = self.proc(dst)
         controller = self.sim.controller
         if self._injector is not None:

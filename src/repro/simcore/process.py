@@ -108,8 +108,22 @@ class SimProcess:
         #: notified of message treatments and execution-context windows.
         #: Compose additional observers via :meth:`add_monitor`.
         self.monitor: Optional["RunMonitor"] = None
+        #: Fast-path alias: ``self.monitor`` when it wants the
+        #: enter/leave-context hooks, else None — so metrics-only runs
+        #: never call the no-op defaults per treatment.
+        self._ctx_monitor: Optional["RunMonitor"] = None
+        # Monitor treat-sampling state (see RunMonitor.treat_stride): the
+        # stride is cached in add_monitor; non-sampled treats pay only the
+        # countdown below.
+        self._treat_stride = 1
+        self._treat_left = 1
         # --- statistics -------------------------------------------------
         self.stats_msgs_treated = 0
+        #: Per-channel treated counts, maintained kernel-side (metrics on
+        #: or off, like MessageStats) so the telemetry monitor can sync
+        #: them at flush time instead of counting per event.
+        self.treated_state = 0
+        self.treated_data = 0
         self.stats_tasks_run = 0
         self.stats_busy_time = 0.0
         self.stats_idle_since = 0.0
@@ -151,6 +165,10 @@ class SimProcess:
         from .monitor import compose_monitors
 
         self.monitor = compose_monitors(self.monitor, monitor)
+        self._ctx_monitor = (
+            self.monitor if self.monitor.wants_context() else None
+        )
+        self._treat_stride = self.monitor.treat_stride
 
     # -------------------------------------------------------------- queries
 
@@ -278,7 +296,7 @@ class SimProcess:
             # Task selection may take a dynamic decision (request_view /
             # record_decision), i.e. run mechanism code on this process's
             # behalf — give monitors the execution-context window.
-            mon = self.monitor
+            mon = self._ctx_monitor
             if mon is not None:
                 mon.enter_context(self.rank)
             try:
@@ -296,18 +314,25 @@ class SimProcess:
         self.stats_msgs_treated += 1
         mon = self.monitor
         if mon is not None:
-            mon.on_treat(self.rank, env)
-            mon.enter_context(self.rank)
+            self._treat_left -= 1
+            if self._treat_left <= 0:
+                self._treat_left = self._treat_stride
+                mon.on_treat(self.rank, env)
+        ctx = self._ctx_monitor
+        if ctx is not None:
+            ctx.enter_context(self.rank)
         self._in_activity = True
         try:
             if env.channel is Channel.STATE:
+                self.treated_state += 1
                 self.handle_state(env)
             else:
+                self.treated_data += 1
                 self.handle_data(env)
         finally:
             self._in_activity = False
-            if mon is not None:
-                mon.leave_context(self.rank)
+            if ctx is not None:
+                ctx.leave_context(self.rank)
         cost = self.network.config.recv_cost(env.size) + self._take_pending()
         self._record_treat_span(env, cost)
         self.stats_busy_time += cost
@@ -331,7 +356,7 @@ class SimProcess:
     # ---------------------------------------------------------------- tasks
 
     def _begin_task(self, work: Work) -> None:
-        mon = self.monitor
+        mon = self._ctx_monitor
         if mon is not None:
             mon.enter_context(self.rank)
         self._in_activity = True
@@ -365,7 +390,7 @@ class SimProcess:
         if task is None:  # pragma: no cover - defensive
             return
         self._current = None
-        mon = self.monitor
+        mon = self._ctx_monitor
         if mon is not None:
             mon.enter_context(self.rank)
         self._in_activity = True
@@ -471,17 +496,23 @@ class SimProcess:
         while self.mailbox_state and self.computing:
             env = self.mailbox_state.popleft()
             self.stats_msgs_treated += 1
+            self.treated_state += 1
             mon = self.monitor
             if mon is not None:
-                mon.on_treat(self.rank, env)
-                mon.enter_context(self.rank)
+                self._treat_left -= 1
+                if self._treat_left <= 0:
+                    self._treat_left = self._treat_stride
+                    mon.on_treat(self.rank, env)
+            ctx = self._ctx_monitor
+            if ctx is not None:
+                ctx.enter_context(self.rank)
             self._in_activity = True
             try:
                 self.handle_state(env)
             finally:
                 self._in_activity = False
-                if mon is not None:
-                    mon.leave_context(self.rank)
+                if ctx is not None:
+                    ctx.leave_context(self.rank)
             cost = self.network.config.recv_cost(env.size) + self._take_pending()
             self._record_treat_span(env, cost)
             if self.computing:

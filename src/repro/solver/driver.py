@@ -34,6 +34,8 @@ from .truth import DecisionLog, TruthTracker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..backends.script import ScriptRecorder
+    from ..obs.live import LiveRunPublisher
+    from ..obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -216,6 +218,42 @@ def default_threshold(
     return Load(frac * float(np.median(shares_w)), frac * float(np.median(shares_m)))
 
 
+def _finalize_run_metrics(
+    registry: "MetricsRegistry",
+    procs: List[SolverProcess],
+    events_executed: int,
+    makespan: float,
+) -> None:
+    """End-of-run summary gauges — one registry hit per family, not per
+    event, so plain ``gauge()`` lookups are the right tool here."""
+    registry.gauge(
+        "factorization_seconds", help="Simulated makespan of the run"
+    ).set(makespan)
+    registry.gauge(
+        "decisions_total", help="Dynamic master decisions taken"
+    ).set(float(sum(p.stats_decisions for p in procs)))
+    registry.gauge(
+        "engine_events_total", help="DES events executed over the whole run"
+    ).set(float(events_executed))
+    for p in procs:
+        labels = {"rank": str(p.rank)}
+        registry.gauge(
+            "rank_busy_seconds", labels, help="Simulated busy time per rank"
+        ).set(p.stats_busy_time)
+        registry.gauge(
+            "rank_peak_active_entries", labels,
+            help="Peak active factor entries held per rank",
+        ).set(float(p.tracker.peak_active))
+        registry.gauge(
+            "rank_factor_entries", labels,
+            help="Factor entries produced per rank",
+        ).set(float(p.tracker.factors))
+        registry.gauge(
+            "rank_utilization", labels,
+            help="Busy time over makespan per rank",
+        ).set(p.stats_busy_time / makespan if makespan > 0 else 0.0)
+
+
 def run_factorization(
     problem: Union[Problem, AssemblyTree],
     nprocs: int,
@@ -225,6 +263,7 @@ def run_factorization(
     trace: Optional[TraceRecorder] = None,
     recorder: Optional["ScriptRecorder"] = None,
     controller: Optional[ScheduleController] = None,
+    live: Optional["LiveRunPublisher"] = None,
 ) -> FactorizationResult:
     """Simulate one parallel factorization; fully deterministic per config.
 
@@ -232,6 +271,14 @@ def run_factorization(
     mechanism upcalls into a replayable workload script; it is a pure
     observer — a run with ``recorder=None`` executes the exact same
     instruction stream as one without the parameter.
+
+    ``live`` (a :class:`repro.obs.live.LiveRunPublisher`) streams periodic
+    registry snapshots to a scrape/SSE endpoint while the run executes.  It
+    is deliberately *not* part of :class:`SolverConfig` (publishing is an
+    I/O side effect, not a run parameter, and must never perturb the config
+    digest used for result caching).  Ignored unless ``config.metrics`` is
+    on; the snapshots are pure exports, so results are byte-identical with
+    or without a publisher attached.
 
     ``controller`` (a :class:`repro.simcore.ScheduleController`) intercepts
     every co-enabled event choice for interleaving exploration
@@ -383,10 +430,21 @@ def run_factorization(
     if metrics_registry is not None:
         from ..obs import MetricsMonitor
 
-        metrics_monitor = MetricsMonitor(sim, metrics_registry)
+        # Sharing net.stats makes the monitor's send counters a flush-time
+        # sync of the kernel's own accounting — zero per-send counting
+        # cost.  Passing procs does the same for treated counts and lets
+        # the kernel stride the treat hook (RunMonitor.treat_stride).
+        metrics_monitor = MetricsMonitor(
+            sim, metrics_registry, net.stats, procs=procs
+        )
         net.add_monitor(metrics_monitor)
         for p in procs:
             p.add_monitor(metrics_monitor)
+        if live is not None:
+            label = f"{pname} P={nprocs} {mechanism}/{strategy}"
+            if config.threaded:
+                label += " +thread"
+            live.attach(label, metrics_registry, metrics_monitor)
 
     reason = sim.run()
     if recorder is not None:
@@ -452,36 +510,20 @@ def run_factorization(
             },
         }
         if metrics_registry is not None:
-            metrics_registry.counter("suspicion_false_positives_total").inc(
-                len(false_pos)
-            )
+            metrics_registry.counter(  # rpa: noqa[RPA005] - once per run
+                "suspicion_false_positives_total"
+            ).inc(len(false_pos))
 
     snap = shared.snapshot_stats
     metrics_export: Optional[Dict] = None
     if metrics_registry is not None:
-        makespan = completion_time[0]
-        metrics_registry.gauge("factorization_seconds").set(makespan)
-        metrics_registry.gauge("decisions_total").set(
-            float(sum(p.stats_decisions for p in procs))
+        metrics_monitor.finalize()
+        _finalize_run_metrics(
+            metrics_registry, procs, sim.events_executed, completion_time[0]
         )
-        metrics_registry.gauge("engine_events_total").set(
-            float(sim.events_executed)
-        )
-        for p in procs:
-            labels = {"rank": str(p.rank)}
-            metrics_registry.gauge("rank_busy_seconds", labels).set(
-                p.stats_busy_time
-            )
-            metrics_registry.gauge("rank_peak_active_entries", labels).set(
-                float(p.tracker.peak_active)
-            )
-            metrics_registry.gauge("rank_factor_entries", labels).set(
-                float(p.tracker.factors)
-            )
-            metrics_registry.gauge("rank_utilization", labels).set(
-                p.stats_busy_time / makespan if makespan > 0 else 0.0
-            )
         metrics_export = metrics_registry.to_dict()
+        if live is not None:
+            live.finish(metrics_export)
     return FactorizationResult(
         problem=pname,
         nprocs=nprocs,

@@ -726,11 +726,17 @@ class SolverProcess(SimProcess):
                 self.sim.now, "recovery",
                 f"reclaim:{msg.front_id}:P{victim}", who=self.rank,
             )
-        metrics = self.mechanism.shared.metrics
-        if metrics is not None:
-            metrics.counter(
-                "tasks_reclaimed_total", {"rank": str(self.rank)}
-            ).inc()
+        shared = self.mechanism.shared
+        if shared.metrics is not None:
+            key = f"reclaimed:{self.rank}"
+            c = shared.metric_slots.get(key)
+            if c is None:
+                c = self.mechanism._resolve_metric_slot(
+                    key, "counter", "tasks_reclaimed_total",
+                    {"rank": str(self.rank)},
+                    help="Slave parts reclaimed from suspected ranks",
+                )
+            c.inc()
         suspected = self.mechanism.suspected_peers
         survivors = [
             r for r in range(self.network.nprocs)

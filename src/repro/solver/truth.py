@@ -70,6 +70,51 @@ class TruthTracker:
         err_m = float(np.abs(vm - tm).sum()) / den_m
         return err_w, err_m
 
+    def all_errors_against(self, view: LoadView, exclude: int = -1):
+        """Both error pairs in one pass: ``(abs_w, abs_m, signed_w,
+        signed_m)``.
+
+        Same masking and normalization as :meth:`errors_against` /
+        :meth:`signed_errors_against`, computed over plain floats in a
+        single sweep — the arrays are nprocs-sized, where numpy's fixed
+        per-operation cost dominates, and the telemetry path calls this
+        once per dynamic decision.  (Summation order differs from numpy's
+        pairwise ``sum()``, so last-ulp values may differ from the
+        separate methods; the decision log keeps using those so recorded
+        results stay byte-identical with telemetry on or off.)
+        """
+        tw = self.view.workload.tolist()
+        tm = self.view.memory.tolist()
+        vw = view.workload.tolist()
+        vm = view.memory.tolist()
+        abs_tw = abs_vw = abs_tm = abs_vm = 0.0
+        num_abs_w = num_abs_m = num_w = num_m = 0.0
+        for i in range(self.view.nprocs):
+            if i == exclude:
+                continue
+            t = tw[i]
+            v = vw[i]
+            d = v - t
+            abs_tw += abs(t)
+            abs_vw += abs(v)
+            num_abs_w += abs(d)
+            num_w += d
+            t = tm[i]
+            v = vm[i]
+            d = v - t
+            abs_tm += abs(t)
+            abs_vm += abs(v)
+            num_abs_m += abs(d)
+            num_m += d
+        den_w = max(abs_tw, abs_vw, 1.0)
+        den_m = max(abs_tm, abs_vm, 1.0)
+        return (
+            num_abs_w / den_w,
+            num_abs_m / den_m,
+            num_w / den_w,
+            num_m / den_m,
+        )
+
     def signed_errors_against(self, view: LoadView, exclude: int = -1):
         """Signed relative errors (workload, memory) of ``view`` vs truth.
 

@@ -153,6 +153,60 @@ class TestRPA005HotPathIO:
         assert [f for f in hot if f.code == "RPA005"] == []
 
 
+class TestRPA005MetricLookups:
+    def test_positive_counter_in_handler(self):
+        src = (
+            "def on_send(self, env):\n"
+            "    self.metrics.counter('messages_sent_total').inc()\n"
+        )
+        assert codes(src, is_hot_path=True) == ["RPA005"]
+
+    def test_positive_every_factory_and_registryish_receiver(self):
+        for recv in ("metrics", "registry", "metrics_registry", "_metrics"):
+            for factory in ("counter", "gauge", "histogram",
+                            "timeseries", "samples"):
+                src = f"def treat(self):\n    {recv}.{factory}('x').inc()\n"
+                assert codes(src, is_hot_path=True) == ["RPA005"], (recv, factory)
+
+    def test_negative_setup_named_functions(self):
+        for fname in ("__init__", "bind", "_setup_metrics",
+                      "_resolve_metric_slot", "_resolve_send_slots",
+                      "register_family", "declare_all",
+                      "_finalize_run_metrics", "export_metrics"):
+            src = f"def {fname}(self):\n    self.metrics.counter('x').inc()\n"
+            assert codes(src, is_hot_path=True) == [], fname
+
+    def test_negative_module_level(self):
+        # Module-level lookups run once per import, not per event.
+        assert codes("reg.counter('boot_total').inc()\n",
+                     is_hot_path=True) == []
+
+    def test_negative_outside_hot_path(self):
+        src = "def f(self):\n    self.metrics.counter('x').inc()\n"
+        assert codes(src, is_hot_path=False) == []
+
+    def test_negative_non_registry_receiver(self):
+        src = "def f(self):\n    self.bank.counter('teller').inc()\n"
+        assert codes(src, is_hot_path=True) == []
+
+    def test_innermost_function_decides(self):
+        # A per-event closure inside a setup function is still per-event.
+        src = (
+            "def bind(self):\n"
+            "    def on_event():\n"
+            "        self.metrics.counter('x').inc()\n"
+            "    return on_event\n"
+        )
+        assert codes(src, is_hot_path=True) == ["RPA005"]
+
+    def test_noqa_escape(self):
+        src = (
+            "def rare(self):\n"
+            "    self.metrics.counter('x').inc()  # rpa: noqa[RPA005]\n"
+        )
+        assert codes(src, is_hot_path=True) == []
+
+
 class TestRPA006BlockingInAsync:
     def test_positive_time_sleep(self):
         src = "import time\nasync def pump():\n    time.sleep(0.1)\n"

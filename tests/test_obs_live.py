@@ -1,0 +1,331 @@
+"""Live metrics streaming tests (repro.obs.live).
+
+Covers the three layers separately — store semantics, HTTP/SSE server,
+run publisher — plus the end-to-end contracts: a DES run with a live
+publisher attached produces byte-identical results, and the asyncio
+socket backend (opt-in ``-m backend``) publishes real-wall-clock
+snapshots while a replay executes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.matrices import generators as gen
+from repro.obs import MetricsRegistry
+from repro.obs.live import (
+    LiveMetricsServer,
+    LiveMetricsStore,
+    LiveRunPublisher,
+    serve_paths,
+)
+from repro.solver.driver import SolverConfig, run_factorization
+from repro.symbolic import analyze_matrix
+
+
+def fetch(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return analyze_matrix(gen.grid_laplacian((10, 10, 4)), name="livegrid")
+
+
+class TestLiveMetricsStore:
+    def test_publish_bumps_seq_and_snapshot_orders(self):
+        store = LiveMetricsStore()
+        assert store.seq == 0 and not store.closed
+        store.publish("b", {"x": 1})
+        store.publish("a", {"x": 2})
+        seq, entries = store.snapshot()
+        assert seq == 2
+        # first-publish order, not sorted
+        assert [label for label, _ in entries] == ["b", "a"]
+
+    def test_identical_republish_is_a_noop(self):
+        store = LiveMetricsStore()
+        store.publish("run", {"v": 1})
+        store.publish("run", {"v": 1})  # same export: no bump, no wakeup
+        assert store.seq == 1
+        store.publish("run", {"v": 2})
+        assert store.seq == 2
+
+    def test_wait_changed_times_out(self):
+        store = LiveMetricsStore()
+        store.publish("run", {})
+        assert store.wait_changed(store.seq, timeout=0.01) == store.seq
+
+    def test_wait_changed_wakes_on_publish(self):
+        store = LiveMetricsStore()
+        got = []
+
+        def waiter():
+            got.append(store.wait_changed(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        store.publish("run", {"v": 1})
+        t.join(timeout=5.0)
+        assert got == [1]
+
+    def test_close_wakes_waiters(self):
+        store = LiveMetricsStore()
+        got = []
+
+        def waiter():
+            got.append(store.wait_changed(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        store.close()
+        t.join(timeout=5.0)
+        assert got == [0] and store.closed
+
+
+@pytest.fixture()
+def server():
+    srv = LiveMetricsServer(port=0).start()  # port 0: ephemeral bind
+    yield srv
+    srv.stop()
+
+
+class TestLiveMetricsServer:
+    def _publish_sample(self, store):
+        reg = MetricsRegistry()
+        reg.counter("messages_sent_total", {"type": "mload"},
+                    help="sent").inc(3)
+        store.publish("r1", reg.to_dict())
+
+    def test_healthz_and_root(self, server):
+        assert fetch(server.url("/healthz")) == (200, "ok\n")
+        assert fetch(server.url("/")) == (200, "ok\n")
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            fetch(server.url("/nope"))
+        assert ei.value.code == 404
+
+    def test_metrics_scrape_prometheus_text(self, server):
+        self._publish_sample(server.store)
+        status, body = fetch(server.url("/metrics"))
+        assert status == 200
+        assert "# TYPE repro_messages_sent_total counter" in body
+        assert 'run="r1"' in body and 'type="mload"' in body
+
+    def test_metrics_json_document(self, server):
+        self._publish_sample(server.store)
+        status, body = fetch(server.url("/metrics.json"))
+        doc = json.loads(body)
+        assert doc["seq"] == server.store.seq
+        assert doc["runs"]["r1"]["schema"] == 1
+
+    def test_sse_first_frame_carries_current_state(self, server):
+        self._publish_sample(server.store)
+        req = urllib.request.urlopen(server.url("/events"), timeout=5.0)
+        try:
+            assert req.headers["Content-Type"] == "text/event-stream"
+            assert req.readline() == b"event: metrics\n"
+            data = req.readline()
+            assert data.startswith(b"data: ")
+            doc = json.loads(data[len(b"data: "):])
+            assert "r1" in doc["runs"]
+        finally:
+            req.close()
+
+    def test_sse_end_event_on_close(self, server):
+        req = urllib.request.urlopen(server.url("/events"), timeout=5.0)
+        try:
+            # drain the initial (empty-store) frame first
+            assert req.readline() == b"event: metrics\n"
+            req.readline()  # data: {...}
+            req.readline()  # blank separator
+            server.store.close()
+            assert req.readline() == b"event: end\n"
+        finally:
+            req.close()
+
+
+class _StubMonitor:
+    """Just the surface LiveRunPublisher touches on MetricsMonitor."""
+
+    def __init__(self):
+        self.on_tick = None
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+
+
+class TestLiveRunPublisher:
+    def test_attach_tick_publish_finish(self):
+        store = LiveMetricsStore()
+        pub = LiveRunPublisher(store, interval=0.0)
+        reg = MetricsRegistry()
+        c = reg.counter("decisions_total", {}, help="d")
+        mon = _StubMonitor()
+
+        pub.attach("run A", reg, mon)
+        assert mon.on_tick is not None
+        mon.on_tick()  # first tick publishes immediately
+        assert mon.flushes == 1
+        seq, entries = store.snapshot()
+        assert seq == 1 and entries[0][0] == "run A"
+
+        c.inc()
+        mon.on_tick()
+        assert store.seq == 2
+
+        pub.finish()  # publishes final export, detaches
+        assert mon.on_tick is None
+        # final export equals the last published one → dedupe, no bump
+        assert store.seq == 2
+
+    def test_interval_paces_wall_clock(self):
+        store = LiveMetricsStore()
+        pub = LiveRunPublisher(store, interval=3600.0)
+        reg = MetricsRegistry()
+        c = reg.counter("decisions_total", {}, help="d")
+        mon = _StubMonitor()
+        pub.attach("run", reg, mon)
+        mon.on_tick()
+        c.inc()
+        mon.on_tick()  # inside the interval: suppressed
+        assert store.seq == 1 and mon.flushes == 1
+        pub.detach()
+
+    def test_publish_export_for_cache_hits(self):
+        store = LiveMetricsStore()
+        pub = LiveRunPublisher(store)
+        pub.publish_export("cached", {"schema": 1, "families": {}})
+        assert dict(store.snapshot()[1])["cached"]["schema"] == 1
+
+
+class TestLiveDesRun:
+    def test_results_identical_and_snapshots_published(self, tree):
+        plain = run_factorization(tree, 4, "increments", "workload",
+                                  SolverConfig(metrics=True))
+        store = LiveMetricsStore()
+        pub = LiveRunPublisher(store, interval=0.0)
+        live = run_factorization(tree, 4, "increments", "workload",
+                                 SolverConfig(metrics=True), live=pub)
+        # publishing is a pure read: identical results and export
+        assert live.factorization_time == plain.factorization_time
+        assert live.decisions == plain.decisions
+        assert live.messages_by_type == plain.messages_by_type
+        assert live.metrics == plain.metrics
+        # interval=0 → every engine sample published; final export last
+        seq, entries = store.snapshot()
+        assert seq >= 1
+        ((label, export),) = entries
+        assert "increments/workload" in label and "P=4" in label
+        assert export == live.metrics
+
+    def test_live_ignored_without_metrics(self, tree):
+        store = LiveMetricsStore()
+        pub = LiveRunPublisher(store, interval=0.0)
+        r = run_factorization(tree, 4, "increments", "workload",
+                              SolverConfig(), live=pub)
+        assert r.metrics is None
+        assert store.snapshot() == (0, [])
+
+    def test_scrape_during_run_window(self, tree):
+        # The server can be scraped while a run's snapshots arrive; here we
+        # scrape right after the run (same store) — the endpoint must serve
+        # whatever the publisher last wrote.
+        store = LiveMetricsStore()
+        server = LiveMetricsServer(store, port=0).start()
+        try:
+            pub = LiveRunPublisher(store, interval=0.0)
+            run_factorization(tree, 4, "increments", "workload",
+                              SolverConfig(metrics=True), live=pub)
+            _, body = fetch(server.url("/metrics"))
+            assert "# TYPE repro_messages_sent_total counter" in body
+            assert "repro_factorization_seconds" in body
+        finally:
+            server.stop()
+
+
+class TestServePaths:
+    def test_serves_metrics_dir_and_stops(self, tmp_path, tree):
+        r = run_factorization(tree, 4, "increments", "workload",
+                              SolverConfig(metrics=True))
+        doc = {"run": {"problem": "livegrid", "nprocs": 4,
+                       "mechanism": "increments", "strategy": "workload"},
+               "metrics": r.metrics}
+        (tmp_path / "run.json").write_text(json.dumps(doc), encoding="utf-8")
+        # mid-write garbage must be tolerated, not fatal
+        (tmp_path / "partial.json").write_text("{not json", encoding="utf-8")
+
+        server = serve_paths([tmp_path], port=0, interval=0.01,
+                             max_seconds=0.05)
+        # returned server is already stopped; the store keeps the last scan
+        _, entries = server.store.snapshot()
+        assert [label for label, _ in entries] == \
+            ["livegrid P=4 increments/workload"]
+
+    def test_missing_paths_are_skipped(self, tmp_path):
+        server = serve_paths([tmp_path / "nothing"], port=0,
+                             interval=0.01, max_seconds=0.02)
+        assert server.store.snapshot()[1] == []
+
+
+class TestCliValidation:
+    def test_serve_rejects_out_of_range_port(self, capsys):
+        from repro.obs.__main__ import main
+
+        with pytest.raises(SystemExit) as ei:
+            main(["serve", ".", "--port", "99999"])
+        assert ei.value.code == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_experiments_rejects_bad_live_port(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit) as ei:
+            main(["table5", "--fast", "--live-metrics", "-1"])
+        assert ei.value.code == 2
+        assert "--live-metrics" in capsys.readouterr().err
+
+    def test_experiments_rejects_negative_linger(self, capsys):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit) as ei:
+            main(["table5", "--fast", "--live-linger", "-5"])
+        assert ei.value.code == 2
+        assert "--live-linger" in capsys.readouterr().err
+
+
+@pytest.mark.backend
+class TestAsyncioLive:
+    def test_socket_replay_publishes_snapshots(self, tree):
+        from repro.backends import ScriptRecorder, create_backend
+        from repro.backends.asyncio_net import AsyncioBackend
+
+        rec = ScriptRecorder()
+        run_factorization(tree, 4, mechanism="increments",
+                          config=SolverConfig(seed=0), recorder=rec)
+        script = rec.script()
+        des = create_backend("des").execute(script)
+
+        store = LiveMetricsStore()
+        server = LiveMetricsServer(store, port=0).start()
+        try:
+            backend = AsyncioBackend(live=store, live_interval=0.05)
+            net = backend.execute(script)
+            assert net.decisions == des.decisions
+            # the final post-run snapshot is always published
+            seq, entries = store.snapshot()
+            assert seq >= 1
+            ((label, export),) = entries
+            assert label.startswith("asyncio increments")
+            sent = export["families"]["messages_sent_total"]["series"]
+            assert sum(int(s["value"]) for s in sent) > 0
+            _, body = fetch(server.url("/metrics"))
+            assert "repro_messages_sent_total" in body
+        finally:
+            server.stop()

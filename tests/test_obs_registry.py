@@ -139,6 +139,37 @@ class TestExportRoundTrip:
             MetricsRegistry.from_dict({"schema": 99, "families": {}})
 
 
+class TestExportOrdering:
+    """Exports must not depend on series/family creation order."""
+
+    def test_series_creation_order_does_not_change_export(self):
+        a = MetricsRegistry()
+        a.counter("m", {"channel": "STATE"}).inc(1)
+        a.counter("m", {"channel": "DATA"}).inc(2)
+        b = MetricsRegistry()
+        b.counter("m", {"channel": "DATA"}).inc(2)
+        b.counter("m", {"channel": "STATE"}).inc(1)
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+        assert a.to_prometheus() == b.to_prometheus()
+
+    def test_family_creation_order_does_not_change_export(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        a.gauge("y").set(1.0)
+        b = MetricsRegistry()
+        b.gauge("y").set(1.0)
+        b.counter("x").inc()
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+    def test_label_sets_sorted_within_family(self):
+        reg = MetricsRegistry()
+        for t in ("zeta", "alpha", "mid"):
+            reg.counter("m", {"type": t}).inc()
+        series = reg.to_dict()["families"]["m"]["series"]
+        assert [s["labels"]["type"] for s in series] == \
+            ["alpha", "mid", "zeta"]
+
+
 class TestPrometheus:
     def test_counter_and_gauge_lines(self):
         reg = MetricsRegistry()
@@ -171,3 +202,21 @@ class TestPrometheus:
 
     def test_empty_registry(self):
         assert MetricsRegistry().to_prometheus() == ""
+
+    def test_help_lines_and_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("m", help="counts \\ things\nacross lines").inc()
+        text = reg.to_prometheus()
+        assert "# HELP repro_m counts \\\\ things\\nacross lines\n" in text
+        assert "# TYPE repro_m counter\n" in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("m", {"type": 'a"b\\c\nd'}).inc()
+        text = reg.to_prometheus()
+        assert 'repro_m{type="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_no_help_means_no_help_line(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc()
+        assert "# HELP" not in reg.to_prometheus()

@@ -114,6 +114,121 @@ class TestMetricsOnRun:
         assert gather["max"] <= rounds["max"] + 1e-12
 
 
+class TestDeterministicExport:
+    def test_two_seeded_runs_export_byte_identical_json(self, tree):
+        a = run_factorization(tree, 8, "increments", "workload",
+                              SolverConfig(metrics=True))
+        b = run_factorization(tree, 8, "increments", "workload",
+                              SolverConfig(metrics=True))
+        assert json.dumps(a.metrics, sort_keys=False) == \
+            json.dumps(b.metrics, sort_keys=False)
+
+    def test_golden_export(self):
+        """Byte-exact export of a small seeded run, committed as a golden.
+
+        Regenerate (after an *intentional* metrics change) with::
+
+            PYTHONPATH=src python - <<'EOF'
+            import json
+            from repro.matrices import generators as gen
+            from repro.solver.driver import SolverConfig, run_factorization
+            from repro.symbolic import analyze_matrix
+            tree = analyze_matrix(gen.grid_laplacian((6, 6, 3)),
+                                  name="goldengrid")
+            r = run_factorization(tree, 4, "increments", "workload",
+                                  SolverConfig(metrics=True))
+            open("tests/golden/metrics_export.json", "w").write(
+                json.dumps(r.metrics, indent=1, sort_keys=False) + "\\n")
+            EOF
+        """
+        from pathlib import Path
+
+        from repro.matrices import generators as gen
+        from repro.symbolic import analyze_matrix
+
+        tree = analyze_matrix(gen.grid_laplacian((6, 6, 3)),
+                              name="goldengrid")
+        r = run_factorization(tree, 4, "increments", "workload",
+                              SolverConfig(metrics=True))
+        golden = Path(__file__).parent / "golden" / "metrics_export.json"
+        expected = golden.read_text(encoding="utf-8")
+        got = json.dumps(r.metrics, indent=1, sort_keys=False) + "\n"
+        assert got == expected
+
+
+class TestPrometheusConformance:
+    """Exposition-format checks over *every* family a real run exports."""
+
+    def _typed_families(self, text):
+        """{metric-name: type} parsed from ``# TYPE`` lines."""
+        out = {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, ptype = line.split(" ")
+                out[name] = ptype
+        return out
+
+    def test_every_family_has_a_type_line(self, metrics_run):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry.from_dict(metrics_run.metrics)
+        text = reg.to_prometheus()
+        typed = self._typed_families(text)
+        for name, fam in metrics_run.metrics["families"].items():
+            kind = fam["kind"]
+            if kind in ("counter", "gauge", "histogram"):
+                assert typed.get("repro_" + name) == kind, name
+            elif kind == "timeseries":
+                # summarized as two gauges (no native simulated-time type)
+                assert typed.get(f"repro_{name}_last") == "gauge", name
+                assert typed.get(f"repro_{name}_points") == "gauge", name
+            else:  # samples are deliberately not exposable
+                assert "repro_" + name not in typed, name
+
+    def test_every_help_line_precedes_its_type_line(self, metrics_run):
+        from repro.obs import MetricsRegistry
+
+        lines = MetricsRegistry.from_dict(
+            metrics_run.metrics).to_prometheus().splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# HELP "):
+                helped = line.split(" ")[2]
+                assert lines[i + 1] == \
+                    f"# TYPE {helped} " + lines[i + 1].split(" ")[-1]
+
+    def test_histogram_buckets_cumulative_closed_by_inf(self, metrics_run):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry.from_dict(metrics_run.metrics)
+        text = reg.to_prometheus()
+        # group bucket lines per (family, non-le labelset)
+        import re
+
+        buckets = {}
+        for m in re.finditer(
+                r'^(\w+)_bucket\{(.*)le="([^"]+)"\} (\d+)$', text,
+                re.MULTILINE):
+            name, rest, le, val = m.groups()
+            buckets.setdefault((name, rest), []).append((le, int(val)))
+        assert buckets  # the run exports at least one histogram
+        for (name, rest), series in buckets.items():
+            les = [le for le, _ in series]
+            vals = [v for _, v in series]
+            assert les[-1] == "+Inf", (name, rest)
+            assert vals == sorted(vals), (name, rest)  # cumulative
+            count_line = f"{name}_count{{{rest.rstrip(',')}}} {vals[-1]}"
+            assert count_line in text or \
+                f"{name}_count {vals[-1]}" in text, (name, rest)
+
+    def test_merged_sweep_export_injects_run_label_everywhere(
+            self, metrics_run):
+        text = to_prometheus([("sweep one", metrics_run.metrics)])
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert 'run="sweep one"' in line, line
+
+
 class TestReporting:
     def test_render_report(self, metrics_run):
         text = render_report("obsgrid P=8", metrics_run.metrics)
@@ -167,10 +282,35 @@ class TestRunnerPersistence:
         assert main(["prom", str(mdir)]) == 0
         assert 'run="GUPTA3' in capsys.readouterr().out
 
-    def test_report_cli_empty_dir_exits_one(self, tmp_path, capsys):
+    def test_report_cli_empty_dir_exits_two(self, tmp_path, capsys):
         from repro.obs.__main__ import main
 
         empty = tmp_path / "nothing"
         empty.mkdir()
-        assert main(["report", str(empty)]) == 1
+        assert main(["report", str(empty)]) == 2
         assert "no metrics" in capsys.readouterr().err
+
+    def test_report_cli_missing_path_exits_two(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["report", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope.json" in err
+
+    def test_prom_cli_invalid_json_exits_two(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["prom", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "bad.json" in err
+
+    def test_report_cli_unrecognized_doc_exits_two(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"something": "else"}', encoding="utf-8")
+        assert main(["report", str(foreign)]) == 2
+        assert "foreign.json" in capsys.readouterr().err
